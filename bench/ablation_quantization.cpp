@@ -1,0 +1,75 @@
+// Ablation (extension): activation wire-format vs partitioning opportunity.
+//
+// The paper ships fp32 intermediate activations (Neurosurgeon convention);
+// compressing them (fp16 / int8) shrinks every split point's payload and
+// moves the "first viable partition point" earlier — connecting LENS to the
+// compression row of its Table II. This harness sweeps the bytes-per-
+// element policy on AlexNet and on random search-space candidates.
+
+#include <cstdio>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/search_space.hpp"
+#include "dnn/presets.hpp"
+
+int main() {
+  using namespace lens;
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const dnn::Architecture alexnet = dnn::alexnet();
+
+  bench::heading("Ablation -- activation wire format (AlexNet @ 3 Mbps GPU/WiFi)");
+  std::printf("%-10s %20s %14s %14s %16s\n", "format", "first viable split",
+              "#split points", "best ene (mJ)", "energy split");
+  struct Format {
+    const char* label;
+    int bytes;
+  };
+  const Format formats[] = {{"fp32", 4}, {"fp16", 2}, {"int8", 1}};
+  for (const Format& format : formats) {
+    core::EvaluatorConfig config;
+    config.sizes.activation_bytes_per_element = format.bytes;
+    const core::DeploymentEvaluator evaluator(oracle, wifi, config);
+    const auto candidates = alexnet.partition_candidates(config.sizes);
+    const core::DeploymentEvaluation eval = evaluator.evaluate(alexnet, 3.0);
+    std::printf("%-10s %20s %14zu %14.0f %16s\n", format.label,
+                candidates.empty() ? "-" : alexnet.layers()[candidates.front()].name.c_str(),
+                candidates.size(), eval.best_energy_mj(),
+                eval.energy_choice().label(alexnet).c_str());
+  }
+
+  const int samples = bench::fast_mode() ? 100 : 300;
+  bench::heading("Random search-space candidates: how often a split wins energy @3 Mbps");
+  std::printf("%-10s %22s %24s\n", "format", "conv split viable", "energy picks split");
+  const core::SearchSpace space;
+  for (const Format& format : formats) {
+    core::EvaluatorConfig config;
+    config.sizes.activation_bytes_per_element = format.bytes;
+    const core::DeploymentEvaluator evaluator(oracle, wifi, config);
+    std::mt19937_64 rng(7);
+    int conv_split = 0;
+    int split_wins = 0;
+    for (int i = 0; i < samples; ++i) {
+      const core::Genotype g = space.random(rng);
+      const dnn::Architecture arch = space.decode(g);
+      for (std::size_t idx : arch.partition_candidates(config.sizes)) {
+        if (arch.layers()[idx].spec.kind != dnn::LayerKind::kDense) {
+          ++conv_split;
+          break;
+        }
+      }
+      if (evaluator.evaluate(arch, 3.0).energy_choice().kind ==
+          core::DeploymentKind::kPartitioned) {
+        ++split_wins;
+      }
+    }
+    std::printf("%-10s %21.1f%% %23.1f%%\n", format.label, 100.0 * conv_split / samples,
+                100.0 * split_wins / samples);
+  }
+  bench::rule();
+  std::printf("takeaway: activation compression multiplies the payoff of partition-aware\n"
+              "search -- a natural LENS x SIEVE composition the paper leaves open.\n");
+  return 0;
+}

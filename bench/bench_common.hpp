@@ -1,0 +1,80 @@
+#pragma once
+// Shared setup and formatting helpers for the experiment harnesses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "comm/commcost.hpp"
+#include "core/evaluator.hpp"
+#include "core/nas.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens::bench {
+
+/// Horizontal rule sized to the table width.
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n");
+  rule();
+  std::printf("%s\n", title.c_str());
+  rule();
+}
+
+/// Search-iteration budget: the paper uses 300 Bayesian iterations; set
+/// LENS_BENCH_FAST=1 to shrink search-driven benches ~5x for quick runs.
+inline bool fast_mode() {
+  const char* env = std::getenv("LENS_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::size_t search_iterations() { return fast_mode() ? 60 : 300; }
+inline std::size_t search_initial() { return fast_mode() ? 12 : 20; }
+
+/// Number of seed replicates for search-driven benches (LENS_BENCH_SEEDS,
+/// default 1 — the paper reports single runs).
+inline unsigned search_seeds() {
+  const char* env = std::getenv("LENS_BENCH_SEEDS");
+  if (env == nullptr) return 1;
+  const int parsed = std::atoi(env);
+  return parsed > 0 ? static_cast<unsigned>(parsed) : 1;
+}
+
+/// The standard experimental rig of the paper's §V: TX2-class GPU edge
+/// device, WiFi uplink, 5 ms average round trip, trained roofline
+/// performance predictors (the paper's §IV-C regression models).
+struct Testbed {
+  perf::DeviceSimulator simulator;
+  perf::RooflinePredictor predictor;
+  comm::CommModel comm;
+  core::DeploymentEvaluator evaluator;
+
+  static Testbed gpu_wifi() {
+    perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+    perf::RooflinePredictor pred =
+        perf::RooflinePredictor::train(sim, {.samples_per_kind = 500, .seed = 11});
+    comm::CommModel comm(comm::WirelessTechnology::kWifi, 5.0);
+    return Testbed{std::move(sim), std::move(pred), comm};
+  }
+
+  static Testbed cpu_lte() {
+    perf::DeviceSimulator sim(perf::jetson_tx2_cpu());
+    perf::RooflinePredictor pred =
+        perf::RooflinePredictor::train(sim, {.samples_per_kind = 500, .seed = 12});
+    comm::CommModel comm(comm::WirelessTechnology::kLte, 5.0);
+    return Testbed{std::move(sim), std::move(pred), comm};
+  }
+
+ private:
+  Testbed(perf::DeviceSimulator sim, perf::RooflinePredictor pred, comm::CommModel c)
+      : simulator(std::move(sim)),
+        predictor(std::move(pred)),
+        comm(c),
+        evaluator(predictor, comm) {}
+};
+
+}  // namespace lens::bench

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) backing the paper's §IV-D cost claims:
+// Algorithm 1 is O(l) in the layer count and vanishes next to the O(n^3)
+// cost of one Bayesian-optimization model update.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+#include "opt/gp.hpp"
+#include "perf/predictor.hpp"
+
+namespace {
+
+using namespace lens;
+
+const perf::DeviceSimulator& simulator() {
+  static const perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  return sim;
+}
+
+const perf::RooflinePredictor& predictor() {
+  static const perf::RooflinePredictor pred =
+      perf::RooflinePredictor::train(simulator(), {.samples_per_kind = 300, .seed = 3});
+  return pred;
+}
+
+/// Builds a deep synthetic architecture with `blocks` conv blocks.
+dnn::Architecture deep_architecture(int blocks) {
+  std::vector<dnn::LayerSpec> layers;
+  int pools = 0;
+  for (int b = 0; b < blocks; ++b) {
+    layers.push_back(dnn::LayerSpec::conv(64, 3));
+    layers.push_back(dnn::LayerSpec::conv(64, 3));
+    if (pools < 5) {  // keep spatial dims alive for very deep stacks
+      layers.push_back(dnn::LayerSpec::max_pool(2, 2));
+      ++pools;
+    }
+  }
+  layers.push_back(dnn::LayerSpec::dense(512));
+  layers.push_back(dnn::LayerSpec::dense(10, dnn::Activation::kSoftmax));
+  return dnn::Architecture("deep", {224, 224, 3}, std::move(layers));
+}
+
+// ---- Algorithm 1: per-candidate evaluation, O(l) ---------------------------
+
+void BM_Algorithm1_Evaluate(benchmark::State& state) {
+  const dnn::Architecture arch = deep_architecture(static_cast<int>(state.range(0)));
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor(), wifi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(arch, 3.0));
+  }
+  state.counters["layers"] = static_cast<double>(arch.num_layers());
+}
+BENCHMARK(BM_Algorithm1_Evaluate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// ---- Bayesian optimization: GP refit, O(n^3) --------------------------------
+
+void BM_GpFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi(23);
+    for (double& v : xi) v = unit(rng);
+    y.push_back(unit(rng));
+    x.push_back(std::move(xi));
+  }
+  opt::GpConfig config;
+  config.tune_hyperparameters = false;
+  for (auto _ : state) {
+    opt::GaussianProcess gp(config);
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp);
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(320);
+
+// ---- Thompson acquisition over a candidate pool -----------------------------
+
+void BM_GpJointSample(benchmark::State& state) {
+  const std::size_t n = 160;
+  const auto pool = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi(23);
+    for (double& v : xi) v = unit(rng);
+    y.push_back(unit(rng));
+    x.push_back(std::move(xi));
+  }
+  opt::GpConfig config;
+  config.tune_hyperparameters = false;
+  opt::GaussianProcess gp(config);
+  gp.fit(x, y);
+  std::vector<std::vector<double>> query;
+  for (std::size_t i = 0; i < pool; ++i) {
+    std::vector<double> xi(23);
+    for (double& v : xi) v = unit(rng);
+    query.push_back(std::move(xi));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.sample_at(query, rng));
+  }
+}
+BENCHMARK(BM_GpJointSample)->Arg(64)->Arg(128)->Arg(256);
+
+// ---- Layer performance prediction -------------------------------------------
+
+void BM_RooflinePredict(benchmark::State& state) {
+  const dnn::LayerSpec conv = dnn::LayerSpec::conv(128, 3);
+  const dnn::TensorShape input{56, 56, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor().predict(conv, input));
+  }
+}
+BENCHMARK(BM_RooflinePredict);
+
+void BM_SimulatorMeasure(benchmark::State& state) {
+  const dnn::LayerSpec conv = dnn::LayerSpec::conv(128, 3);
+  const dnn::TensorShape input{56, 56, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator().measure(conv, input));
+  }
+}
+BENCHMARK(BM_SimulatorMeasure);
+
+// ---- Search-space plumbing ---------------------------------------------------
+
+void BM_SearchSpaceDecode(benchmark::State& state) {
+  const core::SearchSpace space;
+  std::mt19937_64 rng(5);
+  const core::Genotype g = space.random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.decode(g));
+  }
+}
+BENCHMARK(BM_SearchSpaceDecode);
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Fig. 1 reproduction: per-layer output feature-map sizes and latency share
+// for AlexNet on the TX2-class GPU.
+//
+// Paper claims to reproduce in shape:
+//  - the three FC layers account for ~50% of total execution time;
+//  - feature maps stay LARGER than the (uint8) input until Pool5, so layers
+//    before Pool5 are not viable partition points.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dnn/presets.hpp"
+
+int main() {
+  using namespace lens;
+  const dnn::Architecture alexnet = dnn::alexnet();
+  const perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const dnn::DataSizeModel sizes;
+
+  bench::heading("Fig. 1 -- AlexNet per-layer feature-map size and latency share (TX2 GPU)");
+  const std::uint64_t input_bytes = alexnet.input_bytes(sizes);
+  std::printf("input: 224x224x3 uint8 = %llu bytes (147 kB)\n\n",
+              static_cast<unsigned long long>(input_bytes));
+  std::printf("%-7s %14s %12s %12s %9s %10s\n", "layer", "out shape", "out bytes",
+              "lat (ms)", "lat %", "viable?");
+
+  double total_latency = 0.0;
+  for (const dnn::LayerInfo& info : alexnet.layers()) {
+    total_latency += sim.measure(info.spec, info.input).latency_ms;
+  }
+  double fc_latency = 0.0;
+  double running = 0.0;
+  for (const dnn::LayerInfo& info : alexnet.layers()) {
+    const double latency = sim.measure(info.spec, info.input).latency_ms;
+    running += latency;
+    if (info.spec.kind == dnn::LayerKind::kDense) fc_latency += latency;
+    const std::uint64_t out_bytes = sizes.activation_bytes(info.output);
+    char shape[32];
+    std::snprintf(shape, sizeof shape, "%dx%dx%d", info.output.height, info.output.width,
+                  info.output.channels);
+    std::printf("%-7s %14s %12llu %12.3f %8.1f%% %10s\n", info.name.c_str(), shape,
+                static_cast<unsigned long long>(out_bytes), latency,
+                100.0 * latency / total_latency, out_bytes < input_bytes ? "yes" : "no");
+  }
+  bench::rule();
+  std::printf("total latency: %.2f ms | FC share: %.1f%% (paper: ~50%%)\n", total_latency,
+              100.0 * fc_latency / total_latency);
+  const auto candidates = alexnet.partition_candidates(sizes);
+  std::printf("first viable partition point: %s (paper: Pool5)\n",
+              alexnet.layers()[candidates.front()].name.c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 2 reproduction: latency and energy of each AlexNet deployment option
+// (All-Edge / split@pool5 / split@fc6 / All-Cloud) under GPU+WiFi and
+// CPU+LTE, across upload throughputs. The paper's headline: the best option
+// flips with t_u — e.g. GPU/WiFi latency prefers Pool5 only at 30 Mbps.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dnn/presets.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+void run_device(const char* title, const lens::core::DeploymentEvaluator& evaluator,
+                const lens::dnn::Architecture& alexnet) {
+  using namespace lens;
+  bench::heading(title);
+  std::printf("%-8s | %-28s | %-28s\n", "t_u", "latency (ms) per option -> best",
+              "energy (mJ) per option -> best");
+  for (double tu : {1.0, 5.0, 10.0, 30.0}) {
+    const core::DeploymentEvaluation r = evaluator.evaluate(alexnet, tu);
+    std::printf("%5.1f Mb |", tu);
+    for (const core::DeploymentOption& o : r.options) {
+      std::printf(" %s=%.0f", o.label(alexnet).c_str(), o.latency_ms);
+    }
+    std::printf(" -> %s |", r.latency_choice().label(alexnet).c_str());
+    for (const core::DeploymentOption& o : r.options) {
+      std::printf(" %s=%.0f", o.label(alexnet).c_str(), o.energy_mj);
+    }
+    std::printf(" -> %s\n", r.energy_choice().label(alexnet).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace lens;
+  const dnn::Architecture alexnet = dnn::alexnet();
+
+  // Ground-truth oracles isolate the deployment physics (the predictor
+  // version of the same table appears in the integration tests).
+  perf::DeviceSimulator gpu_sim(perf::jetson_tx2_gpu());
+  perf::DeviceSimulator cpu_sim(perf::jetson_tx2_cpu());
+  const perf::SimulatorOracle gpu(gpu_sim);
+  const perf::SimulatorOracle cpu(cpu_sim);
+  const core::DeploymentEvaluator gpu_wifi(
+      gpu, comm::CommModel(comm::WirelessTechnology::kWifi, 5.0));
+  const core::DeploymentEvaluator cpu_lte(
+      cpu, comm::CommModel(comm::WirelessTechnology::kLte, 5.0));
+
+  run_device("Fig. 2 (left) -- GPU / WiFi", gpu_wifi, alexnet);
+  run_device("Fig. 2 (right) -- CPU / LTE", cpu_lte, alexnet);
+
+  // The figure itself: per-option energy curves vs throughput (GPU/WiFi).
+  bench::heading("Energy vs throughput, per option (GPU/WiFi) -- the Fig. 2 curves");
+  {
+    const core::DeploymentEvaluation probe = gpu_wifi.evaluate(alexnet, 1.0);
+    std::vector<viz::Series> series;
+    const char glyphs[] = {'c', '5', '6', '7', 'e'};
+    for (std::size_t i = 0; i < probe.options.size(); ++i) {
+      viz::Series s;
+      s.label = probe.options[i].label(alexnet);
+      s.glyph = glyphs[i % sizeof glyphs];
+      series.push_back(std::move(s));
+    }
+    for (double tu = 0.25; tu <= 32.0; tu *= 1.3) {
+      const core::DeploymentEvaluation eval = gpu_wifi.evaluate(alexnet, tu);
+      for (std::size_t i = 0; i < eval.options.size(); ++i) {
+        series[i].x.push_back(tu);
+        series[i].y.push_back(eval.options[i].energy_mj);
+      }
+    }
+    viz::PlotConfig plot;
+    plot.height = 16;
+    plot.x_label = "t_u (Mbps)";
+    plot.y_label = "mJ";
+    plot.log_x = true;
+    plot.log_y = true;
+    std::fputs(viz::line_plot(series, plot).c_str(), stdout);
+  }
+
+  bench::heading("Fig. 2 takeaway check");
+  const auto low = gpu_wifi.evaluate(alexnet, 5.0);
+  const auto high = gpu_wifi.evaluate(alexnet, 30.0);
+  std::printf("GPU/WiFi latency best @5 Mbps : %s (paper: All-Edge)\n",
+              low.latency_choice().label(alexnet).c_str());
+  std::printf("GPU/WiFi latency best @30 Mbps: %s (paper: Pool5)\n",
+              high.latency_choice().label(alexnet).c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 4 reproduction: the experimental search space. Prints the dimension
+// grid, the space's cardinality, the >=4-pools constraint's acceptance
+// rate, and a few sampled architectures, reproducing the figure textually.
+
+#include <cstdio>
+#include <random>
+
+#include "bench_common.hpp"
+#include "core/search_space.hpp"
+#include "dnn/summary.hpp"
+
+int main() {
+  using namespace lens;
+  const core::SearchSpace space;
+  const core::SearchSpaceConfig& config = space.config();
+
+  bench::heading("Fig. 4 -- the VGG-derived experimental search space");
+  std::printf("input (performance objectives): %dx%dx%d | classes: %d\n",
+              config.input.height, config.input.width, config.input.channels,
+              config.num_classes);
+  std::printf("%d convolutional blocks, each with:\n", config.num_blocks);
+  auto print_list = [](const char* label, const std::vector<int>& values) {
+    std::printf("  %-18s {", label);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", values[i]);
+    }
+    std::printf("}\n");
+  };
+  print_list("layers per block", config.depths);
+  print_list("kernel size", config.kernels);
+  print_list("filters", config.filters);
+  std::printf("  %-18s optional 2x2, stride 2\n", "max-pool");
+  print_list("FC units (fc1, optional fc2)", config.fc_units);
+  std::printf("constraint: >= %d pooling layers per architecture\n", config.min_pools);
+  std::printf("genotype: %zu dimensions, 10^%.1f raw combinations\n",
+              space.num_dimensions(), space.log10_size());
+
+  // Constraint acceptance rate of unconstrained sampling.
+  std::mt19937_64 rng(5);
+  int accepted = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    core::Genotype g(space.num_dimensions());
+    for (std::size_t d = 0; d < g.size(); ++d) {
+      std::uniform_int_distribution<int> dist(0, space.cardinalities()[d] - 1);
+      g[d] = dist(rng);
+    }
+    if (space.is_valid(g)) ++accepted;
+  }
+  std::printf("constraint acceptance rate: %.1f%% of raw samples\n",
+              100.0 * accepted / trials);
+
+  bench::heading("Three sampled members");
+  for (int i = 0; i < 3; ++i) {
+    const core::Genotype g = space.random(rng);
+    const dnn::Architecture arch = space.decode(g);
+    std::printf("%s\n  %s\n", arch.name().c_str(), dnn::signature(arch).c_str());
+    std::printf("  %.2f GFLOP, %llu params, %zu viable split points\n\n",
+                static_cast<double>(arch.total_flops()) / 1e9,
+                static_cast<unsigned long long>(arch.total_params()),
+                arch.partition_candidates().size());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 5 reproduction: the runtime system's three operating modes.
+//
+// The figure shows the same model deployed on both endpoints with layers
+// "grayed out" depending on the mode (Partitioned / All-Edge / All-Cloud)
+// chosen by the throughput tracker. This harness renders the per-layer
+// placement for AlexNet's options and demonstrates the O(1) mode selection
+// across tracked throughputs using a shipped switching table.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dnn/presets.hpp"
+#include "runtime/deployer.hpp"
+#include "runtime/threshold_io.hpp"
+#include "runtime/tracker.hpp"
+
+int main() {
+  using namespace lens;
+  const dnn::Architecture alexnet = dnn::alexnet();
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(oracle, wifi);
+  const core::DeploymentEvaluation eval = evaluator.evaluate(alexnet, 10.0);
+
+  bench::heading("Fig. 5 -- per-layer placement per operating mode (E=edge, C=cloud)");
+  std::printf("%-14s", "mode");
+  for (const dnn::LayerInfo& info : alexnet.layers()) {
+    std::printf(" %-6s", info.name.c_str());
+  }
+  std::printf("\n");
+  for (const core::DeploymentOption& option : eval.options) {
+    std::printf("%-14s", option.label(alexnet).c_str());
+    for (std::size_t i = 0; i < alexnet.num_layers(); ++i) {
+      char place = 'E';
+      if (option.kind == core::DeploymentKind::kAllCloud) {
+        place = 'C';
+      } else if (option.kind == core::DeploymentKind::kPartitioned &&
+                 i > option.split_after.value()) {
+        place = 'C';
+      }
+      std::printf(" %-6c", place);
+    }
+    std::printf("\n");
+  }
+
+  bench::heading("Throughput tracker driving O(1) mode switches (energy metric)");
+  const runtime::DynamicDeployer deployer(eval.options, wifi,
+                                          runtime::OptimizeFor::kEnergy, 0.05, 500.0);
+  // The design-time artifact a device would ship with:
+  runtime::SwitchingTable table;
+  table.metric = runtime::OptimizeFor::kEnergy;
+  for (const core::DeploymentOption& o : eval.options) {
+    table.option_labels.push_back(o.label(alexnet));
+  }
+  table.intervals = deployer.intervals();
+  std::printf("switching table (%zu intervals):\n", table.intervals.size());
+  for (const runtime::DominanceInterval& iv : table.intervals) {
+    std::printf("  [%7.2f, %7.2f) Mbps -> %s\n", iv.tu_low, iv.tu_high,
+                table.option_labels[iv.option_index].c_str());
+  }
+
+  runtime::ThroughputTracker tracker(0.7);
+  std::printf("\n%-10s %-12s %-14s\n", "sample", "tracked t_u", "mode");
+  const double measurements[] = {12.0, 9.0, 3.0, 0.6, 0.4, 0.9, 5.0, 18.0};
+  for (std::size_t i = 0; i < std::size(measurements); ++i) {
+    tracker.report(measurements[i]);
+    const std::size_t mode = table.select(tracker.estimate_mbps());
+    std::printf("%-10zu %-12.2f %-14s\n", i, tracker.estimate_mbps(),
+                table.option_labels[mode].c_str());
+  }
+  return 0;
+}

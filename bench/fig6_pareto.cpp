@@ -1,0 +1,188 @@
+// Fig. 6 reproduction (paper §V-A): LENS vs the Traditional solution.
+//
+// Both searches run the same MOBO budget over the same VGG-derived search
+// space at the expected t_u = 3 Mbps; they differ only in whether Algorithm
+// 1's best-deployment evaluation is inside the optimization (LENS) or the
+// candidate is costed All-Edge (Traditional, i.e. platform-aware NAS for
+// the edge device). The paper's headline numbers on the energy-error
+// projection: LENS dominates 60% of the *partitioned* Traditional frontier,
+// is dominated on 15.38% of its own, and forms 76.47% of the combined
+// frontier (latency-error: 66.67% / 14.28% / 75%).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/analysis.hpp"
+#include "opt/hypervolume.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+using namespace lens;
+
+void analyze_projection(const char* title, const core::NasResult& lens_result,
+                        const core::NasResult& traditional_result,
+                        core::Objective performance_objective) {
+  using core::kErrorObjective;
+  const opt::ParetoFront lens_front =
+      front_2d(lens_result.history, kErrorObjective, performance_objective);
+  const opt::ParetoFront trad_front = front_2d(traditional_result.history, kErrorObjective,
+                                               performance_objective);
+  const opt::ParetoFront trad_partitioned = repartition_front(
+      trad_front, traditional_result.history, kErrorObjective, performance_objective);
+
+  bench::heading(title);
+  const char* unit = performance_objective == core::kEnergyObjective ? "mJ" : "ms";
+
+  // The figure itself: explored candidates and the two frontiers.
+  {
+    viz::Series lens_points{"LENS explored", '.', {}, {}};
+    viz::Series trad_points{"Traditional explored", ',', {}, {}};
+    viz::Series lens_frontier{"LENS front", 'L', {}, {}};
+    viz::Series trad_frontier{"Trad+part front", 'T', {}, {}};
+    for (const core::EvaluatedCandidate& c : lens_result.history) {
+      lens_points.x.push_back(c.error_percent);
+      lens_points.y.push_back(core::objective_value(c, performance_objective,
+                                                    core::DeploymentPolicy::kAsSearched));
+    }
+    for (const core::EvaluatedCandidate& c : traditional_result.history) {
+      trad_points.x.push_back(c.error_percent);
+      trad_points.y.push_back(core::objective_value(c, performance_objective,
+                                                    core::DeploymentPolicy::kAsSearched));
+    }
+    for (const opt::ParetoPoint& p : lens_front.points()) {
+      lens_frontier.x.push_back(p.objectives[0]);
+      lens_frontier.y.push_back(p.objectives[1]);
+    }
+    for (const opt::ParetoPoint& p : trad_partitioned.points()) {
+      trad_frontier.x.push_back(p.objectives[0]);
+      trad_frontier.y.push_back(p.objectives[1]);
+    }
+    viz::PlotConfig plot;
+    plot.x_label = "test error (%)";
+    plot.y_label = performance_objective == core::kEnergyObjective ? "mJ" : "ms";
+    plot.log_y = true;  // explored costs span decades
+    std::fputs(
+        viz::scatter_plot({lens_points, trad_points, trad_frontier, lens_frontier}, plot)
+            .c_str(),
+        stdout);
+  }
+
+  auto print_front = [&](const char* name, const opt::ParetoFront& front) {
+    std::printf("%s frontier (%zu members): ", name, front.size());
+    for (const opt::ParetoPoint& p : front.points()) {
+      std::printf("(%.1f%%, %.0f%s) ", p.objectives[0], p.objectives[1], unit);
+    }
+    std::printf("\n");
+  };
+  print_front("LENS", lens_front);
+  print_front("Traditional", trad_front);
+  print_front("Traditional+partitioning", trad_partitioned);
+
+  const core::FrontComparison raw = core::compare_fronts(lens_front, trad_front);
+  const core::FrontComparison part = core::compare_fronts(lens_front, trad_partitioned);
+  std::printf("\nLENS dominates raw Traditional frontier      : %5.1f%%\n",
+              100.0 * raw.a_dominates_b);
+  std::printf("LENS dominates partitioned Traditional       : %5.1f%%   (paper: %s)\n",
+              100.0 * part.a_dominates_b,
+              performance_objective == core::kEnergyObjective ? "60%" : "66.67%");
+  std::printf("partitioned Traditional dominates LENS       : %5.1f%%   (paper: %s)\n",
+              100.0 * part.b_dominates_a,
+              performance_objective == core::kEnergyObjective ? "15.38%" : "14.28%");
+  std::printf("combined frontier formed by LENS             : %5.1f%%   (paper: %s)\n",
+              100.0 * part.combined.fraction_a,
+              performance_objective == core::kEnergyObjective ? "76.47%" : "75%");
+
+  // Hypervolume as an aggregate quality indicator (reference: worst corner
+  // over both histories, padded 5%).
+  double ref_error = 0.0;
+  double ref_perf = 0.0;
+  for (const auto* result : {&lens_result, &traditional_result}) {
+    for (const core::EvaluatedCandidate& c : result->history) {
+      ref_error = std::max(ref_error, c.error_percent);
+      ref_perf = std::max(ref_perf, core::objective_value(c, performance_objective,
+                                                          core::DeploymentPolicy::kAllEdge));
+    }
+  }
+  const std::vector<double> reference = {1.05 * ref_error, 1.05 * ref_perf};
+  auto points_of = [](const opt::ParetoFront& front) {
+    std::vector<std::vector<double>> pts;
+    for (const auto& p : front.points()) pts.push_back(p.objectives);
+    return pts;
+  };
+  const double hv_lens = opt::hypervolume(points_of(lens_front), reference);
+  const double hv_trad = opt::hypervolume(points_of(trad_partitioned), reference);
+  std::printf("hypervolume: LENS %.3g vs partitioned Traditional %.3g (ratio %.2f)\n",
+              hv_lens, hv_trad, hv_lens / hv_trad);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lens;
+  bench::Testbed testbed = bench::Testbed::gpu_wifi();
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+
+  const unsigned seeds = bench::search_seeds();
+  std::printf("search budget: %zu random + %zu MOBO iterations per method, %u seed(s)%s\n",
+              bench::search_initial(), bench::search_iterations(), seeds,
+              bench::fast_mode() ? " (LENS_BENCH_FAST)" : "");
+
+  core::NasResult lens_result;
+  core::NasResult traditional_result;
+  for (unsigned seed = 1; seed <= seeds; ++seed) {
+    core::NasConfig lens_config;
+    lens_config.mobo.num_initial = bench::search_initial();
+    lens_config.mobo.num_iterations = bench::search_iterations();
+    lens_config.mobo.seed = seed;
+    lens_config.tu_mbps = 3.0;
+    lens_config.mode = core::ObjectiveMode::kBestDeployment;
+    core::NasConfig traditional_config = lens_config;
+    traditional_config.mode = core::ObjectiveMode::kAllEdgeOnly;
+
+    core::NasDriver lens(space, testbed.evaluator, accuracy, lens_config);
+    const core::NasResult lens_run = lens.run();
+    core::NasDriver traditional(space, testbed.evaluator, accuracy, traditional_config);
+    const core::NasResult traditional_run = traditional.run();
+    std::printf("seed %u done (%zu + %zu candidates)\n", seed, lens_run.history.size(),
+                traditional_run.history.size());
+    if (seed == 1) {
+      lens_result = lens_run;
+      traditional_result = traditional_run;
+    } else {
+      // Pool explored candidates across seeds (the paper reports one run;
+      // pooling several makes the domination statistics less seed-bound).
+      for (const core::EvaluatedCandidate& c : lens_run.history) {
+        lens_result.front.insert(lens_result.history.size(), c.objectives());
+        lens_result.history.push_back(c);
+      }
+      for (const core::EvaluatedCandidate& c : traditional_run.history) {
+        traditional_result.front.insert(traditional_result.history.size(), c.objectives());
+        traditional_result.history.push_back(c);
+      }
+    }
+  }
+
+  analyze_projection("Fig. 6 -- energy vs error projection", lens_result,
+                     traditional_result, core::kEnergyObjective);
+  analyze_projection("Fig. 6 (companion) -- latency vs error projection", lens_result,
+                     traditional_result, core::kLatencyObjective);
+
+  // The paper's qualitative observation ("no architecture with energy below
+  // 207 mJ is identified" by Traditional): at a fixed accuracy level, the
+  // Traditional search is blind to the energies partitioning can reach.
+  auto accuracy_constrained_floor = [](const core::NasResult& result) {
+    double floor = 1e300;
+    for (const core::EvaluatedCandidate& c : result.history) {
+      if (c.error_percent < 20.0) floor = std::min(floor, c.energy_mj);
+    }
+    return floor;
+  };
+  bench::heading("Qualitative check (energy floor among Err < 20% candidates)");
+  std::printf("LENS (best-deployment objective)   : %.0f mJ\n",
+              accuracy_constrained_floor(lens_result));
+  std::printf("Traditional (All-Edge objective)   : %.0f mJ (blind to partitioning gains)\n",
+              accuracy_constrained_floor(traditional_result));
+  return 0;
+}

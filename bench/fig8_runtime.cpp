@@ -1,0 +1,207 @@
+// Fig. 8 reproduction (paper §V-C): runtime resilience of two LENS frontier
+// models against throughput variability.
+//
+// Model A is optimized for energy (runtime options: best partition +
+// All-Edge); model B for latency (best partition + All-Cloud). Pairwise
+// thresholds are computed analytically (the paper's examples: partitioned
+// beats All-Edge on energy above 6.77 Mbps for A; All-Cloud beats the
+// partition on latency above 22.77 Mbps for B), then cumulative cost over
+// an LTE throughput trace is compared for fixed options vs the dynamic
+// tracker-driven switcher (paper gains: A +0.55%/+3.22%, B +3.46%/+40.21%).
+//
+// Model selection mirrors the paper: A and B are chosen from the frontier
+// *because* their thresholds fall inside the throughput range the trace
+// visits — that is what makes the runtime question interesting.
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.hpp"
+#include "comm/trace.hpp"
+#include "runtime/deployer.hpp"
+#include "viz/ascii.hpp"
+
+namespace {
+
+using namespace lens;
+
+/// Crossover throughput of two options under a metric, if any.
+std::optional<double> pair_threshold(const core::DeploymentOption& a,
+                                     const core::DeploymentOption& b,
+                                     const comm::CommModel& comm,
+                                     runtime::OptimizeFor metric) {
+  return runtime::crossover_tu(runtime::cost_curve(a, comm, metric),
+                               runtime::cost_curve(b, comm, metric));
+}
+
+void run_model(const char* title, const std::string& name,
+               const core::DeploymentOption& design_choice,
+               const core::DeploymentOption& alternative, const comm::CommModel& comm,
+               runtime::OptimizeFor metric, const comm::ThroughputTrace& trace) {
+  bench::heading(title);
+  const char* unit = metric == runtime::OptimizeFor::kEnergy ? "mJ" : "ms";
+
+  const runtime::DynamicDeployer deployer({design_choice, alternative}, comm, metric, 0.05,
+                                          500.0);
+  std::printf("model %s | options: %s (design-time choice) vs %s\n", name.c_str(),
+              core::deployment_kind_name(design_choice.kind).c_str(),
+              core::deployment_kind_name(alternative.kind).c_str());
+  if (const auto threshold = pair_threshold(design_choice, alternative, comm, metric)) {
+    std::printf("analytic switching threshold: t_u = %.2f Mbps (paper's examples: "
+                "6.77 / 22.77 Mbps)\n", *threshold);
+  }
+  std::printf("dominance intervals over t_u:\n");
+  for (const runtime::DominanceInterval& iv : deployer.intervals()) {
+    std::printf("  [%7.2f, %7.2f) Mbps -> %s\n", iv.tu_low, iv.tu_high,
+                core::deployment_kind_name(deployer.options()[iv.option_index].kind).c_str());
+  }
+
+  const runtime::PlaybackResult dynamic = deployer.play_dynamic(trace);
+  const runtime::PlaybackResult fixed_design = deployer.play_fixed(trace, 0);
+  const runtime::PlaybackResult fixed_alt = deployer.play_fixed(trace, 1);
+
+  std::printf("\ncumulative cost over %zu trace samples (every %.0f s):\n", trace.size(),
+              trace.interval_s);
+  std::printf("  dynamic switching : %10.1f %s\n", dynamic.total_cost, unit);
+  std::printf("  fixed %-11s : %10.1f %s (dynamic gain %+5.2f%%)\n",
+              core::deployment_kind_name(design_choice.kind).c_str(),
+              fixed_design.total_cost, unit,
+              100.0 * (fixed_design.total_cost - dynamic.total_cost) /
+                  fixed_design.total_cost);
+  std::printf("  fixed %-11s : %10.1f %s (dynamic gain %+5.2f%%)\n",
+              core::deployment_kind_name(alternative.kind).c_str(), fixed_alt.total_cost,
+              unit,
+              100.0 * (fixed_alt.total_cost - dynamic.total_cost) / fixed_alt.total_cost);
+
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < dynamic.chosen_option.size(); ++i) {
+    if (dynamic.chosen_option[i] != dynamic.chosen_option[i - 1]) ++switches;
+  }
+  std::printf("  option switches along the trace: %zu\n\n", switches);
+
+  // The figure itself: cumulative cost over the trace per policy.
+  auto cumulative_series = [&](const char* label, char glyph,
+                               const runtime::PlaybackResult& playback) {
+    viz::Series s{label, glyph, {}, {}};
+    for (std::size_t i = 0; i < playback.cumulative_cost.size(); ++i) {
+      s.x.push_back(static_cast<double>(i) * trace.interval_s / 60.0);  // minutes
+      s.y.push_back(playback.cumulative_cost[i]);
+    }
+    return s;
+  };
+  viz::PlotConfig plot;
+  plot.height = 14;
+  plot.x_label = "trace time (min)";
+  plot.y_label = unit;
+  // Draw order matters for overlap: the dynamic curve hugs the better fixed
+  // option, so it is drawn last to stay visible.
+  std::fputs(viz::line_plot({cumulative_series("fixed alternative", 'a', fixed_alt),
+                             cumulative_series("fixed design choice", 'f', fixed_design),
+                             cumulative_series("dynamic", 'd', dynamic)},
+                            plot)
+                 .c_str(),
+             stdout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lens;
+
+  // Design-time rig: TX2 GPU with an LTE uplink, expected t_u = 12 Mbps —
+  // the same environment the runtime traces are drawn from (the paper's
+  // §V-C uses an LTE connection).
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::RooflinePredictor predictor =
+      perf::RooflinePredictor::train(sim, {.samples_per_kind = 500, .seed = 11});
+  const comm::CommModel lte(comm::WirelessTechnology::kLte, 10.0);
+  const core::DeploymentEvaluator evaluator(predictor, lte);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+
+  core::NasConfig config;
+  config.mobo.num_initial = 16;
+  config.mobo.num_iterations = bench::fast_mode() ? 24 : 80;
+  config.mobo.seed = 3;
+  config.tu_mbps = 12.0;
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+  std::printf("LENS search done (%zu candidates, %zu frontier members)\n",
+              result.history.size(), result.front.size());
+
+  // LTE runtime traces: 40 samples every 5 minutes (TestMyNet substitute).
+  comm::TraceGeneratorConfig trace_config;
+  trace_config.mean_mbps = 12.0;
+  trace_config.sigma = 0.6;
+  trace_config.correlation = 0.65;
+  trace_config.seed = 17;
+  comm::TraceGenerator generator(trace_config);
+  const comm::ThroughputTrace trace = generator.generate(40, 300.0);
+  std::printf("LTE trace: mean %.1f Mbps, min %.1f, max %.1f\n", trace.mean_mbps(),
+              trace.min_mbps(), trace.max_mbps());
+
+  // Model A: frontier member whose (partition vs All-Edge) energy threshold
+  // lies inside the trace's range -- runtime switching is live for it.
+  // Model B: member whose (partition vs All-Cloud) latency threshold lies in
+  // range. Fall back to the closest threshold when none lands inside.
+  const double lo = trace.min_mbps();
+  const double hi = trace.max_mbps();
+  const core::EvaluatedCandidate* model_a = nullptr;
+  core::DeploymentOption a_part, a_edge;
+  double a_score = 1e300;
+  const core::EvaluatedCandidate* model_b = nullptr;
+  core::DeploymentOption b_part, b_cloud;
+  double b_score = 1e300;
+
+  auto centered_distance = [&](double threshold) {
+    // 0 when inside [lo, hi]; distance outside otherwise (log domain).
+    if (threshold >= lo && threshold <= hi) {
+      return std::abs(std::log(threshold / trace.mean_mbps()));
+    }
+    return 10.0 + std::abs(std::log(threshold / trace.mean_mbps()));
+  };
+
+  for (const opt::ParetoPoint& p : result.front.points()) {
+    const core::EvaluatedCandidate& c = result.history[p.id];
+    for (const core::DeploymentOption& o : c.deployment.options) {
+      if (o.kind != core::DeploymentKind::kPartitioned) continue;
+      if (const auto t = pair_threshold(o, c.deployment.all_edge(), lte,
+                                        runtime::OptimizeFor::kEnergy)) {
+        const double score = centered_distance(*t);
+        if (score < a_score) {
+          a_score = score;
+          model_a = &c;
+          a_part = o;
+          a_edge = c.deployment.all_edge();
+        }
+      }
+      if (const auto t = pair_threshold(o, c.deployment.all_cloud(), lte,
+                                        runtime::OptimizeFor::kLatency)) {
+        const double score = centered_distance(*t);
+        if (score < b_score) {
+          b_score = score;
+          model_b = &c;
+          b_part = o;
+          b_cloud = c.deployment.all_cloud();
+        }
+      }
+    }
+  }
+  if (model_a == nullptr || model_b == nullptr) {
+    std::printf("no frontier member exposes a live threshold; rerun with more "
+                "iterations\n");
+    return 1;
+  }
+
+  run_model("Fig. 8 (left) -- model A, energy", model_a->name, a_part, a_edge, lte,
+            runtime::OptimizeFor::kEnergy, trace);
+  run_model("Fig. 8 (right) -- model B, latency", model_b->name, b_part, b_cloud, lte,
+            runtime::OptimizeFor::kLatency, trace);
+
+  bench::heading("Takeaway");
+  std::printf("dynamic switching adds a few %% over the design-time choice and a lot over\n"
+              "the wrong fixed option -- the paper's argument that most of the efficiency\n"
+              "is already captured by deploying each model per its design-time best.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table I reproduction: preferred AlexNet deployment option per region
+// (average user upload throughput from OpenSignal 2020), device capability,
+// and optimization metric.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dnn/presets.hpp"
+
+int main() {
+  using namespace lens;
+  const dnn::Architecture alexnet = dnn::alexnet();
+  perf::DeviceSimulator gpu_sim(perf::jetson_tx2_gpu());
+  perf::DeviceSimulator cpu_sim(perf::jetson_tx2_cpu());
+  const perf::SimulatorOracle gpu(gpu_sim);
+  const perf::SimulatorOracle cpu(cpu_sim);
+  const core::DeploymentEvaluator gpu_wifi(
+      gpu, comm::CommModel(comm::WirelessTechnology::kWifi, 5.0));
+  const core::DeploymentEvaluator cpu_lte(
+      cpu, comm::CommModel(comm::WirelessTechnology::kLte, 5.0));
+
+  struct Region {
+    const char* name;
+    double tu_mbps;
+    // Paper Table I expectations, for side-by-side comparison.
+    const char* paper[4];
+  };
+  const Region regions[] = {
+      {"S. Korea", 16.1, {"All-Edge", "Pool5", "All-Cloud", "All-Cloud"}},
+      {"USA", 7.5, {"All-Edge", "Pool5", "Pool5", "All-Cloud"}},
+      {"Afghanistan", 0.7, {"All-Edge", "All-Edge", "All-Edge", "Pool5"}},
+  };
+
+  bench::heading("Table I -- deployment preference per region / device / metric");
+  std::printf("%-12s %6s | %-22s %-22s | %-22s %-22s\n", "region", "t_u", "GPU/WiFi latency",
+              "GPU/WiFi energy", "CPU/LTE latency", "CPU/LTE energy");
+  std::printf("%-12s %6s | %-22s %-22s | %-22s %-22s\n", "", "(Mbps)", "(ours / paper)",
+              "(ours / paper)", "(ours / paper)", "(ours / paper)");
+  bench::rule(120);
+
+  int matches = 0;
+  for (const Region& region : regions) {
+    const core::DeploymentEvaluation g = gpu_wifi.evaluate(alexnet, region.tu_mbps);
+    const core::DeploymentEvaluation c = cpu_lte.evaluate(alexnet, region.tu_mbps);
+    const std::string ours[4] = {
+        g.latency_choice().label(alexnet), g.energy_choice().label(alexnet),
+        c.latency_choice().label(alexnet), c.energy_choice().label(alexnet)};
+    std::string cells[4];
+    for (int k = 0; k < 4; ++k) {
+      // Paper labels "Pool5" = our "split@pool5".
+      const std::string paper =
+          std::string(region.paper[k]) == "Pool5" ? "split@pool5" : region.paper[k];
+      const bool match = ours[k] == paper;
+      matches += match ? 1 : 0;
+      cells[k] = ours[k] + (match ? " [=]" : " [!" + paper + "]");
+    }
+    std::printf("%-12s %6.1f | %-22s %-22s | %-22s %-22s\n", region.name, region.tu_mbps,
+                cells[0].c_str(), cells[1].c_str(), cells[2].c_str(), cells[3].c_str());
+  }
+  bench::rule(120);
+  std::printf("cells matching the paper's Table I: %d / 12\n", matches);
+  return 0;
+}

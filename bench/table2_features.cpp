@@ -1,0 +1,46 @@
+// Table II reproduction: qualitative feature comparison of LENS against
+// Neurosurgeon (NS), SIEVE, and the input-dependent RNN mapping work —
+// cross-referenced against what this repository actually implements.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using lens::bench::heading;
+  using lens::bench::rule;
+
+  heading("Table II -- supported features for DNN optimization in edge-cloud hierarchies");
+  struct Row {
+    const char* feature;
+    const char* lens;
+    const char* ns;
+    const char* sieve;
+    const char* rnn;
+    const char* where;  // where this repo implements the LENS column
+  };
+  const Row rows[] = {
+      {"Design automation", "yes", "-", "yes", "-", "core::NasDriver (Alg. 2)"},
+      {"NAS support", "yes", "-", "-", "-", "core::SearchSpace + opt::MoboEngine"},
+      {"Wireless expectancy at design time", "yes", "-", "-", "-",
+       "core::DeploymentEvaluator(t_u)"},
+      {"Multi-objective optimization", "yes", "-", "yes", "-",
+       "opt::MoboEngine (3 objectives)"},
+      {"Runtime optimization", "yes", "yes", "yes", "yes",
+       "runtime::DynamicDeployer"},
+      {"E-C layer partitioning", "yes", "yes", "-", "-",
+       "Alg. 1 split-point scan"},
+      {"Compression", "-", "-", "yes", "-", "(out of scope, as in the paper)"},
+      {"Hardware optimization", "-", "-", "yes", "-", "(out of scope, as in the paper)"},
+  };
+  std::printf("%-36s %-6s %-6s %-7s %-5s %s\n", "feature", "LENS", "NS[3]", "SIEVE[1]",
+              "RNN[2]", "implemented by");
+  rule(110);
+  for (const Row& row : rows) {
+    std::printf("%-36s %-6s %-6s %-7s %-5s %s\n", row.feature, row.lens, row.ns, row.sieve,
+                row.rnn, row.where);
+  }
+  rule(110);
+  std::printf("all LENS-column features are exercised by the test suite and benches.\n");
+  return 0;
+}

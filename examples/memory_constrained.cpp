@@ -1,0 +1,56 @@
+// Memory-constrained deployment: edge devices rarely have room for a full
+// model's weights. This example sweeps the edge memory budget and shows how
+// the feasible deployment-option set — and the best achievable latency /
+// energy — degrades gracefully toward All-Cloud, and how partitioning lets
+// a device that cannot hold the full model still do useful local work.
+
+#include <cstdio>
+
+#include "core/evaluator.hpp"
+#include "dnn/presets.hpp"
+#include "dnn/summary.hpp"
+#include "perf/predictor.hpp"
+
+int main() {
+  using namespace lens;
+
+  const dnn::Architecture model = dnn::alexnet();
+  std::printf("%s", dnn::summary(model).c_str());
+
+  perf::DeviceSimulator device(perf::jetson_tx2_gpu());
+  const perf::RooflinePredictor predictor =
+      perf::RooflinePredictor::train(device, {.samples_per_kind = 400, .seed = 9});
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const double tu = 8.0;
+
+  std::printf("\nedge memory budget sweep @ %.0f Mbps WiFi:\n", tu);
+  std::printf("%-12s %9s %-14s %10s | %-14s %10s\n", "budget", "#options", "latency best",
+              "ms", "energy best", "mJ");
+  const std::uint64_t mb = 1ULL << 20;
+  const std::uint64_t budgets[] = {0 /*unlimited*/, 512 * mb, 256 * mb, 64 * mb,
+                                   16 * mb,         4 * mb,   64 * 1024};
+  for (std::uint64_t budget : budgets) {
+    core::EvaluatorConfig config;
+    config.edge_memory_budget_bytes = budget;
+    const core::DeploymentEvaluator evaluator(predictor, wifi, config);
+    const core::DeploymentEvaluation eval = evaluator.evaluate(model, tu);
+    char label[32];
+    if (budget == 0) {
+      std::snprintf(label, sizeof label, "unlimited");
+    } else if (budget >= mb) {
+      std::snprintf(label, sizeof label, "%llu MB",
+                    static_cast<unsigned long long>(budget / mb));
+    } else {
+      std::snprintf(label, sizeof label, "%llu kB",
+                    static_cast<unsigned long long>(budget / 1024));
+    }
+    std::printf("%-12s %9zu %-14s %10.1f | %-14s %10.1f\n", label, eval.options.size(),
+                eval.latency_choice().label(model).c_str(), eval.best_latency_ms(),
+                eval.energy_choice().label(model).c_str(), eval.best_energy_mj());
+  }
+
+  std::printf("\nnote: AlexNet carries ~244 MB of fp32 weights, ~94%% of them in the FC\n"
+              "layers. A 64 MB device cannot run All-Edge, but the pool5 split keeps the\n"
+              "15 MB conv trunk local -- partitioning is also a memory-fit mechanism.\n");
+  return 0;
+}

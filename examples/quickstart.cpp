@@ -1,0 +1,60 @@
+// Quickstart: the whole LENS pipeline in ~60 lines.
+//
+//   1. Stand up an edge device model and train layer-performance predictors.
+//   2. Describe the wireless environment (technology + expected t_u).
+//   3. Run a small multi-objective NAS over the paper's search space.
+//   4. Print the Pareto-optimal architectures with their best deployments.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/accuracy.hpp"
+#include "core/nas.hpp"
+#include "perf/predictor.hpp"
+
+int main() {
+  using namespace lens;
+
+  // 1. Edge device: TX2-class GPU. The simulator stands in for profiling a
+  //    physical board; the predictors are what LENS actually queries.
+  perf::DeviceSimulator device(perf::jetson_tx2_gpu());
+  const perf::RooflinePredictor predictor =
+      perf::RooflinePredictor::train(device, {.samples_per_kind = 400, .seed = 1});
+  for (const auto& [kind, v] : predictor.validation()) {
+    std::printf("predictor[%s]: held-out latency R^2 = %.3f, MAPE = %.1f%%\n",
+                dnn::kind_name(kind).c_str(), v.latency_r2, v.latency_mape);
+  }
+
+  // 2. Wireless environment: WiFi uplink, 3 Mbps expected, 5 ms round trip.
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, /*round_trip_ms=*/5.0);
+  const core::DeploymentEvaluator evaluator(predictor, wifi);
+
+  // 3. Search the paper's VGG-derived space (Fig. 4) for architectures that
+  //    jointly minimize test error, latency, and edge energy — each
+  //    candidate scored under its best edge/cloud split (Algorithm 1).
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;  // 10-epoch CIFAR-10 surrogate
+  core::NasConfig config;
+  config.mobo.num_initial = 12;
+  config.mobo.num_iterations = 30;  // paper uses 300; small for a demo
+  config.mobo.seed = 7;
+  config.tu_mbps = 3.0;
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+
+  // 4. Report the frontier.
+  std::printf("\nexplored %zu candidates; Pareto frontier has %zu members:\n",
+              result.history.size(), result.front.size());
+  std::printf("%-14s %8s %10s %10s  %-14s %-14s\n", "architecture", "err (%)", "lat (ms)",
+              "ene (mJ)", "latency split", "energy split");
+  for (const opt::ParetoPoint& p : result.front.points()) {
+    const core::EvaluatedCandidate& c = result.history[p.id];
+    const dnn::Architecture arch = space.decode(c.genotype);
+    std::printf("%-14s %8.1f %10.1f %10.1f  %-14s %-14s\n", c.name.c_str(),
+                c.error_percent, c.latency_ms, c.energy_mj,
+                c.deployment.latency_choice().label(arch).c_str(),
+                c.deployment.energy_choice().label(arch).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Regional deployment planning (the paper's Table I workflow, §II-B):
+// given an architecture you intend to ship, find its best edge-cloud
+// deployment option for every target market's expected uplink throughput,
+// across device capabilities and radio technologies.
+
+#include <cstdio>
+
+#include "core/accuracy.hpp"
+#include "core/nas.hpp"
+#include "core/portfolio.hpp"
+#include "dnn/presets.hpp"
+#include "perf/predictor.hpp"
+
+int main() {
+  using namespace lens;
+
+  // The model being shipped: classic AlexNet (swap in your own stack).
+  const dnn::Architecture model = dnn::alexnet();
+  std::printf("model: %s (%llu params, %.2f GFLOP, input %llu bytes)\n",
+              model.name().c_str(), static_cast<unsigned long long>(model.total_params()),
+              static_cast<double>(model.total_flops()) / 1e9,
+              static_cast<unsigned long long>(model.input_bytes()));
+
+  // Edge devices under consideration.
+  perf::DeviceSimulator gpu(perf::jetson_tx2_gpu());
+  perf::DeviceSimulator cpu(perf::jetson_tx2_cpu());
+  const perf::RooflinePredictor gpu_predictor =
+      perf::RooflinePredictor::train(gpu, {.samples_per_kind = 400, .seed = 2});
+  const perf::RooflinePredictor cpu_predictor =
+      perf::RooflinePredictor::train(cpu, {.samples_per_kind = 400, .seed = 3});
+
+  // Target markets: OpenSignal-style average user upload throughputs.
+  struct Market {
+    const char* name;
+    double tu_mbps;
+  };
+  const Market markets[] = {
+      {"S. Korea", 16.1}, {"Japan", 13.6},      {"Germany", 9.7},
+      {"USA", 7.5},       {"Brazil", 5.3},      {"India", 3.1},
+      {"Nigeria", 2.2},   {"Afghanistan", 0.7},
+  };
+
+  struct Rig {
+    const char* label;
+    const perf::LayerPerformanceModel* predictor;
+    comm::WirelessTechnology technology;
+  };
+  const Rig rigs[] = {
+      {"GPU/WiFi", &gpu_predictor, comm::WirelessTechnology::kWifi},
+      {"CPU/LTE", &cpu_predictor, comm::WirelessTechnology::kLte},
+      {"CPU/3G", &cpu_predictor, comm::WirelessTechnology::k3G},
+  };
+
+  for (const Rig& rig : rigs) {
+    const comm::CommModel comm(rig.technology, 5.0);
+    const core::DeploymentEvaluator evaluator(*rig.predictor, comm);
+    std::printf("\n=== %s ===\n", rig.label);
+    std::printf("%-12s %6s | %-13s %9s | %-13s %9s\n", "market", "t_u", "latency split",
+                "ms", "energy split", "mJ");
+    for (const Market& market : markets) {
+      const core::DeploymentEvaluation result = evaluator.evaluate(model, market.tu_mbps);
+      std::printf("%-12s %6.1f | %-13s %9.1f | %-13s %9.1f\n", market.name, market.tu_mbps,
+                  result.latency_choice().label(model).c_str(), result.best_latency_ms(),
+                  result.energy_choice().label(model).c_str(), result.best_energy_mj());
+    }
+  }
+
+  std::printf("\ninterpretation: the same architecture should ship with different\n"
+              "deployment configurations per region -- the paper's design-time argument.\n");
+
+  // Going further: instead of shipping a fixed architecture, search once and
+  // pick the frontier model whose *mean energy across all markets* is best,
+  // under an accuracy bound (multi-region portfolio planning).
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(gpu_predictor, wifi);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+  core::NasConfig nas_config;
+  nas_config.mobo.num_initial = 12;
+  nas_config.mobo.num_iterations = 24;
+  nas_config.mobo.seed = 13;
+  core::NasDriver driver(space, evaluator, accuracy, nas_config);
+  const core::NasResult result = driver.run();
+
+  std::vector<core::Region> regions;
+  for (const Market& market : markets) regions.push_back({market.name, market.tu_mbps});
+  core::PortfolioConfig portfolio_config;
+  portfolio_config.objective = core::kEnergyObjective;
+  portfolio_config.max_error_percent = 30.0;
+  const core::PortfolioResult plan =
+      core::plan_portfolio(result, space, evaluator, regions, portfolio_config);
+
+  std::printf("\nportfolio pick (GPU/WiFi, mean energy, Err <= 30%%): %s "
+              "(%.0f mJ on average)\n",
+              plan.architecture_name.c_str(), plan.aggregate_cost);
+  for (const core::RegionPlan& region_plan : plan.plans) {
+    std::printf("  %-12s -> %-13s %7.1f mJ\n", region_plan.region.name.c_str(),
+                region_plan.deployment_label.c_str(), region_plan.cost);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Runtime adaptation (paper §IV-E and Fig. 5): take a deployed model,
+// derive the t_u thresholds at which its preferred deployment flips, then
+// watch the dynamic switcher follow a fluctuating LTE uplink.
+
+#include <cstdio>
+
+#include "comm/trace.hpp"
+#include "core/evaluator.hpp"
+#include "dnn/presets.hpp"
+#include "perf/predictor.hpp"
+#include "runtime/deployer.hpp"
+
+int main() {
+  using namespace lens;
+
+  const dnn::Architecture model = dnn::alexnet();
+  perf::DeviceSimulator device(perf::jetson_tx2_gpu());
+  const perf::RooflinePredictor predictor =
+      perf::RooflinePredictor::train(device, {.samples_per_kind = 400, .seed = 5});
+  // WiFi uplink: the radio's low idle coefficient is what makes AlexNet's
+  // pool5 split worth taking on energy once t_u clears ~2 Mbps (Fig. 2).
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 10.0);
+  const core::DeploymentEvaluator evaluator(predictor, wifi);
+
+  // Design-time: evaluate every deployment option once (the t_u used here
+  // only picks the representative options; the curves are throughput-free).
+  const core::DeploymentEvaluation evaluation = evaluator.evaluate(model, 10.0);
+  std::vector<core::DeploymentOption> options = {
+      evaluation.all_cloud(),
+      evaluation.energy_choice().kind == core::DeploymentKind::kPartitioned
+          ? evaluation.energy_choice()
+          : evaluation.options[1],
+      evaluation.all_edge(),
+  };
+
+  const runtime::DynamicDeployer deployer(options, wifi, runtime::OptimizeFor::kEnergy,
+                                          0.05, 300.0);
+  std::printf("energy-optimal deployment as a function of uplink throughput:\n");
+  for (const runtime::DominanceInterval& iv : deployer.intervals()) {
+    std::printf("  t_u in [%7.2f, %7.2f) Mbps -> %s\n", iv.tu_low, iv.tu_high,
+                options[iv.option_index].label(model).c_str());
+  }
+
+  // Runtime: play a day's worth of 5-minute WiFi uplink samples through the
+  // tracker-driven switcher.
+  comm::TraceGeneratorConfig trace_config;
+  trace_config.mean_mbps = 1.5;  // congested AP: straddles the switching threshold
+  trace_config.sigma = 0.7;
+  trace_config.correlation = 0.7;
+  trace_config.seed = 11;
+  comm::TraceGenerator generator(trace_config);
+  const comm::ThroughputTrace trace = generator.generate(288, 300.0);  // 24 h
+
+  const runtime::PlaybackResult dynamic = deployer.play_dynamic(trace);
+  std::printf("\n24 h WiFi trace (mean %.1f Mbps): cumulative energy per policy\n",
+              trace.mean_mbps());
+  std::printf("  dynamic switching : %10.0f mJ\n", dynamic.total_cost);
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    const runtime::PlaybackResult fixed = deployer.play_fixed(trace, i);
+    std::printf("  fixed %-12s: %10.0f mJ (dynamic saves %+5.2f%%)\n",
+                options[i].label(model).c_str(), fixed.total_cost,
+                100.0 * (fixed.total_cost - dynamic.total_cost) / fixed.total_cost);
+  }
+
+  // A short excerpt of the switching behaviour.
+  std::printf("\nfirst 12 samples:\n  %-8s %-10s %s\n", "t (min)", "t_u (Mbps)", "choice");
+  for (std::size_t i = 0; i < 12; ++i) {
+    std::printf("  %-8zu %-10.2f %s\n", i * 5, trace.samples_mbps[i],
+                options[dynamic.chosen_option[i]].label(model).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Serving simulation: pick a model from a LENS search with the knee-point
+// rule, then put it under a realistic request stream with a fluctuating
+// uplink and compare serving policies — the full design-time -> runtime ->
+// system-level pipeline in one program.
+
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/nas.hpp"
+#include "dnn/summary.hpp"
+#include "perf/predictor.hpp"
+#include "sim/system.hpp"
+
+int main() {
+  using namespace lens;
+
+  // Design time: small LENS search on the paper's space.
+  perf::DeviceSimulator device(perf::jetson_tx2_gpu());
+  const perf::RooflinePredictor predictor =
+      perf::RooflinePredictor::train(device, {.samples_per_kind = 400, .seed = 3});
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor, wifi);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+  core::NasConfig config;
+  config.mobo.num_initial = 12;
+  config.mobo.num_iterations = 28;
+  config.mobo.seed = 19;
+  config.tu_mbps = 8.0;
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+
+  // Model selection: the knee of the (error, latency, energy) front.
+  const opt::ParetoPoint& knee = core::knee_point(result.front);
+  const core::EvaluatedCandidate& model = result.history[knee.id];
+  const dnn::Architecture arch = space.decode(model.genotype);
+  std::printf("knee-point model %s: err %.1f%%, lat %.1f ms, ene %.1f mJ\n",
+              model.name.c_str(), model.error_percent, model.latency_ms, model.energy_mj);
+  std::printf("%s\n", dnn::signature(arch).c_str());
+
+  // Runtime environment: correlated WiFi trace (1-second granularity so the
+  // simulated transfers see realistic variation).
+  comm::TraceGeneratorConfig trace_config;
+  trace_config.mean_mbps = 8.0;
+  trace_config.sigma = 0.5;
+  trace_config.correlation = 0.8;
+  trace_config.seed = 23;
+  comm::TraceGenerator generator(trace_config);
+  const comm::ThroughputTrace trace = generator.generate(600, 1.0);
+
+  std::printf("\nserving 120 s of Poisson traffic at increasing request rates:\n");
+  std::printf("%-8s | %-22s | %-22s\n", "req/s", "design-time option (P50/P99 ms)",
+              "queue-aware (P50/P99 ms)");
+  for (double rate : {5.0, 15.0, 30.0, 45.0}) {
+    sim::SimStats fixed_stats;
+    sim::SimStats dynamic_stats;
+    {
+      sim::SimConfig sim_config;
+      sim_config.duration_s = 120.0;
+      sim_config.arrival_rate_hz = rate;
+      sim_config.policy = sim::DispatchPolicy::kFixed;
+      sim_config.fixed_option = model.deployment.best_latency_option;
+      sim::EdgeCloudSystem system(model.deployment.options, wifi, trace, sim_config);
+      fixed_stats = system.run();
+    }
+    {
+      sim::SimConfig sim_config;
+      sim_config.duration_s = 120.0;
+      sim_config.arrival_rate_hz = rate;
+      sim_config.policy = sim::DispatchPolicy::kQueueAware;
+      sim::EdgeCloudSystem system(model.deployment.options, wifi, trace, sim_config);
+      dynamic_stats = system.run();
+    }
+    std::printf("%-8.0f | %9.0f / %-10.0f | %9.0f / %-10.0f\n", rate,
+                fixed_stats.p50_latency_ms, fixed_stats.p99_latency_ms,
+                dynamic_stats.p50_latency_ms, dynamic_stats.p99_latency_ms);
+  }
+  std::printf("\nthe queue-aware dispatcher spreads load across the edge accelerator and\n"
+              "the radio as either queue builds up, holding the tail latency down at\n"
+              "request rates where the fixed design-time option saturates.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Real end-to-end training of a search-space candidate (the paper's actual
+// accuracy pipeline, at laptop scale): sample a genotype from a small
+// search space, decode it against a 16x16 training input, train it from
+// scratch on the procedural ShapeSet dataset, and report test error —
+// then contrast with the fast surrogate the big searches use.
+
+#include <cstdio>
+#include <random>
+
+#include "core/accuracy.hpp"
+#include "core/trained_accuracy.hpp"
+#include "nn/builder.hpp"
+#include "nn/dataset.hpp"
+
+int main() {
+  using namespace lens;
+
+  // A training-friendly slice of the paper's search space: 3 blocks,
+  // narrow filters, 16x16 inputs.
+  core::SearchSpaceConfig space_config;
+  space_config.input = {16, 16, 3};
+  space_config.num_blocks = 3;
+  space_config.depths = {1, 2};
+  space_config.kernels = {3, 5};
+  space_config.filters = {8, 12, 16};
+  space_config.fc_units = {32, 64};
+  space_config.min_pools = 2;
+  const core::SearchSpace space(space_config);
+
+  std::mt19937_64 rng(2024);
+  const core::Genotype genotype = space.random(rng);
+  const dnn::Architecture arch = space.decode(genotype);
+  std::printf("candidate %s: %zu layers, %llu params\n", arch.name().c_str(),
+              arch.num_layers(), static_cast<unsigned long long>(arch.total_params()));
+  for (const dnn::LayerInfo& info : arch.layers()) {
+    std::printf("  %-7s %3dx%-3dx%-4d -> %3dx%-3dx%-4d\n", info.name.c_str(),
+                info.input.height, info.input.width, info.input.channels,
+                info.output.height, info.output.width, info.output.channels);
+  }
+
+  // Train it for real: 1024 ShapeSet images, a few epochs.
+  nn::ShapeSet dataset({.image_size = 16, .num_classes = 10, .seed = 1});
+  const nn::LabeledData train = dataset.generate(1024);
+  const nn::LabeledData test = dataset.generate(256);
+  nn::Sequential network = nn::build_network(arch, rng);
+  nn::Trainer trainer(network, {.sgd = {.learning_rate = 0.01}, .batch_size = 32});
+  std::printf("\ntraining on %zu images (%zu held out):\n", train.size(), test.size());
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    const nn::EpochStats stats = trainer.train_epoch(train);
+    const nn::EpochStats eval = trainer.evaluate(test);
+    std::printf("  epoch %d: train loss %.3f acc %.1f%% | test err %.1f%%\n", epoch,
+                stats.mean_loss, 100.0 * stats.accuracy, eval.error_percent());
+  }
+  const double trained_error = trainer.evaluate(test).error_percent();
+
+  // The same objective through the reusable evaluator wrapper...
+  core::TrainedAccuracyConfig eval_config;
+  eval_config.train_samples = 1024;
+  eval_config.test_samples = 256;
+  eval_config.epochs = 6;
+  const core::TrainedAccuracyEvaluator trained_eval(space, eval_config);
+  const double wrapped_error = trained_eval.test_error_percent(genotype, arch);
+
+  // ...and the surrogate used by the 300-iteration searches.
+  const core::SurrogateAccuracyModel surrogate;
+  const double surrogate_error = surrogate.test_error_percent(genotype, arch);
+
+  std::printf("\ntest error: trained here %.1f%% | TrainedAccuracyEvaluator %.1f%% | "
+              "surrogate (CIFAR-10-band) %.1f%%\n",
+              trained_error, wrapped_error, surrogate_error);
+  std::printf("note: the surrogate is calibrated to 10-epoch CIFAR-10 error levels, not\n"
+              "ShapeSet; both provide the ranking signal the search needs.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "cli/args.hpp"
+
+#include <stdexcept>
+
+namespace lens::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::invalid_argument("Args: expected --option, got '" + token + "'");
+    }
+    const std::string key = token.substr(2);
+    // A following token that does not start with "--" is this option's
+    // value; otherwise the option is a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options_[key] = argv[i + 1];
+      i += 2;
+    } else {
+      args.options_[key] = "true";
+      ++i;
+    }
+  }
+  return args;
+}
+
+std::string Args::get(const std::string& key, const std::string& fallback) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: --" + key + " expects a number, got '" + it->second +
+                                "'");
+  }
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: --" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no") return false;
+  throw std::invalid_argument("Args: --" + key + " expects a boolean, got '" + it->second +
+                              "'");
+}
+
+void Args::expect_known(const std::set<std::string>& allowed) const {
+  for (const auto& [key, value] : options_) {
+    if (allowed.count(key) == 0) {
+      throw std::invalid_argument("Args: unknown option --" + key);
+    }
+  }
+}
+
+}  // namespace lens::cli

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal command-line argument parser for the lens-cli tool.
+//
+// Syntax: positional subcommand first, then --key value or --flag options.
+// Typed accessors validate and convert; unknown keys are detected so typos
+// fail loudly instead of silently using defaults.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lens::cli {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parse argv-style input (argv[0] is skipped). Throws
+  /// std::invalid_argument on malformed input (option without value,
+  /// value without option).
+  static Args parse(int argc, const char* const* argv);
+
+  /// The leading positional token ("" when none).
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+
+  /// String option with default.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+
+  /// Typed accessors; throw std::invalid_argument on unparseable values.
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Verify every provided option is in `allowed`; throws
+  /// std::invalid_argument naming the first unknown option otherwise.
+  void expect_known(const std::set<std::string>& allowed) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> options_;
+};
+
+}  // namespace lens::cli

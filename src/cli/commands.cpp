@@ -1,0 +1,268 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/analysis.hpp"
+#include "core/export.hpp"
+#include "core/nas.hpp"
+#include "dnn/presets.hpp"
+#include "dnn/summary.hpp"
+#include "perf/predictor.hpp"
+#include "runtime/deployer.hpp"
+#include "runtime/threshold_io.hpp"
+#include "sim/system.hpp"
+
+namespace lens::cli {
+
+namespace {
+
+comm::WirelessTechnology parse_tech(const std::string& name) {
+  if (name == "wifi") return comm::WirelessTechnology::kWifi;
+  if (name == "lte") return comm::WirelessTechnology::kLte;
+  if (name == "3g") return comm::WirelessTechnology::k3G;
+  throw std::invalid_argument("unknown --tech '" + name + "' (wifi|lte|3g)");
+}
+
+perf::DeviceProfile parse_device(const std::string& name) {
+  if (name == "tx2-gpu") return perf::jetson_tx2_gpu();
+  if (name == "tx2-cpu") return perf::jetson_tx2_cpu();
+  if (name == "embedded-cpu") return perf::embedded_cpu();
+  throw std::invalid_argument("unknown --device '" + name +
+                              "' (tx2-gpu|tx2-cpu|embedded-cpu)");
+}
+
+dnn::Architecture parse_arch(const std::string& name) {
+  if (name == "alexnet") return dnn::alexnet();
+  if (name == "vgg16") return dnn::vgg16();
+  throw std::invalid_argument("unknown --arch '" + name + "' (alexnet|vgg16)");
+}
+
+struct Rig {
+  perf::DeviceSimulator simulator;
+  perf::RooflinePredictor predictor;
+  comm::CommModel comm;
+  std::string tech_name;
+
+  static Rig from_args(const Args& args) {
+    perf::DeviceSimulator sim(parse_device(args.get("device", "tx2-gpu")));
+    perf::RooflinePredictor predictor =
+        perf::RooflinePredictor::train(sim, {.samples_per_kind = 400, .seed = 11});
+    const comm::WirelessTechnology tech = parse_tech(args.get("tech", "wifi"));
+    comm::CommModel comm(tech, args.get_double("rtt", 5.0));
+    return Rig{std::move(sim), std::move(predictor), comm, technology_name(tech)};
+  }
+};
+
+}  // namespace
+
+int cmd_evaluate(const Args& args) {
+  args.expect_known({"arch", "tu", "tech", "rtt", "device", "summary"});
+  Rig rig = Rig::from_args(args);
+  const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
+  const double tu = args.get_double("tu", 3.0);
+  if (args.get_bool("summary")) std::printf("%s\n", dnn::summary(arch).c_str());
+
+  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const core::DeploymentEvaluation result = evaluator.evaluate(arch, tu);
+  std::printf("%s @ %.1f Mbps %s (RTT %.0f ms, %s)\n", arch.name().c_str(), tu,
+              rig.tech_name.c_str(), rig.comm.round_trip_ms(),
+              rig.simulator.profile().name.c_str());
+  std::printf("%-14s %12s %12s %12s\n", "option", "latency(ms)", "energy(mJ)", "tx bytes");
+  for (const core::DeploymentOption& o : result.options) {
+    std::printf("%-14s %12.1f %12.1f %12llu\n", o.label(arch).c_str(), o.latency_ms,
+                o.energy_mj, static_cast<unsigned long long>(o.tx_bytes));
+  }
+  std::printf("best latency: %s | best energy: %s\n",
+              result.latency_choice().label(arch).c_str(),
+              result.energy_choice().label(arch).c_str());
+  return 0;
+}
+
+int cmd_search(const Args& args) {
+  args.expect_known({"iterations", "initial", "tu", "tech", "rtt", "device", "seed", "mode",
+                     "strategy", "out", "front-out", "resume"});
+  Rig rig = Rig::from_args(args);
+  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+
+  core::NasConfig config;
+  config.mobo.num_iterations = static_cast<std::size_t>(args.get_int("iterations", 60));
+  config.mobo.num_initial = static_cast<std::size_t>(args.get_int("initial", 12));
+  config.mobo.seed = static_cast<unsigned>(args.get_int("seed", 1));
+  config.nsga2.seed = config.mobo.seed;
+  config.tu_mbps = args.get_double("tu", 3.0);
+  const std::string mode = args.get("mode", "lens");
+  if (mode == "lens") {
+    config.mode = core::ObjectiveMode::kBestDeployment;
+  } else if (mode == "traditional") {
+    config.mode = core::ObjectiveMode::kAllEdgeOnly;
+  } else {
+    throw std::invalid_argument("unknown --mode '" + mode + "' (lens|traditional)");
+  }
+  const std::string strategy = args.get("strategy", "mobo");
+  if (strategy == "mobo") {
+    config.strategy = core::SearchStrategy::kMobo;
+  } else if (strategy == "nsga2") {
+    config.strategy = core::SearchStrategy::kNsga2;
+  } else if (strategy == "random") {
+    config.strategy = core::SearchStrategy::kRandom;
+  } else {
+    throw std::invalid_argument("unknown --strategy '" + strategy + "' (mobo|nsga2|random)");
+  }
+
+  if (args.has("resume")) {
+    config.warm_start = core::load_genotypes_csv(space, args.get("resume"));
+    std::printf("resuming from %zu checkpointed candidates\n", config.warm_start.size());
+  }
+
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+  std::printf("explored %zu candidates; frontier:\n", result.history.size());
+  std::printf("%-14s %8s %10s %10s\n", "architecture", "err(%)", "lat(ms)", "ene(mJ)");
+  for (const opt::ParetoPoint& p : result.front.points()) {
+    const core::EvaluatedCandidate& c = result.history[p.id];
+    std::printf("%-14s %8.1f %10.1f %10.1f\n", c.name.c_str(), c.error_percent,
+                c.latency_ms, c.energy_mj);
+  }
+  const opt::ParetoPoint& knee = core::knee_point(result.front);
+  std::printf("knee point: %s\n", result.history[knee.id].name.c_str());
+  if (args.has("out")) {
+    core::save_history_csv(result, space, args.get("out"));
+    std::printf("history written to %s\n", args.get("out").c_str());
+  }
+  if (args.has("front-out")) {
+    core::save_front_csv(result, space, args.get("front-out"));
+    std::printf("frontier written to %s\n", args.get("front-out").c_str());
+  }
+  return 0;
+}
+
+int cmd_thresholds(const Args& args) {
+  args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "save"});
+  Rig rig = Rig::from_args(args);
+  const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
+  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const core::DeploymentEvaluation eval = evaluator.evaluate(arch, args.get_double("tu", 10.0));
+  const std::string metric_name = args.get("metric", "energy");
+  runtime::OptimizeFor metric;
+  if (metric_name == "energy") {
+    metric = runtime::OptimizeFor::kEnergy;
+  } else if (metric_name == "latency") {
+    metric = runtime::OptimizeFor::kLatency;
+  } else {
+    throw std::invalid_argument("unknown --metric '" + metric_name + "' (latency|energy)");
+  }
+  const runtime::DynamicDeployer deployer(eval.options, rig.comm, metric, 0.05, 500.0);
+  std::printf("%s-optimal deployment vs uplink throughput (%s):\n", metric_name.c_str(),
+              arch.name().c_str());
+  for (const runtime::DominanceInterval& iv : deployer.intervals()) {
+    std::printf("  t_u in [%7.2f, %7.2f) Mbps -> %s\n", iv.tu_low, iv.tu_high,
+                eval.options[iv.option_index].label(arch).c_str());
+  }
+  if (args.has("save")) {
+    runtime::SwitchingTable table;
+    table.metric = metric;
+    for (const core::DeploymentOption& o : eval.options) {
+      table.option_labels.push_back(o.label(arch));
+    }
+    table.intervals = deployer.intervals();
+    runtime::save_switching_table(table, args.get("save"));
+    std::printf("switching table written to %s (ship this to the device)\n",
+                args.get("save").c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  args.expect_known({"arch", "tech", "rtt", "device", "rate", "duration", "policy", "tu",
+                     "deadline"});
+  Rig rig = Rig::from_args(args);
+  const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
+  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const double tu = args.get_double("tu", 10.0);
+  const core::DeploymentEvaluation eval = evaluator.evaluate(arch, tu);
+
+  sim::SimConfig config;
+  config.arrival_rate_hz = args.get_double("rate", 10.0);
+  config.duration_s = args.get_double("duration", 60.0);
+  config.deadline_ms = args.get_double("deadline", 0.0);
+  const std::string policy = args.get("policy", "queue-aware");
+  if (policy == "queue-aware") {
+    config.policy = sim::DispatchPolicy::kQueueAware;
+  } else if (policy == "dynamic") {
+    config.policy = sim::DispatchPolicy::kDynamic;
+  } else if (policy == "best-latency") {
+    config.policy = sim::DispatchPolicy::kFixed;
+    config.fixed_option = eval.best_latency_option;
+  } else if (policy == "all-edge") {
+    config.policy = sim::DispatchPolicy::kFixed;
+    for (std::size_t i = 0; i < eval.options.size(); ++i) {
+      if (eval.options[i].kind == core::DeploymentKind::kAllEdge) config.fixed_option = i;
+    }
+  } else {
+    throw std::invalid_argument("unknown --policy '" + policy +
+                                "' (queue-aware|dynamic|best-latency|all-edge)");
+  }
+
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {tu};
+  trace.interval_s = 1000.0;
+  sim::EdgeCloudSystem system(eval.options, rig.comm, trace, config);
+  const sim::SimStats stats = system.run();
+  std::printf("%zu requests over %.0f s at %.1f req/s (%s policy)\n", stats.completed,
+              config.duration_s, config.arrival_rate_hz, policy.c_str());
+  std::printf("latency ms: mean %.1f | p50 %.1f | p95 %.1f | p99 %.1f | max %.1f\n",
+              stats.mean_latency_ms, stats.p50_latency_ms, stats.p95_latency_ms,
+              stats.p99_latency_ms, stats.max_latency_ms);
+  std::printf("energy: %.1f mJ/inference | edge util %.1f%% | link util %.1f%%\n",
+              stats.energy_per_inference_mj, 100.0 * stats.edge_utilization,
+              100.0 * stats.link_utilization);
+  if (config.deadline_ms > 0.0) {
+    std::printf("deadline %.0f ms: %zu violations (%.1f%%)\n", config.deadline_ms,
+                stats.deadline_violations, 100.0 * stats.violation_rate);
+  }
+  return 0;
+}
+
+int cmd_help() {
+  std::printf(
+      "lens-cli -- LENS edge-cloud NAS toolkit\n\n"
+      "usage: lens-cli <command> [--option value ...]\n\n"
+      "commands:\n"
+      "  evaluate    deployment options of a preset model\n"
+      "              --arch alexnet|vgg16 --tu MBPS --tech wifi|lte|3g --rtt MS\n"
+      "              --device tx2-gpu|tx2-cpu|embedded-cpu [--summary]\n"
+      "  search      run a LENS / Traditional architecture search\n"
+      "              --iterations N --initial N --tu MBPS --seed N\n"
+      "              --mode lens|traditional --strategy mobo|nsga2|random\n"
+      "              [--out history.csv] [--front-out front.csv]\n"
+      "              [--resume history.csv]  (warm-start from a checkpoint)\n"
+      "  thresholds  runtime switching thresholds for a preset model\n"
+      "              --arch ... --metric latency|energy\n"
+      "  simulate    serving simulation under Poisson load\n"
+      "              --rate HZ --duration S --policy queue-aware|dynamic|\n"
+      "              best-latency|all-edge [--deadline MS]\n"
+      "  help        this text\n");
+  return 0;
+}
+
+int run_command(const Args& args) {
+  try {
+    const std::string& command = args.command();
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "search") return cmd_search(args);
+    if (command == "thresholds") return cmd_thresholds(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command.empty() || command == "help") return cmd_help();
+    std::fprintf(stderr, "lens-cli: unknown command '%s' (try 'lens-cli help')\n",
+                 command.c_str());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "lens-cli: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace lens::cli

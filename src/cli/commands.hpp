@@ -1,0 +1,20 @@
+#pragma once
+// Subcommand implementations behind the lens-cli tool. Kept in a library so
+// they are unit-testable; the tools/ main is a thin dispatcher.
+
+#include "cli/args.hpp"
+
+namespace lens::cli {
+
+/// Dispatch a parsed command line. Returns a process exit code; prints
+/// human-readable results to stdout and errors to stderr.
+int run_command(const Args& args);
+
+// Individual subcommands (exposed for tests).
+int cmd_evaluate(const Args& args);    ///< deployment options of a preset model
+int cmd_search(const Args& args);      ///< run a LENS / Traditional search
+int cmd_thresholds(const Args& args);  ///< runtime switching thresholds
+int cmd_simulate(const Args& args);    ///< serving simulation under load
+int cmd_help();
+
+}  // namespace lens::cli

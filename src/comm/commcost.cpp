@@ -1,0 +1,34 @@
+#include "comm/commcost.hpp"
+
+#include <stdexcept>
+
+namespace lens::comm {
+
+CommModel::CommModel(WirelessTechnology technology, double round_trip_ms)
+    : CommModel(power_model_for(technology), round_trip_ms) {}
+
+CommModel::CommModel(const RadioPowerModel& power_model, double round_trip_ms)
+    : power_model_(power_model), round_trip_ms_(round_trip_ms) {
+  if (round_trip_ms < 0.0) {
+    throw std::invalid_argument("CommModel: negative round-trip latency");
+  }
+}
+
+double CommModel::tx_latency_ms(std::uint64_t bytes, double tu_mbps) const {
+  if (tu_mbps <= 0.0) throw std::invalid_argument("CommModel: throughput must be positive");
+  const double bits = static_cast<double>(bytes) * 8.0;
+  // t_u Mbps = t_u * 1e6 bit/s = t_u * 1e3 bit/ms.
+  return bits / (tu_mbps * 1e3);
+}
+
+double CommModel::comm_latency_ms(std::uint64_t bytes, double tu_mbps) const {
+  return tx_latency_ms(bytes, tu_mbps) + round_trip_ms_;
+}
+
+double CommModel::tx_energy_mj(std::uint64_t bytes, double tu_mbps) const {
+  const double power_mw = power_model_.transmit_power_mw(tu_mbps);
+  const double latency_s = tx_latency_ms(bytes, tu_mbps) / 1e3;
+  return power_mw * latency_s;  // mW * s = mJ
+}
+
+}  // namespace lens::comm

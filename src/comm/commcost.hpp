@@ -1,0 +1,52 @@
+#pragma once
+// Edge-to-cloud communication cost model (paper Eqs. 3-6):
+//   L_comm = L_Tx + L_RT,  L_Tx = Size(data) / t_u
+//   E_comm = E_Tx = P_Tx * L_Tx
+// Cloud-side compute is free from the edge's perspective (paper §III-A).
+
+#include <cstdint>
+
+#include "comm/wireless.hpp"
+
+namespace lens::comm {
+
+/// Network environment: technology, expected upload throughput, and the
+/// measured round-trip latency to the server.
+struct NetworkConditions {
+  WirelessTechnology technology = WirelessTechnology::kWifi;
+  double upload_mbps = 3.0;       ///< expected t_u (paper's experiments use 3 Mbps)
+  double round_trip_ms = 20.0;    ///< L_RT, averaged ping
+};
+
+/// Communication cost calculator for a fixed technology. Throughput is a
+/// per-call argument so the same model serves both design-time evaluation
+/// (expected t_u) and runtime adaptation (tracked t_u).
+class CommModel {
+ public:
+  explicit CommModel(WirelessTechnology technology, double round_trip_ms = 20.0);
+  CommModel(const RadioPowerModel& power_model, double round_trip_ms);
+
+  /// Build from a NetworkConditions bundle (technology + RTT; the expected
+  /// throughput stays a per-call argument as everywhere else).
+  static CommModel from_conditions(const NetworkConditions& conditions) {
+    return CommModel(conditions.technology, conditions.round_trip_ms);
+  }
+
+  /// Transmission latency L_Tx in ms for `bytes` at `tu_mbps`.
+  double tx_latency_ms(std::uint64_t bytes, double tu_mbps) const;
+
+  /// Total communication latency L_comm = L_Tx + L_RT in ms.
+  double comm_latency_ms(std::uint64_t bytes, double tu_mbps) const;
+
+  /// Transmission energy E_Tx = P_Tx * L_Tx in mJ.
+  double tx_energy_mj(std::uint64_t bytes, double tu_mbps) const;
+
+  double round_trip_ms() const { return round_trip_ms_; }
+  const RadioPowerModel& power_model() const { return power_model_; }
+
+ private:
+  RadioPowerModel power_model_;
+  double round_trip_ms_;
+};
+
+}  // namespace lens::comm

@@ -1,0 +1,68 @@
+#include "comm/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::comm {
+
+double ThroughputTrace::mean_mbps() const {
+  if (samples_mbps.empty()) throw std::logic_error("ThroughputTrace: empty trace");
+  double acc = 0.0;
+  for (double v : samples_mbps) acc += v;
+  return acc / static_cast<double>(samples_mbps.size());
+}
+
+double ThroughputTrace::min_mbps() const {
+  if (samples_mbps.empty()) throw std::logic_error("ThroughputTrace: empty trace");
+  return *std::min_element(samples_mbps.begin(), samples_mbps.end());
+}
+
+double ThroughputTrace::max_mbps() const {
+  if (samples_mbps.empty()) throw std::logic_error("ThroughputTrace: empty trace");
+  return *std::max_element(samples_mbps.begin(), samples_mbps.end());
+}
+
+TraceGenerator::TraceGenerator(TraceGeneratorConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config.mean_mbps <= 0.0 || config.sigma < 0.0 || config.correlation < 0.0 ||
+      config.correlation >= 1.0 || config.floor_mbps <= 0.0) {
+    throw std::invalid_argument("TraceGenerator: invalid configuration");
+  }
+  if (config.outage_start_probability < 0.0 || config.outage_start_probability >= 1.0 ||
+      config.outage_mean_duration < 1.0 || config.outage_depth_factor <= 0.0 ||
+      config.outage_depth_factor > 1.0) {
+    throw std::invalid_argument("TraceGenerator: invalid outage configuration");
+  }
+}
+
+ThroughputTrace TraceGenerator::generate(std::size_t n, double interval_s) {
+  if (n == 0) throw std::invalid_argument("TraceGenerator::generate: n must be positive");
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const double mu = std::log(config_.mean_mbps);
+  const double rho = config_.correlation;
+  const double innovation_scale = config_.sigma * std::sqrt(1.0 - rho * rho);
+
+  ThroughputTrace trace;
+  trace.interval_s = interval_s;
+  trace.samples_mbps.reserve(n);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  double log_tu = mu + config_.sigma * gauss(rng_);  // stationary start
+  bool in_outage = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config_.outage_start_probability > 0.0) {
+      if (!in_outage && unit(rng_) < config_.outage_start_probability) {
+        in_outage = true;
+      } else if (in_outage && unit(rng_) < 1.0 / config_.outage_mean_duration) {
+        in_outage = false;
+      }
+    }
+    const double depth = in_outage ? config_.outage_depth_factor : 1.0;
+    trace.samples_mbps.push_back(
+        std::max(config_.floor_mbps, std::exp(log_tu) * depth));
+    log_tu = mu + rho * (log_tu - mu) + innovation_scale * gauss(rng_);
+  }
+  return trace;
+}
+
+}  // namespace lens::comm

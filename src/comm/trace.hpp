@@ -1,0 +1,58 @@
+#pragma once
+// Upload-throughput traces for the runtime analysis (paper §V-C).
+//
+// The paper collected LTE t_u with TestMyNet every 5 minutes for 40 samples;
+// we substitute a synthetic generator producing temporally-correlated
+// log-normal throughput series with a configurable mean — the properties
+// that matter for exercising the threshold-crossing behaviour of Fig. 8.
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace lens::comm {
+
+/// A measured or synthetic throughput time series.
+struct ThroughputTrace {
+  std::vector<double> samples_mbps;
+  double interval_s = 300.0;  ///< paper: one sample every 5 minutes
+
+  std::size_t size() const { return samples_mbps.size(); }
+  double mean_mbps() const;
+  double min_mbps() const;
+  double max_mbps() const;
+};
+
+/// AR(1) log-normal throughput generator:
+///   log t_u[i] = mu + rho * (log t_u[i-1] - mu) + sigma * sqrt(1-rho^2) * z_i
+/// optionally overlaid with a two-state Markov outage process (deep fades /
+/// congestion events real cellular links exhibit but a stationary AR(1)
+/// cannot produce): while "in outage" the sample is multiplied by
+/// outage_depth_factor; outage episodes start with probability
+/// outage_start_probability per sample and end with probability
+/// 1/outage_mean_duration per sample (geometric durations).
+struct TraceGeneratorConfig {
+  double mean_mbps = 12.0;    ///< long-run median throughput
+  double sigma = 0.45;        ///< log-domain volatility
+  double correlation = 0.6;   ///< AR(1) coefficient in [0,1)
+  double floor_mbps = 0.1;    ///< clamp: radios never report ~0 up
+  unsigned seed = 7;
+  double outage_start_probability = 0.0;  ///< 0 disables the overlay
+  double outage_mean_duration = 3.0;      ///< samples, >= 1
+  double outage_depth_factor = 0.05;      ///< throughput multiplier in outage
+};
+
+/// Generates correlated throughput traces.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(TraceGeneratorConfig config = {});
+
+  /// Produce a trace of `n` samples at `interval_s` spacing.
+  ThroughputTrace generate(std::size_t n, double interval_s = 300.0);
+
+ private:
+  TraceGeneratorConfig config_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace lens::comm

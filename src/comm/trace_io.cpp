@@ -1,0 +1,63 @@
+#include "comm/trace_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lens::comm {
+
+double percentile_mbps(const ThroughputTrace& trace, double p) {
+  if (trace.size() == 0) throw std::invalid_argument("percentile_mbps: empty trace");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile_mbps: p out of range");
+  std::vector<double> sorted = trace.samples_mbps;
+  std::sort(sorted.begin(), sorted.end());
+  const double position = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(position));
+  const auto upper = static_cast<std::size_t>(std::ceil(position));
+  const double fraction = position - static_cast<double>(lower);
+  return sorted[lower] + fraction * (sorted[upper] - sorted[lower]);
+}
+
+void save_trace_csv(const ThroughputTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_csv: cannot open " + path);
+  out << "# interval_s=" << trace.interval_s << "\n";
+  out << "index,tu_mbps\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out << i << "," << trace.samples_mbps[i] << "\n";
+  }
+  if (!out) throw std::runtime_error("save_trace_csv: write failed for " + path);
+}
+
+ThroughputTrace load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  ThroughputTrace trace;
+  std::string line;
+  // Header: "# interval_s=<v>".
+  if (!std::getline(in, line) || line.rfind("# interval_s=", 0) != 0) {
+    throw std::invalid_argument("load_trace_csv: missing interval header");
+  }
+  trace.interval_s = std::stod(line.substr(line.find('=') + 1));
+  if (!std::getline(in, line) || line != "index,tu_mbps") {
+    throw std::invalid_argument("load_trace_csv: missing column header");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("load_trace_csv: malformed row: " + line);
+    }
+    const double tu = std::stod(line.substr(comma + 1));
+    if (tu <= 0.0) throw std::invalid_argument("load_trace_csv: non-positive throughput");
+    trace.samples_mbps.push_back(tu);
+  }
+  if (trace.samples_mbps.empty()) {
+    throw std::invalid_argument("load_trace_csv: no samples in " + path);
+  }
+  return trace;
+}
+
+}  // namespace lens::comm

@@ -1,0 +1,24 @@
+#pragma once
+// Trace persistence (CSV) and order statistics. Lets experiments replay the
+// same throughput traces across runs, or import real measurements (e.g.
+// actual TestMyNet exports) in place of the synthetic generator.
+
+#include <string>
+
+#include "comm/trace.hpp"
+
+namespace lens::comm {
+
+/// p-th percentile (p in [0,100]) by linear interpolation of the sorted
+/// samples. Throws on an empty trace or out-of-range p.
+double percentile_mbps(const ThroughputTrace& trace, double p);
+
+/// Write "index,tu_mbps" rows with a one-line header that carries the
+/// sampling interval. Throws std::runtime_error on I/O failure.
+void save_trace_csv(const ThroughputTrace& trace, const std::string& path);
+
+/// Inverse of save_trace_csv. Throws std::runtime_error on I/O or parse
+/// failure, std::invalid_argument on malformed content.
+ThroughputTrace load_trace_csv(const std::string& path);
+
+}  // namespace lens::comm

@@ -1,0 +1,32 @@
+#include "comm/wireless.hpp"
+
+#include <stdexcept>
+
+namespace lens::comm {
+
+double RadioPowerModel::transmit_power_mw(double tu_mbps) const {
+  if (tu_mbps <= 0.0) {
+    throw std::invalid_argument("RadioPowerModel: throughput must be positive");
+  }
+  return alpha_mw_per_mbps * tu_mbps + beta_mw;
+}
+
+RadioPowerModel power_model_for(WirelessTechnology tech) {
+  switch (tech) {
+    case WirelessTechnology::kWifi: return {283.17, 132.86};
+    case WirelessTechnology::kLte: return {438.39, 1288.04};
+    case WirelessTechnology::k3G: return {868.98, 817.88};
+  }
+  throw std::logic_error("power_model_for: unknown technology");
+}
+
+std::string technology_name(WirelessTechnology tech) {
+  switch (tech) {
+    case WirelessTechnology::kWifi: return "WiFi";
+    case WirelessTechnology::kLte: return "LTE";
+    case WirelessTechnology::k3G: return "3G";
+  }
+  throw std::logic_error("technology_name: unknown technology");
+}
+
+}  // namespace lens::comm

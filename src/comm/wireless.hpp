@@ -1,0 +1,36 @@
+#pragma once
+// Wireless technology models.
+//
+// Transmission power follows the throughput-linear models of Huang et al.,
+// "A Close Examination of Performance and Power Characteristics of 4G LTE
+// Networks" (MobiSys'12), the source the paper cites for P_Tx:
+//     P_tx(t_u) = alpha_u * t_u + beta   [mW, t_u in Mbps]
+//
+// Unit conventions used across the whole library:
+//   latency: ms, energy: mJ, power: mW, throughput: Mbps, data size: bytes.
+
+#include <string>
+
+namespace lens::comm {
+
+/// Supported radio technologies ("Tech" input of Alg. 1/2).
+enum class WirelessTechnology { kWifi, kLte, k3G };
+
+/// Throughput-linear uplink power model P(t_u) = alpha_mw_per_mbps * t_u + beta_mw.
+struct RadioPowerModel {
+  double alpha_mw_per_mbps = 0.0;
+  double beta_mw = 0.0;
+
+  /// Uplink transmission power in mW at upload throughput `tu_mbps`.
+  /// Throws std::invalid_argument for non-positive throughput.
+  double transmit_power_mw(double tu_mbps) const;
+};
+
+/// The published MobiSys'12 model constants for each technology
+/// (LTE: 438.39*t_u + 1288.04; WiFi: 283.17*t_u + 132.86; 3G: 868.98*t_u + 817.88).
+RadioPowerModel power_model_for(WirelessTechnology tech);
+
+/// Human-readable technology name ("WiFi", "LTE", "3G").
+std::string technology_name(WirelessTechnology tech);
+
+}  // namespace lens::comm

@@ -1,0 +1,153 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lens::core {
+
+std::string deployment_kind_name(DeploymentKind kind) {
+  switch (kind) {
+    case DeploymentKind::kAllEdge: return "All-Edge";
+    case DeploymentKind::kAllCloud: return "All-Cloud";
+    case DeploymentKind::kPartitioned: return "Partitioned";
+  }
+  throw std::logic_error("deployment_kind_name: unknown kind");
+}
+
+std::string DeploymentOption::label(const dnn::Architecture& arch) const {
+  switch (kind) {
+    case DeploymentKind::kAllEdge: return "All-Edge";
+    case DeploymentKind::kAllCloud: return "All-Cloud";
+    case DeploymentKind::kPartitioned:
+      return "split@" + arch.layers().at(split_after.value()).name;
+  }
+  throw std::logic_error("DeploymentOption::label: unknown kind");
+}
+
+bool DeploymentEvaluation::has_all_edge() const {
+  for (const DeploymentOption& o : options) {
+    if (o.kind == DeploymentKind::kAllEdge) return true;
+  }
+  return false;
+}
+
+const DeploymentOption& DeploymentEvaluation::all_edge() const {
+  for (const DeploymentOption& o : options) {
+    if (o.kind == DeploymentKind::kAllEdge) return o;
+  }
+  throw std::logic_error("DeploymentEvaluation: missing All-Edge option");
+}
+
+const DeploymentOption& DeploymentEvaluation::all_cloud() const {
+  for (const DeploymentOption& o : options) {
+    if (o.kind == DeploymentKind::kAllCloud) return o;
+  }
+  throw std::logic_error("DeploymentEvaluation: missing All-Cloud option");
+}
+
+DeploymentEvaluator::DeploymentEvaluator(const perf::LayerPerformanceModel& model,
+                                         comm::CommModel comm, dnn::DataSizeModel sizes)
+    : DeploymentEvaluator(model, std::move(comm), EvaluatorConfig{sizes, 0}) {}
+
+DeploymentEvaluator::DeploymentEvaluator(const perf::LayerPerformanceModel& model,
+                                         comm::CommModel comm, EvaluatorConfig config)
+    : model_(model), comm_(std::move(comm)), config_(config) {}
+
+DeploymentEvaluation DeploymentEvaluator::evaluate(const dnn::Architecture& arch,
+                                                   double tu_mbps) const {
+  DeploymentEvaluation result;
+  const std::size_t n = arch.num_layers();
+
+  // Lines 5-8: per-layer prediction.
+  result.layer_latency_ms.reserve(n);
+  result.layer_energy_mj.reserve(n);
+  for (const dnn::LayerInfo& info : arch.layers()) {
+    const perf::LayerMeasurement m = model_.predict(info.spec, info.input);
+    result.layer_latency_ms.push_back(m.latency_ms);
+    result.layer_energy_mj.push_back(m.energy_mj());
+  }
+
+  // Cloud execution time of the suffix starting at layer `first` (0 when
+  // the paper's infinite-cloud assumption is in force).
+  std::vector<double> cloud_suffix_ms(n + 1, 0.0);
+  if (config_.cloud_model != nullptr) {
+    for (std::size_t i = n; i-- > 0;) {
+      const dnn::LayerInfo& info = arch.layers()[i];
+      cloud_suffix_ms[i] =
+          cloud_suffix_ms[i + 1] +
+          config_.cloud_model->predict(info.spec, info.input).latency_ms;
+    }
+  }
+
+  // All-Cloud: ship the raw input, wait for the answer. Always feasible —
+  // nothing is resident on the edge.
+  {
+    DeploymentOption o;
+    o.kind = DeploymentKind::kAllCloud;
+    o.tx_bytes = arch.input_bytes(config_.sizes);
+    o.edge_latency_ms = 0.0;
+    o.edge_energy_mj = 0.0;
+    o.cloud_latency_ms = cloud_suffix_ms[0];
+    o.latency_ms = comm_.comm_latency_ms(o.tx_bytes, tu_mbps) + o.cloud_latency_ms;
+    o.energy_mj = comm_.tx_energy_mj(o.tx_bytes, tu_mbps);
+    result.options.push_back(o);
+  }
+
+  // Lines 9-12: each viable split point, with accumulated edge cost plus the
+  // transfer of that layer's output. Options whose edge-resident weights
+  // exceed the memory budget are skipped.
+  const std::uint64_t budget = config_.edge_memory_budget_bytes;
+  double latency_prefix = 0.0;
+  double energy_prefix = 0.0;
+  std::uint64_t weight_prefix = 0;
+  const std::uint64_t input_bytes = arch.input_bytes(config_.sizes);
+  for (std::size_t i = 0; i < n; ++i) {
+    latency_prefix += result.layer_latency_ms[i];
+    energy_prefix += result.layer_energy_mj[i];
+    weight_prefix += 4ULL * arch.layers()[i].params;
+    const std::uint64_t out_bytes = arch.output_bytes(i, config_.sizes);
+    const bool viable = out_bytes < input_bytes;
+    const bool fits = budget == 0 || weight_prefix <= budget;
+    const bool last = i + 1 == n;
+    if (last && fits) {
+      // All-Edge: full on-device execution, no transfer.
+      DeploymentOption o;
+      o.kind = DeploymentKind::kAllEdge;
+      o.edge_latency_ms = latency_prefix;
+      o.edge_energy_mj = energy_prefix;
+      o.latency_ms = latency_prefix;
+      o.energy_mj = energy_prefix;
+      o.edge_weight_bytes = weight_prefix;
+      result.options.push_back(o);
+    } else if (!last && viable && fits) {
+      DeploymentOption o;
+      o.kind = DeploymentKind::kPartitioned;
+      o.split_after = i;
+      o.tx_bytes = out_bytes;
+      o.edge_latency_ms = latency_prefix;
+      o.edge_energy_mj = energy_prefix;
+      o.cloud_latency_ms = cloud_suffix_ms[i + 1];
+      o.latency_ms = latency_prefix + comm_.comm_latency_ms(out_bytes, tu_mbps) +
+                     o.cloud_latency_ms;
+      o.energy_mj = energy_prefix + comm_.tx_energy_mj(out_bytes, tu_mbps);
+      o.edge_weight_bytes = weight_prefix;
+      result.options.push_back(o);
+    }
+  }
+
+  // Lines 13-14: independent minima for each objective.
+  result.best_latency_option = 0;
+  result.best_energy_option = 0;
+  for (std::size_t i = 1; i < result.options.size(); ++i) {
+    if (result.options[i].latency_ms <
+        result.options[result.best_latency_option].latency_ms) {
+      result.best_latency_option = i;
+    }
+    if (result.options[i].energy_mj < result.options[result.best_energy_option].energy_mj) {
+      result.best_energy_option = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace lens::core

@@ -1,0 +1,116 @@
+#pragma once
+// Algorithm 1 of the paper: performance-objective evaluation of a candidate
+// architecture under its *best* deployment option.
+//
+// For every layer, latency and power are estimated with the trained
+// prediction models; layers whose output is smaller on the wire than the
+// model input are candidate partition points; each candidate's cost is the
+// accumulated on-device cost up to that layer plus the cost of shipping its
+// output to the cloud. All-Edge (never transmit) and All-Cloud (ship the raw
+// input) complete the option set. The minima over options are the latency /
+// energy objective values (computed independently — the best split for
+// latency need not be the best split for energy).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/commcost.hpp"
+#include "dnn/architecture.hpp"
+#include "dnn/datasize.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens::core {
+
+/// The three deployment families of Fig. 5.
+enum class DeploymentKind { kAllEdge, kAllCloud, kPartitioned };
+
+std::string deployment_kind_name(DeploymentKind kind);
+
+/// One concrete deployment option with its end-to-end cost at the evaluated
+/// throughput.
+struct DeploymentOption {
+  DeploymentKind kind = DeploymentKind::kAllEdge;
+  /// Index of the last edge-side layer (kPartitioned only).
+  std::optional<std::size_t> split_after;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  /// Edge-side execution cost only (no communication). These are throughput
+  /// independent; the runtime module rebuilds cost-vs-t_u curves from them.
+  double edge_latency_ms = 0.0;
+  double edge_energy_mj = 0.0;
+  /// Bytes shipped to the cloud for this option (0 for All-Edge).
+  std::uint64_t tx_bytes = 0;
+  /// fp32 weight bytes resident on the edge device for this option.
+  std::uint64_t edge_weight_bytes = 0;
+  /// Cloud-side execution latency of the offloaded suffix (0 under the
+  /// paper's infinite-cloud assumption). Throughput-independent.
+  double cloud_latency_ms = 0.0;
+
+  /// Human-readable label, e.g. "All-Edge", "All-Cloud", "split@pool5".
+  std::string label(const dnn::Architecture& arch) const;
+};
+
+/// Full result of one Algorithm-1 evaluation.
+struct DeploymentEvaluation {
+  /// Every option considered (All-Cloud, each viable split, All-Edge).
+  std::vector<DeploymentOption> options;
+  std::size_t best_latency_option = 0;  ///< index into options
+  std::size_t best_energy_option = 0;   ///< index into options
+  /// Per-layer predicted execution cost on the edge device.
+  std::vector<double> layer_latency_ms;
+  std::vector<double> layer_energy_mj;
+
+  double best_latency_ms() const { return options[best_latency_option].latency_ms; }
+  double best_energy_mj() const { return options[best_energy_option].energy_mj; }
+  const DeploymentOption& latency_choice() const { return options[best_latency_option]; }
+  const DeploymentOption& energy_choice() const { return options[best_energy_option]; }
+
+  /// True when an All-Edge option exists (it can be filtered out by the
+  /// edge memory budget).
+  bool has_all_edge() const;
+  /// All-Edge entry; throws std::logic_error when the memory budget removed
+  /// it. All-Cloud is always present.
+  const DeploymentOption& all_edge() const;
+  const DeploymentOption& all_cloud() const;
+};
+
+struct EvaluatorConfig {
+  dnn::DataSizeModel sizes;
+  /// Edge memory budget (bytes of fp32 weights the device can hold); 0 means
+  /// unlimited. Options whose edge-side weights exceed the budget are not
+  /// generated (All-Cloud keeps nothing on the edge and is always feasible).
+  std::uint64_t edge_memory_budget_bytes = 0;
+  /// Optional cloud-side performance model (non-owning; must outlive the
+  /// evaluator). When set, the cloud execution latency of the offloaded
+  /// suffix is added to each transmitting option's latency — lifting the
+  /// paper's "L_cloud is negligible" assumption (§III-A). Cloud energy is
+  /// never billed to the edge. nullptr keeps the paper's model.
+  const perf::LayerPerformanceModel* cloud_model = nullptr;
+};
+
+/// Algorithm-1 evaluator bound to a performance model, a communication
+/// model, and a wire-size / memory policy.
+class DeploymentEvaluator {
+ public:
+  DeploymentEvaluator(const perf::LayerPerformanceModel& model, comm::CommModel comm,
+                      dnn::DataSizeModel sizes = {});
+  DeploymentEvaluator(const perf::LayerPerformanceModel& model, comm::CommModel comm,
+                      EvaluatorConfig config);
+
+  /// Evaluate all deployment options of `arch` at upload throughput
+  /// `tu_mbps`. O(l) in the number of layers.
+  DeploymentEvaluation evaluate(const dnn::Architecture& arch, double tu_mbps) const;
+
+  const comm::CommModel& comm() const { return comm_; }
+  const dnn::DataSizeModel& sizes() const { return config_.sizes; }
+  const EvaluatorConfig& config() const { return config_; }
+
+ private:
+  const perf::LayerPerformanceModel& model_;
+  comm::CommModel comm_;
+  EvaluatorConfig config_;
+};
+
+}  // namespace lens::core

@@ -1,0 +1,108 @@
+#include "core/export.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <set>
+
+namespace lens::core {
+
+namespace {
+
+constexpr const char* kHeader =
+    "index,name,error_percent,latency_ms,energy_mj,on_front,"
+    "latency_split,energy_split,all_edge_latency_ms,all_edge_energy_mj,genotype\n";
+
+std::string encode_genotype(const Genotype& genotype) {
+  std::string out;
+  for (std::size_t i = 0; i < genotype.size(); ++i) {
+    if (i > 0) out += '-';
+    out += std::to_string(genotype[i]);
+  }
+  return out;
+}
+
+void write_row(std::ofstream& out, std::size_t index, const EvaluatedCandidate& c,
+               const SearchSpace& space, bool on_front) {
+  const dnn::Architecture arch = space.decode(c.genotype);
+  out << index << ',' << c.name << ',' << c.error_percent << ',' << c.latency_ms << ','
+      << c.energy_mj << ',' << (on_front ? 1 : 0) << ','
+      << c.deployment.latency_choice().label(arch) << ','
+      << c.deployment.energy_choice().label(arch) << ',';
+  if (c.deployment.has_all_edge()) {
+    out << c.deployment.all_edge().latency_ms << ',' << c.deployment.all_edge().energy_mj;
+  } else {
+    out << "nan,nan";
+  }
+  out << ',' << encode_genotype(c.genotype) << '\n';
+}
+
+std::set<std::size_t> front_ids(const NasResult& result) {
+  std::set<std::size_t> ids;
+  for (const opt::ParetoPoint& p : result.front.points()) ids.insert(p.id);
+  return ids;
+}
+
+}  // namespace
+
+void save_history_csv(const NasResult& result, const SearchSpace& space,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_history_csv: cannot open " + path);
+  out << std::setprecision(12) << kHeader;
+  const std::set<std::size_t> ids = front_ids(result);
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    write_row(out, i, result.history[i], space, ids.count(i) > 0);
+  }
+  if (!out) throw std::runtime_error("save_history_csv: write failed for " + path);
+}
+
+void save_front_csv(const NasResult& result, const SearchSpace& space,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_front_csv: cannot open " + path);
+  out << std::setprecision(12) << kHeader;
+  for (const opt::ParetoPoint& p : result.front.points()) {
+    write_row(out, p.id, result.history.at(p.id), space, true);
+  }
+  if (!out) throw std::runtime_error("save_front_csv: write failed for " + path);
+}
+
+std::vector<Genotype> load_genotypes_csv(const SearchSpace& space, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_genotypes_csv: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.find(",genotype") == std::string::npos) {
+    throw std::invalid_argument("load_genotypes_csv: missing genotype column in " + path);
+  }
+  std::vector<Genotype> genotypes;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t last_comma = line.rfind(',');
+    if (last_comma == std::string::npos) {
+      throw std::invalid_argument("load_genotypes_csv: malformed row: " + line);
+    }
+    const std::string encoded = line.substr(last_comma + 1);
+    Genotype genotype;
+    std::size_t position = 0;
+    while (position <= encoded.size()) {
+      const std::size_t dash = encoded.find('-', position);
+      const std::string digit = encoded.substr(
+          position, dash == std::string::npos ? std::string::npos : dash - position);
+      try {
+        genotype.push_back(std::stoi(digit));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("load_genotypes_csv: bad genotype token '" + digit +
+                                    "'");
+      }
+      if (dash == std::string::npos) break;
+      position = dash + 1;
+    }
+    if (!space.is_valid(genotype)) {
+      throw std::invalid_argument("load_genotypes_csv: genotype invalid for this space");
+    }
+    genotypes.push_back(std::move(genotype));
+  }
+  return genotypes;
+}
+
+}  // namespace lens::core

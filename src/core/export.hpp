@@ -1,0 +1,28 @@
+#pragma once
+// CSV export of search results, for plotting Fig. 6-style scatter/frontier
+// figures with external tooling.
+
+#include <string>
+
+#include "core/nas.hpp"
+
+namespace lens::core {
+
+/// Write one row per explored candidate:
+///   index,name,error_percent,latency_ms,energy_mj,on_front,
+///   latency_split,energy_split,all_edge_latency_ms,all_edge_energy_mj
+/// Throws std::runtime_error on I/O failure.
+void save_history_csv(const NasResult& result, const SearchSpace& space,
+                      const std::string& path);
+
+/// Write only the Pareto-front members (same columns).
+void save_front_csv(const NasResult& result, const SearchSpace& space,
+                    const std::string& path);
+
+/// Read back the genotypes of a CSV written by save_history_csv /
+/// save_front_csv (the trailing `genotype` column, dash-separated indices).
+/// Invalid genotypes are rejected. Use with NasConfig::warm_start to resume
+/// a search. Throws std::runtime_error / std::invalid_argument on bad files.
+std::vector<Genotype> load_genotypes_csv(const SearchSpace& space, const std::string& path);
+
+}  // namespace lens::core

@@ -1,0 +1,86 @@
+#include "core/nas.hpp"
+
+#include <stdexcept>
+
+namespace lens::core {
+
+NasDriver::NasDriver(const SearchSpace& space, const DeploymentEvaluator& evaluator,
+                     const AccuracyModel& accuracy, NasConfig config)
+    : space_(space), evaluator_(evaluator), accuracy_(accuracy), config_(config) {}
+
+NasResult NasDriver::run() {
+  NasResult result;
+
+  auto sampler = [this](std::mt19937_64& rng) {
+    return space_.to_normalized(space_.random(rng));
+  };
+
+  auto objectives = [this, &result](const std::vector<double>& x) {
+    const Genotype genotype = space_.from_normalized(x);
+    const dnn::Architecture arch = space_.decode(genotype);
+
+    EvaluatedCandidate candidate;
+    candidate.genotype = genotype;
+    candidate.name = arch.name();
+    candidate.deployment = evaluator_.evaluate(arch, config_.tu_mbps);
+    candidate.error_percent = accuracy_.test_error_percent(genotype, arch);
+    switch (config_.mode) {
+      case ObjectiveMode::kBestDeployment:
+        candidate.latency_ms = candidate.deployment.best_latency_ms();
+        candidate.energy_mj = candidate.deployment.best_energy_mj();
+        break;
+      case ObjectiveMode::kAllEdgeOnly: {
+        const DeploymentOption& edge = candidate.deployment.all_edge();
+        candidate.latency_ms = edge.latency_ms;
+        candidate.energy_mj = edge.energy_mj;
+        break;
+      }
+    }
+    result.history.push_back(candidate);
+    return candidate.objectives();
+  };
+
+  switch (config_.strategy) {
+    case SearchStrategy::kMobo: {
+      opt::MoboEngine engine(config_.mobo, kNumObjectives, sampler, objectives);
+      if (!config_.warm_start.empty()) {
+        std::vector<opt::Observation> seeds;
+        seeds.reserve(config_.warm_start.size());
+        for (const Genotype& genotype : config_.warm_start) {
+          if (!space_.is_valid(genotype)) {
+            throw std::invalid_argument("NasDriver: invalid warm-start genotype");
+          }
+          const std::vector<double> x = space_.to_normalized(genotype);
+          seeds.push_back({x, objectives(x)});
+        }
+        engine.seed_observations(seeds);
+      }
+      engine.run();
+      break;
+    }
+    case SearchStrategy::kNsga2: {
+      auto validator = [this](const std::vector<double>& x) {
+        return space_.is_valid(space_.from_normalized(x));
+      };
+      opt::Nsga2Engine engine(config_.nsga2, kNumObjectives, sampler, objectives,
+                              validator);
+      engine.run();
+      break;
+    }
+    case SearchStrategy::kRandom: {
+      // Same total budget as the MOBO configuration, pure random sampling.
+      std::mt19937_64 rng(config_.mobo.seed);
+      const std::size_t budget = config_.mobo.num_initial + config_.mobo.num_iterations;
+      for (std::size_t i = 0; i < budget; ++i) objectives(sampler(rng));
+      break;
+    }
+  }
+
+  // Rebuild the front with ids pointing into our richer history records.
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    result.front.insert(i, result.history[i].objectives());
+  }
+  return result;
+}
+
+}  // namespace lens::core

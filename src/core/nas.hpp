@@ -1,0 +1,94 @@
+#pragma once
+// Algorithm 2: the MOBO-based NAS drivers.
+//
+// LENS and the Traditional baseline share everything except how the
+// performance objectives are computed:
+//  - LENS (kBestDeployment): Algorithm 1 — each candidate is scored under
+//    its best partitioning / All-Edge / All-Cloud option.
+//  - Traditional (kAllEdgeOnly): platform-aware NAS for the edge device —
+//    the candidate is scored as if it always runs entirely on the edge.
+//    (Its Pareto set can be partitioned *post hoc*; see analysis.hpp.)
+
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "core/evaluator.hpp"
+#include "core/search_space.hpp"
+#include "opt/mobo.hpp"
+#include "opt/nsga2.hpp"
+
+namespace lens::core {
+
+/// Objective vector layout used throughout the NAS drivers.
+enum Objective : std::size_t {
+  kErrorObjective = 0,    ///< test error, %
+  kLatencyObjective = 1,  ///< end-to-end latency, ms
+  kEnergyObjective = 2,   ///< edge energy, mJ
+};
+inline constexpr std::size_t kNumObjectives = 3;
+
+/// How the performance objectives of a candidate are derived from its
+/// Algorithm-1 evaluation.
+enum class ObjectiveMode {
+  kBestDeployment,  ///< LENS: min over all deployment options
+  kAllEdgeOnly,     ///< Traditional: All-Edge costs only
+};
+
+/// Which search engine drives Algorithm 2's outer loop. The paper uses
+/// MOBO (Dragonfly); NSGA-II and pure random search are ablation baselines
+/// under matched evaluation budgets.
+enum class SearchStrategy { kMobo, kNsga2, kRandom };
+
+struct NasConfig {
+  opt::MoboConfig mobo;
+  /// Used when strategy == kNsga2; population*(generations+1) evaluations.
+  opt::Nsga2Config nsga2;
+  SearchStrategy strategy = SearchStrategy::kMobo;
+  double tu_mbps = 3.0;  ///< expected upload throughput (paper: 3 Mbps)
+  ObjectiveMode mode = ObjectiveMode::kBestDeployment;
+  /// Checkpoint resume (kMobo only): these genotypes are re-evaluated first
+  /// (deterministic, cheap) and seeded into the GP models; they count
+  /// toward the warm-up budget. Load them with core::load_genotypes_csv.
+  std::vector<Genotype> warm_start;
+};
+
+/// One evaluated candidate with full deployment detail.
+struct EvaluatedCandidate {
+  Genotype genotype;
+  std::string name;
+  /// Objective values as seen by the search (per the driver's mode).
+  double error_percent = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  /// Full Algorithm-1 result (all options), regardless of mode.
+  DeploymentEvaluation deployment;
+
+  std::vector<double> objectives() const {
+    return {error_percent, latency_ms, energy_mj};
+  }
+};
+
+/// Search outcome: every explored candidate plus the 3-objective Pareto
+/// front (ParetoPoint::id indexes `history`).
+struct NasResult {
+  std::vector<EvaluatedCandidate> history;
+  opt::ParetoFront front;
+};
+
+/// Runs Algorithm 2 over a search space with the configured objective mode.
+class NasDriver {
+ public:
+  NasDriver(const SearchSpace& space, const DeploymentEvaluator& evaluator,
+            const AccuracyModel& accuracy, NasConfig config);
+
+  /// Execute the full search (C_init random + N_iter MOBO evaluations).
+  NasResult run();
+
+ private:
+  const SearchSpace& space_;
+  const DeploymentEvaluator& evaluator_;
+  const AccuracyModel& accuracy_;
+  NasConfig config_;
+};
+
+}  // namespace lens::core

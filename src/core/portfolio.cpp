@@ -1,0 +1,65 @@
+#include "core/portfolio.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::core {
+
+PortfolioResult plan_portfolio(const NasResult& result, const SearchSpace& space,
+                               const DeploymentEvaluator& evaluator,
+                               const std::vector<Region>& regions,
+                               const PortfolioConfig& config) {
+  if (regions.empty()) throw std::invalid_argument("plan_portfolio: no regions");
+  if (config.objective == kErrorObjective) {
+    throw std::invalid_argument("plan_portfolio: objective must be latency or energy");
+  }
+
+  PortfolioResult best;
+  double best_aggregate = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (const opt::ParetoPoint& p : result.front.points()) {
+    const EvaluatedCandidate& candidate = result.history.at(p.id);
+    if (candidate.error_percent > config.max_error_percent) continue;
+    const dnn::Architecture arch = space.decode(candidate.genotype);
+
+    std::vector<RegionPlan> plans;
+    plans.reserve(regions.size());
+    double aggregate = config.aggregate == Aggregate::kMean ? 0.0 : -1.0;
+    for (const Region& region : regions) {
+      const DeploymentEvaluation eval = evaluator.evaluate(arch, region.tu_mbps);
+      RegionPlan plan;
+      plan.region = region;
+      if (config.objective == kLatencyObjective) {
+        plan.cost = eval.best_latency_ms();
+        plan.deployment_label = eval.latency_choice().label(arch);
+      } else {
+        plan.cost = eval.best_energy_mj();
+        plan.deployment_label = eval.energy_choice().label(arch);
+      }
+      if (config.aggregate == Aggregate::kMean) {
+        aggregate += plan.cost / static_cast<double>(regions.size());
+      } else {
+        aggregate = std::max(aggregate, plan.cost);
+      }
+      plans.push_back(std::move(plan));
+    }
+
+    if (aggregate < best_aggregate) {
+      best_aggregate = aggregate;
+      best.history_index = p.id;
+      best.architecture_name = candidate.name;
+      best.aggregate_cost = aggregate;
+      best.plans = std::move(plans);
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument(
+        "plan_portfolio: no frontier member satisfies the accuracy bound");
+  }
+  return best;
+}
+
+}  // namespace lens::core

@@ -1,0 +1,56 @@
+#pragma once
+// Multi-region deployment planning (extension of the paper's Table-I
+// motivation): the same application ships to markets with very different
+// expected uplinks. Given a searched Pareto set, evaluate each frontier
+// model across all target regions and pick the architecture minimizing an
+// aggregate (mean or worst-case) of its per-region best-deployment costs,
+// subject to an accuracy bound.
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/nas.hpp"
+
+namespace lens::core {
+
+/// One deployment market.
+struct Region {
+  std::string name;
+  double tu_mbps = 3.0;
+};
+
+/// How per-region costs aggregate into a single score.
+enum class Aggregate { kMean, kWorstCase };
+
+struct PortfolioConfig {
+  Objective objective = kEnergyObjective;  ///< kLatencyObjective or kEnergyObjective
+  Aggregate aggregate = Aggregate::kMean;
+  /// Only frontier members with error below this bound are considered.
+  double max_error_percent = 100.0;
+};
+
+/// Per-region outcome for the selected model.
+struct RegionPlan {
+  Region region;
+  std::string deployment_label;  ///< e.g. "split@pool5"
+  double cost = 0.0;             ///< ms or mJ per the objective
+};
+
+struct PortfolioResult {
+  std::size_t history_index = 0;     ///< selected candidate in result.history
+  std::string architecture_name;
+  double aggregate_cost = 0.0;
+  std::vector<RegionPlan> plans;     ///< one per region, same order as input
+};
+
+/// Evaluate every accuracy-feasible frontier member of `result` across
+/// `regions` with `evaluator` and return the aggregate-minimizing plan.
+/// Throws std::invalid_argument when regions is empty or no frontier member
+/// meets the accuracy bound.
+PortfolioResult plan_portfolio(const NasResult& result, const SearchSpace& space,
+                               const DeploymentEvaluator& evaluator,
+                               const std::vector<Region>& regions,
+                               const PortfolioConfig& config = {});
+
+}  // namespace lens::core

@@ -1,0 +1,93 @@
+#include "core/refine.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lens::core {
+
+std::vector<Genotype> grid_neighbors(const SearchSpace& space, const Genotype& genotype) {
+  if (!space.is_valid(genotype)) {
+    throw std::invalid_argument("grid_neighbors: invalid genotype");
+  }
+  std::vector<Genotype> out;
+  for (std::size_t d = 0; d < genotype.size(); ++d) {
+    for (int delta : {-1, +1}) {
+      Genotype neighbor = genotype;
+      neighbor[d] += delta;
+      if (space.is_valid(neighbor)) out.push_back(std::move(neighbor));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+EvaluatedCandidate evaluate_candidate(const SearchSpace& space,
+                                      const DeploymentEvaluator& evaluator,
+                                      const AccuracyModel& accuracy, const Genotype& g,
+                                      const RefineConfig& config) {
+  const dnn::Architecture arch = space.decode(g);
+  EvaluatedCandidate c;
+  c.genotype = g;
+  c.name = arch.name();
+  c.deployment = evaluator.evaluate(arch, config.tu_mbps);
+  c.error_percent = accuracy.test_error_percent(g, arch);
+  if (config.mode == ObjectiveMode::kBestDeployment) {
+    c.latency_ms = c.deployment.best_latency_ms();
+    c.energy_mj = c.deployment.best_energy_mj();
+  } else {
+    c.latency_ms = c.deployment.all_edge().latency_ms;
+    c.energy_mj = c.deployment.all_edge().energy_mj;
+  }
+  return c;
+}
+
+}  // namespace
+
+RefineResult refine(const SearchSpace& space, const DeploymentEvaluator& evaluator,
+                    const AccuracyModel& accuracy, const Genotype& start,
+                    const RefineConfig& config) {
+  if (config.error_weight < 0.0 || config.latency_weight < 0.0 ||
+      config.energy_weight < 0.0 ||
+      config.error_weight + config.latency_weight + config.energy_weight <= 0.0) {
+    throw std::invalid_argument("refine: weights must be non-negative, not all zero");
+  }
+  RefineResult result;
+  result.candidate = evaluate_candidate(space, evaluator, accuracy, start, config);
+  ++result.evaluations;
+
+  // Normalize each objective by the starting point's value so the weights
+  // are unit-free; guards against zero baselines.
+  const double err0 = std::max(result.candidate.error_percent, 1e-9);
+  const double lat0 = std::max(result.candidate.latency_ms, 1e-9);
+  const double ene0 = std::max(result.candidate.energy_mj, 1e-9);
+  auto score = [&](const EvaluatedCandidate& c) {
+    return config.error_weight * c.error_percent / err0 +
+           config.latency_weight * c.latency_ms / lat0 +
+           config.energy_weight * c.energy_mj / ene0;
+  };
+
+  double current_score = score(result.candidate);
+  result.initial_score = current_score;
+  for (int step = 0; step < config.max_steps; ++step) {
+    EvaluatedCandidate best_neighbor;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const Genotype& g : grid_neighbors(space, result.candidate.genotype)) {
+      EvaluatedCandidate c = evaluate_candidate(space, evaluator, accuracy, g, config);
+      ++result.evaluations;
+      const double s = score(c);
+      if (s < best_score) {
+        best_score = s;
+        best_neighbor = std::move(c);
+      }
+    }
+    if (best_score + 1e-12 >= current_score) break;  // local optimum
+    current_score = best_score;
+    result.candidate = std::move(best_neighbor);
+    ++result.steps_taken;
+  }
+  result.final_score = current_score;
+  return result;
+}
+
+}  // namespace lens::core

@@ -1,0 +1,47 @@
+#pragma once
+// Local refinement of search results (extension): hill-climb a frontier
+// member through its one-step grid neighborhood under a scalarized
+// objective. MOBO's global exploration rarely polishes the last grid steps
+// around a frontier point; a short deterministic descent often does.
+
+#include <vector>
+
+#include "core/accuracy.hpp"
+#include "core/evaluator.hpp"
+#include "core/nas.hpp"
+#include "core/search_space.hpp"
+
+namespace lens::core {
+
+/// All valid genotypes at Hamming distance 1 (one dimension moved one grid
+/// step up or down) that satisfy the search-space constraint.
+std::vector<Genotype> grid_neighbors(const SearchSpace& space, const Genotype& genotype);
+
+struct RefineConfig {
+  /// Scalarization weights over (error, latency, energy); need not sum to 1.
+  double error_weight = 1.0;
+  double latency_weight = 1.0;
+  double energy_weight = 1.0;
+  int max_steps = 32;
+  ObjectiveMode mode = ObjectiveMode::kBestDeployment;
+  double tu_mbps = 3.0;
+};
+
+struct RefineResult {
+  EvaluatedCandidate candidate;       ///< best found
+  int steps_taken = 0;                ///< accepted moves
+  std::size_t evaluations = 0;        ///< objective evaluations spent
+  double initial_score = 0.0;
+  double final_score = 0.0;
+};
+
+/// Steepest-descent hill climbing from `start` until a local optimum or the
+/// step budget. The score is the weighted sum of normalized-by-start
+/// objectives, so the weights express relative importance independent of
+/// units. Throws std::invalid_argument for invalid starts or non-positive
+/// weights summed to zero.
+RefineResult refine(const SearchSpace& space, const DeploymentEvaluator& evaluator,
+                    const AccuracyModel& accuracy, const Genotype& start,
+                    const RefineConfig& config = {});
+
+}  // namespace lens::core

@@ -1,0 +1,150 @@
+#include "core/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::core {
+
+namespace {
+
+/// Beasley-Springer-Moro inverse normal CDF (sufficient accuracy for
+/// quantile discretization).
+double inverse_normal_cdf(double p) {
+  static const double a[] = {2.50662823884, -18.61500062529, 41.39119773534,
+                             -25.44106049637};
+  static const double b[] = {-8.47351093090, 23.08336743743, -21.06224101826,
+                             3.13082909833};
+  static const double c[] = {0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+                             0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+                             0.0000321767881768, 0.0000002888167364, 0.0000003960315187};
+  const double y = p - 0.5;
+  if (std::abs(y) < 0.42) {
+    const double r = y * y;
+    return y * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  }
+  double r = p < 0.5 ? p : 1.0 - p;
+  r = std::log(-std::log(r));
+  double x = c[0];
+  double power = 1.0;
+  for (int i = 1; i < 9; ++i) {
+    power *= r;
+    x += c[i] * power;
+  }
+  return p < 0.5 ? -x : x;
+}
+
+/// Cost of one option at a specific throughput, from its stored components.
+double option_cost(const DeploymentOption& option, const comm::CommModel& comm,
+                   double tu_mbps, bool latency) {
+  if (latency) {
+    return option.edge_latency_ms + option.cloud_latency_ms +
+           (option.tx_bytes > 0 ? comm.comm_latency_ms(option.tx_bytes, tu_mbps) : 0.0);
+  }
+  return option.edge_energy_mj +
+         (option.tx_bytes > 0 ? comm.tx_energy_mj(option.tx_bytes, tu_mbps) : 0.0);
+}
+
+RobustMetric robust_metric(const std::vector<DeploymentOption>& options,
+                           const comm::CommModel& comm,
+                           const ThroughputDistribution& distribution, bool latency) {
+  RobustMetric metric;
+  double best_fixed = std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    double expected = 0.0;
+    for (std::size_t s = 0; s < distribution.tu_mbps.size(); ++s) {
+      expected += distribution.weight[s] *
+                  option_cost(options[i], comm, distribution.tu_mbps[s], latency);
+    }
+    if (expected < best_fixed) {
+      best_fixed = expected;
+      best_index = i;
+    }
+  }
+  metric.expected_fixed_best = best_fixed;
+  metric.fixed_best_option = best_index;
+
+  double oracle = 0.0;
+  for (std::size_t s = 0; s < distribution.tu_mbps.size(); ++s) {
+    double cheapest = std::numeric_limits<double>::infinity();
+    for (const DeploymentOption& option : options) {
+      cheapest = std::min(cheapest,
+                          option_cost(option, comm, distribution.tu_mbps[s], latency));
+    }
+    oracle += distribution.weight[s] * cheapest;
+  }
+  metric.expected_oracle = oracle;
+  return metric;
+}
+
+}  // namespace
+
+ThroughputDistribution ThroughputDistribution::log_normal(double median_mbps, double sigma,
+                                                          std::size_t points) {
+  if (median_mbps <= 0.0 || sigma < 0.0 || points == 0) {
+    throw std::invalid_argument("ThroughputDistribution::log_normal: bad parameters");
+  }
+  ThroughputDistribution d;
+  d.tu_mbps.reserve(points);
+  d.weight.assign(points, 1.0 / static_cast<double>(points));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    d.tu_mbps.push_back(median_mbps * std::exp(sigma * inverse_normal_cdf(p)));
+  }
+  return d;
+}
+
+ThroughputDistribution ThroughputDistribution::from_samples(
+    const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ThroughputDistribution::from_samples: empty");
+  }
+  ThroughputDistribution d;
+  d.tu_mbps = samples;
+  d.weight.assign(samples.size(), 1.0 / static_cast<double>(samples.size()));
+  d.validate();
+  return d;
+}
+
+double ThroughputDistribution::mean() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < tu_mbps.size(); ++i) acc += tu_mbps[i] * weight[i];
+  return acc;
+}
+
+void ThroughputDistribution::validate() const {
+  if (tu_mbps.empty() || tu_mbps.size() != weight.size()) {
+    throw std::invalid_argument("ThroughputDistribution: empty or mismatched");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < tu_mbps.size(); ++i) {
+    if (tu_mbps[i] <= 0.0 || weight[i] < 0.0) {
+      throw std::invalid_argument("ThroughputDistribution: non-positive support/weight");
+    }
+    total += weight[i];
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("ThroughputDistribution: weights must sum to 1");
+  }
+}
+
+RobustDeploymentEvaluator::RobustDeploymentEvaluator(const DeploymentEvaluator& evaluator,
+                                                     ThroughputDistribution distribution)
+    : evaluator_(evaluator), distribution_(std::move(distribution)) {
+  distribution_.validate();
+}
+
+RobustEvaluation RobustDeploymentEvaluator::evaluate(const dnn::Architecture& arch) const {
+  RobustEvaluation result;
+  result.base = evaluator_.evaluate(arch, distribution_.mean());
+  result.latency =
+      robust_metric(result.base.options, evaluator_.comm(), distribution_, /*latency=*/true);
+  result.energy =
+      robust_metric(result.base.options, evaluator_.comm(), distribution_, /*latency=*/false);
+  return result;
+}
+
+}  // namespace lens::core

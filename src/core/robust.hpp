@@ -1,0 +1,74 @@
+#pragma once
+// Distribution-aware deployment evaluation (an extension the paper's §IV-E
+// points toward): instead of scoring candidates at a single expected t_u,
+// score them against a *distribution* of upload throughputs.
+//
+// Two summaries are exposed per architecture:
+//  - expected cost of the best FIXED option (pick one option, pay its mean
+//    cost over the distribution), and
+//  - expected cost under ORACLE SWITCHING (per throughput sample, pay the
+//    cheapest option) — the value an ideal runtime switcher would realize.
+// The gap between them is exactly the runtime-adaptation headroom of the
+// architecture, a quantity a designer can trade off at search time.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/evaluator.hpp"
+
+namespace lens::core {
+
+/// Discretized throughput distribution: support points and probabilities.
+struct ThroughputDistribution {
+  std::vector<double> tu_mbps;
+  std::vector<double> weight;
+
+  /// Discretize a log-normal throughput law (median `median_mbps`, log-std
+  /// `sigma`) into `points` equal-probability quantile atoms.
+  static ThroughputDistribution log_normal(double median_mbps, double sigma,
+                                           std::size_t points = 9);
+
+  /// Empirical distribution from a measured/generated trace.
+  static ThroughputDistribution from_samples(const std::vector<double>& samples);
+
+  double mean() const;
+  void validate() const;  ///< throws std::invalid_argument on malformed data
+};
+
+/// Per-metric robust summary.
+struct RobustMetric {
+  double expected_fixed_best = 0.0;   ///< best single option's mean cost
+  std::size_t fixed_best_option = 0;  ///< index into options
+  double expected_oracle = 0.0;       ///< per-sample cheapest option
+  /// Adaptation headroom: (fixed - oracle) / fixed, in [0, 1).
+  double switching_headroom() const {
+    return expected_fixed_best <= 0.0
+               ? 0.0
+               : (expected_fixed_best - expected_oracle) / expected_fixed_best;
+  }
+};
+
+/// Robust evaluation of one architecture.
+struct RobustEvaluation {
+  DeploymentEvaluation base;  ///< options evaluated at the distribution mean
+  RobustMetric latency;
+  RobustMetric energy;
+};
+
+/// Evaluates architectures against a throughput distribution using the
+/// analytic cost curves of each deployment option.
+class RobustDeploymentEvaluator {
+ public:
+  RobustDeploymentEvaluator(const DeploymentEvaluator& evaluator,
+                            ThroughputDistribution distribution);
+
+  RobustEvaluation evaluate(const dnn::Architecture& arch) const;
+
+  const ThroughputDistribution& distribution() const { return distribution_; }
+
+ private:
+  const DeploymentEvaluator& evaluator_;
+  ThroughputDistribution distribution_;
+};
+
+}  // namespace lens::core

@@ -1,0 +1,142 @@
+#include "core/search_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::core {
+
+namespace {
+constexpr std::size_t kDimsPerBlock = 4;  // depth, kernel, filters, pool?
+constexpr std::size_t kFcDims = 3;        // fc1_units, fc2_present?, fc2_units
+}  // namespace
+
+SearchSpace::SearchSpace(SearchSpaceConfig config) : config_(std::move(config)) {
+  if (config_.num_blocks <= 0 || config_.depths.empty() || config_.kernels.empty() ||
+      config_.filters.empty() || config_.fc_units.empty()) {
+    throw std::invalid_argument("SearchSpace: empty dimension lists");
+  }
+  if (config_.min_pools > config_.num_blocks) {
+    throw std::invalid_argument("SearchSpace: min_pools exceeds the number of blocks");
+  }
+  cardinalities_.reserve(kDimsPerBlock * config_.num_blocks + kFcDims);
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    cardinalities_.push_back(static_cast<int>(config_.depths.size()));
+    cardinalities_.push_back(static_cast<int>(config_.kernels.size()));
+    cardinalities_.push_back(static_cast<int>(config_.filters.size()));
+    cardinalities_.push_back(2);  // optional pool
+  }
+  cardinalities_.push_back(static_cast<int>(config_.fc_units.size()));  // fc1
+  cardinalities_.push_back(2);                                          // fc2 present?
+  cardinalities_.push_back(static_cast<int>(config_.fc_units.size()));  // fc2
+}
+
+double SearchSpace::log10_size() const {
+  double acc = 0.0;
+  for (int c : cardinalities_) acc += std::log10(static_cast<double>(c));
+  return acc;
+}
+
+void SearchSpace::check_in_range(const Genotype& genotype) const {
+  if (genotype.size() != cardinalities_.size()) {
+    throw std::invalid_argument("SearchSpace: genotype has wrong dimensionality");
+  }
+  for (std::size_t i = 0; i < genotype.size(); ++i) {
+    if (genotype[i] < 0 || genotype[i] >= cardinalities_[i]) {
+      throw std::invalid_argument("SearchSpace: genotype index out of range");
+    }
+  }
+}
+
+int SearchSpace::count_pools(const Genotype& genotype) const {
+  check_in_range(genotype);
+  int pools = 0;
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    pools += genotype[kDimsPerBlock * b + 3];
+  }
+  return pools;
+}
+
+bool SearchSpace::is_valid(const Genotype& genotype) const {
+  if (genotype.size() != cardinalities_.size()) return false;
+  for (std::size_t i = 0; i < genotype.size(); ++i) {
+    if (genotype[i] < 0 || genotype[i] >= cardinalities_[i]) return false;
+  }
+  return count_pools(genotype) >= config_.min_pools;
+}
+
+Genotype SearchSpace::random(std::mt19937_64& rng) const {
+  Genotype g(cardinalities_.size());
+  for (;;) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      std::uniform_int_distribution<int> d(0, cardinalities_[i] - 1);
+      g[i] = d(rng);
+    }
+    if (is_valid(g)) return g;
+  }
+}
+
+dnn::Architecture SearchSpace::decode(const Genotype& genotype) const {
+  if (!is_valid(genotype)) {
+    throw std::invalid_argument("SearchSpace::decode: invalid genotype");
+  }
+  std::vector<dnn::LayerSpec> layers;
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    const std::size_t base = kDimsPerBlock * static_cast<std::size_t>(b);
+    const int depth = config_.depths[genotype[base + 0]];
+    const int kernel = config_.kernels[genotype[base + 1]];
+    const int filters = config_.filters[genotype[base + 2]];
+    const bool pool = genotype[base + 3] == 1;
+    for (int d = 0; d < depth; ++d) {
+      layers.push_back(dnn::LayerSpec::conv(filters, kernel, /*stride=*/1, /*padding=*/-1,
+                                            /*batch_norm=*/true));
+    }
+    if (pool) layers.push_back(dnn::LayerSpec::max_pool(2, 2));
+  }
+  const std::size_t fc_base = kDimsPerBlock * static_cast<std::size_t>(config_.num_blocks);
+  layers.push_back(dnn::LayerSpec::dense(config_.fc_units[genotype[fc_base + 0]]));
+  if (genotype[fc_base + 1] == 1) {
+    layers.push_back(dnn::LayerSpec::dense(config_.fc_units[genotype[fc_base + 2]]));
+  }
+  layers.push_back(dnn::LayerSpec::dense(config_.num_classes, dnn::Activation::kSoftmax));
+  return dnn::Architecture(architecture_name(genotype), config_.input, std::move(layers));
+}
+
+std::vector<double> SearchSpace::to_normalized(const Genotype& genotype) const {
+  check_in_range(genotype);
+  std::vector<double> x(genotype.size());
+  for (std::size_t i = 0; i < genotype.size(); ++i) {
+    const int card = cardinalities_[i];
+    x[i] = card <= 1 ? 0.0
+                     : static_cast<double>(genotype[i]) / static_cast<double>(card - 1);
+  }
+  return x;
+}
+
+Genotype SearchSpace::from_normalized(const std::vector<double>& x) const {
+  if (x.size() != cardinalities_.size()) {
+    throw std::invalid_argument("SearchSpace::from_normalized: wrong dimensionality");
+  }
+  Genotype g(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int card = cardinalities_[i];
+    const double clamped = std::min(1.0, std::max(0.0, x[i]));
+    g[i] = static_cast<int>(std::lround(clamped * (card - 1)));
+  }
+  return g;
+}
+
+std::string SearchSpace::architecture_name(const Genotype& genotype) const {
+  check_in_range(genotype);
+  // FNV-1a over the indices -> 8 hex chars.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int v : genotype) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e37ULL;
+    h *= 1099511628211ULL;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string name = "arch-";
+  for (int i = 0; i < 8; ++i) name.push_back(kHex[(h >> (4 * i)) & 0xF]);
+  return name;
+}
+
+}  // namespace lens::core

@@ -1,0 +1,81 @@
+#pragma once
+// The experimental search space of the paper (Fig. 4): a VGG-derived family
+// of 5 convolutional blocks — each with a searchable depth, kernel size,
+// filter count and an optional 2x2 max-pool — followed by one mandatory and
+// one optional fully-connected layer, then the softmax classifier. A hard
+// constraint requires at least 4 pooling layers per architecture ("to
+// highlight cases that can benefit from layer distribution").
+
+#include <cstddef>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dnn/architecture.hpp"
+
+namespace lens::core {
+
+/// Encoded architecture: one integer index per search dimension.
+using Genotype = std::vector<int>;
+
+struct SearchSpaceConfig {
+  dnn::TensorShape input{224, 224, 3};  ///< performance-objective input (147 kB)
+  int num_classes = 10;                 ///< CIFAR-10
+  int num_blocks = 5;
+  std::vector<int> depths{1, 2, 3};
+  std::vector<int> kernels{3, 5, 7};
+  std::vector<int> filters{24, 36, 64, 96, 128, 256};
+  std::vector<int> fc_units{256, 512, 1024, 2048, 4096, 8192};
+  int min_pools = 4;
+};
+
+/// Encode/decode/sample interface over the genotype grid.
+///
+/// Genotype layout (all entries are indices into the config lists):
+///   [block b: depth, kernel, filters, pool?] * num_blocks,
+///   fc1_units, fc2_present?, fc2_units
+/// The trailing classifier FC (num_classes, softmax) is always appended by
+/// decode() and is not searched.
+class SearchSpace {
+ public:
+  explicit SearchSpace(SearchSpaceConfig config = {});
+
+  const SearchSpaceConfig& config() const { return config_; }
+  std::size_t num_dimensions() const { return cardinalities_.size(); }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  /// log10 of the total number of genotypes on the grid (before the pooling
+  /// constraint); a size indicator for reports.
+  double log10_size() const;
+
+  /// True when the genotype is in-range and satisfies the >= min_pools
+  /// constraint.
+  bool is_valid(const Genotype& genotype) const;
+
+  /// Rejection-sample a valid genotype.
+  Genotype random(std::mt19937_64& rng) const;
+
+  /// Materialize the architecture. Throws std::invalid_argument for invalid
+  /// genotypes.
+  dnn::Architecture decode(const Genotype& genotype) const;
+
+  /// Map a genotype onto [0,1]^d for the GP kernel (index / (cardinality-1)).
+  std::vector<double> to_normalized(const Genotype& genotype) const;
+
+  /// Inverse of to_normalized (nearest grid point).
+  Genotype from_normalized(const std::vector<double>& x) const;
+
+  /// Short deterministic name for a genotype (stable across runs).
+  std::string architecture_name(const Genotype& genotype) const;
+
+  /// Number of pooling layers the genotype instantiates.
+  int count_pools(const Genotype& genotype) const;
+
+ private:
+  void check_in_range(const Genotype& genotype) const;
+
+  SearchSpaceConfig config_;
+  std::vector<int> cardinalities_;
+};
+
+}  // namespace lens::core

@@ -1,0 +1,35 @@
+#include "core/trained_accuracy.hpp"
+
+#include "nn/builder.hpp"
+
+namespace lens::core {
+
+TrainedAccuracyEvaluator::TrainedAccuracyEvaluator(const SearchSpace& space,
+                                                   TrainedAccuracyConfig config)
+    : train_space_config_(space.config()), config_(config) {
+  train_space_config_.input = config_.train_input;
+  nn::ShapeSetConfig dataset_config = config_.dataset;
+  dataset_config.image_size = config_.train_input.height;
+  nn::ShapeSet dataset(dataset_config);
+  train_data_ = dataset.generate(config_.train_samples);
+  test_data_ = dataset.generate(config_.test_samples);
+}
+
+double TrainedAccuracyEvaluator::test_error_percent(const Genotype& genotype,
+                                                    const dnn::Architecture& /*arch*/) const {
+  // Re-decode against the training input shape.
+  const SearchSpace train_space(train_space_config_);
+  const dnn::Architecture train_arch = train_space.decode(genotype);
+
+  // Deterministic per-genotype weight initialization.
+  std::uint64_t h = config_.init_seed;
+  for (int v : genotype) h = h * 1099511628211ULL + static_cast<std::uint64_t>(v) + 1;
+  std::mt19937_64 rng(h);
+
+  nn::Sequential network = nn::build_network(train_arch, rng);
+  nn::Trainer trainer(network, config_.trainer);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) trainer.train_epoch(train_data_);
+  return trainer.evaluate(test_data_).error_percent();
+}
+
+}  // namespace lens::core

@@ -1,0 +1,81 @@
+#include "dnn/architecture.hpp"
+
+#include <stdexcept>
+
+namespace lens::dnn {
+
+Architecture::Architecture(std::string name, TensorShape input, std::vector<LayerSpec> layers)
+    : name_(std::move(name)), input_(input) {
+  if (layers.empty()) throw std::invalid_argument("Architecture: empty layer stack");
+  if (input.height <= 0 || input.width <= 0 || input.channels <= 0) {
+    throw std::invalid_argument("Architecture: degenerate input shape");
+  }
+  layers_.reserve(layers.size());
+  TensorShape current = input;
+  std::size_t conv_seen = 0;
+  std::size_t pool_seen = 0;
+  std::size_t fc_seen = 0;
+  bool dense_started = false;
+  for (const LayerSpec& spec : layers) {
+    if (dense_started && spec.kind != LayerKind::kDense) {
+      throw std::invalid_argument("Architecture: spatial layer after a dense layer");
+    }
+    LayerInfo info;
+    info.spec = spec;
+    info.input = current;
+    info.output = output_shape(spec, current);
+    info.flops = layer_flops(spec, current);
+    info.params = layer_params(spec, current);
+    switch (spec.kind) {
+      case LayerKind::kConv:
+        info.name = "conv" + std::to_string(++conv_seen);
+        break;
+      case LayerKind::kMaxPool:
+        // AlexNet-style: a pool is numbered after the conv it follows
+        // (pool5 follows conv5); consecutive pools keep counting.
+        pool_seen = conv_seen > pool_seen ? conv_seen : pool_seen + 1;
+        info.name = "pool" + std::to_string(pool_seen);
+        break;
+      case LayerKind::kDense:
+        dense_started = true;
+        // FC numbering continues from the conv count (AlexNet: fc6..fc8).
+        info.name = "fc" + std::to_string(conv_seen + (++fc_seen));
+        break;
+    }
+    total_flops_ += info.flops;
+    total_params_ += info.params;
+    current = info.output;
+    layers_.push_back(std::move(info));
+  }
+}
+
+std::uint64_t Architecture::input_bytes(const DataSizeModel& model) const {
+  return model.input_bytes(input_);
+}
+
+std::uint64_t Architecture::output_bytes(std::size_t layer_index,
+                                         const DataSizeModel& model) const {
+  if (layer_index >= layers_.size()) {
+    throw std::out_of_range("Architecture::output_bytes: bad layer index");
+  }
+  return model.activation_bytes(layers_[layer_index].output);
+}
+
+std::vector<std::size_t> Architecture::partition_candidates(const DataSizeModel& model) const {
+  std::vector<std::size_t> out;
+  const std::uint64_t threshold = input_bytes(model);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (output_bytes(i, model) < threshold) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Architecture::count_kind(LayerKind kind) const {
+  std::size_t n = 0;
+  for (const LayerInfo& info : layers_) {
+    if (info.spec.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace lens::dnn

@@ -1,0 +1,64 @@
+#pragma once
+// A validated feed-forward architecture: input shape plus a fused-layer
+// stack, with the per-layer shape / FLOPs / params trace precomputed. This
+// is the object Algorithm 1 walks (Size_comp, per-layer prediction,
+// partition-point identification).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/datasize.hpp"
+#include "dnn/layer.hpp"
+
+namespace lens::dnn {
+
+/// Per-layer record of the architecture trace.
+struct LayerInfo {
+  LayerSpec spec;
+  TensorShape input;
+  TensorShape output;
+  std::uint64_t flops = 0;
+  std::uint64_t params = 0;
+  std::string name;  ///< e.g. "conv1", "pool2", "fc6" (1-based, AlexNet style)
+};
+
+/// Immutable, shape-checked architecture.
+class Architecture {
+ public:
+  /// Builds and validates the trace. Throws std::invalid_argument when any
+  /// layer cannot be applied to its incoming shape or the stack is empty.
+  Architecture(std::string name, TensorShape input, std::vector<LayerSpec> layers);
+
+  const std::string& name() const { return name_; }
+  const TensorShape& input_shape() const { return input_; }
+  const std::vector<LayerInfo>& layers() const { return layers_; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  std::uint64_t total_flops() const { return total_flops_; }
+  std::uint64_t total_params() const { return total_params_; }
+
+  /// Wire size of the input under `model`.
+  std::uint64_t input_bytes(const DataSizeModel& model = {}) const;
+
+  /// Wire size of layer i's output activation under `model`.
+  std::uint64_t output_bytes(std::size_t layer_index, const DataSizeModel& model = {}) const;
+
+  /// Indices of layers whose output is strictly smaller on the wire than the
+  /// model input — the candidate partition points of Alg. 1 line 9
+  /// ("Identify"). All-Edge / All-Cloud are handled by the evaluator, not
+  /// listed here.
+  std::vector<std::size_t> partition_candidates(const DataSizeModel& model = {}) const;
+
+  /// Count of layers of a given kind (used by the >=4-pools constraint).
+  std::size_t count_kind(LayerKind kind) const;
+
+ private:
+  std::string name_;
+  TensorShape input_;
+  std::vector<LayerInfo> layers_;
+  std::uint64_t total_flops_ = 0;
+  std::uint64_t total_params_ = 0;
+};
+
+}  // namespace lens::dnn

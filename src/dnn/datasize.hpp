@@ -1,0 +1,31 @@
+#pragma once
+// Wire-size accounting for tensors crossing the edge-cloud link.
+//
+// The paper counts the raw camera input at 1 byte/element (224*224*3 =
+// 147 kB, §V) while intermediate activations travel as fp32 (Neurosurgeon
+// convention). Both are knobs here so experiments can study e.g. quantized
+// activation transfer.
+
+#include <cstdint>
+
+#include "dnn/layer.hpp"
+
+namespace lens::dnn {
+
+/// Bytes-per-element policy for data crossing the wireless link.
+struct DataSizeModel {
+  int input_bytes_per_element = 1;       ///< raw uint8 sensor data
+  int activation_bytes_per_element = 4;  ///< fp32 feature maps
+
+  /// Wire size of the model input.
+  std::uint64_t input_bytes(const TensorShape& shape) const {
+    return static_cast<std::uint64_t>(shape.elements()) * input_bytes_per_element;
+  }
+
+  /// Wire size of an intermediate activation tensor.
+  std::uint64_t activation_bytes(const TensorShape& shape) const {
+    return static_cast<std::uint64_t>(shape.elements()) * activation_bytes_per_element;
+  }
+};
+
+}  // namespace lens::dnn

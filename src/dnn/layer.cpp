@@ -1,0 +1,130 @@
+#include "dnn/layer.hpp"
+
+#include <stdexcept>
+
+namespace lens::dnn {
+
+LayerSpec LayerSpec::conv(int filters, int kernel, int stride, int padding, bool batch_norm,
+                          Activation activation) {
+  if (filters <= 0 || kernel <= 0 || stride <= 0) {
+    throw std::invalid_argument("LayerSpec::conv: non-positive parameter");
+  }
+  LayerSpec spec;
+  spec.kind = LayerKind::kConv;
+  spec.filters = filters;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.padding = padding >= 0 ? padding : kernel / 2;  // default: "same" padding
+  spec.batch_norm = batch_norm;
+  spec.activation = activation;
+  return spec;
+}
+
+LayerSpec LayerSpec::max_pool(int kernel, int stride) {
+  if (kernel <= 0) throw std::invalid_argument("LayerSpec::max_pool: non-positive kernel");
+  LayerSpec spec;
+  spec.kind = LayerKind::kMaxPool;
+  spec.kernel = kernel;
+  spec.stride = stride > 0 ? stride : kernel;
+  return spec;
+}
+
+LayerSpec LayerSpec::dense(int units, Activation activation) {
+  if (units <= 0) throw std::invalid_argument("LayerSpec::dense: non-positive units");
+  LayerSpec spec;
+  spec.kind = LayerKind::kDense;
+  spec.units = units;
+  spec.activation = activation;
+  return spec;
+}
+
+std::string kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kMaxPool: return "pool";
+    case LayerKind::kDense: return "fc";
+  }
+  throw std::logic_error("kind_name: unknown LayerKind");
+}
+
+namespace {
+int spatial_out(int in, int window, int stride, int padding) {
+  const int padded = in + 2 * padding;
+  if (padded < window) {
+    throw std::invalid_argument("output_shape: window larger than padded input");
+  }
+  return (padded - window) / stride + 1;
+}
+}  // namespace
+
+TensorShape output_shape(const LayerSpec& layer, const TensorShape& input) {
+  if (input.height <= 0 || input.width <= 0 || input.channels <= 0) {
+    throw std::invalid_argument("output_shape: degenerate input shape");
+  }
+  switch (layer.kind) {
+    case LayerKind::kConv: {
+      const int h = spatial_out(input.height, layer.kernel, layer.stride, layer.padding);
+      const int w = spatial_out(input.width, layer.kernel, layer.stride, layer.padding);
+      if (h <= 0 || w <= 0) throw std::invalid_argument("output_shape: conv output collapsed");
+      return {h, w, layer.filters};
+    }
+    case LayerKind::kMaxPool: {
+      const int h = spatial_out(input.height, layer.kernel, layer.stride, 0);
+      const int w = spatial_out(input.width, layer.kernel, layer.stride, 0);
+      if (h <= 0 || w <= 0) throw std::invalid_argument("output_shape: pool output collapsed");
+      return {h, w, input.channels};
+    }
+    case LayerKind::kDense:
+      return {1, 1, layer.units};
+  }
+  throw std::logic_error("output_shape: unknown LayerKind");
+}
+
+std::uint64_t layer_flops(const LayerSpec& layer, const TensorShape& input) {
+  const TensorShape out = output_shape(layer, input);
+  const auto out_elems = static_cast<std::uint64_t>(out.elements());
+  std::uint64_t flops = 0;
+  switch (layer.kind) {
+    case LayerKind::kConv: {
+      const std::uint64_t macs = out_elems * static_cast<std::uint64_t>(layer.kernel) *
+                                 layer.kernel * static_cast<std::uint64_t>(input.channels);
+      flops = 2 * macs + out_elems;  // + bias adds
+      break;
+    }
+    case LayerKind::kMaxPool:
+      flops = out_elems * static_cast<std::uint64_t>(layer.kernel) * layer.kernel;
+      break;
+    case LayerKind::kDense: {
+      const auto in_elems = static_cast<std::uint64_t>(input.elements());
+      flops = 2 * in_elems * static_cast<std::uint64_t>(layer.units) +
+              static_cast<std::uint64_t>(layer.units);
+      break;
+    }
+  }
+  if (layer.batch_norm) flops += 4 * out_elems;          // scale, shift, mean, var apply
+  if (layer.activation != Activation::kNone) flops += out_elems;
+  return flops;
+}
+
+std::uint64_t layer_params(const LayerSpec& layer, const TensorShape& input) {
+  std::uint64_t params = 0;
+  switch (layer.kind) {
+    case LayerKind::kConv:
+      params = static_cast<std::uint64_t>(layer.kernel) * layer.kernel *
+                   static_cast<std::uint64_t>(input.channels) * layer.filters +
+               static_cast<std::uint64_t>(layer.filters);
+      if (layer.batch_norm) params += 2ULL * layer.filters;
+      break;
+    case LayerKind::kMaxPool:
+      params = 0;
+      break;
+    case LayerKind::kDense:
+      params = static_cast<std::uint64_t>(input.elements()) * layer.units +
+               static_cast<std::uint64_t>(layer.units);
+      if (layer.batch_norm) params += 2ULL * layer.units;
+      break;
+  }
+  return params;
+}
+
+}  // namespace lens::dnn

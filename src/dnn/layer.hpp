@@ -1,0 +1,76 @@
+#pragma once
+// Layer-level architecture IR.
+//
+// Activations and batch normalization are folded into their parent layer as
+// attributes rather than standalone layers, mirroring the paper's Fig. 1
+// convention ("any activation or normalization layers are fused with their
+// preceding layers"): they add FLOPs/params but never change feature-map
+// sizes, so they can never be partition points.
+
+#include <cstdint>
+#include <string>
+
+namespace lens::dnn {
+
+/// Kinds of (fused) layers the IR supports.
+enum class LayerKind { kConv, kMaxPool, kDense };
+
+/// Post-layer activation function.
+enum class Activation { kNone, kRelu, kSoftmax };
+
+/// Spatial feature-map shape (height x width x channels). Dense outputs are
+/// represented as 1 x 1 x units.
+struct TensorShape {
+  int height = 0;
+  int width = 0;
+  int channels = 0;
+
+  std::int64_t elements() const {
+    return static_cast<std::int64_t>(height) * width * channels;
+  }
+  bool operator==(const TensorShape&) const = default;
+};
+
+/// One fused layer. Use the factory functions; they keep the per-kind field
+/// conventions straight (e.g. `kernel`/`stride` are reused by pooling).
+struct LayerSpec {
+  LayerKind kind = LayerKind::kConv;
+
+  int filters = 0;   ///< conv: output channels
+  int kernel = 0;    ///< conv / pool: square window size
+  int stride = 1;    ///< conv / pool
+  int padding = 0;   ///< conv only
+  int units = 0;     ///< dense: output neurons
+
+  Activation activation = Activation::kNone;
+  bool batch_norm = false;
+
+  /// 2-D convolution (optionally batch-normalized, default ReLU).
+  static LayerSpec conv(int filters, int kernel, int stride = 1, int padding = -1,
+                        bool batch_norm = true, Activation activation = Activation::kRelu);
+
+  /// Max pooling (default the paper's 2x2, stride 2).
+  static LayerSpec max_pool(int kernel = 2, int stride = -1);
+
+  /// Fully connected layer; flattens any input shape implicitly.
+  static LayerSpec dense(int units, Activation activation = Activation::kRelu);
+
+  bool operator==(const LayerSpec&) const = default;
+};
+
+/// Human-readable kind tag ("conv", "pool", "fc").
+std::string kind_name(LayerKind kind);
+
+/// Output shape of `layer` applied to `input`. Throws std::invalid_argument
+/// when the layer cannot be applied (window larger than the padded input,
+/// non-positive result, bad parameters).
+TensorShape output_shape(const LayerSpec& layer, const TensorShape& input);
+
+/// Forward FLOPs (multiply and add counted separately) including the fused
+/// batch-norm / activation element-wise work.
+std::uint64_t layer_flops(const LayerSpec& layer, const TensorShape& input);
+
+/// Trainable parameter count (weights + biases + batch-norm scale/shift).
+std::uint64_t layer_params(const LayerSpec& layer, const TensorShape& input);
+
+}  // namespace lens::dnn

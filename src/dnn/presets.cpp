@@ -1,0 +1,67 @@
+#include "dnn/presets.hpp"
+
+namespace lens::dnn {
+
+Architecture alexnet(int num_classes) {
+  std::vector<LayerSpec> layers = {
+      LayerSpec::conv(96, 11, 4, 2, /*batch_norm=*/false),
+      LayerSpec::max_pool(3, 2),
+      LayerSpec::conv(256, 5, 1, 2, /*batch_norm=*/false),
+      LayerSpec::max_pool(3, 2),
+      LayerSpec::conv(384, 3, 1, 1, /*batch_norm=*/false),
+      LayerSpec::conv(384, 3, 1, 1, /*batch_norm=*/false),
+      LayerSpec::conv(256, 3, 1, 1, /*batch_norm=*/false),
+      LayerSpec::max_pool(3, 2),
+      LayerSpec::dense(4096),
+      LayerSpec::dense(4096),
+      LayerSpec::dense(num_classes, Activation::kSoftmax),
+  };
+  return Architecture("alexnet", {224, 224, 3}, std::move(layers));
+}
+
+Architecture vgg16(int num_classes) {
+  std::vector<LayerSpec> layers;
+  const int block_filters[] = {64, 128, 256, 512, 512};
+  const int block_depth[] = {2, 2, 3, 3, 3};
+  for (int b = 0; b < 5; ++b) {
+    for (int d = 0; d < block_depth[b]; ++d) {
+      layers.push_back(LayerSpec::conv(block_filters[b], 3, 1, 1, /*batch_norm=*/false));
+    }
+    layers.push_back(LayerSpec::max_pool(2, 2));
+  }
+  layers.push_back(LayerSpec::dense(4096));
+  layers.push_back(LayerSpec::dense(4096));
+  layers.push_back(LayerSpec::dense(num_classes, Activation::kSoftmax));
+  return Architecture("vgg16", {224, 224, 3}, std::move(layers));
+}
+
+Architecture vgg11(int num_classes) {
+  std::vector<LayerSpec> layers;
+  const int block_filters[] = {64, 128, 256, 512, 512};
+  const int block_depth[] = {1, 1, 2, 2, 2};
+  for (int b = 0; b < 5; ++b) {
+    for (int d = 0; d < block_depth[b]; ++d) {
+      layers.push_back(LayerSpec::conv(block_filters[b], 3, 1, 1, /*batch_norm=*/false));
+    }
+    layers.push_back(LayerSpec::max_pool(2, 2));
+  }
+  layers.push_back(LayerSpec::dense(4096));
+  layers.push_back(LayerSpec::dense(4096));
+  layers.push_back(LayerSpec::dense(num_classes, Activation::kSoftmax));
+  return Architecture("vgg11", {224, 224, 3}, std::move(layers));
+}
+
+Architecture lenet5(int num_classes) {
+  std::vector<LayerSpec> layers = {
+      LayerSpec::conv(6, 5, 1, 0, /*batch_norm=*/false),
+      LayerSpec::max_pool(2, 2),
+      LayerSpec::conv(16, 5, 1, 0, /*batch_norm=*/false),
+      LayerSpec::max_pool(2, 2),
+      LayerSpec::dense(120),
+      LayerSpec::dense(84),
+      LayerSpec::dense(num_classes, Activation::kSoftmax),
+  };
+  return Architecture("lenet5", {32, 32, 1}, std::move(layers));
+}
+
+}  // namespace lens::dnn

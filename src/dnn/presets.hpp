@@ -1,0 +1,26 @@
+#pragma once
+// Reference architectures used by the paper's motivational analysis
+// (AlexNet, Figs. 1-2, Table I) and as the search-space template (VGG-16).
+
+#include "dnn/architecture.hpp"
+
+namespace lens::dnn {
+
+/// Classic AlexNet (Krizhevsky et al. 2012) for a 224x224x3 input and
+/// `num_classes` outputs. conv1 uses padding 2 so the 224 input maps to the
+/// canonical 55x55x96 first feature map. No batch norm (true to the
+/// original; LRN is ignored as a fused no-op for size purposes).
+Architecture alexnet(int num_classes = 1000);
+
+/// VGG-16 (Simonyan & Zisserman) for a 224x224x3 input.
+Architecture vgg16(int num_classes = 1000);
+
+/// VGG-11 ("configuration A") for a 224x224x3 input.
+Architecture vgg11(int num_classes = 1000);
+
+/// LeNet-5-style network for a 32x32x1 input (classic small baseline; its
+/// tiny feature maps make every layer a viable partition point, the
+/// degenerate opposite of AlexNet's Fig. 1 profile).
+Architecture lenet5(int num_classes = 10);
+
+}  // namespace lens::dnn

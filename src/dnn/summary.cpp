@@ -1,0 +1,82 @@
+#include "dnn/summary.hpp"
+
+#include <cstdio>
+
+namespace lens::dnn {
+
+namespace {
+std::string config_string(const LayerSpec& spec) {
+  char buffer[64];
+  switch (spec.kind) {
+    case LayerKind::kConv:
+      std::snprintf(buffer, sizeof buffer, "%dx%d s%d p%d f%d%s", spec.kernel, spec.kernel,
+                    spec.stride, spec.padding, spec.filters, spec.batch_norm ? " +bn" : "");
+      break;
+    case LayerKind::kMaxPool:
+      std::snprintf(buffer, sizeof buffer, "%dx%d s%d", spec.kernel, spec.kernel,
+                    spec.stride);
+      break;
+    case LayerKind::kDense:
+      std::snprintf(buffer, sizeof buffer, "units %d%s", spec.units,
+                    spec.activation == Activation::kSoftmax ? " +softmax" : "");
+      break;
+  }
+  return buffer;
+}
+}  // namespace
+
+std::string summary(const Architecture& arch, const DataSizeModel& sizes) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%s: input %dx%dx%d (%llu B on the wire)\n",
+                arch.name().c_str(), arch.input_shape().height, arch.input_shape().width,
+                arch.input_shape().channels,
+                static_cast<unsigned long long>(arch.input_bytes(sizes)));
+  out += line;
+  std::snprintf(line, sizeof line, "%-8s %-20s %-13s %12s %12s %6s\n", "layer", "config",
+                "output", "flops", "params", "split?");
+  out += line;
+  const std::uint64_t input_bytes = arch.input_bytes(sizes);
+  for (std::size_t i = 0; i < arch.num_layers(); ++i) {
+    const LayerInfo& info = arch.layers()[i];
+    char shape[32];
+    std::snprintf(shape, sizeof shape, "%dx%dx%d", info.output.height, info.output.width,
+                  info.output.channels);
+    const bool viable = arch.output_bytes(i, sizes) < input_bytes;
+    std::snprintf(line, sizeof line, "%-8s %-20s %-13s %12llu %12llu %6s\n",
+                  info.name.c_str(), config_string(info.spec).c_str(), shape,
+                  static_cast<unsigned long long>(info.flops),
+                  static_cast<unsigned long long>(info.params), viable ? "yes" : "-");
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "total: %.3f GFLOP, %llu params (%.1f MB fp32)\n",
+                static_cast<double>(arch.total_flops()) / 1e9,
+                static_cast<unsigned long long>(arch.total_params()),
+                static_cast<double>(arch.total_params()) * 4.0 / (1024.0 * 1024.0));
+  out += line;
+  return out;
+}
+
+std::string signature(const Architecture& arch) {
+  std::string out;
+  char token[48];
+  for (const LayerInfo& info : arch.layers()) {
+    switch (info.spec.kind) {
+      case LayerKind::kConv:
+        std::snprintf(token, sizeof token, "conv%dx%dx%d", info.spec.kernel,
+                      info.spec.kernel, info.spec.filters);
+        break;
+      case LayerKind::kMaxPool:
+        std::snprintf(token, sizeof token, "pool");
+        break;
+      case LayerKind::kDense:
+        std::snprintf(token, sizeof token, "fc%d", info.spec.units);
+        break;
+    }
+    if (!out.empty()) out += ' ';
+    out += token;
+  }
+  return out;
+}
+
+}  // namespace lens::dnn

@@ -1,0 +1,18 @@
+#pragma once
+// Human-readable architecture summaries (Keras-style table).
+
+#include <string>
+
+#include "dnn/architecture.hpp"
+
+namespace lens::dnn {
+
+/// Multi-line per-layer table: name, configuration, output shape, FLOPs,
+/// params, plus totals and the partition-candidate markers under `sizes`.
+std::string summary(const Architecture& arch, const DataSizeModel& sizes = {});
+
+/// Compact one-line signature, e.g.
+/// "conv3x3x64 conv3x3x64 pool conv5x5x128 pool fc1024 fc10".
+std::string signature(const Architecture& arch);
+
+}  // namespace lens::dnn

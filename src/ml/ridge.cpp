@@ -1,0 +1,61 @@
+#include "ml/ridge.hpp"
+
+#include <stdexcept>
+
+#include "opt/matrix.hpp"
+
+namespace lens::ml {
+
+RidgeRegression::RidgeRegression(RidgeConfig config) : config_(config) {
+  if (config_.lambda < 0.0) throw std::invalid_argument("RidgeRegression: lambda must be >= 0");
+}
+
+void RidgeRegression::fit(const std::vector<std::vector<double>>& x,
+                          const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("RidgeRegression::fit: empty or mismatched data");
+  }
+  const std::size_t n = x.size();
+  const std::size_t d = x.front().size();
+  const std::size_t cols = d + (config_.fit_intercept ? 1 : 0);
+
+  opt::Matrix a(n, cols);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i].size() != d) throw std::invalid_argument("RidgeRegression::fit: ragged rows");
+    for (std::size_t j = 0; j < d; ++j) a(i, j) = x[i][j];
+    if (config_.fit_intercept) a(i, d) = 1.0;
+  }
+
+  // Normal equations: (A^T A + lambda I') w = A^T y, with no penalty on the
+  // intercept column.
+  opt::Matrix at = a.transposed();
+  opt::Matrix gram = at.multiply(a);
+  for (std::size_t j = 0; j < d; ++j) gram(j, j) += config_.lambda;
+  // Tiny jitter keeps the factorization alive for rank-deficient designs.
+  gram.add_diagonal(1e-10);
+  const std::vector<double> rhs = at.multiply(y);
+  const opt::Matrix chol = opt::cholesky(gram);
+  std::vector<double> solution = opt::cholesky_solve(chol, rhs);
+
+  weights_.assign(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(d));
+  intercept_ = config_.fit_intercept ? solution[d] : 0.0;
+}
+
+double RidgeRegression::predict(const std::vector<double>& x) const {
+  if (!is_fitted()) throw std::logic_error("RidgeRegression::predict: not fitted");
+  if (x.size() != weights_.size()) {
+    throw std::invalid_argument("RidgeRegression::predict: dimension mismatch");
+  }
+  double acc = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) acc += weights_[j] * x[j];
+  return acc;
+}
+
+std::vector<double> RidgeRegression::predict(const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace lens::ml

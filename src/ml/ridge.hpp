@@ -1,0 +1,40 @@
+#pragma once
+// L2-regularized linear regression (ridge), solved in closed form via the
+// normal equations and a Cholesky factorization. This is the regression
+// family behind the per-layer latency / power predictors (paper §IV-C).
+
+#include <vector>
+
+namespace lens::ml {
+
+struct RidgeConfig {
+  double lambda = 1e-3;      ///< L2 penalty (not applied to the intercept)
+  bool fit_intercept = true;
+};
+
+/// Ridge regression y ~ w . x + b.
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(RidgeConfig config = {});
+
+  /// Fit on a design matrix (rows = samples) and targets. Throws on empty,
+  /// ragged, or size-mismatched input.
+  void fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y);
+
+  /// Predict a single sample. Throws if not fitted or dimension mismatch.
+  double predict(const std::vector<double>& x) const;
+
+  /// Predict a batch.
+  std::vector<double> predict(const std::vector<std::vector<double>>& x) const;
+
+  bool is_fitted() const { return !weights_.empty(); }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  RidgeConfig config_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace lens::ml

@@ -1,0 +1,33 @@
+#include "nn/activation.hpp"
+
+#include <stdexcept>
+
+namespace lens::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  n_ = input.n();
+  h_ = input.h();
+  w_ = input.w();
+  c_ = input.c();
+  Tensor output = input;
+  mask_.assign(input.size(), false);
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (output.storage()[i] > 0.0f) {
+      mask_[i] = true;
+    } else {
+      output.storage()[i] = 0.0f;
+    }
+  }
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (mask_.empty()) throw std::logic_error("ReLU::backward before forward");
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i) {
+    if (!mask_[i]) grad_input.storage()[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,20 @@
+#pragma once
+// Element-wise activation layers.
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+/// Rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+
+ private:
+  std::vector<bool> mask_;  ///< true where input > 0
+  int n_ = 0, h_ = 0, w_ = 0, c_ = 0;
+};
+
+}  // namespace lens::nn

@@ -1,0 +1,53 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::nn {
+
+Adam::Adam(std::vector<ParamTensor*> parameters, AdamConfig config)
+    : parameters_(std::move(parameters)), config_(config) {
+  if (config_.learning_rate <= 0.0 || config_.beta1 < 0.0 || config_.beta1 >= 1.0 ||
+      config_.beta2 < 0.0 || config_.beta2 >= 1.0 || config_.epsilon <= 0.0) {
+    throw std::invalid_argument("Adam: invalid configuration");
+  }
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const ParamTensor* p : parameters_) {
+    if (p == nullptr) throw std::invalid_argument("Adam: null parameter");
+    first_moment_.emplace_back(p->value.size(), 0.0f);
+    second_moment_.emplace_back(p->value.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++steps_;
+  const auto b1 = static_cast<float>(config_.beta1);
+  const auto b2 = static_cast<float>(config_.beta2);
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto eps = static_cast<float>(config_.epsilon);
+  const auto wd = static_cast<float>(config_.weight_decay);
+
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    ParamTensor& param = *parameters_[p];
+    std::vector<float>& m = first_moment_[p];
+    std::vector<float>& v = second_moment_[p];
+    for (std::size_t i = 0; i < param.value.size(); ++i) {
+      const float g = param.grad[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const auto m_hat = static_cast<float>(m[i] / bias1);
+      const auto v_hat = static_cast<float>(v[i] / bias2);
+      param.value[i] -= lr * (m_hat / (std::sqrt(v_hat) + eps) + wd * param.value[i]);
+    }
+    param.zero_grad();
+  }
+}
+
+void Adam::zero_grad() {
+  for (ParamTensor* p : parameters_) p->zero_grad();
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,39 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) with bias correction and decoupled weight
+// decay (AdamW-style).
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<ParamTensor*> parameters, AdamConfig config = {});
+
+  /// Apply one update from accumulated gradients, then zero them.
+  void step();
+
+  void zero_grad();
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  double learning_rate() const { return config_.learning_rate; }
+  std::size_t steps_taken() const { return steps_; }
+
+ private:
+  std::vector<ParamTensor*> parameters_;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+  AdamConfig config_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace lens::nn

@@ -1,0 +1,64 @@
+#include "nn/avgpool.hpp"
+
+#include <stdexcept>
+
+namespace lens::nn {
+
+AvgPool2D::AvgPool2D(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  if (kernel <= 0 || stride <= 0) throw std::invalid_argument("AvgPool2D: bad parameters");
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.h() < kernel_ || input.w() < kernel_) {
+    throw std::invalid_argument("AvgPool2D: window larger than input");
+  }
+  out_h_ = (input.h() - kernel_) / stride_ + 1;
+  out_w_ = (input.w() - kernel_) / stride_ + 1;
+  if (out_h_ <= 0 || out_w_ <= 0) throw std::invalid_argument("AvgPool2D: output collapsed");
+  in_n_ = input.n();
+  in_h_ = input.h();
+  in_w_ = input.w();
+  in_c_ = input.c();
+
+  Tensor output(input.n(), out_h_, out_w_, input.c());
+  const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int b = 0; b < input.n(); ++b) {
+    for (int oy = 0; oy < out_h_; ++oy) {
+      for (int ox = 0; ox < out_w_; ++ox) {
+        for (int c = 0; c < input.c(); ++c) {
+          float acc = 0.0f;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              acc += input.at(b, oy * stride_ + ky, ox * stride_ + kx, c);
+            }
+          }
+          output.at(b, oy, ox, c) = acc * scale;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (in_n_ == 0) throw std::logic_error("AvgPool2D::backward before forward");
+  Tensor grad_input(in_n_, in_h_, in_w_, in_c_);
+  const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (int b = 0; b < in_n_; ++b) {
+    for (int oy = 0; oy < out_h_; ++oy) {
+      for (int ox = 0; ox < out_w_; ++ox) {
+        for (int c = 0; c < in_c_; ++c) {
+          const float g = grad_output.at(b, oy, ox, c) * scale;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+              grad_input.at(b, oy * stride_ + ky, ox * stride_ + kx, c) += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,22 @@
+#pragma once
+// Average-pooling layer (uniform gradient routing).
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+class AvgPool2D final : public Layer {
+ public:
+  AvgPool2D(int kernel, int stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "avgpool2d"; }
+
+ private:
+  int kernel_, stride_;
+  int in_n_ = 0, in_h_ = 0, in_w_ = 0, in_c_ = 0;
+  int out_h_ = 0, out_w_ = 0;
+};
+
+}  // namespace lens::nn

@@ -1,0 +1,93 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::nn {
+
+BatchNorm::BatchNorm(int channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(static_cast<std::size_t>(channels)),
+      beta_(static_cast<std::size_t>(channels)),
+      running_mean_(static_cast<std::size_t>(channels), 0.0f),
+      running_var_(static_cast<std::size_t>(channels), 1.0f) {
+  if (channels <= 0) throw std::invalid_argument("BatchNorm: bad channel count");
+  std::fill(gamma_.value.begin(), gamma_.value.end(), 1.0f);
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  if (input.c() != channels_) throw std::invalid_argument("BatchNorm: channel mismatch");
+  const int count = input.n() * input.h() * input.w();
+  Tensor output = input;
+
+  if (training) {
+    std::vector<float> mean(channels_, 0.0f);
+    std::vector<float> var(channels_, 0.0f);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      mean[i % channels_] += input.storage()[i];
+    }
+    for (float& m : mean) m /= static_cast<float>(count);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const float d = input.storage()[i] - mean[i % channels_];
+      var[i % channels_] += d * d;
+    }
+    for (float& v : var) v /= static_cast<float>(count);
+
+    cached_inv_std_.resize(channels_);
+    for (int c = 0; c < channels_; ++c) {
+      cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + epsilon_);
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+    cached_normalized_ = input;
+    cached_count_ = count;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const int c = static_cast<int>(i % channels_);
+      const float normalized = (input.storage()[i] - mean[c]) * cached_inv_std_[c];
+      cached_normalized_.storage()[i] = normalized;
+      output.storage()[i] = gamma_.value[c] * normalized + beta_.value[c];
+    }
+  } else {
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      const int c = static_cast<int>(i % channels_);
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + epsilon_);
+      output.storage()[i] =
+          gamma_.value[c] * (input.storage()[i] - running_mean_[c]) * inv_std +
+          beta_.value[c];
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  if (cached_normalized_.empty()) {
+    throw std::logic_error("BatchNorm::backward before a training forward");
+  }
+  const float count = static_cast<float>(cached_count_);
+  // Standard BN backward:
+  //   dX = gamma * inv_std / m * (m*dY - sum(dY) - xhat * sum(dY*xhat))
+  std::vector<float> sum_dy(channels_, 0.0f);
+  std::vector<float> sum_dy_xhat(channels_, 0.0f);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    const int c = static_cast<int>(i % channels_);
+    sum_dy[c] += grad_output.storage()[i];
+    sum_dy_xhat[c] += grad_output.storage()[i] * cached_normalized_.storage()[i];
+  }
+  for (int c = 0; c < channels_; ++c) {
+    beta_.grad[c] += sum_dy[c];
+    gamma_.grad[c] += sum_dy_xhat[c];
+  }
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    const int c = static_cast<int>(i % channels_);
+    grad_input.storage()[i] =
+        gamma_.value[c] * cached_inv_std_[c] / count *
+        (count * grad_output.storage()[i] - sum_dy[c] -
+         cached_normalized_.storage()[i] * sum_dy_xhat[c]);
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,34 @@
+#pragma once
+// Per-channel batch normalization (NHWC; statistics over N*H*W).
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(int channels, float momentum = 0.1f, float epsilon = 1e-5f);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamTensor*> parameters() override { return {&gamma_, &beta_}; }
+  std::string name() const override { return "batchnorm"; }
+
+  const std::vector<float>& running_mean() const { return running_mean_; }
+  const std::vector<float>& running_var() const { return running_var_; }
+
+ private:
+  int channels_;
+  float momentum_, epsilon_;
+  ParamTensor gamma_;  ///< scale, initialized to 1
+  ParamTensor beta_;   ///< shift, initialized to 0
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+
+  // Backward caches (training mode).
+  Tensor cached_normalized_;
+  std::vector<float> cached_inv_std_;
+  int cached_count_ = 0;  ///< N*H*W of the last training batch
+};
+
+}  // namespace lens::nn

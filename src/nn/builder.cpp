@@ -1,0 +1,38 @@
+#include "nn/builder.hpp"
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace lens::nn {
+
+Sequential build_network(const dnn::Architecture& arch, std::mt19937_64& rng) {
+  Sequential network;
+  for (const dnn::LayerInfo& info : arch.layers()) {
+    const dnn::LayerSpec& spec = info.spec;
+    switch (spec.kind) {
+      case dnn::LayerKind::kConv:
+        network.add(std::make_unique<Conv2D>(info.input.channels, spec.filters, spec.kernel,
+                                             spec.stride, spec.padding, rng));
+        if (spec.batch_norm) network.add(std::make_unique<BatchNorm>(spec.filters));
+        if (spec.activation == dnn::Activation::kRelu) network.add(std::make_unique<ReLU>());
+        break;
+      case dnn::LayerKind::kMaxPool:
+        network.add(std::make_unique<MaxPool2D>(spec.kernel, spec.stride));
+        break;
+      case dnn::LayerKind::kDense:
+        network.add(std::make_unique<Dense>(static_cast<int>(info.input.elements()),
+                                            spec.units, rng));
+        if (spec.activation == dnn::Activation::kRelu) network.add(std::make_unique<ReLU>());
+        // Softmax is fused into the loss; no layer emitted.
+        break;
+    }
+  }
+  return network;
+}
+
+}  // namespace lens::nn

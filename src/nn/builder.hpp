@@ -1,0 +1,22 @@
+#pragma once
+// Bridge from the dnn architecture IR to a trainable nn::Sequential.
+//
+// The search space decodes genotypes into dnn::Architecture (shapes, FLOPs);
+// this builder materializes the same stack with trainable layers so a
+// candidate can actually be trained (core::TrainedAccuracyEvaluator path).
+// The architecture's own input shape is used — construct the SearchSpace
+// with a training-sized input (e.g. 16x16x3) for this path.
+
+#include <random>
+
+#include "dnn/architecture.hpp"
+#include "nn/network.hpp"
+
+namespace lens::nn {
+
+/// Build a trainable network mirroring `arch`. Conv layers expand to
+/// Conv2D [+ BatchNorm] [+ ReLU]; the final softmax activation is omitted
+/// (the loss fuses it). Throws when a layer cannot be materialized.
+Sequential build_network(const dnn::Architecture& arch, std::mt19937_64& rng);
+
+}  // namespace lens::nn

@@ -1,0 +1,50 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace lens::nn {
+
+namespace {
+constexpr const char* kMagic = "lens-weights v1";
+}
+
+void save_weights(Sequential& network, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+  const std::vector<ParamTensor*> params = network.parameters();
+  out << kMagic << "\n" << params.size() << "\n" << std::setprecision(9);
+  for (const ParamTensor* p : params) {
+    out << p->value.size();
+    for (float v : p->value) out << ' ' << v;
+    out << "\n";
+  }
+  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+}
+
+void load_weights(Sequential& network, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::invalid_argument("load_weights: bad header in " + path);
+  }
+  std::size_t block_count = 0;
+  if (!(in >> block_count)) throw std::invalid_argument("load_weights: missing block count");
+  const std::vector<ParamTensor*> params = network.parameters();
+  if (block_count != params.size()) {
+    throw std::invalid_argument("load_weights: parameter block count mismatch");
+  }
+  for (ParamTensor* p : params) {
+    std::size_t size = 0;
+    if (!(in >> size) || size != p->value.size()) {
+      throw std::invalid_argument("load_weights: parameter block size mismatch");
+    }
+    for (float& v : p->value) {
+      if (!(in >> v)) throw std::invalid_argument("load_weights: truncated weights");
+    }
+  }
+}
+
+}  // namespace lens::nn

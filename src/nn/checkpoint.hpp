@@ -1,0 +1,21 @@
+#pragma once
+// Weight checkpointing for trained networks: save/load every parameter
+// block of a Sequential so a trained candidate can ship (or resume).
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace lens::nn {
+
+/// Write all parameter blocks of `network` to a text file. Throws
+/// std::runtime_error on I/O failure.
+void save_weights(Sequential& network, const std::string& path);
+
+/// Load weights saved by save_weights into an architecture-identical
+/// network (same layer stack, same parameter-block sizes). Throws
+/// std::runtime_error / std::invalid_argument on bad files or mismatched
+/// architectures.
+void load_weights(Sequential& network, const std::string& path);
+
+}  // namespace lens::nn

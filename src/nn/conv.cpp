@@ -1,0 +1,137 @@
+#include "nn/conv.hpp"
+
+#include <stdexcept>
+
+namespace lens::nn {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int padding,
+               std::mt19937_64& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weights_(static_cast<std::size_t>(kernel) * kernel * in_channels * out_channels),
+      bias_(static_cast<std::size_t>(out_channels)) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || padding < 0) {
+    throw std::invalid_argument("Conv2D: bad parameters");
+  }
+  he_init(weights_.value, static_cast<std::size_t>(kernel) * kernel * in_channels, rng);
+}
+
+void Conv2D::im2col(const Tensor& input, int batch_index, std::vector<float>& cols) const {
+  const int patch = kernel_ * kernel_ * in_channels_;
+  cols.assign(static_cast<std::size_t>(out_h_) * out_w_ * patch, 0.0f);
+  std::size_t row = 0;
+  for (int oy = 0; oy < out_h_; ++oy) {
+    for (int ox = 0; ox < out_w_; ++ox, ++row) {
+      float* dst = cols.data() + row * patch;
+      int k = 0;
+      for (int ky = 0; ky < kernel_; ++ky) {
+        const int iy = oy * stride_ + ky - padding_;
+        for (int kx = 0; kx < kernel_; ++kx) {
+          const int ix = ox * stride_ + kx - padding_;
+          if (iy >= 0 && iy < input.h() && ix >= 0 && ix < input.w()) {
+            for (int c = 0; c < in_channels_; ++c) {
+              dst[k++] = input.at(batch_index, iy, ix, c);
+            }
+          } else {
+            k += in_channels_;  // zero padding
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2D::col2im(const std::vector<float>& cols, Tensor& grad_input,
+                    int batch_index) const {
+  const int patch = kernel_ * kernel_ * in_channels_;
+  std::size_t row = 0;
+  for (int oy = 0; oy < out_h_; ++oy) {
+    for (int ox = 0; ox < out_w_; ++ox, ++row) {
+      const float* src = cols.data() + row * patch;
+      int k = 0;
+      for (int ky = 0; ky < kernel_; ++ky) {
+        const int iy = oy * stride_ + ky - padding_;
+        for (int kx = 0; kx < kernel_; ++kx) {
+          const int ix = ox * stride_ + kx - padding_;
+          if (iy >= 0 && iy < grad_input.h() && ix >= 0 && ix < grad_input.w()) {
+            for (int c = 0; c < in_channels_; ++c) {
+              grad_input.at(batch_index, iy, ix, c) += src[k++];
+            }
+          } else {
+            k += in_channels_;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.c() != in_channels_) throw std::invalid_argument("Conv2D: channel mismatch");
+  out_h_ = (input.h() + 2 * padding_ - kernel_) / stride_ + 1;
+  out_w_ = (input.w() + 2 * padding_ - kernel_) / stride_ + 1;
+  if (out_h_ <= 0 || out_w_ <= 0) throw std::invalid_argument("Conv2D: output collapsed");
+  cached_input_ = input;
+
+  const int patch = kernel_ * kernel_ * in_channels_;
+  Tensor output(input.n(), out_h_, out_w_, out_channels_);
+  std::vector<float> cols;
+  for (int b = 0; b < input.n(); ++b) {
+    im2col(input, b, cols);
+    // output_row = cols_row (1 x patch) * W (patch x cout) + bias
+    for (int row = 0; row < out_h_ * out_w_; ++row) {
+      const float* src = cols.data() + static_cast<std::size_t>(row) * patch;
+      float* dst = output.data() +
+                   ((static_cast<std::size_t>(b) * out_h_ * out_w_) + row) * out_channels_;
+      for (int o = 0; o < out_channels_; ++o) dst[o] = bias_.value[o];
+      for (int k = 0; k < patch; ++k) {
+        const float v = src[k];
+        if (v == 0.0f) continue;
+        const float* wrow = weights_.value.data() + static_cast<std::size_t>(k) * out_channels_;
+        for (int o = 0; o < out_channels_; ++o) dst[o] += v * wrow[o];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Conv2D::backward before forward");
+  const Tensor& input = cached_input_;
+  const int patch = kernel_ * kernel_ * in_channels_;
+  Tensor grad_input(input.n(), input.h(), input.w(), in_channels_);
+  std::vector<float> cols;
+  std::vector<float> grad_cols(static_cast<std::size_t>(out_h_) * out_w_ * patch);
+
+  for (int b = 0; b < input.n(); ++b) {
+    im2col(input, b, cols);
+    std::fill(grad_cols.begin(), grad_cols.end(), 0.0f);
+    for (int row = 0; row < out_h_ * out_w_; ++row) {
+      const float* go = grad_output.data() +
+                        ((static_cast<std::size_t>(b) * out_h_ * out_w_) + row) * out_channels_;
+      const float* ci = cols.data() + static_cast<std::size_t>(row) * patch;
+      float* gc = grad_cols.data() + static_cast<std::size_t>(row) * patch;
+      // bias grad
+      for (int o = 0; o < out_channels_; ++o) bias_.grad[o] += go[o];
+      // weight grad += ci^T * go ; grad_cols = go * W^T
+      for (int k = 0; k < patch; ++k) {
+        float* wg = weights_.grad.data() + static_cast<std::size_t>(k) * out_channels_;
+        const float* wv = weights_.value.data() + static_cast<std::size_t>(k) * out_channels_;
+        const float civ = ci[k];
+        float acc = 0.0f;
+        for (int o = 0; o < out_channels_; ++o) {
+          wg[o] += civ * go[o];
+          acc += go[o] * wv[o];
+        }
+        gc[k] = acc;
+      }
+    }
+    col2im(grad_cols, grad_input, b);
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,37 @@
+#pragma once
+// 2-D convolution layer (im2col + GEMM), with bias.
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int stride, int padding,
+         std::mt19937_64& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamTensor*> parameters() override { return {&weights_, &bias_}; }
+  std::string name() const override { return "conv2d"; }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+
+ private:
+  /// Expand one batch item into the [out_h*out_w, k*k*cin] patch matrix.
+  void im2col(const Tensor& input, int batch_index, std::vector<float>& cols) const;
+  /// Scatter-add a patch-matrix gradient back to an input-shaped gradient.
+  void col2im(const std::vector<float>& cols, Tensor& grad_input, int batch_index) const;
+
+  int in_channels_, out_channels_, kernel_, stride_, padding_;
+  int out_h_ = 0, out_w_ = 0;  // set during forward
+  ParamTensor weights_;  ///< [k*k*cin, cout], row-major
+  ParamTensor bias_;     ///< [cout]
+  Tensor cached_input_;
+};
+
+}  // namespace lens::nn

@@ -1,0 +1,118 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lens::nn {
+
+ShapeSet::ShapeSet(ShapeSetConfig config) : config_(config), rng_(config.seed) {
+  if (config.image_size < 8) throw std::invalid_argument("ShapeSet: image too small");
+  if (config.num_classes < 2 || config.num_classes > 10) {
+    throw std::invalid_argument("ShapeSet: num_classes must be in [2,10]");
+  }
+}
+
+void ShapeSet::render(Tensor& images, int index, int label) {
+  const int s = config_.image_size;
+  std::uniform_real_distribution<float> unit(0.0f, 1.0f);
+  std::normal_distribution<float> noise(0.0f, config_.noise_std);
+
+  // Random foreground/background colors, kept apart for contrast.
+  float fg[3];
+  float bg[3];
+  for (int c = 0; c < 3; ++c) {
+    fg[c] = 0.6f + 0.4f * unit(rng_);
+    bg[c] = 0.4f * unit(rng_);
+  }
+  const int period = 2 + static_cast<int>(unit(rng_) * 3.0f);  // stripes/checker
+  const int phase = static_cast<int>(unit(rng_) * static_cast<float>(period));
+  const float cx = (0.3f + 0.4f * unit(rng_)) * static_cast<float>(s);
+  const float cy = (0.3f + 0.4f * unit(rng_)) * static_cast<float>(s);
+  const float radius = (0.2f + 0.15f * unit(rng_)) * static_cast<float>(s);
+  const float angle = unit(rng_) * 6.2831853f;
+  const float dir_x = std::cos(angle);
+  const float dir_y = std::sin(angle);
+
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      bool on = false;
+      float blend = -1.0f;  // >=0: continuous value instead of binary
+      switch (label) {
+        case 0: on = ((y + phase) / period) % 2 == 0; break;                    // h-stripes
+        case 1: on = ((x + phase) / period) % 2 == 0; break;                    // v-stripes
+        case 2: on = ((x + y + phase) / period) % 2 == 0; break;                // diagonal
+        case 3: on = (((x + phase) / period) + ((y + phase) / period)) % 2 == 0; break;
+        case 4: {  // disc
+          const float dx = static_cast<float>(x) - cx;
+          const float dy = static_cast<float>(y) - cy;
+          on = dx * dx + dy * dy <= radius * radius;
+          break;
+        }
+        case 5: {  // hollow frame
+          const int margin = 1 + period / 2;
+          const bool outer = x >= margin && x < s - margin && y >= margin && y < s - margin;
+          const bool inner = x >= 2 * margin && x < s - 2 * margin && y >= 2 * margin &&
+                             y < s - 2 * margin;
+          on = outer && !inner;
+          break;
+        }
+        case 6: {  // cross
+          const int half_width = 1 + period / 2;
+          on = std::abs(x - static_cast<int>(cx)) < half_width ||
+               std::abs(y - static_cast<int>(cy)) < half_width;
+          break;
+        }
+        case 7: {  // linear gradient along a random direction
+          const float t = (dir_x * static_cast<float>(x) + dir_y * static_cast<float>(y)) /
+                          static_cast<float>(s);
+          blend = 0.5f + 0.5f * std::tanh(2.0f * t);
+          break;
+        }
+        case 8: {  // sparse dots on a regular-ish lattice
+          on = (x % (period + 2) == phase % (period + 2)) &&
+               (y % (period + 2) == phase % (period + 2));
+          break;
+        }
+        case 9: {  // wedge: half-plane through the center at a random angle
+          const float dx = static_cast<float>(x) - static_cast<float>(s) / 2.0f;
+          const float dy = static_cast<float>(y) - static_cast<float>(s) / 2.0f;
+          on = dir_x * dx + dir_y * dy > 0.0f;
+          break;
+        }
+        default: throw std::logic_error("ShapeSet: bad label");
+      }
+      for (int c = 0; c < 3; ++c) {
+        float v;
+        if (blend >= 0.0f) {
+          v = bg[c] + (fg[c] - bg[c]) * blend;
+        } else {
+          v = on ? fg[c] : bg[c];
+        }
+        v += noise(rng_);
+        // Center the data: [-1, 1] keeps early training well-conditioned.
+        images.at(index, y, x, c) = 2.0f * std::clamp(v, 0.0f, 1.0f) - 1.0f;
+      }
+    }
+  }
+}
+
+LabeledData ShapeSet::generate(std::size_t count) {
+  if (count == 0) throw std::invalid_argument("ShapeSet::generate: count must be positive");
+  LabeledData data;
+  data.images = Tensor(static_cast<int>(count), config_.image_size, config_.image_size, 3);
+  data.labels.resize(count);
+
+  // Balanced, then shuffled.
+  for (std::size_t i = 0; i < count; ++i) {
+    data.labels[i] = static_cast<int>(i % static_cast<std::size_t>(config_.num_classes));
+  }
+  std::shuffle(data.labels.begin(), data.labels.end(), rng_);
+  for (std::size_t i = 0; i < count; ++i) {
+    render(data.images, static_cast<int>(i), data.labels[i]);
+  }
+  return data;
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,41 @@
+#pragma once
+// ShapeSet: a procedural 10-class image dataset.
+//
+// Substitutes CIFAR-10 for the real-training path (see DESIGN.md): ten
+// visually distinct parametric pattern families (stripes, checkerboards,
+// discs, frames, crosses, gradients, dots, wedges) with randomized colors,
+// phases and additive noise. Small CNNs reach high accuracy in a few
+// epochs, so "train a candidate and measure test error" is exercised
+// end-to-end at laptop scale.
+
+#include <random>
+
+#include "nn/network.hpp"
+
+namespace lens::nn {
+
+struct ShapeSetConfig {
+  int image_size = 16;
+  int num_classes = 10;   ///< up to 10 pattern families
+  float noise_std = 0.10f;
+  unsigned seed = 42;
+};
+
+/// Procedural dataset generator.
+class ShapeSet {
+ public:
+  explicit ShapeSet(ShapeSetConfig config = {});
+
+  /// Generate `count` labeled images (balanced classes, shuffled).
+  LabeledData generate(std::size_t count);
+
+  const ShapeSetConfig& config() const { return config_; }
+
+ private:
+  void render(Tensor& images, int index, int label);
+
+  ShapeSetConfig config_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace lens::nn

@@ -1,0 +1,61 @@
+#include "nn/dense.hpp"
+
+#include <stdexcept>
+
+namespace lens::nn {
+
+Dense::Dense(int in_features, int out_features, std::mt19937_64& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_(static_cast<std::size_t>(in_features) * out_features),
+      bias_(static_cast<std::size_t>(out_features)) {
+  if (in_features <= 0 || out_features <= 0) {
+    throw std::invalid_argument("Dense: bad dimensions");
+  }
+  he_init(weights_.value, static_cast<std::size_t>(in_features), rng);
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  if (input.features() != in_features_) {
+    throw std::invalid_argument("Dense: input feature mismatch");
+  }
+  cached_input_ = input.reshaped(input.n(), 1, 1, in_features_);
+  Tensor output = Tensor::flat(input.n(), out_features_);
+  for (int b = 0; b < input.n(); ++b) {
+    const float* x = cached_input_.data() + static_cast<std::size_t>(b) * in_features_;
+    float* y = output.data() + static_cast<std::size_t>(b) * out_features_;
+    for (int o = 0; o < out_features_; ++o) y[o] = bias_.value[o];
+    for (int i = 0; i < in_features_; ++i) {
+      const float v = x[i];
+      if (v == 0.0f) continue;
+      const float* wrow = weights_.value.data() + static_cast<std::size_t>(i) * out_features_;
+      for (int o = 0; o < out_features_; ++o) y[o] += v * wrow[o];
+    }
+  }
+  return output;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) throw std::logic_error("Dense::backward before forward");
+  Tensor grad_input = Tensor::flat(cached_input_.n(), in_features_);
+  for (int b = 0; b < cached_input_.n(); ++b) {
+    const float* x = cached_input_.data() + static_cast<std::size_t>(b) * in_features_;
+    const float* go = grad_output.data() + static_cast<std::size_t>(b) * out_features_;
+    float* gi = grad_input.data() + static_cast<std::size_t>(b) * in_features_;
+    for (int o = 0; o < out_features_; ++o) bias_.grad[o] += go[o];
+    for (int i = 0; i < in_features_; ++i) {
+      float* wg = weights_.grad.data() + static_cast<std::size_t>(i) * out_features_;
+      const float* wv = weights_.value.data() + static_cast<std::size_t>(i) * out_features_;
+      const float xv = x[i];
+      float acc = 0.0f;
+      for (int o = 0; o < out_features_; ++o) {
+        wg[o] += xv * go[o];
+        acc += go[o] * wv[o];
+      }
+      gi[i] = acc;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

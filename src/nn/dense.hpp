@@ -1,0 +1,30 @@
+#pragma once
+// Fully connected layer. Flattens any input shape implicitly (matching the
+// dnn IR convention).
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features, std::mt19937_64& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamTensor*> parameters() override { return {&weights_, &bias_}; }
+  std::string name() const override { return "dense"; }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_, out_features_;
+  ParamTensor weights_;  ///< [in, out], row-major
+  ParamTensor bias_;     ///< [out]
+  Tensor cached_input_;  ///< flattened
+};
+
+}  // namespace lens::nn

@@ -1,0 +1,47 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace lens::nn {
+
+Dropout::Dropout(float rate, unsigned seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  last_was_training_ = training;
+  if (!training || rate_ == 0.0f) {
+    mask_.clear();
+    return input;
+  }
+  std::bernoulli_distribution keep(1.0 - static_cast<double>(rate_));
+  const float scale = 1.0f / (1.0f - rate_);  // inverted dropout
+  Tensor output = input;
+  mask_.assign(input.size(), false);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (keep(rng_)) {
+      mask_[i] = true;
+      output.storage()[i] *= scale;
+    } else {
+      output.storage()[i] = 0.0f;
+    }
+  }
+  return output;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_was_training_ || rate_ == 0.0f) return grad_output;
+  if (mask_.size() != grad_output.size()) {
+    throw std::logic_error("Dropout::backward: no matching forward");
+  }
+  const float scale = 1.0f / (1.0f - rate_);
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i) {
+    grad_input.storage()[i] = mask_[i] ? grad_input.storage()[i] * scale : 0.0f;
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

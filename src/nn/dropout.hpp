@@ -1,0 +1,28 @@
+#pragma once
+// Inverted dropout: active only in training mode; inference is identity.
+
+#include <random>
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `rate` is the drop probability in [0, 1).
+  explicit Dropout(float rate, unsigned seed = 1234);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "dropout"; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  std::mt19937_64 rng_;
+  std::vector<bool> mask_;  ///< kept positions of the last training forward
+  bool last_was_training_ = false;
+};
+
+}  // namespace lens::nn

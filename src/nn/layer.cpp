@@ -1,0 +1,15 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::nn {
+
+void he_init(std::vector<float>& weights, std::size_t fan_in, std::mt19937_64& rng) {
+  if (fan_in == 0) throw std::invalid_argument("he_init: zero fan-in");
+  std::normal_distribution<float> gauss(0.0f,
+                                        std::sqrt(2.0f / static_cast<float>(fan_in)));
+  for (float& w : weights) w = gauss(rng);
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,46 @@
+#pragma once
+// Trainable-layer interface for the from-scratch training substrate.
+//
+// Layers are stateful: forward() caches whatever backward() needs, so a
+// backward() call must always follow the forward() it differentiates.
+// Parameters expose (value, grad) pairs the optimizer updates in place.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace lens::nn {
+
+/// A learnable parameter block with its gradient accumulator.
+struct ParamTensor {
+  std::vector<float> value;
+  std::vector<float> grad;
+
+  explicit ParamTensor(std::size_t size = 0) : value(size, 0.0f), grad(size, 0.0f) {}
+  void zero_grad() { std::fill(grad.begin(), grad.end(), 0.0f); }
+};
+
+/// Base class of all trainable layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `training` toggles batch-norm statistics updates.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backward pass: gradient w.r.t. this layer's input, given the gradient
+  /// w.r.t. its output. Accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for pooling / activations).
+  virtual std::vector<ParamTensor*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+/// He-normal initialization for ReLU networks.
+void he_init(std::vector<float>& weights, std::size_t fan_in, std::mt19937_64& rng);
+
+}  // namespace lens::nn

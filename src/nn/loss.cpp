@@ -1,0 +1,53 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::nn {
+
+Tensor softmax(const Tensor& logits) {
+  const int classes = logits.features();
+  Tensor probs = logits;
+  for (int b = 0; b < logits.n(); ++b) {
+    float* row = probs.data() + static_cast<std::size_t>(b) * classes;
+    const float peak = *std::max_element(row, row + classes);
+    float total = 0.0f;
+    for (int k = 0; k < classes; ++k) {
+      row[k] = std::exp(row[k] - peak);
+      total += row[k];
+    }
+    for (int k = 0; k < classes; ++k) row[k] /= total;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  if (static_cast<std::size_t>(logits.n()) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: batch/label size mismatch");
+  }
+  const int classes = logits.features();
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  const float inv_batch = 1.0f / static_cast<float>(logits.n());
+
+  for (int b = 0; b < logits.n(); ++b) {
+    const int label = labels[static_cast<std::size_t>(b)];
+    if (label < 0 || label >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    float* row = result.grad_logits.data() + static_cast<std::size_t>(b) * classes;
+    const float p = std::max(row[label], 1e-12f);
+    result.mean_loss += -std::log(p);
+    const int predicted =
+        static_cast<int>(std::max_element(row, row + classes) - row);
+    if (predicted == label) ++result.correct;
+    // grad = (softmax - onehot) / batch
+    row[label] -= 1.0f;
+    for (int k = 0; k < classes; ++k) row[k] *= inv_batch;
+  }
+  result.mean_loss /= static_cast<double>(logits.n());
+  return result;
+}
+
+}  // namespace lens::nn

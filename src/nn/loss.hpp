@@ -1,0 +1,24 @@
+#pragma once
+// Softmax + cross-entropy loss (fused for numerical stability).
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace lens::nn {
+
+/// Result of one loss evaluation over a batch.
+struct LossResult {
+  double mean_loss = 0.0;
+  std::size_t correct = 0;  ///< top-1 hits in the batch
+  Tensor grad_logits;       ///< d(mean loss)/d(logits)
+};
+
+/// Computes softmax cross-entropy of `logits` (n x classes) against integer
+/// `labels`, plus the gradient w.r.t. logits.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Softmax probabilities (row-wise), numerically stabilized.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace lens::nn

@@ -1,0 +1,114 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lens::nn {
+
+LabeledData take_batch(const LabeledData& data, const std::vector<std::size_t>& indices) {
+  if (indices.empty()) throw std::invalid_argument("take_batch: empty index set");
+  const Tensor& src = data.images;
+  LabeledData batch;
+  batch.images = Tensor(static_cast<int>(indices.size()), src.h(), src.w(), src.c());
+  batch.labels.reserve(indices.size());
+  const std::size_t stride = static_cast<std::size_t>(src.features());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t index = indices[i];
+    if (index >= data.size()) throw std::out_of_range("take_batch: index out of range");
+    std::copy_n(src.data() + index * stride, stride, batch.images.data() + i * stride);
+    batch.labels.push_back(data.labels[index]);
+  }
+  return batch;
+}
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  if (layers_.empty()) throw std::logic_error("Sequential::forward: empty network");
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+void Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+std::vector<ParamTensor*> Sequential::parameters() {
+  std::vector<ParamTensor*> params;
+  for (auto& layer : layers_) {
+    for (ParamTensor* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t Sequential::num_parameters() {
+  std::size_t total = 0;
+  for (ParamTensor* p : parameters()) total += p->value.size();
+  return total;
+}
+
+Trainer::Trainer(Sequential& network, TrainerConfig config)
+    : network_(network),
+      config_(config),
+      optimizer_(network.parameters(), config.sgd),
+      rng_(config.shuffle_seed) {
+  if (config_.batch_size <= 0) throw std::invalid_argument("Trainer: bad batch size");
+}
+
+EpochStats Trainer::train_epoch(const LabeledData& data) {
+  if (data.size() == 0) throw std::invalid_argument("train_epoch: empty dataset");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng_);
+
+  EpochStats stats;
+  std::size_t correct = 0;
+  std::size_t seen = 0;
+  double loss_sum = 0.0;
+  const auto batch_size = static_cast<std::size_t>(config_.batch_size);
+  for (std::size_t start = 0; start < order.size(); start += batch_size) {
+    const std::size_t end = std::min(order.size(), start + batch_size);
+    const std::vector<std::size_t> indices(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                           order.begin() + static_cast<std::ptrdiff_t>(end));
+    const LabeledData batch = take_batch(data, indices);
+    const Tensor logits = network_.forward(batch.images, /*training=*/true);
+    LossResult loss = softmax_cross_entropy(logits, batch.labels);
+    network_.backward(loss.grad_logits);
+    optimizer_.step();
+    loss_sum += loss.mean_loss * static_cast<double>(indices.size());
+    correct += loss.correct;
+    seen += indices.size();
+  }
+  stats.mean_loss = loss_sum / static_cast<double>(seen);
+  stats.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  return stats;
+}
+
+EpochStats Trainer::evaluate(const LabeledData& data) {
+  if (data.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  EpochStats stats;
+  std::size_t correct = 0;
+  double loss_sum = 0.0;
+  const auto batch_size = static_cast<std::size_t>(config_.batch_size);
+  for (std::size_t start = 0; start < data.size(); start += batch_size) {
+    const std::size_t end = std::min(data.size(), start + batch_size);
+    std::vector<std::size_t> indices(end - start);
+    std::iota(indices.begin(), indices.end(), start);
+    const LabeledData batch = take_batch(data, indices);
+    const Tensor logits = network_.forward(batch.images, /*training=*/false);
+    const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+    loss_sum += loss.mean_loss * static_cast<double>(indices.size());
+    correct += loss.correct;
+  }
+  stats.mean_loss = loss_sum / static_cast<double>(data.size());
+  stats.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+  return stats;
+}
+
+}  // namespace lens::nn

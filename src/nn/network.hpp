@@ -1,0 +1,79 @@
+#pragma once
+// Sequential network container, labeled datasets, and the training loop.
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace lens::nn {
+
+/// A labeled image set: images is n x h x w x c, labels holds n class ids.
+struct LabeledData {
+  Tensor images;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Extract a batch of the given indices.
+LabeledData take_batch(const LabeledData& data, const std::vector<std::size_t>& indices);
+
+/// Ordered layer stack.
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& input, bool training);
+  /// Backpropagate from the loss gradient through every layer.
+  void backward(const Tensor& grad_output);
+
+  std::vector<ParamTensor*> parameters();
+  std::size_t num_parameters();
+  std::size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Loss/accuracy pair.
+struct EpochStats {
+  double mean_loss = 0.0;
+  double accuracy = 0.0;  ///< in [0,1]
+
+  double error_percent() const { return 100.0 * (1.0 - accuracy); }
+};
+
+struct TrainerConfig {
+  SgdConfig sgd;
+  int batch_size = 32;
+  unsigned shuffle_seed = 99;
+};
+
+/// Minibatch trainer with softmax cross-entropy.
+class Trainer {
+ public:
+  Trainer(Sequential& network, TrainerConfig config = {});
+
+  /// One pass over the training data (shuffled); returns training stats.
+  EpochStats train_epoch(const LabeledData& data);
+
+  /// Forward-only evaluation.
+  EpochStats evaluate(const LabeledData& data);
+
+ private:
+  Sequential& network_;
+  TrainerConfig config_;
+  Sgd optimizer_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace lens::nn

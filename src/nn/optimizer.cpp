@@ -1,0 +1,36 @@
+#include "nn/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace lens::nn {
+
+Sgd::Sgd(std::vector<ParamTensor*> parameters, SgdConfig config)
+    : parameters_(std::move(parameters)), config_(config) {
+  if (config_.learning_rate <= 0.0) throw std::invalid_argument("Sgd: bad learning rate");
+  velocity_.reserve(parameters_.size());
+  for (const ParamTensor* p : parameters_) {
+    if (p == nullptr) throw std::invalid_argument("Sgd: null parameter");
+    velocity_.emplace_back(p->value.size(), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto mu = static_cast<float>(config_.momentum);
+  const auto wd = static_cast<float>(config_.weight_decay);
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    ParamTensor& param = *parameters_[p];
+    std::vector<float>& v = velocity_[p];
+    for (std::size_t i = 0; i < param.value.size(); ++i) {
+      v[i] = mu * v[i] + param.grad[i] + wd * param.value[i];
+      param.value[i] -= lr * v[i];
+    }
+    param.zero_grad();
+  }
+}
+
+void Sgd::zero_grad() {
+  for (ParamTensor* p : parameters_) p->zero_grad();
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,63 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lens::nn {
+
+MaxPool2D::MaxPool2D(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  if (kernel <= 0 || stride <= 0) throw std::invalid_argument("MaxPool2D: bad parameters");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.h() < kernel_ || input.w() < kernel_) {
+    throw std::invalid_argument("MaxPool2D: window larger than input");
+  }
+  const int out_h = (input.h() - kernel_) / stride_ + 1;
+  const int out_w = (input.w() - kernel_) / stride_ + 1;
+  if (out_h <= 0 || out_w <= 0) throw std::invalid_argument("MaxPool2D: output collapsed");
+  in_n_ = input.n();
+  in_h_ = input.h();
+  in_w_ = input.w();
+  in_c_ = input.c();
+
+  Tensor output(input.n(), out_h, out_w, input.c());
+  argmax_.assign(output.size(), -1);
+  std::size_t out_index = 0;
+  for (int b = 0; b < input.n(); ++b) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      for (int ox = 0; ox < out_w; ++ox) {
+        for (int c = 0; c < input.c(); ++c, ++out_index) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_index = -1;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ + ky;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ + kx;
+              const float v = input.at(b, iy, ix, c);
+              if (v > best) {
+                best = v;
+                best_index = static_cast<int>(
+                    ((static_cast<std::size_t>(b) * in_h_ + iy) * in_w_ + ix) * in_c_ + c);
+              }
+            }
+          }
+          output.storage()[out_index] = best;
+          argmax_[out_index] = best_index;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (argmax_.empty()) throw std::logic_error("MaxPool2D::backward before forward");
+  Tensor grad_input(in_n_, in_h_, in_w_, in_c_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    grad_input.storage()[static_cast<std::size_t>(argmax_[i])] += grad_output.storage()[i];
+  }
+  return grad_input;
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,22 @@
+#pragma once
+// Max-pooling layer with argmax-routed backward pass.
+
+#include "nn/layer.hpp"
+
+namespace lens::nn {
+
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(int kernel, int stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  int kernel_, stride_;
+  int in_h_ = 0, in_w_ = 0, in_c_ = 0, in_n_ = 0;
+  std::vector<int> argmax_;  ///< flat input index per output element
+};
+
+}  // namespace lens::nn

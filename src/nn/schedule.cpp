@@ -1,0 +1,39 @@
+#include "nn/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace lens::nn {
+
+ConstantLr::ConstantLr(double rate) : rate_(rate) {
+  if (rate <= 0.0) throw std::invalid_argument("ConstantLr: rate must be positive");
+}
+
+double ConstantLr::learning_rate(std::size_t /*epoch*/) const { return rate_; }
+
+StepDecayLr::StepDecayLr(double initial, double factor, std::size_t period)
+    : initial_(initial), factor_(factor), period_(period) {
+  if (initial <= 0.0 || factor <= 0.0 || factor > 1.0 || period == 0) {
+    throw std::invalid_argument("StepDecayLr: invalid parameters");
+  }
+}
+
+double StepDecayLr::learning_rate(std::size_t epoch) const {
+  return initial_ * std::pow(factor_, static_cast<double>(epoch / period_));
+}
+
+CosineDecayLr::CosineDecayLr(double initial, std::size_t total_epochs, double floor)
+    : initial_(initial), total_epochs_(total_epochs), floor_(floor) {
+  if (initial <= 0.0 || total_epochs == 0 || floor < 0.0 || floor > initial) {
+    throw std::invalid_argument("CosineDecayLr: invalid parameters");
+  }
+}
+
+double CosineDecayLr::learning_rate(std::size_t epoch) const {
+  if (epoch >= total_epochs_) return floor_;
+  const double progress = static_cast<double>(epoch) / static_cast<double>(total_epochs_);
+  return floor_ + 0.5 * (initial_ - floor_) * (1.0 + std::cos(std::numbers::pi * progress));
+}
+
+}  // namespace lens::nn

@@ -1,0 +1,49 @@
+#pragma once
+// Learning-rate schedules for the training substrate.
+
+#include <cstddef>
+
+namespace lens::nn {
+
+/// Interface: learning rate as a function of the 0-based epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double learning_rate(std::size_t epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double rate);
+  double learning_rate(std::size_t epoch) const override;
+
+ private:
+  double rate_;
+};
+
+/// Multiply by `factor` every `period` epochs.
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(double initial, double factor, std::size_t period);
+  double learning_rate(std::size_t epoch) const override;
+
+ private:
+  double initial_;
+  double factor_;
+  std::size_t period_;
+};
+
+/// Cosine annealing from `initial` to `floor` over `total_epochs`.
+class CosineDecayLr final : public LrSchedule {
+ public:
+  CosineDecayLr(double initial, std::size_t total_epochs, double floor = 0.0);
+  double learning_rate(std::size_t epoch) const override;
+
+ private:
+  double initial_;
+  std::size_t total_epochs_;
+  double floor_;
+};
+
+}  // namespace lens::nn

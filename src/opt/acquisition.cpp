@@ -1,0 +1,57 @@
+#include "opt/acquisition.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::opt {
+
+std::size_t select_candidate(const std::vector<GaussianProcess>& gps,
+                             const std::vector<std::vector<double>>& pool,
+                             const ObjectiveNormalizer& normalizer,
+                             const AcquisitionConfig& config, std::mt19937_64& rng) {
+  if (pool.empty()) throw std::invalid_argument("select_candidate: empty pool");
+  if (gps.empty()) throw std::invalid_argument("select_candidate: no objectives");
+  const std::size_t num_objectives = gps.size();
+  const std::size_t pool_size = pool.size();
+
+  // One objective-value estimate per (objective, candidate).
+  std::vector<std::vector<double>> sampled(num_objectives);
+  for (std::size_t k = 0; k < num_objectives; ++k) {
+    switch (config.kind) {
+      case AcquisitionKind::kThompsonScalarized:
+        sampled[k] = gps[k].sample_at(pool, rng);
+        break;
+      case AcquisitionKind::kMeanScalarized: {
+        sampled[k].resize(pool_size);
+        for (std::size_t i = 0; i < pool_size; ++i) sampled[k][i] = gps[k].predict(pool[i]).mean;
+        break;
+      }
+      case AcquisitionKind::kLowerConfidenceBound: {
+        sampled[k].resize(pool_size);
+        for (std::size_t i = 0; i < pool_size; ++i) {
+          const auto p = gps[k].predict(pool[i]);
+          sampled[k][i] = p.mean - config.lcb_beta * std::sqrt(p.variance);
+        }
+        break;
+      }
+    }
+  }
+
+  const std::vector<double> weights = random_simplex_weights(num_objectives, rng);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  std::vector<double> objective_vector(num_objectives);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    for (std::size_t k = 0; k < num_objectives; ++k) objective_vector[k] = sampled[k][i];
+    const double g = augmented_chebyshev(normalizer.normalize(objective_vector), weights,
+                                         config.chebyshev_rho);
+    if (g < best) {
+      best = g;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace lens::opt

@@ -1,0 +1,192 @@
+#include "opt/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace lens::opt {
+
+GaussianProcess::GaussianProcess(GpConfig config)
+    : config_(config),
+      kernel_(make_kernel(config.signal_variance, config.length_scale)),
+      noise_variance_(config.noise_variance) {}
+
+std::unique_ptr<Kernel> GaussianProcess::make_kernel(double signal_variance,
+                                                     double length_scale) const {
+  switch (config_.family) {
+    case KernelFamily::kRbf:
+      return std::make_unique<RbfKernel>(signal_variance, length_scale);
+    case KernelFamily::kMatern52:
+      return std::make_unique<Matern52Kernel>(signal_variance, length_scale);
+    case KernelFamily::kHamming:
+      return std::make_unique<HammingKernel>(signal_variance, length_scale);
+  }
+  throw std::logic_error("GaussianProcess: unknown kernel family");
+}
+
+void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double> y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("GaussianProcess::fit: empty or mismatched data");
+  }
+  const std::size_t dim = x.front().size();
+  for (const auto& row : x) {
+    if (row.size() != dim) throw std::invalid_argument("GaussianProcess::fit: ragged X");
+  }
+  x_ = std::move(x);
+
+  // Standardize targets.
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(y.size());
+  y_mean_ = mean;
+  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  y_normalized_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_normalized_[i] = (y[i] - y_mean_) / y_std_;
+
+  if (!config_.tune_hyperparameters) {
+    if (!std::isfinite(try_fit(config_.signal_variance, config_.length_scale,
+                               config_.noise_variance))) {
+      throw std::domain_error("GaussianProcess::fit: Gram matrix not positive definite");
+    }
+    return;
+  }
+
+  // Grid search over hyper-parameters by log marginal likelihood. The grid
+  // is small by design: genotypes live in [0,1]^d so length scales beyond a
+  // few units make the GP a constant, and normalized targets pin the signal
+  // variance near 1.
+  static constexpr double kLengthScales[] = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2};
+  static constexpr double kSignalVariances[] = {0.5, 1.0, 2.0};
+  static constexpr double kNoiseVariances[] = {1e-4, 1e-3, 1e-2, 1e-1};
+
+  double best = -std::numeric_limits<double>::infinity();
+  double best_l = config_.length_scale;
+  double best_s = config_.signal_variance;
+  double best_n = config_.noise_variance;
+  for (double l : kLengthScales) {
+    for (double s : kSignalVariances) {
+      for (double n : kNoiseVariances) {
+        const double lml = try_fit(s, l, n);
+        if (lml > best) {
+          best = lml;
+          best_l = l;
+          best_s = s;
+          best_n = n;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best)) {
+    throw std::domain_error("GaussianProcess::fit: no usable hyper-parameters");
+  }
+  // Re-fit with the winner so the cached factorization matches.
+  try_fit(best_s, best_l, best_n);
+}
+
+double GaussianProcess::try_fit(double signal_variance, double length_scale,
+                                double noise_variance) {
+  auto kernel = make_kernel(signal_variance, length_scale);
+  Matrix k = kernel->gram(x_);
+  k.add_diagonal(noise_variance + 1e-9);
+  Matrix l;
+  try {
+    l = cholesky(k);
+  } catch (const std::domain_error&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  std::vector<double> alpha = cholesky_solve(l, y_normalized_);
+  const double n = static_cast<double>(x_.size());
+  const double lml = -0.5 * dot(y_normalized_, alpha) - 0.5 * log_det_from_cholesky(l) -
+                     0.5 * n * std::log(2.0 * std::numbers::pi);
+  if (!std::isfinite(lml)) return -std::numeric_limits<double>::infinity();
+
+  kernel_ = std::move(kernel);
+  noise_variance_ = noise_variance;
+  chol_ = std::move(l);
+  alpha_ = std::move(alpha);
+  log_marginal_likelihood_ = lml;
+  return lml;
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(const std::vector<double>& x) const {
+  if (!is_fitted()) {
+    return {0.0, kernel_->variance()};
+  }
+  const std::vector<double> k_star = kernel_->cross(x_, x);
+  const double mean_n = dot(k_star, alpha_);
+  const std::vector<double> v = solve_lower(chol_, k_star);
+  double var_n = kernel_->variance() - dot(v, v);
+  var_n = std::max(var_n, 1e-12);
+  return {y_mean_ + y_std_ * mean_n, y_std_ * y_std_ * var_n};
+}
+
+std::vector<double> GaussianProcess::sample_at(
+    const std::vector<std::vector<double>>& xs, std::mt19937_64& rng) const {
+  const std::size_t m = xs.size();
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> z(m);
+  for (double& v : z) v = gauss(rng);
+
+  if (!is_fitted()) {
+    // Prior draw: mean 0, covariance = kernel Gram over xs.
+    Matrix k = kernel_->gram(xs);
+    k.add_diagonal(1e-8);
+    const Matrix l = cholesky(k);
+    std::vector<double> out(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+      out[i] = acc;
+    }
+    return out;
+  }
+
+  // Posterior mean and covariance over the query block.
+  std::vector<std::vector<double>> vs(m);  // V = L^{-1} K_{train,query} columns
+  std::vector<double> mean(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::vector<double> k_star = kernel_->cross(x_, xs[i]);
+    mean[i] = dot(k_star, alpha_);
+    vs[i] = solve_lower(chol_, k_star);
+  }
+  Matrix cov(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      const double kij = (*kernel_)(xs[i], xs[j]);
+      const double v = kij - dot(vs[i], vs[j]);
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  }
+  // Jitter escalation: posterior covariances of near-duplicate query points
+  // are frequently semi-definite.
+  Matrix l;
+  double jitter = 1e-8;
+  for (;;) {
+    Matrix attempt = cov;
+    attempt.add_diagonal(jitter);
+    try {
+      l = cholesky(attempt);
+      break;
+    } catch (const std::domain_error&) {
+      jitter *= 10.0;
+      if (jitter > 1.0) {
+        throw std::domain_error("GaussianProcess::sample_at: covariance irreparably indefinite");
+      }
+    }
+  }
+  std::vector<double> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = mean[i];
+    for (std::size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+    out[i] = y_mean_ + y_std_ * acc;
+  }
+  return out;
+}
+
+}  // namespace lens::opt

@@ -1,0 +1,92 @@
+#pragma once
+// Gaussian-process regression with marginal-likelihood hyper-parameter
+// selection and joint posterior sampling (the Thompson-sampling primitive
+// used by the MOBO engine, paper Alg. 2 line 9: f_k = GP_k(D)).
+
+#include <cstddef>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "opt/kernel.hpp"
+#include "opt/matrix.hpp"
+
+namespace lens::opt {
+
+/// Kernel family selector for GpConfig.
+enum class KernelFamily { kRbf, kMatern52, kHamming };
+
+/// Configuration for a GaussianProcess.
+struct GpConfig {
+  KernelFamily family = KernelFamily::kMatern52;
+  /// Observation noise variance in *normalized* target units.
+  double noise_variance = 1e-3;
+  /// When true, (signal variance, length scale, noise) are selected by grid
+  /// search over the log marginal likelihood at every fit().
+  bool tune_hyperparameters = true;
+  /// Initial / fallback hyper-parameters.
+  double signal_variance = 1.0;
+  double length_scale = 0.5;
+};
+
+/// Gaussian-process regressor over real vectors.
+///
+/// Targets are internally standardized (zero mean, unit variance), so the
+/// kernel hyper-parameter grids are data-scale independent. All public
+/// results (predict, sample_at) are reported back in the original units.
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(GpConfig config = {});
+
+  /// Fit to a dataset. X is a list of equal-length feature vectors, y the
+  /// targets. Replaces any previous fit. Throws on empty or ragged input.
+  void fit(std::vector<std::vector<double>> x, std::vector<double> y);
+
+  /// True once fit() has been called with at least one point.
+  bool is_fitted() const { return !x_.empty(); }
+
+  /// Number of training points.
+  std::size_t size() const { return x_.size(); }
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;  ///< posterior variance (original units^2)
+  };
+
+  /// Posterior mean/variance at a single point. On an unfitted GP this is
+  /// the prior (mean 0, kernel variance).
+  Prediction predict(const std::vector<double>& x) const;
+
+  /// One joint draw from the posterior over the given query points
+  /// (original units). This is the Thompson sample used by the acquisition.
+  std::vector<double> sample_at(const std::vector<std::vector<double>>& xs,
+                                std::mt19937_64& rng) const;
+
+  /// Log marginal likelihood of the current fit (normalized-unit targets).
+  double log_marginal_likelihood() const { return log_marginal_likelihood_; }
+
+  double signal_variance() const { return kernel_->signal_variance(); }
+  double length_scale() const { return kernel_->length_scale(); }
+  double noise_variance() const { return noise_variance_; }
+
+ private:
+  std::unique_ptr<Kernel> make_kernel(double signal_variance, double length_scale) const;
+  /// Fit internals for a specific hyper-parameter triple; returns LML or
+  /// -inf when the Gram matrix is numerically unusable.
+  double try_fit(double signal_variance, double length_scale, double noise_variance);
+
+  GpConfig config_;
+  std::unique_ptr<Kernel> kernel_;
+  double noise_variance_ = 1e-3;
+
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_normalized_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+
+  Matrix chol_;                  // Cholesky factor of K + noise I
+  std::vector<double> alpha_;    // (K + noise I)^{-1} y_normalized
+  double log_marginal_likelihood_ = 0.0;
+};
+
+}  // namespace lens::opt

@@ -1,0 +1,77 @@
+#include "opt/hypervolume.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "opt/pareto.hpp"
+
+namespace lens::opt {
+
+namespace {
+
+/// Recursive slicing: integrate over the first objective, computing the
+/// (d-1)-dimensional hypervolume of each slab.
+double hso(std::vector<std::vector<double>> points, const std::vector<double>& reference) {
+  const std::size_t d = reference.size();
+  if (points.empty()) return 0.0;
+  if (d == 1) {
+    double best = reference[0];
+    for (const auto& p : points) best = std::min(best, p[0]);
+    return std::max(0.0, reference[0] - best);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+
+  double volume = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double upper = (i + 1 < points.size()) ? points[i + 1][0] : reference[0];
+    const double width = upper - points[i][0];
+    if (width <= 0.0) continue;
+    // Points with first objective <= points[i][0] contribute to this slab.
+    std::vector<std::vector<double>> slab;
+    slab.reserve(i + 1);
+    for (std::size_t j = 0; j <= i; ++j) {
+      slab.emplace_back(points[j].begin() + 1, points[j].end());
+    }
+    const std::vector<double> sub_ref(reference.begin() + 1, reference.end());
+    volume += width * hso(std::move(slab), sub_ref);
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(const std::vector<std::vector<double>>& points,
+                   const std::vector<double>& reference) {
+  if (reference.empty()) throw std::invalid_argument("hypervolume: empty reference");
+  std::vector<std::vector<double>> usable;
+  for (const auto& p : points) {
+    if (p.size() != reference.size()) {
+      throw std::invalid_argument("hypervolume: dimension mismatch");
+    }
+    bool inside = true;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      if (p[k] >= reference[k]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) usable.push_back(p);
+  }
+  // Keep only the non-dominated subset: dominated points change nothing but
+  // inflate the recursion.
+  std::vector<std::vector<double>> front;
+  for (const auto& p : usable) {
+    bool beaten = false;
+    for (const auto& q : usable) {
+      if (&p != &q && (dominates(q, p) || (q == p && &q < &p))) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) front.push_back(p);
+  }
+  return hso(std::move(front), reference);
+}
+
+}  // namespace lens::opt

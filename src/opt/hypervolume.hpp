@@ -1,0 +1,19 @@
+#pragma once
+// Exact hypervolume indicator (minimization) by objective slicing (HSO).
+//
+// The hypervolume of a front w.r.t. a reference point is the Lebesgue
+// measure of the region dominated by the front and bounded by the reference.
+// Used as a search-quality metric when comparing LENS against baselines.
+
+#include <vector>
+
+namespace lens::opt {
+
+/// Hypervolume of `points` (minimization) against `reference`. Points not
+/// strictly better than the reference in every objective contribute nothing.
+/// Exact for any dimension via recursive slicing; intended for the small
+/// fronts (tens of points) NAS produces. Throws on dimension mismatch.
+double hypervolume(const std::vector<std::vector<double>>& points,
+                   const std::vector<double>& reference);
+
+}  // namespace lens::opt

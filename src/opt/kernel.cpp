@@ -1,0 +1,106 @@
+#include "opt/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::opt {
+
+std::size_t hamming_distance(const std::vector<double>& x, const std::vector<double>& y,
+                             double tolerance) {
+  if (x.size() != y.size()) throw std::invalid_argument("hamming_distance: size mismatch");
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i] - y[i]) > tolerance) ++count;
+  }
+  return count;
+}
+
+double squared_distance(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("squared_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Matrix Kernel::gram(const std::vector<std::vector<double>>& xs) const {
+  const std::size_t n = xs.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = (*this)(xs[i], xs[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+std::vector<double> Kernel::cross(const std::vector<std::vector<double>>& xs,
+                                  const std::vector<double>& z) const {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i], z);
+  return out;
+}
+
+namespace {
+void check_params(double signal_variance, double length_scale) {
+  if (signal_variance <= 0.0 || length_scale <= 0.0) {
+    throw std::invalid_argument("kernel: hyper-parameters must be positive");
+  }
+}
+}  // namespace
+
+RbfKernel::RbfKernel(double signal_variance, double length_scale)
+    : signal_variance_(signal_variance), length_scale_(length_scale) {
+  check_params(signal_variance, length_scale);
+}
+
+double RbfKernel::operator()(const std::vector<double>& x,
+                             const std::vector<double>& y) const {
+  const double d2 = squared_distance(x, y);
+  return signal_variance_ * std::exp(-0.5 * d2 / (length_scale_ * length_scale_));
+}
+
+std::unique_ptr<Kernel> RbfKernel::with_params(double signal_variance,
+                                               double length_scale) const {
+  return std::make_unique<RbfKernel>(signal_variance, length_scale);
+}
+
+HammingKernel::HammingKernel(double signal_variance, double length_scale)
+    : signal_variance_(signal_variance), length_scale_(length_scale) {
+  check_params(signal_variance, length_scale);
+}
+
+double HammingKernel::operator()(const std::vector<double>& x,
+                                 const std::vector<double>& y) const {
+  const double d = static_cast<double>(x.size());
+  const double h = static_cast<double>(hamming_distance(x, y));
+  return signal_variance_ * std::exp(-h / (length_scale_ * std::max(d, 1.0)));
+}
+
+std::unique_ptr<Kernel> HammingKernel::with_params(double signal_variance,
+                                                   double length_scale) const {
+  return std::make_unique<HammingKernel>(signal_variance, length_scale);
+}
+
+Matern52Kernel::Matern52Kernel(double signal_variance, double length_scale)
+    : signal_variance_(signal_variance), length_scale_(length_scale) {
+  check_params(signal_variance, length_scale);
+}
+
+double Matern52Kernel::operator()(const std::vector<double>& x,
+                                  const std::vector<double>& y) const {
+  const double r = std::sqrt(squared_distance(x, y));
+  const double s = std::sqrt(5.0) * r / length_scale_;
+  return signal_variance_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::with_params(double signal_variance,
+                                                    double length_scale) const {
+  return std::make_unique<Matern52Kernel>(signal_variance, length_scale);
+}
+
+}  // namespace lens::opt

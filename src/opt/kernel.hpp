@@ -1,0 +1,113 @@
+#pragma once
+// Covariance kernels for Gaussian-process regression.
+//
+// Kernels operate on real vectors (here: [0,1]-normalized architecture
+// genotypes or scaled feature vectors). Both stationary kernels share the
+// (signal_variance, length_scale) hyper-parameters that GaussianProcess
+// tunes by marginal likelihood.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "opt/matrix.hpp"
+
+namespace lens::opt {
+
+/// Interface for a positive-definite covariance kernel k(x, y).
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance between two points.
+  virtual double operator()(const std::vector<double>& x,
+                            const std::vector<double>& y) const = 0;
+
+  /// Signal variance k(x, x).
+  virtual double variance() const = 0;
+
+  /// Clone with new hyper-parameters (used during hyper-parameter search).
+  virtual std::unique_ptr<Kernel> with_params(double signal_variance,
+                                              double length_scale) const = 0;
+
+  virtual double signal_variance() const = 0;
+  virtual double length_scale() const = 0;
+
+  /// Gram matrix K where K_ij = k(X_i, X_j).
+  Matrix gram(const std::vector<std::vector<double>>& xs) const;
+
+  /// Cross-covariance vector k(X_i, z) for all rows of X.
+  std::vector<double> cross(const std::vector<std::vector<double>>& xs,
+                            const std::vector<double>& z) const;
+};
+
+/// Squared-exponential (RBF) kernel:
+///   k(x,y) = s^2 * exp(-||x-y||^2 / (2 l^2))
+class RbfKernel final : public Kernel {
+ public:
+  RbfKernel(double signal_variance, double length_scale);
+
+  double operator()(const std::vector<double>& x,
+                    const std::vector<double>& y) const override;
+  double variance() const override { return signal_variance_; }
+  std::unique_ptr<Kernel> with_params(double signal_variance,
+                                      double length_scale) const override;
+  double signal_variance() const override { return signal_variance_; }
+  double length_scale() const override { return length_scale_; }
+
+ private:
+  double signal_variance_;
+  double length_scale_;
+};
+
+/// Matern-5/2 kernel:
+///   k(x,y) = s^2 * (1 + sqrt(5) r / l + 5 r^2 / (3 l^2)) * exp(-sqrt(5) r / l)
+/// The default for architecture-distance modelling (less smooth than RBF,
+/// which suits discrete genotype spaces better).
+class Matern52Kernel final : public Kernel {
+ public:
+  Matern52Kernel(double signal_variance, double length_scale);
+
+  double operator()(const std::vector<double>& x,
+                    const std::vector<double>& y) const override;
+  double variance() const override { return signal_variance_; }
+  std::unique_ptr<Kernel> with_params(double signal_variance,
+                                      double length_scale) const override;
+  double signal_variance() const override { return signal_variance_; }
+  double length_scale() const override { return length_scale_; }
+
+ private:
+  double signal_variance_;
+  double length_scale_;
+};
+
+/// Exponentiated-Hamming kernel for categorical encodings:
+///   k(x,y) = s^2 * exp(-H(x,y) / (l * d))
+/// where H is the count of differing coordinates (tolerance 1e-9) and d the
+/// dimensionality. Appropriate when genotype coordinates are categories
+/// (kernel size, filter count index) rather than points on a metric axis.
+class HammingKernel final : public Kernel {
+ public:
+  HammingKernel(double signal_variance, double length_scale);
+
+  double operator()(const std::vector<double>& x,
+                    const std::vector<double>& y) const override;
+  double variance() const override { return signal_variance_; }
+  std::unique_ptr<Kernel> with_params(double signal_variance,
+                                      double length_scale) const override;
+  double signal_variance() const override { return signal_variance_; }
+  double length_scale() const override { return length_scale_; }
+
+ private:
+  double signal_variance_;
+  double length_scale_;
+};
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Count of coordinates differing by more than `tolerance`.
+std::size_t hamming_distance(const std::vector<double>& x, const std::vector<double>& y,
+                             double tolerance = 1e-9);
+
+}  // namespace lens::opt

@@ -1,0 +1,89 @@
+#pragma once
+// Small dense linear-algebra kernel used by the Gaussian-process layer.
+//
+// This is deliberately minimal: row-major double matrices, the handful of
+// operations a GP needs (products, Cholesky factorization, triangular
+// solves), and nothing else. All sizes are checked; violations throw
+// std::invalid_argument so caller bugs surface immediately.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace lens::opt {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Create a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Create from nested initializer-style data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Checked element access.
+  double at(std::size_t r, std::size_t c) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Matrix product this * rhs.
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Matrix-vector product this * v.
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  /// Transpose.
+  Matrix transposed() const;
+
+  /// Elementwise sum; shapes must match.
+  Matrix add(const Matrix& rhs) const;
+
+  /// Add `value` to every diagonal element (jitter / ridge term).
+  void add_diagonal(double value);
+
+  /// Extract row r as a vector.
+  std::vector<double> row(std::size_t r) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L * L^T for a symmetric positive-definite A.
+/// Returns the lower-triangular factor L. Throws std::domain_error when A is
+/// not (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solve L * x = b where L is lower triangular (forward substitution).
+std::vector<double> solve_lower(const Matrix& l, const std::vector<double>& b);
+
+/// Solve L^T * x = b where L is lower triangular (back substitution on L^T).
+std::vector<double> solve_lower_transpose(const Matrix& l, const std::vector<double>& b);
+
+/// Solve A * x = b using a precomputed Cholesky factor L of A.
+std::vector<double> cholesky_solve(const Matrix& l, const std::vector<double>& b);
+
+/// log(det(A)) from its Cholesky factor L: 2 * sum(log(L_ii)).
+double log_det_from_cholesky(const Matrix& l);
+
+/// Dot product; sizes must match.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace lens::opt

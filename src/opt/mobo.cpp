@@ -1,0 +1,105 @@
+#include "opt/mobo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lens::opt {
+
+MoboEngine::MoboEngine(MoboConfig config, std::size_t num_objectives, Sampler sampler,
+                       Objectives objectives)
+    : config_(config),
+      num_objectives_(num_objectives),
+      sampler_(std::move(sampler)),
+      objectives_(std::move(objectives)),
+      rng_(config.seed),
+      normalizer_(num_objectives) {
+  if (num_objectives_ == 0) throw std::invalid_argument("MoboEngine: need >=1 objective");
+  if (!sampler_ || !objectives_) throw std::invalid_argument("MoboEngine: null callbacks");
+  if (config_.num_initial == 0) throw std::invalid_argument("MoboEngine: num_initial must be > 0");
+  gps_.reserve(num_objectives_);
+  for (std::size_t k = 0; k < num_objectives_; ++k) gps_.emplace_back(config_.gp);
+}
+
+void MoboEngine::evaluate_and_record(const std::vector<double>& x) {
+  std::vector<double> y = objectives_(x);
+  if (y.size() != num_objectives_) {
+    throw std::runtime_error("MoboEngine: objective callback returned wrong arity");
+  }
+  normalizer_.observe(y);
+  front_.insert(history_.size(), y);
+  history_.push_back({x, std::move(y)});
+  if (progress_) progress_(history_.size() - 1, history_.back());
+}
+
+void MoboEngine::refit_models(bool tune_hyperparameters) {
+  std::vector<std::vector<double>> xs;
+  xs.reserve(history_.size());
+  for (const Observation& o : history_) xs.push_back(o.x);
+  for (std::size_t k = 0; k < num_objectives_; ++k) {
+    std::vector<double> ys;
+    ys.reserve(history_.size());
+    for (const Observation& o : history_) ys.push_back(o.objectives[k]);
+    GpConfig gp_config = config_.gp;
+    if (!tune_hyperparameters && models_ready_) {
+      // Reuse previously selected hyper-parameters; refactorize only.
+      gp_config.tune_hyperparameters = false;
+      gp_config.signal_variance = gps_[k].signal_variance();
+      gp_config.length_scale = gps_[k].length_scale();
+      gp_config.noise_variance = gps_[k].noise_variance();
+    }
+    gps_[k] = GaussianProcess(gp_config);
+    gps_[k].fit(xs, ys);
+  }
+  models_ready_ = true;
+}
+
+std::vector<double> MoboEngine::propose_next() {
+  // Draw the acquisition pool, skipping exact re-evaluations where possible.
+  std::vector<std::vector<double>> pool;
+  pool.reserve(config_.pool_size);
+  for (std::size_t attempts = 0; pool.size() < config_.pool_size &&
+                                 attempts < config_.pool_size * 4;
+       ++attempts) {
+    std::vector<double> x = sampler_(rng_);
+    const bool seen = std::any_of(history_.begin(), history_.end(),
+                                  [&](const Observation& o) { return o.x == x; });
+    if (!seen) pool.push_back(std::move(x));
+  }
+  if (pool.empty()) pool.push_back(sampler_(rng_));  // space exhausted: allow repeats
+  const std::size_t chosen =
+      select_candidate(gps_, pool, normalizer_, config_.acquisition, rng_);
+  return pool[chosen];
+}
+
+void MoboEngine::seed_observations(const std::vector<Observation>& observations) {
+  if (evaluations_done_ > 0) {
+    throw std::logic_error("MoboEngine::seed_observations: search already started");
+  }
+  for (const Observation& o : observations) {
+    if (o.objectives.size() != num_objectives_) {
+      throw std::invalid_argument("MoboEngine::seed_observations: wrong objective arity");
+    }
+    normalizer_.observe(o.objectives);
+    front_.insert(history_.size(), o.objectives);
+    history_.push_back(o);
+    if (evaluations_done_ < config_.num_initial) ++evaluations_done_;
+  }
+}
+
+void MoboEngine::step(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (evaluations_done_ < config_.num_initial) {
+      evaluate_and_record(sampler_(rng_));
+    } else {
+      const bool tune = !models_ready_ || iterations_since_refit_ >= config_.refit_period;
+      refit_models(tune);
+      iterations_since_refit_ = tune ? 0 : iterations_since_refit_ + 1;
+      evaluate_and_record(propose_next());
+    }
+    ++evaluations_done_;
+  }
+}
+
+void MoboEngine::run() { step(config_.num_initial + config_.num_iterations - evaluations_done_); }
+
+}  // namespace lens::opt

@@ -1,0 +1,92 @@
+#pragma once
+// Multi-objective Bayesian-optimization engine (paper Algorithm 2).
+//
+// The engine is domain-agnostic: it optimizes K black-box objectives over
+// points produced by a caller-supplied random sampler (here: normalized
+// architecture genotypes). LENS and the Traditional baseline differ only in
+// the objective callback they wire in.
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "opt/acquisition.hpp"
+#include "opt/gp.hpp"
+#include "opt/pareto.hpp"
+#include "opt/scalarization.hpp"
+
+namespace lens::opt {
+
+/// One evaluated design point.
+struct Observation {
+  std::vector<double> x;           ///< encoded design point
+  std::vector<double> objectives;  ///< K objective values (minimization)
+};
+
+struct MoboConfig {
+  std::size_t num_initial = 20;    ///< C_init: random warm-up evaluations
+  std::size_t num_iterations = 300;///< N_iter: BO iterations after warm-up
+  std::size_t pool_size = 256;     ///< candidates scored per acquisition step
+  unsigned seed = 1;
+  GpConfig gp;
+  AcquisitionConfig acquisition;
+  /// Refit GP hyper-parameters every `refit_period` iterations (refitting is
+  /// the O(n^3) part; intermediate iterations reuse hyper-parameters but
+  /// still refactorize with the new data).
+  std::size_t refit_period = 10;
+};
+
+/// MOBO engine: Algorithm 2 of the paper.
+class MoboEngine {
+ public:
+  /// Draw one random encoded design point.
+  using Sampler = std::function<std::vector<double>(std::mt19937_64&)>;
+  /// Evaluate the K objectives at an encoded design point.
+  using Objectives = std::function<std::vector<double>(const std::vector<double>&)>;
+  /// Optional progress hook: (0-based evaluation index, observation).
+  using ProgressHook = std::function<void(std::size_t, const Observation&)>;
+
+  MoboEngine(MoboConfig config, std::size_t num_objectives, Sampler sampler,
+             Objectives objectives);
+
+  /// Run warm-up plus all BO iterations. May be called once per engine.
+  void run();
+
+  /// Run only `n` additional evaluations (warm-up first if pending); useful
+  /// for tests and incremental experiments.
+  void step(std::size_t n);
+
+  /// Warm-start with previously evaluated points (e.g. a search at another
+  /// throughput setting). Seeded observations count toward the warm-up
+  /// budget but cost no objective evaluations. Must be called before any
+  /// step()/run(). Throws std::logic_error otherwise, std::invalid_argument
+  /// on arity mismatches.
+  void seed_observations(const std::vector<Observation>& observations);
+
+  const std::vector<Observation>& history() const { return history_; }
+  const ParetoFront& front() const { return front_; }
+  std::size_t num_objectives() const { return num_objectives_; }
+  void set_progress_hook(ProgressHook hook) { progress_ = std::move(hook); }
+
+ private:
+  void evaluate_and_record(const std::vector<double>& x);
+  void refit_models(bool tune_hyperparameters);
+  std::vector<double> propose_next();
+
+  MoboConfig config_;
+  std::size_t num_objectives_;
+  Sampler sampler_;
+  Objectives objectives_;
+  ProgressHook progress_;
+
+  std::mt19937_64 rng_;
+  std::vector<Observation> history_;
+  ParetoFront front_;
+  ObjectiveNormalizer normalizer_;
+  std::vector<GaussianProcess> gps_;
+  std::size_t evaluations_done_ = 0;
+  std::size_t iterations_since_refit_ = 0;
+  bool models_ready_ = false;
+};
+
+}  // namespace lens::opt

@@ -1,0 +1,163 @@
+#include "opt/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::opt {
+
+Nsga2Engine::Nsga2Engine(Nsga2Config config, std::size_t num_objectives, Sampler sampler,
+                         Objectives objectives, Validator validator)
+    : config_(config),
+      num_objectives_(num_objectives),
+      sampler_(std::move(sampler)),
+      objectives_(std::move(objectives)),
+      validator_(std::move(validator)),
+      rng_(config.seed) {
+  if (num_objectives_ == 0) throw std::invalid_argument("Nsga2Engine: need >=1 objective");
+  if (!sampler_ || !objectives_) throw std::invalid_argument("Nsga2Engine: null callbacks");
+  if (config_.population < 4) throw std::invalid_argument("Nsga2Engine: population too small");
+  if (config_.crossover_rate < 0.0 || config_.crossover_rate > 1.0) {
+    throw std::invalid_argument("Nsga2Engine: crossover_rate out of range");
+  }
+}
+
+Nsga2Engine::Individual Nsga2Engine::evaluate(std::vector<double> x) {
+  Individual ind;
+  ind.objectives = objectives_(x);
+  if (ind.objectives.size() != num_objectives_) {
+    throw std::runtime_error("Nsga2Engine: objective callback returned wrong arity");
+  }
+  ind.x = std::move(x);
+  front_.insert(history_.size(), ind.objectives);
+  history_.push_back({ind.x, ind.objectives});
+  return ind;
+}
+
+void Nsga2Engine::assign_ranks(std::vector<Individual>& population) {
+  const std::size_t n = population.size();
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (dominates(population[i].objectives, population[j].objectives)) {
+        dominated_by[i].push_back(j);
+      } else if (dominates(population[j].objectives, population[i].objectives)) {
+        ++domination_count[i];
+      }
+    }
+  }
+  std::vector<std::size_t> current;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (domination_count[i] == 0) {
+      population[i].rank = 0;
+      current.push_back(i);
+    }
+  }
+  std::size_t rank = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t i : current) {
+      for (std::size_t j : dominated_by[i]) {
+        if (--domination_count[j] == 0) {
+          population[j].rank = rank + 1;
+          next.push_back(j);
+        }
+      }
+    }
+    ++rank;
+    current = std::move(next);
+  }
+}
+
+void Nsga2Engine::assign_crowding(std::vector<Individual>& population) {
+  const std::size_t n = population.size();
+  for (Individual& ind : population) ind.crowding = 0.0;
+  if (n == 0) return;
+  const std::size_t k = population.front().objectives.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t m = 0; m < k; ++m) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return population[a].objectives[m] < population[b].objectives[m];
+    });
+    const double lo = population[order.front()].objectives[m];
+    const double hi = population[order.back()].objectives[m];
+    population[order.front()].crowding = std::numeric_limits<double>::infinity();
+    population[order.back()].crowding = std::numeric_limits<double>::infinity();
+    if (hi - lo < 1e-300) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      population[order[i]].crowding += (population[order[i + 1]].objectives[m] -
+                                        population[order[i - 1]].objectives[m]) /
+                                       (hi - lo);
+    }
+  }
+}
+
+const Nsga2Engine::Individual& Nsga2Engine::tournament(
+    const std::vector<Individual>& population) {
+  std::uniform_int_distribution<std::size_t> pick(0, population.size() - 1);
+  const Individual& a = population[pick(rng_)];
+  const Individual& b = population[pick(rng_)];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+std::vector<double> Nsga2Engine::make_offspring(const std::vector<Individual>& parents) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const std::size_t dim = parents.front().x.size();
+  const double mutation_rate =
+      config_.mutation_rate > 0.0 ? config_.mutation_rate : 1.0 / static_cast<double>(dim);
+
+  for (std::size_t attempt = 0; attempt <= config_.repair_attempts; ++attempt) {
+    const Individual& mother = tournament(parents);
+    const Individual& father = tournament(parents);
+    std::vector<double> child = mother.x;
+    if (unit(rng_) < config_.crossover_rate) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        if (unit(rng_) < 0.5) child[d] = father.x[d];
+      }
+    }
+    // Mutation: per-gene replacement from a fresh random sample (keeps every
+    // gene on the encoding grid).
+    const std::vector<double> donor = sampler_(rng_);
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (unit(rng_) < mutation_rate) child[d] = donor[d];
+    }
+    if (!validator_ || validator_(child)) return child;
+  }
+  return sampler_(rng_);  // repair failed: random immigrant
+}
+
+std::vector<Nsga2Engine::Individual> Nsga2Engine::select(std::vector<Individual> merged,
+                                                         std::size_t keep) {
+  assign_ranks(merged);
+  assign_crowding(merged);
+  std::sort(merged.begin(), merged.end(), [](const Individual& a, const Individual& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.crowding > b.crowding;
+  });
+  merged.resize(keep);
+  return merged;
+}
+
+void Nsga2Engine::run() {
+  std::vector<Individual> population;
+  population.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) {
+    population.push_back(evaluate(sampler_(rng_)));
+  }
+  assign_ranks(population);
+  assign_crowding(population);
+
+  for (std::size_t generation = 0; generation < config_.generations; ++generation) {
+    std::vector<Individual> merged = population;
+    for (std::size_t i = 0; i < config_.population; ++i) {
+      merged.push_back(evaluate(make_offspring(population)));
+    }
+    population = select(std::move(merged), config_.population);
+  }
+}
+
+}  // namespace lens::opt

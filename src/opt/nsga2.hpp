@@ -1,0 +1,76 @@
+#pragma once
+// NSGA-II: elitist non-dominated-sorting genetic algorithm.
+//
+// An alternative multi-objective search engine with the same callback
+// surface as MoboEngine, used as an ablation baseline for Algorithm 2
+// (model-based vs evolutionary search under equal evaluation budgets).
+// Standard components: fast non-dominated sort, crowding distance, binary
+// tournament selection, uniform crossover, per-gene resampling mutation.
+
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "opt/mobo.hpp"  // Observation
+#include "opt/pareto.hpp"
+
+namespace lens::opt {
+
+struct Nsga2Config {
+  std::size_t population = 32;
+  std::size_t generations = 10;
+  double crossover_rate = 0.9;
+  /// Per-gene probability of replacement by a fresh random draw; 0 selects
+  /// the 1/dimension default.
+  double mutation_rate = 0.0;
+  unsigned seed = 1;
+  /// Attempts to repair an invalid offspring before falling back to a
+  /// fresh random sample.
+  std::size_t repair_attempts = 8;
+};
+
+/// NSGA-II engine over caller-encoded design points (minimization).
+class Nsga2Engine {
+ public:
+  using Sampler = std::function<std::vector<double>(std::mt19937_64&)>;
+  using Objectives = std::function<std::vector<double>(const std::vector<double>&)>;
+  /// Optional feasibility predicate for offspring (e.g. the >=4-pools
+  /// constraint); when absent, all offspring are considered valid.
+  using Validator = std::function<bool(const std::vector<double>&)>;
+
+  Nsga2Engine(Nsga2Config config, std::size_t num_objectives, Sampler sampler,
+              Objectives objectives, Validator validator = nullptr);
+
+  /// Run all generations. Total evaluations = population * (generations+1).
+  void run();
+
+  const std::vector<Observation>& history() const { return history_; }
+  const ParetoFront& front() const { return front_; }
+
+ private:
+  struct Individual {
+    std::vector<double> x;
+    std::vector<double> objectives;
+    std::size_t rank = 0;        ///< non-domination front index
+    double crowding = 0.0;
+  };
+
+  Individual evaluate(std::vector<double> x);
+  std::vector<double> make_offspring(const std::vector<Individual>& parents);
+  const Individual& tournament(const std::vector<Individual>& population);
+  static void assign_ranks(std::vector<Individual>& population);
+  static void assign_crowding(std::vector<Individual>& population);
+  /// Environmental selection: best `population` individuals by (rank, crowding).
+  static std::vector<Individual> select(std::vector<Individual> merged, std::size_t keep);
+
+  Nsga2Config config_;
+  std::size_t num_objectives_;
+  Sampler sampler_;
+  Objectives objectives_;
+  Validator validator_;
+  std::mt19937_64 rng_;
+  std::vector<Observation> history_;
+  ParetoFront front_;
+};
+
+}  // namespace lens::opt

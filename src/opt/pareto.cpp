@@ -1,0 +1,98 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lens::opt {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("dominates: objective vectors must match and be non-empty");
+  }
+  bool strictly_better_somewhere = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+bool ParetoFront::insert(std::size_t id, std::vector<double> objectives) {
+  for (const ParetoPoint& p : points_) {
+    if (dominates(p.objectives, objectives) || p.objectives == objectives) return false;
+  }
+  std::erase_if(points_, [&](const ParetoPoint& p) { return dominates(objectives, p.objectives); });
+  points_.push_back({id, std::move(objectives)});
+  return true;
+}
+
+bool ParetoFront::would_accept(const std::vector<double>& objectives) const {
+  for (const ParetoPoint& p : points_) {
+    if (dominates(p.objectives, objectives) || p.objectives == objectives) return false;
+  }
+  return true;
+}
+
+bool ParetoFront::dominates_point(const std::vector<double>& objectives) const {
+  return std::any_of(points_.begin(), points_.end(), [&](const ParetoPoint& p) {
+    return dominates(p.objectives, objectives);
+  });
+}
+
+ParetoFront ParetoFront::from_points(const std::vector<ParetoPoint>& points) {
+  ParetoFront front;
+  for (const ParetoPoint& p : points) front.insert(p.id, p.objectives);
+  return front;
+}
+
+double fraction_dominated(const ParetoFront& victims, const ParetoFront& aggressors) {
+  if (victims.empty()) return 0.0;
+  std::size_t dominated = 0;
+  for (const ParetoPoint& v : victims.points()) {
+    if (aggressors.dominates_point(v.objectives)) ++dominated;
+  }
+  return static_cast<double>(dominated) / static_cast<double>(victims.size());
+}
+
+CombinedFrontStats combined_front(const ParetoFront& a, const ParetoFront& b) {
+  // Tag origin via id parity trick is fragile; rebuild with explicit origins.
+  struct Tagged {
+    const ParetoPoint* point;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(a.size() + b.size());
+  for (const ParetoPoint& p : a.points()) all.push_back({&p, true});
+  for (const ParetoPoint& p : b.points()) all.push_back({&p, false});
+
+  CombinedFrontStats stats;
+  for (const Tagged& t : all) {
+    bool beaten = false;
+    for (const Tagged& other : all) {
+      if (other.point == t.point) continue;
+      if (dominates(other.point->objectives, t.point->objectives)) {
+        beaten = true;
+        break;
+      }
+      // Duplicate objective vectors: credit `a` only.
+      if (!t.from_a && other.from_a && other.point->objectives == t.point->objectives) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) {
+      ++stats.total;
+      if (t.from_a) {
+        ++stats.from_a;
+      } else {
+        ++stats.from_b;
+      }
+    }
+  }
+  stats.fraction_a = stats.total == 0
+                         ? 0.0
+                         : static_cast<double>(stats.from_a) / static_cast<double>(stats.total);
+  return stats;
+}
+
+}  // namespace lens::opt

@@ -1,0 +1,65 @@
+#pragma once
+// Pareto-dominance utilities (minimization convention throughout).
+//
+// These implement the paper's Pareto_init / Pareto_update primitives
+// (Alg. 2 lines 6 and 14) plus the frontier-comparison metrics used in the
+// evaluation section (domination fractions, combined-front composition).
+
+#include <cstddef>
+#include <vector>
+
+namespace lens::opt {
+
+/// True when `a` weakly dominates `b` and strictly improves at least one
+/// objective (minimization): a_k <= b_k for all k, a_j < b_j for some j.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// A point on a Pareto front; `id` is caller-defined payload (e.g. the index
+/// of the architecture in the search history).
+struct ParetoPoint {
+  std::size_t id = 0;
+  std::vector<double> objectives;
+};
+
+/// Incrementally-maintained Pareto front (set of mutually non-dominated
+/// points, minimization).
+class ParetoFront {
+ public:
+  /// Insert a candidate. Returns true when the candidate enters the front
+  /// (it is not dominated by any member); dominated members are evicted.
+  bool insert(std::size_t id, std::vector<double> objectives);
+
+  /// True when `objectives` would enter the front if inserted.
+  bool would_accept(const std::vector<double>& objectives) const;
+
+  /// True when some member of the front strictly dominates `objectives`.
+  bool dominates_point(const std::vector<double>& objectives) const;
+
+  const std::vector<ParetoPoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Build a front from a batch of (id, objectives) pairs.
+  static ParetoFront from_points(const std::vector<ParetoPoint>& points);
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+/// Fraction of `victims`' members that are strictly dominated by at least
+/// one member of `aggressors`. Returns 0 when `victims` is empty.
+double fraction_dominated(const ParetoFront& victims, const ParetoFront& aggressors);
+
+/// Composition of the Pareto front of the union of two fronts.
+struct CombinedFrontStats {
+  std::size_t total = 0;   ///< members of the combined front
+  std::size_t from_a = 0;  ///< combined-front members contributed by `a`
+  std::size_t from_b = 0;  ///< combined-front members contributed by `b`
+  double fraction_a = 0.0; ///< from_a / total (0 when total == 0)
+};
+
+/// Merge two fronts and report who forms the union's Pareto front. Points
+/// present in both (identical objective vectors) are credited to `a`.
+CombinedFrontStats combined_front(const ParetoFront& a, const ParetoFront& b);
+
+}  // namespace lens::opt

@@ -1,0 +1,72 @@
+#include "opt/scalarization.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::opt {
+
+ObjectiveNormalizer::ObjectiveNormalizer(std::size_t num_objectives)
+    : lo_(num_objectives, std::numeric_limits<double>::infinity()),
+      hi_(num_objectives, -std::numeric_limits<double>::infinity()) {
+  if (num_objectives == 0) {
+    throw std::invalid_argument("ObjectiveNormalizer: need at least one objective");
+  }
+}
+
+void ObjectiveNormalizer::observe(const std::vector<double>& objectives) {
+  if (objectives.size() != lo_.size()) {
+    throw std::invalid_argument("ObjectiveNormalizer::observe: size mismatch");
+  }
+  for (std::size_t k = 0; k < objectives.size(); ++k) {
+    lo_[k] = std::min(lo_[k], objectives[k]);
+    hi_[k] = std::max(hi_[k], objectives[k]);
+  }
+  seen_any_ = true;
+}
+
+std::vector<double> ObjectiveNormalizer::normalize(const std::vector<double>& objectives) const {
+  if (objectives.size() != lo_.size()) {
+    throw std::invalid_argument("ObjectiveNormalizer::normalize: size mismatch");
+  }
+  std::vector<double> out(objectives.size());
+  for (std::size_t k = 0; k < objectives.size(); ++k) {
+    const double width = hi_[k] - lo_[k];
+    if (!seen_any_ || width <= 1e-12) {
+      out[k] = 0.5;
+    } else {
+      out[k] = (objectives[k] - lo_[k]) / width;
+    }
+  }
+  return out;
+}
+
+double augmented_chebyshev(const std::vector<double>& f, const std::vector<double>& weights,
+                           double rho) {
+  if (f.size() != weights.size() || f.empty()) {
+    throw std::invalid_argument("augmented_chebyshev: size mismatch");
+  }
+  double max_term = -std::numeric_limits<double>::infinity();
+  double sum_term = 0.0;
+  for (std::size_t k = 0; k < f.size(); ++k) {
+    const double wf = weights[k] * f[k];
+    max_term = std::max(max_term, wf);
+    sum_term += wf;
+  }
+  return max_term + rho * sum_term;
+}
+
+std::vector<double> random_simplex_weights(std::size_t k, std::mt19937_64& rng) {
+  if (k == 0) throw std::invalid_argument("random_simplex_weights: k must be positive");
+  std::exponential_distribution<double> expo(1.0);
+  std::vector<double> w(k);
+  double total = 0.0;
+  for (double& v : w) {
+    v = expo(rng);
+    total += v;
+  }
+  for (double& v : w) v /= total;
+  return w;
+}
+
+}  // namespace lens::opt

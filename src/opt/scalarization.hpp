@@ -1,0 +1,46 @@
+#pragma once
+// Objective scalarization for multi-objective Thompson sampling.
+//
+// The MOBO acquisition draws one posterior sample per objective and reduces
+// the sampled objective vector to a scalar with a random-weight augmented
+// Chebyshev scalarization — the classic device whose minimizers sweep the
+// whole (possibly non-convex) Pareto front as the weights vary.
+
+#include <random>
+#include <vector>
+
+namespace lens::opt {
+
+/// Running record of per-objective observed ranges, used to normalize
+/// objectives of wildly different units (%, ms, mJ) before scalarizing.
+class ObjectiveNormalizer {
+ public:
+  explicit ObjectiveNormalizer(std::size_t num_objectives);
+
+  /// Fold one observed objective vector into the running min/max.
+  void observe(const std::vector<double>& objectives);
+
+  /// Map objectives into [0,1]^K using the observed ranges; degenerate
+  /// (zero-width) ranges map to 0.5.
+  std::vector<double> normalize(const std::vector<double>& objectives) const;
+
+  std::size_t num_objectives() const { return lo_.size(); }
+  const std::vector<double>& lower() const { return lo_; }
+  const std::vector<double>& upper() const { return hi_; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  bool seen_any_ = false;
+};
+
+/// Augmented Chebyshev scalarization (minimization):
+///   g(f) = max_k w_k f_k  +  rho * sum_k w_k f_k
+/// `f` is expected pre-normalized to comparable scales.
+double augmented_chebyshev(const std::vector<double>& f, const std::vector<double>& weights,
+                           double rho = 0.05);
+
+/// Draw uniform weights on the probability simplex (normalized exponentials).
+std::vector<double> random_simplex_weights(std::size_t k, std::mt19937_64& rng);
+
+}  // namespace lens::opt

@@ -1,0 +1,69 @@
+#include "perf/device.hpp"
+
+namespace lens::perf {
+
+DeviceProfile jetson_tx2_gpu() {
+  DeviceProfile p;
+  p.name = "jetson-tx2-gpu";
+  p.mode = ComputeMode::kGpu;
+  p.conv_gflops = 140.0;
+  p.dense_gflops = 140.0;
+  p.pool_gflops = 60.0;
+  p.conv_bandwidth_gbps = 25.0;
+  p.dense_bandwidth_gbps = 15.6;
+  p.pool_bandwidth_gbps = 25.0;
+  p.layer_overhead_ms = 0.1;
+  p.compute_bound_power_mw = 11000.0;
+  p.memory_bound_power_mw = 8000.0;
+  return p;
+}
+
+DeviceProfile datacenter_gpu() {
+  DeviceProfile p;
+  p.name = "datacenter-gpu";
+  p.mode = ComputeMode::kGpu;
+  p.conv_gflops = 4000.0;
+  p.dense_gflops = 4000.0;
+  p.pool_gflops = 1500.0;
+  p.conv_bandwidth_gbps = 500.0;
+  p.dense_bandwidth_gbps = 350.0;
+  p.pool_bandwidth_gbps = 500.0;
+  p.layer_overhead_ms = 0.03;
+  p.compute_bound_power_mw = 250000.0;
+  p.memory_bound_power_mw = 180000.0;
+  return p;
+}
+
+DeviceProfile embedded_cpu() {
+  DeviceProfile p;
+  p.name = "embedded-cpu";
+  p.mode = ComputeMode::kCpu;
+  p.conv_gflops = 4.0;
+  p.dense_gflops = 4.0;
+  p.pool_gflops = 2.0;
+  p.conv_bandwidth_gbps = 1.5;
+  p.dense_bandwidth_gbps = 0.4;
+  p.pool_bandwidth_gbps = 1.0;
+  p.layer_overhead_ms = 0.05;
+  p.compute_bound_power_mw = 3200.0;
+  p.memory_bound_power_mw = 2000.0;
+  return p;
+}
+
+DeviceProfile jetson_tx2_cpu() {
+  DeviceProfile p;
+  p.name = "jetson-tx2-cpu";
+  p.mode = ComputeMode::kCpu;
+  p.conv_gflops = 21.0;
+  p.dense_gflops = 21.0;
+  p.pool_gflops = 8.0;
+  p.conv_bandwidth_gbps = 4.0;
+  p.dense_bandwidth_gbps = 0.8;  // unblocked GEMV weight streaming
+  p.pool_bandwidth_gbps = 2.0;
+  p.layer_overhead_ms = 0.02;
+  p.compute_bound_power_mw = 5500.0;
+  p.memory_bound_power_mw = 3000.0;
+  return p;
+}
+
+}  // namespace lens::perf

@@ -1,0 +1,66 @@
+#pragma once
+// Edge-device performance profiles.
+//
+// A DeviceProfile parameterizes the roofline-style ground-truth simulator
+// that substitutes for the physical Jetson TX2 (see DESIGN.md). Rates are
+// *effective* (achieved by a Caffe-class framework at batch 1), not peaks.
+//
+// Calibration targets (AlexNet, 224x224x3):
+//   TX2 GPU : ~2.15 GFLOP of conv at ~140 GFLOP/s -> ~15 ms; 234 MB of FC
+//             weights at ~15.6 GB/s -> ~15 ms. FC share ~50 % (paper Fig. 1).
+//   TX2 CPU : conv ~21 GFLOP/s -> ~100 ms; FC streaming ~0.8 GB/s -> ~290 ms
+//             (unblocked GEMV path). These magnitudes reproduce the
+//             deployment-preference flips of paper Fig. 2 / Table I.
+
+#include <string>
+
+namespace lens::perf {
+
+/// Which compute engine of the board runs inference.
+enum class ComputeMode { kGpu, kCpu };
+
+/// Effective execution-rate and power profile for one device configuration.
+struct DeviceProfile {
+  std::string name;
+  ComputeMode mode = ComputeMode::kGpu;
+
+  // Effective compute rates (GFLOP/s) by layer family.
+  double conv_gflops = 140.0;
+  double dense_gflops = 140.0;
+  double pool_gflops = 60.0;
+
+  // Effective memory-streaming rates (GB/s) by layer family.
+  double conv_bandwidth_gbps = 25.0;
+  double dense_bandwidth_gbps = 15.6;
+  double pool_bandwidth_gbps = 25.0;
+
+  /// Fixed per-layer dispatch overhead (kernel launch / op setup), ms.
+  double layer_overhead_ms = 0.1;
+
+  // Board power draw (mW) attributable to inference while a layer runs,
+  // depending on whether the layer is compute- or memory-bound.
+  double compute_bound_power_mw = 11000.0;
+  double memory_bound_power_mw = 8000.0;
+
+  /// Multiplicative measurement-noise amplitude of the simulator (e.g. 0.03
+  /// = +/-3 % jitter). Deterministic per layer configuration.
+  double noise_amplitude = 0.03;
+};
+
+/// NVIDIA Jetson TX2 class device, GPU (Pascal, fp32, batch 1).
+DeviceProfile jetson_tx2_gpu();
+
+/// NVIDIA Jetson TX2 class device, CPU backend.
+DeviceProfile jetson_tx2_cpu();
+
+/// Datacenter-class GPU (V100-era, batch 1): used to model finite cloud
+/// compute when the paper's "cloud latency is negligible" assumption is
+/// itself under study. Power numbers are irrelevant to LENS (cloud energy
+/// is not billed to the edge) but kept plausible.
+DeviceProfile datacenter_gpu();
+
+/// Raspberry-Pi-class CPU: a much weaker edge device for sensitivity
+/// studies (the deployment crossovers shift strongly cloud-ward).
+DeviceProfile embedded_cpu();
+
+}  // namespace lens::perf

@@ -1,0 +1,74 @@
+#include "perf/profiler.hpp"
+
+#include <stdexcept>
+
+namespace lens::perf {
+
+LayerProfiler::LayerProfiler(const DeviceSimulator& simulator, ProfilerConfig config)
+    : simulator_(simulator), config_(config), rng_(config.seed) {
+  if (config.samples_per_kind == 0) {
+    throw std::invalid_argument("LayerProfiler: samples_per_kind must be positive");
+  }
+}
+
+std::pair<dnn::LayerSpec, dnn::TensorShape> LayerProfiler::random_config(dnn::LayerKind kind) {
+  auto pick = [&](std::initializer_list<int> values) {
+    std::uniform_int_distribution<std::size_t> d(0, values.size() - 1);
+    return *(values.begin() + d(rng_));
+  };
+  switch (kind) {
+    case dnn::LayerKind::kConv: {
+      for (;;) {
+        const int size = pick({7, 14, 28, 32, 56, 64, 112, 128, 224});
+        const int channels = pick({3, 16, 24, 36, 64, 96, 128, 256, 384, 512});
+        const int kernel = pick({1, 3, 5, 7, 11});
+        const int stride = pick({1, 2, 4});
+        const int filters = pick({16, 24, 36, 64, 96, 128, 256, 384, 512});
+        if (size + kernel < kernel + kernel) continue;  // unreachable guard
+        const dnn::TensorShape input{size, size, channels};
+        const dnn::LayerSpec layer = dnn::LayerSpec::conv(filters, kernel, stride);
+        try {
+          dnn::output_shape(layer, input);
+          return {layer, input};
+        } catch (const std::invalid_argument&) {
+          continue;  // window larger than input etc.; redraw
+        }
+      }
+    }
+    case dnn::LayerKind::kMaxPool: {
+      for (;;) {
+        const int size = pick({6, 7, 13, 14, 27, 28, 55, 56, 112, 224});
+        const int channels = pick({16, 24, 36, 64, 96, 128, 256, 384, 512});
+        const int kernel = pick({2, 3});
+        const int stride = pick({1, 2});
+        const dnn::TensorShape input{size, size, channels};
+        const dnn::LayerSpec layer = dnn::LayerSpec::max_pool(kernel, stride);
+        try {
+          dnn::output_shape(layer, input);
+          return {layer, input};
+        } catch (const std::invalid_argument&) {
+          continue;
+        }
+      }
+    }
+    case dnn::LayerKind::kDense: {
+      const int in_elems = pick({256, 512, 1024, 2048, 4096, 6400, 9216, 18432, 36864});
+      const int units = pick({64, 128, 256, 512, 1024, 2048, 4096, 8192});
+      const dnn::TensorShape input{1, 1, in_elems};
+      return {dnn::LayerSpec::dense(units), input};
+    }
+  }
+  throw std::logic_error("LayerProfiler::random_config: unknown LayerKind");
+}
+
+std::vector<ProfiledSample> LayerProfiler::profile_kind(dnn::LayerKind kind) {
+  std::vector<ProfiledSample> samples;
+  samples.reserve(config_.samples_per_kind);
+  for (std::size_t i = 0; i < config_.samples_per_kind; ++i) {
+    auto [layer, input] = random_config(kind);
+    samples.push_back({layer, input, simulator_.measure(layer, input)});
+  }
+  return samples;
+}
+
+}  // namespace lens::perf

@@ -1,0 +1,48 @@
+#pragma once
+// Profiling sweeps: sample random layer configurations per layer kind,
+// "measure" them on the device simulator, and emit regression datasets
+// (paper §IV-C: "different combinations of both layer parameters and
+// input/output feature map sizes are evaluated and used to construct
+// datasets for training the prediction models").
+
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "dnn/layer.hpp"
+#include "ml/metrics.hpp"
+#include "perf/simulator.hpp"
+
+namespace lens::perf {
+
+struct ProfilerConfig {
+  std::size_t samples_per_kind = 500;
+  unsigned seed = 11;
+};
+
+/// One profiled configuration: the layer, its input, and the measurement.
+struct ProfiledSample {
+  dnn::LayerSpec layer;
+  dnn::TensorShape input;
+  LayerMeasurement measurement;
+};
+
+/// Generates profiling sweeps over the layer-configuration space.
+class LayerProfiler {
+ public:
+  LayerProfiler(const DeviceSimulator& simulator, ProfilerConfig config = {});
+
+  /// Sample `config.samples_per_kind` valid random configurations of `kind`
+  /// and measure each.
+  std::vector<ProfiledSample> profile_kind(dnn::LayerKind kind);
+
+  /// Draw one random valid configuration of `kind` (exposed for tests).
+  std::pair<dnn::LayerSpec, dnn::TensorShape> random_config(dnn::LayerKind kind);
+
+ private:
+  const DeviceSimulator& simulator_;
+  ProfilerConfig config_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace lens::perf

@@ -1,0 +1,84 @@
+#include "perf/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace lens::perf {
+
+namespace {
+
+/// splitmix64: cheap, well-mixed integer hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_config(const dnn::LayerSpec& layer, const dnn::TensorShape& input,
+                          std::uint64_t salt) {
+  std::uint64_t h = salt;
+  h = mix(h ^ static_cast<std::uint64_t>(layer.kind));
+  h = mix(h ^ static_cast<std::uint64_t>(layer.filters));
+  h = mix(h ^ static_cast<std::uint64_t>(layer.kernel));
+  h = mix(h ^ static_cast<std::uint64_t>(layer.stride));
+  h = mix(h ^ static_cast<std::uint64_t>(layer.padding));
+  h = mix(h ^ static_cast<std::uint64_t>(layer.units));
+  h = mix(h ^ static_cast<std::uint64_t>(input.height));
+  h = mix(h ^ static_cast<std::uint64_t>(input.width));
+  h = mix(h ^ static_cast<std::uint64_t>(input.channels));
+  return h;
+}
+
+std::pair<double, double> rates_for(const DeviceProfile& p, dnn::LayerKind kind) {
+  switch (kind) {
+    case dnn::LayerKind::kConv: return {p.conv_gflops, p.conv_bandwidth_gbps};
+    case dnn::LayerKind::kMaxPool: return {p.pool_gflops, p.pool_bandwidth_gbps};
+    case dnn::LayerKind::kDense: return {p.dense_gflops, p.dense_bandwidth_gbps};
+  }
+  throw std::logic_error("rates_for: unknown LayerKind");
+}
+
+}  // namespace
+
+DeviceSimulator::DeviceSimulator(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+std::uint64_t DeviceSimulator::bytes_touched(const dnn::LayerSpec& layer,
+                                             const dnn::TensorShape& input) const {
+  const dnn::TensorShape out = dnn::output_shape(layer, input);
+  const std::uint64_t weights = dnn::layer_params(layer, input);
+  const auto in_elems = static_cast<std::uint64_t>(input.elements());
+  const auto out_elems = static_cast<std::uint64_t>(out.elements());
+  return 4ULL * (weights + in_elems + out_elems);
+}
+
+double DeviceSimulator::jitter(const dnn::LayerSpec& layer, const dnn::TensorShape& input,
+                               std::uint64_t salt) const {
+  const std::uint64_t h = hash_config(layer, input, salt);
+  // Map to [-1, 1) then scale by the noise amplitude.
+  const double unit = (static_cast<double>(h >> 11) / 9007199254740992.0) * 2.0 - 1.0;
+  return 1.0 + profile_.noise_amplitude * unit;
+}
+
+LayerMeasurement DeviceSimulator::measure(const dnn::LayerSpec& layer,
+                                          const dnn::TensorShape& input) const {
+  const auto [gflops, bandwidth_gbps] = rates_for(profile_, layer.kind);
+  const double flops = static_cast<double>(dnn::layer_flops(layer, input));
+  const double bytes = static_cast<double>(bytes_touched(layer, input));
+
+  const double compute_ms = flops / (gflops * 1e6);        // GFLOP/s = 1e6 FLOP/ms
+  const double memory_ms = bytes / (bandwidth_gbps * 1e6); // GB/s = 1e6 B/ms
+  const bool compute_bound = compute_ms >= memory_ms;
+
+  LayerMeasurement m;
+  m.latency_ms = (std::max(compute_ms, memory_ms) + profile_.layer_overhead_ms) *
+                 jitter(layer, input, 0x1a7e);
+  const double busy_power =
+      compute_bound ? profile_.compute_bound_power_mw : profile_.memory_bound_power_mw;
+  m.power_mw = busy_power * jitter(layer, input, 0x90e2);
+  return m;
+}
+
+}  // namespace lens::perf

@@ -1,0 +1,53 @@
+#pragma once
+// Ground-truth per-layer latency / power "measurement" source.
+//
+// Substitutes the physical Jetson TX2 + Caffe timing + INA3221 power rails
+// of the paper (see DESIGN.md substitution table). The model is a roofline:
+//   t = max(flops / rate_compute, bytes_touched / rate_memory) + overhead
+// with layer-family-specific effective rates and a deterministic
+// multiplicative jitter seeded by the layer configuration, so repeated
+// "measurements" of the same layer agree (like averaging real runs) while
+// different layers de-correlate from any clean analytic form — giving the
+// downstream regression models something honest to learn.
+
+#include <cstdint>
+
+#include "dnn/layer.hpp"
+#include "perf/device.hpp"
+
+namespace lens::perf {
+
+/// One simulated measurement.
+struct LayerMeasurement {
+  double latency_ms = 0.0;
+  double power_mw = 0.0;
+
+  double energy_mj() const { return power_mw * latency_ms / 1e3; }
+};
+
+/// Roofline device simulator for a fixed DeviceProfile.
+class DeviceSimulator {
+ public:
+  explicit DeviceSimulator(DeviceProfile profile);
+
+  /// Measure one layer applied to `input`. Throws (via shape algebra) when
+  /// the layer is inapplicable.
+  LayerMeasurement measure(const dnn::LayerSpec& layer, const dnn::TensorShape& input) const;
+
+  /// Total bytes the layer moves: weights + input activation + output
+  /// activation, all fp32.
+  std::uint64_t bytes_touched(const dnn::LayerSpec& layer,
+                              const dnn::TensorShape& input) const;
+
+  const DeviceProfile& profile() const { return profile_; }
+
+ private:
+  /// Deterministic jitter factor in [1-a, 1+a] derived from the layer
+  /// configuration hash; `salt` decorrelates latency from power jitter.
+  double jitter(const dnn::LayerSpec& layer, const dnn::TensorShape& input,
+                std::uint64_t salt) const;
+
+  DeviceProfile profile_;
+};
+
+}  // namespace lens::perf

@@ -1,0 +1,89 @@
+#include "runtime/deployer.hpp"
+
+#include <stdexcept>
+
+namespace lens::runtime {
+
+DynamicDeployer::DynamicDeployer(std::vector<core::DeploymentOption> options,
+                                 const comm::CommModel& comm, OptimizeFor metric,
+                                 double tu_min, double tu_max)
+    : options_(std::move(options)), metric_(metric) {
+  if (options_.empty()) throw std::invalid_argument("DynamicDeployer: no options");
+  curves_.reserve(options_.size());
+  for (const core::DeploymentOption& o : options_) {
+    curves_.push_back(cost_curve(o, comm, metric));
+  }
+  intervals_ = dominance_intervals(curves_, tu_min, tu_max);
+}
+
+std::size_t DynamicDeployer::select(double tu_mbps) const {
+  if (tu_mbps <= 0.0) throw std::invalid_argument("DynamicDeployer: throughput must be positive");
+  for (const DominanceInterval& iv : intervals_) {
+    if (tu_mbps >= iv.tu_low && tu_mbps < iv.tu_high) return iv.option_index;
+  }
+  // Outside the analyzed range: clamp to the nearest end's winner.
+  return tu_mbps < intervals_.front().tu_low ? intervals_.front().option_index
+                                             : intervals_.back().option_index;
+}
+
+namespace {
+PlaybackResult accumulate(const comm::ThroughputTrace& trace,
+                          const std::vector<CostCurve>& curves,
+                          const std::vector<std::size_t>& choices) {
+  PlaybackResult r;
+  r.per_sample_cost.reserve(trace.size());
+  r.cumulative_cost.reserve(trace.size());
+  r.chosen_option = choices;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double cost = curves[choices[i]].value(trace.samples_mbps[i]);
+    r.per_sample_cost.push_back(cost);
+    r.total_cost += cost;
+    r.cumulative_cost.push_back(r.total_cost);
+  }
+  return r;
+}
+}  // namespace
+
+std::size_t DynamicDeployer::select_with_hysteresis(double tu_mbps, std::size_t current,
+                                                    double margin) const {
+  if (current >= options_.size()) {
+    throw std::out_of_range("select_with_hysteresis: bad current option");
+  }
+  if (margin < 0.0) throw std::invalid_argument("select_with_hysteresis: negative margin");
+  const std::size_t cheapest = select(tu_mbps);
+  if (cheapest == current) return current;
+  const double current_cost = curves_[current].value(tu_mbps);
+  const double cheapest_cost = curves_[cheapest].value(tu_mbps);
+  return cheapest_cost < current_cost * (1.0 - margin) ? cheapest : current;
+}
+
+PlaybackResult DynamicDeployer::play_dynamic(const comm::ThroughputTrace& trace,
+                                             double tracker_alpha,
+                                             double hysteresis_margin) const {
+  if (trace.size() == 0) throw std::invalid_argument("play_dynamic: empty trace");
+  ThroughputTracker tracker(tracker_alpha);
+  std::vector<std::size_t> choices;
+  choices.reserve(trace.size());
+  for (double tu : trace.samples_mbps) {
+    tracker.report(tu);
+    if (hysteresis_margin > 0.0 && !choices.empty()) {
+      choices.push_back(select_with_hysteresis(tracker.estimate_mbps(), choices.back(),
+                                               hysteresis_margin));
+    } else {
+      choices.push_back(select(tracker.estimate_mbps()));
+    }
+  }
+  return accumulate(trace, curves_, choices);
+}
+
+PlaybackResult DynamicDeployer::play_fixed(const comm::ThroughputTrace& trace,
+                                           std::size_t option_index) const {
+  if (trace.size() == 0) throw std::invalid_argument("play_fixed: empty trace");
+  if (option_index >= options_.size()) {
+    throw std::out_of_range("play_fixed: bad option index");
+  }
+  return accumulate(trace, curves_,
+                    std::vector<std::size_t>(trace.size(), option_index));
+}
+
+}  // namespace lens::runtime

@@ -1,0 +1,73 @@
+#pragma once
+// Dynamic deployment switching (paper Fig. 5 and §V-C).
+//
+// A DynamicDeployer holds the deployment options of one deployed model and
+// their cost-vs-throughput curves for the metric being optimized. At
+// runtime it picks the cheapest option for the tracked throughput (O(1) per
+// decision via precomputed dominance intervals). Trace playback accumulates
+// per-inference cost over a throughput trace for dynamic vs fixed policies,
+// regenerating Fig. 8.
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/commcost.hpp"
+#include "comm/trace.hpp"
+#include "core/evaluator.hpp"
+#include "runtime/threshold.hpp"
+#include "runtime/tracker.hpp"
+
+namespace lens::runtime {
+
+/// Cumulative cost of a playback run.
+struct PlaybackResult {
+  double total_cost = 0.0;                 ///< ms or mJ, per the metric
+  std::vector<double> per_sample_cost;     ///< one inference per trace sample
+  std::vector<double> cumulative_cost;     ///< running sum
+  std::vector<std::size_t> chosen_option;  ///< option index per sample
+};
+
+/// Runtime option selector for one model.
+class DynamicDeployer {
+ public:
+  /// `options` are the deployment options considered at runtime (typically
+  /// the design-time best plus All-Edge and/or All-Cloud, as in §V-C).
+  DynamicDeployer(std::vector<core::DeploymentOption> options, const comm::CommModel& comm,
+                  OptimizeFor metric, double tu_min = 0.05, double tu_max = 1000.0);
+
+  /// Index (into options()) of the cheapest option at `tu_mbps`.
+  std::size_t select(double tu_mbps) const;
+
+  /// Hysteretic selection: keep `current` unless the cheapest option beats
+  /// it by more than `margin` (relative, e.g. 0.05 = 5%). Suppresses option
+  /// flapping when the throughput hovers around a threshold; model weights
+  /// must be re-staged on every switch, so flapping has a real cost.
+  std::size_t select_with_hysteresis(double tu_mbps, std::size_t current,
+                                     double margin = 0.05) const;
+
+  /// Thresholds partitioning the throughput axis (design-time output the
+  /// runtime switcher consults).
+  const std::vector<DominanceInterval>& intervals() const { return intervals_; }
+
+  const std::vector<core::DeploymentOption>& options() const { return options_; }
+  const std::vector<CostCurve>& curves() const { return curves_; }
+  OptimizeFor metric() const { return metric_; }
+
+  /// Play a trace switching dynamically via a throughput tracker.
+  /// `hysteresis_margin` > 0 applies select_with_hysteresis per sample.
+  PlaybackResult play_dynamic(const comm::ThroughputTrace& trace,
+                              double tracker_alpha = 0.7,
+                              double hysteresis_margin = 0.0) const;
+
+  /// Play a trace pinned to one option.
+  PlaybackResult play_fixed(const comm::ThroughputTrace& trace,
+                            std::size_t option_index) const;
+
+ private:
+  std::vector<core::DeploymentOption> options_;
+  std::vector<CostCurve> curves_;
+  std::vector<DominanceInterval> intervals_;
+  OptimizeFor metric_;
+};
+
+}  // namespace lens::runtime

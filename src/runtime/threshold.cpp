@@ -1,0 +1,101 @@
+#include "runtime/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::runtime {
+
+double CostCurve::value(double tu_mbps) const {
+  if (tu_mbps <= 0.0) throw std::invalid_argument("CostCurve: throughput must be positive");
+  return constant + per_inverse_tu / tu_mbps;
+}
+
+CostCurve latency_curve(const core::DeploymentOption& option, const comm::CommModel& comm) {
+  CostCurve c;
+  c.constant = option.edge_latency_ms + option.cloud_latency_ms;
+  if (option.tx_bytes > 0) {
+    c.constant += comm.round_trip_ms();
+    // L_Tx = bits / (t_u * 1e3) ms.
+    c.per_inverse_tu = static_cast<double>(option.tx_bytes) * 8.0 / 1e3;
+  }
+  return c;
+}
+
+CostCurve energy_curve(const core::DeploymentOption& option, const comm::CommModel& comm) {
+  CostCurve c;
+  c.constant = option.edge_energy_mj;
+  if (option.tx_bytes > 0) {
+    const double megabits = static_cast<double>(option.tx_bytes) * 8.0 / 1e6;
+    const comm::RadioPowerModel& p = comm.power_model();
+    // E_Tx = (alpha t_u + beta) * Mb / t_u = alpha*Mb + beta*Mb / t_u [mJ].
+    c.constant += p.alpha_mw_per_mbps * megabits;
+    c.per_inverse_tu = p.beta_mw * megabits;
+  }
+  return c;
+}
+
+CostCurve cost_curve(const core::DeploymentOption& option, const comm::CommModel& comm,
+                     OptimizeFor metric) {
+  return metric == OptimizeFor::kLatency ? latency_curve(option, comm)
+                                         : energy_curve(option, comm);
+}
+
+std::optional<double> crossover_tu(const CostCurve& a, const CostCurve& b) {
+  const double d_const = a.constant - b.constant;
+  const double d_slope = b.per_inverse_tu - a.per_inverse_tu;
+  if (std::abs(d_const) < 1e-15 || std::abs(d_slope) < 1e-15) return std::nullopt;
+  const double tu = d_slope / d_const;
+  if (tu <= 0.0 || !std::isfinite(tu)) return std::nullopt;
+  return tu;
+}
+
+std::vector<DominanceInterval> dominance_intervals(const std::vector<CostCurve>& curves,
+                                                   double tu_min, double tu_max) {
+  if (curves.empty()) throw std::invalid_argument("dominance_intervals: no curves");
+  if (!(tu_min > 0.0) || !(tu_max > tu_min)) {
+    throw std::invalid_argument("dominance_intervals: bad throughput range");
+  }
+  // Breakpoints: all pairwise crossings inside the range.
+  std::vector<double> edges = {tu_min, tu_max};
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    for (std::size_t j = i + 1; j < curves.size(); ++j) {
+      if (const auto tu = crossover_tu(curves[i], curves[j])) {
+        if (*tu > tu_min && *tu < tu_max) edges.push_back(*tu);
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+              edges.end());
+
+  auto best_at = [&](double tu) {
+    std::size_t best = 0;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+      const double v = curves[i].value(tu);
+      if (v < best_value) {
+        best_value = v;
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  std::vector<DominanceInterval> intervals;
+  for (std::size_t e = 0; e + 1 < edges.size(); ++e) {
+    // Geometric midpoint: robust for hyperbolic curves across decades.
+    const double mid = std::sqrt(edges[e] * edges[e + 1]);
+    const std::size_t winner = best_at(mid);
+    if (!intervals.empty() && intervals.back().option_index == winner) {
+      intervals.back().tu_high = edges[e + 1];  // merge
+    } else {
+      intervals.push_back({winner, edges[e], edges[e + 1]});
+    }
+  }
+  return intervals;
+}
+
+}  // namespace lens::runtime

@@ -1,0 +1,88 @@
+#include "runtime/threshold_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace lens::runtime {
+
+namespace {
+constexpr const char* kMagic = "lens-switching-table v1";
+}
+
+std::size_t SwitchingTable::select(double tu_mbps) const {
+  if (intervals.empty()) throw std::logic_error("SwitchingTable: empty table");
+  if (tu_mbps <= 0.0) throw std::invalid_argument("SwitchingTable: throughput must be positive");
+  for (const DominanceInterval& iv : intervals) {
+    if (tu_mbps >= iv.tu_low && tu_mbps < iv.tu_high) return iv.option_index;
+  }
+  return tu_mbps < intervals.front().tu_low ? intervals.front().option_index
+                                            : intervals.back().option_index;
+}
+
+void save_switching_table(const SwitchingTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_switching_table: cannot open " + path);
+  out << kMagic << "\n" << std::setprecision(17);
+  out << "metric " << (table.metric == OptimizeFor::kLatency ? "latency" : "energy") << "\n";
+  out << "options " << table.option_labels.size() << "\n";
+  for (const std::string& label : table.option_labels) out << label << "\n";
+  out << "intervals " << table.intervals.size() << "\n";
+  for (const DominanceInterval& iv : table.intervals) {
+    out << iv.option_index << ' ' << iv.tu_low << ' ' << iv.tu_high << "\n";
+  }
+  if (!out) throw std::runtime_error("save_switching_table: write failed for " + path);
+}
+
+SwitchingTable load_switching_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_switching_table: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    throw std::invalid_argument("load_switching_table: bad header in " + path);
+  }
+  SwitchingTable table;
+  std::string keyword;
+  std::string metric_name;
+  if (!(in >> keyword >> metric_name) || keyword != "metric") {
+    throw std::invalid_argument("load_switching_table: missing metric line");
+  }
+  if (metric_name == "latency") {
+    table.metric = OptimizeFor::kLatency;
+  } else if (metric_name == "energy") {
+    table.metric = OptimizeFor::kEnergy;
+  } else {
+    throw std::invalid_argument("load_switching_table: unknown metric '" + metric_name + "'");
+  }
+  std::size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "options") {
+    throw std::invalid_argument("load_switching_table: missing options line");
+  }
+  std::getline(in, line);  // consume end of line
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line) || line.empty()) {
+      throw std::invalid_argument("load_switching_table: truncated option labels");
+    }
+    table.option_labels.push_back(line);
+  }
+  if (!(in >> keyword >> count) || keyword != "intervals") {
+    throw std::invalid_argument("load_switching_table: missing intervals line");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    DominanceInterval iv;
+    if (!(in >> iv.option_index >> iv.tu_low >> iv.tu_high)) {
+      throw std::invalid_argument("load_switching_table: truncated intervals");
+    }
+    if (iv.option_index >= table.option_labels.size() || iv.tu_low >= iv.tu_high) {
+      throw std::invalid_argument("load_switching_table: inconsistent interval");
+    }
+    table.intervals.push_back(iv);
+  }
+  if (table.intervals.empty()) {
+    throw std::invalid_argument("load_switching_table: no intervals in " + path);
+  }
+  return table;
+}
+
+}  // namespace lens::runtime

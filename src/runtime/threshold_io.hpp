@@ -1,0 +1,35 @@
+#pragma once
+// Persistence for runtime switching tables.
+//
+// The threshold analysis runs at design time (paper §IV-E); its output — the
+// dominance intervals over t_u — is what actually ships to the edge device
+// for the O(1) runtime switcher. These helpers serialize that table to a
+// small text file and load it back.
+
+#include <string>
+#include <vector>
+
+#include "runtime/threshold.hpp"
+
+namespace lens::runtime {
+
+/// A serializable switching table: option labels plus their dominance
+/// intervals over the throughput axis.
+struct SwitchingTable {
+  OptimizeFor metric = OptimizeFor::kLatency;
+  std::vector<std::string> option_labels;
+  std::vector<DominanceInterval> intervals;
+
+  /// Option index to use at `tu_mbps` (clamps outside the analyzed range).
+  /// Throws std::logic_error on an empty table.
+  std::size_t select(double tu_mbps) const;
+};
+
+/// Write the table to `path`. Throws std::runtime_error on I/O failure.
+void save_switching_table(const SwitchingTable& table, const std::string& path);
+
+/// Load a table saved by save_switching_table. Throws std::runtime_error /
+/// std::invalid_argument on bad files.
+SwitchingTable load_switching_table(const std::string& path);
+
+}  // namespace lens::runtime

@@ -1,0 +1,26 @@
+#include "runtime/tracker.hpp"
+
+#include <stdexcept>
+
+namespace lens::runtime {
+
+ThroughputTracker::ThroughputTracker(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("ThroughputTracker: alpha must be in (0,1]");
+  }
+}
+
+void ThroughputTracker::report(double tu_mbps) {
+  if (tu_mbps <= 0.0) {
+    throw std::invalid_argument("ThroughputTracker: throughput must be positive");
+  }
+  estimate_ = samples_ == 0 ? tu_mbps : alpha_ * tu_mbps + (1.0 - alpha_) * estimate_;
+  ++samples_;
+}
+
+double ThroughputTracker::estimate_mbps() const {
+  if (samples_ == 0) throw std::logic_error("ThroughputTracker: no samples yet");
+  return estimate_;
+}
+
+}  // namespace lens::runtime

@@ -1,0 +1,31 @@
+#pragma once
+// Online upload-throughput tracker (the "throughput tracker" of Fig. 5):
+// an exponentially-weighted moving average over reported measurements, the
+// O(1) runtime component that drives deployment-option switching.
+
+#include <cstddef>
+
+namespace lens::runtime {
+
+/// EWMA throughput estimator.
+class ThroughputTracker {
+ public:
+  /// `alpha` in (0,1]: weight of the newest sample (1 = trust latest fully).
+  explicit ThroughputTracker(double alpha = 0.7);
+
+  /// Fold in a new measurement (Mbps). Throws on non-positive values.
+  void report(double tu_mbps);
+
+  /// Current estimate. Throws std::logic_error before the first report.
+  double estimate_mbps() const;
+
+  bool has_estimate() const { return samples_ > 0; }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  double alpha_;
+  double estimate_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace lens::runtime

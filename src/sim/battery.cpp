@@ -1,0 +1,58 @@
+#include "sim/battery.hpp"
+
+#include <stdexcept>
+
+namespace lens::sim {
+
+BatteryReport battery_replay(const std::vector<RequestRecord>& records,
+                             const BatteryConfig& config) {
+  if (config.capacity_j <= 0.0 || config.idle_power_mw < 0.0) {
+    throw std::invalid_argument("battery_replay: invalid battery configuration");
+  }
+  BatteryReport report;
+  const double idle_w = config.idle_power_mw / 1e3;
+  double charge_j = config.capacity_j;
+  double now_s = 0.0;
+
+  for (const RequestRecord& record : records) {
+    if (record.completion_s < now_s - 1e-9) {
+      throw std::invalid_argument("battery_replay: records not ordered by completion");
+    }
+    // Idle drain until this request completes.
+    const double idle_draw = idle_w * (record.completion_s - now_s);
+    if (charge_j <= idle_draw) {
+      report.time_to_empty_s = now_s + charge_j / idle_w;
+      report.idle_energy_j += charge_j;
+      charge_j = 0.0;
+      const double elapsed = report.time_to_empty_s;
+      report.mean_power_w =
+          elapsed > 0.0 ? (report.inference_energy_j + report.idle_energy_j) / elapsed : 0.0;
+      return report;
+    }
+    charge_j -= idle_draw;
+    report.idle_energy_j += idle_draw;
+    now_s = record.completion_s;
+
+    const double inference_j = record.energy_mj / 1e3;
+    if (charge_j <= inference_j) {
+      report.inference_energy_j += charge_j;
+      charge_j = 0.0;
+      report.time_to_empty_s = now_s;
+      const double elapsed = now_s;
+      report.mean_power_w =
+          elapsed > 0.0 ? (report.inference_energy_j + report.idle_energy_j) / elapsed : 0.0;
+      return report;
+    }
+    charge_j -= inference_j;
+    report.inference_energy_j += inference_j;
+    ++report.inferences_served;
+  }
+
+  report.survived = true;
+  report.time_to_empty_s = now_s;
+  report.mean_power_w =
+      now_s > 0.0 ? (report.inference_energy_j + report.idle_energy_j) / now_s : 0.0;
+  return report;
+}
+
+}  // namespace lens::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Battery accounting for edge deployments.
+//
+// The paper optimizes per-inference edge energy; what a device owner feels
+// is *inferences per charge*. This helper folds a request record stream
+// (from EdgeCloudSystem) plus the device's idle draw into a battery
+// trajectory: time-to-empty, inferences served until empty, and the energy
+// split between compute, radio, and idle.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace lens::sim {
+
+struct BatteryConfig {
+  /// Usable capacity. Phone-class: ~40 kJ (3000 mAh @ 3.7 V); battery-pack
+  /// powered TX2-class: several hundred kJ.
+  double capacity_j = 40000.0;
+  /// Baseline platform draw while powered on (SoC idle + rails), mW.
+  double idle_power_mw = 1500.0;
+};
+
+struct BatteryReport {
+  bool survived = false;          ///< battery outlasted the whole record stream
+  double time_to_empty_s = 0.0;   ///< capped at the stream's makespan when survived
+  std::size_t inferences_served = 0;
+  double inference_energy_j = 0.0;  ///< compute + radio energy of served requests
+  double idle_energy_j = 0.0;       ///< idle draw over the elapsed time
+  double mean_power_w = 0.0;        ///< total energy / elapsed time
+};
+
+/// Replay `records` (ordered by completion time) against a battery.
+/// Inference energy is charged at each request's completion; idle energy
+/// accrues continuously. Throws std::invalid_argument on non-positive
+/// capacity or unordered records.
+BatteryReport battery_replay(const std::vector<RequestRecord>& records,
+                             const BatteryConfig& config);
+
+}  // namespace lens::sim

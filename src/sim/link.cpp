@@ -1,0 +1,66 @@
+#include "sim/link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::sim {
+
+TimeVaryingLink::TimeVaryingLink(comm::ThroughputTrace trace,
+                                 comm::RadioPowerModel power_model)
+    : trace_(std::move(trace)), power_model_(power_model) {
+  if (trace_.size() == 0 || trace_.interval_s <= 0.0) {
+    throw std::invalid_argument("TimeVaryingLink: empty trace or bad interval");
+  }
+  for (double tu : trace_.samples_mbps) {
+    if (tu <= 0.0) throw std::invalid_argument("TimeVaryingLink: non-positive throughput");
+  }
+}
+
+double TimeVaryingLink::throughput_at(double t_s) const {
+  if (t_s < 0.0) throw std::invalid_argument("TimeVaryingLink: negative time");
+  const auto index = static_cast<std::size_t>(std::floor(t_s / trace_.interval_s));
+  return trace_.samples_mbps[index % trace_.size()];
+}
+
+TransferResult TimeVaryingLink::transfer(double start_s, std::uint64_t bytes) const {
+  TransferResult result;
+  result.start_s = start_s;
+  if (bytes == 0) {
+    result.end_s = start_s;
+    return result;
+  }
+  double remaining_bits = static_cast<double>(bytes) * 8.0;
+  double now = start_s;
+  for (;;) {
+    const double tu = throughput_at(now);           // Mbps = 1e6 bit/s
+    const double rate_bits_per_s = tu * 1e6;
+    // Time left in the current trace interval.
+    const double interval_end =
+        (std::floor(now / trace_.interval_s) + 1.0) * trace_.interval_s;
+    const double window = interval_end - now;
+    const double can_send = rate_bits_per_s * window;
+    const double power_mw = power_model_.transmit_power_mw(tu);
+    if (can_send >= remaining_bits) {
+      const double dt = remaining_bits / rate_bits_per_s;
+      result.energy_mj += power_mw * dt;  // mW * s = mJ
+      now += dt;
+      break;
+    }
+    result.energy_mj += power_mw * window;
+    remaining_bits -= can_send;
+    now = interval_end;
+  }
+  result.end_s = now;
+  return result;
+}
+
+TransferResult TimeVaryingLink::schedule(double ready_s, std::uint64_t bytes) {
+  if (ready_s < 0.0) throw std::invalid_argument("TimeVaryingLink: negative ready time");
+  const double start = std::max(ready_s, radio_free_s_);
+  TransferResult result = transfer(start, bytes);
+  radio_free_s_ = result.end_s;
+  radio_busy_s_ += result.duration_s();
+  return result;
+}
+
+}  // namespace lens::sim

@@ -1,0 +1,54 @@
+#pragma once
+// Time-varying wireless uplink for the discrete-event simulator.
+//
+// The throughput follows a trace (piecewise constant per sampling interval,
+// wrapping around past the end). A transfer starting at time t occupies the
+// link exclusively (FIFO radio) until the integral of the instantaneous
+// rate covers its payload; the transmission energy integrates the radio
+// power model over the same intervals.
+
+#include <cstdint>
+
+#include "comm/commcost.hpp"
+#include "comm/trace.hpp"
+
+namespace lens::sim {
+
+/// One completed transfer.
+struct TransferResult {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double energy_mj = 0.0;  ///< radio energy billed to the edge
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Piecewise-constant-rate link driven by a throughput trace.
+class TimeVaryingLink {
+ public:
+  TimeVaryingLink(comm::ThroughputTrace trace, comm::RadioPowerModel power_model);
+
+  /// Instantaneous uplink throughput at absolute time `t_s`.
+  double throughput_at(double t_s) const;
+
+  /// Compute the completion time and radio energy of sending `bytes`
+  /// starting exactly at `start_s` (no queueing — see schedule()).
+  TransferResult transfer(double start_s, std::uint64_t bytes) const;
+
+  /// FIFO-schedule a transfer that becomes ready at `ready_s`: it starts
+  /// when the radio frees up, then runs at the trace's time-varying rate.
+  /// Zero-byte transfers complete immediately at the ready time.
+  TransferResult schedule(double ready_s, std::uint64_t bytes);
+
+  /// Radio busy time so far (for utilization metrics).
+  double total_busy() const { return radio_busy_s_; }
+  double busy_until() const { return radio_free_s_; }
+
+ private:
+  comm::ThroughputTrace trace_;
+  comm::RadioPowerModel power_model_;
+  double radio_free_s_ = 0.0;
+  double radio_busy_s_ = 0.0;
+};
+
+}  // namespace lens::sim

@@ -1,0 +1,146 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace lens::sim {
+
+EdgeCloudSystem::EdgeCloudSystem(std::vector<core::DeploymentOption> options,
+                                 comm::CommModel comm, comm::ThroughputTrace trace,
+                                 SimConfig config)
+    : options_(std::move(options)),
+      comm_(std::move(comm)),
+      trace_(std::move(trace)),
+      config_(config) {
+  if (options_.empty()) throw std::invalid_argument("EdgeCloudSystem: no options");
+  if (config_.fixed_option >= options_.size()) {
+    throw std::invalid_argument("EdgeCloudSystem: bad fixed option index");
+  }
+  if (config_.duration_s <= 0.0 || config_.arrival_rate_hz <= 0.0) {
+    throw std::invalid_argument("EdgeCloudSystem: bad duration or arrival rate");
+  }
+  curves_.reserve(options_.size());
+  for (const core::DeploymentOption& o : options_) {
+    curves_.push_back(runtime::cost_curve(o, comm_, config_.metric));
+  }
+}
+
+std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& link,
+                                         const ResourceTimeline& edge) const {
+  if (config_.policy == DispatchPolicy::kFixed) return config_.fixed_option;
+  const double tu = link.throughput_at(now_s);
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < curves_.size(); ++i) {
+    double cost;
+    if (config_.policy == DispatchPolicy::kDynamic) {
+      cost = curves_[i].value(tu);
+    } else {
+      // Queue-aware: estimated completion time given the current backlogs
+      // (transfer time approximated at the instantaneous rate).
+      const core::DeploymentOption& o = options_[i];
+      double t = now_s;
+      if (o.edge_latency_ms > 0.0) {
+        t = std::max(t, edge.busy_until()) + o.edge_latency_ms / 1e3;
+      }
+      if (o.tx_bytes > 0) {
+        const double tx_s = static_cast<double>(o.tx_bytes) * 8.0 / (tu * 1e6);
+        t = std::max(t, link.busy_until()) + tx_s + comm_.round_trip_ms() / 1e3 +
+            o.cloud_latency_ms / 1e3;
+      }
+      cost = t - now_s;
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+SimStats EdgeCloudSystem::run() {
+  if (ran_) throw std::logic_error("EdgeCloudSystem::run: already executed");
+  ran_ = true;
+
+  // Poisson arrivals over [0, duration).
+  std::mt19937_64 rng(config_.seed);
+  std::exponential_distribution<double> gap(config_.arrival_rate_hz);
+  std::vector<double> arrivals;
+  for (double t = gap(rng); t < config_.duration_s; t += gap(rng)) arrivals.push_back(t);
+
+  ResourceTimeline edge;
+  TimeVaryingLink link(trace_, comm_.power_model());
+  const double rtt_s = comm_.round_trip_ms() / 1e3;
+
+  records_.reserve(arrivals.size());
+  for (double arrival : arrivals) {
+    RequestRecord record;
+    record.arrival_s = arrival;
+    record.option = pick_option(arrival, link, edge);
+    const core::DeploymentOption& option = options_[record.option];
+
+    // Edge prefix (skipped entirely for All-Cloud).
+    double edge_done = arrival;
+    if (option.edge_latency_ms > 0.0) {
+      edge_done = edge.schedule(arrival, option.edge_latency_ms / 1e3);
+    }
+    record.energy_mj = option.edge_energy_mj;
+
+    double completion = edge_done;
+    if (option.tx_bytes > 0) {
+      const TransferResult transfer = link.schedule(edge_done, option.tx_bytes);
+      record.energy_mj += transfer.energy_mj;
+      // Round trip covers the request/response handshake; the cloud suffix
+      // runs with unbounded parallelism.
+      completion = transfer.end_s + rtt_s + option.cloud_latency_ms / 1e3;
+    }
+    record.completion_s = completion;
+    record.latency_ms = (completion - arrival) * 1e3;
+    records_.push_back(record);
+  }
+
+  // Aggregate.
+  SimStats stats;
+  stats.completed = records_.size();
+  if (records_.empty()) return stats;
+  std::vector<double> latencies;
+  latencies.reserve(records_.size());
+  for (const RequestRecord& r : records_) {
+    latencies.push_back(r.latency_ms);
+    stats.total_energy_mj += r.energy_mj;
+    stats.mean_latency_ms += r.latency_ms;
+    stats.makespan_s = std::max(stats.makespan_s, r.completion_s);
+    if (config_.deadline_ms > 0.0 && r.latency_ms > config_.deadline_ms) {
+      ++stats.deadline_violations;
+    }
+  }
+  if (config_.deadline_ms > 0.0) {
+    stats.violation_rate =
+        static_cast<double>(stats.deadline_violations) / static_cast<double>(records_.size());
+  }
+  stats.mean_latency_ms /= static_cast<double>(records_.size());
+  stats.energy_per_inference_mj = stats.total_energy_mj / static_cast<double>(records_.size());
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double p) {
+    const double position = p / 100.0 * static_cast<double>(latencies.size() - 1);
+    const auto lower = static_cast<std::size_t>(std::floor(position));
+    const auto upper = static_cast<std::size_t>(std::ceil(position));
+    const double fraction = position - static_cast<double>(lower);
+    return latencies[lower] + fraction * (latencies[upper] - latencies[lower]);
+  };
+  stats.p50_latency_ms = percentile(50.0);
+  stats.p95_latency_ms = percentile(95.0);
+  stats.p99_latency_ms = percentile(99.0);
+  stats.max_latency_ms = latencies.back();
+  if (stats.makespan_s > 0.0) {
+    stats.edge_utilization = edge.total_busy() / stats.makespan_s;
+    stats.link_utilization = link.total_busy() / stats.makespan_s;
+    stats.throughput_hz = static_cast<double>(stats.completed) / stats.makespan_s;
+  }
+  return stats;
+}
+
+}  // namespace lens::sim

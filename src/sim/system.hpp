@@ -1,0 +1,100 @@
+#pragma once
+// Discrete-event edge-cloud system simulation (extension).
+//
+// The paper's evaluation costs one inference in isolation; real deployments
+// serve *streams* of requests, where the edge accelerator and the radio are
+// serial resources that queue. This simulator runs a Poisson request stream
+// through a deployed model's options: the edge executes prefixes FIFO, the
+// radio transmits FIFO at the trace's time-varying rate, the cloud finishes
+// suffixes with unbounded parallelism (its latency is the option's
+// cloud_latency_ms). Outputs: end-to-end latency percentiles, edge energy,
+// and resource utilizations — revealing the throughput ceilings and the
+// load-shedding value of partitioned deployments that single-shot analysis
+// cannot see.
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/commcost.hpp"
+#include "comm/trace.hpp"
+#include "core/evaluator.hpp"
+#include "runtime/threshold.hpp"
+#include "sim/link.hpp"
+#include "sim/timeline.hpp"
+
+namespace lens::sim {
+
+/// How requests choose their deployment option.
+enum class DispatchPolicy {
+  kFixed,       ///< always SimConfig::fixed_option
+  kDynamic,     ///< cheapest option for the link's current throughput
+  kQueueAware,  ///< earliest estimated completion given current queues
+};
+
+struct SimConfig {
+  double duration_s = 600.0;        ///< arrival horizon (jobs drain afterwards)
+  double arrival_rate_hz = 5.0;     ///< Poisson arrival intensity
+  unsigned seed = 1;
+  DispatchPolicy policy = DispatchPolicy::kFixed;
+  std::size_t fixed_option = 0;
+  runtime::OptimizeFor metric = runtime::OptimizeFor::kLatency;  ///< dynamic ranking
+  /// Soft deadline for SLO accounting (0 = disabled): requests completing
+  /// later than this are counted as violations (still served).
+  double deadline_ms = 0.0;
+};
+
+/// Per-request outcome.
+struct RequestRecord {
+  double arrival_s = 0.0;
+  double completion_s = 0.0;
+  std::size_t option = 0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;  ///< edge compute + radio energy
+};
+
+/// Aggregate results of one simulation run.
+struct SimStats {
+  std::size_t completed = 0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  double total_energy_mj = 0.0;
+  double energy_per_inference_mj = 0.0;
+  double edge_utilization = 0.0;  ///< edge busy time / makespan
+  double link_utilization = 0.0;  ///< radio busy time / makespan
+  double makespan_s = 0.0;        ///< last completion
+  double throughput_hz = 0.0;     ///< completed / makespan
+  std::size_t deadline_violations = 0;  ///< requests later than the deadline
+  double violation_rate = 0.0;          ///< violations / completed (0 if disabled)
+};
+
+/// Simulates one deployed model under load.
+class EdgeCloudSystem {
+ public:
+  /// `options`: the model's deployment options (from Algorithm 1).
+  /// `comm` supplies the radio power model and round-trip latency; `trace`
+  /// drives the link's instantaneous throughput.
+  EdgeCloudSystem(std::vector<core::DeploymentOption> options, comm::CommModel comm,
+                  comm::ThroughputTrace trace, SimConfig config);
+
+  /// Run the full simulation. May be called once per instance.
+  SimStats run();
+
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+ private:
+  std::size_t pick_option(double now_s, const TimeVaryingLink& link,
+                          const ResourceTimeline& edge) const;
+
+  std::vector<core::DeploymentOption> options_;
+  comm::CommModel comm_;
+  comm::ThroughputTrace trace_;
+  SimConfig config_;
+  std::vector<runtime::CostCurve> curves_;
+  std::vector<RequestRecord> records_;
+  bool ran_ = false;
+};
+
+}  // namespace lens::sim

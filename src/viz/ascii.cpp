@@ -1,0 +1,183 @@
+#include "viz/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace lens::viz {
+
+namespace {
+
+struct Bounds {
+  double x_lo, x_hi, y_lo, y_hi;
+};
+
+double maybe_log(double v, bool log_scale) {
+  if (!log_scale) return v;
+  if (v <= 0.0) throw std::invalid_argument("ascii plot: non-positive value on log axis");
+  return std::log10(v);
+}
+
+Bounds compute_bounds(const std::vector<Series>& series, const PlotConfig& config) {
+  Bounds b{std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity()};
+  std::size_t total_points = 0;
+  for (const Series& s : series) {
+    if (s.x.size() != s.y.size()) throw std::invalid_argument("ascii plot: ragged series");
+    total_points += s.x.size();
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      b.x_lo = std::min(b.x_lo, maybe_log(s.x[i], config.log_x));
+      b.x_hi = std::max(b.x_hi, maybe_log(s.x[i], config.log_x));
+      b.y_lo = std::min(b.y_lo, maybe_log(s.y[i], config.log_y));
+      b.y_hi = std::max(b.y_hi, maybe_log(s.y[i], config.log_y));
+    }
+  }
+  if (total_points == 0) throw std::invalid_argument("ascii plot: no points");
+  // Degenerate ranges get a symmetric pad so single values still render.
+  if (b.x_hi - b.x_lo < 1e-12) {
+    b.x_lo -= 0.5;
+    b.x_hi += 0.5;
+  }
+  if (b.y_hi - b.y_lo < 1e-12) {
+    b.y_lo -= 0.5;
+    b.y_hi += 0.5;
+  }
+  return b;
+}
+
+class Canvas {
+ public:
+  Canvas(int width, int height) : width_(width), height_(height) {
+    if (width < 8 || height < 4) throw std::invalid_argument("ascii plot: canvas too small");
+    cells_.assign(static_cast<std::size_t>(width) * height, ' ');
+  }
+
+  void put(int col, int row, char glyph) {
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) return;
+    cells_[static_cast<std::size_t>(row) * width_ + col] = glyph;
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  std::string render(const Bounds& bounds, const PlotConfig& config,
+                     const std::vector<Series>& series) const {
+    std::string out;
+    char line[160];
+    // Top y value.
+    std::snprintf(line, sizeof line, "%10.3g +", unlog(bounds.y_hi, config.log_y));
+    out += line;
+    out += std::string(static_cast<std::size_t>(width_), '-') + "+\n";
+    for (int row = 0; row < height_; ++row) {
+      if (row == height_ / 2 && !config.y_label.empty()) {
+        std::snprintf(line, sizeof line, "%10.10s |", config.y_label.c_str());
+      } else {
+        std::snprintf(line, sizeof line, "%10s |", "");
+      }
+      out += line;
+      out.append(cells_.begin() + static_cast<std::ptrdiff_t>(row) * width_,
+                 cells_.begin() + static_cast<std::ptrdiff_t>(row + 1) * width_);
+      out += "|\n";
+    }
+    std::snprintf(line, sizeof line, "%10.3g +", unlog(bounds.y_lo, config.log_y));
+    out += line;
+    out += std::string(static_cast<std::size_t>(width_), '-') + "+\n";
+    {
+      char lo_text[32];
+      char hi_text[32];
+      std::snprintf(lo_text, sizeof lo_text, "%.3g", unlog(bounds.x_lo, config.log_x));
+      std::snprintf(hi_text, sizeof hi_text, "%.3g", unlog(bounds.x_hi, config.log_x));
+      std::string footer(static_cast<std::size_t>(width_) + 2, ' ');
+      footer.replace(0, std::string(lo_text).size(), lo_text);
+      const std::string hi(hi_text);
+      footer.replace(footer.size() - hi.size(), hi.size(), hi);
+      if (!config.x_label.empty() && config.x_label.size() + 16 < footer.size()) {
+        footer.replace((footer.size() - config.x_label.size()) / 2, config.x_label.size(),
+                       config.x_label);
+      }
+      out += "           " + footer + "\n";
+    }
+    // Legend.
+    out += "            ";
+    for (const Series& s : series) {
+      out += "[";
+      out += s.glyph;
+      out += "] " + s.label + "  ";
+    }
+    out += "\n";
+    return out;
+  }
+
+ private:
+  static double unlog(double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  }
+
+  int width_;
+  int height_;
+  std::vector<char> cells_;
+};
+
+void validate(const std::vector<Series>& series) {
+  if (series.empty()) throw std::invalid_argument("ascii plot: no series");
+}
+
+}  // namespace
+
+std::string scatter_plot(const std::vector<Series>& series, const PlotConfig& config) {
+  validate(series);
+  const Bounds bounds = compute_bounds(series, config);
+  Canvas canvas(config.width, config.height);
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double xn = (maybe_log(s.x[i], config.log_x) - bounds.x_lo) /
+                        (bounds.x_hi - bounds.x_lo);
+      const double yn = (maybe_log(s.y[i], config.log_y) - bounds.y_lo) /
+                        (bounds.y_hi - bounds.y_lo);
+      const int col = static_cast<int>(std::lround(xn * (config.width - 1)));
+      const int row = static_cast<int>(std::lround((1.0 - yn) * (config.height - 1)));
+      canvas.put(col, row, s.glyph);
+    }
+  }
+  return canvas.render(bounds, config, series);
+}
+
+std::string line_plot(const std::vector<Series>& series, const PlotConfig& config) {
+  validate(series);
+  const Bounds bounds = compute_bounds(series, config);
+  Canvas canvas(config.width, config.height);
+  for (const Series& s : series) {
+    // Interpolate y across every canvas column between consecutive points.
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const double x0 = maybe_log(s.x[i], config.log_x);
+      const double x1 = maybe_log(s.x[i + 1], config.log_x);
+      const double y0 = maybe_log(s.y[i], config.log_y);
+      const double y1 = maybe_log(s.y[i + 1], config.log_y);
+      const int c0 = static_cast<int>(
+          std::lround((x0 - bounds.x_lo) / (bounds.x_hi - bounds.x_lo) * (config.width - 1)));
+      const int c1 = static_cast<int>(
+          std::lround((x1 - bounds.x_lo) / (bounds.x_hi - bounds.x_lo) * (config.width - 1)));
+      const int step = c1 >= c0 ? 1 : -1;
+      for (int col = c0; col != c1 + step; col += step) {
+        const double t = c1 == c0 ? 0.0 : static_cast<double>(col - c0) / (c1 - c0);
+        const double y = y0 + t * (y1 - y0);
+        const double yn = (y - bounds.y_lo) / (bounds.y_hi - bounds.y_lo);
+        const int row = static_cast<int>(std::lround((1.0 - yn) * (config.height - 1)));
+        canvas.put(col, row, s.glyph);
+      }
+    }
+    if (s.x.size() == 1) {
+      const double xn = (maybe_log(s.x[0], config.log_x) - bounds.x_lo) /
+                        (bounds.x_hi - bounds.x_lo);
+      const double yn = (maybe_log(s.y[0], config.log_y) - bounds.y_lo) /
+                        (bounds.y_hi - bounds.y_lo);
+      canvas.put(static_cast<int>(std::lround(xn * (config.width - 1))),
+                 static_cast<int>(std::lround((1.0 - yn) * (config.height - 1))), s.glyph);
+    }
+  }
+  return canvas.render(bounds, config, series);
+}
+
+}  // namespace lens::viz

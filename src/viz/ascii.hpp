@@ -1,0 +1,39 @@
+#pragma once
+// Terminal plotting for the experiment harnesses: scatter plots (Pareto
+// fronts, explored candidates) and line charts (convergence, cumulative
+// cost traces) rendered as plain text so the bench binaries can reproduce
+// the paper's *figures*, not just their summary statistics.
+
+#include <string>
+#include <vector>
+
+namespace lens::viz {
+
+/// One plotted series: points plus the glyph that draws them.
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotConfig {
+  int width = 72;    ///< plot area columns (excluding axis gutter)
+  int height = 20;   ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;
+  bool log_y = false;
+};
+
+/// Render a scatter plot of the series onto a character canvas. Later
+/// series overdraw earlier ones where cells collide. Includes axis ranges
+/// and a legend line. Throws std::invalid_argument on empty input, ragged
+/// series, non-positive values under log scaling, or degenerate config.
+std::string scatter_plot(const std::vector<Series>& series, const PlotConfig& config = {});
+
+/// Render line charts: like scatter_plot but connects consecutive points of
+/// each series with linear interpolation across columns.
+std::string line_plot(const std::vector<Series>& series, const PlotConfig& config = {});
+
+}  // namespace lens::viz

@@ -1,0 +1,105 @@
+// Tests for the CLI argument parser and subcommand dispatch.
+
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+namespace lens::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"lens-cli"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, CommandAndOptions) {
+  const Args args = parse({"search", "--iterations", "40", "--tu", "3.5", "--verbose"});
+  EXPECT_EQ(args.command(), "search");
+  EXPECT_EQ(args.get_int("iterations", 0), 40);
+  EXPECT_DOUBLE_EQ(args.get_double("tu", 0.0), 3.5);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+}
+
+TEST(Args, NoCommandIsEmpty) {
+  const Args args = parse({"--flag"});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_TRUE(args.get_bool("flag"));
+}
+
+TEST(Args, TrailingFlagWithoutValue) {
+  const Args args = parse({"evaluate", "--summary"});
+  EXPECT_TRUE(args.get_bool("summary"));
+}
+
+TEST(Args, MalformedInputThrows) {
+  EXPECT_THROW(parse({"search", "stray-positional"}), std::invalid_argument);
+  EXPECT_THROW(parse({"search", "--"}), std::invalid_argument);
+}
+
+TEST(Args, TypedAccessorsValidate) {
+  const Args args = parse({"x", "--n", "abc", "--f", "1.5x", "--b", "maybe"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("f", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.get_bool("b"), std::invalid_argument);
+}
+
+TEST(Args, BooleanSpellings) {
+  const Args args = parse({"x", "--a", "yes", "--b", "0", "--c", "false"});
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_FALSE(args.get_bool("b"));
+  EXPECT_FALSE(args.get_bool("c"));
+}
+
+TEST(Args, ExpectKnownCatchesTypos) {
+  const Args args = parse({"search", "--iterashuns", "40"});
+  EXPECT_THROW(args.expect_known({"iterations", "tu"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.expect_known({"iterashuns"}));
+}
+
+TEST(Commands, HelpAndUnknown) {
+  EXPECT_EQ(run_command(parse({"help"})), 0);
+  EXPECT_EQ(run_command(parse({})), 0);
+  EXPECT_EQ(run_command(parse({"frobnicate"})), 2);
+}
+
+TEST(Commands, BadOptionValueIsUserError) {
+  EXPECT_EQ(run_command(parse({"evaluate", "--arch", "resnet"})), 1);
+  EXPECT_EQ(run_command(parse({"evaluate", "--tech", "5g"})), 1);
+  EXPECT_EQ(run_command(parse({"search", "--mode", "bogus"})), 1);
+  EXPECT_EQ(run_command(parse({"thresholds", "--metric", "joy"})), 1);
+  EXPECT_EQ(run_command(parse({"simulate", "--policy", "hope"})), 1);
+  // Unknown option name is caught by expect_known.
+  EXPECT_EQ(run_command(parse({"evaluate", "--archh", "alexnet"})), 1);
+}
+
+TEST(Commands, EvaluateRuns) {
+  EXPECT_EQ(run_command(parse({"evaluate", "--arch", "alexnet", "--tu", "16.1"})), 0);
+}
+
+TEST(Commands, ThresholdsRuns) {
+  EXPECT_EQ(run_command(parse({"thresholds", "--metric", "energy"})), 0);
+}
+
+TEST(Commands, SearchRunsSmallAndWritesCsv) {
+  const std::string out = std::string(::testing::TempDir()) + "/cli_history.csv";
+  EXPECT_EQ(run_command(parse({"search", "--iterations", "4", "--initial", "4", "--out",
+                               out.c_str()})),
+            0);
+  FILE* f = std::fopen(out.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(out.c_str());
+}
+
+TEST(Commands, SimulateRuns) {
+  EXPECT_EQ(run_command(parse({"simulate", "--rate", "5", "--duration", "10", "--policy",
+                               "all-edge", "--deadline", "100"})),
+            0);
+}
+
+}  // namespace
+}  // namespace lens::cli

@@ -1,0 +1,176 @@
+// Tests for the finite-cloud latency extension, the additional device
+// profiles, and the Hamming kernel for categorical genotypes.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/nas.hpp"
+#include "dnn/presets.hpp"
+#include "opt/gp.hpp"
+#include "opt/kernel.hpp"
+#include "perf/predictor.hpp"
+#include "runtime/threshold.hpp"
+
+namespace lens {
+namespace {
+
+TEST(DeviceProfiles, OrderingAcrossTiers) {
+  const perf::DeviceProfile cloud = perf::datacenter_gpu();
+  const perf::DeviceProfile edge_gpu = perf::jetson_tx2_gpu();
+  const perf::DeviceProfile edge_cpu = perf::jetson_tx2_cpu();
+  const perf::DeviceProfile tiny = perf::embedded_cpu();
+  EXPECT_GT(cloud.conv_gflops, edge_gpu.conv_gflops);
+  EXPECT_GT(edge_gpu.conv_gflops, edge_cpu.conv_gflops);
+  EXPECT_GT(edge_cpu.conv_gflops, tiny.conv_gflops);
+  EXPECT_GT(cloud.dense_bandwidth_gbps, edge_gpu.dense_bandwidth_gbps);
+}
+
+class CloudModelTest : public ::testing::Test {
+ protected:
+  CloudModelTest()
+      : edge_sim_(perf::jetson_tx2_gpu()),
+        cloud_sim_(perf::datacenter_gpu()),
+        edge_oracle_(edge_sim_),
+        cloud_oracle_(cloud_sim_),
+        wifi_(comm::WirelessTechnology::kWifi, 5.0),
+        alexnet_(dnn::alexnet()) {}
+
+  perf::DeviceSimulator edge_sim_;
+  perf::DeviceSimulator cloud_sim_;
+  perf::SimulatorOracle edge_oracle_;
+  perf::SimulatorOracle cloud_oracle_;
+  comm::CommModel wifi_;
+  dnn::Architecture alexnet_;
+};
+
+TEST_F(CloudModelTest, NullCloudMatchesPaperModel) {
+  const core::DeploymentEvaluator plain(edge_oracle_, wifi_);
+  core::EvaluatorConfig config;  // cloud_model defaults to nullptr
+  const core::DeploymentEvaluator configured(edge_oracle_, wifi_, config);
+  const auto a = plain.evaluate(alexnet_, 10.0);
+  const auto b = configured.evaluate(alexnet_, 10.0);
+  ASSERT_EQ(a.options.size(), b.options.size());
+  for (std::size_t i = 0; i < a.options.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.options[i].latency_ms, b.options[i].latency_ms);
+    EXPECT_DOUBLE_EQ(b.options[i].cloud_latency_ms, 0.0);
+  }
+}
+
+TEST_F(CloudModelTest, FiniteCloudAddsSuffixLatency) {
+  core::EvaluatorConfig config;
+  config.cloud_model = &cloud_oracle_;
+  const core::DeploymentEvaluator with_cloud(edge_oracle_, wifi_, config);
+  const core::DeploymentEvaluator without(edge_oracle_, wifi_);
+  const auto finite = with_cloud.evaluate(alexnet_, 10.0);
+  const auto infinite = without.evaluate(alexnet_, 10.0);
+
+  // All-Cloud pays the full network's cloud time; All-Edge pays none.
+  EXPECT_GT(finite.all_cloud().latency_ms, infinite.all_cloud().latency_ms);
+  EXPECT_GT(finite.all_cloud().cloud_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(finite.all_edge().latency_ms, infinite.all_edge().latency_ms);
+  EXPECT_DOUBLE_EQ(finite.all_edge().cloud_latency_ms, 0.0);
+  // Energy is never billed for cloud compute.
+  for (std::size_t i = 0; i < finite.options.size(); ++i) {
+    EXPECT_DOUBLE_EQ(finite.options[i].energy_mj, infinite.options[i].energy_mj);
+  }
+  // Later splits offload less -> smaller cloud latency.
+  double previous = 1e300;
+  for (const core::DeploymentOption& o : finite.options) {
+    if (o.kind == core::DeploymentKind::kPartitioned) {
+      EXPECT_LT(o.cloud_latency_ms, previous);
+      previous = o.cloud_latency_ms;
+    }
+  }
+}
+
+TEST_F(CloudModelTest, DatacenterCloudBarelyMovesTheNeedle) {
+  // The paper's assumption check: with a V100-class cloud, AlexNet's cloud
+  // suffix costs ~1 ms, so deployment preferences at Table-I throughputs
+  // are unchanged.
+  core::EvaluatorConfig config;
+  config.cloud_model = &cloud_oracle_;
+  const core::DeploymentEvaluator with_cloud(edge_oracle_, wifi_, config);
+  const core::DeploymentEvaluator without(edge_oracle_, wifi_);
+  for (double tu : {0.7, 7.5, 16.1}) {
+    EXPECT_EQ(with_cloud.evaluate(alexnet_, tu).latency_choice().label(alexnet_),
+              without.evaluate(alexnet_, tu).latency_choice().label(alexnet_));
+  }
+}
+
+TEST_F(CloudModelTest, SlowCloudFlipsPreferenceTowardEdge) {
+  // A cloud as weak as the edge device itself makes offloading pointless
+  // for latency at high throughput.
+  core::EvaluatorConfig config;
+  config.cloud_model = &edge_oracle_;  // "cloud" == another TX2
+  const core::DeploymentEvaluator with_cloud(edge_oracle_, wifi_, config);
+  const auto eval = with_cloud.evaluate(alexnet_, 30.0);
+  // Without cloud cost, 30 Mbps prefers pool5 (Fig. 2); with an equally slow
+  // cloud the split only adds transfer + the same compute.
+  EXPECT_EQ(eval.latency_choice().label(alexnet_), "All-Edge");
+}
+
+TEST_F(CloudModelTest, RuntimeCurvesIncludeCloudConstant) {
+  core::EvaluatorConfig config;
+  config.cloud_model = &cloud_oracle_;
+  const core::DeploymentEvaluator with_cloud(edge_oracle_, wifi_, config);
+  const auto eval = with_cloud.evaluate(alexnet_, 10.0);
+  const core::DeploymentOption& cloud = eval.all_cloud();
+  const runtime::CostCurve curve = runtime::latency_curve(cloud, wifi_);
+  EXPECT_NEAR(curve.value(10.0), cloud.latency_ms, 1e-9);
+}
+
+TEST(HammingKernel, CountsDifferingCoordinates) {
+  EXPECT_EQ(opt::hamming_distance({0.0, 0.5, 1.0}, {0.0, 0.5, 1.0}), 0u);
+  EXPECT_EQ(opt::hamming_distance({0.0, 0.5, 1.0}, {0.0, 0.6, 0.0}), 2u);
+  EXPECT_THROW(opt::hamming_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(HammingKernel, BasicProperties) {
+  const opt::HammingKernel k(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(k({0.0, 1.0}, {0.0, 1.0}), 1.0);
+  // More differing coordinates -> lower covariance.
+  EXPECT_GT(k({0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}), k({0.0, 0.0, 0.0}, {1.0, 1.0, 0.0}));
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(k({0.0, 1.0}, {1.0, 1.0}), k({1.0, 1.0}, {0.0, 1.0}));
+  EXPECT_THROW(opt::HammingKernel(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(HammingKernel, GpFitsCategoricalStructure) {
+  // Target depends only on exact coordinate matches — Euclidean kernels
+  // smooth across categories, the Hamming kernel does not need to.
+  opt::GpConfig config;
+  config.family = opt::KernelFamily::kHamming;
+  opt::GaussianProcess gp(config);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double a : {0.0, 0.5, 1.0}) {
+    for (double b : {0.0, 0.5, 1.0}) {
+      x.push_back({a, b});
+      y.push_back((a == 0.5 ? 2.0 : 0.0) + (b == 1.0 ? 1.0 : 0.0));
+    }
+  }
+  gp.fit(x, y);
+  EXPECT_NEAR(gp.predict({0.5, 1.0}).mean, 3.0, 0.4);
+  EXPECT_NEAR(gp.predict({0.0, 0.0}).mean, 0.0, 0.4);
+}
+
+TEST(HammingKernel, WorksInsideNasDriverConfig) {
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(oracle, wifi);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+  core::NasConfig config;
+  config.mobo.num_initial = 6;
+  config.mobo.num_iterations = 6;
+  config.mobo.pool_size = 32;
+  config.mobo.gp.family = opt::KernelFamily::kHamming;
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+  EXPECT_EQ(result.history.size(), 12u);
+  EXPECT_GE(result.front.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lens

@@ -1,0 +1,267 @@
+// Tests for the architecture IR: shape algebra, FLOPs/params, presets,
+// data-size accounting, partition-candidate identification.
+
+#include <gtest/gtest.h>
+
+#include "dnn/architecture.hpp"
+#include "dnn/presets.hpp"
+
+namespace lens::dnn {
+namespace {
+
+TEST(LayerSpec, FactoriesValidate) {
+  EXPECT_THROW(LayerSpec::conv(0, 3), std::invalid_argument);
+  EXPECT_THROW(LayerSpec::conv(16, -1), std::invalid_argument);
+  EXPECT_THROW(LayerSpec::max_pool(0), std::invalid_argument);
+  EXPECT_THROW(LayerSpec::dense(0), std::invalid_argument);
+}
+
+TEST(LayerSpec, ConvDefaultsToSamePadding) {
+  const LayerSpec c3 = LayerSpec::conv(16, 3);
+  EXPECT_EQ(c3.padding, 1);
+  const LayerSpec c7 = LayerSpec::conv(16, 7);
+  EXPECT_EQ(c7.padding, 3);
+  const LayerSpec explicit_pad = LayerSpec::conv(16, 5, 1, 0);
+  EXPECT_EQ(explicit_pad.padding, 0);
+}
+
+TEST(Shapes, ConvSamePaddingPreservesSpatial) {
+  const TensorShape in{32, 32, 3};
+  const TensorShape out = output_shape(LayerSpec::conv(64, 3), in);
+  EXPECT_EQ(out.height, 32);
+  EXPECT_EQ(out.width, 32);
+  EXPECT_EQ(out.channels, 64);
+}
+
+TEST(Shapes, ConvStrideAndPadding) {
+  // AlexNet conv1: 224 -> (224 + 4 - 11)/4 + 1 = 55.
+  const TensorShape out = output_shape(LayerSpec::conv(96, 11, 4, 2), {224, 224, 3});
+  EXPECT_EQ(out.height, 55);
+  EXPECT_EQ(out.width, 55);
+  EXPECT_EQ(out.channels, 96);
+}
+
+TEST(Shapes, PoolHalvesWithDefaults) {
+  const TensorShape out = output_shape(LayerSpec::max_pool(), {56, 56, 128});
+  EXPECT_EQ(out.height, 28);
+  EXPECT_EQ(out.width, 28);
+  EXPECT_EQ(out.channels, 128);
+}
+
+TEST(Shapes, OverlappingPool) {
+  // AlexNet pools: k3 s2, 55 -> 27.
+  const TensorShape out = output_shape(LayerSpec::max_pool(3, 2), {55, 55, 96});
+  EXPECT_EQ(out.height, 27);
+}
+
+TEST(Shapes, DenseFlattensAnything) {
+  const TensorShape out = output_shape(LayerSpec::dense(100), {6, 6, 256});
+  EXPECT_EQ(out.height, 1);
+  EXPECT_EQ(out.width, 1);
+  EXPECT_EQ(out.channels, 100);
+}
+
+TEST(Shapes, RejectsCollapsedOutputs) {
+  EXPECT_THROW(output_shape(LayerSpec::max_pool(2, 2), {1, 1, 8}), std::invalid_argument);
+  EXPECT_THROW(output_shape(LayerSpec::conv(8, 7, 1, 0), {3, 3, 1}), std::invalid_argument);
+  EXPECT_THROW(output_shape(LayerSpec::conv(8, 3), {0, 4, 1}), std::invalid_argument);
+}
+
+TEST(Flops, DenseCountsMacsAndBias) {
+  // 10 -> 5: 2*10*5 + 5 = 105, + relu 5 elements.
+  const LayerSpec fc = LayerSpec::dense(5);
+  EXPECT_EQ(layer_flops(fc, {1, 1, 10}), 105u + 5u);
+  LayerSpec no_act = fc;
+  no_act.activation = Activation::kNone;
+  EXPECT_EQ(layer_flops(no_act, {1, 1, 10}), 105u);
+}
+
+TEST(Flops, ConvMatchesHandComputation) {
+  // 8x8x2 input, 4 filters, k3 same padding: out 8*8*4 = 256 elems.
+  // macs = 256 * 3*3*2 = 4608, flops = 2*4608 + 256 (bias) = 9472;
+  // +bn 4*256 +relu 256 when enabled.
+  const LayerSpec bare = LayerSpec::conv(4, 3, 1, -1, /*batch_norm=*/false,
+                                         Activation::kNone);
+  EXPECT_EQ(layer_flops(bare, {8, 8, 2}), 9472u);
+  const LayerSpec fused = LayerSpec::conv(4, 3);  // bn + relu
+  EXPECT_EQ(layer_flops(fused, {8, 8, 2}), 9472u + 4u * 256u + 256u);
+}
+
+TEST(Params, ConvAndDenseCounts) {
+  const LayerSpec conv = LayerSpec::conv(4, 3, 1, -1, /*batch_norm=*/false);
+  EXPECT_EQ(layer_params(conv, {8, 8, 2}), 3u * 3u * 2u * 4u + 4u);
+  const LayerSpec conv_bn = LayerSpec::conv(4, 3);
+  EXPECT_EQ(layer_params(conv_bn, {8, 8, 2}), 3u * 3u * 2u * 4u + 4u + 8u);
+  EXPECT_EQ(layer_params(LayerSpec::dense(5), {1, 1, 10}), 55u);
+  EXPECT_EQ(layer_params(LayerSpec::max_pool(), {8, 8, 2}), 0u);
+}
+
+TEST(Architecture, ValidatesConstruction) {
+  EXPECT_THROW(Architecture("x", {32, 32, 3}, {}), std::invalid_argument);
+  EXPECT_THROW(Architecture("x", {0, 32, 3}, {LayerSpec::conv(8, 3)}),
+               std::invalid_argument);
+  // Spatial layer after dense is rejected.
+  EXPECT_THROW(Architecture("x", {32, 32, 3},
+                            {LayerSpec::dense(10), LayerSpec::max_pool()}),
+               std::invalid_argument);
+}
+
+TEST(Architecture, TraceAccumulatesTotals) {
+  const Architecture arch("tiny", {8, 8, 3},
+                          {LayerSpec::conv(4, 3), LayerSpec::max_pool(),
+                           LayerSpec::dense(10, Activation::kSoftmax)});
+  ASSERT_EQ(arch.num_layers(), 3u);
+  std::uint64_t flops = 0;
+  std::uint64_t params = 0;
+  for (const LayerInfo& info : arch.layers()) {
+    flops += info.flops;
+    params += info.params;
+  }
+  EXPECT_EQ(arch.total_flops(), flops);
+  EXPECT_EQ(arch.total_params(), params);
+  EXPECT_EQ(arch.layers()[1].output.height, 4);
+  EXPECT_EQ(arch.layers()[2].output.channels, 10);
+}
+
+TEST(Architecture, AlexNetStyleNames) {
+  const Architecture a = alexnet();
+  const auto& layers = a.layers();
+  EXPECT_EQ(layers[0].name, "conv1");
+  EXPECT_EQ(layers[1].name, "pool1");
+  EXPECT_EQ(layers[2].name, "conv2");
+  EXPECT_EQ(layers[3].name, "pool2");
+  EXPECT_EQ(layers[7].name, "pool5");
+  EXPECT_EQ(layers[8].name, "fc6");
+  EXPECT_EQ(layers[10].name, "fc8");
+}
+
+TEST(Presets, AlexNetCanonicalShapes) {
+  const Architecture a = alexnet();
+  EXPECT_EQ(a.layers()[0].output, (TensorShape{55, 55, 96}));
+  EXPECT_EQ(a.layers()[1].output, (TensorShape{27, 27, 96}));
+  EXPECT_EQ(a.layers()[7].output, (TensorShape{6, 6, 256}));     // pool5
+  EXPECT_EQ(a.layers()[8].output, (TensorShape{1, 1, 4096}));    // fc6
+  // ~61M parameters (within 5%).
+  EXPECT_NEAR(static_cast<double>(a.total_params()), 61.0e6, 3.0e6);
+}
+
+TEST(Presets, Vgg16Totals) {
+  const Architecture v = vgg16();
+  // 13 convs + 5 pools + 3 fcs.
+  EXPECT_EQ(v.num_layers(), 21u);
+  EXPECT_NEAR(static_cast<double>(v.total_params()), 138.0e6, 5.0e6);
+}
+
+TEST(Presets, Vgg11Totals) {
+  const Architecture v = vgg11();
+  // 8 convs + 5 pools + 3 fcs.
+  EXPECT_EQ(v.num_layers(), 16u);
+  EXPECT_EQ(v.count_kind(LayerKind::kConv), 8u);
+  EXPECT_NEAR(static_cast<double>(v.total_params()), 133.0e6, 5.0e6);
+  // Fewer convs than VGG-16 but the same FC stack.
+  EXPECT_LT(v.total_flops(), vgg16().total_flops());
+}
+
+TEST(Presets, LeNet5ShapesAndDegenerateSplitProfile) {
+  const Architecture l = lenet5();
+  // Canonical trace: 32 -> conv5 -> 28 -> pool -> 14 -> conv5 -> 10 -> pool -> 5.
+  EXPECT_EQ(l.layers()[0].output, (TensorShape{28, 28, 6}));
+  EXPECT_EQ(l.layers()[3].output, (TensorShape{5, 5, 16}));
+  EXPECT_NEAR(static_cast<double>(l.total_params()), 61706.0, 2000.0);
+  // With a 1 kB uint8 input, every fp32 feature map (even pool2's 5x5x16 =
+  // 1.6 kB) exceeds the input: only the FC outputs are viable splits — the
+  // opposite profile of AlexNet's Fig. 1.
+  const auto candidates = l.partition_candidates();
+  EXPECT_EQ(candidates.size(), 3u);
+  EXPECT_EQ(l.layers()[candidates.front()].spec.kind, LayerKind::kDense);
+}
+
+TEST(DataSize, PaperInputIs147kB) {
+  const Architecture a = alexnet();
+  EXPECT_EQ(a.input_bytes(), 224u * 224u * 3u);  // 150528 B = 147 kB
+}
+
+TEST(DataSize, AlexNetPartitionCandidatesStartAtPool5) {
+  // Paper Fig. 1: with uint8 input and fp32 activations, every layer before
+  // pool5 produces more wire bytes than the input.
+  const Architecture a = alexnet();
+  const std::vector<std::size_t> candidates = a.partition_candidates();
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(a.layers()[candidates.front()].name, "pool5");
+  // fc6..fc8 also viable.
+  EXPECT_EQ(candidates.size(), 4u);
+}
+
+TEST(DataSize, CustomPolicyChangesCandidates) {
+  // Counting activations at 1 byte/element makes earlier pools viable.
+  const Architecture a = alexnet();
+  DataSizeModel bytes1;
+  bytes1.activation_bytes_per_element = 1;
+  const auto candidates = a.partition_candidates(bytes1);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(a.layers()[candidates.front()].name, "pool1");
+}
+
+TEST(Architecture, OutputBytesBoundsChecked) {
+  const Architecture a = alexnet();
+  EXPECT_THROW(a.output_bytes(a.num_layers()), std::out_of_range);
+}
+
+TEST(Architecture, CountKind) {
+  const Architecture a = alexnet();
+  EXPECT_EQ(a.count_kind(LayerKind::kConv), 5u);
+  EXPECT_EQ(a.count_kind(LayerKind::kMaxPool), 3u);
+  EXPECT_EQ(a.count_kind(LayerKind::kDense), 3u);
+}
+
+TEST(Shapes, AsymmetricInputsPropagate) {
+  // Non-square inputs flow through every kind correctly.
+  const TensorShape in{31, 17, 5};
+  const TensorShape conv_out = output_shape(LayerSpec::conv(8, 3), in);
+  EXPECT_EQ(conv_out.height, 31);
+  EXPECT_EQ(conv_out.width, 17);
+  const TensorShape pool_out = output_shape(LayerSpec::max_pool(2, 2), in);
+  EXPECT_EQ(pool_out.height, 15);
+  EXPECT_EQ(pool_out.width, 8);
+}
+
+TEST(Flops, MonotoneInEveryParameter) {
+  const TensorShape in{28, 28, 16};
+  const auto base = layer_flops(LayerSpec::conv(32, 3), in);
+  EXPECT_GT(layer_flops(LayerSpec::conv(64, 3), in), base);   // more filters
+  EXPECT_GT(layer_flops(LayerSpec::conv(32, 5), in), base);   // bigger kernel
+  EXPECT_LT(layer_flops(LayerSpec::conv(32, 3, 2), in), base); // stride shrinks output
+}
+
+TEST(Architecture, SingleDenseStackIsValid) {
+  // Pure-MLP architectures (no spatial layers at all) are legal.
+  const Architecture mlp("mlp", {1, 1, 64},
+                         {LayerSpec::dense(32), LayerSpec::dense(10, Activation::kSoftmax)});
+  EXPECT_EQ(mlp.num_layers(), 2u);
+  EXPECT_EQ(mlp.layers()[0].name, "fc1");
+  EXPECT_EQ(mlp.layers()[1].name, "fc2");
+}
+
+TEST(KindName, AllKinds) {
+  EXPECT_EQ(kind_name(LayerKind::kConv), "conv");
+  EXPECT_EQ(kind_name(LayerKind::kMaxPool), "pool");
+  EXPECT_EQ(kind_name(LayerKind::kDense), "fc");
+}
+
+// Property: conv output shrinks monotonically with stride.
+class StrideSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrideSweepTest, SpatialSizeDecreasesWithStride) {
+  const int stride = GetParam();
+  const TensorShape out = output_shape(LayerSpec::conv(8, 3, stride, 1), {64, 64, 3});
+  EXPECT_EQ(out.height, (64 + 2 - 3) / stride + 1);
+  if (stride > 1) {
+    const TensorShape denser = output_shape(LayerSpec::conv(8, 3, stride - 1, 1), {64, 64, 3});
+    EXPECT_GT(denser.height, out.height);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweepTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace lens::dnn

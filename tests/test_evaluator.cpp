@@ -1,0 +1,197 @@
+// Tests for Algorithm 1: the deployment evaluator. Includes brute-force
+// cross-checks of the reported minima and reproduction of the paper's
+// motivational results (Fig. 2 / Table I deployment preferences).
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "dnn/presets.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens::core {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : gpu_sim_(perf::jetson_tx2_gpu()),
+        cpu_sim_(perf::jetson_tx2_cpu()),
+        gpu_oracle_(gpu_sim_),
+        cpu_oracle_(cpu_sim_),
+        wifi_(comm::WirelessTechnology::kWifi, 5.0),
+        lte_(comm::WirelessTechnology::kLte, 5.0),
+        alexnet_(dnn::alexnet()) {}
+
+  perf::DeviceSimulator gpu_sim_;
+  perf::DeviceSimulator cpu_sim_;
+  perf::SimulatorOracle gpu_oracle_;
+  perf::SimulatorOracle cpu_oracle_;
+  comm::CommModel wifi_;
+  comm::CommModel lte_;
+  dnn::Architecture alexnet_;
+};
+
+TEST_F(EvaluatorTest, OptionSetContainsAllFamilies) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  const DeploymentEvaluation result = evaluator.evaluate(alexnet_, 10.0);
+  EXPECT_NO_THROW(result.all_edge());
+  EXPECT_NO_THROW(result.all_cloud());
+  // AlexNet: All-Cloud + splits at pool5/fc6/fc7 + All-Edge (fc8 is last).
+  EXPECT_EQ(result.options.size(), 5u);
+  EXPECT_EQ(result.layer_latency_ms.size(), alexnet_.num_layers());
+  EXPECT_EQ(result.layer_energy_mj.size(), alexnet_.num_layers());
+}
+
+TEST_F(EvaluatorTest, BestIndicesAreTrueMinima) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  for (double tu : {0.5, 2.0, 8.0, 25.0, 100.0}) {
+    const DeploymentEvaluation result = evaluator.evaluate(alexnet_, tu);
+    for (const DeploymentOption& o : result.options) {
+      EXPECT_GE(o.latency_ms, result.best_latency_ms());
+      EXPECT_GE(o.energy_mj, result.best_energy_mj());
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, AllEdgeEqualsLayerSums) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  const DeploymentEvaluation result = evaluator.evaluate(alexnet_, 10.0);
+  double latency_sum = 0.0;
+  double energy_sum = 0.0;
+  for (std::size_t i = 0; i < alexnet_.num_layers(); ++i) {
+    latency_sum += result.layer_latency_ms[i];
+    energy_sum += result.layer_energy_mj[i];
+  }
+  EXPECT_NEAR(result.all_edge().latency_ms, latency_sum, 1e-9);
+  EXPECT_NEAR(result.all_edge().energy_mj, energy_sum, 1e-9);
+  EXPECT_EQ(result.all_edge().tx_bytes, 0u);
+}
+
+TEST_F(EvaluatorTest, AllCloudMatchesCommModel) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  const double tu = 4.0;
+  const DeploymentEvaluation result = evaluator.evaluate(alexnet_, tu);
+  const DeploymentOption& cloud = result.all_cloud();
+  EXPECT_EQ(cloud.tx_bytes, alexnet_.input_bytes());
+  EXPECT_NEAR(cloud.latency_ms, wifi_.comm_latency_ms(cloud.tx_bytes, tu), 1e-9);
+  EXPECT_NEAR(cloud.energy_mj, wifi_.tx_energy_mj(cloud.tx_bytes, tu), 1e-9);
+  EXPECT_DOUBLE_EQ(cloud.edge_latency_ms, 0.0);
+}
+
+TEST_F(EvaluatorTest, PartitionCostsAccumulatePrefixPlusComm) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  const double tu = 7.0;
+  const DeploymentEvaluation result = evaluator.evaluate(alexnet_, tu);
+  for (const DeploymentOption& o : result.options) {
+    if (o.kind != DeploymentKind::kPartitioned) continue;
+    const std::size_t split = o.split_after.value();
+    double latency_prefix = 0.0;
+    double energy_prefix = 0.0;
+    for (std::size_t i = 0; i <= split; ++i) {
+      latency_prefix += result.layer_latency_ms[i];
+      energy_prefix += result.layer_energy_mj[i];
+    }
+    EXPECT_NEAR(o.latency_ms, latency_prefix + wifi_.comm_latency_ms(o.tx_bytes, tu), 1e-9);
+    EXPECT_NEAR(o.energy_mj, energy_prefix + wifi_.tx_energy_mj(o.tx_bytes, tu), 1e-9);
+    EXPECT_NEAR(o.edge_latency_ms, latency_prefix, 1e-9);
+    EXPECT_NEAR(o.edge_energy_mj, energy_prefix, 1e-9);
+    // Only viable (smaller-than-input) splits may appear.
+    EXPECT_LT(o.tx_bytes, alexnet_.input_bytes());
+  }
+}
+
+TEST_F(EvaluatorTest, SplitLabelsUseLayerNames) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  const DeploymentEvaluation result = evaluator.evaluate(alexnet_, 16.1);
+  bool saw_pool5 = false;
+  for (const DeploymentOption& o : result.options) {
+    if (o.kind == DeploymentKind::kPartitioned && o.label(alexnet_) == "split@pool5") {
+      saw_pool5 = true;
+    }
+  }
+  EXPECT_TRUE(saw_pool5);
+  EXPECT_EQ(result.all_edge().label(alexnet_), "All-Edge");
+  EXPECT_EQ(result.all_cloud().label(alexnet_), "All-Cloud");
+}
+
+// ---- Paper reproduction: Table I deployment preferences --------------------
+
+struct RegionCase {
+  double tu_mbps;
+  const char* gpu_wifi_latency;
+  const char* gpu_wifi_energy;
+  const char* cpu_lte_latency;
+  const char* cpu_lte_energy;
+};
+
+class TableOneTest : public ::testing::TestWithParam<RegionCase> {};
+
+TEST_P(TableOneTest, DeploymentPreferencesMatchPaper) {
+  const RegionCase c = GetParam();
+  const dnn::Architecture alexnet = dnn::alexnet();
+  perf::DeviceSimulator gpu_sim(perf::jetson_tx2_gpu());
+  perf::DeviceSimulator cpu_sim(perf::jetson_tx2_cpu());
+  const perf::SimulatorOracle gpu(gpu_sim);
+  const perf::SimulatorOracle cpu(cpu_sim);
+  const DeploymentEvaluator gpu_wifi(gpu, comm::CommModel(comm::WirelessTechnology::kWifi, 5.0));
+  const DeploymentEvaluator cpu_lte(cpu, comm::CommModel(comm::WirelessTechnology::kLte, 5.0));
+
+  const DeploymentEvaluation g = gpu_wifi.evaluate(alexnet, c.tu_mbps);
+  const DeploymentEvaluation l = cpu_lte.evaluate(alexnet, c.tu_mbps);
+  EXPECT_EQ(g.latency_choice().label(alexnet), c.gpu_wifi_latency);
+  EXPECT_EQ(g.energy_choice().label(alexnet), c.gpu_wifi_energy);
+  EXPECT_EQ(l.latency_choice().label(alexnet), c.cpu_lte_latency);
+  EXPECT_EQ(l.energy_choice().label(alexnet), c.cpu_lte_energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regions, TableOneTest,
+    ::testing::Values(
+        // S. Korea, USA, Afghanistan rows of paper Table I.
+        RegionCase{16.1, "All-Edge", "split@pool5", "All-Cloud", "All-Cloud"},
+        RegionCase{7.5, "All-Edge", "split@pool5", "split@pool5", "All-Cloud"},
+        RegionCase{0.7, "All-Edge", "All-Edge", "All-Edge", "split@pool5"}));
+
+TEST_F(EvaluatorTest, Figure2LatencyCrossoverAtHighThroughput) {
+  // Paper Fig. 2 (GPU/WiFi): All-Edge wins latency at low t_u, Pool5 at 30 Mbps.
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  EXPECT_EQ(evaluator.evaluate(alexnet_, 5.0).latency_choice().label(alexnet_), "All-Edge");
+  EXPECT_EQ(evaluator.evaluate(alexnet_, 30.0).latency_choice().label(alexnet_),
+            "split@pool5");
+}
+
+TEST_F(EvaluatorTest, MonotoneInThroughputForFixedOption) {
+  // Raising t_u can only help options that transmit.
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  const DeploymentEvaluation slow = evaluator.evaluate(alexnet_, 2.0);
+  const DeploymentEvaluation fast = evaluator.evaluate(alexnet_, 20.0);
+  EXPECT_LT(fast.all_cloud().latency_ms, slow.all_cloud().latency_ms);
+  EXPECT_LT(fast.all_cloud().energy_mj, slow.all_cloud().energy_mj);
+  EXPECT_DOUBLE_EQ(fast.all_edge().latency_ms, slow.all_edge().latency_ms);
+}
+
+TEST_F(EvaluatorTest, CpuPrefersOffloadMoreThanGpu) {
+  // At moderate throughput the weak CPU should lean cloud-ward while the
+  // GPU stays on device (paper Fig. 2's left-right contrast).
+  const DeploymentEvaluator gpu_eval(gpu_oracle_, wifi_);
+  const DeploymentEvaluator cpu_eval(cpu_oracle_, wifi_);
+  const double tu = 10.0;
+  const auto gpu_result = gpu_eval.evaluate(alexnet_, tu);
+  const auto cpu_result = cpu_eval.evaluate(alexnet_, tu);
+  EXPECT_EQ(gpu_result.latency_choice().kind, DeploymentKind::kAllEdge);
+  EXPECT_NE(cpu_result.latency_choice().kind, DeploymentKind::kAllEdge);
+}
+
+TEST_F(EvaluatorTest, ThroughputValidation) {
+  const DeploymentEvaluator evaluator(gpu_oracle_, wifi_);
+  EXPECT_THROW(evaluator.evaluate(alexnet_, 0.0), std::invalid_argument);
+}
+
+TEST(DeploymentKindName, AllValues) {
+  EXPECT_EQ(deployment_kind_name(DeploymentKind::kAllEdge), "All-Edge");
+  EXPECT_EQ(deployment_kind_name(DeploymentKind::kAllCloud), "All-Cloud");
+  EXPECT_EQ(deployment_kind_name(DeploymentKind::kPartitioned), "Partitioned");
+}
+
+}  // namespace
+}  // namespace lens::core

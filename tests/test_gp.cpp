@@ -1,0 +1,172 @@
+// Unit tests for kernels and Gaussian-process regression (opt/kernel, opt/gp).
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "opt/gp.hpp"
+#include "opt/kernel.hpp"
+
+namespace lens::opt {
+namespace {
+
+TEST(Kernel, RbfBasicProperties) {
+  const RbfKernel k(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(k({0.0}, {0.0}), 2.0);  // k(x,x) = signal variance
+  EXPECT_DOUBLE_EQ(k.variance(), 2.0);
+  // Symmetry and decay.
+  EXPECT_DOUBLE_EQ(k({0.0}, {1.0}), k({1.0}, {0.0}));
+  EXPECT_LT(k({0.0}, {1.0}), k({0.0}, {0.5}));
+  // Known value: exp(-0.5 * 1 / 0.25) = exp(-2).
+  EXPECT_NEAR(k({0.0}, {1.0}), 2.0 * std::exp(-2.0), 1e-12);
+}
+
+TEST(Kernel, Matern52BasicProperties) {
+  const Matern52Kernel k(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(k({0.0, 0.0}, {0.0, 0.0}), 1.0);
+  EXPECT_GT(k({0.0}, {0.1}), k({0.0}, {0.5}));
+  EXPECT_GT(k({0.0}, {0.5}), 0.0);
+}
+
+TEST(Kernel, RejectsNonPositiveHyperparameters) {
+  EXPECT_THROW(RbfKernel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RbfKernel(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(Matern52Kernel(-2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Kernel, GramMatrixIsSymmetricWithVarianceDiagonal) {
+  const Matern52Kernel k(1.5, 0.7);
+  const std::vector<std::vector<double>> xs = {{0.0, 0.1}, {0.5, 0.5}, {0.9, 0.2}};
+  const Matrix g = k.gram(xs);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(g(i, i), 1.5);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(Kernel, SquaredDistanceMismatchThrows) {
+  EXPECT_THROW(squared_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Gp, UnfittedReturnsPrior) {
+  GaussianProcess gp;
+  const auto p = gp.predict({0.3});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_GT(p.variance, 0.0);
+  EXPECT_FALSE(gp.is_fitted());
+}
+
+TEST(Gp, FitRejectsBadInput) {
+  GaussianProcess gp;
+  EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Gp, InterpolatesTrainingPointsWithLowNoise) {
+  GpConfig config;
+  config.tune_hyperparameters = false;
+  config.noise_variance = 1e-8;
+  config.length_scale = 0.4;
+  GaussianProcess gp(config);
+  const std::vector<std::vector<double>> x = {{0.0}, {0.25}, {0.5}, {0.75}, {1.0}};
+  std::vector<double> y;
+  for (const auto& xi : x) y.push_back(std::sin(6.0 * xi[0]));
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto p = gp.predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 1e-4);
+    EXPECT_LT(p.variance, 1e-4);
+  }
+}
+
+TEST(Gp, VarianceGrowsAwayFromData) {
+  GpConfig config;
+  config.tune_hyperparameters = false;
+  config.length_scale = 0.2;
+  GaussianProcess gp(config);
+  gp.fit({{0.0}, {0.1}}, {1.0, 2.0});
+  const double var_near = gp.predict({0.05}).variance;
+  const double var_far = gp.predict({0.9}).variance;
+  EXPECT_GT(var_far, var_near);
+}
+
+TEST(Gp, TunedFitApproximatesSmoothFunction) {
+  GaussianProcess gp;  // tuned
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    const double xi = unit(rng);
+    x.push_back({xi});
+    y.push_back(3.0 * xi * xi - xi + 0.5);
+  }
+  gp.fit(x, y);
+  double worst = 0.0;
+  for (double q = 0.05; q < 1.0; q += 0.1) {
+    const double truth = 3.0 * q * q - q + 0.5;
+    worst = std::max(worst, std::abs(gp.predict({q}).mean - truth));
+  }
+  EXPECT_LT(worst, 0.15);
+}
+
+TEST(Gp, ConstantTargetsAreHandled) {
+  GaussianProcess gp;
+  gp.fit({{0.0}, {0.5}, {1.0}}, {2.0, 2.0, 2.0});
+  EXPECT_NEAR(gp.predict({0.25}).mean, 2.0, 1e-6);
+}
+
+TEST(Gp, SampleAtMatchesPosteriorStatistically) {
+  GpConfig config;
+  config.tune_hyperparameters = false;
+  config.noise_variance = 1e-6;
+  GaussianProcess gp(config);
+  gp.fit({{0.0}, {1.0}}, {0.0, 4.0});
+  std::mt19937_64 rng(17);
+  const std::vector<std::vector<double>> query = {{0.0}, {0.5}, {1.0}};
+  double sum_mid = 0.0;
+  const int draws = 400;
+  for (int i = 0; i < draws; ++i) {
+    const auto s = gp.sample_at(query, rng);
+    // Training points are pinned by the low noise.
+    EXPECT_NEAR(s[0], 0.0, 0.2);
+    EXPECT_NEAR(s[2], 4.0, 0.2);
+    sum_mid += s[1];
+  }
+  const double mean_mid = sum_mid / draws;
+  EXPECT_NEAR(mean_mid, gp.predict({0.5}).mean, 0.3);
+}
+
+TEST(Gp, PriorSampleHasKernelScale) {
+  GaussianProcess gp;
+  std::mt19937_64 rng(23);
+  const auto s = gp.sample_at({{0.1}, {0.9}}, rng);
+  ASSERT_EQ(s.size(), 2u);
+  for (double v : s) EXPECT_LT(std::abs(v), 10.0);  // unit-variance prior
+}
+
+// Parameterized: both kernel families interpolate equally well.
+class GpKernelFamilyTest : public ::testing::TestWithParam<KernelFamily> {};
+
+TEST_P(GpKernelFamilyTest, FitsLinearFunction) {
+  GpConfig config;
+  config.family = GetParam();
+  GaussianProcess gp(config);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 10; ++i) {
+    const double xi = i / 10.0;
+    x.push_back({xi});
+    y.push_back(2.0 * xi - 1.0);
+  }
+  gp.fit(x, y);
+  EXPECT_NEAR(gp.predict({0.35}).mean, -0.3, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GpKernelFamilyTest,
+                         ::testing::Values(KernelFamily::kRbf, KernelFamily::kMatern52));
+
+}  // namespace
+}  // namespace lens::opt

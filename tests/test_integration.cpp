@@ -1,0 +1,246 @@
+// Cross-module integration tests: the full LENS pipeline wired exactly as
+// the benches wire it — profiling -> trained predictors -> Algorithm 1 ->
+// Algorithm 2 -> frontier analysis -> runtime thresholds -> trace playback.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "comm/trace.hpp"
+#include "core/analysis.hpp"
+#include "core/nas.hpp"
+#include "core/trained_accuracy.hpp"
+#include "dnn/presets.hpp"
+#include "perf/predictor.hpp"
+#include "runtime/deployer.hpp"
+
+namespace lens {
+namespace {
+
+TEST(Integration, TrainedPredictorDrivesEvaluator) {
+  // The paper's real pipeline: regression predictors (not the oracle)
+  // inside Algorithm 1. Rankings must match the oracle's on AlexNet-scale
+  // decisions at common throughputs.
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::RooflinePredictor predictor =
+      perf::RooflinePredictor::train(sim, {.samples_per_kind = 300, .seed = 13});
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator predicted_eval(predictor, wifi);
+  const core::DeploymentEvaluator oracle_eval(oracle, wifi);
+
+  const core::SearchSpace space;
+  std::mt19937_64 rng(17);
+  std::size_t agreements = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    const core::Genotype g = space.random(rng);
+    const dnn::Architecture arch = space.decode(g);
+    const auto predicted = predicted_eval.evaluate(arch, 3.0);
+    const auto truth = oracle_eval.evaluate(arch, 3.0);
+    if (predicted.energy_choice().label(arch) == truth.energy_choice().label(arch)) {
+      ++agreements;
+    }
+    // Objective magnitudes stay close even when the argmin differs.
+    EXPECT_NEAR(predicted.best_energy_mj(), truth.best_energy_mj(),
+                0.25 * truth.best_energy_mj());
+    EXPECT_NEAR(predicted.best_latency_ms(), truth.best_latency_ms(),
+                0.25 * truth.best_latency_ms());
+  }
+  EXPECT_GE(agreements, static_cast<std::size_t>(trials * 3 / 4));
+}
+
+TEST(Integration, SmallLensSearchFindsPartitioningGains) {
+  // A short LENS run on the paper search space should surface at least one
+  // Pareto member whose best deployment is not All-Edge at t_u = 3 Mbps —
+  // the core phenomenon behind Fig. 6.
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(oracle, wifi);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+
+  core::NasConfig config;
+  config.mobo.num_initial = 10;
+  config.mobo.num_iterations = 15;
+  config.mobo.pool_size = 64;
+  config.mobo.seed = 5;
+  config.tu_mbps = 3.0;
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+
+  bool found_partition_gain = false;
+  for (const core::EvaluatedCandidate& c : result.history) {
+    if (c.deployment.energy_choice().kind != core::DeploymentKind::kAllEdge) {
+      found_partition_gain = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_partition_gain);
+}
+
+TEST(Integration, SearchToRuntimePipeline) {
+  // Select a frontier model from a small search and run it through the
+  // runtime threshold analysis and a trace playback (Fig. 8 structure).
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel lte(comm::WirelessTechnology::kLte, 10.0);
+  const core::DeploymentEvaluator evaluator(oracle, lte);
+  const core::SearchSpace space;
+  const core::SurrogateAccuracyModel accuracy;
+
+  core::NasConfig config;
+  config.mobo.num_initial = 12;
+  config.mobo.num_iterations = 8;
+  config.mobo.seed = 9;
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  const core::NasResult result = driver.run();
+  ASSERT_FALSE(result.front.empty());
+
+  const core::EvaluatedCandidate& model =
+      result.history[result.front.points().front().id];
+  std::vector<core::DeploymentOption> options = {model.deployment.energy_choice(),
+                                                 model.deployment.all_edge()};
+  if (options[0].kind == core::DeploymentKind::kAllEdge) {
+    options[0] = model.deployment.all_cloud();  // ensure two distinct options
+  }
+  const runtime::DynamicDeployer deployer(options, lte, runtime::OptimizeFor::kEnergy);
+
+  comm::TraceGeneratorConfig trace_config;
+  trace_config.mean_mbps = 10.0;
+  trace_config.seed = 21;
+  comm::TraceGenerator generator(trace_config);
+  const comm::ThroughputTrace trace = generator.generate(40, 300.0);
+
+  const runtime::PlaybackResult dynamic = deployer.play_dynamic(trace, 1.0);
+  const runtime::PlaybackResult fixed0 = deployer.play_fixed(trace, 0);
+  const runtime::PlaybackResult fixed1 = deployer.play_fixed(trace, 1);
+  EXPECT_LE(dynamic.total_cost, fixed0.total_cost + 1e-9);
+  EXPECT_LE(dynamic.total_cost, fixed1.total_cost + 1e-9);
+  EXPECT_EQ(dynamic.per_sample_cost.size(), 40u);
+}
+
+TEST(Integration, TrainedAccuracyEvaluatorOnSmallSpace) {
+  // Real-training objective: decode against a 16x16 input and train briefly.
+  core::SearchSpaceConfig space_config;
+  space_config.num_blocks = 2;
+  space_config.depths = {1};
+  space_config.kernels = {3};
+  space_config.filters = {8, 12};
+  space_config.fc_units = {32};
+  space_config.min_pools = 2;
+  const core::SearchSpace space(space_config);
+
+  core::TrainedAccuracyConfig config;
+  config.train_samples = 300;
+  config.test_samples = 100;
+  config.epochs = 4;
+  config.trainer.batch_size = 16;
+  config.trainer.sgd.learning_rate = 0.05;
+  const core::TrainedAccuracyEvaluator evaluator(space, config);
+
+  std::mt19937_64 rng(3);
+  const core::Genotype g = space.random(rng);
+  const dnn::Architecture arch = space.decode(g);
+  const double error = evaluator.test_error_percent(g, arch);
+  EXPECT_LT(error, 60.0);  // far better than the 90% of chance
+  EXPECT_GE(error, 0.0);
+  // Deterministic per genotype.
+  EXPECT_DOUBLE_EQ(error, evaluator.test_error_percent(g, arch));
+}
+
+TEST(Integration, TrainedPredictorReproducesTableOne) {
+  // Table I must hold through the *trained* predictors, not just the
+  // ground-truth oracle — this is the paper's actual pipeline.
+  const dnn::Architecture alexnet = dnn::alexnet();
+  perf::DeviceSimulator gpu_sim(perf::jetson_tx2_gpu());
+  perf::DeviceSimulator cpu_sim(perf::jetson_tx2_cpu());
+  const perf::RooflinePredictor gpu =
+      perf::RooflinePredictor::train(gpu_sim, {.samples_per_kind = 400, .seed = 3});
+  const perf::RooflinePredictor cpu =
+      perf::RooflinePredictor::train(cpu_sim, {.samples_per_kind = 400, .seed = 4});
+  const core::DeploymentEvaluator gpu_wifi(
+      gpu, comm::CommModel(comm::WirelessTechnology::kWifi, 5.0));
+  const core::DeploymentEvaluator cpu_lte(
+      cpu, comm::CommModel(comm::WirelessTechnology::kLte, 5.0));
+
+  struct Row {
+    double tu;
+    const char* cells[4];
+  };
+  const Row rows[] = {
+      {16.1, {"All-Edge", "split@pool5", "All-Cloud", "All-Cloud"}},
+      {7.5, {"All-Edge", "split@pool5", "split@pool5", "All-Cloud"}},
+      {0.7, {"All-Edge", "All-Edge", "All-Edge", "split@pool5"}},
+  };
+  for (const Row& row : rows) {
+    const auto g = gpu_wifi.evaluate(alexnet, row.tu);
+    const auto c = cpu_lte.evaluate(alexnet, row.tu);
+    EXPECT_EQ(g.latency_choice().label(alexnet), row.cells[0]) << "tu " << row.tu;
+    EXPECT_EQ(g.energy_choice().label(alexnet), row.cells[1]) << "tu " << row.tu;
+    EXPECT_EQ(c.latency_choice().label(alexnet), row.cells[2]) << "tu " << row.tu;
+    EXPECT_EQ(c.energy_choice().label(alexnet), row.cells[3]) << "tu " << row.tu;
+  }
+}
+
+TEST(Integration, PresetFamiliesEvaluateSanely) {
+  // Every preset passes through the full evaluator with sane outputs.
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(oracle, wifi);
+  for (const dnn::Architecture& arch :
+       {dnn::alexnet(), dnn::vgg16(), dnn::vgg11(), dnn::lenet5()}) {
+    const core::DeploymentEvaluation eval = evaluator.evaluate(arch, 10.0);
+    EXPECT_GE(eval.options.size(), 2u) << arch.name();
+    EXPECT_GT(eval.best_latency_ms(), 0.0) << arch.name();
+    EXPECT_GT(eval.best_energy_mj(), 0.0) << arch.name();
+    // VGG-16 is ~7x AlexNet's FLOPs: the all-edge latencies must order.
+  }
+  EXPECT_GT(evaluator.evaluate(dnn::vgg16(), 10.0).all_edge().latency_ms,
+            evaluator.evaluate(dnn::alexnet(), 10.0).all_edge().latency_ms);
+  EXPECT_LT(evaluator.evaluate(dnn::lenet5(), 10.0).all_edge().latency_ms,
+            evaluator.evaluate(dnn::alexnet(), 10.0).all_edge().latency_ms);
+}
+
+TEST(Integration, GpTuningTracksFunctionSmoothness) {
+  // Marginal-likelihood tuning must pick clearly longer length scales for
+  // smooth targets than for jagged ones.
+  auto fit_length_scale = [](double frequency) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i <= 60; ++i) {
+      const double xi = i / 60.0;
+      x.push_back({xi});
+      y.push_back(std::sin(frequency * xi));
+    }
+    opt::GaussianProcess gp;  // tuned
+    gp.fit(x, y);
+    return gp.length_scale();
+  };
+  EXPECT_GT(fit_length_scale(2.0), fit_length_scale(40.0));
+}
+
+TEST(Integration, AllEdgeObjectivesUpperBoundLensObjectives) {
+  // For identical genotypes, LENS objectives == min over options <= the
+  // Traditional's All-Edge objectives. Sweep random genotypes.
+  perf::DeviceSimulator sim(perf::jetson_tx2_cpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel lte(comm::WirelessTechnology::kLte, 5.0);
+  const core::DeploymentEvaluator evaluator(oracle, lte);
+  const core::SearchSpace space;
+  std::mt19937_64 rng(29);
+  for (int i = 0; i < 25; ++i) {
+    const core::Genotype g = space.random(rng);
+    const dnn::Architecture arch = space.decode(g);
+    const auto eval = evaluator.evaluate(arch, 3.0);
+    EXPECT_LE(eval.best_latency_ms(), eval.all_edge().latency_ms + 1e-9);
+    EXPECT_LE(eval.best_energy_mj(), eval.all_edge().energy_mj + 1e-9);
+    EXPECT_LE(eval.best_latency_ms(), eval.all_cloud().latency_ms + 1e-9);
+    EXPECT_LE(eval.best_energy_mj(), eval.all_cloud().energy_mj + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lens

@@ -1,0 +1,168 @@
+// Unit tests for the dense linear-algebra kernel (opt/matrix).
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "opt/matrix.hpp"
+
+namespace lens::opt {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix i = Matrix::identity(2);
+  const Matrix ai = a.multiply(i);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(ai(r, c), a(r, c));
+  }
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::from_rows({{7, 8}, {9, 10}, {11, 12}});
+  const Matrix ab = a.multiply(b);
+  EXPECT_DOUBLE_EQ(ab(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(ab(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(ab(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+  EXPECT_THROW(a.multiply(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<double> v = {1.0, -1.0};
+  const std::vector<double> out = a.multiply(v);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+  EXPECT_DOUBLE_EQ(out[2], -1.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+  }
+}
+
+TEST(Matrix, AddAndDiagonal) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix sum = a.add(a);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 8.0);
+  a.add_diagonal(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+}
+
+TEST(Cholesky, FactorOfKnownSpdMatrix) {
+  // A = L L^T with L = [[2,0],[1,3]] -> A = [[4,2],[2,10]].
+  const Matrix a = Matrix::from_rows({{4, 2}, {2, 10}});
+  const Matrix l = cholesky(a);
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::domain_error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, SolveReconstructsSolution) {
+  const Matrix a = Matrix::from_rows({{6, 2, 1}, {2, 5, 2}, {1, 2, 4}});
+  const std::vector<double> x_true = {1.0, -2.0, 3.0};
+  const std::vector<double> b = a.multiply(x_true);
+  const Matrix l = cholesky(a);
+  const std::vector<double> x = cholesky_solve(l, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Cholesky, LogDetMatchesDirectComputation) {
+  const Matrix a = Matrix::from_rows({{4, 2}, {2, 10}});  // det = 36
+  const Matrix l = cholesky(a);
+  EXPECT_NEAR(log_det_from_cholesky(l), std::log(36.0), 1e-12);
+}
+
+TEST(Dot, BasicAndMismatch) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+// Property sweep: random SPD systems solve to high accuracy.
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, RandomSpdSolve) {
+  const int n = GetParam();
+  std::mt19937_64 rng(1000 + static_cast<unsigned>(n));
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) = gauss(rng);
+  }
+  Matrix a = b.multiply(b.transposed());  // PSD
+  a.add_diagonal(0.5);                    // strictly PD
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (double& v : x_true) v = gauss(rng);
+  const std::vector<double> rhs = a.multiply(x_true);
+  const Matrix l = cholesky(a);
+  const std::vector<double> x = cholesky_solve(l, rhs);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+
+  // L L^T reconstructs A.
+  const Matrix rebuilt = l.multiply(l.transposed());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyPropertyTest, ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+TEST(TriangularSolves, ForwardAndTransposeAgreeWithDense) {
+  const Matrix l = Matrix::from_rows({{2, 0, 0}, {1, 3, 0}, {-1, 2, 4}});
+  const std::vector<double> b = {2.0, 7.0, 9.0};
+  const std::vector<double> y = solve_lower(l, b);
+  // Verify L y = b.
+  const std::vector<double> ly = l.multiply(y);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ly[i], b[i], 1e-12);
+  const std::vector<double> z = solve_lower_transpose(l, b);
+  const std::vector<double> ltz = l.transposed().multiply(z);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ltz[i], b[i], 1e-12);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix a = Matrix::from_rows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+}  // namespace
+}  // namespace lens::opt

@@ -1,0 +1,394 @@
+// Tests for the from-scratch training substrate: numerical gradient checks
+// for every layer, loss correctness, optimizer behaviour, dataset
+// properties, and end-to-end training sanity.
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/builder.hpp"
+#include "nn/conv.hpp"
+#include "nn/dataset.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pool.hpp"
+#include "nn/tensor.hpp"
+
+namespace lens::nn {
+namespace {
+
+// Scalar objective: weighted sum of layer outputs; weights fixed per call so
+// analytic and numerical gradients see the same function.
+double weighted_sum(const Tensor& out, const std::vector<float>& weights) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) acc += out.storage()[i] * weights[i];
+  return acc;
+}
+
+// Numerical/analytic gradient comparison for a layer w.r.t. its input and
+// every parameter. `training` selects the forward mode (batch-norm).
+void check_gradients(Layer& layer, Tensor input, bool training = true,
+                     double tolerance = 2e-2) {
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<float> unit(-1.0f, 1.0f);
+
+  Tensor out = layer.forward(input, training);
+  std::vector<float> weights(out.size());
+  for (float& w : weights) w = unit(rng);
+
+  // Analytic gradients.
+  Tensor grad_out = out;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) grad_out.storage()[i] = weights[i];
+  for (ParamTensor* p : layer.parameters()) p->zero_grad();
+  const Tensor grad_in = layer.backward(grad_out);
+
+  const float eps = 1e-3f;
+  // Input gradient, spot-check a subset of coordinates.
+  for (std::size_t i = 0; i < input.size(); i += std::max<std::size_t>(1, input.size() / 23)) {
+    Tensor plus = input;
+    Tensor minus = input;
+    plus.storage()[i] += eps;
+    minus.storage()[i] -= eps;
+    const double f_plus = weighted_sum(layer.forward(plus, training), weights);
+    const double f_minus = weighted_sum(layer.forward(minus, training), weights);
+    const double numerical = (f_plus - f_minus) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.storage()[i], numerical,
+                tolerance * std::max(1.0, std::abs(numerical)))
+        << "input coordinate " << i;
+  }
+
+  // Parameter gradients (recompute the cached forward for `input` first).
+  layer.forward(input, training);
+  std::vector<std::vector<float>> saved_grads;
+  for (ParamTensor* p : layer.parameters()) {
+    p->zero_grad();
+  }
+  layer.backward(grad_out);
+  for (ParamTensor* p : layer.parameters()) saved_grads.push_back(p->grad);
+
+  std::size_t param_index = 0;
+  for (ParamTensor* p : layer.parameters()) {
+    for (std::size_t i = 0; i < p->value.size();
+         i += std::max<std::size_t>(1, p->value.size() / 17)) {
+      const float original = p->value[i];
+      p->value[i] = original + eps;
+      const double f_plus = weighted_sum(layer.forward(input, training), weights);
+      p->value[i] = original - eps;
+      const double f_minus = weighted_sum(layer.forward(input, training), weights);
+      p->value[i] = original;
+      const double numerical = (f_plus - f_minus) / (2.0 * eps);
+      EXPECT_NEAR(saved_grads[param_index][i], numerical,
+                  tolerance * std::max(1.0, std::abs(numerical)))
+          << "param block " << param_index << " coordinate " << i;
+    }
+    ++param_index;
+  }
+}
+
+Tensor random_tensor(int n, int h, int w, int c, unsigned seed) {
+  Tensor t(n, h, w, c);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> gauss(0.0f, 1.0f);
+  for (float& v : t.storage()) v = gauss(rng);
+  return t;
+}
+
+TEST(Tensor, ConstructionAndReshape) {
+  Tensor t(2, 3, 4, 5, 1.5f);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.features(), 60);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  const Tensor r = t.reshaped(2, 1, 1, 60);
+  EXPECT_FLOAT_EQ(r.at(1, 0, 0, 59), 7.0f);
+  EXPECT_THROW(t.reshaped(2, 1, 1, 61), std::invalid_argument);
+  EXPECT_THROW(Tensor(0, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(GradCheck, Dense) {
+  std::mt19937_64 rng(11);
+  Dense layer(12, 7, rng);
+  check_gradients(layer, random_tensor(3, 1, 1, 12, 5));
+}
+
+TEST(GradCheck, Conv2DStride1) {
+  std::mt19937_64 rng(13);
+  Conv2D layer(3, 4, 3, 1, 1, rng);
+  check_gradients(layer, random_tensor(2, 6, 6, 3, 7));
+}
+
+TEST(GradCheck, Conv2DStride2NoPadding) {
+  std::mt19937_64 rng(17);
+  Conv2D layer(2, 3, 3, 2, 0, rng);
+  check_gradients(layer, random_tensor(2, 7, 7, 2, 9));
+}
+
+TEST(GradCheck, ReLU) {
+  ReLU layer;
+  // Keep values away from the kink.
+  Tensor input = random_tensor(2, 4, 4, 3, 21);
+  for (float& v : input.storage()) {
+    if (std::abs(v) < 0.1f) v = 0.5f;
+  }
+  check_gradients(layer, input);
+}
+
+TEST(GradCheck, MaxPool) {
+  MaxPool2D layer(2, 2);
+  // Perturbations must not flip the argmax: spread the values.
+  Tensor input = random_tensor(2, 6, 6, 2, 23);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input.storage()[i] += 0.01f * static_cast<float>(i % 97);
+  }
+  check_gradients(layer, input);
+}
+
+TEST(GradCheck, BatchNormTrainingMode) {
+  BatchNorm layer(3);
+  check_gradients(layer, random_tensor(4, 3, 3, 3, 29), /*training=*/true, 5e-2);
+}
+
+TEST(BatchNorm, NormalizesInTraining) {
+  BatchNorm layer(2);
+  Tensor input = random_tensor(8, 4, 4, 2, 31);
+  // Shift one channel strongly.
+  for (int n = 0; n < 8; ++n) {
+    for (int h = 0; h < 4; ++h) {
+      for (int w = 0; w < 4; ++w) input.at(n, h, w, 1) += 10.0f;
+    }
+  }
+  const Tensor out = layer.forward(input, /*training=*/true);
+  double mean1 = 0.0;
+  for (int n = 0; n < 8; ++n) {
+    for (int h = 0; h < 4; ++h) {
+      for (int w = 0; w < 4; ++w) mean1 += out.at(n, h, w, 1);
+    }
+  }
+  mean1 /= 8 * 16;
+  EXPECT_NEAR(mean1, 0.0, 1e-4);  // gamma=1, beta=0 initially
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  BatchNorm layer(2);
+  for (int step = 0; step < 50; ++step) {
+    Tensor batch = random_tensor(8, 2, 2, 2, 100 + static_cast<unsigned>(step));
+    for (float& v : batch.storage()) v = v * 2.0f + 3.0f;  // mean 3, std 2
+    layer.forward(batch, /*training=*/true);
+  }
+  EXPECT_NEAR(layer.running_mean()[0], 3.0, 0.3);
+  EXPECT_NEAR(layer.running_var()[0], 4.0, 0.8);
+  // Inference on a mean-3 batch should output ~0.
+  Tensor probe(2, 2, 2, 2, 3.0f);
+  const Tensor out = layer.forward(probe, /*training=*/false);
+  EXPECT_NEAR(out.storage()[0], 0.0, 0.1);
+}
+
+TEST(Loss, SoftmaxIsNormalized) {
+  Tensor logits = Tensor::flat(2, 4);
+  logits.storage() = {1.0f, 2.0f, 3.0f, 4.0f, -1.0f, 0.0f, 1.0f, 100.0f};
+  const Tensor p = softmax(logits);
+  for (int b = 0; b < 2; ++b) {
+    float total = 0.0f;
+    for (int k = 0; k < 4; ++k) total += p.at(b, 0, 0, k);
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+  EXPECT_NEAR(p.at(1, 0, 0, 3), 1.0f, 1e-5);  // huge logit dominates, no overflow
+}
+
+TEST(Loss, CrossEntropyKnownValue) {
+  Tensor logits = Tensor::flat(1, 2);
+  logits.storage() = {0.0f, 0.0f};
+  const LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_NEAR(r.mean_loss, std::log(2.0), 1e-6);
+  // grad = (p - onehot)/batch = (0.5-1, 0.5)/1.
+  EXPECT_NEAR(r.grad_logits.storage()[0], -0.5f, 1e-6);
+  EXPECT_NEAR(r.grad_logits.storage()[1], 0.5f, 1e-6);
+}
+
+TEST(Loss, GradientMatchesNumerical) {
+  std::mt19937_64 rng(37);
+  std::normal_distribution<float> gauss(0.0f, 1.0f);
+  Tensor logits = Tensor::flat(3, 5);
+  for (float& v : logits.storage()) v = gauss(rng);
+  const std::vector<int> labels = {1, 4, 0};
+  const LossResult base = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); i += 3) {
+    Tensor plus = logits;
+    Tensor minus = logits;
+    plus.storage()[i] += eps;
+    minus.storage()[i] -= eps;
+    const double numerical = (softmax_cross_entropy(plus, labels).mean_loss -
+                              softmax_cross_entropy(minus, labels).mean_loss) /
+                             (2.0 * eps);
+    EXPECT_NEAR(base.grad_logits.storage()[i], numerical, 1e-3);
+  }
+}
+
+TEST(Loss, Validation) {
+  Tensor logits = Tensor::flat(2, 3);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::invalid_argument);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  ParamTensor p(1);
+  p.value[0] = 10.0f;
+  SgdConfig config;
+  config.learning_rate = 0.1;
+  config.momentum = 0.9;
+  config.weight_decay = 0.0;
+  Sgd optimizer({&p}, config);
+  // Constant gradient 1: with momentum the effective step grows.
+  float previous = p.value[0];
+  float last_step = 0.0f;
+  for (int i = 0; i < 5; ++i) {
+    p.grad[0] = 1.0f;
+    optimizer.step();
+    const float step = previous - p.value[0];
+    EXPECT_GT(step, last_step);
+    last_step = step;
+    previous = p.value[0];
+    EXPECT_FLOAT_EQ(p.grad[0], 0.0f);  // step zeroes gradients
+  }
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  ParamTensor p(1);
+  p.value[0] = 1.0f;
+  SgdConfig config;
+  config.learning_rate = 0.1;
+  config.momentum = 0.0;
+  config.weight_decay = 0.5;
+  Sgd optimizer({&p}, config);
+  p.grad[0] = 0.0f;
+  optimizer.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(Sgd, Validation) {
+  ParamTensor p(1);
+  EXPECT_THROW(Sgd({&p}, SgdConfig{.learning_rate = 0.0}), std::invalid_argument);
+  EXPECT_THROW(Sgd({nullptr}, SgdConfig{}), std::invalid_argument);
+}
+
+TEST(ShapeSet, BalancedAndBounded) {
+  ShapeSet dataset({.image_size = 16, .num_classes = 10, .seed = 3});
+  const LabeledData data = dataset.generate(200);
+  EXPECT_EQ(data.size(), 200u);
+  std::vector<int> counts(10, 0);
+  for (int label : data.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 10);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 20);
+  for (float v : data.images.storage()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ShapeSet, Validation) {
+  EXPECT_THROW(ShapeSet({.image_size = 4}), std::invalid_argument);
+  EXPECT_THROW(ShapeSet({.num_classes = 1}), std::invalid_argument);
+  ShapeSet ok;
+  EXPECT_THROW(ok.generate(0), std::invalid_argument);
+}
+
+TEST(Sequential, ForwardBackwardShapes) {
+  std::mt19937_64 rng(41);
+  Sequential net;
+  net.add(std::make_unique<Conv2D>(3, 8, 3, 1, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2, 2));
+  net.add(std::make_unique<Dense>(8 * 8 * 8, 10, rng));
+  const Tensor out = net.forward(random_tensor(4, 16, 16, 3, 43), true);
+  EXPECT_EQ(out.n(), 4);
+  EXPECT_EQ(out.features(), 10);
+  EXPECT_GT(net.num_parameters(), 0u);
+}
+
+TEST(Trainer, OverfitsTinyDataset) {
+  // A small net must drive training accuracy to ~100% on 40 images:
+  // end-to-end check that gradients, loss, and optimizer cooperate.
+  ShapeSet dataset({.image_size = 16, .num_classes = 4, .noise_std = 0.02f, .seed = 7});
+  const LabeledData data = dataset.generate(40);
+  std::mt19937_64 rng(47);
+  Sequential net;
+  net.add(std::make_unique<Conv2D>(3, 8, 3, 1, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2, 2));
+  net.add(std::make_unique<Conv2D>(8, 16, 3, 1, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2, 2));
+  net.add(std::make_unique<Dense>(4 * 4 * 16, 4, rng));
+  TrainerConfig config;
+  config.batch_size = 8;
+  config.sgd.learning_rate = 0.01;
+  Trainer trainer(net, config);
+  EpochStats last;
+  for (int epoch = 0; epoch < 30; ++epoch) last = trainer.train_epoch(data);
+  EXPECT_GT(last.accuracy, 0.95);
+  EXPECT_LT(last.mean_loss, 0.3);
+}
+
+TEST(Trainer, GeneralizesOnShapeSet) {
+  ShapeSet dataset({.image_size = 16, .num_classes = 10, .seed = 11});
+  const LabeledData train = dataset.generate(600);
+  const LabeledData test = dataset.generate(200);
+  std::mt19937_64 rng(53);
+  Sequential net;
+  net.add(std::make_unique<Conv2D>(3, 12, 3, 1, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2, 2));
+  net.add(std::make_unique<Conv2D>(12, 24, 3, 1, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2, 2));
+  net.add(std::make_unique<Dense>(4 * 4 * 24, 10, rng));
+  Trainer trainer(net, {.sgd = {.learning_rate = 0.01}, .batch_size = 16});
+  for (int epoch = 0; epoch < 8; ++epoch) trainer.train_epoch(train);
+  const EpochStats stats = trainer.evaluate(test);
+  EXPECT_GT(stats.accuracy, 0.9);  // 10% is chance; LR 0.01 converges cleanly
+}
+
+TEST(Builder, MirrorsArchitectureAndTrains) {
+  // Decode-and-train path used by TrainedAccuracyEvaluator.
+  const dnn::Architecture arch(
+      "test", {16, 16, 3},
+      {dnn::LayerSpec::conv(8, 3), dnn::LayerSpec::max_pool(),
+       dnn::LayerSpec::conv(16, 3), dnn::LayerSpec::max_pool(),
+       dnn::LayerSpec::dense(32), dnn::LayerSpec::dense(10, dnn::Activation::kSoftmax)});
+  std::mt19937_64 rng(59);
+  Sequential net = build_network(arch, rng);
+  // conv+bn+relu (3), pool (1), conv+bn+relu (3), pool (1), dense+relu (2),
+  // classifier dense (1) = 11 trainable-stack layers.
+  EXPECT_EQ(net.num_layers(), 11u);
+  const Tensor out = net.forward(random_tensor(2, 16, 16, 3, 61), true);
+  EXPECT_EQ(out.features(), 10);
+  // Parameter count matches the IR's accounting.
+  EXPECT_EQ(net.num_parameters(), arch.total_params());
+}
+
+TEST(TakeBatch, ExtractsCorrectRows) {
+  LabeledData data;
+  data.images = Tensor(3, 2, 2, 1);
+  for (int n = 0; n < 3; ++n) data.images.at(n, 0, 0, 0) = static_cast<float>(n);
+  data.labels = {0, 1, 2};
+  const LabeledData batch = take_batch(data, {2, 0});
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FLOAT_EQ(batch.images.at(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(batch.images.at(1, 0, 0, 0), 0.0f);
+  EXPECT_EQ(batch.labels[0], 2);
+  EXPECT_THROW(take_batch(data, {5}), std::out_of_range);
+  EXPECT_THROW(take_batch(data, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lens::nn

@@ -1,0 +1,227 @@
+// Tests for the nn substrate extensions: AvgPool2D, Dropout, Adam.
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "nn/adam.hpp"
+#include "nn/avgpool.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+
+namespace lens::nn {
+namespace {
+
+Tensor random_tensor(int n, int h, int w, int c, unsigned seed) {
+  Tensor t(n, h, w, c);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> gauss(0.0f, 1.0f);
+  for (float& v : t.storage()) v = gauss(rng);
+  return t;
+}
+
+TEST(AvgPool, ForwardIsWindowMean) {
+  AvgPool2D layer(2, 2);
+  Tensor input(1, 2, 2, 1);
+  input.storage() = {1.0f, 2.0f, 3.0f, 4.0f};
+  const Tensor out = layer.forward(input, true);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out.storage()[0], 2.5f);
+}
+
+TEST(AvgPool, GradientIsUniform) {
+  AvgPool2D layer(2, 2);
+  Tensor input = random_tensor(2, 4, 4, 3, 3);
+  layer.forward(input, true);
+  Tensor grad_out(2, 2, 2, 3, 1.0f);
+  const Tensor grad_in = layer.backward(grad_out);
+  for (float v : grad_in.storage()) EXPECT_FLOAT_EQ(v, 0.25f);
+}
+
+TEST(AvgPool, NumericalGradCheck) {
+  AvgPool2D layer(2, 1);  // overlapping windows
+  Tensor input = random_tensor(1, 4, 4, 2, 5);
+  const Tensor out = layer.forward(input, true);
+  Tensor grad_out = out;
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_out.storage()[i] = 0.01f * static_cast<float>(i + 1);
+  }
+  const Tensor grad_in = layer.backward(grad_out);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < input.size(); i += 5) {
+    Tensor plus = input;
+    Tensor minus = input;
+    plus.storage()[i] += eps;
+    minus.storage()[i] -= eps;
+    double f_plus = 0.0;
+    double f_minus = 0.0;
+    const Tensor out_plus = layer.forward(plus, true);
+    for (std::size_t j = 0; j < out_plus.size(); ++j) {
+      f_plus += out_plus.storage()[j] * grad_out.storage()[j];
+    }
+    const Tensor out_minus = layer.forward(minus, true);
+    for (std::size_t j = 0; j < out_minus.size(); ++j) {
+      f_minus += out_minus.storage()[j] * grad_out.storage()[j];
+    }
+    EXPECT_NEAR(grad_in.storage()[i], (f_plus - f_minus) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(AvgPool, Validation) {
+  EXPECT_THROW(AvgPool2D(0, 1), std::invalid_argument);
+  AvgPool2D layer(4, 4);
+  EXPECT_THROW(layer.forward(Tensor(1, 2, 2, 1), true), std::invalid_argument);
+  AvgPool2D fresh(2, 2);
+  EXPECT_THROW(fresh.backward(Tensor(1, 1, 1, 1)), std::logic_error);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Dropout layer(0.5f);
+  const Tensor input = random_tensor(2, 3, 3, 2, 7);
+  const Tensor out = layer.forward(input, /*training=*/false);
+  EXPECT_EQ(out.storage(), input.storage());
+}
+
+TEST(Dropout, TrainingDropsAndRescales) {
+  Dropout layer(0.5f, 42);
+  Tensor input(1, 1, 1, 10000, 1.0f);
+  const Tensor out = layer.forward(input, /*training=*/true);
+  std::size_t zeros = 0;
+  double total = 0.0;
+  for (float v : out.storage()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // inverted scaling 1/(1-0.5)
+      total += v;
+    }
+  }
+  // ~50% dropped; expectation preserved.
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(total / 10000.0, 1.0, 0.06);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout layer(0.3f, 9);
+  Tensor input(1, 1, 1, 64, 1.0f);
+  const Tensor out = layer.forward(input, true);
+  Tensor grad_out(1, 1, 1, 64, 1.0f);
+  const Tensor grad_in = layer.backward(grad_out);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (out.storage()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(grad_in.storage()[i], 0.0f);
+    } else {
+      EXPECT_NEAR(grad_in.storage()[i], 1.0f / 0.7f, 1e-5);
+    }
+  }
+}
+
+TEST(Dropout, ZeroRateIsTransparent) {
+  Dropout layer(0.0f);
+  const Tensor input = random_tensor(1, 2, 2, 2, 11);
+  EXPECT_EQ(layer.forward(input, true).storage(), input.storage());
+  EXPECT_EQ(layer.backward(input).storage(), input.storage());
+}
+
+TEST(Dropout, Validation) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 by feeding grad = 2(w-3).
+  ParamTensor w(1);
+  w.value[0] = -5.0f;
+  Adam optimizer({&w}, {.learning_rate = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    w.grad[0] = 2.0f * (w.value[0] - 3.0f);
+    optimizer.step();
+  }
+  EXPECT_NEAR(w.value[0], 3.0f, 0.05f);
+  EXPECT_EQ(optimizer.steps_taken(), 500u);
+}
+
+TEST(Adam, AdaptsToGradientScale) {
+  // Two coordinates with gradients differing by 1000x: after bias
+  // correction, Adam's effective per-coordinate step is scale-free.
+  ParamTensor w(2);
+  Adam optimizer({&w}, {.learning_rate = 0.01});
+  w.grad[0] = 1000.0f;
+  w.grad[1] = 1.0f;
+  optimizer.step();
+  EXPECT_NEAR(w.value[0], w.value[1], 1e-5);
+}
+
+TEST(Adam, WeightDecayShrinks) {
+  ParamTensor w(1);
+  w.value[0] = 1.0f;
+  Adam optimizer({&w}, {.learning_rate = 0.1, .weight_decay = 0.5});
+  w.grad[0] = 0.0f;
+  optimizer.step();
+  EXPECT_NEAR(w.value[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(Adam, Validation) {
+  ParamTensor p(1);
+  EXPECT_THROW(Adam({&p}, {.learning_rate = 0.0}), std::invalid_argument);
+  EXPECT_THROW(Adam({&p}, {.beta1 = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Adam({nullptr}, {}), std::invalid_argument);
+}
+
+TEST(Adam, TrainsSmallNetworkFasterThanOneEpochOfNothing) {
+  // End-to-end: Adam should fit a small regression-style head quickly.
+  std::mt19937_64 rng(13);
+  Sequential net;
+  net.add(std::make_unique<Dense>(8, 16, rng));
+  net.add(std::make_unique<Dense>(16, 4, rng));
+  Adam optimizer(net.parameters(), {.learning_rate = 5e-3});
+
+  const Tensor inputs = random_tensor(64, 1, 1, 8, 17);
+  std::vector<int> labels(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    // Label by the sign pattern of the first two features.
+    const float a = inputs.storage()[i * 8];
+    const float b = inputs.storage()[i * 8 + 1];
+    labels[i] = (a > 0 ? 2 : 0) + (b > 0 ? 1 : 0);
+  }
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    const Tensor logits = net.forward(inputs, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    if (step == 0) first_loss = loss.mean_loss;
+    last_loss = loss.mean_loss;
+    net.backward(loss.grad_logits);
+    optimizer.step();
+  }
+  EXPECT_LT(last_loss, 0.3 * first_loss);
+}
+
+TEST(DropoutInNetwork, TrainsWithRegularization) {
+  std::mt19937_64 rng(23);
+  Sequential net;
+  net.add(std::make_unique<Dense>(10, 32, rng));
+  net.add(std::make_unique<Dropout>(0.2f, 3));
+  net.add(std::make_unique<Dense>(32, 3, rng));
+  const Tensor inputs = random_tensor(32, 1, 1, 10, 29);
+  std::vector<int> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = static_cast<int>(i % 3);
+  Sgd optimizer(net.parameters(), {.learning_rate = 0.05});
+  double last = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    const Tensor logits = net.forward(inputs, true);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    last = loss.mean_loss;
+    net.backward(loss.grad_logits);
+    optimizer.step();
+  }
+  EXPECT_LT(last, 1.0);  // learns despite the noise injection
+}
+
+}  // namespace
+}  // namespace lens::nn

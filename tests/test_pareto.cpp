@@ -1,0 +1,237 @@
+// Unit + property tests for Pareto utilities, hypervolume, scalarization.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "opt/hypervolume.hpp"
+#include "opt/pareto.hpp"
+#include "opt/scalarization.hpp"
+
+namespace lens::opt {
+namespace {
+
+TEST(Dominates, StrictAndWeakCases) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 3.0}));
+  EXPECT_TRUE(dominates({1.0, 3.0}, {2.0, 3.0}));  // equal in one, better in other
+  EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0})); // equality is not domination
+  EXPECT_FALSE(dominates({1.0, 4.0}, {2.0, 3.0})); // incomparable
+  EXPECT_FALSE(dominates({2.0, 3.0}, {1.0, 2.0}));
+}
+
+TEST(Dominates, RejectsMismatchedOrEmpty) {
+  EXPECT_THROW(dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(dominates({}, {}), std::invalid_argument);
+}
+
+TEST(ParetoFront, InsertEvictsDominated) {
+  ParetoFront front;
+  EXPECT_TRUE(front.insert(0, {5.0, 5.0}));
+  EXPECT_TRUE(front.insert(1, {3.0, 6.0}));  // incomparable, both stay
+  EXPECT_EQ(front.size(), 2u);
+  EXPECT_TRUE(front.insert(2, {2.0, 2.0}));  // dominates both
+  EXPECT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.points().front().id, 2u);
+}
+
+TEST(ParetoFront, RejectsDominatedAndDuplicates) {
+  ParetoFront front;
+  front.insert(0, {1.0, 1.0});
+  EXPECT_FALSE(front.insert(1, {2.0, 2.0}));
+  EXPECT_FALSE(front.insert(2, {1.0, 1.0}));  // exact duplicate
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoFront, WouldAcceptMatchesInsert) {
+  ParetoFront front;
+  front.insert(0, {1.0, 5.0});
+  front.insert(1, {5.0, 1.0});
+  EXPECT_TRUE(front.would_accept({0.5, 6.0}));
+  EXPECT_TRUE(front.would_accept({2.0, 2.0}));
+  EXPECT_FALSE(front.would_accept({6.0, 6.0}));
+}
+
+TEST(ParetoFront, FromPointsFiltersToNondominated) {
+  const ParetoFront front = ParetoFront::from_points({
+      {0, {1.0, 4.0}}, {1, {2.0, 3.0}}, {2, {3.0, 3.5}}, {3, {4.0, 1.0}},
+  });
+  EXPECT_EQ(front.size(), 3u);  // (3, 3.5) is dominated by (2, 3)
+  EXPECT_FALSE(front.would_accept({3.0, 3.5}));
+}
+
+TEST(FractionDominated, Basics) {
+  ParetoFront a;
+  a.insert(0, {1.0, 1.0});
+  ParetoFront b;
+  b.insert(0, {2.0, 2.0});
+  b.insert(1, {0.5, 3.0});
+  EXPECT_DOUBLE_EQ(fraction_dominated(/*victims=*/b, /*aggressors=*/a), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_dominated(/*victims=*/a, /*aggressors=*/b), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_dominated(ParetoFront{}, a), 0.0);
+}
+
+TEST(CombinedFront, CreditsAndCounts) {
+  ParetoFront a;
+  a.insert(0, {1.0, 5.0});
+  a.insert(1, {3.0, 3.0});
+  ParetoFront b;
+  b.insert(0, {2.0, 4.0});   // survives (incomparable with both of a)
+  b.insert(1, {5.0, 5.0});   // dominated by a's (3,3) and (1,5)? (3,3) dominates -> out
+  const CombinedFrontStats stats = combined_front(a, b);
+  EXPECT_EQ(stats.total, 3u);
+  EXPECT_EQ(stats.from_a, 2u);
+  EXPECT_EQ(stats.from_b, 1u);
+  EXPECT_NEAR(stats.fraction_a, 2.0 / 3.0, 1e-12);
+}
+
+TEST(CombinedFront, DuplicateObjectivesCreditA) {
+  ParetoFront a;
+  a.insert(0, {1.0, 1.0});
+  ParetoFront b;
+  b.insert(7, {1.0, 1.0});
+  const CombinedFrontStats stats = combined_front(a, b);
+  EXPECT_EQ(stats.total, 1u);
+  EXPECT_EQ(stats.from_a, 1u);
+  EXPECT_EQ(stats.from_b, 0u);
+}
+
+// Property: no member of a front may dominate another member.
+class ParetoPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParetoPropertyTest, FrontMembersAreMutuallyNondominated) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  ParetoFront front;
+  for (std::size_t i = 0; i < 200; ++i) {
+    front.insert(i, {unit(rng), unit(rng), unit(rng)});
+  }
+  for (const ParetoPoint& p : front.points()) {
+    for (const ParetoPoint& q : front.points()) {
+      if (&p == &q) continue;
+      EXPECT_FALSE(dominates(p.objectives, q.objectives));
+    }
+  }
+}
+
+TEST_P(ParetoPropertyTest, InsertionOrderInvariance) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<ParetoPoint> points;
+  for (std::size_t i = 0; i < 60; ++i) points.push_back({i, {unit(rng), unit(rng)}});
+
+  const ParetoFront forward = ParetoFront::from_points(points);
+  std::vector<ParetoPoint> reversed(points.rbegin(), points.rend());
+  const ParetoFront backward = ParetoFront::from_points(reversed);
+  EXPECT_EQ(forward.size(), backward.size());
+  for (const ParetoPoint& p : forward.points()) {
+    EXPECT_FALSE(backward.would_accept(p.objectives));  // already present/equal
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoPropertyTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Hypervolume, KnownRectangles2D) {
+  // Single point (1,1) vs ref (3,3): area 2*2 = 4.
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 1.0}}, {3.0, 3.0}), 4.0);
+  // Two staircase points: [1,3]x[2,3] union [2,3]x[1,3] = 2 + 2 - 1.
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 2.0}, {2.0, 1.0}}, {3.0, 3.0}), 3.0);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceContributeNothing) {
+  EXPECT_DOUBLE_EQ(hypervolume({{4.0, 4.0}}, {3.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 3.0}}, {3.0, 3.0}), 0.0);  // not strictly inside
+}
+
+TEST(Hypervolume, DominatedPointsDontChangeVolume) {
+  const std::vector<std::vector<double>> front = {{1.0, 2.0}, {2.0, 1.0}};
+  std::vector<std::vector<double>> with_dominated = front;
+  with_dominated.push_back({2.5, 2.5});
+  EXPECT_DOUBLE_EQ(hypervolume(front, {3.0, 3.0}), hypervolume(with_dominated, {3.0, 3.0}));
+}
+
+TEST(Hypervolume, Known3DBox) {
+  // One point (0,0,0), ref (1,2,3): volume 6.
+  EXPECT_DOUBLE_EQ(hypervolume({{0.0, 0.0, 0.0}}, {1.0, 2.0, 3.0}), 6.0);
+}
+
+TEST(Hypervolume, MonotoneUnderImprovement) {
+  const double base = hypervolume({{1.0, 1.0}}, {3.0, 3.0});
+  const double better = hypervolume({{0.5, 1.0}}, {3.0, 3.0});
+  EXPECT_GT(better, base);
+  const double more_points = hypervolume({{1.0, 1.0}, {0.2, 2.5}}, {3.0, 3.0});
+  EXPECT_GT(more_points, base);
+}
+
+TEST(Hypervolume, FourDimensionalBox) {
+  // One point at the origin, reference (1,2,3,4): volume 24.
+  EXPECT_DOUBLE_EQ(hypervolume({{0.0, 0.0, 0.0, 0.0}}, {1.0, 2.0, 3.0, 4.0}), 24.0);
+  // Two disjoint-ish boxes in 4-D: union < sum, > max.
+  const double joint = hypervolume({{0.0, 0.0, 0.0, 2.0}, {0.0, 0.0, 2.0, 0.0}},
+                                   {1.0, 1.0, 3.0, 3.0});
+  EXPECT_GT(joint, 3.0);   // each box alone is 1*1*1*3 = 3 or 1*1*3*1 = 3... union > 3
+  EXPECT_LT(joint, 6.0);   // strictly less than the sum (they overlap)
+}
+
+TEST(Hypervolume, ScalesLinearlyWithReferenceShift) {
+  // Widening the reference along one axis adds exactly the slab volume for
+  // a single point.
+  const double base = hypervolume({{1.0, 1.0}}, {3.0, 3.0});
+  const double wider = hypervolume({{1.0, 1.0}}, {4.0, 3.0});
+  EXPECT_NEAR(wider - base, 1.0 * 2.0, 1e-12);
+}
+
+TEST(Hypervolume, DimensionMismatchThrows) {
+  EXPECT_THROW(hypervolume({{1.0, 2.0}}, {3.0, 3.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(hypervolume({}, {}), std::invalid_argument);
+}
+
+TEST(Scalarization, NormalizerMapsRangeToUnit) {
+  ObjectiveNormalizer norm(2);
+  norm.observe({0.0, 100.0});
+  norm.observe({10.0, 300.0});
+  const auto mid = norm.normalize({5.0, 200.0});
+  EXPECT_DOUBLE_EQ(mid[0], 0.5);
+  EXPECT_DOUBLE_EQ(mid[1], 0.5);
+  const auto lo = norm.normalize({0.0, 100.0});
+  EXPECT_DOUBLE_EQ(lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(lo[1], 0.0);
+}
+
+TEST(Scalarization, DegenerateRangeMapsToHalf) {
+  ObjectiveNormalizer norm(1);
+  norm.observe({7.0});
+  norm.observe({7.0});
+  EXPECT_DOUBLE_EQ(norm.normalize({7.0})[0], 0.5);
+}
+
+TEST(Scalarization, AugmentedChebyshevFavorsBalancedSolutions) {
+  const std::vector<double> w = {0.5, 0.5};
+  const double balanced = augmented_chebyshev({0.4, 0.4}, w);
+  const double skewed = augmented_chebyshev({0.0, 0.9}, w);
+  EXPECT_LT(balanced, skewed);
+}
+
+TEST(Scalarization, SimplexWeightsSumToOne) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto w = random_simplex_weights(3, rng);
+    double total = 0.0;
+    for (double v : w) {
+      EXPECT_GT(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Scalarization, InputValidation) {
+  EXPECT_THROW(ObjectiveNormalizer(0), std::invalid_argument);
+  ObjectiveNormalizer norm(2);
+  EXPECT_THROW(norm.observe({1.0}), std::invalid_argument);
+  EXPECT_THROW(augmented_chebyshev({1.0}, {0.5, 0.5}), std::invalid_argument);
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(random_simplex_weights(0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lens::opt

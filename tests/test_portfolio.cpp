@@ -1,0 +1,131 @@
+// Tests for multi-region portfolio planning plus extra evaluator property
+// sweeps that exercise the whole Algorithm-1 stack.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/portfolio.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens::core {
+namespace {
+
+class PortfolioTest : public ::testing::Test {
+ protected:
+  PortfolioTest()
+      : sim_(perf::jetson_tx2_gpu()),
+        oracle_(sim_),
+        wifi_(comm::WirelessTechnology::kWifi, 5.0),
+        evaluator_(oracle_, wifi_) {
+    const SurrogateAccuracyModel accuracy;
+    NasConfig config;
+    config.mobo.num_initial = 10;
+    config.mobo.num_iterations = 10;
+    config.mobo.pool_size = 32;
+    config.mobo.seed = 6;
+    NasDriver driver(space_, evaluator_, accuracy, config);
+    result_ = driver.run();
+  }
+
+  SearchSpace space_;
+  perf::DeviceSimulator sim_;
+  perf::SimulatorOracle oracle_;
+  comm::CommModel wifi_;
+  DeploymentEvaluator evaluator_;
+  NasResult result_;
+
+  std::vector<Region> regions_ = {{"fast", 16.0}, {"mid", 5.0}, {"slow", 0.8}};
+};
+
+TEST_F(PortfolioTest, SelectsAggregateMinimizer) {
+  PortfolioConfig config;
+  config.objective = kEnergyObjective;
+  config.aggregate = Aggregate::kMean;
+  const PortfolioResult chosen = plan_portfolio(result_, space_, evaluator_, regions_, config);
+  ASSERT_EQ(chosen.plans.size(), regions_.size());
+
+  // Recompute every frontier member's mean cost and confirm the argmin.
+  for (const opt::ParetoPoint& p : result_.front.points()) {
+    const EvaluatedCandidate& c = result_.history[p.id];
+    const dnn::Architecture arch = space_.decode(c.genotype);
+    double mean = 0.0;
+    for (const Region& region : regions_) {
+      mean += evaluator_.evaluate(arch, region.tu_mbps).best_energy_mj() /
+              static_cast<double>(regions_.size());
+    }
+    EXPECT_GE(mean + 1e-9, chosen.aggregate_cost);
+  }
+}
+
+TEST_F(PortfolioTest, WorstCaseAggregateIsMaxOfPlans) {
+  PortfolioConfig config;
+  config.objective = kLatencyObjective;
+  config.aggregate = Aggregate::kWorstCase;
+  const PortfolioResult chosen = plan_portfolio(result_, space_, evaluator_, regions_, config);
+  double worst = 0.0;
+  for (const RegionPlan& plan : chosen.plans) worst = std::max(worst, plan.cost);
+  EXPECT_DOUBLE_EQ(worst, chosen.aggregate_cost);
+}
+
+TEST_F(PortfolioTest, AccuracyBoundFilters) {
+  // A bound below every frontier error must throw.
+  PortfolioConfig config;
+  config.max_error_percent = 0.5;
+  EXPECT_THROW(plan_portfolio(result_, space_, evaluator_, regions_, config),
+               std::invalid_argument);
+  // A generous bound succeeds and respects the constraint.
+  config.max_error_percent = 45.0;
+  const PortfolioResult chosen = plan_portfolio(result_, space_, evaluator_, regions_, config);
+  EXPECT_LE(result_.history[chosen.history_index].error_percent, 45.0);
+}
+
+TEST_F(PortfolioTest, Validation) {
+  EXPECT_THROW(plan_portfolio(result_, space_, evaluator_, {}), std::invalid_argument);
+  PortfolioConfig config;
+  config.objective = kErrorObjective;
+  EXPECT_THROW(plan_portfolio(result_, space_, evaluator_, regions_, config),
+               std::invalid_argument);
+}
+
+TEST_F(PortfolioTest, PlansCarryPerRegionDeployments) {
+  const PortfolioResult chosen = plan_portfolio(result_, space_, evaluator_, regions_);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    EXPECT_EQ(chosen.plans[i].region.name, regions_[i].name);
+    EXPECT_FALSE(chosen.plans[i].deployment_label.empty());
+    EXPECT_GT(chosen.plans[i].cost, 0.0);
+  }
+}
+
+// ---- extra evaluator property sweeps ---------------------------------------
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EvaluatorPropertyTest, BestCostsAreMonotoneInThroughput) {
+  // Raising t_u can only improve (or not change) the best achievable cost:
+  // every option's cost is non-increasing in t_u, hence so is the minimum.
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const DeploymentEvaluator evaluator(oracle, wifi);
+  const SearchSpace space;
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 5; ++i) {
+    const Genotype g = space.random(rng);
+    const dnn::Architecture arch = space.decode(g);
+    double previous_latency = 1e300;
+    double previous_energy = 1e300;
+    for (double tu : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+      const DeploymentEvaluation eval = evaluator.evaluate(arch, tu);
+      EXPECT_LE(eval.best_latency_ms(), previous_latency + 1e-9);
+      EXPECT_LE(eval.best_energy_mj(), previous_energy + 1e-9);
+      previous_latency = eval.best_latency_ms();
+      previous_energy = eval.best_energy_mj();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace lens::core

@@ -1,0 +1,153 @@
+// Randomized cross-module invariant sweeps: properties that must hold for
+// *any* architecture / throughput / option set, checked over many seeds.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/robust.hpp"
+#include "core/search_space.hpp"
+#include "dnn/summary.hpp"
+#include "perf/predictor.hpp"
+#include "runtime/deployer.hpp"
+#include "sim/system.hpp"
+
+namespace lens {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<unsigned> {
+ protected:
+  PropertySweep()
+      : sim_(perf::jetson_tx2_gpu()),
+        oracle_(sim_),
+        wifi_(comm::WirelessTechnology::kWifi, 5.0),
+        evaluator_(oracle_, wifi_),
+        rng_(GetParam()) {}
+
+  core::SearchSpace space_;
+  perf::DeviceSimulator sim_;
+  perf::SimulatorOracle oracle_;
+  comm::CommModel wifi_;
+  core::DeploymentEvaluator evaluator_;
+  std::mt19937_64 rng_;
+};
+
+TEST_P(PropertySweep, EvaluationAtThroughputMatchesCostCurves) {
+  // The throughput-free curve decomposition must reconstruct the evaluated
+  // costs exactly at every throughput — for every option of any candidate.
+  for (int trial = 0; trial < 5; ++trial) {
+    const core::Genotype g = space_.random(rng_);
+    const dnn::Architecture arch = space_.decode(g);
+    std::uniform_real_distribution<double> tu_dist(0.3, 40.0);
+    const double tu = tu_dist(rng_);
+    const core::DeploymentEvaluation eval = evaluator_.evaluate(arch, tu);
+    for (const core::DeploymentOption& option : eval.options) {
+      const runtime::CostCurve lat = runtime::latency_curve(option, wifi_);
+      const runtime::CostCurve ene = runtime::energy_curve(option, wifi_);
+      EXPECT_NEAR(lat.value(tu), option.latency_ms, 1e-6 * option.latency_ms + 1e-9);
+      EXPECT_NEAR(ene.value(tu), option.energy_mj, 1e-6 * option.energy_mj + 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertySweep, EvaluationsAtTwoThroughputsShareEdgeCosts) {
+  // Edge-side components are throughput independent.
+  const core::Genotype g = space_.random(rng_);
+  const dnn::Architecture arch = space_.decode(g);
+  const core::DeploymentEvaluation a = evaluator_.evaluate(arch, 1.5);
+  const core::DeploymentEvaluation b = evaluator_.evaluate(arch, 25.0);
+  ASSERT_EQ(a.options.size(), b.options.size());
+  for (std::size_t i = 0; i < a.options.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.options[i].edge_latency_ms, b.options[i].edge_latency_ms);
+    EXPECT_DOUBLE_EQ(a.options[i].edge_energy_mj, b.options[i].edge_energy_mj);
+    EXPECT_EQ(a.options[i].tx_bytes, b.options[i].tx_bytes);
+  }
+}
+
+TEST_P(PropertySweep, DominanceIntervalsConsistentWithEvaluation) {
+  // For any candidate: the deployer's winner at t_u equals the evaluator's
+  // argmin at t_u (they are two routes to the same minimum).
+  const core::Genotype g = space_.random(rng_);
+  const dnn::Architecture arch = space_.decode(g);
+  const core::DeploymentEvaluation eval = evaluator_.evaluate(arch, 5.0);
+  const runtime::DynamicDeployer deployer(eval.options, wifi_,
+                                          runtime::OptimizeFor::kEnergy, 0.05, 200.0);
+  std::uniform_real_distribution<double> tu_dist(0.1, 150.0);
+  for (int probe = 0; probe < 10; ++probe) {
+    const double tu = tu_dist(rng_);
+    const core::DeploymentEvaluation at_tu = evaluator_.evaluate(arch, tu);
+    const std::size_t deployer_choice = deployer.select(tu);
+    // Compare costs (indices can differ on exact ties).
+    EXPECT_NEAR(at_tu.best_energy_mj(),
+                runtime::energy_curve(eval.options[deployer_choice], wifi_).value(tu),
+                1e-6 * at_tu.best_energy_mj());
+  }
+}
+
+TEST_P(PropertySweep, RobustHeadroomConsistency) {
+  // expected_oracle <= expected_fixed_best <= every option's expectation,
+  // for arbitrary distributions and candidates.
+  const core::Genotype g = space_.random(rng_);
+  const dnn::Architecture arch = space_.decode(g);
+  std::uniform_real_distribution<double> median_dist(0.5, 20.0);
+  std::uniform_real_distribution<double> sigma_dist(0.05, 1.2);
+  const auto distribution = core::ThroughputDistribution::log_normal(
+      median_dist(rng_), sigma_dist(rng_), 11);
+  const core::RobustDeploymentEvaluator robust(evaluator_, distribution);
+  const core::RobustEvaluation result = robust.evaluate(arch);
+  EXPECT_LE(result.energy.expected_oracle, result.energy.expected_fixed_best + 1e-9);
+  EXPECT_LE(result.latency.expected_oracle, result.latency.expected_fixed_best + 1e-9);
+  // Oracle is also bounded below by evaluating at each support point.
+  double pointwise = 0.0;
+  for (std::size_t s = 0; s < distribution.tu_mbps.size(); ++s) {
+    pointwise += distribution.weight[s] *
+                 evaluator_.evaluate(arch, distribution.tu_mbps[s]).best_energy_mj();
+  }
+  EXPECT_NEAR(result.energy.expected_oracle, pointwise, 1e-6 * pointwise);
+}
+
+TEST_P(PropertySweep, SummaryAndSignatureNeverCrash) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const core::Genotype g = space_.random(rng_);
+    const dnn::Architecture arch = space_.decode(g);
+    const std::string text = dnn::summary(arch);
+    EXPECT_NE(text.find(arch.name()), std::string::npos);
+    EXPECT_FALSE(dnn::signature(arch).empty());
+  }
+}
+
+TEST_P(PropertySweep, SimulatorConservesEnergyAccounting) {
+  // In a fixed-option run, every request's energy equals the option's edge
+  // energy plus the link-integrated radio energy; totals must add up.
+  const core::Genotype g = space_.random(rng_);
+  const dnn::Architecture arch = space_.decode(g);
+  const core::DeploymentEvaluation eval = evaluator_.evaluate(arch, 8.0);
+  sim::SimConfig config;
+  config.duration_s = 20.0;
+  config.arrival_rate_hz = 2.0;
+  config.policy = sim::DispatchPolicy::kFixed;
+  config.fixed_option = eval.best_energy_option;
+  config.seed = GetParam();
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {8.0};
+  trace.interval_s = 1000.0;
+  sim::EdgeCloudSystem system(eval.options, wifi_, trace, config);
+  const sim::SimStats stats = system.run();
+  double sum = 0.0;
+  for (const sim::RequestRecord& r : system.records()) sum += r.energy_mj;
+  EXPECT_NEAR(stats.total_energy_mj, sum, 1e-6);
+  if (stats.completed > 0) {
+    const core::DeploymentOption& option = eval.options[config.fixed_option];
+    const double expected = option.edge_energy_mj +
+                            (option.tx_bytes > 0 ? wifi_.tx_energy_mj(option.tx_bytes, 8.0)
+                                                 : 0.0);
+    EXPECT_NEAR(stats.energy_per_inference_mj, expected, 0.01 * expected + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Values(11u, 23u, 37u, 51u));
+
+}  // namespace
+}  // namespace lens

@@ -1,0 +1,137 @@
+// Tests for grid neighborhoods and local refinement.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/refine.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens::core {
+namespace {
+
+class RefineTest : public ::testing::Test {
+ protected:
+  RefineTest()
+      : sim_(perf::jetson_tx2_gpu()),
+        oracle_(sim_),
+        wifi_(comm::WirelessTechnology::kWifi, 5.0),
+        evaluator_(oracle_, wifi_) {}
+
+  SearchSpace space_;
+  perf::DeviceSimulator sim_;
+  perf::SimulatorOracle oracle_;
+  comm::CommModel wifi_;
+  DeploymentEvaluator evaluator_;
+  SurrogateAccuracyModel accuracy_;
+};
+
+TEST_F(RefineTest, NeighborsAreValidAndAtDistanceOne) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Genotype g = space_.random(rng);
+    const std::vector<Genotype> neighbors = grid_neighbors(space_, g);
+    EXPECT_FALSE(neighbors.empty());
+    for (const Genotype& n : neighbors) {
+      EXPECT_TRUE(space_.is_valid(n));
+      int hamming = 0;
+      int step = 0;
+      for (std::size_t d = 0; d < g.size(); ++d) {
+        if (n[d] != g[d]) {
+          ++hamming;
+          step = std::abs(n[d] - g[d]);
+        }
+      }
+      EXPECT_EQ(hamming, 1);
+      EXPECT_EQ(step, 1);
+    }
+  }
+}
+
+TEST_F(RefineTest, NeighborCountIsBoundedByTwoPerDimension) {
+  std::mt19937_64 rng(6);
+  const Genotype g = space_.random(rng);
+  EXPECT_LE(grid_neighbors(space_, g).size(), 2 * space_.num_dimensions());
+}
+
+TEST_F(RefineTest, NeighborsRejectInvalidStart) {
+  EXPECT_THROW(grid_neighbors(space_, Genotype(space_.num_dimensions(), 0)),
+               std::invalid_argument);
+}
+
+TEST_F(RefineTest, RefinementNeverWorsensScore) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Genotype start = space_.random(rng);
+    const RefineResult result = refine(space_, evaluator_, accuracy_, start, {});
+    EXPECT_LE(result.final_score, result.initial_score + 1e-9);
+    EXPECT_TRUE(space_.is_valid(result.candidate.genotype));
+    EXPECT_GE(result.evaluations, 1u);
+  }
+}
+
+TEST_F(RefineTest, TerminatesAtLocalOptimum) {
+  std::mt19937_64 rng(8);
+  const Genotype start = space_.random(rng);
+  RefineConfig config;
+  config.max_steps = 64;
+  const RefineResult result = refine(space_, evaluator_, accuracy_, start, config);
+  // Re-refining from the result must take zero steps.
+  const RefineResult again =
+      refine(space_, evaluator_, accuracy_, result.candidate.genotype, config);
+  EXPECT_EQ(again.steps_taken, 0);
+}
+
+TEST_F(RefineTest, PureEnergyWeightReducesEnergy) {
+  std::mt19937_64 rng(9);
+  // Start from a deliberately bulky genotype (max everything, all pools).
+  Genotype start(space_.num_dimensions(), 0);
+  for (int b = 0; b < 5; ++b) {
+    start[static_cast<std::size_t>(4 * b + 0)] = 2;
+    start[static_cast<std::size_t>(4 * b + 2)] = 5;
+    start[static_cast<std::size_t>(4 * b + 3)] = 1;
+  }
+  start[20] = 5;
+  start[21] = 1;
+  start[22] = 5;
+  ASSERT_TRUE(space_.is_valid(start));
+  RefineConfig config;
+  config.error_weight = 0.0;
+  config.latency_weight = 0.0;
+  config.energy_weight = 1.0;
+  // All-Edge mode: the energy objective depends on the architecture alone
+  // (best-deployment energy saturates at the fixed All-Cloud cost for bulky
+  // models, which would plateau the descent).
+  config.mode = ObjectiveMode::kAllEdgeOnly;
+  const RefineResult result = refine(space_, evaluator_, accuracy_, start, config);
+  const dnn::Architecture arch = space_.decode(start);
+  const double start_energy = evaluator_.evaluate(arch, 3.0).all_edge().energy_mj;
+  EXPECT_LT(result.candidate.energy_mj, start_energy);
+  EXPECT_GT(result.steps_taken, 0);
+}
+
+TEST_F(RefineTest, Validation) {
+  std::mt19937_64 rng(10);
+  const Genotype start = space_.random(rng);
+  RefineConfig config;
+  config.error_weight = 0.0;
+  config.latency_weight = 0.0;
+  config.energy_weight = 0.0;
+  EXPECT_THROW(refine(space_, evaluator_, accuracy_, start, config), std::invalid_argument);
+  config.energy_weight = -1.0;
+  EXPECT_THROW(refine(space_, evaluator_, accuracy_, start, config), std::invalid_argument);
+}
+
+TEST_F(RefineTest, AllEdgeModeUsesAllEdgeObjectives) {
+  std::mt19937_64 rng(11);
+  const Genotype start = space_.random(rng);
+  RefineConfig config;
+  config.mode = ObjectiveMode::kAllEdgeOnly;
+  config.max_steps = 2;
+  const RefineResult result = refine(space_, evaluator_, accuracy_, start, config);
+  EXPECT_DOUBLE_EQ(result.candidate.latency_ms,
+                   result.candidate.deployment.all_edge().latency_ms);
+}
+
+}  // namespace
+}  // namespace lens::core

@@ -1,0 +1,143 @@
+// Tests for the piecewise-max (roofline) latency regressor.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "ml/roofline.hpp"
+
+namespace lens::ml {
+namespace {
+
+/// Synthetic roofline ground truth with multiplicative jitter.
+struct RooflineWorld {
+  double compute_rate;  // FLOP per ms
+  double memory_rate;   // bytes per ms
+  double overhead_ms;
+
+  double latency(double flops, double bytes, double jitter = 1.0) const {
+    return (std::max(flops / compute_rate, bytes / memory_rate) + overhead_ms) * jitter;
+  }
+};
+
+struct SyntheticData {
+  std::vector<double> flops;
+  std::vector<double> bytes;
+  std::vector<double> latency;
+};
+
+SyntheticData make_data(const RooflineWorld& world, std::size_t n, double noise,
+                        unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> log_flops(5.0, 10.0);   // 1e5..1e10
+  std::uniform_real_distribution<double> log_bytes(3.0, 8.5);    // 1e3..3e8
+  std::uniform_real_distribution<double> jitter(1.0 - noise, 1.0 + noise);
+  SyntheticData data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = std::pow(10.0, log_flops(rng));
+    const double b = std::pow(10.0, log_bytes(rng));
+    data.flops.push_back(f);
+    data.bytes.push_back(b);
+    data.latency.push_back(world.latency(f, b, jitter(rng)));
+  }
+  return data;
+}
+
+TEST(Roofline, RecoversExactParametersWithoutNoise) {
+  const RooflineWorld world{140e6, 25e6, 0.1};
+  const SyntheticData data = make_data(world, 400, 0.0, 1);
+  RooflineRegression model;
+  model.fit(data.flops, data.bytes, data.latency);
+  EXPECT_NEAR(model.compute_rate(), world.compute_rate, 0.02 * world.compute_rate);
+  EXPECT_NEAR(model.memory_rate(), world.memory_rate, 0.02 * world.memory_rate);
+  EXPECT_NEAR(model.overhead(), world.overhead_ms, 0.02);
+}
+
+TEST(Roofline, NearPerfectR2UnderJitter) {
+  const RooflineWorld world{90e6, 12e6, 0.05};
+  const SyntheticData data = make_data(world, 500, 0.03, 2);
+  RooflineRegression model;
+  model.fit(data.flops, data.bytes, data.latency);
+  std::vector<double> pred;
+  for (std::size_t i = 0; i < data.latency.size(); ++i) {
+    pred.push_back(model.predict(data.flops[i], data.bytes[i]));
+  }
+  EXPECT_GT(r2_score(data.latency, pred), 0.98);
+  EXPECT_LT(mape(data.latency, pred), 5.0);
+}
+
+TEST(Roofline, ClassifiesBoundednessCorrectly) {
+  const RooflineWorld world{100e6, 10e6, 0.0};
+  const SyntheticData data = make_data(world, 400, 0.0, 3);
+  RooflineRegression model;
+  model.fit(data.flops, data.bytes, data.latency);
+  // Compute-bound sample: enormous flops, tiny bytes.
+  EXPECT_TRUE(model.compute_bound(1e10, 1e3));
+  // Memory-bound: tiny flops, enormous bytes.
+  EXPECT_FALSE(model.compute_bound(1e5, 1e8));
+}
+
+TEST(Roofline, SingleBranchDataStillFits) {
+  // All samples memory-bound (pool-like): compute branch unidentifiable but
+  // predictions must stay accurate.
+  const RooflineWorld world{1e12, 20e6, 0.1};  // compute never binds
+  const SyntheticData data = make_data(world, 300, 0.02, 4);
+  RooflineRegression model;
+  model.fit(data.flops, data.bytes, data.latency);
+  std::vector<double> pred;
+  for (std::size_t i = 0; i < data.latency.size(); ++i) {
+    pred.push_back(model.predict(data.flops[i], data.bytes[i]));
+  }
+  EXPECT_GT(r2_score(data.latency, pred), 0.98);
+}
+
+TEST(Roofline, Validation) {
+  RooflineRegression model;
+  EXPECT_THROW(model.fit({}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(model.fit({1.0}, {1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(model.fit({1.0}, {1.0}, {-1.0}), std::invalid_argument);
+  EXPECT_THROW(model.fit({0.0}, {1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(model.predict(1.0, 1.0), std::logic_error);
+  EXPECT_THROW(model.compute_bound(1.0, 1.0), std::logic_error);
+  EXPECT_THROW(RooflineRegression({.max_iterations = 0}), std::invalid_argument);
+}
+
+TEST(Roofline, PredictionIsMonotoneInWork) {
+  const RooflineWorld world{100e6, 10e6, 0.05};
+  const SyntheticData data = make_data(world, 300, 0.02, 5);
+  RooflineRegression model;
+  model.fit(data.flops, data.bytes, data.latency);
+  EXPECT_LT(model.predict(1e7, 1e5), model.predict(1e9, 1e5));
+  EXPECT_LT(model.predict(1e6, 1e5), model.predict(1e6, 1e8));
+}
+
+// Property sweep: recovery accuracy holds across device regimes.
+struct WorldCase {
+  double compute_rate;
+  double memory_rate;
+  double overhead;
+};
+
+class RooflineWorldSweep : public ::testing::TestWithParam<WorldCase> {};
+
+TEST_P(RooflineWorldSweep, RecoversRates) {
+  const WorldCase w = GetParam();
+  const RooflineWorld world{w.compute_rate, w.memory_rate, w.overhead};
+  const SyntheticData data = make_data(world, 500, 0.01, 7);
+  RooflineRegression model;
+  model.fit(data.flops, data.bytes, data.latency);
+  EXPECT_NEAR(model.compute_rate(), w.compute_rate, 0.1 * w.compute_rate);
+  EXPECT_NEAR(model.memory_rate(), w.memory_rate, 0.1 * w.memory_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, RooflineWorldSweep,
+    ::testing::Values(WorldCase{140e6, 25e6, 0.1},   // TX2 GPU conv
+                      WorldCase{21e6, 4e6, 0.02},    // TX2 CPU conv
+                      WorldCase{140e6, 15.6e6, 0.1}, // TX2 GPU dense
+                      WorldCase{60e6, 25e6, 0.1}));  // TX2 GPU pool
+
+}  // namespace
+}  // namespace lens::ml

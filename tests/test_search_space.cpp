@@ -1,0 +1,184 @@
+// Tests for the paper's Fig. 4 search space: encoding, decoding, sampling,
+// the >=4-pools constraint, and normalization round-trips.
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/search_space.hpp"
+
+namespace lens::core {
+namespace {
+
+TEST(SearchSpace, DimensionLayoutMatchesPaper) {
+  const SearchSpace space;
+  // 5 blocks * (depth, kernel, filters, pool) + fc1 + fc2? + fc2_units.
+  EXPECT_EQ(space.num_dimensions(), 23u);
+  const auto& cards = space.cardinalities();
+  EXPECT_EQ(cards[0], 3);   // depths {1,2,3}
+  EXPECT_EQ(cards[1], 3);   // kernels {3,5,7}
+  EXPECT_EQ(cards[2], 6);   // filters
+  EXPECT_EQ(cards[3], 2);   // pool?
+  EXPECT_EQ(cards[20], 6);  // fc1 units
+  EXPECT_EQ(cards[21], 2);  // fc2 present?
+  EXPECT_EQ(cards[22], 6);  // fc2 units
+  EXPECT_GT(space.log10_size(), 9.0);  // a space worth searching
+}
+
+TEST(SearchSpace, ConfigValidation) {
+  SearchSpaceConfig config;
+  config.depths.clear();
+  EXPECT_THROW(SearchSpace{config}, std::invalid_argument);
+  config = {};
+  config.min_pools = 6;  // more than blocks
+  EXPECT_THROW(SearchSpace{config}, std::invalid_argument);
+}
+
+TEST(SearchSpace, RandomSamplesAreValidAndDiverse) {
+  const SearchSpace space;
+  std::mt19937_64 rng(3);
+  std::set<Genotype> seen;
+  for (int i = 0; i < 100; ++i) {
+    const Genotype g = space.random(rng);
+    EXPECT_TRUE(space.is_valid(g));
+    EXPECT_GE(space.count_pools(g), 4);
+    seen.insert(g);
+  }
+  EXPECT_GT(seen.size(), 95u);  // collisions essentially impossible
+}
+
+TEST(SearchSpace, ValidityChecks) {
+  const SearchSpace space;
+  Genotype g(space.num_dimensions(), 0);
+  // No pools at all -> invalid.
+  EXPECT_FALSE(space.is_valid(g));
+  // Exactly 4 pools -> valid.
+  for (int b = 0; b < 4; ++b) g[static_cast<std::size_t>(4 * b + 3)] = 1;
+  EXPECT_TRUE(space.is_valid(g));
+  // Out-of-range index -> invalid.
+  Genotype bad = g;
+  bad[0] = 3;
+  EXPECT_FALSE(space.is_valid(bad));
+  // Wrong dimensionality -> invalid.
+  EXPECT_FALSE(space.is_valid(Genotype(5, 0)));
+  EXPECT_THROW(space.count_pools(Genotype(5, 0)), std::invalid_argument);
+}
+
+TEST(SearchSpace, DecodeBuildsExpectedStack) {
+  const SearchSpace space;
+  Genotype g(space.num_dimensions(), 0);
+  for (int b = 0; b < 5; ++b) g[static_cast<std::size_t>(4 * b + 3)] = 1;  // all pools
+  g[0] = 2;   // block 1 depth = 3
+  g[1] = 1;   // block 1 kernel = 5
+  g[2] = 5;   // block 1 filters = 256
+  g[21] = 1;  // fc2 present
+  const dnn::Architecture arch = space.decode(g);
+  // Block 1: three convs (256 filters, k5) then pool.
+  EXPECT_EQ(arch.layers()[0].spec.kind, dnn::LayerKind::kConv);
+  EXPECT_EQ(arch.layers()[0].spec.filters, 256);
+  EXPECT_EQ(arch.layers()[0].spec.kernel, 5);
+  EXPECT_EQ(arch.layers()[2].spec.filters, 256);
+  EXPECT_EQ(arch.layers()[3].spec.kind, dnn::LayerKind::kMaxPool);
+  // Trailing: fc1, fc2, classifier.
+  const auto& layers = arch.layers();
+  EXPECT_EQ(layers[layers.size() - 3].spec.units, 256);  // fc1 index 0 -> 256
+  EXPECT_EQ(layers[layers.size() - 2].spec.units, 256);  // fc2 index 0 -> 256
+  EXPECT_EQ(layers.back().spec.units, 10);               // classifier
+  EXPECT_EQ(layers.back().spec.activation, dnn::Activation::kSoftmax);
+  // All convs batch-normalized (paper).
+  for (const auto& info : layers) {
+    if (info.spec.kind == dnn::LayerKind::kConv) {
+      EXPECT_TRUE(info.spec.batch_norm);
+    }
+  }
+}
+
+TEST(SearchSpace, DecodeWithoutFc2) {
+  const SearchSpace space;
+  Genotype g(space.num_dimensions(), 0);
+  for (int b = 0; b < 4; ++b) g[static_cast<std::size_t>(4 * b + 3)] = 1;
+  g[21] = 0;  // fc2 absent
+  const dnn::Architecture arch = space.decode(g);
+  EXPECT_EQ(arch.count_kind(dnn::LayerKind::kDense), 2u);  // fc1 + classifier
+  EXPECT_EQ(arch.count_kind(dnn::LayerKind::kMaxPool), 4u);
+}
+
+TEST(SearchSpace, DecodeRejectsInvalid) {
+  const SearchSpace space;
+  EXPECT_THROW(space.decode(Genotype(space.num_dimensions(), 0)), std::invalid_argument);
+}
+
+TEST(SearchSpace, NormalizationRoundTrip) {
+  const SearchSpace space;
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const Genotype g = space.random(rng);
+    const std::vector<double> x = space.to_normalized(g);
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_EQ(space.from_normalized(x), g);
+  }
+}
+
+TEST(SearchSpace, FromNormalizedClampsOutOfRange) {
+  const SearchSpace space;
+  std::vector<double> x(space.num_dimensions(), 2.0);  // above 1
+  const Genotype g = space.from_normalized(x);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g[i], space.cardinalities()[i] - 1);
+  }
+  EXPECT_THROW(space.from_normalized({0.5}), std::invalid_argument);
+}
+
+TEST(SearchSpace, ArchitectureNamesAreStable) {
+  const SearchSpace space;
+  std::mt19937_64 rng(9);
+  const Genotype g = space.random(rng);
+  EXPECT_EQ(space.architecture_name(g), space.architecture_name(g));
+  const Genotype h = space.random(rng);
+  EXPECT_NE(space.architecture_name(g), space.architecture_name(h));
+  EXPECT_EQ(space.architecture_name(g).substr(0, 5), "arch-");
+}
+
+TEST(SearchSpace, CustomSmallSpaceWorks) {
+  SearchSpaceConfig config;
+  config.input = {16, 16, 3};
+  config.num_blocks = 2;
+  config.filters = {8, 16};
+  config.fc_units = {32, 64};
+  config.min_pools = 1;
+  const SearchSpace space(config);
+  std::mt19937_64 rng(2);
+  const Genotype g = space.random(rng);
+  const dnn::Architecture arch = space.decode(g);
+  EXPECT_EQ(arch.input_shape().height, 16);
+  EXPECT_EQ(arch.layers().back().spec.units, 10);
+}
+
+// Property sweep: decoded structure always matches the genotype.
+class PoolCountSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PoolCountSweep, DecodedStructureMatchesGenotype) {
+  const SearchSpace space;
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Genotype g = space.random(rng);
+    const dnn::Architecture arch = space.decode(g);
+    EXPECT_EQ(static_cast<int>(arch.count_kind(dnn::LayerKind::kMaxPool)),
+              space.count_pools(g));
+    int expected_convs = 0;
+    for (int b = 0; b < 5; ++b) {
+      expected_convs += space.config().depths[static_cast<std::size_t>(
+          g[static_cast<std::size_t>(4 * b)])];
+    }
+    EXPECT_EQ(static_cast<int>(arch.count_kind(dnn::LayerKind::kConv)), expected_convs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolCountSweep, ::testing::Values(1u, 7u, 42u, 99u));
+
+}  // namespace
+}  // namespace lens::core

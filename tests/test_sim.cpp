@@ -1,0 +1,412 @@
+// Tests for the discrete-event edge-cloud simulator.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dnn/presets.hpp"
+#include "perf/predictor.hpp"
+#include "sim/battery.hpp"
+#include "sim/link.hpp"
+#include "sim/system.hpp"
+#include "sim/timeline.hpp"
+
+namespace lens::sim {
+namespace {
+
+TEST(Timeline, FifoQueueing) {
+  ResourceTimeline timeline;
+  EXPECT_DOUBLE_EQ(timeline.schedule(0.0, 1.0), 1.0);
+  // Arrives while busy: queues behind the first job.
+  EXPECT_DOUBLE_EQ(timeline.schedule(0.5, 1.0), 2.0);
+  // Arrives after idle gap: starts immediately.
+  EXPECT_DOUBLE_EQ(timeline.schedule(5.0, 0.5), 5.5);
+  EXPECT_DOUBLE_EQ(timeline.total_busy(), 2.5);
+  EXPECT_EQ(timeline.jobs(), 3u);
+}
+
+TEST(Timeline, Validation) {
+  ResourceTimeline timeline;
+  EXPECT_THROW(timeline.schedule(0.0, -1.0), std::invalid_argument);
+  timeline.schedule(5.0, 1.0);
+  EXPECT_THROW(timeline.schedule(1.0, 1.0), std::invalid_argument);  // out of order
+}
+
+comm::ThroughputTrace flat_trace(double mbps, double interval_s = 100.0) {
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {mbps};
+  trace.interval_s = interval_s;
+  return trace;
+}
+
+TEST(Link, ConstantRateMatchesClosedForm) {
+  const comm::RadioPowerModel radio = comm::power_model_for(comm::WirelessTechnology::kWifi);
+  TimeVaryingLink link(flat_trace(8.0), radio);
+  // 1 MB at 8 Mbps = 8e6 bits / 8e6 bit/s = 1 s.
+  const TransferResult r = link.transfer(10.0, 1000000);
+  EXPECT_NEAR(r.end_s, 11.0, 1e-9);
+  EXPECT_NEAR(r.energy_mj, radio.transmit_power_mw(8.0) * 1.0, 1e-6);  // mW*s
+}
+
+TEST(Link, RateChangeIsIntegrated) {
+  // 10 Mbps for 1 s, then 2 Mbps: 1.5 MB = 12e6 bits. First second carries
+  // 10e6 bits; remaining 2e6 bits at 2 Mbps take another 1 s.
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {10.0, 2.0};
+  trace.interval_s = 1.0;
+  const comm::RadioPowerModel radio = comm::power_model_for(comm::WirelessTechnology::kLte);
+  TimeVaryingLink link(trace, radio);
+  const TransferResult r = link.transfer(0.0, 1500000);
+  EXPECT_NEAR(r.end_s, 2.0, 1e-9);
+  const double expected_energy =
+      radio.transmit_power_mw(10.0) * 1.0 + radio.transmit_power_mw(2.0) * 1.0;
+  EXPECT_NEAR(r.energy_mj, expected_energy, 1e-6);
+}
+
+TEST(Link, TraceWrapsAround) {
+  TimeVaryingLink link(flat_trace(4.0, 1.0), comm::power_model_for(comm::WirelessTechnology::kWifi));
+  EXPECT_DOUBLE_EQ(link.throughput_at(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(link.throughput_at(123.7), 4.0);
+}
+
+TEST(Link, FifoSerialization) {
+  TimeVaryingLink link(flat_trace(8.0), comm::power_model_for(comm::WirelessTechnology::kWifi));
+  const TransferResult first = link.schedule(0.0, 1000000);   // 1 s
+  const TransferResult second = link.schedule(0.2, 1000000);  // queued
+  EXPECT_NEAR(first.end_s, 1.0, 1e-9);
+  EXPECT_NEAR(second.start_s, 1.0, 1e-9);
+  EXPECT_NEAR(second.end_s, 2.0, 1e-9);
+  EXPECT_NEAR(link.total_busy(), 2.0, 1e-9);
+}
+
+TEST(Link, ZeroBytesInstantaneous) {
+  TimeVaryingLink link(flat_trace(8.0), comm::power_model_for(comm::WirelessTechnology::kWifi));
+  const TransferResult r = link.schedule(3.0, 0);
+  EXPECT_DOUBLE_EQ(r.end_s, 3.0);
+  EXPECT_DOUBLE_EQ(r.energy_mj, 0.0);
+}
+
+TEST(Link, Validation) {
+  const comm::RadioPowerModel radio = comm::power_model_for(comm::WirelessTechnology::kWifi);
+  comm::ThroughputTrace empty;
+  EXPECT_THROW(TimeVaryingLink(empty, radio), std::invalid_argument);
+  comm::ThroughputTrace bad = flat_trace(8.0);
+  bad.samples_mbps[0] = -1.0;
+  EXPECT_THROW(TimeVaryingLink(bad, radio), std::invalid_argument);
+  TimeVaryingLink link(flat_trace(8.0), radio);
+  EXPECT_THROW(link.throughput_at(-1.0), std::invalid_argument);
+  EXPECT_THROW(link.schedule(-1.0, 10), std::invalid_argument);
+}
+
+// ---- full system ------------------------------------------------------------
+
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest()
+      : sim_(perf::jetson_tx2_gpu()),
+        oracle_(sim_),
+        wifi_(comm::WirelessTechnology::kWifi, 5.0),
+        evaluator_(oracle_, wifi_),
+        alexnet_(dnn::alexnet()),
+        evaluation_(evaluator_.evaluate(alexnet_, 10.0)) {}
+
+  perf::DeviceSimulator sim_;
+  perf::SimulatorOracle oracle_;
+  comm::CommModel wifi_;
+  core::DeploymentEvaluator evaluator_;
+  dnn::Architecture alexnet_;
+  core::DeploymentEvaluation evaluation_;
+};
+
+TEST_F(SystemTest, LightLoadLatencyMatchesIsolatedCost) {
+  // At 1 req/s the edge (32 ms service) never queues: per-request latency
+  // equals the isolated All-Edge latency.
+  SimConfig config;
+  config.duration_s = 200.0;
+  config.arrival_rate_hz = 1.0;
+  config.policy = DispatchPolicy::kFixed;
+  std::size_t edge_index = 0;
+  for (std::size_t i = 0; i < evaluation_.options.size(); ++i) {
+    if (evaluation_.options[i].kind == core::DeploymentKind::kAllEdge) edge_index = i;
+  }
+  config.fixed_option = edge_index;
+  EdgeCloudSystem system(evaluation_.options, wifi_, flat_trace(10.0), config);
+  const SimStats stats = system.run();
+  EXPECT_GT(stats.completed, 150u);
+  EXPECT_NEAR(stats.p50_latency_ms, evaluation_.all_edge().latency_ms, 1.0);
+  EXPECT_LT(stats.edge_utilization, 0.1);
+}
+
+TEST_F(SystemTest, OverloadQueuesAndLatencyExplodes) {
+  // All-Edge serves ~32 req/s at most; at 60 req/s the queue grows without
+  // bound and tail latency dwarfs the isolated cost.
+  SimConfig config;
+  config.duration_s = 60.0;
+  config.arrival_rate_hz = 60.0;
+  config.policy = DispatchPolicy::kFixed;
+  std::size_t edge_index = 0;
+  for (std::size_t i = 0; i < evaluation_.options.size(); ++i) {
+    if (evaluation_.options[i].kind == core::DeploymentKind::kAllEdge) edge_index = i;
+  }
+  config.fixed_option = edge_index;
+  EdgeCloudSystem system(evaluation_.options, wifi_, flat_trace(10.0), config);
+  const SimStats stats = system.run();
+  EXPECT_GT(stats.p99_latency_ms, 20.0 * evaluation_.all_edge().latency_ms);
+  EXPECT_GT(stats.edge_utilization, 0.9);
+}
+
+TEST_F(SystemTest, PartitionedSustainsHigherLoadThanAllEdge) {
+  // The pool5 split occupies the edge for only ~16 ms vs ~32 ms All-Edge,
+  // so at 45 req/s the split's tail latency is far lower.
+  SimConfig config;
+  config.duration_s = 60.0;
+  config.arrival_rate_hz = 45.0;
+  config.policy = DispatchPolicy::kFixed;
+  std::size_t edge_index = 0;
+  std::size_t split_index = 0;
+  for (std::size_t i = 0; i < evaluation_.options.size(); ++i) {
+    if (evaluation_.options[i].kind == core::DeploymentKind::kAllEdge) edge_index = i;
+    if (evaluation_.options[i].kind == core::DeploymentKind::kPartitioned &&
+        evaluation_.options[i].label(alexnet_) == "split@pool5") {
+      split_index = i;
+    }
+  }
+  config.fixed_option = edge_index;
+  EdgeCloudSystem all_edge(evaluation_.options, wifi_, flat_trace(30.0), config);
+  config.fixed_option = split_index;
+  EdgeCloudSystem split(evaluation_.options, wifi_, flat_trace(30.0), config);
+  const SimStats edge_stats = all_edge.run();
+  const SimStats split_stats = split.run();
+  EXPECT_LT(split_stats.p99_latency_ms, 0.5 * edge_stats.p99_latency_ms);
+}
+
+TEST_F(SystemTest, EnergyAccountingIsConsistent) {
+  SimConfig config;
+  config.duration_s = 100.0;
+  config.arrival_rate_hz = 2.0;
+  config.policy = DispatchPolicy::kFixed;
+  config.fixed_option = 0;  // All-Cloud
+  EdgeCloudSystem system(evaluation_.options, wifi_, flat_trace(10.0), config);
+  const SimStats stats = system.run();
+  // All-Cloud at a steady 10 Mbps: per-inference energy equals the
+  // closed-form transfer energy.
+  const double expected = wifi_.tx_energy_mj(evaluation_.all_cloud().tx_bytes, 10.0);
+  EXPECT_NEAR(stats.energy_per_inference_mj, expected, 0.02 * expected);
+}
+
+TEST_F(SystemTest, DynamicPolicyTracksThroughput) {
+  // Trace alternates between fast and very slow: the dynamic policy should
+  // use different options across time, and beat the worse fixed policy.
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {30.0, 0.3};
+  trace.interval_s = 20.0;
+  SimConfig config;
+  config.duration_s = 120.0;
+  config.arrival_rate_hz = 2.0;
+  config.policy = DispatchPolicy::kDynamic;
+  config.metric = runtime::OptimizeFor::kLatency;
+  EdgeCloudSystem system(evaluation_.options, wifi_, trace, config);
+  const SimStats stats = system.run();
+  bool used_multiple = false;
+  for (const RequestRecord& r : system.records()) {
+    if (r.option != system.records().front().option) {
+      used_multiple = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(used_multiple);
+  EXPECT_GT(stats.completed, 0u);
+}
+
+TEST_F(SystemTest, QueueAwareBeatsFixedUnderOverload) {
+  // At 45 req/s the All-Edge queue explodes; spreading load across the edge
+  // and the link keeps the tail bounded.
+  SimConfig config;
+  config.duration_s = 60.0;
+  config.arrival_rate_hz = 45.0;
+  std::size_t edge_index = 0;
+  for (std::size_t i = 0; i < evaluation_.options.size(); ++i) {
+    if (evaluation_.options[i].kind == core::DeploymentKind::kAllEdge) edge_index = i;
+  }
+  config.policy = DispatchPolicy::kFixed;
+  config.fixed_option = edge_index;
+  EdgeCloudSystem fixed(evaluation_.options, wifi_, flat_trace(30.0), config);
+  config.policy = DispatchPolicy::kQueueAware;
+  EdgeCloudSystem balanced(evaluation_.options, wifi_, flat_trace(30.0), config);
+  const SimStats fixed_stats = fixed.run();
+  const SimStats balanced_stats = balanced.run();
+  EXPECT_LT(balanced_stats.p99_latency_ms, 0.5 * fixed_stats.p99_latency_ms);
+  // Both resources see real work.
+  EXPECT_GT(balanced_stats.edge_utilization, 0.05);
+  EXPECT_GT(balanced_stats.link_utilization, 0.05);
+}
+
+TEST_F(SystemTest, QueueAwareMatchesBestChoiceWhenIdle) {
+  // With no queueing pressure, the queue-aware estimate reduces to the
+  // isolated latency comparison, i.e. the latency-best option.
+  SimConfig config;
+  config.duration_s = 100.0;
+  config.arrival_rate_hz = 0.5;
+  config.policy = DispatchPolicy::kQueueAware;
+  EdgeCloudSystem system(evaluation_.options, wifi_, flat_trace(10.0), config);
+  system.run();
+  for (const RequestRecord& r : system.records()) {
+    EXPECT_EQ(r.option, evaluation_.best_latency_option);
+  }
+}
+
+TEST_F(SystemTest, Validation) {
+  SimConfig config;
+  EXPECT_THROW(EdgeCloudSystem({}, wifi_, flat_trace(10.0), config), std::invalid_argument);
+  config.fixed_option = 99;
+  EXPECT_THROW(EdgeCloudSystem(evaluation_.options, wifi_, flat_trace(10.0), config),
+               std::invalid_argument);
+  config = {};
+  config.duration_s = -1.0;
+  EXPECT_THROW(EdgeCloudSystem(evaluation_.options, wifi_, flat_trace(10.0), config),
+               std::invalid_argument);
+  config = {};
+  EdgeCloudSystem system(evaluation_.options, wifi_, flat_trace(10.0), config);
+  system.run();
+  EXPECT_THROW(system.run(), std::logic_error);
+}
+
+TEST_F(SystemTest, DeadlineAccounting) {
+  SimConfig config;
+  config.duration_s = 60.0;
+  config.arrival_rate_hz = 45.0;  // All-Edge overloads at this rate
+  config.policy = DispatchPolicy::kFixed;
+  std::size_t edge_index = 0;
+  for (std::size_t i = 0; i < evaluation_.options.size(); ++i) {
+    if (evaluation_.options[i].kind == core::DeploymentKind::kAllEdge) edge_index = i;
+  }
+  config.fixed_option = edge_index;
+  config.deadline_ms = 100.0;
+  EdgeCloudSystem overloaded(evaluation_.options, wifi_, flat_trace(30.0), config);
+  const SimStats stats = overloaded.run();
+  EXPECT_GT(stats.deadline_violations, 0u);
+  EXPECT_GT(stats.violation_rate, 0.3);
+  EXPECT_LE(stats.violation_rate, 1.0);
+
+  // Light load: no violations.
+  config.arrival_rate_hz = 1.0;
+  EdgeCloudSystem light(evaluation_.options, wifi_, flat_trace(30.0), config);
+  EXPECT_DOUBLE_EQ(light.run().violation_rate, 0.0);
+}
+
+TEST(Battery, HandComputedDrain) {
+  // Two requests of 500 J each at t=10 and t=20, idle 1 W, capacity 2000 J:
+  // at t=20 spent = 20 J idle + 1000 J inference -> survives with margin.
+  std::vector<RequestRecord> records(2);
+  records[0].completion_s = 10.0;
+  records[0].energy_mj = 500.0 * 1e3;
+  records[1].completion_s = 20.0;
+  records[1].energy_mj = 500.0 * 1e3;
+  BatteryConfig config;
+  config.capacity_j = 2000.0;
+  config.idle_power_mw = 1000.0;
+  const BatteryReport report = battery_replay(records, config);
+  EXPECT_TRUE(report.survived);
+  EXPECT_EQ(report.inferences_served, 2u);
+  EXPECT_NEAR(report.inference_energy_j, 1000.0, 1e-9);
+  EXPECT_NEAR(report.idle_energy_j, 20.0, 1e-9);
+  EXPECT_NEAR(report.mean_power_w, 1020.0 / 20.0, 1e-9);
+}
+
+TEST(Battery, DiesMidStreamAtTheRightTime) {
+  // Idle 1 W, capacity 15 J, first request at t=10 costs 10 J: idle leaves
+  // 5 J at t=10, the request drains it -> dead at t=10, 0 served... the
+  // request itself empties the battery exactly, so it is not served.
+  std::vector<RequestRecord> records(2);
+  records[0].completion_s = 10.0;
+  records[0].energy_mj = 10.0 * 1e3;
+  records[1].completion_s = 20.0;
+  records[1].energy_mj = 10.0 * 1e3;
+  BatteryConfig config;
+  config.capacity_j = 15.0;
+  config.idle_power_mw = 1000.0;
+  const BatteryReport report = battery_replay(records, config);
+  EXPECT_FALSE(report.survived);
+  EXPECT_EQ(report.inferences_served, 0u);
+  EXPECT_NEAR(report.time_to_empty_s, 10.0, 1e-9);
+
+  // With no requests at all, pure idle kills it at capacity/power.
+  const BatteryReport idle_only = battery_replay({records[0]}, {.capacity_j = 5.0,
+                                                                .idle_power_mw = 1000.0});
+  EXPECT_FALSE(idle_only.survived);
+  EXPECT_NEAR(idle_only.time_to_empty_s, 5.0, 1e-9);
+}
+
+TEST(Battery, PartitionedOutlastsAllEdgePerCharge) {
+  // End-to-end: the energy-cheaper deployment serves more inferences from
+  // the same battery.
+  const dnn::Architecture alexnet = dnn::alexnet();
+  perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+  const perf::SimulatorOracle oracle(sim);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(oracle, wifi);
+  const core::DeploymentEvaluation eval = evaluator.evaluate(alexnet, 10.0);
+
+  auto run_policy = [&](std::size_t option) {
+    SimConfig config;
+    config.duration_s = 3000.0;
+    config.arrival_rate_hz = 2.0;
+    config.policy = DispatchPolicy::kFixed;
+    config.fixed_option = option;
+    EdgeCloudSystem system(eval.options, wifi, flat_trace(10.0), config);
+    system.run();
+    BatteryConfig battery;
+    battery.capacity_j = 1500.0;  // small pack: dies within the run
+    battery.idle_power_mw = 200.0;
+    return battery_replay(system.records(), battery);
+  };
+  std::size_t edge_index = 0;
+  std::size_t split_index = 0;
+  for (std::size_t i = 0; i < eval.options.size(); ++i) {
+    if (eval.options[i].kind == core::DeploymentKind::kAllEdge) edge_index = i;
+    if (eval.options[i].kind == core::DeploymentKind::kPartitioned &&
+        eval.options[i].label(alexnet) == "split@pool5") {
+      split_index = i;
+    }
+  }
+  const BatteryReport edge_report = run_policy(edge_index);
+  const BatteryReport split_report = run_policy(split_index);
+  ASSERT_FALSE(edge_report.survived);
+  ASSERT_FALSE(split_report.survived);
+  EXPECT_GT(split_report.inferences_served, edge_report.inferences_served);
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(battery_replay({}, {.capacity_j = 0.0}), std::invalid_argument);
+  std::vector<RequestRecord> unordered(2);
+  unordered[0].completion_s = 10.0;
+  unordered[1].completion_s = 5.0;
+  EXPECT_THROW(battery_replay(unordered, {}), std::invalid_argument);
+}
+
+TEST(CommConditions, FromConditionsMatchesDirectConstruction) {
+  comm::NetworkConditions conditions;
+  conditions.technology = comm::WirelessTechnology::kLte;
+  conditions.round_trip_ms = 12.0;
+  const comm::CommModel from = comm::CommModel::from_conditions(conditions);
+  const comm::CommModel direct(comm::WirelessTechnology::kLte, 12.0);
+  EXPECT_DOUBLE_EQ(from.round_trip_ms(), direct.round_trip_ms());
+  EXPECT_DOUBLE_EQ(from.tx_energy_mj(1000, 5.0), direct.tx_energy_mj(1000, 5.0));
+}
+
+TEST_F(SystemTest, Deterministic) {
+  SimConfig config;
+  config.duration_s = 50.0;
+  config.arrival_rate_hz = 3.0;
+  config.seed = 17;
+  EdgeCloudSystem a(evaluation_.options, wifi_, flat_trace(10.0), config);
+  EdgeCloudSystem b(evaluation_.options, wifi_, flat_trace(10.0), config);
+  const SimStats sa = a.run();
+  const SimStats sb = b.run();
+  EXPECT_EQ(sa.completed, sb.completed);
+  EXPECT_DOUBLE_EQ(sa.total_energy_mj, sb.total_energy_mj);
+  EXPECT_DOUBLE_EQ(sa.p99_latency_ms, sb.p99_latency_ms);
+}
+
+}  // namespace
+}  // namespace lens::sim

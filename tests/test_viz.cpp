@@ -1,0 +1,122 @@
+// Tests for the ASCII plotting helpers.
+
+#include <gtest/gtest.h>
+
+#include "viz/ascii.hpp"
+
+namespace lens::viz {
+namespace {
+
+Series simple_series(char glyph = '*') {
+  Series s;
+  s.label = "test";
+  s.glyph = glyph;
+  s.x = {0.0, 1.0, 2.0, 3.0};
+  s.y = {0.0, 1.0, 4.0, 9.0};
+  return s;
+}
+
+TEST(Scatter, ContainsGlyphsAxesAndLegend) {
+  const std::string plot = scatter_plot({simple_series('o')});
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("[o] test"), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);  // axis corners
+  // Extreme y values appear as axis labels.
+  EXPECT_NE(plot.find('9'), std::string::npos);
+}
+
+TEST(Scatter, MultipleSeriesAllDrawn) {
+  Series a = simple_series('a');
+  Series b = simple_series('b');
+  for (double& v : b.y) v += 0.5;
+  const std::string plot = scatter_plot({a, b});
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+}
+
+TEST(Scatter, GlyphLandsAtExpectedCorner) {
+  Series s;
+  s.label = "corner";
+  s.glyph = '#';
+  s.x = {0.0, 10.0};
+  s.y = {0.0, 5.0};
+  PlotConfig config;
+  config.width = 20;
+  config.height = 10;
+  const std::string plot = scatter_plot({s}, config);
+  // The (max x, max y) point lands on the first canvas row, last column;
+  // the first canvas row is the second output line.
+  std::size_t line_start = plot.find('\n') + 1;
+  std::size_t line_end = plot.find('\n', line_start);
+  const std::string first_row = plot.substr(line_start, line_end - line_start);
+  EXPECT_EQ(first_row[first_row.size() - 2], '#');  // last col before border '|'
+}
+
+TEST(Scatter, Validation) {
+  EXPECT_THROW(scatter_plot({}), std::invalid_argument);
+  Series ragged = simple_series();
+  ragged.y.pop_back();
+  EXPECT_THROW(scatter_plot({ragged}), std::invalid_argument);
+  Series empty;
+  empty.label = "empty";
+  EXPECT_THROW(scatter_plot({empty}), std::invalid_argument);
+  PlotConfig tiny;
+  tiny.width = 2;
+  EXPECT_THROW(scatter_plot({simple_series()}, tiny), std::invalid_argument);
+}
+
+TEST(Scatter, LogAxisRejectsNonPositive) {
+  Series s = simple_series();  // y starts at 0
+  PlotConfig config;
+  config.log_y = true;
+  EXPECT_THROW(scatter_plot({s}, config), std::invalid_argument);
+  for (double& v : s.y) v += 1.0;
+  EXPECT_NO_THROW(scatter_plot({s}, config));
+}
+
+TEST(Scatter, DegenerateSinglePointRenders) {
+  Series s;
+  s.label = "dot";
+  s.glyph = 'x';
+  s.x = {5.0};
+  s.y = {7.0};
+  const std::string plot = scatter_plot({s});
+  EXPECT_NE(plot.find('x'), std::string::npos);
+}
+
+TEST(Line, InterpolatesAcrossColumns) {
+  Series s;
+  s.label = "ramp";
+  s.glyph = '.';
+  s.x = {0.0, 100.0};
+  s.y = {0.0, 100.0};
+  PlotConfig config;
+  config.width = 40;
+  config.height = 12;
+  const std::string plot = line_plot({s}, config);
+  // A two-point ramp must paint roughly one glyph per column.
+  const std::size_t glyphs = static_cast<std::size_t>(
+      std::count(plot.begin(), plot.end(), '.'));
+  EXPECT_GE(glyphs, 38u);
+}
+
+TEST(Line, SinglePointFallsBackToDot) {
+  Series s;
+  s.label = "single";
+  s.glyph = 'q';
+  s.x = {1.0};
+  s.y = {2.0};
+  EXPECT_NE(line_plot({s}).find('q'), std::string::npos);
+}
+
+TEST(Line, AxisLabelsAppear) {
+  PlotConfig config;
+  config.x_label = "throughput";
+  config.y_label = "energy";
+  const std::string plot = line_plot({simple_series()}, config);
+  EXPECT_NE(plot.find("throughput"), std::string::npos);
+  EXPECT_NE(plot.find("energy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lens::viz
