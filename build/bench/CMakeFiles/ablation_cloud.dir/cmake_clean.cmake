@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cloud.dir/ablation_cloud.cpp.o"
+  "CMakeFiles/ablation_cloud.dir/ablation_cloud.cpp.o.d"
+  "ablation_cloud"
+  "ablation_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_constraint.dir/ablation_constraint.cpp.o"
+  "CMakeFiles/ablation_constraint.dir/ablation_constraint.cpp.o.d"
+  "ablation_constraint"
+  "ablation_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_robust.dir/ablation_robust.cpp.o"
+  "CMakeFiles/ablation_robust.dir/ablation_robust.cpp.o.d"
+  "ablation_robust"
+  "ablation_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

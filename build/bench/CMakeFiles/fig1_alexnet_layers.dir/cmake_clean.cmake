@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_alexnet_layers.dir/fig1_alexnet_layers.cpp.o"
+  "CMakeFiles/fig1_alexnet_layers.dir/fig1_alexnet_layers.cpp.o.d"
+  "fig1_alexnet_layers"
+  "fig1_alexnet_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_alexnet_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

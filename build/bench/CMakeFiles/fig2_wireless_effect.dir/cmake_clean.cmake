@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wireless_effect.dir/fig2_wireless_effect.cpp.o"
+  "CMakeFiles/fig2_wireless_effect.dir/fig2_wireless_effect.cpp.o.d"
+  "fig2_wireless_effect"
+  "fig2_wireless_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wireless_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_search_space.dir/fig4_search_space.cpp.o"
+  "CMakeFiles/fig4_search_space.dir/fig4_search_space.cpp.o.d"
+  "fig4_search_space"
+  "fig4_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_runtime_system.dir/fig5_runtime_system.cpp.o"
+  "CMakeFiles/fig5_runtime_system.dir/fig5_runtime_system.cpp.o.d"
+  "fig5_runtime_system"
+  "fig5_runtime_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_runtime_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

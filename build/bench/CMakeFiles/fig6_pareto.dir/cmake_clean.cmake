@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pareto.dir/fig6_pareto.cpp.o"
+  "CMakeFiles/fig6_pareto.dir/fig6_pareto.cpp.o.d"
+  "fig6_pareto"
+  "fig6_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

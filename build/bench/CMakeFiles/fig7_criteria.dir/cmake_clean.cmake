@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_criteria.dir/fig7_criteria.cpp.o"
+  "CMakeFiles/fig7_criteria.dir/fig7_criteria.cpp.o.d"
+  "fig7_criteria"
+  "fig7_criteria.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_runtime.dir/fig8_runtime.cpp.o"
+  "CMakeFiles/fig8_runtime.dir/fig8_runtime.cpp.o.d"
+  "fig8_runtime"
+  "fig8_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

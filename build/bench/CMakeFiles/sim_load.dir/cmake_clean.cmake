@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_load.dir/sim_load.cpp.o"
+  "CMakeFiles/sim_load.dir/sim_load.cpp.o.d"
+  "sim_load"
+  "sim_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

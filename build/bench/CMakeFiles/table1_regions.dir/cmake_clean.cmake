@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_regions.dir/table1_regions.cpp.o"
+  "CMakeFiles/table1_regions.dir/table1_regions.cpp.o.d"
+  "table1_regions"
+  "table1_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

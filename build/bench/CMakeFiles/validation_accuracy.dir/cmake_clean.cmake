@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_accuracy.dir/validation_accuracy.cpp.o"
+  "CMakeFiles/validation_accuracy.dir/validation_accuracy.cpp.o.d"
+  "validation_accuracy"
+  "validation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_deployment.dir/regional_deployment.cpp.o"
+  "CMakeFiles/regional_deployment.dir/regional_deployment.cpp.o.d"
+  "regional_deployment"
+  "regional_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_simulation.dir/serving_simulation.cpp.o"
+  "CMakeFiles/serving_simulation.dir/serving_simulation.cpp.o.d"
+  "serving_simulation"
+  "serving_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

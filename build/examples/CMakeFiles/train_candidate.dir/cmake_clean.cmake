@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_candidate.dir/train_candidate.cpp.o"
+  "CMakeFiles/train_candidate.dir/train_candidate.cpp.o.d"
+  "train_candidate"
+  "train_candidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_candidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

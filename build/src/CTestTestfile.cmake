@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("opt")
+subdirs("ml")
+subdirs("dnn")
+subdirs("comm")
+subdirs("perf")
+subdirs("nn")
+subdirs("core")
+subdirs("runtime")
+subdirs("sim")
+subdirs("viz")
+subdirs("cli")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_cli.dir/args.cpp.o"
+  "CMakeFiles/lens_cli.dir/args.cpp.o.d"
+  "CMakeFiles/lens_cli.dir/commands.cpp.o"
+  "CMakeFiles/lens_cli.dir/commands.cpp.o.d"
+  "liblens_cli.a"
+  "liblens_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/commcost.cpp" "src/comm/CMakeFiles/lens_comm.dir/commcost.cpp.o" "gcc" "src/comm/CMakeFiles/lens_comm.dir/commcost.cpp.o.d"
+  "/root/repo/src/comm/trace.cpp" "src/comm/CMakeFiles/lens_comm.dir/trace.cpp.o" "gcc" "src/comm/CMakeFiles/lens_comm.dir/trace.cpp.o.d"
+  "/root/repo/src/comm/trace_io.cpp" "src/comm/CMakeFiles/lens_comm.dir/trace_io.cpp.o" "gcc" "src/comm/CMakeFiles/lens_comm.dir/trace_io.cpp.o.d"
+  "/root/repo/src/comm/wireless.cpp" "src/comm/CMakeFiles/lens_comm.dir/wireless.cpp.o" "gcc" "src/comm/CMakeFiles/lens_comm.dir/wireless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

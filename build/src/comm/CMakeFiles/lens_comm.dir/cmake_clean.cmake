@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_comm.dir/commcost.cpp.o"
+  "CMakeFiles/lens_comm.dir/commcost.cpp.o.d"
+  "CMakeFiles/lens_comm.dir/trace.cpp.o"
+  "CMakeFiles/lens_comm.dir/trace.cpp.o.d"
+  "CMakeFiles/lens_comm.dir/trace_io.cpp.o"
+  "CMakeFiles/lens_comm.dir/trace_io.cpp.o.d"
+  "CMakeFiles/lens_comm.dir/wireless.cpp.o"
+  "CMakeFiles/lens_comm.dir/wireless.cpp.o.d"
+  "liblens_comm.a"
+  "liblens_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

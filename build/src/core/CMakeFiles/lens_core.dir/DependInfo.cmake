@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/lens_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/lens_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/lens_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/lens_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/nas.cpp" "src/core/CMakeFiles/lens_core.dir/nas.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/nas.cpp.o.d"
+  "/root/repo/src/core/portfolio.cpp" "src/core/CMakeFiles/lens_core.dir/portfolio.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/portfolio.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/lens_core.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/refine.cpp.o.d"
+  "/root/repo/src/core/robust.cpp" "src/core/CMakeFiles/lens_core.dir/robust.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/robust.cpp.o.d"
+  "/root/repo/src/core/search_space.cpp" "src/core/CMakeFiles/lens_core.dir/search_space.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/search_space.cpp.o.d"
+  "/root/repo/src/core/trained_accuracy.cpp" "src/core/CMakeFiles/lens_core.dir/trained_accuracy.cpp.o" "gcc" "src/core/CMakeFiles/lens_core.dir/trained_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/lens_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/lens_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lens_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lens_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lens_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lens_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_core.dir/accuracy.cpp.o"
+  "CMakeFiles/lens_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/lens_core.dir/analysis.cpp.o"
+  "CMakeFiles/lens_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/lens_core.dir/evaluator.cpp.o"
+  "CMakeFiles/lens_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/lens_core.dir/export.cpp.o"
+  "CMakeFiles/lens_core.dir/export.cpp.o.d"
+  "CMakeFiles/lens_core.dir/nas.cpp.o"
+  "CMakeFiles/lens_core.dir/nas.cpp.o.d"
+  "CMakeFiles/lens_core.dir/portfolio.cpp.o"
+  "CMakeFiles/lens_core.dir/portfolio.cpp.o.d"
+  "CMakeFiles/lens_core.dir/refine.cpp.o"
+  "CMakeFiles/lens_core.dir/refine.cpp.o.d"
+  "CMakeFiles/lens_core.dir/robust.cpp.o"
+  "CMakeFiles/lens_core.dir/robust.cpp.o.d"
+  "CMakeFiles/lens_core.dir/search_space.cpp.o"
+  "CMakeFiles/lens_core.dir/search_space.cpp.o.d"
+  "CMakeFiles/lens_core.dir/trained_accuracy.cpp.o"
+  "CMakeFiles/lens_core.dir/trained_accuracy.cpp.o.d"
+  "liblens_core.a"
+  "liblens_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/architecture.cpp" "src/dnn/CMakeFiles/lens_dnn.dir/architecture.cpp.o" "gcc" "src/dnn/CMakeFiles/lens_dnn.dir/architecture.cpp.o.d"
+  "/root/repo/src/dnn/layer.cpp" "src/dnn/CMakeFiles/lens_dnn.dir/layer.cpp.o" "gcc" "src/dnn/CMakeFiles/lens_dnn.dir/layer.cpp.o.d"
+  "/root/repo/src/dnn/presets.cpp" "src/dnn/CMakeFiles/lens_dnn.dir/presets.cpp.o" "gcc" "src/dnn/CMakeFiles/lens_dnn.dir/presets.cpp.o.d"
+  "/root/repo/src/dnn/summary.cpp" "src/dnn/CMakeFiles/lens_dnn.dir/summary.cpp.o" "gcc" "src/dnn/CMakeFiles/lens_dnn.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

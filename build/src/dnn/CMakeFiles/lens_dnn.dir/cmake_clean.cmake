@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_dnn.dir/architecture.cpp.o"
+  "CMakeFiles/lens_dnn.dir/architecture.cpp.o.d"
+  "CMakeFiles/lens_dnn.dir/layer.cpp.o"
+  "CMakeFiles/lens_dnn.dir/layer.cpp.o.d"
+  "CMakeFiles/lens_dnn.dir/presets.cpp.o"
+  "CMakeFiles/lens_dnn.dir/presets.cpp.o.d"
+  "CMakeFiles/lens_dnn.dir/summary.cpp.o"
+  "CMakeFiles/lens_dnn.dir/summary.cpp.o.d"
+  "liblens_dnn.a"
+  "liblens_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/lens_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/lens_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/lens_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/lens_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/ml/CMakeFiles/lens_ml.dir/ridge.cpp.o" "gcc" "src/ml/CMakeFiles/lens_ml.dir/ridge.cpp.o.d"
+  "/root/repo/src/ml/roofline.cpp" "src/ml/CMakeFiles/lens_ml.dir/roofline.cpp.o" "gcc" "src/ml/CMakeFiles/lens_ml.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/lens_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_ml.dir/features.cpp.o"
+  "CMakeFiles/lens_ml.dir/features.cpp.o.d"
+  "CMakeFiles/lens_ml.dir/metrics.cpp.o"
+  "CMakeFiles/lens_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/lens_ml.dir/ridge.cpp.o"
+  "CMakeFiles/lens_ml.dir/ridge.cpp.o.d"
+  "CMakeFiles/lens_ml.dir/roofline.cpp.o"
+  "CMakeFiles/lens_ml.dir/roofline.cpp.o.d"
+  "liblens_ml.a"
+  "liblens_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/lens_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/lens_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/avgpool.cpp" "src/nn/CMakeFiles/lens_nn.dir/avgpool.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/avgpool.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/lens_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/builder.cpp" "src/nn/CMakeFiles/lens_nn.dir/builder.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/builder.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/lens_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/lens_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/lens_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/lens_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/lens_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/lens_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/lens_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/lens_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/lens_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/lens_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/lens_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/schedule.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/lens_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/lens_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/lens_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

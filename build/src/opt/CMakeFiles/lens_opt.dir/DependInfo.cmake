@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/acquisition.cpp" "src/opt/CMakeFiles/lens_opt.dir/acquisition.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/acquisition.cpp.o.d"
+  "/root/repo/src/opt/gp.cpp" "src/opt/CMakeFiles/lens_opt.dir/gp.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/gp.cpp.o.d"
+  "/root/repo/src/opt/hypervolume.cpp" "src/opt/CMakeFiles/lens_opt.dir/hypervolume.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/hypervolume.cpp.o.d"
+  "/root/repo/src/opt/kernel.cpp" "src/opt/CMakeFiles/lens_opt.dir/kernel.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/kernel.cpp.o.d"
+  "/root/repo/src/opt/matrix.cpp" "src/opt/CMakeFiles/lens_opt.dir/matrix.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/matrix.cpp.o.d"
+  "/root/repo/src/opt/mobo.cpp" "src/opt/CMakeFiles/lens_opt.dir/mobo.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/mobo.cpp.o.d"
+  "/root/repo/src/opt/nsga2.cpp" "src/opt/CMakeFiles/lens_opt.dir/nsga2.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/nsga2.cpp.o.d"
+  "/root/repo/src/opt/pareto.cpp" "src/opt/CMakeFiles/lens_opt.dir/pareto.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/pareto.cpp.o.d"
+  "/root/repo/src/opt/scalarization.cpp" "src/opt/CMakeFiles/lens_opt.dir/scalarization.cpp.o" "gcc" "src/opt/CMakeFiles/lens_opt.dir/scalarization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

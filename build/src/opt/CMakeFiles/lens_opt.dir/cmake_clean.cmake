@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_opt.dir/acquisition.cpp.o"
+  "CMakeFiles/lens_opt.dir/acquisition.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/gp.cpp.o"
+  "CMakeFiles/lens_opt.dir/gp.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/hypervolume.cpp.o"
+  "CMakeFiles/lens_opt.dir/hypervolume.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/kernel.cpp.o"
+  "CMakeFiles/lens_opt.dir/kernel.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/matrix.cpp.o"
+  "CMakeFiles/lens_opt.dir/matrix.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/mobo.cpp.o"
+  "CMakeFiles/lens_opt.dir/mobo.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/nsga2.cpp.o"
+  "CMakeFiles/lens_opt.dir/nsga2.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/pareto.cpp.o"
+  "CMakeFiles/lens_opt.dir/pareto.cpp.o.d"
+  "CMakeFiles/lens_opt.dir/scalarization.cpp.o"
+  "CMakeFiles/lens_opt.dir/scalarization.cpp.o.d"
+  "liblens_opt.a"
+  "liblens_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/device.cpp" "src/perf/CMakeFiles/lens_perf.dir/device.cpp.o" "gcc" "src/perf/CMakeFiles/lens_perf.dir/device.cpp.o.d"
+  "/root/repo/src/perf/predictor.cpp" "src/perf/CMakeFiles/lens_perf.dir/predictor.cpp.o" "gcc" "src/perf/CMakeFiles/lens_perf.dir/predictor.cpp.o.d"
+  "/root/repo/src/perf/profiler.cpp" "src/perf/CMakeFiles/lens_perf.dir/profiler.cpp.o" "gcc" "src/perf/CMakeFiles/lens_perf.dir/profiler.cpp.o.d"
+  "/root/repo/src/perf/simulator.cpp" "src/perf/CMakeFiles/lens_perf.dir/simulator.cpp.o" "gcc" "src/perf/CMakeFiles/lens_perf.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/lens_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lens_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lens_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_perf.dir/device.cpp.o"
+  "CMakeFiles/lens_perf.dir/device.cpp.o.d"
+  "CMakeFiles/lens_perf.dir/predictor.cpp.o"
+  "CMakeFiles/lens_perf.dir/predictor.cpp.o.d"
+  "CMakeFiles/lens_perf.dir/profiler.cpp.o"
+  "CMakeFiles/lens_perf.dir/profiler.cpp.o.d"
+  "CMakeFiles/lens_perf.dir/simulator.cpp.o"
+  "CMakeFiles/lens_perf.dir/simulator.cpp.o.d"
+  "liblens_perf.a"
+  "liblens_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_runtime.dir/deployer.cpp.o"
+  "CMakeFiles/lens_runtime.dir/deployer.cpp.o.d"
+  "CMakeFiles/lens_runtime.dir/threshold.cpp.o"
+  "CMakeFiles/lens_runtime.dir/threshold.cpp.o.d"
+  "CMakeFiles/lens_runtime.dir/threshold_io.cpp.o"
+  "CMakeFiles/lens_runtime.dir/threshold_io.cpp.o.d"
+  "CMakeFiles/lens_runtime.dir/tracker.cpp.o"
+  "CMakeFiles/lens_runtime.dir/tracker.cpp.o.d"
+  "liblens_runtime.a"
+  "liblens_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_sim.dir/battery.cpp.o"
+  "CMakeFiles/lens_sim.dir/battery.cpp.o.d"
+  "CMakeFiles/lens_sim.dir/link.cpp.o"
+  "CMakeFiles/lens_sim.dir/link.cpp.o.d"
+  "CMakeFiles/lens_sim.dir/system.cpp.o"
+  "CMakeFiles/lens_sim.dir/system.cpp.o.d"
+  "CMakeFiles/lens_sim.dir/timeline.cpp.o"
+  "CMakeFiles/lens_sim.dir/timeline.cpp.o.d"
+  "liblens_sim.a"
+  "liblens_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens_viz.dir/ascii.cpp.o"
+  "CMakeFiles/lens_viz.dir/ascii.cpp.o.d"
+  "liblens_viz.a"
+  "liblens_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

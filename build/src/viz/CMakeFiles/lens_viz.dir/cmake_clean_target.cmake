@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblens_viz.a"
+)

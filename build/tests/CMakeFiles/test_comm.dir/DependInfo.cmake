@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_comm.dir/test_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/lens_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/lens_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lens_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/lens_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lens_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/lens_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lens_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/lens_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lens_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/lens_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

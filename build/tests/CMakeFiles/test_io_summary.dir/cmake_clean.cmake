@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_summary.dir/test_io_summary.cpp.o"
+  "CMakeFiles/test_io_summary.dir/test_io_summary.cpp.o.d"
+  "test_io_summary"
+  "test_io_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_extras.dir/test_nn_extras.cpp.o"
+  "CMakeFiles/test_nn_extras.dir/test_nn_extras.cpp.o.d"
+  "test_nn_extras"
+  "test_nn_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lens-cli.dir/lens_cli_main.cpp.o"
+  "CMakeFiles/lens-cli.dir/lens_cli_main.cpp.o.d"
+  "lens-cli"
+  "lens-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lens-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
