@@ -1,0 +1,87 @@
+// Scaling study of the lens::par evaluation layer: runs one fixed MOBO NAS
+// budget at 1/2/4/8 worker threads, reports wall-clock speedup, and checks
+// that every run is bit-identical to the 1-thread reference (the lens::par
+// determinism contract). Expected speedup at 4 threads on >=4 hardware
+// cores is >= 2.5x; on fewer cores the wall-clock columns flatten out but
+// the identity check still exercises the full parallel machinery.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+lens::core::NasResult run_budget(std::size_t threads) {
+  lens::par::set_max_threads(threads);
+  lens::perf::DeviceSimulator simulator(lens::perf::jetson_tx2_gpu());
+  lens::perf::SimulatorOracle oracle(simulator);
+  lens::comm::CommModel comm(lens::comm::WirelessTechnology::kWifi, 5.0);
+  lens::core::DeploymentEvaluator evaluator(oracle, comm);
+  lens::core::SearchSpace space;
+  lens::core::SurrogateAccuracyModel accuracy;
+
+  lens::core::NasConfig config;
+  config.mobo.num_initial = lens::bench::fast_mode() ? 12 : 24;
+  config.mobo.num_iterations = lens::bench::fast_mode() ? 8 : 24;
+  config.mobo.pool_size = 192;
+  config.mobo.seed = 3;
+  config.tu_mbps = 3.0;
+
+  lens::core::NasDriver driver(space, evaluator, accuracy, config);
+  return driver.run();
+}
+
+bool identical(const lens::core::NasResult& a, const lens::core::NasResult& b) {
+  if (a.history.size() != b.history.size()) return false;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    if (a.history[i].genotype != b.history[i].genotype) return false;
+    if (a.history[i].error_percent != b.history[i].error_percent) return false;
+    if (a.history[i].latency_ms != b.history[i].latency_ms) return false;
+    if (a.history[i].energy_mj != b.history[i].energy_mj) return false;
+  }
+  if (a.front.size() != b.front.size()) return false;
+  for (std::size_t i = 0; i < a.front.points().size(); ++i) {
+    if (a.front.points()[i].id != b.front.points()[i].id) return false;
+    if (a.front.points()[i].objectives != b.front.points()[i].objectives) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  lens::bench::heading("Parallel evaluation scaling (fixed MOBO NAS budget)");
+  std::printf("hardware threads: %zu\n\n", lens::par::hardware_threads());
+
+  lens::core::NasResult reference;
+  double t1_ms = 0.0;
+  std::printf("%8s %12s %9s %12s %12s\n", "threads", "wall(ms)", "speedup", "evals",
+              "identical");
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const auto start = std::chrono::steady_clock::now();
+    const lens::core::NasResult result = run_budget(threads);
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (threads == 1) {
+      reference = result;
+      t1_ms = ms;
+    }
+    const bool same = identical(reference, result);
+    std::printf("%8zu %12.1f %8.2fx %12zu %12s\n", threads, ms, t1_ms / ms,
+                result.history.size(), same ? "yes" : "NO");
+    if (!same) {
+      std::fprintf(stderr, "determinism violation at %zu threads\n", threads);
+      return 1;
+    }
+  }
+  lens::par::set_max_threads(0);
+  std::printf(
+      "\n(speedup saturates at the physical core count; the identity column\n"
+      " is the lens::par determinism contract: bit-identical NasResult —\n"
+      " history order, objective values, Pareto ids — at any thread count)\n");
+  return 0;
+}

@@ -14,12 +14,30 @@ Args Args::parse(int argc, const char* const* argv) {
   while (i < argc) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) != 0 || token.size() <= 2) {
-      throw std::invalid_argument("Args: expected --option, got '" + token + "'");
+      throw std::invalid_argument(args.context() + "expected --option, got '" + token + "'");
     }
-    const std::string key = token.substr(2);
-    // A following token that does not start with "--" is this option's
-    // value; otherwise the option is a boolean flag.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    std::string key;
+    if (eq == std::string::npos) {
+      key = body;
+    } else {
+      key = body.substr(0, eq);
+      if (key.empty()) {
+        throw std::invalid_argument(args.context() + "malformed option '" + token + "'");
+      }
+    }
+    if (args.options_.count(key) > 0) {
+      throw std::invalid_argument(args.context() + "duplicate option --" + key);
+    }
+    if (eq != std::string::npos) {
+      // --key=value: the only way to pass a value that itself starts with
+      // "--" (otherwise it would parse as the next option).
+      args.options_[key] = body.substr(eq + 1);
+      ++i;
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      // A following token that does not start with "--" is this option's
+      // value; otherwise the option is a boolean flag.
       args.options_[key] = argv[i + 1];
       i += 2;
     } else {
@@ -28,6 +46,10 @@ Args Args::parse(int argc, const char* const* argv) {
     }
   }
   return args;
+}
+
+std::string Args::context() const {
+  return command_.empty() ? "lens-cli: " : "lens-cli " + command_ + ": ";
 }
 
 std::string Args::get(const std::string& key, const std::string& fallback) const {
@@ -44,8 +66,8 @@ double Args::get_double(const std::string& key, double fallback) const {
     if (consumed != it->second.size()) throw std::invalid_argument("trailing junk");
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("Args: --" + key + " expects a number, got '" + it->second +
-                                "'");
+    throw std::invalid_argument(context() + "--" + key + " expects a number, got '" +
+                                it->second + "'");
   }
 }
 
@@ -58,7 +80,7 @@ int Args::get_int(const std::string& key, int fallback) const {
     if (consumed != it->second.size()) throw std::invalid_argument("trailing junk");
     return value;
   } catch (const std::exception&) {
-    throw std::invalid_argument("Args: --" + key + " expects an integer, got '" +
+    throw std::invalid_argument(context() + "--" + key + " expects an integer, got '" +
                                 it->second + "'");
   }
 }
@@ -68,14 +90,14 @@ bool Args::get_bool(const std::string& key, bool fallback) const {
   if (it == options_.end()) return fallback;
   if (it->second == "true" || it->second == "1" || it->second == "yes") return true;
   if (it->second == "false" || it->second == "0" || it->second == "no") return false;
-  throw std::invalid_argument("Args: --" + key + " expects a boolean, got '" + it->second +
-                              "'");
+  throw std::invalid_argument(context() + "--" + key + " expects a boolean, got '" +
+                              it->second + "'");
 }
 
 void Args::expect_known(const std::set<std::string>& allowed) const {
   for (const auto& [key, value] : options_) {
     if (allowed.count(key) == 0) {
-      throw std::invalid_argument("Args: unknown option --" + key);
+      throw std::invalid_argument(context() + "unknown option --" + key);
     }
   }
 }

@@ -1,9 +1,12 @@
 #pragma once
 // Minimal command-line argument parser for the lens-cli tool.
 //
-// Syntax: positional subcommand first, then --key value or --flag options.
-// Typed accessors validate and convert; unknown keys are detected so typos
-// fail loudly instead of silently using defaults.
+// Syntax: positional subcommand first, then --key value, --key=value, or
+// --flag options. --key=value is the escape hatch for values that start
+// with "--" themselves. Duplicate options are rejected (no silent
+// last-wins), typed accessors validate and convert, and unknown keys are
+// detected so typos fail loudly instead of silently using defaults. Error
+// messages name the subcommand being parsed.
 
 #include <map>
 #include <set>
@@ -17,7 +20,7 @@ class Args {
  public:
   /// Parse argv-style input (argv[0] is skipped). Throws
   /// std::invalid_argument on malformed input (option without value,
-  /// value without option).
+  /// value without option, duplicate option).
   static Args parse(int argc, const char* const* argv);
 
   /// The leading positional token ("" when none).
@@ -38,6 +41,9 @@ class Args {
   void expect_known(const std::set<std::string>& allowed) const;
 
  private:
+  /// Error-message prefix naming the subcommand, e.g. "lens-cli search: ".
+  std::string context() const;
+
   std::string command_;
   std::map<std::string, std::string> options_;
 };

@@ -8,6 +8,7 @@
 #include "core/nas.hpp"
 #include "dnn/presets.hpp"
 #include "dnn/summary.hpp"
+#include "par/runtime.hpp"
 #include "perf/predictor.hpp"
 #include "runtime/deployer.hpp"
 #include "runtime/threshold_io.hpp"
@@ -57,7 +58,7 @@ struct Rig {
 }  // namespace
 
 int cmd_evaluate(const Args& args) {
-  args.expect_known({"arch", "tu", "tech", "rtt", "device", "summary"});
+  args.expect_known({"arch", "tu", "tech", "rtt", "device", "summary", "threads"});
   Rig rig = Rig::from_args(args);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const double tu = args.get_double("tu", 3.0);
@@ -81,7 +82,7 @@ int cmd_evaluate(const Args& args) {
 
 int cmd_search(const Args& args) {
   args.expect_known({"iterations", "initial", "tu", "tech", "rtt", "device", "seed", "mode",
-                     "strategy", "out", "front-out", "resume"});
+                     "strategy", "out", "front-out", "resume", "threads"});
   Rig rig = Rig::from_args(args);
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
   const core::SearchSpace space;
@@ -140,7 +141,7 @@ int cmd_search(const Args& args) {
 }
 
 int cmd_thresholds(const Args& args) {
-  args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "save"});
+  args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "save", "threads"});
   Rig rig = Rig::from_args(args);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
@@ -177,7 +178,7 @@ int cmd_thresholds(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   args.expect_known({"arch", "tech", "rtt", "device", "rate", "duration", "policy", "tu",
-                     "deadline"});
+                     "deadline", "threads"});
   Rig rig = Rig::from_args(args);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
@@ -244,12 +245,23 @@ int cmd_help() {
       "  simulate    serving simulation under Poisson load\n"
       "              --rate HZ --duration S --policy queue-aware|dynamic|\n"
       "              best-latency|all-edge [--deadline MS]\n"
-      "  help        this text\n");
+      "  help        this text\n\n"
+      "global options:\n"
+      "  --threads N   worker threads for parallel evaluation (default:\n"
+      "                LENS_THREADS env, else all hardware threads);\n"
+      "                results are bit-identical for any thread count\n");
   return 0;
 }
 
 int run_command(const Args& args) {
   try {
+    // Worker budget for the lens::par pool: --threads beats LENS_THREADS
+    // beats hardware detection. Results are identical for any setting.
+    if (args.has("threads")) {
+      const int threads = args.get_int("threads", 0);
+      if (threads < 1) throw std::invalid_argument("--threads expects a positive integer");
+      par::set_max_threads(static_cast<std::size_t>(threads));
+    }
     const std::string& command = args.command();
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "search") return cmd_search(args);

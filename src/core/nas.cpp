@@ -1,29 +1,77 @@
 #include "core/nas.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "par/parallel.hpp"
 
 namespace lens::core {
+
+std::size_t GenotypeHash::operator()(const Genotype& genotype) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int v : genotype) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
 
 NasDriver::NasDriver(const SearchSpace& space, const DeploymentEvaluator& evaluator,
                      const AccuracyModel& accuracy, NasConfig config)
     : space_(space), evaluator_(evaluator), accuracy_(accuracy), config_(config) {}
 
-NasResult NasDriver::run() {
-  NasResult result;
+std::vector<std::vector<double>> NasDriver::evaluate_batch(
+    const std::vector<std::vector<double>>& xs, NasResult& result) {
+  std::vector<Genotype> genotypes;
+  genotypes.reserve(xs.size());
+  for (const std::vector<double>& x : xs) genotypes.push_back(space_.from_normalized(x));
 
-  auto sampler = [this](std::mt19937_64& rng) {
-    return space_.to_normalized(space_.random(rng));
+  // Genotypes not yet memoized, de-duplicated, in first-appearance order.
+  std::vector<Genotype> missing;
+  {
+    std::unordered_set<Genotype, GenotypeHash> scheduled;
+    for (const Genotype& genotype : genotypes) {
+      if (cache_.count(genotype) > 0 || scheduled.count(genotype) > 0) continue;
+      scheduled.insert(genotype);
+      missing.push_back(genotype);
+    }
+  }
+
+  // Algorithm 1 is a pure function of (genotype, t_u): fan the uncached
+  // evaluations out over the pool. Architecture lacks a default
+  // constructor, hence the optional slot.
+  struct Fresh {
+    std::optional<dnn::Architecture> arch;
+    DeploymentEvaluation deployment;
   };
+  std::vector<Fresh> fresh = par::parallel_map(missing.size(), [&](std::size_t i) {
+    Fresh f;
+    f.arch.emplace(space_.decode(missing[i]));
+    f.deployment = evaluator_.evaluate(*f.arch, config_.tu_mbps);
+    return f;
+  });
+  // The accuracy model is not required to be thread-safe (e.g.
+  // CachedAccuracyModel, TrainedAccuracyEvaluator): query it serially.
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    CacheEntry entry;
+    entry.name = fresh[i].arch->name();
+    entry.error_percent = accuracy_.test_error_percent(missing[i], *fresh[i].arch);
+    entry.deployment = std::move(fresh[i].deployment);
+    cache_.emplace(std::move(missing[i]), std::move(entry));
+  }
+  cache_hits_ += genotypes.size() - fresh.size();
 
-  auto objectives = [this, &result](const std::vector<double>& x) {
-    const Genotype genotype = space_.from_normalized(x);
-    const dnn::Architecture arch = space_.decode(genotype);
-
+  std::vector<std::vector<double>> ys;
+  ys.reserve(genotypes.size());
+  for (Genotype& genotype : genotypes) {
+    const CacheEntry& entry = cache_.at(genotype);
     EvaluatedCandidate candidate;
-    candidate.genotype = genotype;
-    candidate.name = arch.name();
-    candidate.deployment = evaluator_.evaluate(arch, config_.tu_mbps);
-    candidate.error_percent = accuracy_.test_error_percent(genotype, arch);
+    candidate.genotype = std::move(genotype);
+    candidate.name = entry.name;
+    candidate.deployment = entry.deployment;
+    candidate.error_percent = entry.error_percent;
     switch (config_.mode) {
       case ObjectiveMode::kBestDeployment:
         candidate.latency_ms = candidate.deployment.best_latency_ms();
@@ -36,22 +84,44 @@ NasResult NasDriver::run() {
         break;
       }
     }
-    result.history.push_back(candidate);
-    return candidate.objectives();
+    ys.push_back(candidate.objectives());
+    result.history.push_back(std::move(candidate));
+  }
+  return ys;
+}
+
+NasResult NasDriver::run() {
+  NasResult result;
+  const std::size_t hits_before = cache_hits_;
+
+  auto sampler = [this](std::mt19937_64& rng) {
+    return space_.to_normalized(space_.random(rng));
+  };
+  auto batch_objectives = [this, &result](const std::vector<std::vector<double>>& xs) {
+    return evaluate_batch(xs, result);
+  };
+  auto objectives = [&batch_objectives](const std::vector<double>& x) {
+    return batch_objectives({x}).front();
   };
 
   switch (config_.strategy) {
     case SearchStrategy::kMobo: {
       opt::MoboEngine engine(config_.mobo, kNumObjectives, sampler, objectives);
+      engine.set_batch_objectives(batch_objectives);
       if (!config_.warm_start.empty()) {
-        std::vector<opt::Observation> seeds;
-        seeds.reserve(config_.warm_start.size());
+        std::vector<std::vector<double>> seed_xs;
+        seed_xs.reserve(config_.warm_start.size());
         for (const Genotype& genotype : config_.warm_start) {
           if (!space_.is_valid(genotype)) {
             throw std::invalid_argument("NasDriver: invalid warm-start genotype");
           }
-          const std::vector<double> x = space_.to_normalized(genotype);
-          seeds.push_back({x, objectives(x)});
+          seed_xs.push_back(space_.to_normalized(genotype));
+        }
+        const std::vector<std::vector<double>> seed_ys = batch_objectives(seed_xs);
+        std::vector<opt::Observation> seeds;
+        seeds.reserve(seed_xs.size());
+        for (std::size_t i = 0; i < seed_xs.size(); ++i) {
+          seeds.push_back({seed_xs[i], seed_ys[i]});
         }
         engine.seed_observations(seeds);
       }
@@ -64,14 +134,20 @@ NasResult NasDriver::run() {
       };
       opt::Nsga2Engine engine(config_.nsga2, kNumObjectives, sampler, objectives,
                               validator);
+      engine.set_batch_objectives(batch_objectives);
       engine.run();
       break;
     }
     case SearchStrategy::kRandom: {
       // Same total budget as the MOBO configuration, pure random sampling.
+      // Sampling only touches the RNG, so the whole budget is drawn up
+      // front and evaluated as one (parallel) batch.
       std::mt19937_64 rng(config_.mobo.seed);
       const std::size_t budget = config_.mobo.num_initial + config_.mobo.num_iterations;
-      for (std::size_t i = 0; i < budget; ++i) objectives(sampler(rng));
+      std::vector<std::vector<double>> xs;
+      xs.reserve(budget);
+      for (std::size_t i = 0; i < budget; ++i) xs.push_back(sampler(rng));
+      batch_objectives(xs);
       break;
     }
   }
@@ -80,6 +156,8 @@ NasResult NasDriver::run() {
   for (std::size_t i = 0; i < result.history.size(); ++i) {
     result.front.insert(i, result.history[i].objectives());
   }
+  result.cache_hits = cache_hits_ - hits_before;
+  result.unique_evaluations = result.history.size() - result.cache_hits;
   return result;
 }
 

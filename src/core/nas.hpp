@@ -9,6 +9,8 @@
 //    the candidate is scored as if it always runs entirely on the edge.
 //    (Its Pareto set can be partitioned *post hoc*; see analysis.hpp.)
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/accuracy.hpp"
@@ -68,14 +70,30 @@ struct EvaluatedCandidate {
   }
 };
 
+/// FNV-1a over the genotype entries; keys the driver's memoizing
+/// evaluation cache (Algorithm-1 results are deterministic per
+/// (genotype, t_u), so re-visited genotypes are served from cache).
+struct GenotypeHash {
+  std::size_t operator()(const Genotype& genotype) const noexcept;
+};
+
 /// Search outcome: every explored candidate plus the 3-objective Pareto
 /// front (ParetoPoint::id indexes `history`).
 struct NasResult {
   std::vector<EvaluatedCandidate> history;
   opt::ParetoFront front;
+  /// History entries served from the memoizing evaluation cache (duplicate
+  /// genotypes the search re-visited) vs evaluated fresh.
+  std::size_t cache_hits = 0;
+  std::size_t unique_evaluations = 0;
 };
 
 /// Runs Algorithm 2 over a search space with the configured objective mode.
+///
+/// Batch evaluations (MOBO warm-up, NSGA-II generations, random search) fan
+/// Algorithm-1 out over the lens::par pool; the accuracy model is always
+/// queried serially in history order, so it need not be thread-safe. With a
+/// fixed config the result is bit-identical for any thread count.
 class NasDriver {
  public:
   NasDriver(const SearchSpace& space, const DeploymentEvaluator& evaluator,
@@ -85,10 +103,25 @@ class NasDriver {
   NasResult run();
 
  private:
+  /// Fully evaluated genotype, memoized across the search.
+  struct CacheEntry {
+    std::string name;
+    DeploymentEvaluation deployment;
+    double error_percent = 0.0;
+  };
+
+  /// Evaluate a batch of normalized design points (uncached genotypes in
+  /// parallel), append one history record per input in input order, and
+  /// return the objective vectors.
+  std::vector<std::vector<double>> evaluate_batch(const std::vector<std::vector<double>>& xs,
+                                                  NasResult& result);
+
   const SearchSpace& space_;
   const DeploymentEvaluator& evaluator_;
   const AccuracyModel& accuracy_;
   NasConfig config_;
+  std::unordered_map<Genotype, CacheEntry, GenotypeHash> cache_;
+  std::size_t cache_hits_ = 0;
 };
 
 }  // namespace lens::core

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
+
 namespace lens::opt {
 
 std::size_t select_candidate(const std::vector<GaussianProcess>& gps,
@@ -15,7 +17,10 @@ std::size_t select_candidate(const std::vector<GaussianProcess>& gps,
   const std::size_t num_objectives = gps.size();
   const std::size_t pool_size = pool.size();
 
-  // One objective-value estimate per (objective, candidate).
+  // One objective-value estimate per (objective, candidate). Per-candidate
+  // predictions are pure and write distinct slots, so the pool is scored in
+  // parallel; the Thompson path consumes `rng` serially up front inside
+  // sample_at, keeping results identical for any thread count.
   std::vector<std::vector<double>> sampled(num_objectives);
   for (std::size_t k = 0; k < num_objectives; ++k) {
     switch (config.kind) {
@@ -24,15 +29,16 @@ std::size_t select_candidate(const std::vector<GaussianProcess>& gps,
         break;
       case AcquisitionKind::kMeanScalarized: {
         sampled[k].resize(pool_size);
-        for (std::size_t i = 0; i < pool_size; ++i) sampled[k][i] = gps[k].predict(pool[i]).mean;
+        par::parallel_for(pool_size,
+                          [&](std::size_t i) { sampled[k][i] = gps[k].predict(pool[i]).mean; });
         break;
       }
       case AcquisitionKind::kLowerConfidenceBound: {
         sampled[k].resize(pool_size);
-        for (std::size_t i = 0; i < pool_size; ++i) {
+        par::parallel_for(pool_size, [&](std::size_t i) {
           const auto p = gps[k].predict(pool[i]);
           sampled[k][i] = p.mean - config.lcb_beta * std::sqrt(p.variance);
-        }
+        });
         break;
       }
     }

@@ -6,6 +6,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "par/parallel.hpp"
+
 namespace lens::opt {
 
 GaussianProcess::GaussianProcess(GpConfig config)
@@ -59,33 +61,57 @@ void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double
   // Grid search over hyper-parameters by log marginal likelihood. The grid
   // is small by design: genotypes live in [0,1]^d so length scales beyond a
   // few units make the GP a constant, and normalized targets pin the signal
-  // variance near 1.
+  // variance near 1. Each grid point needs its own Gram factorization —
+  // independent work, scored in parallel with an argmax over the fixed grid
+  // order, so the winner is the same for any thread count.
   static constexpr double kLengthScales[] = {0.1, 0.2, 0.4, 0.8, 1.6, 3.2};
   static constexpr double kSignalVariances[] = {0.5, 1.0, 2.0};
   static constexpr double kNoiseVariances[] = {1e-4, 1e-3, 1e-2, 1e-1};
 
-  double best = -std::numeric_limits<double>::infinity();
-  double best_l = config_.length_scale;
-  double best_s = config_.signal_variance;
-  double best_n = config_.noise_variance;
+  struct GridPoint {
+    double signal, length, noise;
+  };
+  std::vector<GridPoint> grid;
   for (double l : kLengthScales) {
     for (double s : kSignalVariances) {
-      for (double n : kNoiseVariances) {
-        const double lml = try_fit(s, l, n);
-        if (lml > best) {
-          best = lml;
-          best_l = l;
-          best_s = s;
-          best_n = n;
-        }
-      }
+      for (double n : kNoiseVariances) grid.push_back({s, l, n});
+    }
+  }
+  const std::vector<double> lmls = par::parallel_map(grid.size(), [&](std::size_t i) {
+    return grid_log_marginal_likelihood(grid[i].signal, grid[i].length, grid[i].noise);
+  });
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < lmls.size(); ++i) {
+    if (lmls[i] > best) {
+      best = lmls[i];
+      best_index = i;
     }
   }
   if (!std::isfinite(best)) {
     throw std::domain_error("GaussianProcess::fit: no usable hyper-parameters");
   }
-  // Re-fit with the winner so the cached factorization matches.
-  try_fit(best_s, best_l, best_n);
+  // Fit with the winner so the cached factorization matches.
+  try_fit(grid[best_index].signal, grid[best_index].length, grid[best_index].noise);
+}
+
+double GaussianProcess::grid_log_marginal_likelihood(double signal_variance,
+                                                     double length_scale,
+                                                     double noise_variance) const {
+  const auto kernel = make_kernel(signal_variance, length_scale);
+  Matrix k = kernel->gram(x_);
+  k.add_diagonal(noise_variance + 1e-9);
+  Matrix l;
+  try {
+    l = cholesky(k);
+  } catch (const std::domain_error&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const std::vector<double> alpha = cholesky_solve(l, y_normalized_);
+  const double n = static_cast<double>(x_.size());
+  const double lml = -0.5 * dot(y_normalized_, alpha) - 0.5 * log_det_from_cholesky(l) -
+                     0.5 * n * std::log(2.0 * std::numbers::pi);
+  return std::isfinite(lml) ? lml : -std::numeric_limits<double>::infinity();
 }
 
 double GaussianProcess::try_fit(double signal_variance, double length_scale,
@@ -146,23 +172,26 @@ std::vector<double> GaussianProcess::sample_at(
     return out;
   }
 
-  // Posterior mean and covariance over the query block.
+  // Posterior mean and covariance over the query block. Each query point's
+  // cross-covariance solve and each covariance row touch only their own
+  // slots, so both loops parallelize without changing a single bit (the RNG
+  // draw above already consumed the generator serially).
   std::vector<std::vector<double>> vs(m);  // V = L^{-1} K_{train,query} columns
   std::vector<double> mean(m);
-  for (std::size_t i = 0; i < m; ++i) {
+  par::parallel_for(m, [&](std::size_t i) {
     const std::vector<double> k_star = kernel_->cross(x_, xs[i]);
     mean[i] = dot(k_star, alpha_);
     vs[i] = solve_lower(chol_, k_star);
-  }
+  });
   Matrix cov(m, m);
-  for (std::size_t i = 0; i < m; ++i) {
+  par::parallel_for(m, [&](std::size_t i) {
     for (std::size_t j = i; j < m; ++j) {
       const double kij = (*kernel_)(xs[i], xs[j]);
       const double v = kij - dot(vs[i], vs[j]);
       cov(i, j) = v;
       cov(j, i) = v;
     }
-  }
+  });
   // Jitter escalation: posterior covariances of near-duplicate query points
   // are frequently semi-definite.
   Matrix l;

@@ -74,6 +74,10 @@ class GaussianProcess {
   /// Fit internals for a specific hyper-parameter triple; returns LML or
   /// -inf when the Gram matrix is numerically unusable.
   double try_fit(double signal_variance, double length_scale, double noise_variance);
+  /// Side-effect-free LML of a hyper-parameter triple (the grid-search
+  /// scoring kernel; safe to call from parallel workers).
+  double grid_log_marginal_likelihood(double signal_variance, double length_scale,
+                                      double noise_variance) const;
 
   GpConfig config_;
   std::unique_ptr<Kernel> kernel_;

@@ -31,6 +31,26 @@ void MoboEngine::evaluate_and_record(const std::vector<double>& x) {
   if (progress_) progress_(history_.size() - 1, history_.back());
 }
 
+void MoboEngine::evaluate_batch(const std::vector<std::vector<double>>& xs) {
+  if (!batch_objectives_) {
+    for (const std::vector<double>& x : xs) evaluate_and_record(x);
+    return;
+  }
+  std::vector<std::vector<double>> ys = batch_objectives_(xs);
+  if (ys.size() != xs.size()) {
+    throw std::runtime_error("MoboEngine: batch objective callback returned wrong count");
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i].size() != num_objectives_) {
+      throw std::runtime_error("MoboEngine: objective callback returned wrong arity");
+    }
+    normalizer_.observe(ys[i]);
+    front_.insert(history_.size(), ys[i]);
+    history_.push_back({xs[i], std::move(ys[i])});
+    if (progress_) progress_(history_.size() - 1, history_.back());
+  }
+}
+
 void MoboEngine::refit_models(bool tune_hyperparameters) {
   std::vector<std::vector<double>> xs;
   xs.reserve(history_.size());
@@ -87,16 +107,27 @@ void MoboEngine::seed_observations(const std::vector<Observation>& observations)
 }
 
 void MoboEngine::step(std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
+  while (n > 0) {
     if (evaluations_done_ < config_.num_initial) {
-      evaluate_and_record(sampler_(rng_));
+      // Warm-up: the sampler only touches the engine RNG and the objectives
+      // never do, so drawing the whole batch up front consumes the generator
+      // in exactly the serial order — then the batch callback may evaluate
+      // the points in parallel.
+      const std::size_t batch = std::min(n, config_.num_initial - evaluations_done_);
+      std::vector<std::vector<double>> xs;
+      xs.reserve(batch);
+      for (std::size_t i = 0; i < batch; ++i) xs.push_back(sampler_(rng_));
+      evaluate_batch(xs);
+      evaluations_done_ += batch;
+      n -= batch;
     } else {
       const bool tune = !models_ready_ || iterations_since_refit_ >= config_.refit_period;
       refit_models(tune);
       iterations_since_refit_ = tune ? 0 : iterations_since_refit_ + 1;
       evaluate_and_record(propose_next());
+      ++evaluations_done_;
+      --n;
     }
-    ++evaluations_done_;
   }
 }
 

@@ -43,6 +43,11 @@ class MoboEngine {
   using Sampler = std::function<std::vector<double>(std::mt19937_64&)>;
   /// Evaluate the K objectives at an encoded design point.
   using Objectives = std::function<std::vector<double>(const std::vector<double>&)>;
+  /// Evaluate a batch of design points at once, returning one objective
+  /// vector per input in input order. Lets the caller fan the warm-up
+  /// evaluations out over a thread pool (see core::NasDriver).
+  using BatchObjectives = std::function<std::vector<std::vector<double>>(
+      const std::vector<std::vector<double>>&)>;
   /// Optional progress hook: (0-based evaluation index, observation).
   using ProgressHook = std::function<void(std::size_t, const Observation&)>;
 
@@ -68,8 +73,18 @@ class MoboEngine {
   std::size_t num_objectives() const { return num_objectives_; }
   void set_progress_hook(ProgressHook hook) { progress_ = std::move(hook); }
 
+  /// Install a batch evaluator used for the random warm-up phase (BO
+  /// iterations are inherently sequential). Warm-up design points are still
+  /// drawn serially from the engine RNG, so history is bit-identical to the
+  /// point-at-a-time path as long as the batch callback returns the same
+  /// values the scalar callback would.
+  void set_batch_objectives(BatchObjectives batch) { batch_objectives_ = std::move(batch); }
+
  private:
   void evaluate_and_record(const std::vector<double>& x);
+  /// Evaluate a batch (via batch_objectives_ when installed, else one by
+  /// one) and record results in input order.
+  void evaluate_batch(const std::vector<std::vector<double>>& xs);
   void refit_models(bool tune_hyperparameters);
   std::vector<double> propose_next();
 
@@ -77,6 +92,7 @@ class MoboEngine {
   std::size_t num_objectives_;
   Sampler sampler_;
   Objectives objectives_;
+  BatchObjectives batch_objectives_;
   ProgressHook progress_;
 
   std::mt19937_64 rng_;

@@ -34,6 +34,32 @@ Nsga2Engine::Individual Nsga2Engine::evaluate(std::vector<double> x) {
   return ind;
 }
 
+std::vector<Nsga2Engine::Individual> Nsga2Engine::evaluate_batch(
+    std::vector<std::vector<double>> xs) {
+  std::vector<Individual> out;
+  out.reserve(xs.size());
+  if (!batch_objectives_) {
+    for (std::vector<double>& x : xs) out.push_back(evaluate(std::move(x)));
+    return out;
+  }
+  std::vector<std::vector<double>> ys = batch_objectives_(xs);
+  if (ys.size() != xs.size()) {
+    throw std::runtime_error("Nsga2Engine: batch objective callback returned wrong count");
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i].size() != num_objectives_) {
+      throw std::runtime_error("Nsga2Engine: objective callback returned wrong arity");
+    }
+    Individual ind;
+    ind.x = std::move(xs[i]);
+    ind.objectives = std::move(ys[i]);
+    front_.insert(history_.size(), ind.objectives);
+    history_.push_back({ind.x, ind.objectives});
+    out.push_back(std::move(ind));
+  }
+  return out;
+}
+
 void Nsga2Engine::assign_ranks(std::vector<Individual>& population) {
   const std::size_t n = population.size();
   std::vector<std::size_t> domination_count(n, 0);
@@ -143,18 +169,25 @@ std::vector<Nsga2Engine::Individual> Nsga2Engine::select(std::vector<Individual>
 }
 
 void Nsga2Engine::run() {
-  std::vector<Individual> population;
-  population.reserve(config_.population);
-  for (std::size_t i = 0; i < config_.population; ++i) {
-    population.push_back(evaluate(sampler_(rng_)));
-  }
+  // Breeding consumes the engine RNG, evaluation never does — so each
+  // generation is bred serially first, then scored as one batch (which the
+  // batch callback may parallelize) with results recorded in breeding order.
+  std::vector<std::vector<double>> seeds;
+  seeds.reserve(config_.population);
+  for (std::size_t i = 0; i < config_.population; ++i) seeds.push_back(sampler_(rng_));
+  std::vector<Individual> population = evaluate_batch(std::move(seeds));
   assign_ranks(population);
   assign_crowding(population);
 
   for (std::size_t generation = 0; generation < config_.generations; ++generation) {
-    std::vector<Individual> merged = population;
+    std::vector<std::vector<double>> offspring;
+    offspring.reserve(config_.population);
     for (std::size_t i = 0; i < config_.population; ++i) {
-      merged.push_back(evaluate(make_offspring(population)));
+      offspring.push_back(make_offspring(population));
+    }
+    std::vector<Individual> merged = population;
+    for (Individual& child : evaluate_batch(std::move(offspring))) {
+      merged.push_back(std::move(child));
     }
     population = select(std::move(merged), config_.population);
   }

@@ -34,6 +34,8 @@ class Nsga2Engine {
  public:
   using Sampler = std::function<std::vector<double>(std::mt19937_64&)>;
   using Objectives = std::function<std::vector<double>(const std::vector<double>&)>;
+  /// Batch evaluator with the same contract as MoboEngine::BatchObjectives.
+  using BatchObjectives = MoboEngine::BatchObjectives;
   /// Optional feasibility predicate for offspring (e.g. the >=4-pools
   /// constraint); when absent, all offspring are considered valid.
   using Validator = std::function<bool(const std::vector<double>&)>;
@@ -43,6 +45,11 @@ class Nsga2Engine {
 
   /// Run all generations. Total evaluations = population * (generations+1).
   void run();
+
+  /// Install a batch evaluator. Whole generations are evaluated at once:
+  /// offspring are bred serially from the engine RNG first, then scored as
+  /// one batch, so history is bit-identical to the scalar path.
+  void set_batch_objectives(BatchObjectives batch) { batch_objectives_ = std::move(batch); }
 
   const std::vector<Observation>& history() const { return history_; }
   const ParetoFront& front() const { return front_; }
@@ -56,6 +63,9 @@ class Nsga2Engine {
   };
 
   Individual evaluate(std::vector<double> x);
+  /// Evaluate a batch of design points (via batch_objectives_ when
+  /// installed) and record them into history in input order.
+  std::vector<Individual> evaluate_batch(std::vector<std::vector<double>> xs);
   std::vector<double> make_offspring(const std::vector<Individual>& parents);
   const Individual& tournament(const std::vector<Individual>& population);
   static void assign_ranks(std::vector<Individual>& population);
@@ -67,6 +77,7 @@ class Nsga2Engine {
   std::size_t num_objectives_;
   Sampler sampler_;
   Objectives objectives_;
+  BatchObjectives batch_objectives_;
   Validator validator_;
   std::mt19937_64 rng_;
   std::vector<Observation> history_;

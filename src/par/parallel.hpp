@@ -1,0 +1,102 @@
+#pragma once
+// Deterministic data-parallel primitives.
+//
+// Determinism contract: for a fixed input, parallel_for / parallel_map
+// produce bit-identical results for ANY thread count (including 1), because
+//  - the index space is statically partitioned into contiguous chunks,
+//  - every index writes only its own output slot (no shared accumulators),
+//  - reductions are the caller's job and must run serially in index order.
+// Callables therefore must be pure per index: no mutation of shared state,
+// no RNG draws from a shared generator (derive per-index generators as
+// `seed ^ index` instead — see perf/predictor.cpp).
+//
+// Exception contract: if any index throws, the exception from the
+// lowest-numbered failing chunk is rethrown on the caller's thread after
+// all chunks finished (same exception a serial loop would surface first).
+//
+// Serial fallback: a 1-thread pool, a trivial index space, or a call from
+// inside a pool worker (nested parallelism) runs the loop inline.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "par/runtime.hpp"
+#include "par/thread_pool.hpp"
+
+namespace lens::par {
+
+/// Apply fn(i) for i in [0, n) using the given pool.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(pool.size(), n);
+  if (chunks <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(chunks);
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t remaining = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    pool.submit([&, c, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --remaining;
+      }
+      all_done.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [&] { return remaining == 0; });
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+/// parallel_for on the shared global pool.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  parallel_for(global_pool(), n, fn);
+}
+
+/// Ordered map: out[i] = fn(i). The result type must be default
+/// constructible (slots are pre-allocated, then assigned in parallel).
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// parallel_map on the shared global pool.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn) -> std::vector<decltype(fn(std::size_t{0}))> {
+  return parallel_map(global_pool(), n, fn);
+}
+
+/// Ordered map over a container: out[i] = fn(items[i]).
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn&& fn)
+    -> std::vector<decltype(fn(items.front()))> {
+  return parallel_map(global_pool(), items.size(),
+                      [&](std::size_t i) { return fn(items[i]); });
+}
+
+}  // namespace lens::par

@@ -1,0 +1,50 @@
+#pragma once
+// Fixed-size worker pool underpinning lens::par::parallel_for /
+// parallel_map (see parallel.hpp for the determinism contract).
+//
+// Semantics:
+//  - submit() enqueues a task; tasks run FIFO on the first free worker.
+//  - The destructor stops accepting new work, DRAINS every already-queued
+//    task, then joins — accepted work is never dropped on shutdown.
+//  - on_worker_thread() lets nested parallel sections detect that they are
+//    already inside the pool and fall back to inline execution instead of
+//    deadlocking waiting for workers they themselves occupy.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lens::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Throws std::runtime_error once shutdown has begun.
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this process's pool workers.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lens::par

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "par/parallel.hpp"
+
 namespace lens::perf {
 
 LayerProfiler::LayerProfiler(const DeviceSimulator& simulator, ProfilerConfig config)
@@ -62,11 +64,22 @@ std::pair<dnn::LayerSpec, dnn::TensorShape> LayerProfiler::random_config(dnn::La
 }
 
 std::vector<ProfiledSample> LayerProfiler::profile_kind(dnn::LayerKind kind) {
-  std::vector<ProfiledSample> samples;
-  samples.reserve(config_.samples_per_kind);
+  // Configuration sampling consumes the profiler RNG and must stay serial;
+  // the simulated measurements are pure per configuration and fan out over
+  // the pool, written back in draw order.
+  std::vector<std::pair<dnn::LayerSpec, dnn::TensorShape>> configs;
+  configs.reserve(config_.samples_per_kind);
   for (std::size_t i = 0; i < config_.samples_per_kind; ++i) {
-    auto [layer, input] = random_config(kind);
-    samples.push_back({layer, input, simulator_.measure(layer, input)});
+    configs.push_back(random_config(kind));
+  }
+  const std::vector<LayerMeasurement> measurements =
+      par::parallel_map(configs.size(), [&](std::size_t i) {
+        return simulator_.measure(configs[i].first, configs[i].second);
+      });
+  std::vector<ProfiledSample> samples;
+  samples.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    samples.push_back({configs[i].first, configs[i].second, measurements[i]});
   }
   return samples;
 }

@@ -60,6 +60,39 @@ TEST(Args, ExpectKnownCatchesTypos) {
   EXPECT_NO_THROW(args.expect_known({"iterashuns"}));
 }
 
+TEST(Args, DuplicateOptionThrows) {
+  EXPECT_THROW(parse({"search", "--tu", "3", "--tu", "5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"search", "--tu=3", "--tu", "5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"x", "--flag", "--flag"}), std::invalid_argument);
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args args = parse({"search", "--tu=3.5", "--out=--dashes.csv", "--note="});
+  EXPECT_DOUBLE_EQ(args.get_double("tu", 0.0), 3.5);
+  // A value that itself starts with "--" survives via --key=value (the old
+  // two-token form would have swallowed it as a boolean flag).
+  EXPECT_EQ(args.get("out"), "--dashes.csv");
+  EXPECT_EQ(args.get("note", "unset"), "");
+  EXPECT_THROW(parse({"x", "--=value"}), std::invalid_argument);
+}
+
+TEST(Args, ErrorMessagesNameTheCommand) {
+  const Args args = parse({"search", "--iterations", "abc", "--tu", "fast"});
+  try {
+    args.get_int("iterations", 0);
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("search"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("--iterations"), std::string::npos) << e.what();
+  }
+  try {
+    args.get_double("tu", 0.0);
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("search"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Commands, HelpAndUnknown) {
   EXPECT_EQ(run_command(parse({"help"})), 0);
   EXPECT_EQ(run_command(parse({})), 0);
@@ -78,6 +111,12 @@ TEST(Commands, BadOptionValueIsUserError) {
 
 TEST(Commands, EvaluateRuns) {
   EXPECT_EQ(run_command(parse({"evaluate", "--arch", "alexnet", "--tu", "16.1"})), 0);
+}
+
+TEST(Commands, ThreadsFlagIsAcceptedEverywhereAndValidated) {
+  EXPECT_EQ(run_command(parse({"evaluate", "--arch", "alexnet", "--threads", "2"})), 0);
+  EXPECT_EQ(run_command(parse({"evaluate", "--threads", "0"})), 1);
+  EXPECT_EQ(run_command(parse({"evaluate", "--threads", "nope"})), 1);
 }
 
 TEST(Commands, ThresholdsRuns) {

@@ -1,0 +1,203 @@
+// Tests for the lens::par threading layer: pool lifecycle, the
+// parallel_for/parallel_map determinism + exception contracts, and the
+// end-to-end guarantee that a NAS search is bit-identical at 1 vs 4 threads
+// for every SearchStrategy.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/nas.hpp"
+#include "par/parallel.hpp"
+#include "par/runtime.hpp"
+#include "par/thread_pool.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  par::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      if (count.fetch_add(1) + 1 == 16) done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(done.wait_for(lock, std::chrono::seconds(10), [&] { return count == 16; }));
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  std::atomic<int> completed{0};
+  {
+    par::ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++completed;
+      });
+    }
+    // Destructor runs with most tasks still queued.
+  }
+  EXPECT_EQ(completed, 32);
+}
+
+TEST(ThreadPool, SizeClampsToAtLeastOneWorker) {
+  par::ThreadPool clamped(0);
+  EXPECT_EQ(clamped.size(), 1u);
+  std::atomic<bool> ran{false};
+  clamped.submit([&] { ran = true; });
+  for (int spins = 0; !ran && spins < 5000; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  par::ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 3u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    par::parallel_for(pool, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelMap, OrderedResultsMatchSerial) {
+  par::ThreadPool pool(4);
+  const std::vector<double> out =
+      par::parallel_map(pool, 257, [](std::size_t i) { return 1.0 / (1.0 + i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 1.0 / (1.0 + i));  // bitwise, not approximate
+  }
+}
+
+TEST(ParallelMap, PropagatesExceptions) {
+  par::ThreadPool pool(4);
+  EXPECT_THROW(par::parallel_map(pool, 64,
+                                 [](std::size_t i) -> int {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                   return static_cast<int>(i);
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed section and keeps working.
+  const std::vector<int> ok =
+      par::parallel_map(pool, 8, [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(ok[7], 7);
+}
+
+TEST(ParallelFor, RethrowsLowestChunkError) {
+  par::ThreadPool pool(4);
+  try {
+    par::parallel_for(pool, 100, [](std::size_t i) {
+      if (i == 10) throw std::runtime_error("first");
+      if (i == 90) throw std::logic_error("last");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");  // lowest failing chunk wins
+  }
+}
+
+TEST(ParallelFor, NestedSectionsRunInline) {
+  par::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  par::parallel_for(pool, 8, [&](std::size_t outer) {
+    // Inside a worker: the nested loop must fall back to inline execution
+    // instead of deadlocking on the occupied pool.
+    par::parallel_for(pool, 8, [&](std::size_t inner) { ++hits[outer * 8 + inner]; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(Runtime, MaxThreadsOverride) {
+  const std::size_t before = par::max_threads();
+  EXPECT_GE(before, 1u);
+  par::set_max_threads(3);
+  EXPECT_EQ(par::max_threads(), 3u);
+  EXPECT_EQ(par::global_pool().size(), 3u);
+  par::set_max_threads(0);
+  EXPECT_EQ(par::max_threads(), before);
+}
+
+// --- End-to-end determinism: 1-thread vs 4-thread searches are bit-identical.
+
+core::NasResult run_search(core::SearchStrategy strategy, std::size_t threads) {
+  par::set_max_threads(threads);
+  perf::DeviceSimulator simulator(perf::jetson_tx2_gpu());
+  perf::SimulatorOracle oracle(simulator);
+  comm::CommModel comm(comm::WirelessTechnology::kWifi, 5.0);
+  core::DeploymentEvaluator evaluator(oracle, comm);
+  core::SearchSpace space;
+  core::SurrogateAccuracyModel accuracy;
+
+  core::NasConfig config;
+  config.strategy = strategy;
+  config.mobo.num_initial = 6;
+  config.mobo.num_iterations = 6;
+  config.mobo.pool_size = 32;
+  config.mobo.seed = 7;
+  config.nsga2.population = 8;
+  config.nsga2.generations = 2;
+  config.nsga2.seed = 7;
+  config.tu_mbps = 3.0;
+
+  core::NasDriver driver(space, evaluator, accuracy, config);
+  core::NasResult result = driver.run();
+  par::set_max_threads(0);
+  return result;
+}
+
+void expect_identical(const core::NasResult& a, const core::NasResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].genotype, b.history[i].genotype) << "candidate " << i;
+    EXPECT_EQ(a.history[i].name, b.history[i].name);
+    // Bitwise equality, not EXPECT_NEAR: the determinism contract.
+    EXPECT_EQ(a.history[i].error_percent, b.history[i].error_percent);
+    EXPECT_EQ(a.history[i].latency_ms, b.history[i].latency_ms);
+    EXPECT_EQ(a.history[i].energy_mj, b.history[i].energy_mj);
+  }
+  ASSERT_EQ(a.front.size(), b.front.size());
+  const auto& pa = a.front.points();
+  const auto& pb = b.front.points();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].id, pb[i].id);
+    EXPECT_EQ(pa[i].objectives, pb[i].objectives);
+  }
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.unique_evaluations, b.unique_evaluations);
+}
+
+TEST(Determinism, MoboSearchIdenticalAcrossThreadCounts) {
+  expect_identical(run_search(core::SearchStrategy::kMobo, 1),
+                   run_search(core::SearchStrategy::kMobo, 4));
+}
+
+TEST(Determinism, Nsga2SearchIdenticalAcrossThreadCounts) {
+  expect_identical(run_search(core::SearchStrategy::kNsga2, 1),
+                   run_search(core::SearchStrategy::kNsga2, 4));
+}
+
+TEST(Determinism, RandomSearchIdenticalAcrossThreadCounts) {
+  expect_identical(run_search(core::SearchStrategy::kRandom, 1),
+                   run_search(core::SearchStrategy::kRandom, 4));
+}
+
+TEST(NasCache, DuplicateGenotypesAreServedFromCache) {
+  // Random search with a tiny space-free budget cannot guarantee dupes, so
+  // check the accounting invariant instead: hits + unique == history.
+  const core::NasResult result = run_search(core::SearchStrategy::kNsga2, 2);
+  EXPECT_EQ(result.cache_hits + result.unique_evaluations, result.history.size());
+}
+
+}  // namespace
+}  // namespace lens
