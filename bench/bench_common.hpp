@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "comm/commcost.hpp"
 #include "core/evaluator.hpp"
@@ -11,6 +13,59 @@
 #include "perf/predictor.hpp"
 
 namespace lens::bench {
+
+/// Machine-readable benchmark output: collects flat {name, metric -> value}
+/// records and writes them as one JSON document (BENCH_micro.json /
+/// BENCH_parallel.json) so the perf trajectory is tracked across PRs — CI
+/// uploads these files as workflow artifacts.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  void add(std::string name, std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back({std::move(name), std::move(metrics)});
+  }
+
+  /// Write the collected records to `path`; returns false (and warns on
+  /// stderr) when the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonEmitter: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [", escaped(benchmark_).c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
+                   escaped(records_[i].name).c_str());
+      for (const auto& [key, value] : records_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.17g", escaped(key).c_str(), value);
+      }
+      std::fputc('}', f);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string benchmark_;
+  std::vector<Record> records_;
+};
 
 /// Horizontal rule sized to the table width.
 inline void rule(int width = 78) {

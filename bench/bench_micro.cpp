@@ -1,14 +1,22 @@
 // Microbenchmarks (google-benchmark) backing the paper's §IV-D cost claims:
-// Algorithm 1 is O(l) in the layer count and vanishes next to the O(n^3)
-// cost of one Bayesian-optimization model update.
+// Algorithm 1 is O(l) in the layer count and vanishes next to the cost of a
+// Bayesian-optimization model update — O(n^3) for a full (re)fit, O(n^2)
+// for the incremental bordered extension the MOBO loop now uses between
+// hyper-parameter retunes. Results are also written to BENCH_micro.json
+// (per-size timings plus fit/extend speedup ratios) for cross-PR tracking.
 
 #include <random>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/evaluator.hpp"
 #include "core/search_space.hpp"
 #include "opt/gp.hpp"
+#include "opt/matrix.hpp"
 #include "perf/predictor.hpp"
 
 namespace {
@@ -56,20 +64,31 @@ void BM_Algorithm1_Evaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm1_Evaluate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
-// ---- Bayesian optimization: GP refit, O(n^3) --------------------------------
+// ---- Bayesian optimization: GP posterior maintenance ------------------------
+// BM_GpFit is the full refit (O(n^2 d) Gram + O(n^3) factorization) the MOBO
+// loop used to pay every iteration; BM_GpObserve is the incremental bordered
+// append (O(n d) Gram row + O(n^2) extend/solves) it pays now. The
+// BENCH_micro.json "GpFitVsObserve" rows record the per-size ratio, which
+// should grow ~linearly with n.
+
+/// Random training set in the 23-dim normalized-genotype space.
+void random_dataset(std::size_t n, std::mt19937_64& rng, std::vector<std::vector<double>>* x,
+                    std::vector<double>* y) {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi(23);
+    for (double& v : xi) v = unit(rng);
+    y->push_back(unit(rng));
+    x->push_back(std::move(xi));
+  }
+}
 
 void BM_GpFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::mt19937_64 rng(7);
-  std::uniform_real_distribution<double> unit(0.0, 1.0);
   std::vector<std::vector<double>> x;
   std::vector<double> y;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<double> xi(23);
-    for (double& v : xi) v = unit(rng);
-    y.push_back(unit(rng));
-    x.push_back(std::move(xi));
-  }
+  random_dataset(n, rng, &x, &y);
   opt::GpConfig config;
   config.tune_hyperparameters = false;
   for (auto _ : state) {
@@ -79,6 +98,61 @@ void BM_GpFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(320);
+
+void BM_GpObserve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(7);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  random_dataset(n + 1, rng, &x, &y);
+  const std::vector<double> x_new = x.back();
+  const double y_new = y.back();
+  x.pop_back();
+  y.pop_back();
+  opt::GpConfig config;
+  config.tune_hyperparameters = false;
+  for (auto _ : state) {
+    // The O(n^3) base fit is rebuilt outside the timed region; only the
+    // incremental append is measured. Fixed iteration count (below) keeps
+    // the untimed rebuild from dominating wall-clock.
+    state.PauseTiming();
+    opt::GaussianProcess gp(config);
+    gp.fit(x, y);
+    state.ResumeTiming();
+    gp.observe(x_new, y_new);
+    benchmark::DoNotOptimize(gp);
+  }
+}
+BENCHMARK(BM_GpObserve)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(320)->Iterations(48);
+
+// The matrix-layer primitive underneath observe(): one bordered Cholesky
+// row append, measured against refactorizing the bordered matrix in full.
+void BM_CholeskyExtend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  opt::Matrix b(n + 1, n + 1);
+  for (std::size_t r = 0; r < n + 1; ++r) {
+    for (std::size_t c = 0; c < n + 1; ++c) b(r, c) = gauss(rng);
+  }
+  opt::Matrix a = b.multiply(b.transposed());
+  a.add_diagonal(1.0);
+  opt::Matrix leading(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) leading(r, c) = a(r, c);
+  }
+  const opt::CholeskyFactor base = opt::CholeskyFactor::factorize(leading);
+  std::vector<double> cross(n);
+  for (std::size_t c = 0; c < n; ++c) cross[c] = a(n, c);
+  for (auto _ : state) {
+    state.PauseTiming();
+    opt::CholeskyFactor factor = base;
+    state.ResumeTiming();
+    factor.extend(cross, a(n, n));
+    benchmark::DoNotOptimize(factor);
+  }
+}
+BENCHMARK(BM_CholeskyExtend)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(320)->Iterations(256);
 
 // ---- Thompson acquisition over a candidate pool -----------------------------
 
@@ -143,4 +217,64 @@ void BM_SearchSpaceDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchSpaceDecode);
 
+// ---- JSON output -------------------------------------------------------------
+
+/// Console reporter that additionally collects per-run adjusted real times
+/// so main() can emit BENCH_micro.json via lens::bench::JsonEmitter.
+class CollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_time_ns;
+    double iterations;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      entries_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                          static_cast<double>(run.iterations)});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Adjusted real time of the entry named `name`, or 0.0 when absent.
+  double time_of(const std::string& name) const {
+    for (const Entry& e : entries_) {
+      if (e.name == name) return e.real_time_ns;
+    }
+    return 0.0;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  lens::bench::JsonEmitter json("bench_micro");
+  for (const CollectingReporter::Entry& e : reporter.entries()) {
+    json.add(e.name, {{"real_time_ns", e.real_time_ns}, {"iterations", e.iterations}});
+  }
+  // Per-size full-refit vs incremental-append ratios: the complexity-drop
+  // signal tracked across PRs (should grow ~linearly with n).
+  for (const int n : {25, 50, 100, 200, 320}) {
+    const std::string size = std::to_string(n);
+    const double fit = reporter.time_of("BM_GpFit/" + size);
+    const double observe = reporter.time_of("BM_GpObserve/" + size + "/iterations:48");
+    if (fit > 0.0 && observe > 0.0) {
+      json.add("GpFitVsObserve/" + size, {{"speedup", fit / observe}});
+    }
+  }
+  json.write("BENCH_micro.json");
+  benchmark::Shutdown();
+  return 0;
+}

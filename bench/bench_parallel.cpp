@@ -58,6 +58,7 @@ int main() {
 
   lens::core::NasResult reference;
   double t1_ms = 0.0;
+  lens::bench::JsonEmitter json("bench_parallel");
   std::printf("%8s %12s %9s %12s %12s\n", "threads", "wall(ms)", "speedup", "evals",
               "identical");
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -73,12 +74,18 @@ int main() {
     const bool same = identical(reference, result);
     std::printf("%8zu %12.1f %8.2fx %12zu %12s\n", threads, ms, t1_ms / ms,
                 result.history.size(), same ? "yes" : "NO");
+    json.add("threads=" + std::to_string(threads),
+             {{"wall_ms", ms},
+              {"speedup_vs_1_thread", t1_ms / ms},
+              {"evaluations", static_cast<double>(result.history.size())},
+              {"identical_to_reference", same ? 1.0 : 0.0}});
     if (!same) {
       std::fprintf(stderr, "determinism violation at %zu threads\n", threads);
       return 1;
     }
   }
   lens::par::set_max_threads(0);
+  json.write("BENCH_parallel.json");
   std::printf(
       "\n(speedup saturates at the physical core count; the identity column\n"
       " is the lens::par determinism contract: bit-identical NasResult —\n"

@@ -34,8 +34,7 @@ void RidgeRegression::fit(const std::vector<std::vector<double>>& x,
   // Tiny jitter keeps the factorization alive for rank-deficient designs.
   gram.add_diagonal(1e-10);
   const std::vector<double> rhs = at.multiply(y);
-  const opt::Matrix chol = opt::cholesky(gram);
-  std::vector<double> solution = opt::cholesky_solve(chol, rhs);
+  std::vector<double> solution = opt::CholeskyFactor::factorize(gram).solve(rhs);
 
   weights_.assign(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(d));
   intercept_ = config_.fit_intercept ? solution[d] : 0.0;

@@ -79,7 +79,7 @@ void RooflineRegression::fit(const std::vector<double>& flops,
     opt::Matrix gram = design.transposed().multiply(design);
     gram.add_diagonal(config_.lambda + 1e-9);
     const std::vector<double> rhs = design.transposed().multiply(target);
-    std::vector<double> solution = opt::cholesky_solve(opt::cholesky(gram), rhs);
+    std::vector<double> solution = opt::CholeskyFactor::factorize(gram).solve(rhs);
     for (int j = 0; j < 3; ++j) solution[static_cast<std::size_t>(j)] /= scale[j];
     // Keep parameters physical: rates and overhead never negative.
     u = std::max(solution[0], 1e-18);

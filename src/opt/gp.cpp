@@ -37,18 +37,8 @@ void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double
     if (row.size() != dim) throw std::invalid_argument("GaussianProcess::fit: ragged X");
   }
   x_ = std::move(x);
-
-  // Standardize targets.
-  double mean = 0.0;
-  for (double v : y) mean += v;
-  mean /= static_cast<double>(y.size());
-  double var = 0.0;
-  for (double v : y) var += (v - mean) * (v - mean);
-  var /= static_cast<double>(y.size());
-  y_mean_ = mean;
-  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
-  y_normalized_.resize(y.size());
-  for (std::size_t i = 0; i < y.size(); ++i) y_normalized_[i] = (y[i] - y_mean_) / y_std_;
+  y_ = std::move(y);
+  standardize_targets();
 
   if (!config_.tune_hyperparameters) {
     if (!std::isfinite(try_fit(config_.signal_variance, config_.length_scale,
@@ -78,7 +68,8 @@ void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double
     }
   }
   const std::vector<double> lmls = par::parallel_map(grid.size(), [&](std::size_t i) {
-    return grid_log_marginal_likelihood(grid[i].signal, grid[i].length, grid[i].noise);
+    const auto kernel = make_kernel(grid[i].signal, grid[i].length);
+    return factorize_and_score(*kernel, grid[i].noise, nullptr, nullptr);
   });
   double best = -std::numeric_limits<double>::infinity();
   std::size_t best_index = 0;
@@ -95,48 +86,75 @@ void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double
   try_fit(grid[best_index].signal, grid[best_index].length, grid[best_index].noise);
 }
 
-double GaussianProcess::grid_log_marginal_likelihood(double signal_variance,
-                                                     double length_scale,
-                                                     double noise_variance) const {
-  const auto kernel = make_kernel(signal_variance, length_scale);
-  Matrix k = kernel->gram(x_);
+void GaussianProcess::standardize_targets() {
+  double mean = 0.0;
+  for (double v : y_) mean += v;
+  mean /= static_cast<double>(y_.size());
+  double var = 0.0;
+  for (double v : y_) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(y_.size());
+  y_mean_ = mean;
+  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  y_normalized_.resize(y_.size());
+  for (std::size_t i = 0; i < y_.size(); ++i) y_normalized_[i] = (y_[i] - y_mean_) / y_std_;
+}
+
+double GaussianProcess::factorize_and_score(const Kernel& kernel, double noise_variance,
+                                            CholeskyFactor* factor_out,
+                                            std::vector<double>* alpha_out) const {
+  Matrix k = kernel.gram(x_);
   k.add_diagonal(noise_variance + 1e-9);
-  Matrix l;
+  CholeskyFactor factor;
   try {
-    l = cholesky(k);
+    factor = CholeskyFactor::factorize(k);
   } catch (const std::domain_error&) {
     return -std::numeric_limits<double>::infinity();
   }
-  const std::vector<double> alpha = cholesky_solve(l, y_normalized_);
+  std::vector<double> alpha = factor.solve(y_normalized_);
   const double n = static_cast<double>(x_.size());
-  const double lml = -0.5 * dot(y_normalized_, alpha) - 0.5 * log_det_from_cholesky(l) -
+  const double lml = -0.5 * dot(y_normalized_, alpha) - 0.5 * factor.log_det() -
                      0.5 * n * std::log(2.0 * std::numbers::pi);
-  return std::isfinite(lml) ? lml : -std::numeric_limits<double>::infinity();
+  if (!std::isfinite(lml)) return -std::numeric_limits<double>::infinity();
+  if (factor_out) *factor_out = std::move(factor);
+  if (alpha_out) *alpha_out = std::move(alpha);
+  return lml;
 }
 
 double GaussianProcess::try_fit(double signal_variance, double length_scale,
                                 double noise_variance) {
   auto kernel = make_kernel(signal_variance, length_scale);
-  Matrix k = kernel->gram(x_);
-  k.add_diagonal(noise_variance + 1e-9);
-  Matrix l;
-  try {
-    l = cholesky(k);
-  } catch (const std::domain_error&) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  std::vector<double> alpha = cholesky_solve(l, y_normalized_);
-  const double n = static_cast<double>(x_.size());
-  const double lml = -0.5 * dot(y_normalized_, alpha) - 0.5 * log_det_from_cholesky(l) -
-                     0.5 * n * std::log(2.0 * std::numbers::pi);
-  if (!std::isfinite(lml)) return -std::numeric_limits<double>::infinity();
+  CholeskyFactor factor;
+  std::vector<double> alpha;
+  const double lml = factorize_and_score(*kernel, noise_variance, &factor, &alpha);
+  if (!std::isfinite(lml)) return lml;
 
   kernel_ = std::move(kernel);
   noise_variance_ = noise_variance;
-  chol_ = std::move(l);
+  factor_ = std::move(factor);
   alpha_ = std::move(alpha);
   log_marginal_likelihood_ = lml;
   return lml;
+}
+
+void GaussianProcess::observe(std::vector<double> x, double y) {
+  if (!is_fitted()) {
+    throw std::logic_error("GaussianProcess::observe: model must be fitted first");
+  }
+  if (x.size() != x_.front().size()) {
+    throw std::invalid_argument("GaussianProcess::observe: dimension mismatch");
+  }
+  // Only the bordered Gram row is evaluated; extend() appends it to the
+  // cached factor in O(n^2) or throws (leaving the model untouched) exactly
+  // when a full refactorization of the bordered matrix would fail.
+  const Kernel::GramRow row = kernel_->gram_row(x_, x);
+  factor_.extend(row.cross, row.self + (noise_variance_ + 1e-9));
+  x_.push_back(std::move(x));
+  y_.push_back(y);
+  standardize_targets();
+  alpha_ = factor_.solve(y_normalized_);
+  const double n = static_cast<double>(x_.size());
+  log_marginal_likelihood_ = -0.5 * dot(y_normalized_, alpha_) - 0.5 * factor_.log_det() -
+                             0.5 * n * std::log(2.0 * std::numbers::pi);
 }
 
 GaussianProcess::Prediction GaussianProcess::predict(const std::vector<double>& x) const {
@@ -145,7 +163,7 @@ GaussianProcess::Prediction GaussianProcess::predict(const std::vector<double>& 
   }
   const std::vector<double> k_star = kernel_->cross(x_, x);
   const double mean_n = dot(k_star, alpha_);
-  const std::vector<double> v = solve_lower(chol_, k_star);
+  const std::vector<double> v = factor_.solve_lower(k_star);
   double var_n = kernel_->variance() - dot(v, v);
   var_n = std::max(var_n, 1e-12);
   return {y_mean_ + y_std_ * mean_n, y_std_ * y_std_ * var_n};
@@ -162,11 +180,11 @@ std::vector<double> GaussianProcess::sample_at(
     // Prior draw: mean 0, covariance = kernel Gram over xs.
     Matrix k = kernel_->gram(xs);
     k.add_diagonal(1e-8);
-    const Matrix l = cholesky(k);
+    const CholeskyFactor l = CholeskyFactor::factorize(k);
     std::vector<double> out(m, 0.0);
     for (std::size_t i = 0; i < m; ++i) {
       double acc = 0.0;
-      for (std::size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+      for (std::size_t j = 0; j <= i; ++j) acc += l.at(i, j) * z[j];
       out[i] = acc;
     }
     return out;
@@ -181,7 +199,7 @@ std::vector<double> GaussianProcess::sample_at(
   par::parallel_for(m, [&](std::size_t i) {
     const std::vector<double> k_star = kernel_->cross(x_, xs[i]);
     mean[i] = dot(k_star, alpha_);
-    vs[i] = solve_lower(chol_, k_star);
+    vs[i] = factor_.solve_lower(k_star);
   });
   Matrix cov(m, m);
   par::parallel_for(m, [&](std::size_t i) {
@@ -194,13 +212,13 @@ std::vector<double> GaussianProcess::sample_at(
   });
   // Jitter escalation: posterior covariances of near-duplicate query points
   // are frequently semi-definite.
-  Matrix l;
+  CholeskyFactor l;
   double jitter = 1e-8;
   for (;;) {
     Matrix attempt = cov;
     attempt.add_diagonal(jitter);
     try {
-      l = cholesky(attempt);
+      l = CholeskyFactor::factorize(attempt);
       break;
     } catch (const std::domain_error&) {
       jitter *= 10.0;
@@ -212,7 +230,7 @@ std::vector<double> GaussianProcess::sample_at(
   std::vector<double> out(m);
   for (std::size_t i = 0; i < m; ++i) {
     double acc = mean[i];
-    for (std::size_t j = 0; j <= i; ++j) acc += l(i, j) * z[j];
+    for (std::size_t j = 0; j <= i; ++j) acc += l.at(i, j) * z[j];
     out[i] = y_mean_ + y_std_ * acc;
   }
   return out;

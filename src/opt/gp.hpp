@@ -42,6 +42,19 @@ class GaussianProcess {
   /// targets. Replaces any previous fit. Throws on empty or ragged input.
   void fit(std::vector<std::vector<double>> x, std::vector<double> y);
 
+  /// Append one observation to a fitted model in O(n^2): the cached
+  /// Cholesky factor grows by one bordered row (only the new Gram row is
+  /// evaluated), targets are re-standardized over the full history, and
+  /// alpha / the log marginal likelihood are recomputed from the extended
+  /// factor. Hyper-parameters are left untouched, and with them frozen the
+  /// resulting posterior is bit-identical to a full fit() over the same
+  /// data — the incremental path of the determinism contract (DESIGN.md
+  /// "Posterior maintenance"). Throws std::logic_error on an unfitted
+  /// model, std::invalid_argument on a dimension mismatch, and
+  /// std::domain_error (model unchanged) when the extended Gram matrix is
+  /// not positive definite.
+  void observe(std::vector<double> x, double y);
+
   /// True once fit() has been called with at least one point.
   bool is_fitted() const { return !x_.empty(); }
 
@@ -71,24 +84,32 @@ class GaussianProcess {
 
  private:
   std::unique_ptr<Kernel> make_kernel(double signal_variance, double length_scale) const;
-  /// Fit internals for a specific hyper-parameter triple; returns LML or
-  /// -inf when the Gram matrix is numerically unusable.
+  /// Shared factorize-and-score core: builds the Gram matrix of x_ under
+  /// `kernel` + `noise_variance`, factorizes it, and returns the log
+  /// marginal likelihood of y_normalized_ (or -inf when the Gram matrix is
+  /// numerically unusable). On success the factor/alpha are handed back
+  /// through the optional out-parameters. Side-effect free, so it doubles
+  /// as the grid-search scoring kernel (safe from parallel workers).
+  double factorize_and_score(const Kernel& kernel, double noise_variance,
+                             CholeskyFactor* factor_out, std::vector<double>* alpha_out) const;
+  /// Fit internals for a specific hyper-parameter triple; commits the
+  /// factorization on success, returns LML or -inf.
   double try_fit(double signal_variance, double length_scale, double noise_variance);
-  /// Side-effect-free LML of a hyper-parameter triple (the grid-search
-  /// scoring kernel; safe to call from parallel workers).
-  double grid_log_marginal_likelihood(double signal_variance, double length_scale,
-                                      double noise_variance) const;
+  /// Recompute y_mean_/y_std_/y_normalized_ from the raw targets, in the
+  /// exact summation order fit() uses (bit-identity with the full path).
+  void standardize_targets();
 
   GpConfig config_;
   std::unique_ptr<Kernel> kernel_;
   double noise_variance_ = 1e-3;
 
   std::vector<std::vector<double>> x_;
+  std::vector<double> y_;            // raw targets (original units)
   std::vector<double> y_normalized_;
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
 
-  Matrix chol_;                  // Cholesky factor of K + noise I
+  CholeskyFactor factor_;        // Cholesky factor of K + noise I
   std::vector<double> alpha_;    // (K + noise I)^{-1} y_normalized
   double log_marginal_likelihood_ = 0.0;
 };

@@ -45,6 +45,11 @@ std::vector<double> Kernel::cross(const std::vector<std::vector<double>>& xs,
   return out;
 }
 
+Kernel::GramRow Kernel::gram_row(const std::vector<std::vector<double>>& xs,
+                                 const std::vector<double>& z) const {
+  return {cross(xs, z), (*this)(z, z)};
+}
+
 namespace {
 void check_params(double signal_variance, double length_scale) {
   if (signal_variance <= 0.0 || length_scale <= 0.0) {

@@ -39,6 +39,19 @@ class Kernel {
   /// Cross-covariance vector k(X_i, z) for all rows of X.
   std::vector<double> cross(const std::vector<std::vector<double>>& xs,
                             const std::vector<double>& z) const;
+
+  /// One bordered Gram row: the cross-covariances against the existing
+  /// points plus the self-covariance k(z, z). Appending a point to a
+  /// factorized Gram matrix needs exactly this O(n·d) row — not the full
+  /// O(n^2·d) gram() — and `self` is evaluated through the same operator()
+  /// the full Gram diagonal uses, so incremental and full factorizations
+  /// see bit-identical entries.
+  struct GramRow {
+    std::vector<double> cross;  ///< k(X_i, z) for every existing row
+    double self = 0.0;          ///< k(z, z)
+  };
+  GramRow gram_row(const std::vector<std::vector<double>>& xs,
+                   const std::vector<double>& z) const;
 };
 
 /// Squared-exponential (RBF) kernel:

@@ -89,6 +89,86 @@ double Matrix::frobenius_norm() const {
   return std::sqrt(acc);
 }
 
+CholeskyFactor CholeskyFactor::factorize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("CholeskyFactor::factorize: matrix not square");
+  }
+  CholeskyFactor f;
+  f.data_.reserve(a.rows() * (a.rows() + 1) / 2);
+  std::vector<double> row;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    row.resize(i);
+    for (std::size_t j = 0; j < i; ++j) row[j] = a(i, j);
+    f.extend(row, a(i, i));
+  }
+  return f;
+}
+
+void CholeskyFactor::extend(const std::vector<double>& cross_row, double diag) {
+  if (cross_row.size() != n_) {
+    throw std::invalid_argument("CholeskyFactor::extend: cross_row size mismatch");
+  }
+  // Forward substitution against the existing factor yields the new
+  // off-diagonal row; it performs the identical multiply/subtract/divide
+  // sequence the full column-wise algorithm would for row n_.
+  std::vector<double> row = solve_lower(cross_row);
+  double pivot = diag;
+  for (std::size_t k = 0; k < n_; ++k) pivot -= row[k] * row[k];
+  if (pivot <= 0.0 || !std::isfinite(pivot)) {
+    throw std::domain_error("cholesky: matrix not positive definite");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  data_.push_back(std::sqrt(pivot));
+  ++n_;
+}
+
+double CholeskyFactor::at(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("CholeskyFactor::at: index out of range");
+  return j <= i ? el(i, j) : 0.0;
+}
+
+std::vector<double> CholeskyFactor::solve_lower(const std::vector<double>& b) const {
+  if (b.size() != n_) throw std::invalid_argument("CholeskyFactor::solve_lower: size mismatch");
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= el(i, j) * x[j];
+    x[i] = acc / el(i, i);
+  }
+  return x;
+}
+
+std::vector<double> CholeskyFactor::solve_lower_transpose(const std::vector<double>& b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("CholeskyFactor::solve_lower_transpose: size mismatch");
+  }
+  std::vector<double> x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) acc -= el(j, ii) * x[j];
+    x[ii] = acc / el(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> CholeskyFactor::solve(const std::vector<double>& b) const {
+  return solve_lower_transpose(solve_lower(b));
+}
+
+double CholeskyFactor::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) acc += std::log(el(i, i));
+  return 2.0 * acc;
+}
+
+Matrix CholeskyFactor::dense() const {
+  Matrix out(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) out(i, j) = el(i, j);
+  }
+  return out;
+}
+
 Matrix cholesky(const Matrix& a) {
   if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: matrix not square");
   const std::size_t n = a.rows();

@@ -66,6 +66,74 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Lower-triangular Cholesky factor L of a symmetric positive-definite A
+/// (A = L L^T), stored packed (row i holds i+1 doubles) so appending a row
+/// moves O(n) memory instead of reallocating a dense square.
+///
+/// The incremental entry point is extend(): given the cross-covariance row
+/// a(n, 0..n-1) and the diagonal a(n, n) of a bordered matrix
+///
+///     A' = [ A    r ]
+///          [ r^T  d ]
+///
+/// it appends row n to L in O(n^2) via one forward substitution,
+///
+///     L'(n, 0..n-1) = L^{-1} r,   L'(n, n) = sqrt(d - ||L'(n, :)||^2),
+///
+/// producing *exactly* the floats a full factorize(A') would: rows 0..n-1
+/// of L depend only on the leading block of A and are untouched, and the
+/// forward solve performs the same multiply/subtract/divide sequence (same
+/// operands, same order) as the bordered column sweep of the full
+/// algorithm. factorize() itself is implemented as n successive extends,
+/// which keeps the two paths bit-identical by construction. This is what
+/// lets the GP layer swap refit-per-iteration for incremental appends
+/// without perturbing search trajectories (see DESIGN.md "Posterior
+/// maintenance").
+class CholeskyFactor {
+ public:
+  CholeskyFactor() = default;
+
+  /// Full factorization of a square SPD matrix. Throws std::invalid_argument
+  /// when `a` is not square, std::domain_error when it is not (numerically)
+  /// positive definite — same contract as the free cholesky().
+  static CholeskyFactor factorize(const Matrix& a);
+
+  /// Bordered-block append: grow the factor from n x n to (n+1) x (n+1).
+  /// `cross_row` is a(n, 0..n-1) (size must equal size()), `diag` is a(n,n).
+  /// O(n^2). Throws std::domain_error when the new pivot is not positive
+  /// (the bordered matrix is not positive definite); the factor is left
+  /// unchanged in that case.
+  void extend(const std::vector<double>& cross_row, double diag);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Lower-triangular element L(i, j); zero above the diagonal.
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Solve L x = b (forward substitution), O(n^2).
+  std::vector<double> solve_lower(const std::vector<double>& b) const;
+
+  /// Solve L^T x = b (back substitution), O(n^2).
+  std::vector<double> solve_lower_transpose(const std::vector<double>& b) const;
+
+  /// Solve A x = b where A = L L^T, O(n^2).
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)).
+  double log_det() const;
+
+  /// Dense lower-triangular copy (tests / interop with Matrix consumers).
+  Matrix dense() const;
+
+ private:
+  double& el(std::size_t i, std::size_t j) { return data_[i * (i + 1) / 2 + j]; }
+  double el(std::size_t i, std::size_t j) const { return data_[i * (i + 1) / 2 + j]; }
+
+  std::size_t n_ = 0;
+  std::vector<double> data_;  // packed rows: row i at offset i(i+1)/2, length i+1
+};
+
 /// Cholesky factorization A = L * L^T for a symmetric positive-definite A.
 /// Returns the lower-triangular factor L. Throws std::domain_error when A is
 /// not (numerically) positive definite.

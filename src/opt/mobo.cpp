@@ -20,15 +20,19 @@ MoboEngine::MoboEngine(MoboConfig config, std::size_t num_objectives, Sampler sa
   for (std::size_t k = 0; k < num_objectives_; ++k) gps_.emplace_back(config_.gp);
 }
 
-void MoboEngine::evaluate_and_record(const std::vector<double>& x) {
-  std::vector<double> y = objectives_(x);
+void MoboEngine::record_observation(const std::vector<double>& x, std::vector<double> y) {
   if (y.size() != num_objectives_) {
     throw std::runtime_error("MoboEngine: objective callback returned wrong arity");
   }
   normalizer_.observe(y);
   front_.insert(history_.size(), y);
+  seen_.insert(x);
   history_.push_back({x, std::move(y)});
   if (progress_) progress_(history_.size() - 1, history_.back());
+}
+
+void MoboEngine::evaluate_and_record(const std::vector<double>& x) {
+  record_observation(x, objectives_(x));
 }
 
 void MoboEngine::evaluate_batch(const std::vector<std::vector<double>>& xs) {
@@ -41,13 +45,7 @@ void MoboEngine::evaluate_batch(const std::vector<std::vector<double>>& xs) {
     throw std::runtime_error("MoboEngine: batch objective callback returned wrong count");
   }
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    if (ys[i].size() != num_objectives_) {
-      throw std::runtime_error("MoboEngine: objective callback returned wrong arity");
-    }
-    normalizer_.observe(ys[i]);
-    front_.insert(history_.size(), ys[i]);
-    history_.push_back({xs[i], std::move(ys[i])});
-    if (progress_) progress_(history_.size() - 1, history_.back());
+    record_observation(xs[i], std::move(ys[i]));
   }
 }
 
@@ -73,17 +71,22 @@ void MoboEngine::refit_models(bool tune_hyperparameters) {
   models_ready_ = true;
 }
 
+void MoboEngine::extend_models(const Observation& observation) {
+  for (std::size_t k = 0; k < num_objectives_; ++k) {
+    gps_[k].observe(observation.x, observation.objectives[k]);
+  }
+}
+
 std::vector<double> MoboEngine::propose_next() {
-  // Draw the acquisition pool, skipping exact re-evaluations where possible.
+  // Draw the acquisition pool, skipping exact re-evaluations where possible
+  // (hashed membership over the encoded history: O(1) per draw).
   std::vector<std::vector<double>> pool;
   pool.reserve(config_.pool_size);
   for (std::size_t attempts = 0; pool.size() < config_.pool_size &&
                                  attempts < config_.pool_size * 4;
        ++attempts) {
     std::vector<double> x = sampler_(rng_);
-    const bool seen = std::any_of(history_.begin(), history_.end(),
-                                  [&](const Observation& o) { return o.x == x; });
-    if (!seen) pool.push_back(std::move(x));
+    if (seen_.count(x) == 0) pool.push_back(std::move(x));
   }
   if (pool.empty()) pool.push_back(sampler_(rng_));  // space exhausted: allow repeats
   const std::size_t chosen =
@@ -101,6 +104,7 @@ void MoboEngine::seed_observations(const std::vector<Observation>& observations)
     }
     normalizer_.observe(o.objectives);
     front_.insert(history_.size(), o.objectives);
+    seen_.insert(o.x);
     history_.push_back(o);
     if (evaluations_done_ < config_.num_initial) ++evaluations_done_;
   }
@@ -121,10 +125,17 @@ void MoboEngine::step(std::size_t n) {
       evaluations_done_ += batch;
       n -= batch;
     } else {
+      // Posterior maintenance ahead of the proposal: a full tuned refit
+      // every refit_period iterations (O(n^3), hyper-parameter grid); in
+      // between, the models already carry the latest observation via the
+      // O(n^2) incremental extension below — or, on the reference path,
+      // get rebuilt with frozen hyper-parameters. Both routes produce
+      // bit-identical posteriors (see DESIGN.md "Posterior maintenance").
       const bool tune = !models_ready_ || iterations_since_refit_ >= config_.refit_period;
-      refit_models(tune);
+      if (tune || !config_.incremental_posterior) refit_models(tune);
       iterations_since_refit_ = tune ? 0 : iterations_since_refit_ + 1;
       evaluate_and_record(propose_next());
+      if (config_.incremental_posterior) extend_models(history_.back());
       ++evaluations_done_;
       --n;
     }

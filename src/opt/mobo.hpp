@@ -6,8 +6,11 @@
 // architecture genotypes). LENS and the Traditional baseline differ only in
 // the objective callback they wire in.
 
+#include <cstdint>
+#include <cstring>
 #include <functional>
 #include <random>
+#include <unordered_set>
 #include <vector>
 
 #include "opt/acquisition.hpp"
@@ -30,10 +33,17 @@ struct MoboConfig {
   unsigned seed = 1;
   GpConfig gp;
   AcquisitionConfig acquisition;
-  /// Refit GP hyper-parameters every `refit_period` iterations (refitting is
-  /// the O(n^3) part; intermediate iterations reuse hyper-parameters but
-  /// still refactorize with the new data).
+  /// Refit GP hyper-parameters every `refit_period` iterations (the tuned
+  /// refit is the O(n^3) part; intermediate iterations extend the cached
+  /// posterior incrementally in O(n^2)).
   std::size_t refit_period = 10;
+  /// When true (default), intermediate iterations maintain the GP posteriors
+  /// via GaussianProcess::observe() — the O(n^2) bordered update. When
+  /// false, every iteration rebuilds the models with a full frozen-hyper
+  /// refit, the pre-incremental reference path; both paths produce
+  /// bit-identical search trajectories (regression-tested), so the flag
+  /// exists only as that test's oracle and as a kill switch.
+  bool incremental_posterior = true;
 };
 
 /// MOBO engine: Algorithm 2 of the paper.
@@ -85,8 +95,32 @@ class MoboEngine {
   /// Evaluate a batch (via batch_objectives_ when installed, else one by
   /// one) and record results in input order.
   void evaluate_batch(const std::vector<std::vector<double>>& xs);
+  /// Record an evaluated observation: normalizer, Pareto front, history,
+  /// duplicate index, progress hook — the single place history_ grows.
+  void record_observation(const std::vector<double>& x, std::vector<double> y);
   void refit_models(bool tune_hyperparameters);
+  /// O(n^2) posterior append: feed one freshly recorded observation to every
+  /// objective GP via GaussianProcess::observe().
+  void extend_models(const Observation& observation);
   std::vector<double> propose_next();
+
+  /// FNV-1a over the raw bits of each coordinate (±0.0 collapsed so keys
+  /// that compare equal under operator== hash equally). Used by the
+  /// duplicate-candidate index; lookups keep the exact accept/reject
+  /// semantics of the old O(history) linear scan at O(1).
+  struct EncodedPointHash {
+    std::size_t operator()(const std::vector<double>& v) const noexcept {
+      std::uint64_t h = 1469598103934665603ull;
+      for (double d : v) {
+        const double canonical = d == 0.0 ? 0.0 : d;
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &canonical, sizeof(bits));
+        h ^= bits;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
 
   MoboConfig config_;
   std::size_t num_objectives_;
@@ -97,6 +131,7 @@ class MoboEngine {
 
   std::mt19937_64 rng_;
   std::vector<Observation> history_;
+  std::unordered_set<std::vector<double>, EncodedPointHash> seen_;  // encoded x of history_
   ParetoFront front_;
   ObjectiveNormalizer normalizer_;
   std::vector<GaussianProcess> gps_;

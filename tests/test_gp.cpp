@@ -1,6 +1,7 @@
 // Unit tests for kernels and Gaussian-process regression (opt/kernel, opt/gp).
 
 #include <cmath>
+#include <cstring>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -10,6 +11,9 @@
 
 namespace lens::opt {
 namespace {
+
+/// Bit-level double equality (stricter than ==: distinguishes ±0.0).
+bool same_bits(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
 
 TEST(Kernel, RbfBasicProperties) {
   const RbfKernel k(2.0, 0.5);
@@ -146,6 +150,99 @@ TEST(Gp, PriorSampleHasKernelScale) {
   ASSERT_EQ(s.size(), 2u);
   for (double v : s) EXPECT_LT(std::abs(v), 10.0);  // unit-variance prior
 }
+
+TEST(Gp, ObserveValidatesInput) {
+  GaussianProcess unfitted;
+  EXPECT_THROW(unfitted.observe({0.5}, 1.0), std::logic_error);
+
+  GpConfig config;
+  config.tune_hyperparameters = false;
+  GaussianProcess gp(config);
+  gp.fit({{0.0, 0.0}, {1.0, 1.0}}, {0.0, 1.0});
+  EXPECT_THROW(gp.observe({0.5}, 1.0), std::invalid_argument);  // wrong dimension
+  gp.observe({0.5, 0.5}, 0.5);
+  EXPECT_EQ(gp.size(), 3u);
+}
+
+TEST(Gp, ObserveRejectsDegenerateAppendAndStaysUsable) {
+  GpConfig config;
+  config.tune_hyperparameters = false;
+  config.noise_variance = 0.0;  // only the 1e-9 jitter guards the diagonal
+  GaussianProcess gp(config);
+  gp.fit({{0.25}}, {1.0});
+  // Appending the identical point makes the Gram matrix singular up to the
+  // jitter; with zero noise the bordered pivot collapses below the PD
+  // threshold. Whatever the verdict, the model must stay consistent.
+  try {
+    gp.observe({0.25}, 1.0);
+    EXPECT_EQ(gp.size(), 2u);
+  } catch (const std::domain_error&) {
+    EXPECT_EQ(gp.size(), 1u);           // rejected append left the fit intact
+    EXPECT_NO_THROW(gp.predict({0.3}));
+  }
+}
+
+// Parameterized over kernel families: growing a model with observe() must
+// reproduce a from-scratch fit() bit for bit (the incremental-posterior
+// determinism contract the MOBO engine relies on).
+class GpIncrementalTest : public ::testing::TestWithParam<KernelFamily> {};
+
+TEST_P(GpIncrementalTest, ObserveMatchesFullFitBitForBit) {
+  GpConfig config;
+  config.family = GetParam();
+  config.tune_hyperparameters = false;
+  config.signal_variance = 1.3;
+  config.length_scale = 0.6;
+  config.noise_variance = 1e-3;
+
+  std::mt19937_64 rng(41 + static_cast<unsigned>(GetParam()));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const std::size_t dim = 4;
+  const std::size_t warm = 5;
+  const std::size_t total = 24;
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < total; ++i) {
+    std::vector<double> xi(dim);
+    // Snap to a coarse grid so the Hamming kernel sees genuine matches.
+    for (double& v : xi) v = std::round(unit(rng) * 8.0) / 8.0;
+    x.push_back(xi);
+    y.push_back(std::cos(3.0 * xi[0]) + 0.25 * xi[1] - xi[2] * xi[3]);
+  }
+
+  GaussianProcess incremental(config);
+  incremental.fit({x.begin(), x.begin() + warm}, {y.begin(), y.begin() + warm});
+  for (std::size_t i = warm; i < total; ++i) {
+    incremental.observe(x[i], y[i]);
+
+    GaussianProcess full(config);
+    full.fit({x.begin(), x.begin() + static_cast<std::ptrdiff_t>(i) + 1},
+             {y.begin(), y.begin() + static_cast<std::ptrdiff_t>(i) + 1});
+
+    ASSERT_EQ(incremental.size(), full.size());
+    ASSERT_TRUE(same_bits(incremental.log_marginal_likelihood(), full.log_marginal_likelihood()))
+        << "n=" << i + 1;
+    for (std::size_t q = 0; q < 6; ++q) {
+      std::vector<double> query(dim);
+      for (double& v : query) v = std::round(unit(rng) * 8.0) / 8.0;
+      const auto a = incremental.predict(query);
+      const auto b = full.predict(query);
+      ASSERT_TRUE(same_bits(a.mean, b.mean)) << "n=" << i + 1 << " q=" << q;
+      ASSERT_TRUE(same_bits(a.variance, b.variance)) << "n=" << i + 1 << " q=" << q;
+    }
+    // Joint Thompson draws must agree too (same factor, same RNG stream).
+    std::mt19937_64 rng_a(999), rng_b(999);
+    const auto sample_a = incremental.sample_at({x[0], x[1], {0.5, 0.5, 0.5, 0.5}}, rng_a);
+    const auto sample_b = full.sample_at({x[0], x[1], {0.5, 0.5, 0.5, 0.5}}, rng_b);
+    for (std::size_t s = 0; s < sample_a.size(); ++s) {
+      ASSERT_TRUE(same_bits(sample_a[s], sample_b[s])) << "n=" << i + 1 << " s=" << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GpIncrementalTest,
+                         ::testing::Values(KernelFamily::kRbf, KernelFamily::kMatern52,
+                                           KernelFamily::kHamming));
 
 // Parameterized: both kernel families interpolate equally well.
 class GpKernelFamilyTest : public ::testing::TestWithParam<KernelFamily> {};

@@ -1,6 +1,7 @@
 // Unit tests for the dense linear-algebra kernel (opt/matrix).
 
 #include <cmath>
+#include <cstring>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -9,6 +10,22 @@
 
 namespace lens::opt {
 namespace {
+
+/// Bit-level double equality (stricter than ==: distinguishes ±0.0).
+bool same_bits(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+/// Random SPD matrix of size n (Gram of a Gaussian matrix plus ridge).
+Matrix random_spd(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = gauss(rng);
+  }
+  Matrix a = b.multiply(b.transposed());
+  a.add_diagonal(0.5);
+  return a;
+}
 
 TEST(Matrix, ConstructionAndAccess) {
   Matrix m(2, 3, 1.5);
@@ -162,6 +179,124 @@ TEST(TriangularSolves, ForwardAndTransposeAgreeWithDense) {
 TEST(Matrix, FrobeniusNorm) {
   const Matrix a = Matrix::from_rows({{3, 4}});
   EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+// ---- CholeskyFactor: the incremental factorization layer --------------------
+
+TEST(CholeskyFactor, SingleElementEdgeCase) {
+  CholeskyFactor f;
+  EXPECT_TRUE(f.empty());
+  f.extend({}, 4.0);  // 1x1: L = [2]
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(f.log_det(), std::log(4.0));
+  const std::vector<double> x = f.solve({8.0});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+
+  const CholeskyFactor g = CholeskyFactor::factorize(Matrix::from_rows({{4.0}}));
+  EXPECT_TRUE(same_bits(g.at(0, 0), f.at(0, 0)));
+}
+
+TEST(CholeskyFactor, FactorizeMatchesFreeCholeskyBitForBit) {
+  for (const std::size_t n : {1u, 2u, 5u, 17u, 40u}) {
+    const Matrix a = random_spd(n, 90 + static_cast<unsigned>(n));
+    const Matrix reference = cholesky(a);
+    const CholeskyFactor f = CholeskyFactor::factorize(a);
+    ASSERT_EQ(f.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        EXPECT_TRUE(same_bits(f.at(i, j), reference(i, j))) << "n=" << n << " (" << i << "," << j << ")";
+      }
+      for (std::size_t j = i + 1; j < n; ++j) EXPECT_DOUBLE_EQ(f.at(i, j), 0.0);
+    }
+    EXPECT_TRUE(same_bits(f.log_det(), log_det_from_cholesky(reference)));
+  }
+}
+
+TEST(CholeskyFactor, ExtendEqualsFullFactorizationBitForBit) {
+  // Randomized SPD append sweep: start from a small factor and append rows
+  // one at a time; after every append the incrementally-built factor must
+  // equal the from-scratch factorization of the leading block, bit for bit.
+  const std::size_t n_max = 32;
+  const Matrix a = random_spd(n_max, 1234);
+  CholeskyFactor incremental;
+  std::vector<double> cross;
+  for (std::size_t n = 1; n <= n_max; ++n) {
+    cross.resize(n - 1);
+    for (std::size_t j = 0; j + 1 < n; ++j) cross[j] = a(n - 1, j);
+    incremental.extend(cross, a(n - 1, n - 1));
+
+    Matrix leading(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) leading(r, c) = a(r, c);
+    }
+    const Matrix reference = cholesky(leading);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        ASSERT_TRUE(same_bits(incremental.at(i, j), reference(i, j)))
+            << "n=" << n << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(CholeskyFactor, SolvesMatchFreeFunctions) {
+  const std::size_t n = 12;
+  const Matrix a = random_spd(n, 77);
+  const Matrix l = cholesky(a);
+  const CholeskyFactor f = CholeskyFactor::factorize(a);
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> b(n);
+  for (double& v : b) v = gauss(rng);
+
+  const std::vector<double> fwd = f.solve_lower(b);
+  const std::vector<double> fwd_ref = solve_lower(l, b);
+  const std::vector<double> bwd = f.solve_lower_transpose(b);
+  const std::vector<double> bwd_ref = solve_lower_transpose(l, b);
+  const std::vector<double> full = f.solve(b);
+  const std::vector<double> full_ref = cholesky_solve(l, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(same_bits(fwd[i], fwd_ref[i]));
+    EXPECT_TRUE(same_bits(bwd[i], bwd_ref[i]));
+    EXPECT_TRUE(same_bits(full[i], full_ref[i]));
+  }
+}
+
+TEST(CholeskyFactor, RejectsNonPositiveDefiniteExtension) {
+  // [[1, 1], [1, 1]] is singular: the second pivot is exactly 0.
+  CholeskyFactor f;
+  f.extend({}, 1.0);
+  EXPECT_THROW(f.extend({1.0}, 1.0), std::domain_error);
+  // A failed extend leaves the factor untouched and usable.
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.at(0, 0), 1.0);
+  f.extend({0.5}, 1.0);  // a valid append still works afterwards
+  EXPECT_EQ(f.size(), 2u);
+
+  EXPECT_THROW(CholeskyFactor::factorize(Matrix::from_rows({{1, 2}, {2, 1}})),
+               std::domain_error);
+  EXPECT_THROW(CholeskyFactor::factorize(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(CholeskyFactor, ValidatesShapes) {
+  CholeskyFactor f = CholeskyFactor::factorize(Matrix::identity(3));
+  EXPECT_THROW(f.extend({1.0}, 1.0), std::invalid_argument);       // cross_row too short
+  EXPECT_THROW(f.solve({1.0, 2.0}), std::invalid_argument);        // rhs size mismatch
+  EXPECT_THROW(f.solve_lower({1.0}), std::invalid_argument);
+  EXPECT_THROW(f.solve_lower_transpose({1.0}), std::invalid_argument);
+  EXPECT_THROW(f.at(3, 0), std::out_of_range);
+}
+
+TEST(CholeskyFactor, DenseRoundTrip) {
+  const Matrix a = random_spd(6, 55);
+  const CholeskyFactor f = CholeskyFactor::factorize(a);
+  const Matrix dense = f.dense();
+  const Matrix rebuilt = dense.multiply(dense.transposed());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-8);
+  }
 }
 
 }  // namespace

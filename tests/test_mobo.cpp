@@ -221,6 +221,74 @@ TEST(Mobo, SurvivesExhaustedDiscreteSpace) {
   EXPECT_EQ(engine.history().size(), 8u);
 }
 
+TEST(Mobo, IncrementalPosteriorMatchesReferenceBitForBit) {
+  // The incremental O(n^2) posterior path (GaussianProcess::observe between
+  // tuned refits) must reproduce the pre-refactor refit-every-iteration
+  // engine exactly: same proposals, same history, same front — bit for bit.
+  auto run = [](bool incremental, std::size_t refit_period) {
+    MoboConfig config;
+    config.num_initial = 6;
+    config.num_iterations = 14;
+    config.pool_size = 48;
+    config.seed = 9;
+    config.refit_period = refit_period;
+    config.incremental_posterior = incremental;
+    auto sampler = [](std::mt19937_64& rng) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      return std::vector<double>{u(rng), u(rng), u(rng)};
+    };
+    auto objectives = [](const std::vector<double>& x) {
+      const double f1 = x[0] * x[0] + std::sin(5.0 * x[1]) * 0.3 + x[2];
+      const double f2 = (x[0] - 1.0) * (x[0] - 1.0) + (x[1] - 1.0) * (x[1] - 1.0);
+      return std::vector<double>{f1, f2};
+    };
+    MoboEngine engine(config, 2, sampler, objectives);
+    engine.run();
+    return engine;
+  };
+
+  for (const std::size_t refit_period : {1u, 4u, 100u}) {
+    const MoboEngine incremental = run(true, refit_period);
+    const MoboEngine reference = run(false, refit_period);
+    ASSERT_EQ(incremental.history().size(), reference.history().size())
+        << "refit_period=" << refit_period;
+    for (std::size_t i = 0; i < incremental.history().size(); ++i) {
+      EXPECT_EQ(incremental.history()[i].x, reference.history()[i].x)
+          << "refit_period=" << refit_period << " i=" << i;
+      EXPECT_EQ(incremental.history()[i].objectives, reference.history()[i].objectives)
+          << "refit_period=" << refit_period << " i=" << i;
+    }
+    ASSERT_EQ(incremental.front().size(), reference.front().size());
+    for (std::size_t i = 0; i < incremental.front().points().size(); ++i) {
+      EXPECT_EQ(incremental.front().points()[i].id, reference.front().points()[i].id);
+      EXPECT_EQ(incremental.front().points()[i].objectives,
+                reference.front().points()[i].objectives);
+    }
+  }
+}
+
+TEST(Mobo, DuplicateIndexSkipsEvaluatedCandidates) {
+  // Discrete sampler over 4 points: once some are evaluated, the hashed
+  // duplicate index must filter them from the acquisition pool with the
+  // same accept/reject semantics the old linear history scan had; the
+  // exhausted-space fallback still allows repeats.
+  MoboConfig config;
+  config.num_initial = 2;
+  config.num_iterations = 8;
+  config.pool_size = 16;
+  config.seed = 6;
+  auto sampler = [](std::mt19937_64& rng) {
+    std::uniform_int_distribution<int> d(0, 3);
+    return std::vector<double>{static_cast<double>(d(rng)) / 3.0};
+  };
+  auto objectives = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0] * (1.0 - x[0])};
+  };
+  MoboEngine engine(config, 1, sampler, objectives);
+  EXPECT_NO_THROW(engine.run());
+  EXPECT_EQ(engine.history().size(), 10u);
+}
+
 TEST(Mobo, RefitPeriodDoesNotChangeDeterminism) {
   auto make = [](std::size_t refit_period) {
     MoboConfig config;
