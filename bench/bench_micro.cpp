@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 #include "core/search_space.hpp"
 #include "opt/gp.hpp"
 #include "opt/matrix.hpp"
@@ -63,6 +64,49 @@ void BM_Algorithm1_Evaluate(benchmark::State& state) {
   state.counters["layers"] = static_cast<double>(arch.num_layers());
 }
 BENCHMARK(BM_Algorithm1_Evaluate)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// ---- Compiled plans: compile once, price per throughput ---------------------
+// BM_EvaluateFull is the legacy one-shot path (predictors + pricing every
+// call); BM_PlanCompile is the predictor-heavy stage paid once per
+// architecture; BM_PlanPrice is the O(options) re-pricing paid per
+// throughput query. The BENCH_micro.json "PlanPriceVsEvaluate" rows track
+// the full-evaluation-to-reprice speedup per architecture depth.
+
+void BM_EvaluateFull(benchmark::State& state) {
+  const dnn::Architecture arch = deep_architecture(static_cast<int>(state.range(0)));
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor(), wifi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(arch, 3.0));
+  }
+}
+BENCHMARK(BM_EvaluateFull)->Arg(8)->Arg(32);
+
+void BM_PlanCompile(benchmark::State& state) {
+  const dnn::Architecture arch = deep_architecture(static_cast<int>(state.range(0)));
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor(), wifi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.compile(arch));
+  }
+}
+BENCHMARK(BM_PlanCompile)->Arg(8)->Arg(32);
+
+void BM_PlanPrice(benchmark::State& state) {
+  const dnn::Architecture arch = deep_architecture(static_cast<int>(state.range(0)));
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor(), wifi);
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  core::DeploymentEvaluation out;  // price_into reuses its storage
+  double tu = 0.5;
+  for (auto _ : state) {
+    plan.price_into(tu, out);
+    benchmark::DoNotOptimize(out);
+    tu = tu < 64.0 ? tu * 2.0 : 0.5;  // sweep, so no branch gets special-cased
+  }
+  state.counters["options"] = static_cast<double>(plan.num_options());
+}
+BENCHMARK(BM_PlanPrice)->Arg(8)->Arg(32);
 
 // ---- Bayesian optimization: GP posterior maintenance ------------------------
 // BM_GpFit is the full refit (O(n^2 d) Gram + O(n^3) factorization) the MOBO
@@ -272,6 +316,16 @@ int main(int argc, char** argv) {
     const double observe = reporter.time_of("BM_GpObserve/" + size + "/iterations:48");
     if (fit > 0.0 && observe > 0.0) {
       json.add("GpFitVsObserve/" + size, {{"speedup", fit / observe}});
+    }
+  }
+  // Full re-evaluation vs plan re-pricing: the compile/price split's payoff
+  // per architecture depth (acceptance floor: >= 10x).
+  for (const int blocks : {8, 32}) {
+    const std::string size = std::to_string(blocks);
+    const double full = reporter.time_of("BM_EvaluateFull/" + size);
+    const double price = reporter.time_of("BM_PlanPrice/" + size);
+    if (full > 0.0 && price > 0.0) {
+      json.add("PlanPriceVsEvaluate/" + size, {{"speedup", full / price}});
     }
   }
   json.write("BENCH_micro.json");

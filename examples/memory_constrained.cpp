@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 #include "dnn/presets.hpp"
 #include "dnn/summary.hpp"
 #include "perf/predictor.hpp"
@@ -33,7 +34,7 @@ int main() {
     core::EvaluatorConfig config;
     config.edge_memory_budget_bytes = budget;
     const core::DeploymentEvaluator evaluator(predictor, wifi, config);
-    const core::DeploymentEvaluation eval = evaluator.evaluate(model, tu);
+    const core::DeploymentEvaluation eval = evaluator.compile(model).price(tu);
     char label[32];
     if (budget == 0) {
       std::snprintf(label, sizeof label, "unlimited");

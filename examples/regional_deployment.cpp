@@ -7,6 +7,7 @@
 
 #include "core/accuracy.hpp"
 #include "core/nas.hpp"
+#include "core/plan.hpp"
 #include "core/portfolio.hpp"
 #include "dnn/presets.hpp"
 #include "perf/predictor.hpp"
@@ -54,11 +55,14 @@ int main() {
   for (const Rig& rig : rigs) {
     const comm::CommModel comm(rig.technology, 5.0);
     const core::DeploymentEvaluator evaluator(*rig.predictor, comm);
+    // The per-layer predictors run once per rig; every market just re-prices
+    // the compiled plan at its own uplink throughput.
+    const core::DeploymentPlan plan = evaluator.compile(model);
     std::printf("\n=== %s ===\n", rig.label);
     std::printf("%-12s %6s | %-13s %9s | %-13s %9s\n", "market", "t_u", "latency split",
                 "ms", "energy split", "mJ");
     for (const Market& market : markets) {
-      const core::DeploymentEvaluation result = evaluator.evaluate(model, market.tu_mbps);
+      const core::DeploymentEvaluation result = plan.price(market.tu_mbps);
       std::printf("%-12s %6.1f | %-13s %9.1f | %-13s %9.1f\n", market.name, market.tu_mbps,
                   result.latency_choice().label(model).c_str(), result.best_latency_ms(),
                   result.energy_choice().label(model).c_str(), result.best_energy_mj());

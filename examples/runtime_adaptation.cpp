@@ -6,6 +6,7 @@
 
 #include "comm/trace.hpp"
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 #include "dnn/presets.hpp"
 #include "perf/predictor.hpp"
 #include "runtime/deployer.hpp"
@@ -22,9 +23,11 @@ int main() {
   const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 10.0);
   const core::DeploymentEvaluator evaluator(predictor, wifi);
 
-  // Design-time: evaluate every deployment option once (the t_u used here
-  // only picks the representative options; the curves are throughput-free).
-  const core::DeploymentEvaluation evaluation = evaluator.evaluate(model, 10.0);
+  // Design-time: compile the model once, then price the plan at a nominal
+  // t_u just to pick the representative options (the curves themselves are
+  // throughput-free).
+  const core::DeploymentPlan plan = evaluator.compile(model);
+  const core::DeploymentEvaluation evaluation = plan.price(10.0);
   std::vector<core::DeploymentOption> options = {
       evaluation.all_cloud(),
       evaluation.energy_choice().kind == core::DeploymentKind::kPartitioned

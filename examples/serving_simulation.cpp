@@ -7,6 +7,7 @@
 
 #include "core/analysis.hpp"
 #include "core/nas.hpp"
+#include "core/plan.hpp"
 #include "dnn/summary.hpp"
 #include "perf/predictor.hpp"
 #include "sim/system.hpp"
@@ -37,6 +38,8 @@ int main() {
   std::printf("knee-point model %s: err %.1f%%, lat %.1f ms, ene %.1f mJ\n",
               model.name.c_str(), model.error_percent, model.latency_ms, model.energy_mj);
   std::printf("%s\n", dnn::signature(arch).c_str());
+  // One compiled plan feeds every simulated serving configuration below.
+  const core::DeploymentPlan plan = evaluator.compile(arch);
 
   // Runtime environment: correlated WiFi trace (1-second granularity so the
   // simulated transfers see realistic variation).
@@ -60,7 +63,7 @@ int main() {
       sim_config.arrival_rate_hz = rate;
       sim_config.policy = sim::DispatchPolicy::kFixed;
       sim_config.fixed_option = model.deployment.best_latency_option;
-      sim::EdgeCloudSystem system(model.deployment.options, wifi, trace, sim_config);
+      sim::EdgeCloudSystem system(plan, trace, sim_config);
       fixed_stats = system.run();
     }
     {
@@ -68,7 +71,7 @@ int main() {
       sim_config.duration_s = 120.0;
       sim_config.arrival_rate_hz = rate;
       sim_config.policy = sim::DispatchPolicy::kQueueAware;
-      sim::EdgeCloudSystem system(model.deployment.options, wifi, trace, sim_config);
+      sim::EdgeCloudSystem system(plan, trace, sim_config);
       dynamic_stats = system.run();
     }
     std::printf("%-8.0f | %9.0f / %-10.0f | %9.0f / %-10.0f\n", rate,

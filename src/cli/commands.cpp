@@ -6,6 +6,7 @@
 #include "core/analysis.hpp"
 #include "core/export.hpp"
 #include "core/nas.hpp"
+#include "core/plan.hpp"
 #include "dnn/presets.hpp"
 #include "dnn/summary.hpp"
 #include "par/runtime.hpp"
@@ -65,7 +66,7 @@ int cmd_evaluate(const Args& args) {
   if (args.get_bool("summary")) std::printf("%s\n", dnn::summary(arch).c_str());
 
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
-  const core::DeploymentEvaluation result = evaluator.evaluate(arch, tu);
+  const core::DeploymentEvaluation result = evaluator.compile(arch).price(tu);
   std::printf("%s @ %.1f Mbps %s (RTT %.0f ms, %s)\n", arch.name().c_str(), tu,
               rig.tech_name.c_str(), rig.comm.round_trip_ms(),
               rig.simulator.profile().name.c_str());
@@ -145,7 +146,9 @@ int cmd_thresholds(const Args& args) {
   Rig rig = Rig::from_args(args);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
-  const core::DeploymentEvaluation eval = evaluator.evaluate(arch, args.get_double("tu", 10.0));
+  // One compile serves both the printed evaluation and the deployer curves.
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  const core::DeploymentEvaluation eval = plan.price(args.get_double("tu", 10.0));
   const std::string metric_name = args.get("metric", "energy");
   runtime::OptimizeFor metric;
   if (metric_name == "energy") {
@@ -155,7 +158,7 @@ int cmd_thresholds(const Args& args) {
   } else {
     throw std::invalid_argument("unknown --metric '" + metric_name + "' (latency|energy)");
   }
-  const runtime::DynamicDeployer deployer(eval.options, rig.comm, metric, 0.05, 500.0);
+  const runtime::DynamicDeployer deployer(plan, metric, 0.05, 500.0);
   std::printf("%s-optimal deployment vs uplink throughput (%s):\n", metric_name.c_str(),
               arch.name().c_str());
   for (const runtime::DominanceInterval& iv : deployer.intervals()) {
@@ -183,7 +186,8 @@ int cmd_simulate(const Args& args) {
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
   const double tu = args.get_double("tu", 10.0);
-  const core::DeploymentEvaluation eval = evaluator.evaluate(arch, tu);
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  const core::DeploymentEvaluation eval = plan.price(tu);
 
   sim::SimConfig config;
   config.arrival_rate_hz = args.get_double("rate", 10.0);
@@ -210,7 +214,7 @@ int cmd_simulate(const Args& args) {
   comm::ThroughputTrace trace;
   trace.samples_mbps = {tu};
   trace.interval_s = 1000.0;
-  sim::EdgeCloudSystem system(eval.options, rig.comm, trace, config);
+  sim::EdgeCloudSystem system(plan, trace, config);
   const sim::SimStats stats = system.run();
   std::printf("%zu requests over %.0f s at %.1f req/s (%s policy)\n", stats.completed,
               config.duration_s, config.arrival_rate_hz, policy.c_str());

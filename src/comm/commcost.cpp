@@ -14,21 +14,14 @@ CommModel::CommModel(const RadioPowerModel& power_model, double round_trip_ms)
   }
 }
 
-double CommModel::tx_latency_ms(std::uint64_t bytes, double tu_mbps) const {
-  if (tu_mbps <= 0.0) throw std::invalid_argument("CommModel: throughput must be positive");
-  const double bits = static_cast<double>(bytes) * 8.0;
-  // t_u Mbps = t_u * 1e6 bit/s = t_u * 1e3 bit/ms.
-  return bits / (tu_mbps * 1e3);
+CostCurve CommModel::comm_latency_curve(std::uint64_t bytes) const {
+  // L_Tx = bits / (t_u * 1e3) ms.
+  return {round_trip_ms_, static_cast<double>(bytes) * 8.0 / 1e3};
 }
 
-double CommModel::comm_latency_ms(std::uint64_t bytes, double tu_mbps) const {
-  return tx_latency_ms(bytes, tu_mbps) + round_trip_ms_;
-}
-
-double CommModel::tx_energy_mj(std::uint64_t bytes, double tu_mbps) const {
-  const double power_mw = power_model_.transmit_power_mw(tu_mbps);
-  const double latency_s = tx_latency_ms(bytes, tu_mbps) / 1e3;
-  return power_mw * latency_s;  // mW * s = mJ
+CostCurve CommModel::tx_energy_curve(std::uint64_t bytes) const {
+  const double megabits = static_cast<double>(bytes) * 8.0 / 1e6;
+  return {power_model_.alpha_mw_per_mbps * megabits, power_model_.beta_mw * megabits};
 }
 
 }  // namespace lens::comm

@@ -5,10 +5,29 @@
 // Cloud-side compute is free from the edge's perspective (paper §III-A).
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "comm/wireless.hpp"
 
 namespace lens::comm {
+
+/// A cost that is hyperbolic in the upload throughput:
+///   f(t_u) = constant + per_inverse_tu / t_u.
+/// Both end-to-end metrics of a deployment option have this shape (paper
+/// §IV-E), so every option can be summarized by two coefficients and priced
+/// at any throughput without re-running the predictors.
+struct CostCurve {
+  double constant = 0.0;
+  double per_inverse_tu = 0.0;
+
+  /// Throws std::invalid_argument for non-positive throughput.
+  double value(double tu_mbps) const {
+    if (tu_mbps <= 0.0) {
+      throw std::invalid_argument("CostCurve: throughput must be positive");
+    }
+    return constant + per_inverse_tu / tu_mbps;
+  }
+};
 
 /// Network environment: technology, expected upload throughput, and the
 /// measured round-trip latency to the server.
@@ -32,14 +51,42 @@ class CommModel {
     return CommModel(conditions.technology, conditions.round_trip_ms);
   }
 
+  // The three per-call costs below are inline: plan pricing calls them once
+  // or twice per option, and the expressions must stay exactly as written —
+  // priced plans are bit-compared against these very formulas.
+
   /// Transmission latency L_Tx in ms for `bytes` at `tu_mbps`.
-  double tx_latency_ms(std::uint64_t bytes, double tu_mbps) const;
+  double tx_latency_ms(std::uint64_t bytes, double tu_mbps) const {
+    if (tu_mbps <= 0.0) {
+      throw std::invalid_argument("CommModel: throughput must be positive");
+    }
+    const double bits = static_cast<double>(bytes) * 8.0;
+    // t_u Mbps = t_u * 1e6 bit/s = t_u * 1e3 bit/ms.
+    return bits / (tu_mbps * 1e3);
+  }
 
   /// Total communication latency L_comm = L_Tx + L_RT in ms.
-  double comm_latency_ms(std::uint64_t bytes, double tu_mbps) const;
+  double comm_latency_ms(std::uint64_t bytes, double tu_mbps) const {
+    return tx_latency_ms(bytes, tu_mbps) + round_trip_ms_;
+  }
 
   /// Transmission energy E_Tx = P_Tx * L_Tx in mJ.
-  double tx_energy_mj(std::uint64_t bytes, double tu_mbps) const;
+  double tx_energy_mj(std::uint64_t bytes, double tu_mbps) const {
+    const double power_mw = power_model_.transmit_power_mw(tu_mbps);
+    const double latency_s = tx_latency_ms(bytes, tu_mbps) / 1e3;
+    return power_mw * latency_s;  // mW * s = mJ
+  }
+
+  /// Closed form of comm_latency_ms as a function of t_u:
+  ///   L_comm(t_u) = L_RT + bits / (1e3 t_u)   [ms].
+  /// The single source of truth for the latency-vs-throughput algebra used
+  /// by deployment plans and the runtime threshold analysis.
+  CostCurve comm_latency_curve(std::uint64_t bytes) const;
+
+  /// Closed form of tx_energy_mj as a function of t_u:
+  ///   E_Tx(t_u) = (alpha t_u + beta) * Mb / t_u = alpha*Mb + beta*Mb / t_u
+  /// [mJ] — the alpha term of the radio power model folds into the constant.
+  CostCurve tx_energy_curve(std::uint64_t bytes) const;
 
   double round_trip_ms() const { return round_trip_ms_; }
   const RadioPowerModel& power_model() const { return power_model_; }

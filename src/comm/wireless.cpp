@@ -4,13 +4,6 @@
 
 namespace lens::comm {
 
-double RadioPowerModel::transmit_power_mw(double tu_mbps) const {
-  if (tu_mbps <= 0.0) {
-    throw std::invalid_argument("RadioPowerModel: throughput must be positive");
-  }
-  return alpha_mw_per_mbps * tu_mbps + beta_mw;
-}
-
 RadioPowerModel power_model_for(WirelessTechnology tech) {
   switch (tech) {
     case WirelessTechnology::kWifi: return {283.17, 132.86};

@@ -9,6 +9,7 @@
 // Unit conventions used across the whole library:
 //   latency: ms, energy: mJ, power: mW, throughput: Mbps, data size: bytes.
 
+#include <stdexcept>
 #include <string>
 
 namespace lens::comm {
@@ -23,7 +24,14 @@ struct RadioPowerModel {
 
   /// Uplink transmission power in mW at upload throughput `tu_mbps`.
   /// Throws std::invalid_argument for non-positive throughput.
-  double transmit_power_mw(double tu_mbps) const;
+  /// Inline: this sits on the plan-pricing hot path (one call per priced
+  /// transmitting option).
+  double transmit_power_mw(double tu_mbps) const {
+    if (tu_mbps <= 0.0) {
+      throw std::invalid_argument("RadioPowerModel: throughput must be positive");
+    }
+    return alpha_mw_per_mbps * tu_mbps + beta_mw;
+  }
 };
 
 /// The published MobiSys'12 model constants for each technology

@@ -1,7 +1,8 @@
 #include "core/evaluator.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "core/plan.hpp"
 
 namespace lens::core {
 
@@ -55,99 +56,7 @@ DeploymentEvaluator::DeploymentEvaluator(const perf::LayerPerformanceModel& mode
 
 DeploymentEvaluation DeploymentEvaluator::evaluate(const dnn::Architecture& arch,
                                                    double tu_mbps) const {
-  DeploymentEvaluation result;
-  const std::size_t n = arch.num_layers();
-
-  // Lines 5-8: per-layer prediction.
-  result.layer_latency_ms.reserve(n);
-  result.layer_energy_mj.reserve(n);
-  for (const dnn::LayerInfo& info : arch.layers()) {
-    const perf::LayerMeasurement m = model_.predict(info.spec, info.input);
-    result.layer_latency_ms.push_back(m.latency_ms);
-    result.layer_energy_mj.push_back(m.energy_mj());
-  }
-
-  // Cloud execution time of the suffix starting at layer `first` (0 when
-  // the paper's infinite-cloud assumption is in force).
-  std::vector<double> cloud_suffix_ms(n + 1, 0.0);
-  if (config_.cloud_model != nullptr) {
-    for (std::size_t i = n; i-- > 0;) {
-      const dnn::LayerInfo& info = arch.layers()[i];
-      cloud_suffix_ms[i] =
-          cloud_suffix_ms[i + 1] +
-          config_.cloud_model->predict(info.spec, info.input).latency_ms;
-    }
-  }
-
-  // All-Cloud: ship the raw input, wait for the answer. Always feasible —
-  // nothing is resident on the edge.
-  {
-    DeploymentOption o;
-    o.kind = DeploymentKind::kAllCloud;
-    o.tx_bytes = arch.input_bytes(config_.sizes);
-    o.edge_latency_ms = 0.0;
-    o.edge_energy_mj = 0.0;
-    o.cloud_latency_ms = cloud_suffix_ms[0];
-    o.latency_ms = comm_.comm_latency_ms(o.tx_bytes, tu_mbps) + o.cloud_latency_ms;
-    o.energy_mj = comm_.tx_energy_mj(o.tx_bytes, tu_mbps);
-    result.options.push_back(o);
-  }
-
-  // Lines 9-12: each viable split point, with accumulated edge cost plus the
-  // transfer of that layer's output. Options whose edge-resident weights
-  // exceed the memory budget are skipped.
-  const std::uint64_t budget = config_.edge_memory_budget_bytes;
-  double latency_prefix = 0.0;
-  double energy_prefix = 0.0;
-  std::uint64_t weight_prefix = 0;
-  const std::uint64_t input_bytes = arch.input_bytes(config_.sizes);
-  for (std::size_t i = 0; i < n; ++i) {
-    latency_prefix += result.layer_latency_ms[i];
-    energy_prefix += result.layer_energy_mj[i];
-    weight_prefix += 4ULL * arch.layers()[i].params;
-    const std::uint64_t out_bytes = arch.output_bytes(i, config_.sizes);
-    const bool viable = out_bytes < input_bytes;
-    const bool fits = budget == 0 || weight_prefix <= budget;
-    const bool last = i + 1 == n;
-    if (last && fits) {
-      // All-Edge: full on-device execution, no transfer.
-      DeploymentOption o;
-      o.kind = DeploymentKind::kAllEdge;
-      o.edge_latency_ms = latency_prefix;
-      o.edge_energy_mj = energy_prefix;
-      o.latency_ms = latency_prefix;
-      o.energy_mj = energy_prefix;
-      o.edge_weight_bytes = weight_prefix;
-      result.options.push_back(o);
-    } else if (!last && viable && fits) {
-      DeploymentOption o;
-      o.kind = DeploymentKind::kPartitioned;
-      o.split_after = i;
-      o.tx_bytes = out_bytes;
-      o.edge_latency_ms = latency_prefix;
-      o.edge_energy_mj = energy_prefix;
-      o.cloud_latency_ms = cloud_suffix_ms[i + 1];
-      o.latency_ms = latency_prefix + comm_.comm_latency_ms(out_bytes, tu_mbps) +
-                     o.cloud_latency_ms;
-      o.energy_mj = energy_prefix + comm_.tx_energy_mj(out_bytes, tu_mbps);
-      o.edge_weight_bytes = weight_prefix;
-      result.options.push_back(o);
-    }
-  }
-
-  // Lines 13-14: independent minima for each objective.
-  result.best_latency_option = 0;
-  result.best_energy_option = 0;
-  for (std::size_t i = 1; i < result.options.size(); ++i) {
-    if (result.options[i].latency_ms <
-        result.options[result.best_latency_option].latency_ms) {
-      result.best_latency_option = i;
-    }
-    if (result.options[i].energy_mj < result.options[result.best_energy_option].energy_mj) {
-      result.best_energy_option = i;
-    }
-  }
-  return result;
+  return compile(arch).price(tu_mbps);
 }
 
 }  // namespace lens::core

@@ -10,6 +10,10 @@
 // input) complete the option set. The minima over options are the latency /
 // energy objective values (computed independently — the best split for
 // latency need not be the best split for energy).
+//
+// The algorithm runs in two stages (core/plan.hpp): compile(arch) does all
+// predictor work once and yields a throughput-independent DeploymentPlan;
+// price(tu) instantiates the evaluation for a concrete throughput.
 
 #include <cstddef>
 #include <optional>
@@ -90,6 +94,8 @@ struct EvaluatorConfig {
   const perf::LayerPerformanceModel* cloud_model = nullptr;
 };
 
+class DeploymentPlan;
+
 /// Algorithm-1 evaluator bound to a performance model, a communication
 /// model, and a wire-size / memory policy.
 class DeploymentEvaluator {
@@ -99,8 +105,17 @@ class DeploymentEvaluator {
   DeploymentEvaluator(const perf::LayerPerformanceModel& model, comm::CommModel comm,
                       EvaluatorConfig config);
 
+  /// Compile `arch` into a throughput-independent DeploymentPlan: runs the
+  /// per-layer predictors once, precomputes prefix/suffix sums, feasible
+  /// split points, and per-option cost curves. O(l) in the number of
+  /// layers; the returned plan prices any t_u in O(options). Defined in
+  /// core/plan.hpp (include it to use the plan).
+  DeploymentPlan compile(const dnn::Architecture& arch) const;
+
   /// Evaluate all deployment options of `arch` at upload throughput
-  /// `tu_mbps`. O(l) in the number of layers.
+  /// `tu_mbps`. Thin compile(arch).price(tu_mbps) wrapper — bit-identical
+  /// to the historical single-stage implementation; prefer holding the plan
+  /// when evaluating the same architecture at several throughputs.
   DeploymentEvaluation evaluate(const dnn::Architecture& arch, double tu_mbps) const;
 
   const comm::CommModel& comm() const { return comm_; }

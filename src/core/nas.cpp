@@ -39,17 +39,17 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
     }
   }
 
-  // Algorithm 1 is a pure function of (genotype, t_u): fan the uncached
-  // evaluations out over the pool. Architecture lacks a default
+  // compile() is a pure function of the genotype: fan the uncached
+  // compilations out over the pool. Architecture lacks a default
   // constructor, hence the optional slot.
   struct Fresh {
     std::optional<dnn::Architecture> arch;
-    DeploymentEvaluation deployment;
+    DeploymentPlan plan;
   };
   std::vector<Fresh> fresh = par::parallel_map(missing.size(), [&](std::size_t i) {
     Fresh f;
     f.arch.emplace(space_.decode(missing[i]));
-    f.deployment = evaluator_.evaluate(*f.arch, config_.tu_mbps);
+    f.plan = evaluator_.compile(*f.arch);
     return f;
   });
   // The accuracy model is not required to be thread-safe (e.g.
@@ -58,7 +58,7 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
     CacheEntry entry;
     entry.name = fresh[i].arch->name();
     entry.error_percent = accuracy_.test_error_percent(missing[i], *fresh[i].arch);
-    entry.deployment = std::move(fresh[i].deployment);
+    entry.plan = std::move(fresh[i].plan);
     cache_.emplace(std::move(missing[i]), std::move(entry));
   }
   cache_hits_ += genotypes.size() - fresh.size();
@@ -70,7 +70,7 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
     EvaluatedCandidate candidate;
     candidate.genotype = std::move(genotype);
     candidate.name = entry.name;
-    candidate.deployment = entry.deployment;
+    candidate.deployment = entry.plan.price(config_.tu_mbps);
     candidate.error_percent = entry.error_percent;
     switch (config_.mode) {
       case ObjectiveMode::kBestDeployment:

@@ -15,6 +15,7 @@
 
 #include "core/accuracy.hpp"
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 #include "core/search_space.hpp"
 #include "opt/mobo.hpp"
 #include "opt/nsga2.hpp"
@@ -71,8 +72,9 @@ struct EvaluatedCandidate {
 };
 
 /// FNV-1a over the genotype entries; keys the driver's memoizing
-/// evaluation cache (Algorithm-1 results are deterministic per
-/// (genotype, t_u), so re-visited genotypes are served from cache).
+/// evaluation cache. Cached entries are compiled DeploymentPlans —
+/// throughput-independent — so the key is the genotype alone and a cached
+/// candidate can be re-priced at any t_u without predictor work.
 struct GenotypeHash {
   std::size_t operator()(const Genotype& genotype) const noexcept;
 };
@@ -103,10 +105,11 @@ class NasDriver {
   NasResult run();
 
  private:
-  /// Fully evaluated genotype, memoized across the search.
+  /// Compiled genotype, memoized across the search. The plan carries no
+  /// throughput, so the cache never needs invalidating on t_u changes.
   struct CacheEntry {
     std::string name;
-    DeploymentEvaluation deployment;
+    DeploymentPlan plan;
     double error_percent = 0.0;
   };
 

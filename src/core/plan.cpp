@@ -1,0 +1,191 @@
+#include "core/plan.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lens::core {
+
+DeploymentPlan DeploymentEvaluator::compile(const dnn::Architecture& arch) const {
+  DeploymentPlan plan;
+  plan.comm_ = comm_;
+  const std::size_t n = arch.num_layers();
+
+  // Lines 5-8: per-layer prediction — the only predictor calls of the whole
+  // compile/price pipeline.
+  plan.layer_latency_ms_.reserve(n);
+  plan.layer_energy_mj_.reserve(n);
+  for (const dnn::LayerInfo& info : arch.layers()) {
+    const perf::LayerMeasurement m = model_.predict(info.spec, info.input);
+    plan.layer_latency_ms_.push_back(m.latency_ms);
+    plan.layer_energy_mj_.push_back(m.energy_mj());
+  }
+
+  // Cloud execution time of the suffix starting at layer `first` (0 when
+  // the paper's infinite-cloud assumption is in force).
+  std::vector<double> cloud_suffix_ms(n + 1, 0.0);
+  if (config_.cloud_model != nullptr) {
+    for (std::size_t i = n; i-- > 0;) {
+      const dnn::LayerInfo& info = arch.layers()[i];
+      cloud_suffix_ms[i] =
+          cloud_suffix_ms[i + 1] +
+          config_.cloud_model->predict(info.spec, info.input).latency_ms;
+    }
+  }
+
+  const std::uint64_t input_bytes = arch.input_bytes(config_.sizes);
+
+  // All-Cloud: ship the raw input, wait for the answer. Always feasible —
+  // nothing is resident on the edge.
+  {
+    DeploymentOption o;
+    o.kind = DeploymentKind::kAllCloud;
+    o.tx_bytes = input_bytes;
+    o.edge_latency_ms = 0.0;
+    o.edge_energy_mj = 0.0;
+    o.cloud_latency_ms = cloud_suffix_ms[0];
+    plan.options_.push_back(o);
+  }
+
+  // Lines 9-12: each viable split point with its accumulated edge cost.
+  // Options whose edge-resident weights exceed the memory budget are
+  // skipped.
+  const std::uint64_t budget = config_.edge_memory_budget_bytes;
+  double latency_prefix = 0.0;
+  double energy_prefix = 0.0;
+  std::uint64_t weight_prefix = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    latency_prefix += plan.layer_latency_ms_[i];
+    energy_prefix += plan.layer_energy_mj_[i];
+    weight_prefix += 4ULL * arch.layers()[i].params;
+    const std::uint64_t out_bytes = arch.output_bytes(i, config_.sizes);
+    const bool viable = out_bytes < input_bytes;
+    const bool fits = budget == 0 || weight_prefix <= budget;
+    const bool last = i + 1 == n;
+    if (last && fits) {
+      // All-Edge: full on-device execution, no transfer.
+      DeploymentOption o;
+      o.kind = DeploymentKind::kAllEdge;
+      o.edge_latency_ms = latency_prefix;
+      o.edge_energy_mj = energy_prefix;
+      o.edge_weight_bytes = weight_prefix;
+      plan.options_.push_back(o);
+    } else if (!last && viable && fits) {
+      DeploymentOption o;
+      o.kind = DeploymentKind::kPartitioned;
+      o.split_after = i;
+      o.tx_bytes = out_bytes;
+      o.edge_latency_ms = latency_prefix;
+      o.edge_energy_mj = energy_prefix;
+      o.cloud_latency_ms = cloud_suffix_ms[i + 1];
+      o.edge_weight_bytes = weight_prefix;
+      plan.options_.push_back(o);
+    }
+  }
+
+  // Per-option closed-form curves; the comm algebra comes from CommModel.
+  plan.latency_curves_.reserve(plan.options_.size());
+  plan.energy_curves_.reserve(plan.options_.size());
+  for (const DeploymentOption& o : plan.options_) {
+    comm::CostCurve latency{o.edge_latency_ms + o.cloud_latency_ms, 0.0};
+    comm::CostCurve energy{o.edge_energy_mj, 0.0};
+    if (o.tx_bytes > 0) {
+      const comm::CostCurve tx_latency = comm_.comm_latency_curve(o.tx_bytes);
+      latency.constant += tx_latency.constant;
+      latency.per_inverse_tu = tx_latency.per_inverse_tu;
+      const comm::CostCurve tx_energy = comm_.tx_energy_curve(o.tx_bytes);
+      energy.constant += tx_energy.constant;
+      energy.per_inverse_tu = tx_energy.per_inverse_tu;
+    }
+    plan.latency_curves_.push_back(latency);
+    plan.energy_curves_.push_back(energy);
+  }
+  return plan;
+}
+
+// The pricing arithmetic deliberately mirrors the legacy evaluate() path
+// term-for-term (edge prefix + comm + cloud suffix, in that order) so priced
+// plans are bit-identical to the pre-refactor results.
+
+double DeploymentPlan::option_latency_ms(std::size_t index, double tu_mbps) const {
+  const DeploymentOption& o = options_.at(index);
+  if (o.tx_bytes == 0) return o.edge_latency_ms;
+  return o.edge_latency_ms + comm_.comm_latency_ms(o.tx_bytes, tu_mbps) +
+         o.cloud_latency_ms;
+}
+
+double DeploymentPlan::option_energy_mj(std::size_t index, double tu_mbps) const {
+  const DeploymentOption& o = options_.at(index);
+  if (o.tx_bytes == 0) return o.edge_energy_mj;
+  return o.edge_energy_mj + comm_.tx_energy_mj(o.tx_bytes, tu_mbps);
+}
+
+DeploymentEvaluation DeploymentPlan::price(double tu_mbps) const {
+  DeploymentEvaluation result;
+  price_into(tu_mbps, result);
+  return result;
+}
+
+void DeploymentPlan::price_into(double tu_mbps, DeploymentEvaluation& out) const {
+  if (tu_mbps <= 0.0) {
+    throw std::invalid_argument("DeploymentPlan: throughput must be positive");
+  }
+  if (options_.empty()) throw std::logic_error("DeploymentPlan: empty plan");
+  out.options.assign(options_.begin(), options_.end());
+  out.layer_latency_ms = layer_latency_ms_;
+  out.layer_energy_mj = layer_energy_mj_;
+  for (DeploymentOption& o : out.options) {
+    if (o.tx_bytes == 0) {
+      o.latency_ms = o.edge_latency_ms;
+      o.energy_mj = o.edge_energy_mj;
+    } else {
+      o.latency_ms = o.edge_latency_ms + comm_.comm_latency_ms(o.tx_bytes, tu_mbps) +
+                     o.cloud_latency_ms;
+      o.energy_mj = o.edge_energy_mj + comm_.tx_energy_mj(o.tx_bytes, tu_mbps);
+    }
+  }
+
+  // Lines 13-14: independent minima for each objective.
+  out.best_latency_option = 0;
+  out.best_energy_option = 0;
+  for (std::size_t i = 1; i < out.options.size(); ++i) {
+    if (out.options[i].latency_ms < out.options[out.best_latency_option].latency_ms) {
+      out.best_latency_option = i;
+    }
+    if (out.options[i].energy_mj < out.options[out.best_energy_option].energy_mj) {
+      out.best_energy_option = i;
+    }
+  }
+}
+
+PricedObjectives DeploymentPlan::objectives_at(double tu_mbps) const {
+  if (tu_mbps <= 0.0) {
+    throw std::invalid_argument("DeploymentPlan: throughput must be positive");
+  }
+  if (options_.empty()) throw std::logic_error("DeploymentPlan: empty plan");
+  PricedObjectives best;
+  best.best_latency_ms = option_latency_ms(0, tu_mbps);
+  best.best_energy_mj = option_energy_mj(0, tu_mbps);
+  for (std::size_t i = 1; i < options_.size(); ++i) {
+    const double latency = option_latency_ms(i, tu_mbps);
+    const double energy = option_energy_mj(i, tu_mbps);
+    if (latency < best.best_latency_ms) {
+      best.best_latency_ms = latency;
+      best.best_latency_option = i;
+    }
+    if (energy < best.best_energy_mj) {
+      best.best_energy_mj = energy;
+      best.best_energy_option = i;
+    }
+  }
+  return best;
+}
+
+std::vector<PricedObjectives> DeploymentPlan::price_batch(
+    const std::vector<double>& tus_mbps) const {
+  std::vector<PricedObjectives> out;
+  out.reserve(tus_mbps.size());
+  for (double tu : tus_mbps) out.push_back(objectives_at(tu));
+  return out;
+}
+
+}  // namespace lens::core

@@ -1,0 +1,89 @@
+#pragma once
+// Compiled deployment plans: Algorithm 1 split into compile(arch) / price(tu).
+//
+// compile() runs the per-layer performance predictors exactly once and
+// precomputes everything that does not depend on the upload throughput:
+// latency/energy prefix sums, cloud suffix sums, memory-feasible split
+// points, and the closed-form cost-vs-t_u curve pair of every option
+// (constant + per_inverse_tu / t_u, with the comm algebra supplied by
+// comm::CommModel). price() then produces a full DeploymentEvaluation in
+// O(options) with zero predictor calls — and, via price_into / objectives_at,
+// zero allocation — so multi-throughput consumers (robust evaluation,
+// regional portfolios, threshold analysis, the serving simulator) pay the
+// predictor pipeline once per architecture instead of once per query.
+//
+// Determinism contract: price(tu) reproduces the pre-refactor
+// DeploymentEvaluator::evaluate(arch, tu) bit-for-bit (same arithmetic,
+// same operation order, same option ordering), so plans can be cached and
+// shared freely without perturbing search trajectories.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/commcost.hpp"
+#include "core/evaluator.hpp"
+
+namespace lens::core {
+
+/// The throughput-dependent summary of one priced plan: both objective
+/// minima and their argmin options. Allocation-free.
+struct PricedObjectives {
+  double best_latency_ms = 0.0;
+  double best_energy_mj = 0.0;
+  std::size_t best_latency_option = 0;
+  std::size_t best_energy_option = 0;
+};
+
+/// Throughput-independent compilation of Algorithm 1 for one architecture.
+///
+/// The stored options carry only the t_u-free fields (edge costs, tx bytes,
+/// cloud suffix latency, resident weights); their latency_ms / energy_mj
+/// fields stay zero until priced. A plan is self-contained — it copies the
+/// communication model — so it can outlive the evaluator that compiled it
+/// (e.g. inside the NAS driver's genotype-keyed cache).
+class DeploymentPlan {
+ public:
+  DeploymentPlan() = default;
+
+  std::size_t num_options() const { return options_.size(); }
+  /// Option descriptors with unpriced (zero) latency_ms / energy_mj.
+  const std::vector<DeploymentOption>& options() const { return options_; }
+  const std::vector<double>& layer_latency_ms() const { return layer_latency_ms_; }
+  const std::vector<double>& layer_energy_mj() const { return layer_energy_mj_; }
+  const comm::CommModel& comm() const { return comm_; }
+
+  /// Closed-form cost-vs-t_u curve of each option, aligned with options().
+  const std::vector<comm::CostCurve>& latency_curves() const { return latency_curves_; }
+  const std::vector<comm::CostCurve>& energy_curves() const { return energy_curves_; }
+
+  /// End-to-end cost of option `index` at throughput `tu_mbps`, using the
+  /// exact arithmetic of the legacy evaluate() path (bit-identical).
+  double option_latency_ms(std::size_t index, double tu_mbps) const;
+  double option_energy_mj(std::size_t index, double tu_mbps) const;
+
+  /// Full Algorithm-1 result at `tu_mbps`: O(options), no predictor calls.
+  DeploymentEvaluation price(double tu_mbps) const;
+
+  /// As price(), but reuses `out`'s storage — allocation-free once the
+  /// vectors have grown to capacity (hot loops over throughput sweeps).
+  void price_into(double tu_mbps, DeploymentEvaluation& out) const;
+
+  /// Objective minima only — no DeploymentEvaluation materialized at all.
+  PricedObjectives objectives_at(double tu_mbps) const;
+
+  /// objectives_at over a throughput sweep (one result per input, in order).
+  std::vector<PricedObjectives> price_batch(const std::vector<double>& tus_mbps) const;
+
+ private:
+  friend class DeploymentEvaluator;
+
+  std::vector<DeploymentOption> options_;
+  std::vector<comm::CostCurve> latency_curves_;
+  std::vector<comm::CostCurve> energy_curves_;
+  std::vector<double> layer_latency_ms_;
+  std::vector<double> layer_energy_mj_;
+  comm::CommModel comm_{comm::WirelessTechnology::kWifi, 0.0};
+};
+
+}  // namespace lens::core

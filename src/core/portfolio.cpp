@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/plan.hpp"
+
 namespace lens::core {
 
 PortfolioResult plan_portfolio(const NasResult& result, const SearchSpace& space,
@@ -23,12 +25,15 @@ PortfolioResult plan_portfolio(const NasResult& result, const SearchSpace& space
     const EvaluatedCandidate& candidate = result.history.at(p.id);
     if (candidate.error_percent > config.max_error_percent) continue;
     const dnn::Architecture arch = space.decode(candidate.genotype);
+    // Predictors run once per candidate; each region only re-prices the plan.
+    const DeploymentPlan compiled = evaluator.compile(arch);
 
     std::vector<RegionPlan> plans;
     plans.reserve(regions.size());
     double aggregate = config.aggregate == Aggregate::kMean ? 0.0 : -1.0;
+    DeploymentEvaluation eval;
     for (const Region& region : regions) {
-      const DeploymentEvaluation eval = evaluator.evaluate(arch, region.tu_mbps);
+      compiled.price_into(region.tu_mbps, eval);
       RegionPlan plan;
       plan.region = region;
       if (config.objective == kLatencyObjective) {

@@ -36,28 +36,24 @@ double inverse_normal_cdf(double p) {
   return p < 0.5 ? -x : x;
 }
 
-/// Cost of one option at a specific throughput, from its stored components.
-double option_cost(const DeploymentOption& option, const comm::CommModel& comm,
-                   double tu_mbps, bool latency) {
-  if (latency) {
-    return option.edge_latency_ms + option.cloud_latency_ms +
-           (option.tx_bytes > 0 ? comm.comm_latency_ms(option.tx_bytes, tu_mbps) : 0.0);
-  }
-  return option.edge_energy_mj +
-         (option.tx_bytes > 0 ? comm.tx_energy_mj(option.tx_bytes, tu_mbps) : 0.0);
+/// Cost of one plan option at a specific throughput (the plan owns the
+/// comm algebra; no formula is re-derived here).
+double option_cost(const DeploymentPlan& plan, std::size_t index, double tu_mbps,
+                   bool latency) {
+  return latency ? plan.option_latency_ms(index, tu_mbps)
+                 : plan.option_energy_mj(index, tu_mbps);
 }
 
-RobustMetric robust_metric(const std::vector<DeploymentOption>& options,
-                           const comm::CommModel& comm,
+RobustMetric robust_metric(const DeploymentPlan& plan,
                            const ThroughputDistribution& distribution, bool latency) {
   RobustMetric metric;
   double best_fixed = std::numeric_limits<double>::infinity();
   std::size_t best_index = 0;
-  for (std::size_t i = 0; i < options.size(); ++i) {
+  for (std::size_t i = 0; i < plan.num_options(); ++i) {
     double expected = 0.0;
     for (std::size_t s = 0; s < distribution.tu_mbps.size(); ++s) {
       expected += distribution.weight[s] *
-                  option_cost(options[i], comm, distribution.tu_mbps[s], latency);
+                  option_cost(plan, i, distribution.tu_mbps[s], latency);
     }
     if (expected < best_fixed) {
       best_fixed = expected;
@@ -70,9 +66,8 @@ RobustMetric robust_metric(const std::vector<DeploymentOption>& options,
   double oracle = 0.0;
   for (std::size_t s = 0; s < distribution.tu_mbps.size(); ++s) {
     double cheapest = std::numeric_limits<double>::infinity();
-    for (const DeploymentOption& option : options) {
-      cheapest = std::min(cheapest,
-                          option_cost(option, comm, distribution.tu_mbps[s], latency));
+    for (std::size_t i = 0; i < plan.num_options(); ++i) {
+      cheapest = std::min(cheapest, option_cost(plan, i, distribution.tu_mbps[s], latency));
     }
     oracle += distribution.weight[s] * cheapest;
   }
@@ -138,12 +133,14 @@ RobustDeploymentEvaluator::RobustDeploymentEvaluator(const DeploymentEvaluator& 
 }
 
 RobustEvaluation RobustDeploymentEvaluator::evaluate(const dnn::Architecture& arch) const {
+  return evaluate(evaluator_.compile(arch));
+}
+
+RobustEvaluation RobustDeploymentEvaluator::evaluate(const DeploymentPlan& plan) const {
   RobustEvaluation result;
-  result.base = evaluator_.evaluate(arch, distribution_.mean());
-  result.latency =
-      robust_metric(result.base.options, evaluator_.comm(), distribution_, /*latency=*/true);
-  result.energy =
-      robust_metric(result.base.options, evaluator_.comm(), distribution_, /*latency=*/false);
+  result.base = plan.price(distribution_.mean());
+  result.latency = robust_metric(plan, distribution_, /*latency=*/true);
+  result.energy = robust_metric(plan, distribution_, /*latency=*/false);
   return result;
 }
 

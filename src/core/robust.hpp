@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 
 namespace lens::core {
 
@@ -62,7 +63,12 @@ class RobustDeploymentEvaluator {
   RobustDeploymentEvaluator(const DeploymentEvaluator& evaluator,
                             ThroughputDistribution distribution);
 
+  /// Compiles `arch` once and scores the plan across the distribution.
   RobustEvaluation evaluate(const dnn::Architecture& arch) const;
+
+  /// Scores an already-compiled plan — no predictor work at all. Use this
+  /// to evaluate the same architecture under several distributions.
+  RobustEvaluation evaluate(const DeploymentPlan& plan) const;
 
   const ThroughputDistribution& distribution() const { return distribution_; }
 

@@ -7,7 +7,7 @@ namespace lens::runtime {
 DynamicDeployer::DynamicDeployer(std::vector<core::DeploymentOption> options,
                                  const comm::CommModel& comm, OptimizeFor metric,
                                  double tu_min, double tu_max)
-    : options_(std::move(options)), metric_(metric) {
+    : options_(std::move(options)), metric_(metric), tu_min_(tu_min) {
   if (options_.empty()) throw std::invalid_argument("DynamicDeployer: no options");
   curves_.reserve(options_.size());
   for (const core::DeploymentOption& o : options_) {
@@ -16,26 +16,42 @@ DynamicDeployer::DynamicDeployer(std::vector<core::DeploymentOption> options,
   intervals_ = dominance_intervals(curves_, tu_min, tu_max);
 }
 
+DynamicDeployer::DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor metric,
+                                 double tu_min, double tu_max)
+    : options_(plan.options()),
+      curves_(metric == OptimizeFor::kLatency ? plan.latency_curves()
+                                              : plan.energy_curves()),
+      metric_(metric),
+      tu_min_(tu_min) {
+  if (options_.empty()) throw std::invalid_argument("DynamicDeployer: empty plan");
+  intervals_ = dominance_intervals(curves_, tu_min, tu_max);
+}
+
 std::size_t DynamicDeployer::select(double tu_mbps) const {
-  if (tu_mbps <= 0.0) throw std::invalid_argument("DynamicDeployer: throughput must be positive");
+  const double tu = effective_tu(tu_mbps);
   for (const DominanceInterval& iv : intervals_) {
-    if (tu_mbps >= iv.tu_low && tu_mbps < iv.tu_high) return iv.option_index;
+    if (tu >= iv.tu_low && tu < iv.tu_high) return iv.option_index;
   }
   // Outside the analyzed range: clamp to the nearest end's winner.
-  return tu_mbps < intervals_.front().tu_low ? intervals_.front().option_index
-                                             : intervals_.back().option_index;
+  return tu < intervals_.front().tu_low ? intervals_.front().option_index
+                                        : intervals_.back().option_index;
 }
 
 namespace {
 PlaybackResult accumulate(const comm::ThroughputTrace& trace,
                           const std::vector<CostCurve>& curves,
-                          const std::vector<std::size_t>& choices) {
+                          const std::vector<std::size_t>& choices, double tu_min) {
   PlaybackResult r;
   r.per_sample_cost.reserve(trace.size());
   r.cumulative_cost.reserve(trace.size());
   r.chosen_option = choices;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const double cost = curves[choices[i]].value(trace.samples_mbps[i]);
+    double tu = trace.samples_mbps[i];
+    if (tu <= 0.0) {  // link outage: price at the analyzed floor
+      ++r.outages;
+      tu = tu_min;
+    }
+    const double cost = curves[choices[i]].value(tu);
     r.per_sample_cost.push_back(cost);
     r.total_cost += cost;
     r.cumulative_cost.push_back(r.total_cost);
@@ -50,10 +66,11 @@ std::size_t DynamicDeployer::select_with_hysteresis(double tu_mbps, std::size_t 
     throw std::out_of_range("select_with_hysteresis: bad current option");
   }
   if (margin < 0.0) throw std::invalid_argument("select_with_hysteresis: negative margin");
-  const std::size_t cheapest = select(tu_mbps);
+  const double tu = effective_tu(tu_mbps);
+  const std::size_t cheapest = select(tu);
   if (cheapest == current) return current;
-  const double current_cost = curves_[current].value(tu_mbps);
-  const double cheapest_cost = curves_[cheapest].value(tu_mbps);
+  const double current_cost = curves_[current].value(tu);
+  const double cheapest_cost = curves_[cheapest].value(tu);
   return cheapest_cost < current_cost * (1.0 - margin) ? cheapest : current;
 }
 
@@ -65,7 +82,7 @@ PlaybackResult DynamicDeployer::play_dynamic(const comm::ThroughputTrace& trace,
   std::vector<std::size_t> choices;
   choices.reserve(trace.size());
   for (double tu : trace.samples_mbps) {
-    tracker.report(tu);
+    tracker.report(effective_tu(tu));
     if (hysteresis_margin > 0.0 && !choices.empty()) {
       choices.push_back(select_with_hysteresis(tracker.estimate_mbps(), choices.back(),
                                                hysteresis_margin));
@@ -73,7 +90,7 @@ PlaybackResult DynamicDeployer::play_dynamic(const comm::ThroughputTrace& trace,
       choices.push_back(select(tracker.estimate_mbps()));
     }
   }
-  return accumulate(trace, curves_, choices);
+  return accumulate(trace, curves_, choices, tu_min_);
 }
 
 PlaybackResult DynamicDeployer::play_fixed(const comm::ThroughputTrace& trace,
@@ -82,8 +99,8 @@ PlaybackResult DynamicDeployer::play_fixed(const comm::ThroughputTrace& trace,
   if (option_index >= options_.size()) {
     throw std::out_of_range("play_fixed: bad option index");
   }
-  return accumulate(trace, curves_,
-                    std::vector<std::size_t>(trace.size(), option_index));
+  return accumulate(trace, curves_, std::vector<std::size_t>(trace.size(), option_index),
+                    tu_min_);
 }
 
 }  // namespace lens::runtime

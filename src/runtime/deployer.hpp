@@ -14,6 +14,7 @@
 #include "comm/commcost.hpp"
 #include "comm/trace.hpp"
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 #include "runtime/threshold.hpp"
 #include "runtime/tracker.hpp"
 
@@ -25,6 +26,9 @@ struct PlaybackResult {
   std::vector<double> per_sample_cost;     ///< one inference per trace sample
   std::vector<double> cumulative_cost;     ///< running sum
   std::vector<std::size_t> chosen_option;  ///< option index per sample
+  /// Trace samples with non-positive throughput (link outages); they are
+  /// priced at the analyzed tu_min instead of aborting the playback.
+  std::size_t outages = 0;
 };
 
 /// Runtime option selector for one model.
@@ -35,7 +39,14 @@ class DynamicDeployer {
   DynamicDeployer(std::vector<core::DeploymentOption> options, const comm::CommModel& comm,
                   OptimizeFor metric, double tu_min = 0.05, double tu_max = 1000.0);
 
-  /// Index (into options()) of the cheapest option at `tu_mbps`.
+  /// All options of a compiled plan, with the cost curves taken straight
+  /// from the plan (no re-derivation of the comm algebra).
+  DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor metric,
+                  double tu_min = 0.05, double tu_max = 1000.0);
+
+  /// Index (into options()) of the cheapest option at `tu_mbps`. A
+  /// non-positive throughput (link outage) is clamped to the analyzed
+  /// tu_min — the most pessimistic state the threshold analysis covers.
   std::size_t select(double tu_mbps) const;
 
   /// Hysteretic selection: keep `current` unless the cheapest option beats
@@ -64,10 +75,14 @@ class DynamicDeployer {
                             std::size_t option_index) const;
 
  private:
+  /// Outage policy: non-positive throughput prices as tu_min_.
+  double effective_tu(double tu_mbps) const { return tu_mbps > 0.0 ? tu_mbps : tu_min_; }
+
   std::vector<core::DeploymentOption> options_;
   std::vector<CostCurve> curves_;
   std::vector<DominanceInterval> intervals_;
   OptimizeFor metric_;
+  double tu_min_ = 0.05;
 };
 
 }  // namespace lens::runtime

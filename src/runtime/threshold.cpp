@@ -7,18 +7,16 @@
 
 namespace lens::runtime {
 
-double CostCurve::value(double tu_mbps) const {
-  if (tu_mbps <= 0.0) throw std::invalid_argument("CostCurve: throughput must be positive");
-  return constant + per_inverse_tu / tu_mbps;
-}
+// The comm cost algebra is owned by comm::CommModel; these helpers only add
+// the option's throughput-free edge/cloud constants on top.
 
 CostCurve latency_curve(const core::DeploymentOption& option, const comm::CommModel& comm) {
   CostCurve c;
   c.constant = option.edge_latency_ms + option.cloud_latency_ms;
   if (option.tx_bytes > 0) {
-    c.constant += comm.round_trip_ms();
-    // L_Tx = bits / (t_u * 1e3) ms.
-    c.per_inverse_tu = static_cast<double>(option.tx_bytes) * 8.0 / 1e3;
+    const CostCurve tx = comm.comm_latency_curve(option.tx_bytes);
+    c.constant += tx.constant;
+    c.per_inverse_tu = tx.per_inverse_tu;
   }
   return c;
 }
@@ -27,11 +25,9 @@ CostCurve energy_curve(const core::DeploymentOption& option, const comm::CommMod
   CostCurve c;
   c.constant = option.edge_energy_mj;
   if (option.tx_bytes > 0) {
-    const double megabits = static_cast<double>(option.tx_bytes) * 8.0 / 1e6;
-    const comm::RadioPowerModel& p = comm.power_model();
-    // E_Tx = (alpha t_u + beta) * Mb / t_u = alpha*Mb + beta*Mb / t_u [mJ].
-    c.constant += p.alpha_mw_per_mbps * megabits;
-    c.per_inverse_tu = p.beta_mw * megabits;
+    const CostCurve tx = comm.tx_energy_curve(option.tx_bytes);
+    c.constant += tx.constant;
+    c.per_inverse_tu = tx.per_inverse_tu;
   }
   return c;
 }
@@ -45,7 +41,15 @@ CostCurve cost_curve(const core::DeploymentOption& option, const comm::CommModel
 std::optional<double> crossover_tu(const CostCurve& a, const CostCurve& b) {
   const double d_const = a.constant - b.constant;
   const double d_slope = b.per_inverse_tu - a.per_inverse_tu;
-  if (std::abs(d_const) < 1e-15 || std::abs(d_slope) < 1e-15) return std::nullopt;
+  // Degeneracy is relative to the coefficient magnitudes: an absolute
+  // epsilon would miss crossings between large-valued curves (their
+  // difference is legitimately big on an absolute scale) and fabricate
+  // crossings between near-identical ones.
+  const double const_scale = std::max(std::abs(a.constant), std::abs(b.constant));
+  const double slope_scale = std::max(std::abs(a.per_inverse_tu), std::abs(b.per_inverse_tu));
+  constexpr double kRelEps = 1e-12;
+  if (std::abs(d_const) <= kRelEps * const_scale) return std::nullopt;
+  if (std::abs(d_slope) <= kRelEps * slope_scale) return std::nullopt;
   const double tu = d_slope / d_const;
   if (tu <= 0.0 || !std::isfinite(tu)) return std::nullopt;
   return tu;
@@ -67,8 +71,16 @@ std::vector<DominanceInterval> dominance_intervals(const std::vector<CostCurve>&
     }
   }
   std::sort(edges.begin(), edges.end());
+  // Merge breakpoints that coincide up to relative rounding error. All
+  // edges are positive and sorted, so (b - a) <= eps * b is a symmetric-
+  // enough relative test; an absolute epsilon would glue together distinct
+  // crossings in the multi-hundred-Mbps regime and keep duplicates apart
+  // in the sub-kbps one.
+  constexpr double kRelDedup = 1e-9;
   edges.erase(std::unique(edges.begin(), edges.end(),
-                          [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+                          [](double a, double b) {
+                            return std::abs(b - a) <= kRelDedup * std::max(a, b);
+                          }),
               edges.end());
 
   auto best_at = [&](double tu) {

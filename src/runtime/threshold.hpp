@@ -22,15 +22,14 @@ namespace lens::runtime {
 /// Which metric the runtime system optimizes when switching options.
 enum class OptimizeFor { kLatency, kEnergy };
 
-/// f(t_u) = constant + per_inverse_tu / t_u.
-struct CostCurve {
-  double constant = 0.0;
-  double per_inverse_tu = 0.0;
-
-  double value(double tu_mbps) const;
-};
+/// f(t_u) = constant + per_inverse_tu / t_u. The closed-form comm algebra
+/// lives in comm::CommModel (comm_latency_curve / tx_energy_curve); compiled
+/// core::DeploymentPlans carry one curve pair per option, so runtime
+/// consumers normally take curves straight from the plan.
+using CostCurve = comm::CostCurve;
 
 /// Cost-vs-throughput curve of a deployment option for the latency metric.
+/// For options from a compiled plan, prefer DeploymentPlan::latency_curves().
 CostCurve latency_curve(const core::DeploymentOption& option, const comm::CommModel& comm);
 
 /// Cost-vs-throughput curve for the (edge) energy metric.

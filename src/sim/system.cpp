@@ -28,6 +28,23 @@ EdgeCloudSystem::EdgeCloudSystem(std::vector<core::DeploymentOption> options,
   }
 }
 
+EdgeCloudSystem::EdgeCloudSystem(const core::DeploymentPlan& plan,
+                                 comm::ThroughputTrace trace, SimConfig config)
+    : options_(plan.options()),
+      comm_(plan.comm()),
+      trace_(std::move(trace)),
+      config_(config),
+      curves_(config.metric == runtime::OptimizeFor::kLatency ? plan.latency_curves()
+                                                              : plan.energy_curves()) {
+  if (options_.empty()) throw std::invalid_argument("EdgeCloudSystem: empty plan");
+  if (config_.fixed_option >= options_.size()) {
+    throw std::invalid_argument("EdgeCloudSystem: bad fixed option index");
+  }
+  if (config_.duration_s <= 0.0 || config_.arrival_rate_hz <= 0.0) {
+    throw std::invalid_argument("EdgeCloudSystem: bad duration or arrival rate");
+  }
+}
+
 std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& link,
                                          const ResourceTimeline& edge) const {
   if (config_.policy == DispatchPolicy::kFixed) return config_.fixed_option;

@@ -18,6 +18,7 @@
 #include "comm/commcost.hpp"
 #include "comm/trace.hpp"
 #include "core/evaluator.hpp"
+#include "core/plan.hpp"
 #include "runtime/threshold.hpp"
 #include "sim/link.hpp"
 #include "sim/timeline.hpp"
@@ -78,6 +79,11 @@ class EdgeCloudSystem {
   /// drives the link's instantaneous throughput.
   EdgeCloudSystem(std::vector<core::DeploymentOption> options, comm::CommModel comm,
                   comm::ThroughputTrace trace, SimConfig config);
+
+  /// Serve a compiled plan: options, comm model, and dispatch cost curves
+  /// are all taken from the plan (no curve re-derivation).
+  EdgeCloudSystem(const core::DeploymentPlan& plan, comm::ThroughputTrace trace,
+                  SimConfig config);
 
   /// Run the full simulation. May be called once per instance.
   SimStats run();

@@ -203,12 +203,46 @@ TEST_F(DeployerTest, PlaybackAccountingIsConsistent) {
 TEST_F(DeployerTest, Validation) {
   EXPECT_THROW(DynamicDeployer({}, comm_, OptimizeFor::kEnergy), std::invalid_argument);
   const DynamicDeployer deployer(options_, comm_, OptimizeFor::kEnergy);
-  EXPECT_THROW(deployer.select(0.0), std::invalid_argument);
   comm::ThroughputTrace empty;
   EXPECT_THROW(deployer.play_dynamic(empty), std::invalid_argument);
   comm::TraceGenerator generator;
   const comm::ThroughputTrace trace = generator.generate(5);
   EXPECT_THROW(deployer.play_fixed(trace, 99), std::out_of_range);
+}
+
+TEST_F(DeployerTest, OutageSelectsAsAnalyzedFloor) {
+  const DynamicDeployer deployer(options_, comm_, OptimizeFor::kEnergy, 0.05, 500.0);
+  // A dead link (tu <= 0) behaves like the most pessimistic analyzed state
+  // instead of throwing.
+  EXPECT_EQ(deployer.select(0.0), deployer.select(0.05));
+  EXPECT_EQ(deployer.select(-3.0), deployer.select(0.05));
+  EXPECT_EQ(deployer.select_with_hysteresis(0.0, 0), deployer.select_with_hysteresis(0.05, 0));
+}
+
+TEST_F(DeployerTest, OutageSamplesAreCountedAndPricedAtFloor) {
+  const double tu_min = 0.05;
+  const DynamicDeployer deployer(options_, comm_, OptimizeFor::kEnergy, tu_min, 500.0);
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {8.0, 0.0, 6.0, -1.0, 4.0};
+  trace.interval_s = 1.0;
+
+  const PlaybackResult dynamic = deployer.play_dynamic(trace, /*tracker_alpha=*/1.0);
+  EXPECT_EQ(dynamic.outages, 2u);
+  ASSERT_EQ(dynamic.per_sample_cost.size(), 5u);
+  // Outage samples are charged at the floor throughput for whatever option
+  // was selected.
+  for (const std::size_t i : {1u, 3u}) {
+    EXPECT_DOUBLE_EQ(dynamic.per_sample_cost[i],
+                     deployer.curves()[dynamic.chosen_option[i]].value(tu_min));
+  }
+
+  const PlaybackResult fixed = deployer.play_fixed(trace, 2);
+  EXPECT_EQ(fixed.outages, 2u);
+  EXPECT_DOUBLE_EQ(fixed.per_sample_cost[1], deployer.curves()[2].value(tu_min));
+
+  // A clean trace reports zero outages.
+  comm::TraceGenerator generator;
+  EXPECT_EQ(deployer.play_dynamic(generator.generate(10)).outages, 0u);
 }
 
 // End-to-end runtime scenario on the real AlexNet options: the paper's
