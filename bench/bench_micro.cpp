@@ -16,9 +16,11 @@
 #include "core/evaluator.hpp"
 #include "core/plan.hpp"
 #include "core/search_space.hpp"
+#include "dnn/presets.hpp"
 #include "opt/gp.hpp"
 #include "opt/matrix.hpp"
 #include "perf/predictor.hpp"
+#include "sim/system.hpp"
 
 namespace {
 
@@ -261,6 +263,46 @@ void BM_SearchSpaceDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchSpaceDecode);
 
+// ---- Serving simulation: fault injection overhead ---------------------------
+// Arg(0) = fault-free, Arg(1) = all four fault classes active. The
+// BENCH_micro.json "SimFaultyVsClean" row tracks the injector's overhead on
+// end-to-end serving throughput (fault-free must stay ~free: the injector
+// is a null pointer check on the hot path).
+
+void BM_SimFaulty(benchmark::State& state) {
+  const bool faulty = state.range(0) != 0;
+  const dnn::Architecture arch = dnn::alexnet();
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor(), wifi);
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {30.0};
+  trace.interval_s = 1000.0;
+  sim::SimConfig config;
+  config.duration_s = 20.0;
+  config.arrival_rate_hz = 20.0;
+  config.policy = sim::DispatchPolicy::kDynamic;
+  config.metric = runtime::OptimizeFor::kLatency;
+  if (faulty) {
+    config.faults.link_outage_rate_hz = 1.0 / 10.0;
+    config.faults.link_outage_mean_s = 2.0;
+    config.faults.cloud_outage_rate_hz = 1.0 / 15.0;
+    config.faults.cloud_outage_mean_s = 3.0;
+    config.faults.rtt_spike_rate_hz = 1.0 / 12.0;
+    config.faults.edge_slowdown_rate_hz = 1.0 / 20.0;
+  }
+  std::size_t requests = 0;
+  for (auto _ : state) {
+    sim::EdgeCloudSystem system(plan, trace, config);
+    const sim::SimStats stats = system.run();
+    benchmark::DoNotOptimize(stats);
+    requests += stats.completed + stats.dropped;
+  }
+  state.counters["requests_per_s"] =
+      benchmark::Counter(static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimFaulty)->Arg(0)->Arg(1);
+
 // ---- JSON output -------------------------------------------------------------
 
 /// Console reporter that additionally collects per-run adjusted real times
@@ -326,6 +368,14 @@ int main(int argc, char** argv) {
     const double price = reporter.time_of("BM_PlanPrice/" + size);
     if (full > 0.0 && price > 0.0) {
       json.add("PlanPriceVsEvaluate/" + size, {{"speedup", full / price}});
+    }
+  }
+  // Fault-injected vs fault-free serving: the injector's end-to-end cost.
+  {
+    const double clean = reporter.time_of("BM_SimFaulty/0");
+    const double faulty = reporter.time_of("BM_SimFaulty/1");
+    if (clean > 0.0 && faulty > 0.0) {
+      json.add("SimFaultyVsClean", {{"overhead", faulty / clean}});
     }
   }
   json.write("BENCH_micro.json");

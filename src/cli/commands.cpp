@@ -7,6 +7,7 @@
 #include "core/export.hpp"
 #include "core/nas.hpp"
 #include "core/plan.hpp"
+#include "core/robust.hpp"
 #include "dnn/presets.hpp"
 #include "dnn/summary.hpp"
 #include "par/runtime.hpp"
@@ -231,6 +232,90 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_faults(const Args& args) {
+  args.expect_known({"arch", "tech", "rtt", "device", "tu", "rate", "duration", "seed",
+                     "timeout", "retries", "threads"});
+  Rig rig = Rig::from_args(args);
+  const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
+  const double tu = args.get_double("tu", 10.0);
+  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  const core::DeploymentEvaluation eval = plan.price(tu);
+
+  // Design-time pricing: what each degraded scenario costs, and whether the
+  // option set can serve it at all.
+  const core::RobustDeploymentEvaluator robust(
+      evaluator, core::ThroughputDistribution::from_samples({tu}));
+  const core::FaultEvaluation priced =
+      robust.evaluate_under_faults(plan, core::default_fault_scenarios(tu));
+  std::printf("fault-scenario pricing for %s @ %.1f Mbps nominal:\n", arch.name().c_str(),
+              tu);
+  std::printf("%-15s %6s %9s %-14s %12s\n", "scenario", "prob", "servable", "best option",
+              "latency(ms)");
+  for (const core::FaultScenarioOutcome& o : priced.outcomes) {
+    std::printf("%-15s %6.2f %9s %-14s %12.1f\n", o.scenario.name.c_str(),
+                o.scenario.probability, o.servable ? "yes" : "NO",
+                o.servable ? eval.options[o.best_option].label(arch).c_str() : "-",
+                o.latency_ms);
+  }
+  std::printf("availability %.1f%% | expected latency %.1f ms | degradation %.2fx\n\n",
+              100.0 * priced.availability, priced.expected_latency_ms,
+              priced.degradation_ratio);
+
+  // Serving-time check: inject stochastic faults of all four classes and
+  // compare graceful degradation (dynamic dispatch + edge fallback) against
+  // a fixed best-latency pin that must ride out every outage.
+  sim::SimConfig config;
+  config.arrival_rate_hz = args.get_double("rate", 10.0);
+  config.duration_s = args.get_double("duration", 60.0);
+  config.seed = static_cast<unsigned>(args.get_int("seed", 1));
+  config.timeout_ms = args.get_double("timeout", 500.0);
+  config.max_retries = static_cast<std::size_t>(args.get_int("retries", 2));
+  config.faults.seed = config.seed;
+  config.faults.link_outage_rate_hz = 1.0 / 40.0;
+  config.faults.link_outage_mean_s = 5.0;
+  config.faults.cloud_outage_rate_hz = 1.0 / 60.0;
+  config.faults.cloud_outage_mean_s = 8.0;
+  config.faults.rtt_spike_rate_hz = 1.0 / 50.0;
+  config.faults.edge_slowdown_rate_hz = 1.0 / 80.0;
+
+  comm::ThroughputTrace trace;
+  trace.samples_mbps = {tu};
+  trace.interval_s = 1000.0;
+
+  const auto run_policy = [&](sim::DispatchPolicy policy, std::size_t fixed,
+                              const char* name) {
+    sim::SimConfig scenario_config = config;
+    scenario_config.policy = policy;
+    scenario_config.fixed_option = fixed;
+    sim::EdgeCloudSystem system(plan, trace, scenario_config);
+    const sim::SimStats stats = system.run();
+    std::printf(
+        "%-18s avail %5.1f%% | mean %7.1f ms | p95 %7.1f ms | timeouts %3zu | "
+        "retries %3zu | fallbacks %3zu | degraded %4.1f%%\n",
+        name, 100.0 * stats.availability, stats.mean_latency_ms, stats.p95_latency_ms,
+        stats.timeouts, stats.retries, stats.fallback_executions,
+        100.0 * stats.degraded_fraction);
+  };
+  std::printf("serving under injected faults (%.0f s at %.1f req/s, seed %u):\n",
+              config.duration_s, config.arrival_rate_hz, config.seed);
+  run_policy(sim::DispatchPolicy::kDynamic, 0, "dynamic+fallback");
+  // Pin the comparison to the fastest *cloud-dependent* option: that is the
+  // policy that must ride out every outage with timeouts and retries.
+  std::size_t pinned = eval.options.size();
+  for (std::size_t i = 0; i < eval.options.size(); ++i) {
+    if (eval.options[i].tx_bytes == 0) continue;
+    if (pinned == eval.options.size() ||
+        eval.options[i].latency_ms < eval.options[pinned].latency_ms) {
+      pinned = i;
+    }
+  }
+  if (pinned < eval.options.size()) {
+    run_policy(sim::DispatchPolicy::kFixed, pinned, "fixed cloud-path");
+  }
+  return 0;
+}
+
 int cmd_help() {
   std::printf(
       "lens-cli -- LENS edge-cloud NAS toolkit\n\n"
@@ -249,6 +334,9 @@ int cmd_help() {
       "  simulate    serving simulation under Poisson load\n"
       "              --rate HZ --duration S --policy queue-aware|dynamic|\n"
       "              best-latency|all-edge [--deadline MS]\n"
+      "  faults      fault-scenario pricing + serving under injected faults\n"
+      "              --arch ... --tu MBPS --rate HZ --duration S --seed N\n"
+      "              [--timeout MS] [--retries N]\n"
       "  help        this text\n\n"
       "global options:\n"
       "  --threads N   worker threads for parallel evaluation (default:\n"
@@ -271,6 +359,7 @@ int run_command(const Args& args) {
     if (command == "search") return cmd_search(args);
     if (command == "thresholds") return cmd_thresholds(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "faults") return cmd_faults(args);
     if (command.empty() || command == "help") return cmd_help();
     std::fprintf(stderr, "lens-cli: unknown command '%s' (try 'lens-cli help')\n",
                  command.c_str());

@@ -144,4 +144,83 @@ RobustEvaluation RobustDeploymentEvaluator::evaluate(const DeploymentPlan& plan)
   return result;
 }
 
+std::vector<FaultScenario> default_fault_scenarios(double nominal_tu_mbps) {
+  if (nominal_tu_mbps <= 0.0) {
+    throw std::invalid_argument("default_fault_scenarios: non-positive throughput");
+  }
+  return {
+      {"nominal", 0.85, nominal_tu_mbps, true, 1.0, 0.0},
+      {"deep-fade", 0.06, nominal_tu_mbps * 0.1, true, 1.0, 0.0},
+      {"cloud-outage", 0.04, nominal_tu_mbps, false, 1.0, 0.0},
+      {"rtt-spike", 0.03, nominal_tu_mbps, true, 1.0, 200.0},
+      {"edge-straggler", 0.02, nominal_tu_mbps, true, 3.0, 0.0},
+  };
+}
+
+FaultEvaluation RobustDeploymentEvaluator::evaluate_under_faults(
+    const DeploymentPlan& plan, const std::vector<FaultScenario>& scenarios) const {
+  if (scenarios.empty()) {
+    throw std::invalid_argument("evaluate_under_faults: no scenarios");
+  }
+  double mass = 0.0;
+  for (const FaultScenario& s : scenarios) {
+    if (s.probability < 0.0 || s.tu_mbps <= 0.0 || s.edge_slowdown < 1.0 ||
+        s.rtt_extra_ms < 0.0) {
+      throw std::invalid_argument("evaluate_under_faults: malformed scenario '" +
+                                  s.name + "'");
+    }
+    mass += s.probability;
+  }
+  if (std::abs(mass - 1.0) > 1e-6) {
+    throw std::invalid_argument("evaluate_under_faults: probabilities must sum to 1");
+  }
+
+  const std::vector<DeploymentOption>& options = plan.options();
+  FaultEvaluation result;
+  result.outcomes.reserve(scenarios.size());
+  for (const FaultScenario& s : scenarios) {
+    FaultScenarioOutcome outcome;
+    outcome.scenario = s;
+    // Latency-minimal option still servable under the scenario. The plan's
+    // curves price the fault-free path; the scenario overlays stretch the
+    // edge compute and (for transmitting options) the round trip. Energy is
+    // taken from the plan unchanged: a slow edge draws power for longer but
+    // the per-inference work is the same to first order.
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      const DeploymentOption& o = options[i];
+      if (!s.cloud_available && o.tx_bytes > 0) continue;
+      double latency = plan.option_latency_ms(i, s.tu_mbps) +
+                       o.edge_latency_ms * (s.edge_slowdown - 1.0);
+      if (o.tx_bytes > 0) latency += s.rtt_extra_ms;
+      if (!outcome.servable || latency < best) {
+        best = latency;
+        outcome.best_option = i;
+        outcome.servable = true;
+      }
+    }
+    if (outcome.servable) {
+      outcome.latency_ms = best;
+      outcome.energy_mj = plan.option_energy_mj(outcome.best_option, s.tu_mbps);
+      result.availability += s.probability;
+      result.expected_latency_ms += s.probability * outcome.latency_ms;
+      result.expected_energy_mj += s.probability * outcome.energy_mj;
+    }
+    result.outcomes.push_back(outcome);
+  }
+  if (result.availability > 0.0) {
+    result.expected_latency_ms /= result.availability;
+    result.expected_energy_mj /= result.availability;
+  }
+  double nominal_best = std::numeric_limits<double>::infinity();
+  const double mean_tu = distribution_.mean();
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    nominal_best = std::min(nominal_best, plan.option_latency_ms(i, mean_tu));
+  }
+  if (nominal_best > 0.0 && result.availability > 0.0) {
+    result.degradation_ratio = result.expected_latency_ms / nominal_best;
+  }
+  return result;
+}
+
 }  // namespace lens::core

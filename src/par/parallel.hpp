@@ -54,10 +54,14 @@ void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
         errors[c] = std::current_exception();
       }
       {
+        // Notify under the lock: `all_done` lives on the caller's stack, and
+        // the caller may destroy it the moment it observes remaining == 0.
+        // Holding the mutex across the signal keeps the waiter from returning
+        // (it must re-acquire the mutex) until the signal has completed.
         std::lock_guard<std::mutex> lock(mutex);
         --remaining;
+        all_done.notify_one();
       }
-      all_done.notify_one();
     });
   }
   {

@@ -1,5 +1,6 @@
 #include "runtime/deployer.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace lens::runtime {
@@ -14,6 +15,7 @@ DynamicDeployer::DynamicDeployer(std::vector<core::DeploymentOption> options,
     curves_.push_back(cost_curve(o, comm, metric));
   }
   intervals_ = dominance_intervals(curves_, tu_min, tu_max);
+  find_edge_only();
 }
 
 DynamicDeployer::DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor metric,
@@ -25,6 +27,29 @@ DynamicDeployer::DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor m
       tu_min_(tu_min) {
   if (options_.empty()) throw std::invalid_argument("DynamicDeployer: empty plan");
   intervals_ = dominance_intervals(curves_, tu_min, tu_max);
+  find_edge_only();
+}
+
+void DynamicDeployer::find_edge_only() {
+  // Edge-only cost curves are constant in throughput, so comparing them at
+  // any point (here 1 Mbps) ranks them correctly.
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    if (options_[i].tx_bytes != 0) continue;
+    const double cost = curves_[i].value(1.0);
+    if (cost < best_cost) {
+      best_cost = cost;
+      edge_only_ = i;
+    }
+  }
+}
+
+std::size_t DynamicDeployer::select_cloud_unreachable() const {
+  if (!edge_only_.has_value()) {
+    throw std::logic_error(
+        "select_cloud_unreachable: option set has no edge-only member");
+  }
+  return *edge_only_;
 }
 
 std::size_t DynamicDeployer::select(double tu_mbps) const {
@@ -55,6 +80,11 @@ PlaybackResult accumulate(const comm::ThroughputTrace& trace,
     r.per_sample_cost.push_back(cost);
     r.total_cost += cost;
     r.cumulative_cost.push_back(r.total_cost);
+    if (i > 0 && choices[i] != choices[i - 1]) ++r.option_switches;
+  }
+  if (trace.size() > 0) {
+    r.degraded_fraction =
+        static_cast<double>(r.outages) / static_cast<double>(trace.size());
   }
   return r;
 }
@@ -76,18 +106,29 @@ std::size_t DynamicDeployer::select_with_hysteresis(double tu_mbps, std::size_t 
 
 PlaybackResult DynamicDeployer::play_dynamic(const comm::ThroughputTrace& trace,
                                              double tracker_alpha,
-                                             double hysteresis_margin) const {
+                                             double hysteresis_margin,
+                                             FallbackPolicy fallback) const {
   if (trace.size() == 0) throw std::invalid_argument("play_dynamic: empty trace");
-  ThroughputTracker tracker(tracker_alpha);
+  ThroughputTracker tracker(tracker_alpha, fallback.hold_decay, tu_min_);
   std::vector<std::size_t> choices;
   choices.reserve(trace.size());
   for (double tu : trace.samples_mbps) {
-    tracker.report(effective_tu(tu));
-    if (hysteresis_margin > 0.0 && !choices.empty()) {
-      choices.push_back(select_with_hysteresis(tracker.estimate_mbps(), choices.back(),
-                                               hysteresis_margin));
+    double selection_tu;
+    if (tu <= 0.0) {
+      // Outage sample: never folded into the EWMA as a fake measurement.
+      tracker.report_outage();
+      const bool hold = fallback.on_outage == FallbackPolicy::OnOutage::kHoldLast &&
+                        tracker.has_estimate();
+      selection_tu = hold ? tracker.estimate_mbps() : tu_min_;
     } else {
-      choices.push_back(select(tracker.estimate_mbps()));
+      tracker.report(tu);
+      selection_tu = tracker.estimate_mbps();
+    }
+    if (hysteresis_margin > 0.0 && !choices.empty()) {
+      choices.push_back(
+          select_with_hysteresis(selection_tu, choices.back(), hysteresis_margin));
+    } else {
+      choices.push_back(select(selection_tu));
     }
   }
   return accumulate(trace, curves_, choices, tu_min_);

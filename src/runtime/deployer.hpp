@@ -7,8 +7,15 @@
 // decision via precomputed dominance intervals). Trace playback accumulates
 // per-inference cost over a throughput trace for dynamic vs fixed policies,
 // regenerating Fig. 8.
+//
+// Degraded links are handled by a FallbackPolicy rather than a blind clamp:
+// outage samples (tu <= 0) either price-select at the analyzed pessimistic
+// floor or hold the tracker's last estimate with geometric decay
+// (suppressing needless re-staging across brief fades), and a cloud that is
+// unreachable altogether forces the cheapest edge-only option.
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "comm/commcost.hpp"
@@ -20,6 +27,18 @@
 
 namespace lens::runtime {
 
+/// How the runtime degrades when the link or the cloud misbehaves.
+struct FallbackPolicy {
+  enum class OnOutage {
+    kPessimisticFloor,  ///< select as if tu == tu_min (worst analyzed state)
+    kHoldLast,          ///< keep the tracker's decayed last estimate
+  };
+  OnOutage on_outage = OnOutage::kPessimisticFloor;
+  /// Per-outage-sample decay of the held estimate under kHoldLast (the
+  /// tracker's outage_decay; 1.0 = hold-last exactly).
+  double hold_decay = 0.5;
+};
+
 /// Cumulative cost of a playback run.
 struct PlaybackResult {
   double total_cost = 0.0;                 ///< ms or mJ, per the metric
@@ -27,8 +46,14 @@ struct PlaybackResult {
   std::vector<double> cumulative_cost;     ///< running sum
   std::vector<std::size_t> chosen_option;  ///< option index per sample
   /// Trace samples with non-positive throughput (link outages); they are
-  /// priced at the analyzed tu_min instead of aborting the playback.
+  /// priced at the analyzed tu_min instead of aborting the playback (the
+  /// FallbackPolicy only governs option *selection* during the episode).
   std::size_t outages = 0;
+  /// Degradation accounting: option changes between consecutive samples
+  /// (each switch re-stages model weights) and the fraction of samples
+  /// spent in outage.
+  std::size_t option_switches = 0;
+  double degraded_fraction = 0.0;
 };
 
 /// Runtime option selector for one model.
@@ -56,6 +81,16 @@ class DynamicDeployer {
   std::size_t select_with_hysteresis(double tu_mbps, std::size_t current,
                                      double margin = 0.05) const;
 
+  /// Cheapest edge-only option (tx_bytes == 0) under the metric, if the
+  /// option set has one. Edge-only costs are throughput-independent, so
+  /// this is precomputed once.
+  std::optional<std::size_t> cheapest_edge_only() const { return edge_only_; }
+
+  /// Forced all-edge selection for when the cloud is unreachable (every
+  /// transmitting option would only time out). Throws std::logic_error
+  /// when the option set has no edge-only member.
+  std::size_t select_cloud_unreachable() const;
+
   /// Thresholds partitioning the throughput axis (design-time output the
   /// runtime switcher consults).
   const std::vector<DominanceInterval>& intervals() const { return intervals_; }
@@ -66,21 +101,26 @@ class DynamicDeployer {
 
   /// Play a trace switching dynamically via a throughput tracker.
   /// `hysteresis_margin` > 0 applies select_with_hysteresis per sample.
+  /// Outage samples (tu <= 0) feed the tracker's report_outage() and select
+  /// per `fallback` (floor vs decayed hold-last).
   PlaybackResult play_dynamic(const comm::ThroughputTrace& trace,
                               double tracker_alpha = 0.7,
-                              double hysteresis_margin = 0.0) const;
+                              double hysteresis_margin = 0.0,
+                              FallbackPolicy fallback = {}) const;
 
   /// Play a trace pinned to one option.
   PlaybackResult play_fixed(const comm::ThroughputTrace& trace,
                             std::size_t option_index) const;
 
  private:
-  /// Outage policy: non-positive throughput prices as tu_min_.
+  /// Point-query outage clamp: non-positive throughput prices as tu_min_.
   double effective_tu(double tu_mbps) const { return tu_mbps > 0.0 ? tu_mbps : tu_min_; }
+  void find_edge_only();
 
   std::vector<core::DeploymentOption> options_;
   std::vector<CostCurve> curves_;
   std::vector<DominanceInterval> intervals_;
+  std::optional<std::size_t> edge_only_;
   OptimizeFor metric_;
   double tu_min_ = 0.05;
 };

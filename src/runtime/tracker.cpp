@@ -1,21 +1,38 @@
 #include "runtime/tracker.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lens::runtime {
 
-ThroughputTracker::ThroughputTracker(double alpha) : alpha_(alpha) {
+ThroughputTracker::ThroughputTracker(double alpha, double outage_decay, double floor_mbps)
+    : alpha_(alpha), outage_decay_(outage_decay), floor_mbps_(floor_mbps) {
   if (alpha <= 0.0 || alpha > 1.0) {
     throw std::invalid_argument("ThroughputTracker: alpha must be in (0,1]");
+  }
+  if (outage_decay <= 0.0 || outage_decay > 1.0) {
+    throw std::invalid_argument("ThroughputTracker: outage decay must be in (0,1]");
+  }
+  if (floor_mbps <= 0.0) {
+    throw std::invalid_argument("ThroughputTracker: floor must be positive");
   }
 }
 
 void ThroughputTracker::report(double tu_mbps) {
   if (tu_mbps <= 0.0) {
-    throw std::invalid_argument("ThroughputTracker: throughput must be positive");
+    throw std::invalid_argument(
+        "ThroughputTracker: throughput must be positive (use report_outage)");
   }
   estimate_ = samples_ == 0 ? tu_mbps : alpha_ * tu_mbps + (1.0 - alpha_) * estimate_;
   ++samples_;
+}
+
+void ThroughputTracker::report_outage() {
+  ++outages_;
+  // Before any successful measurement there is nothing to decay: the
+  // tracker stays estimate-less rather than inventing a number.
+  if (samples_ == 0) return;
+  estimate_ = std::max(floor_mbps_, estimate_ * outage_decay_);
 }
 
 double ThroughputTracker::estimate_mbps() const {

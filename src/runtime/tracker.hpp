@@ -2,30 +2,52 @@
 // Online upload-throughput tracker (the "throughput tracker" of Fig. 5):
 // an exponentially-weighted moving average over reported measurements, the
 // O(1) runtime component that drives deployment-option switching.
+//
+// Link outages are first-class: real traces contain non-positive readings
+// (probe failures, deep fades), and feeding them to report() is a caller
+// bug — it throws. report_outage() is the sanctioned path: it decays the
+// held estimate geometrically toward a floor (hold-last-with-decay), so an
+// outage episode degrades the estimate smoothly instead of killing the
+// runtime loop or silently skipping samples.
 
 #include <cstddef>
 
 namespace lens::runtime {
 
-/// EWMA throughput estimator.
+/// EWMA throughput estimator with an outage decay policy.
 class ThroughputTracker {
  public:
   /// `alpha` in (0,1]: weight of the newest sample (1 = trust latest fully).
-  explicit ThroughputTracker(double alpha = 0.7);
+  /// `outage_decay` in (0,1]: per-outage-sample multiplier applied to the
+  /// held estimate (1 = hold-last exactly). `floor_mbps` > 0: the estimate
+  /// never decays below this.
+  explicit ThroughputTracker(double alpha = 0.7, double outage_decay = 0.5,
+                             double floor_mbps = 0.05);
 
-  /// Fold in a new measurement (Mbps). Throws on non-positive values.
+  /// Fold in a new measurement (Mbps). Throws on non-positive values —
+  /// report an outage via report_outage() instead.
   void report(double tu_mbps);
+
+  /// Record a link-outage reading: decays the held estimate by
+  /// outage_decay (clamped to floor_mbps). Before any successful report
+  /// the tracker stays estimate-less (has_estimate() == false).
+  void report_outage();
 
   /// Current estimate. Throws std::logic_error before the first report.
   double estimate_mbps() const;
 
   bool has_estimate() const { return samples_ > 0; }
   std::size_t samples() const { return samples_; }
+  /// Outage readings recorded so far (report_outage calls).
+  std::size_t outages() const { return outages_; }
 
  private:
   double alpha_;
+  double outage_decay_;
+  double floor_mbps_;
   double estimate_ = 0.0;
   std::size_t samples_ = 0;
+  std::size_t outages_ = 0;
 };
 
 }  // namespace lens::runtime

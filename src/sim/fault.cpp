@@ -1,0 +1,197 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace lens::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate_episode(const FaultEpisode& e) {
+  if (!std::isfinite(e.start_s) || !std::isfinite(e.end_s) || e.start_s < 0.0 ||
+      e.end_s <= e.start_s) {
+    throw std::invalid_argument("FaultSchedule: episode needs 0 <= start < end");
+  }
+  switch (e.fault) {
+    case FaultClass::kLinkOutage:
+      if (e.magnitude <= 0.0 || e.magnitude > 1.0) {
+        throw std::invalid_argument("FaultSchedule: link-outage depth must be in (0,1]");
+      }
+      break;
+    case FaultClass::kRttSpike:
+      if (e.magnitude < 0.0) {
+        throw std::invalid_argument("FaultSchedule: RTT spike must be non-negative ms");
+      }
+      break;
+    case FaultClass::kEdgeSlowdown:
+      if (e.magnitude < 1.0) {
+        throw std::invalid_argument("FaultSchedule: edge slowdown factor must be >= 1");
+      }
+      break;
+    case FaultClass::kCloudOutage:
+      break;  // magnitude unused
+  }
+}
+
+}  // namespace
+
+std::string fault_class_name(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kLinkOutage: return "link-outage";
+    case FaultClass::kCloudOutage: return "cloud-outage";
+    case FaultClass::kRttSpike: return "rtt-spike";
+    case FaultClass::kEdgeSlowdown: return "edge-slowdown";
+  }
+  return "unknown";
+}
+
+FaultSchedule::FaultSchedule(std::vector<FaultEpisode> episodes)
+    : episodes_(std::move(episodes)) {
+  for (const FaultEpisode& e : episodes_) validate_episode(e);
+  std::stable_sort(episodes_.begin(), episodes_.end(),
+                   [](const FaultEpisode& a, const FaultEpisode& b) {
+                     return a.start_s < b.start_s;
+                   });
+}
+
+FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
+  if (config.horizon_s <= 0.0 || !std::isfinite(config.horizon_s)) {
+    throw std::invalid_argument("FaultSchedule::generate: horizon must be positive");
+  }
+  if (config.link_outage_rate_hz < 0.0 || config.cloud_outage_rate_hz < 0.0 ||
+      config.rtt_spike_rate_hz < 0.0 || config.edge_slowdown_rate_hz < 0.0) {
+    throw std::invalid_argument("FaultSchedule::generate: negative episode rate");
+  }
+  if (config.link_outage_mean_s <= 0.0 || config.cloud_outage_mean_s <= 0.0 ||
+      config.rtt_spike_mean_s <= 0.0 || config.edge_slowdown_mean_s <= 0.0) {
+    throw std::invalid_argument("FaultSchedule::generate: episode means must be positive");
+  }
+  std::vector<FaultEpisode> episodes;
+
+  // One independent RNG substream per class (seed mixed with a class salt):
+  // enabling or tuning one class never perturbs another's episodes.
+  const auto substream = [&](std::uint64_t salt) {
+    return std::mt19937_64((static_cast<std::uint64_t>(config.seed) + 1) *
+                               0x9E3779B97F4A7C15ull ^
+                           salt);
+  };
+  const auto renew = [&](FaultClass fault, double rate_hz, double mean_s,
+                         double magnitude, std::uint64_t salt) {
+    if (rate_hz <= 0.0) return;
+    std::mt19937_64 rng = substream(salt);
+    std::exponential_distribution<double> gap(rate_hz);
+    std::exponential_distribution<double> duration(1.0 / mean_s);
+    // Renewal process: episodes within a class never overlap.
+    double t = gap(rng);
+    while (t < config.horizon_s) {
+      const double d = duration(rng);
+      episodes.push_back({fault, t, t + d, magnitude});
+      t += d + gap(rng);
+    }
+  };
+  renew(FaultClass::kLinkOutage, config.link_outage_rate_hz, config.link_outage_mean_s,
+        config.link_outage_depth, 0x10c4);
+  renew(FaultClass::kCloudOutage, config.cloud_outage_rate_hz, config.cloud_outage_mean_s,
+        0.0, 0x20c4);
+  renew(FaultClass::kRttSpike, config.rtt_spike_rate_hz, config.rtt_spike_mean_s,
+        config.rtt_spike_extra_ms, 0x30c4);
+  renew(FaultClass::kEdgeSlowdown, config.edge_slowdown_rate_hz,
+        config.edge_slowdown_mean_s, config.edge_slowdown_factor, 0x40c4);
+  episodes.insert(episodes.end(), config.scripted.begin(), config.scripted.end());
+  return FaultSchedule(std::move(episodes));
+}
+
+std::size_t FaultSchedule::count(FaultClass fault) const {
+  std::size_t n = 0;
+  for (const FaultEpisode& e : episodes_) {
+    if (e.fault == fault) ++n;
+  }
+  return n;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule) : schedule_(std::move(schedule)) {
+  for (const FaultEpisode& e : schedule_.episodes()) {
+    by_class_[static_cast<std::size_t>(e.fault)].push_back(e);
+  }
+}
+
+const std::vector<FaultEpisode>& FaultInjector::of(FaultClass fault) const {
+  return by_class_[static_cast<std::size_t>(fault)];
+}
+
+double FaultInjector::link_factor(double t_s) const {
+  double factor = 1.0;
+  for (const FaultEpisode& e : of(FaultClass::kLinkOutage)) {
+    if (e.start_s > t_s) break;  // start-sorted: nothing later can cover t
+    if (e.covers(t_s)) factor = std::min(factor, e.magnitude);
+  }
+  return factor;
+}
+
+bool FaultInjector::cloud_unavailable(double t_s) const {
+  for (const FaultEpisode& e : of(FaultClass::kCloudOutage)) {
+    if (e.start_s > t_s) break;
+    if (e.covers(t_s)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::cloud_recovery_time(double t_s) const {
+  double t = t_s;
+  // Chained windows: recovering into another outage keeps pushing forward.
+  for (const FaultEpisode& e : of(FaultClass::kCloudOutage)) {
+    if (e.covers(t)) t = e.end_s;
+  }
+  return t;
+}
+
+double FaultInjector::rtt_extra_ms(double t_s) const {
+  double extra = 0.0;
+  for (const FaultEpisode& e : of(FaultClass::kRttSpike)) {
+    if (e.start_s > t_s) break;
+    if (e.covers(t_s)) extra = std::max(extra, e.magnitude);
+  }
+  return extra;
+}
+
+double FaultInjector::edge_slowdown(double t_s) const {
+  double factor = 1.0;
+  for (const FaultEpisode& e : of(FaultClass::kEdgeSlowdown)) {
+    if (e.start_s > t_s) break;
+    if (e.covers(t_s)) factor = std::max(factor, e.magnitude);
+  }
+  return factor;
+}
+
+double FaultInjector::next_link_boundary(double t_s) const {
+  double next = kInf;
+  for (const FaultEpisode& e : of(FaultClass::kLinkOutage)) {
+    if (e.start_s > t_s) {
+      next = std::min(next, e.start_s);
+      break;  // starts are sorted; later episodes begin even later
+    }
+    if (e.end_s > t_s) next = std::min(next, e.end_s);
+  }
+  return next;
+}
+
+double FaultInjector::degraded_time(double horizon_s) const {
+  // Episodes are start-sorted across classes: one merge pass over the union.
+  double covered = 0.0;
+  double open_until = 0.0;
+  for (const FaultEpisode& e : schedule_.episodes()) {
+    const double start = std::min(std::max(e.start_s, open_until), horizon_s);
+    const double end = std::min(e.end_s, horizon_s);
+    if (end > start) covered += end - start;
+    open_until = std::max(open_until, end);
+  }
+  return covered;
+}
+
+}  // namespace lens::sim

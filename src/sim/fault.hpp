@@ -1,0 +1,134 @@
+#pragma once
+// Deterministic fault injection for the serving stack (sim/runtime/core).
+//
+// A FaultSchedule is a time-sorted set of fault episodes over a finite
+// horizon: link outages (deep fades — a throughput multiplier, generalizing
+// the two-state Markov overlay of comm::TraceGenerator to continuous time),
+// cloud-unavailability windows, round-trip-latency spikes, and edge
+// slowdown (straggler) intervals. Schedules are generated from a seed by
+// per-class renewal processes with independent RNG substreams, so the same
+// seed always yields the same episodes — regardless of thread count and of
+// which other fault classes are enabled. A FaultInjector answers the
+// point-in-time queries the simulator needs (link factor, cloud
+// reachability, extra RTT, edge slowdown) plus the union degraded time used
+// for SimStats accounting.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lens::sim {
+
+/// The four fault classes the serving stack degrades under.
+enum class FaultClass { kLinkOutage, kCloudOutage, kRttSpike, kEdgeSlowdown };
+
+inline constexpr std::size_t kNumFaultClasses = 4;
+
+std::string fault_class_name(FaultClass fault);
+
+/// One timed fault episode: [start_s, end_s) with a class-specific severity.
+struct FaultEpisode {
+  FaultClass fault = FaultClass::kLinkOutage;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// kLinkOutage: throughput multiplier in (0, 1]; kRttSpike: added
+  /// round-trip milliseconds; kEdgeSlowdown: edge service-time multiplier
+  /// >= 1; kCloudOutage: ignored (the cloud is simply unreachable).
+  double magnitude = 0.0;
+
+  bool covers(double t_s) const { return t_s >= start_s && t_s < end_s; }
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// Seeded episode-generation knobs. Each class is an independent renewal
+/// process: inter-episode gaps ~ Exp(rate), durations ~ Exp(mean); a rate
+/// of 0 disables the class. `scripted` episodes are merged in verbatim —
+/// the hook tests and demos use to place an exact outage window.
+struct FaultScheduleConfig {
+  unsigned seed = 1;
+  /// Episode-generation horizon in seconds; 0 lets the consumer derive it
+  /// (EdgeCloudSystem uses twice the arrival horizon so the drain phase is
+  /// covered). FaultSchedule::generate requires a positive value.
+  double horizon_s = 0.0;
+
+  double link_outage_rate_hz = 0.0;  ///< episodes per second (e.g. 1/120)
+  double link_outage_mean_s = 20.0;
+  double link_outage_depth = 0.05;  ///< throughput multiplier while faded
+
+  double cloud_outage_rate_hz = 0.0;
+  double cloud_outage_mean_s = 30.0;
+
+  double rtt_spike_rate_hz = 0.0;
+  double rtt_spike_mean_s = 10.0;
+  double rtt_spike_extra_ms = 200.0;
+
+  double edge_slowdown_rate_hz = 0.0;
+  double edge_slowdown_mean_s = 15.0;
+  double edge_slowdown_factor = 3.0;  ///< edge service-time multiplier
+
+  std::vector<FaultEpisode> scripted;
+
+  bool any_enabled() const {
+    return link_outage_rate_hz > 0.0 || cloud_outage_rate_hz > 0.0 ||
+           rtt_spike_rate_hz > 0.0 || edge_slowdown_rate_hz > 0.0 || !scripted.empty();
+  }
+};
+
+/// An immutable, validated, start-time-sorted set of fault episodes.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  /// Validates (finite non-negative times, end > start, magnitudes legal
+  /// for their class) and sorts by start time; throws std::invalid_argument.
+  explicit FaultSchedule(std::vector<FaultEpisode> episodes);
+
+  /// Deterministic generation from `config` (plus its scripted episodes).
+  /// Same seed => identical schedule, independent of which other classes
+  /// are enabled; throws std::invalid_argument on bad knobs.
+  static FaultSchedule generate(const FaultScheduleConfig& config);
+
+  const std::vector<FaultEpisode>& episodes() const { return episodes_; }
+  std::size_t count(FaultClass fault) const;
+  bool empty() const { return episodes_.empty(); }
+
+ private:
+  std::vector<FaultEpisode> episodes_;
+};
+
+/// Point-in-time query engine over a FaultSchedule. All queries are O(per-
+/// class episodes) worst case and const — safe to share across readers.
+class FaultInjector {
+ public:
+  FaultInjector() = default;  ///< empty schedule: always healthy
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Link throughput multiplier at `t_s` (1.0 when healthy; the deepest
+  /// overlapping fade wins when episodes overlap).
+  double link_factor(double t_s) const;
+  bool cloud_unavailable(double t_s) const;
+  /// Earliest time >= t_s at which the cloud is reachable (t_s itself when
+  /// it already is).
+  double cloud_recovery_time(double t_s) const;
+  /// Added round-trip milliseconds at `t_s` (0 when healthy).
+  double rtt_extra_ms(double t_s) const;
+  /// Edge service-time multiplier at `t_s` (>= 1.0; 1.0 when healthy).
+  double edge_slowdown(double t_s) const;
+  /// Next time > t_s at which the link factor may change (start or end of
+  /// a link-outage episode); +infinity when none — the piecewise-constant
+  /// boundary the link's transfer integration steps on.
+  double next_link_boundary(double t_s) const;
+  /// Length of [0, horizon_s) covered by at least one episode of any class.
+  double degraded_time(double horizon_s) const;
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  const std::vector<FaultEpisode>& of(FaultClass fault) const;
+
+  FaultSchedule schedule_;
+  /// Episodes partitioned by class, start-sorted (indices into nothing —
+  /// copies; schedules are tiny next to the request stream).
+  std::vector<FaultEpisode> by_class_[kNumFaultClasses];
+};
+
+}  // namespace lens::sim

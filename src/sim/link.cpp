@@ -1,13 +1,21 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "sim/fault.hpp"
 
 namespace lens::sim {
 
 TimeVaryingLink::TimeVaryingLink(comm::ThroughputTrace trace,
                                  comm::RadioPowerModel power_model)
-    : trace_(std::move(trace)), power_model_(power_model) {
+    : TimeVaryingLink(std::move(trace), power_model, nullptr) {}
+
+TimeVaryingLink::TimeVaryingLink(comm::ThroughputTrace trace,
+                                 comm::RadioPowerModel power_model,
+                                 const FaultInjector* faults)
+    : trace_(std::move(trace)), power_model_(power_model), faults_(faults) {
   if (trace_.size() == 0 || trace_.interval_s <= 0.0) {
     throw std::invalid_argument("TimeVaryingLink: empty trace or bad interval");
   }
@@ -19,7 +27,8 @@ TimeVaryingLink::TimeVaryingLink(comm::ThroughputTrace trace,
 double TimeVaryingLink::throughput_at(double t_s) const {
   if (t_s < 0.0) throw std::invalid_argument("TimeVaryingLink: negative time");
   const auto index = static_cast<std::size_t>(std::floor(t_s / trace_.interval_s));
-  return trace_.samples_mbps[index % trace_.size()];
+  const double tu = trace_.samples_mbps[index % trace_.size()];
+  return faults_ == nullptr ? tu : tu * faults_->link_factor(t_s);
 }
 
 TransferResult TimeVaryingLink::transfer(double start_s, std::uint64_t bytes) const {
@@ -34,9 +43,12 @@ TransferResult TimeVaryingLink::transfer(double start_s, std::uint64_t bytes) co
   for (;;) {
     const double tu = throughput_at(now);           // Mbps = 1e6 bit/s
     const double rate_bits_per_s = tu * 1e6;
-    // Time left in the current trace interval.
-    const double interval_end =
-        (std::floor(now / trace_.interval_s) + 1.0) * trace_.interval_s;
+    // Rate is piecewise constant up to the next trace-interval edge or
+    // fault-episode edge, whichever comes first.
+    double interval_end = (std::floor(now / trace_.interval_s) + 1.0) * trace_.interval_s;
+    if (faults_ != nullptr) {
+      interval_end = std::min(interval_end, faults_->next_link_boundary(now));
+    }
     const double window = interval_end - now;
     const double can_send = rate_bits_per_s * window;
     const double power_mw = power_model_.transmit_power_mw(tu);

@@ -2,10 +2,12 @@
 // Time-varying wireless uplink for the discrete-event simulator.
 //
 // The throughput follows a trace (piecewise constant per sampling interval,
-// wrapping around past the end). A transfer starting at time t occupies the
-// link exclusively (FIFO radio) until the integral of the instantaneous
+// wrapping around past the end), optionally scaled by a fault injector's
+// link-outage factor (deep fades). A transfer starting at time t occupies
+// the link exclusively (FIFO radio) until the integral of the instantaneous
 // rate covers its payload; the transmission energy integrates the radio
-// power model over the same intervals.
+// power model over the same piecewise-constant windows, whose boundaries
+// are trace-interval edges and fault-episode edges.
 
 #include <cstdint>
 
@@ -13,6 +15,8 @@
 #include "comm/trace.hpp"
 
 namespace lens::sim {
+
+class FaultInjector;
 
 /// One completed transfer.
 struct TransferResult {
@@ -28,7 +32,14 @@ class TimeVaryingLink {
  public:
   TimeVaryingLink(comm::ThroughputTrace trace, comm::RadioPowerModel power_model);
 
-  /// Instantaneous uplink throughput at absolute time `t_s`.
+  /// As above, but with link-outage fault episodes scaling the rate.
+  /// `faults` is non-owning and may be nullptr (always healthy); it must
+  /// outlive the link.
+  TimeVaryingLink(comm::ThroughputTrace trace, comm::RadioPowerModel power_model,
+                  const FaultInjector* faults);
+
+  /// Instantaneous uplink throughput at absolute time `t_s`, including any
+  /// fault-episode fade factor.
   double throughput_at(double t_s) const;
 
   /// Compute the completion time and radio energy of sending `bytes`
@@ -47,6 +58,7 @@ class TimeVaryingLink {
  private:
   comm::ThroughputTrace trace_;
   comm::RadioPowerModel power_model_;
+  const FaultInjector* faults_ = nullptr;  ///< non-owning; nullptr = healthy
   double radio_free_s_ = 0.0;
   double radio_busy_s_ = 0.0;
 };

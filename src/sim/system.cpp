@@ -8,6 +8,25 @@
 
 namespace lens::sim {
 
+namespace {
+
+void validate_config(const SimConfig& config, std::size_t num_options) {
+  if (config.fixed_option >= num_options) {
+    throw std::invalid_argument("EdgeCloudSystem: bad fixed option index");
+  }
+  if (config.duration_s <= 0.0 || config.arrival_rate_hz <= 0.0) {
+    throw std::invalid_argument("EdgeCloudSystem: bad duration or arrival rate");
+  }
+  if (config.faults.any_enabled() &&
+      (config.timeout_ms <= 0.0 || config.retry_backoff_ms < 0.0)) {
+    throw std::invalid_argument(
+        "EdgeCloudSystem: fault injection needs a positive timeout and a "
+        "non-negative retry backoff");
+  }
+}
+
+}  // namespace
+
 EdgeCloudSystem::EdgeCloudSystem(std::vector<core::DeploymentOption> options,
                                  comm::CommModel comm, comm::ThroughputTrace trace,
                                  SimConfig config)
@@ -16,16 +35,12 @@ EdgeCloudSystem::EdgeCloudSystem(std::vector<core::DeploymentOption> options,
       trace_(std::move(trace)),
       config_(config) {
   if (options_.empty()) throw std::invalid_argument("EdgeCloudSystem: no options");
-  if (config_.fixed_option >= options_.size()) {
-    throw std::invalid_argument("EdgeCloudSystem: bad fixed option index");
-  }
-  if (config_.duration_s <= 0.0 || config_.arrival_rate_hz <= 0.0) {
-    throw std::invalid_argument("EdgeCloudSystem: bad duration or arrival rate");
-  }
+  validate_config(config_, options_.size());
   curves_.reserve(options_.size());
   for (const core::DeploymentOption& o : options_) {
     curves_.push_back(runtime::cost_curve(o, comm_, config_.metric));
   }
+  find_fallback_option();
 }
 
 EdgeCloudSystem::EdgeCloudSystem(const core::DeploymentPlan& plan,
@@ -37,21 +52,43 @@ EdgeCloudSystem::EdgeCloudSystem(const core::DeploymentPlan& plan,
       curves_(config.metric == runtime::OptimizeFor::kLatency ? plan.latency_curves()
                                                               : plan.energy_curves()) {
   if (options_.empty()) throw std::invalid_argument("EdgeCloudSystem: empty plan");
-  if (config_.fixed_option >= options_.size()) {
-    throw std::invalid_argument("EdgeCloudSystem: bad fixed option index");
-  }
-  if (config_.duration_s <= 0.0 || config_.arrival_rate_hz <= 0.0) {
-    throw std::invalid_argument("EdgeCloudSystem: bad duration or arrival rate");
+  validate_config(config_, options_.size());
+  find_fallback_option();
+}
+
+void EdgeCloudSystem::find_fallback_option() {
+  // Cheapest edge-only option under the configured metric. Its cost curve
+  // is constant (per_inverse_tu == 0), so any throughput prices it.
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    if (options_[i].tx_bytes != 0) continue;
+    const double cost = curves_[i].value(1.0);
+    if (cost < best_cost) {
+      best_cost = cost;
+      fallback_option_ = i;
+    }
   }
 }
 
 std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& link,
-                                         const ResourceTimeline& edge) const {
+                                         const ResourceTimeline& edge,
+                                         const FaultInjector& faults) const {
   if (config_.policy == DispatchPolicy::kFixed) return config_.fixed_option;
+  // Forced all-edge while the cloud is unreachable: any option that must
+  // transmit would only time out, so dispatch falls back proactively.
+  const bool cloud_down = faults.cloud_unavailable(now_s);
+  if (cloud_down && fallback_option_.has_value() &&
+      config_.policy == DispatchPolicy::kDynamic) {
+    return *fallback_option_;
+  }
   const double tu = link.throughput_at(now_s);
   std::size_t best = 0;
   double best_cost = std::numeric_limits<double>::infinity();
+  bool found = false;
   for (std::size_t i = 0; i < curves_.size(); ++i) {
+    if (cloud_down && options_[i].tx_bytes > 0 && fallback_option_.has_value()) {
+      continue;  // queue-aware: transmitting options are unserviceable
+    }
     double cost;
     if (config_.policy == DispatchPolicy::kDynamic) {
       cost = curves_[i].value(tu);
@@ -70,9 +107,10 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
       }
       cost = t - now_s;
     }
-    if (cost < best_cost) {
+    if (!found || cost < best_cost) {
       best_cost = cost;
       best = i;
+      found = true;
     }
   }
   return best;
@@ -88,58 +126,115 @@ SimStats EdgeCloudSystem::run() {
   std::vector<double> arrivals;
   for (double t = gap(rng); t < config_.duration_s; t += gap(rng)) arrivals.push_back(t);
 
-  ResourceTimeline edge;
-  TimeVaryingLink link(trace_, comm_.power_model());
-  const double rtt_s = comm_.round_trip_ms() / 1e3;
+  // Fault overlay, generated up front from its own seeded substreams: the
+  // schedule never consumes the arrival RNG and nothing here runs off the
+  // worker pool, so stats are bit-identical for any thread budget.
+  FaultScheduleConfig fault_config = config_.faults;
+  if (fault_config.horizon_s <= 0.0) fault_config.horizon_s = 2.0 * config_.duration_s;
+  const FaultInjector faults(FaultSchedule::generate(fault_config));
 
+  ResourceTimeline edge;
+  TimeVaryingLink link(trace_, comm_.power_model(), &faults);
+  const double timeout_s = config_.timeout_ms / 1e3;
+  const double backoff_s = config_.retry_backoff_ms / 1e3;
+
+  SimStats stats;
   records_.reserve(arrivals.size());
   for (double arrival : arrivals) {
     RequestRecord record;
     record.arrival_s = arrival;
-    record.option = pick_option(arrival, link, edge);
+    record.option = pick_option(arrival, link, edge, faults);
     const core::DeploymentOption& option = options_[record.option];
 
-    // Edge prefix (skipped entirely for All-Cloud).
+    // Edge prefix (skipped entirely for All-Cloud), stretched by any active
+    // straggler episode at arrival.
     double edge_done = arrival;
     if (option.edge_latency_ms > 0.0) {
-      edge_done = edge.schedule(arrival, option.edge_latency_ms / 1e3);
+      const double slow = faults.edge_slowdown(arrival);
+      edge_done = edge.schedule(arrival, option.edge_latency_ms / 1e3 * slow);
     }
     record.energy_mj = option.edge_energy_mj;
 
     double completion = edge_done;
     if (option.tx_bytes > 0) {
-      const TransferResult transfer = link.schedule(edge_done, option.tx_bytes);
-      record.energy_mj += transfer.energy_mj;
-      // Round trip covers the request/response handshake; the cloud suffix
-      // runs with unbounded parallelism.
-      completion = transfer.end_s + rtt_s + option.cloud_latency_ms / 1e3;
+      // Cloud attempt loop: transmit, then either the response arrives
+      // (cloud reachable when the payload lands) or the client times out
+      // timeout_ms after send completion and retries with exponential
+      // backoff. After max_retries failures the request re-executes on the
+      // cheapest edge-only option, or is dropped when there is none.
+      double ready = edge_done;
+      for (std::size_t attempt = 0;; ++attempt) {
+        const TransferResult transfer = link.schedule(ready, option.tx_bytes);
+        record.energy_mj += transfer.energy_mj;
+        if (!faults.cloud_unavailable(transfer.end_s)) {
+          // Round trip covers the request/response handshake (plus any
+          // active RTT spike); the cloud suffix runs with unbounded
+          // parallelism.
+          const double rtt_s =
+              (comm_.round_trip_ms() + faults.rtt_extra_ms(transfer.end_s)) / 1e3;
+          completion = transfer.end_s + rtt_s + option.cloud_latency_ms / 1e3;
+          break;
+        }
+        ++record.timeouts;
+        ++stats.timeouts;
+        const double failed_at = transfer.end_s + timeout_s;
+        if (attempt >= config_.max_retries) {
+          if (fallback_option_.has_value()) {
+            const core::DeploymentOption& fb = options_[*fallback_option_];
+            const double slow = faults.edge_slowdown(failed_at);
+            completion =
+                edge.schedule_unordered(failed_at, fb.edge_latency_ms / 1e3 * slow);
+            record.energy_mj += fb.edge_energy_mj;
+            record.fell_back = true;
+            ++stats.fallback_executions;
+          } else {
+            completion = failed_at;
+            record.dropped = true;
+            ++stats.dropped;
+          }
+          break;
+        }
+        ++stats.retries;
+        ready = failed_at + backoff_s * std::pow(2.0, static_cast<double>(attempt));
+      }
     }
     record.completion_s = completion;
     record.latency_ms = (completion - arrival) * 1e3;
     records_.push_back(record);
   }
 
-  // Aggregate.
-  SimStats stats;
-  stats.completed = records_.size();
-  if (records_.empty()) return stats;
+  // Aggregate over served requests; dropped ones count only against
+  // availability (their radio/edge energy stays in the totals — it was
+  // spent).
   std::vector<double> latencies;
   latencies.reserve(records_.size());
   for (const RequestRecord& r : records_) {
-    latencies.push_back(r.latency_ms);
     stats.total_energy_mj += r.energy_mj;
+    if (r.dropped) continue;
+    ++stats.completed;
+    latencies.push_back(r.latency_ms);
     stats.mean_latency_ms += r.latency_ms;
     stats.makespan_s = std::max(stats.makespan_s, r.completion_s);
     if (config_.deadline_ms > 0.0 && r.latency_ms > config_.deadline_ms) {
       ++stats.deadline_violations;
     }
   }
-  if (config_.deadline_ms > 0.0) {
-    stats.violation_rate =
-        static_cast<double>(stats.deadline_violations) / static_cast<double>(records_.size());
+  stats.link_outage_episodes = faults.schedule().count(FaultClass::kLinkOutage);
+  stats.cloud_outage_episodes = faults.schedule().count(FaultClass::kCloudOutage);
+  stats.rtt_spike_episodes = faults.schedule().count(FaultClass::kRttSpike);
+  stats.edge_slowdown_episodes = faults.schedule().count(FaultClass::kEdgeSlowdown);
+  if (stats.completed + stats.dropped > 0) {
+    stats.availability = static_cast<double>(stats.completed) /
+                         static_cast<double>(stats.completed + stats.dropped);
   }
-  stats.mean_latency_ms /= static_cast<double>(records_.size());
-  stats.energy_per_inference_mj = stats.total_energy_mj / static_cast<double>(records_.size());
+  if (stats.completed == 0) return stats;
+  if (config_.deadline_ms > 0.0) {
+    stats.violation_rate = static_cast<double>(stats.deadline_violations) /
+                           static_cast<double>(stats.completed);
+  }
+  stats.mean_latency_ms /= static_cast<double>(stats.completed);
+  stats.energy_per_inference_mj =
+      stats.total_energy_mj / static_cast<double>(stats.completed);
   std::sort(latencies.begin(), latencies.end());
   auto percentile = [&](double p) {
     const double position = p / 100.0 * static_cast<double>(latencies.size() - 1);
@@ -156,6 +251,12 @@ SimStats EdgeCloudSystem::run() {
     stats.edge_utilization = edge.total_busy() / stats.makespan_s;
     stats.link_utilization = link.total_busy() / stats.makespan_s;
     stats.throughput_hz = static_cast<double>(stats.completed) / stats.makespan_s;
+    stats.degraded_time_s = faults.degraded_time(stats.makespan_s);
+    stats.degraded_fraction = stats.degraded_time_s / stats.makespan_s;
+    const std::size_t good = stats.completed - stats.deadline_violations;
+    stats.goodput_hz = config_.deadline_ms > 0.0
+                           ? static_cast<double>(good) / stats.makespan_s
+                           : stats.throughput_hz;
   }
   return stats;
 }

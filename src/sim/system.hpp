@@ -11,8 +11,19 @@
 // and resource utilizations — revealing the throughput ceilings and the
 // load-shedding value of partitioned deployments that single-shot analysis
 // cannot see.
+//
+// Fault injection (SimConfig::faults): a seeded FaultSchedule overlays link
+// fades, cloud-unavailability windows, RTT spikes, and edge slowdown onto
+// the run. Requests whose cloud suffix lands in an unavailability window
+// time out after timeout_ms, retry with exponential backoff up to
+// max_retries, and finally fall back to re-execution on the cheapest
+// memory-feasible edge-only option (or are dropped when none exists);
+// SimStats accounts the degradation. Everything — arrivals, faults, retry
+// outcomes — derives from SimConfig seeds before/within the serial event
+// loop, so the same seed yields bit-identical SimStats at any thread count.
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "comm/commcost.hpp"
@@ -20,6 +31,7 @@
 #include "core/evaluator.hpp"
 #include "core/plan.hpp"
 #include "runtime/threshold.hpp"
+#include "sim/fault.hpp"
 #include "sim/link.hpp"
 #include "sim/timeline.hpp"
 
@@ -42,6 +54,20 @@ struct SimConfig {
   /// Soft deadline for SLO accounting (0 = disabled): requests completing
   /// later than this are counted as violations (still served).
   double deadline_ms = 0.0;
+
+  /// Fault injection (defaults: no faults). horizon_s == 0 derives the
+  /// episode horizon from the run (2x duration_s, covering the drain).
+  FaultScheduleConfig faults;
+  /// Client-side timeout armed when a transmitted payload reaches an
+  /// unavailable cloud: the attempt fails this many ms after send
+  /// completion. Must be positive when any fault class is enabled.
+  double timeout_ms = 500.0;
+  /// Failed attempts are retried with exponential backoff (base
+  /// retry_backoff_ms, doubling per attempt) up to max_retries times, then
+  /// fall back to the cheapest edge-only option — or are dropped when the
+  /// option set has none (e.g. the memory budget removed All-Edge).
+  std::size_t max_retries = 2;
+  double retry_backoff_ms = 100.0;
 };
 
 /// Per-request outcome.
@@ -51,6 +77,14 @@ struct RequestRecord {
   std::size_t option = 0;
   double latency_ms = 0.0;
   double energy_mj = 0.0;  ///< edge compute + radio energy
+  /// Degradation trail: cloud attempts that timed out, whether the request
+  /// was finally served by edge re-execution, and whether it was dropped
+  /// (no edge fallback available). Dropped requests still record their
+  /// give-up time in completion_s / latency_ms but are excluded from the
+  /// latency and throughput aggregates.
+  std::size_t timeouts = 0;
+  bool fell_back = false;
+  bool dropped = false;
 };
 
 /// Aggregate results of one simulation run.
@@ -69,6 +103,23 @@ struct SimStats {
   double throughput_hz = 0.0;     ///< completed / makespan
   std::size_t deadline_violations = 0;  ///< requests later than the deadline
   double violation_rate = 0.0;          ///< violations / completed (0 if disabled)
+
+  // ---- degradation accounting (all zero / 1.0 on a fault-free run) ----
+  std::size_t timeouts = 0;             ///< cloud attempts that timed out
+  std::size_t retries = 0;              ///< backoff re-attempts issued
+  std::size_t fallback_executions = 0;  ///< requests re-run on the edge
+  std::size_t dropped = 0;              ///< requests lost (no edge fallback)
+  double availability = 1.0;            ///< completed / (completed + dropped)
+  /// Served requests per second of makespan that also met the deadline
+  /// (== throughput_hz when no deadline is configured).
+  double goodput_hz = 0.0;
+  double degraded_time_s = 0.0;  ///< makespan time under >= 1 fault episode
+  double degraded_fraction = 0.0;
+  /// Fault episodes injected, by class (schedule-level, not per-request).
+  std::size_t link_outage_episodes = 0;
+  std::size_t cloud_outage_episodes = 0;
+  std::size_t rtt_spike_episodes = 0;
+  std::size_t edge_slowdown_episodes = 0;
 };
 
 /// Simulates one deployed model under load.
@@ -85,14 +136,20 @@ class EdgeCloudSystem {
   EdgeCloudSystem(const core::DeploymentPlan& plan, comm::ThroughputTrace trace,
                   SimConfig config);
 
-  /// Run the full simulation. May be called once per instance.
+  /// Run the full simulation. Single-shot: a second call throws
+  /// std::logic_error (the timelines are consumed).
   SimStats run();
 
   const std::vector<RequestRecord>& records() const { return records_; }
 
+  /// Cheapest edge-only deployment option (no transmission), if the option
+  /// set has one — the forced-all-edge fallback target.
+  std::optional<std::size_t> edge_fallback_option() const { return fallback_option_; }
+
  private:
   std::size_t pick_option(double now_s, const TimeVaryingLink& link,
-                          const ResourceTimeline& edge) const;
+                          const ResourceTimeline& edge, const FaultInjector& faults) const;
+  void find_fallback_option();
 
   std::vector<core::DeploymentOption> options_;
   comm::CommModel comm_;
@@ -100,6 +157,7 @@ class EdgeCloudSystem {
   SimConfig config_;
   std::vector<runtime::CostCurve> curves_;
   std::vector<RequestRecord> records_;
+  std::optional<std::size_t> fallback_option_;
   bool ran_ = false;
 };
 

@@ -18,4 +18,14 @@ double ResourceTimeline::schedule(double ready_time_s, double duration_s) {
   return busy_until_s_;
 }
 
+double ResourceTimeline::schedule_unordered(double ready_time_s, double duration_s) {
+  if (duration_s < 0.0) throw std::invalid_argument("ResourceTimeline: negative duration");
+  if (ready_time_s < 0.0) throw std::invalid_argument("ResourceTimeline: negative ready");
+  const double start = std::max(ready_time_s, busy_until_s_);
+  busy_until_s_ = start + duration_s;
+  total_busy_s_ += duration_s;
+  ++jobs_;
+  return busy_until_s_;
+}
+
 }  // namespace lens::sim

@@ -15,6 +15,13 @@ class ResourceTimeline {
   /// negative durations or out-of-order scheduling beyond tolerance.
   double schedule(double ready_time_s, double duration_s);
 
+  /// As schedule(), but without the FIFO ready-order check: the job queues
+  /// behind everything scheduled so far even if its ready time lies in the
+  /// past. Used for degraded-mode traffic injected out of arrival order
+  /// (timeout fallbacks re-executing on the edge); throws on negative
+  /// durations or ready times.
+  double schedule_unordered(double ready_time_s, double duration_s);
+
   /// Time until which the resource is busy (0 when never used).
   double busy_until() const { return busy_until_s_; }
 

@@ -140,5 +140,12 @@ TEST(Commands, SimulateRuns) {
             0);
 }
 
+TEST(Commands, FaultsRunsAndRejectsUnknownOptions) {
+  EXPECT_EQ(run_command(parse({"faults", "--rate", "5", "--duration", "15", "--seed", "7",
+                               "--timeout", "300", "--retries", "1"})),
+            0);
+  EXPECT_EQ(run_command(parse({"faults", "--policy", "dynamic"})), 1);  // not a knob here
+}
+
 }  // namespace
 }  // namespace lens::cli

@@ -28,7 +28,12 @@ TEST(ThreadPool, RunsSubmittedTasks) {
   std::condition_variable done;
   for (int i = 0; i < 16; ++i) {
     pool.submit([&] {
-      if (count.fetch_add(1) + 1 == 16) done.notify_one();
+      if (count.fetch_add(1) + 1 == 16) {
+        // Signal under the mutex so the waiter cannot destroy `done` while
+        // this thread is still inside notify_one (condvar lifetime race).
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_one();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(mutex);

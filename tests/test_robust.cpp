@@ -150,6 +150,101 @@ TEST_F(RobustEvalTest, TinyBudgetForcesAllCloud) {
   EXPECT_EQ(result.best_latency_option, 0u);
 }
 
+// ---- fault-scenario pricing -------------------------------------------------
+
+TEST(FaultScenarios, DefaultMixIsWellFormed) {
+  const std::vector<FaultScenario> scenarios = default_fault_scenarios(10.0);
+  ASSERT_GE(scenarios.size(), 4u);
+  double mass = 0.0;
+  bool has_cloud_outage = false;
+  for (const FaultScenario& s : scenarios) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.probability, 0.0);
+    EXPECT_GT(s.tu_mbps, 0.0);
+    EXPECT_GE(s.edge_slowdown, 1.0);
+    has_cloud_outage |= !s.cloud_available;
+    mass += s.probability;
+  }
+  EXPECT_TRUE(has_cloud_outage);
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+  EXPECT_THROW(default_fault_scenarios(0.0), std::invalid_argument);
+}
+
+TEST_F(RobustEvalTest, HealthyScenarioMatchesPointEvaluation) {
+  const RobustDeploymentEvaluator robust(
+      evaluator_, ThroughputDistribution::from_samples({10.0}));
+  const DeploymentPlan plan = evaluator_.compile(alexnet_);
+  const std::vector<FaultScenario> healthy = {
+      {"healthy", 1.0, 10.0, true, 1.0, 0.0}};
+  const FaultEvaluation result = robust.evaluate_under_faults(plan, healthy);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_TRUE(result.outcomes[0].servable);
+  EXPECT_DOUBLE_EQ(result.availability, 1.0);
+  const DeploymentEvaluation point = evaluator_.evaluate(alexnet_, 10.0);
+  EXPECT_NEAR(result.expected_latency_ms, point.best_latency_ms(), 1e-9);
+  EXPECT_NEAR(result.degradation_ratio, 1.0, 1e-9);
+}
+
+TEST_F(RobustEvalTest, CloudOutageScenarioForcesEdgeOnlyOption) {
+  const RobustDeploymentEvaluator robust(
+      evaluator_, ThroughputDistribution::from_samples({10.0}));
+  const DeploymentPlan plan = evaluator_.compile(alexnet_);
+  const FaultEvaluation result =
+      robust.evaluate_under_faults(plan, default_fault_scenarios(10.0));
+  EXPECT_DOUBLE_EQ(result.availability, 1.0);  // AlexNet has an All-Edge option
+  EXPECT_GE(result.degradation_ratio, 1.0 - 1e-9);
+  for (const FaultScenarioOutcome& o : result.outcomes) {
+    ASSERT_TRUE(o.servable) << o.scenario.name;
+    if (!o.scenario.cloud_available) {
+      EXPECT_EQ(plan.options()[o.best_option].tx_bytes, 0u) << o.scenario.name;
+    }
+    if (o.scenario.rtt_extra_ms > 0.0 &&
+        plan.options()[o.best_option].tx_bytes > 0) {
+      // A transmitting winner under an RTT spike must have absorbed it.
+      EXPECT_GE(o.latency_ms, o.scenario.rtt_extra_ms);
+    }
+  }
+}
+
+TEST_F(RobustEvalTest, PlanWithoutEdgeOptionLosesAvailability) {
+  // 1 KB budget leaves only All-Cloud: the cloud-outage scenario is
+  // unservable and its probability mass is lost from availability.
+  EvaluatorConfig config;
+  config.edge_memory_budget_bytes = 1024;
+  const DeploymentEvaluator budgeted(oracle_, wifi_, config);
+  const RobustDeploymentEvaluator robust(
+      budgeted, ThroughputDistribution::from_samples({10.0}));
+  const DeploymentPlan plan = budgeted.compile(alexnet_);
+  const std::vector<FaultScenario> scenarios = default_fault_scenarios(10.0);
+  const FaultEvaluation result = robust.evaluate_under_faults(plan, scenarios);
+  double lost = 0.0;
+  for (const FaultScenarioOutcome& o : result.outcomes) {
+    if (!o.scenario.cloud_available) {
+      EXPECT_FALSE(o.servable);
+      lost += o.scenario.probability;
+    } else {
+      EXPECT_TRUE(o.servable);
+    }
+  }
+  EXPECT_GT(lost, 0.0);
+  EXPECT_NEAR(result.availability, 1.0 - lost, 1e-12);
+}
+
+TEST_F(RobustEvalTest, FaultEvaluationValidation) {
+  const RobustDeploymentEvaluator robust(
+      evaluator_, ThroughputDistribution::from_samples({10.0}));
+  const DeploymentPlan plan = evaluator_.compile(alexnet_);
+  EXPECT_THROW(robust.evaluate_under_faults(plan, {}), std::invalid_argument);
+  EXPECT_THROW(robust.evaluate_under_faults(plan, {{"half", 0.5, 10.0, true, 1.0, 0.0}}),
+               std::invalid_argument);  // mass != 1
+  EXPECT_THROW(
+      robust.evaluate_under_faults(plan, {{"dead-link", 1.0, 0.0, true, 1.0, 0.0}}),
+      std::invalid_argument);  // non-positive throughput
+  EXPECT_THROW(
+      robust.evaluate_under_faults(plan, {{"speedup", 1.0, 10.0, true, 0.5, 0.0}}),
+      std::invalid_argument);  // slowdown < 1
+}
+
 }  // namespace
 }  // namespace lens::core
 

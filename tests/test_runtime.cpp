@@ -245,6 +245,110 @@ TEST_F(DeployerTest, OutageSamplesAreCountedAndPricedAtFloor) {
   EXPECT_EQ(deployer.play_dynamic(generator.generate(10)).outages, 0u);
 }
 
+TEST(Tracker, OutagePolicyDecaysHeldEstimateToFloor) {
+  ThroughputTracker tracker(0.5, /*outage_decay=*/0.5, /*floor_mbps=*/1.0);
+  // Outages before any measurement only count; no estimate is invented.
+  tracker.report_outage();
+  EXPECT_FALSE(tracker.has_estimate());
+  EXPECT_EQ(tracker.outages(), 1u);
+
+  tracker.report(8.0);
+  EXPECT_DOUBLE_EQ(tracker.estimate_mbps(), 8.0);
+  // An outage episode decays the held estimate geometrically...
+  tracker.report_outage();
+  EXPECT_DOUBLE_EQ(tracker.estimate_mbps(), 4.0);
+  tracker.report_outage();
+  EXPECT_DOUBLE_EQ(tracker.estimate_mbps(), 2.0);
+  // ...down to the floor, never below.
+  for (int i = 0; i < 10; ++i) tracker.report_outage();
+  EXPECT_DOUBLE_EQ(tracker.estimate_mbps(), 1.0);
+  EXPECT_EQ(tracker.outages(), 13u);
+  EXPECT_EQ(tracker.samples(), 1u);  // outages are not measurements
+  // Recovery blends the new reading with the decayed estimate.
+  tracker.report(9.0);
+  EXPECT_DOUBLE_EQ(tracker.estimate_mbps(), 0.5 * 9.0 + 0.5 * 1.0);
+
+  EXPECT_THROW(ThroughputTracker(0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputTracker(0.5, 1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(ThroughputTracker(0.5, 0.5, 0.0), std::invalid_argument);
+}
+
+TEST_F(DeployerTest, FallbackPolicyGovernsOutageSelection) {
+  // Latency metric: All-Cloud wins above ~60 Mbps, All-Edge below — so an
+  // outage forces a real re-staging decision.
+  const double tu_min = 0.05;
+  const DynamicDeployer deployer(options_, comm_, OptimizeFor::kLatency, tu_min, 500.0);
+  comm::ThroughputTrace trace;
+  trace.interval_s = 1.0;
+  for (int i = 0; i < 5; ++i) trace.samples_mbps.push_back(200.0);
+  for (int i = 0; i < 3; ++i) trace.samples_mbps.push_back(0.0);
+  for (int i = 0; i < 5; ++i) trace.samples_mbps.push_back(200.0);
+
+  const std::size_t floor_choice = deployer.select(tu_min);
+  const std::size_t fast_choice = deployer.select(200.0);
+  ASSERT_NE(floor_choice, fast_choice);  // the episode must matter
+
+  const PlaybackResult floor_run = deployer.play_dynamic(trace, /*tracker_alpha=*/1.0);
+  FallbackPolicy hold;
+  hold.on_outage = FallbackPolicy::OnOutage::kHoldLast;
+  hold.hold_decay = 1.0;  // hold-last exactly
+  const PlaybackResult hold_run = deployer.play_dynamic(trace, 1.0, 0.0, hold);
+
+  for (std::size_t i = 5; i < 8; ++i) {
+    // Pessimistic floor re-stages to the worst-case winner for the episode;
+    // exact hold-last keeps the pre-outage choice.
+    EXPECT_EQ(floor_run.chosen_option[i], floor_choice);
+    EXPECT_EQ(hold_run.chosen_option[i], fast_choice);
+  }
+  EXPECT_EQ(floor_run.option_switches, 2u);  // into and out of the episode
+  EXPECT_EQ(hold_run.option_switches, 0u);
+  EXPECT_EQ(floor_run.outages, 3u);
+  EXPECT_EQ(hold_run.outages, 3u);
+  EXPECT_DOUBLE_EQ(hold_run.degraded_fraction, 3.0 / 13.0);
+  // Pricing is policy-independent: outage samples charge the chosen option
+  // at the floor, so hold-last pays for its optimism during the episode.
+  EXPECT_GE(hold_run.total_cost, floor_run.total_cost);
+}
+
+TEST_F(DeployerTest, HysteresisBoundsFlappingOnOutageTraces) {
+  // Mean throughput sits on the All-Edge / All-Cloud latency threshold
+  // (~60 Mbps) and the Markov overlay injects deep fades on top.
+  const DynamicDeployer deployer(options_, comm_, OptimizeFor::kLatency);
+  comm::TraceGeneratorConfig config;
+  config.mean_mbps = 60.0;
+  config.sigma = 0.5;
+  config.correlation = 0.5;
+  config.seed = 31;
+  config.outage_start_probability = 0.15;
+  config.outage_mean_duration = 2.0;
+  config.outage_depth_factor = 0.05;
+  comm::TraceGenerator generator(config);
+  const comm::ThroughputTrace trace = generator.generate(300);
+
+  const PlaybackResult plain = deployer.play_dynamic(trace, /*tracker_alpha=*/1.0);
+  const PlaybackResult damped =
+      deployer.play_dynamic(trace, 1.0, /*hysteresis_margin=*/0.3);
+  // The Markov fades make an instant tracker flap between options; the
+  // hysteresis band absorbs most of the re-staging churn (deep fades still
+  // switch — their cost gap exceeds any sane margin, as it should).
+  EXPECT_GT(plain.option_switches, 20u);
+  EXPECT_LT(damped.option_switches, plain.option_switches / 2);
+  // Staying inside the margin costs little on the accumulated bill.
+  EXPECT_LE(damped.total_cost, plain.total_cost * 1.1 + 1e-9);
+}
+
+TEST_F(DeployerTest, CloudUnreachableForcesCheapestEdgeOnly) {
+  const DynamicDeployer deployer(options_, comm_, OptimizeFor::kEnergy);
+  ASSERT_TRUE(deployer.cheapest_edge_only().has_value());
+  EXPECT_EQ(*deployer.cheapest_edge_only(), 2u);  // the All-Edge option
+  EXPECT_EQ(deployer.select_cloud_unreachable(), 2u);
+  // An option set with no edge-only member cannot degrade gracefully.
+  const std::vector<core::DeploymentOption> cloud_only = {options_[0], options_[1]};
+  const DynamicDeployer stuck(cloud_only, comm_, OptimizeFor::kEnergy);
+  EXPECT_FALSE(stuck.cheapest_edge_only().has_value());
+  EXPECT_THROW(stuck.select_cloud_unreachable(), std::logic_error);
+}
+
 // End-to-end runtime scenario on the real AlexNet options: the paper's
 // §V-C analysis structure (thresholds exist and switching respects them).
 TEST(RuntimeEndToEnd, AlexNetEnergyThresholdIsPhysical) {

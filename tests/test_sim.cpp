@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "dnn/presets.hpp"
+#include "par/runtime.hpp"
 #include "perf/predictor.hpp"
 #include "sim/battery.hpp"
+#include "sim/fault.hpp"
 #include "sim/link.hpp"
 #include "sim/system.hpp"
 #include "sim/timeline.hpp"
@@ -392,6 +394,242 @@ TEST(CommConditions, FromConditionsMatchesDirectConstruction) {
   const comm::CommModel direct(comm::WirelessTechnology::kLte, 12.0);
   EXPECT_DOUBLE_EQ(from.round_trip_ms(), direct.round_trip_ms());
   EXPECT_DOUBLE_EQ(from.tx_energy_mj(1000, 5.0), direct.tx_energy_mj(1000, 5.0));
+}
+
+// ---- fault injection --------------------------------------------------------
+
+TEST(Timeline, UnorderedScheduleCoexistsWithFifo) {
+  ResourceTimeline timeline;
+  EXPECT_DOUBLE_EQ(timeline.schedule(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.schedule(2.0, 1.0), 3.0);
+  // A fallback re-execution lands before the last FIFO arrival: allowed via
+  // the unordered entry point, queued behind the busy horizon.
+  EXPECT_DOUBLE_EQ(timeline.schedule_unordered(1.0, 0.5), 3.5);
+  EXPECT_THROW(timeline.schedule_unordered(0.0, -1.0), std::invalid_argument);
+  // The FIFO contract of schedule() is untouched by unordered insertions.
+  EXPECT_THROW(timeline.schedule(1.0, 1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(timeline.schedule(4.0, 1.0), 5.0);
+  EXPECT_EQ(timeline.jobs(), 4u);
+}
+
+TEST(FaultSchedule, GenerationIsDeterministicAndClassIndependent) {
+  FaultScheduleConfig config;
+  config.seed = 42;
+  config.horizon_s = 500.0;
+  config.link_outage_rate_hz = 1.0 / 30.0;
+  const FaultSchedule once = FaultSchedule::generate(config);
+  const FaultSchedule twice = FaultSchedule::generate(config);
+  ASSERT_FALSE(once.empty());
+  ASSERT_EQ(once.episodes().size(), twice.episodes().size());
+  for (std::size_t i = 0; i < once.episodes().size(); ++i) {
+    EXPECT_DOUBLE_EQ(once.episodes()[i].start_s, twice.episodes()[i].start_s);
+    EXPECT_DOUBLE_EQ(once.episodes()[i].end_s, twice.episodes()[i].end_s);
+  }
+  // Enabling another class must not perturb the link-outage substream.
+  config.cloud_outage_rate_hz = 1.0 / 40.0;
+  config.rtt_spike_rate_hz = 1.0 / 50.0;
+  const FaultSchedule mixed = FaultSchedule::generate(config);
+  EXPECT_GT(mixed.count(FaultClass::kCloudOutage), 0u);
+  ASSERT_EQ(mixed.count(FaultClass::kLinkOutage), once.count(FaultClass::kLinkOutage));
+  std::vector<FaultEpisode> link_only;
+  std::vector<FaultEpisode> link_mixed;
+  for (const FaultEpisode& e : once.episodes()) {
+    if (e.fault == FaultClass::kLinkOutage) link_only.push_back(e);
+  }
+  for (const FaultEpisode& e : mixed.episodes()) {
+    if (e.fault == FaultClass::kLinkOutage) link_mixed.push_back(e);
+  }
+  for (std::size_t i = 0; i < link_only.size(); ++i) {
+    EXPECT_DOUBLE_EQ(link_only[i].start_s, link_mixed[i].start_s);
+    EXPECT_DOUBLE_EQ(link_only[i].end_s, link_mixed[i].end_s);
+    EXPECT_DOUBLE_EQ(link_only[i].magnitude, link_mixed[i].magnitude);
+  }
+}
+
+TEST(FaultSchedule, Validation) {
+  FaultScheduleConfig config;
+  config.link_outage_rate_hz = 0.1;
+  EXPECT_THROW(FaultSchedule::generate(config), std::invalid_argument);  // no horizon
+  config.horizon_s = 100.0;
+  config.link_outage_depth = 1.5;  // multiplier must stay in (0, 1]
+  EXPECT_THROW(FaultSchedule::generate(config), std::invalid_argument);
+  EXPECT_THROW(FaultSchedule({{FaultClass::kCloudOutage, 5.0, 5.0, 0.0}}),
+               std::invalid_argument);  // empty interval
+  EXPECT_THROW(FaultSchedule({{FaultClass::kEdgeSlowdown, 0.0, 1.0, 0.5}}),
+               std::invalid_argument);  // slowdown < 1
+}
+
+TEST(FaultInjector, ScriptedQueriesAndDegradedTime) {
+  const FaultSchedule schedule({
+      {FaultClass::kLinkOutage, 1.0, 3.0, 0.25},
+      {FaultClass::kCloudOutage, 2.0, 4.0, 0.0},
+      {FaultClass::kRttSpike, 10.0, 12.0, 150.0},
+      {FaultClass::kEdgeSlowdown, 20.0, 21.0, 2.5},
+  });
+  const FaultInjector faults(schedule);
+  EXPECT_DOUBLE_EQ(faults.link_factor(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(faults.link_factor(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(faults.link_factor(3.0), 1.0);  // half-open interval
+  EXPECT_FALSE(faults.cloud_unavailable(1.9));
+  EXPECT_TRUE(faults.cloud_unavailable(2.0));
+  EXPECT_DOUBLE_EQ(faults.cloud_recovery_time(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(faults.cloud_recovery_time(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(faults.rtt_extra_ms(11.0), 150.0);
+  EXPECT_DOUBLE_EQ(faults.rtt_extra_ms(12.5), 0.0);
+  EXPECT_DOUBLE_EQ(faults.edge_slowdown(20.5), 2.5);
+  EXPECT_DOUBLE_EQ(faults.edge_slowdown(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(faults.next_link_boundary(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(faults.next_link_boundary(1.0), 3.0);
+  EXPECT_TRUE(std::isinf(faults.next_link_boundary(3.0)));
+  // Union of [1,4), [10,12), [20,21) clipped to [0,15): 3 + 2 = 5 s.
+  EXPECT_DOUBLE_EQ(faults.degraded_time(15.0), 5.0);
+  EXPECT_DOUBLE_EQ(faults.degraded_time(50.0), 6.0);
+  // Default-constructed injector is always healthy.
+  const FaultInjector healthy;
+  EXPECT_DOUBLE_EQ(healthy.link_factor(7.0), 1.0);
+  EXPECT_FALSE(healthy.cloud_unavailable(7.0));
+  EXPECT_TRUE(std::isinf(healthy.next_link_boundary(0.0)));
+  EXPECT_DOUBLE_EQ(healthy.degraded_time(100.0), 0.0);
+}
+
+TEST(Link, FadeIsIntegratedAcrossEpisodeBoundaries) {
+  // Flat 8 Mbps with a half-depth fade over [1 s, 2 s): a 12e6-bit payload
+  // carries 8e6 bits in [0,1), 4e6 bits in [1,2) -> done exactly at 2 s.
+  const FaultSchedule schedule({{FaultClass::kLinkOutage, 1.0, 2.0, 0.5}});
+  const FaultInjector faults(schedule);
+  const comm::RadioPowerModel radio = comm::power_model_for(comm::WirelessTechnology::kWifi);
+  TimeVaryingLink link(flat_trace(8.0), radio, &faults);
+  EXPECT_DOUBLE_EQ(link.throughput_at(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(link.throughput_at(1.5), 4.0);
+  const TransferResult r = link.transfer(0.0, 1500000);
+  EXPECT_NEAR(r.end_s, 2.0, 1e-9);
+  const double expected_energy =
+      radio.transmit_power_mw(8.0) * 1.0 + radio.transmit_power_mw(4.0) * 1.0;
+  EXPECT_NEAR(r.energy_mj, expected_energy, 1e-6);
+}
+
+TEST_F(SystemTest, CloudOutageDegradesGracefullyUnderDynamicDispatch) {
+  // The acceptance scenario: a scripted 20 s cloud blackout in a 40 s run.
+  // At 30 Mbps the latency-best option transmits, so the outage actually
+  // threatens the request path.
+  SimConfig config;
+  config.duration_s = 40.0;
+  config.arrival_rate_hz = 5.0;
+  config.metric = runtime::OptimizeFor::kLatency;
+  config.policy = DispatchPolicy::kDynamic;
+  SimConfig faulty = config;
+  faulty.faults.scripted.push_back({FaultClass::kCloudOutage, 5.0, 25.0, 0.0});
+
+  EdgeCloudSystem clean_system(evaluation_.options, wifi_, flat_trace(30.0), config);
+  EdgeCloudSystem faulty_system(evaluation_.options, wifi_, flat_trace(30.0), faulty);
+  const SimStats clean = clean_system.run();
+  const SimStats degraded = faulty_system.run();
+
+  // Dynamic dispatch routes around the blackout: nothing is dropped, no
+  // request ever waits out a timeout, but the forced All-Edge window costs
+  // real latency.
+  EXPECT_DOUBLE_EQ(degraded.availability, 1.0);
+  EXPECT_EQ(degraded.dropped, 0u);
+  EXPECT_EQ(degraded.timeouts, 0u);
+  EXPECT_GT(degraded.mean_latency_ms, 1.05 * clean.mean_latency_ms);
+  EXPECT_GT(degraded.degraded_time_s, 19.0);
+  EXPECT_EQ(degraded.cloud_outage_episodes, 1u);
+  bool fell_back_to_edge = false;
+  for (const RequestRecord& r : faulty_system.records()) {
+    if (r.arrival_s >= 5.0 && r.arrival_s < 25.0) {
+      fell_back_to_edge |= evaluation_.options[r.option].tx_bytes == 0;
+      EXPECT_EQ(r.timeouts, 0u);
+    }
+  }
+  EXPECT_TRUE(fell_back_to_edge);
+
+  // A fixed pin on the latency-best (transmitting) option must ride the
+  // blackout out via timeout -> retry -> edge fallback. Same seed, same
+  // arrivals; only dispatch differs.
+  SimConfig pinned = faulty;
+  pinned.policy = DispatchPolicy::kFixed;
+  pinned.fixed_option = evaluator_.evaluate(alexnet_, 30.0).best_latency_option;
+  ASSERT_GT(evaluation_.options[pinned.fixed_option].tx_bytes, 0u);
+  EdgeCloudSystem pinned_system(evaluation_.options, wifi_, flat_trace(30.0), pinned);
+  const SimStats suffered = pinned_system.run();
+  EXPECT_GT(suffered.timeouts, 0u);
+  EXPECT_GT(suffered.retries, 0u);
+  EXPECT_GT(suffered.fallback_executions, 0u);
+  EXPECT_DOUBLE_EQ(suffered.availability, 1.0);  // fallback saves every request
+  EXPECT_GT(suffered.mean_latency_ms, degraded.mean_latency_ms);
+}
+
+TEST_F(SystemTest, OutageWithoutEdgeFallbackDropsRequests) {
+  // Only the All-Cloud option exists: during the blackout there is nothing
+  // to fall back to, so retries exhaust and requests drop.
+  SimConfig config;
+  config.duration_s = 30.0;
+  config.arrival_rate_hz = 5.0;
+  config.policy = DispatchPolicy::kFixed;
+  config.fixed_option = 0;
+  config.max_retries = 1;
+  config.faults.scripted.push_back({FaultClass::kCloudOutage, 5.0, 28.0, 0.0});
+  std::vector<core::DeploymentOption> only_cloud = {evaluation_.all_cloud()};
+  EdgeCloudSystem system(only_cloud, wifi_, flat_trace(10.0), config);
+  const SimStats stats = system.run();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_LT(stats.availability, 1.0);
+  EXPECT_GT(stats.availability, 0.0);  // pre/post-blackout traffic succeeds
+  EXPECT_EQ(stats.completed + stats.dropped, system.records().size());
+}
+
+TEST_F(SystemTest, RetriesRecoverAfterShortOutage) {
+  // A 1 s blackout with generous retries: every request that times out
+  // eventually lands once the cloud returns — nothing dropped.
+  SimConfig config;
+  config.duration_s = 3.0;
+  config.arrival_rate_hz = 10.0;
+  config.policy = DispatchPolicy::kFixed;
+  config.fixed_option = 0;
+  config.timeout_ms = 200.0;
+  config.retry_backoff_ms = 100.0;
+  config.max_retries = 8;
+  config.faults.scripted.push_back({FaultClass::kCloudOutage, 0.0, 1.0, 0.0});
+  std::vector<core::DeploymentOption> only_cloud = {evaluation_.all_cloud()};
+  EdgeCloudSystem system(only_cloud, wifi_, flat_trace(10.0), config);
+  const SimStats stats = system.run();
+  EXPECT_GT(stats.timeouts, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.fallback_executions, 0u);
+  EXPECT_DOUBLE_EQ(stats.availability, 1.0);
+}
+
+TEST_F(SystemTest, FaultyStatsAreBitIdenticalAcrossThreadCounts) {
+  const auto run_with_threads = [&](std::size_t threads) {
+    par::set_max_threads(threads);
+    SimConfig config;
+    config.duration_s = 60.0;
+    config.arrival_rate_hz = 8.0;
+    config.seed = 99;
+    config.metric = runtime::OptimizeFor::kLatency;
+    config.policy = DispatchPolicy::kDynamic;
+    config.faults.seed = 99;
+    config.faults.link_outage_rate_hz = 1.0 / 30.0;
+    config.faults.cloud_outage_rate_hz = 1.0 / 45.0;
+    config.faults.cloud_outage_mean_s = 5.0;
+    config.faults.rtt_spike_rate_hz = 1.0 / 40.0;
+    config.faults.edge_slowdown_rate_hz = 1.0 / 50.0;
+    EdgeCloudSystem system(evaluation_.options, wifi_, flat_trace(30.0), config);
+    return system.run();
+  };
+  const SimStats one = run_with_threads(1);
+  const SimStats four = run_with_threads(4);
+  par::set_max_threads(0);  // restore hardware default for other tests
+  EXPECT_EQ(one.completed, four.completed);
+  EXPECT_EQ(one.timeouts, four.timeouts);
+  EXPECT_EQ(one.retries, four.retries);
+  EXPECT_EQ(one.fallback_executions, four.fallback_executions);
+  EXPECT_EQ(one.dropped, four.dropped);
+  EXPECT_EQ(one.mean_latency_ms, four.mean_latency_ms);      // bitwise
+  EXPECT_EQ(one.total_energy_mj, four.total_energy_mj);      // bitwise
+  EXPECT_EQ(one.p99_latency_ms, four.p99_latency_ms);        // bitwise
+  EXPECT_EQ(one.degraded_time_s, four.degraded_time_s);      // bitwise
 }
 
 TEST_F(SystemTest, Deterministic) {
