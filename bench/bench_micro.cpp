@@ -5,6 +5,7 @@
 // hyper-parameter retunes. Results are also written to BENCH_micro.json
 // (per-size timings plus fit/extend speedup ratios) for cross-PR tracking.
 
+#include <filesystem>
 #include <random>
 #include <string>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "bench_common.hpp"
 #include "core/evaluator.hpp"
 #include "core/plan.hpp"
+#include "core/run_checkpoint.hpp"
 #include "core/search_space.hpp"
 #include "dnn/presets.hpp"
 #include "opt/gp.hpp"
@@ -263,6 +265,78 @@ void BM_SearchSpaceDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchSpaceDecode);
 
+// ---- Run checkpoints: durable save + exact-state restore --------------------
+// BM_CheckpointSave is the periodic cost the checkpointed search loop pays
+// every `period` evaluations: snapshot serialization plus the atomic framed
+// write (fsync included) and rotation pruning. BM_CheckpointRestore is the
+// crash-recovery path: read + verify + parse the newest snapshot and rebuild
+// a fresh engine from it (history replay + frozen-hyper GP refits). The
+// BENCH_micro.json "CheckpointSaveVsEvaluate" rows track the save against a
+// single Algorithm-1 candidate evaluation — periodic snapshots must stay a
+// fraction of one evaluation.
+
+/// Synthetic MOBO run shared by the checkpoint benchmarks: cheap 2-objective
+/// problem over [0,1]^5, stepped to the requested history size.
+struct CheckpointRig {
+  opt::MoboConfig config;
+  opt::MoboEngine::Sampler sampler = [](std::mt19937_64& rng) {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    std::vector<double> x(5);
+    for (double& v : x) v = unit(rng);
+    return x;
+  };
+  opt::MoboEngine::Objectives objectives = [](const std::vector<double>& x) {
+    double bowl = 0.0;
+    for (double v : x) bowl += (v - 0.4) * (v - 0.4);
+    return std::vector<double>{bowl, 1.0 - x[0]};
+  };
+
+  explicit CheckpointRig(std::size_t evaluations) {
+    config.num_initial = 10;
+    config.num_iterations = evaluations;  // headroom past the warm-up
+    config.pool_size = 32;
+    config.seed = 17;
+  }
+
+  opt::MoboEngine make() const { return {config, 2, sampler, objectives}; }
+};
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CheckpointRig rig(n);
+  opt::MoboEngine engine = rig.make();
+  engine.step(n);
+  const opt::MoboSnapshot snapshot = engine.snapshot();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lens_bench_ckpt_save").string();
+  std::filesystem::remove_all(dir);
+  for (auto _ : state) {
+    core::save_run_checkpoint(dir, snapshot, 2);
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["observations"] = static_cast<double>(snapshot.history.size());
+}
+BENCHMARK(BM_CheckpointSave)->Arg(50)->Arg(150)->Iterations(64);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const CheckpointRig rig(n);
+  opt::MoboEngine engine = rig.make();
+  engine.step(n);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "lens_bench_ckpt_restore").string();
+  std::filesystem::remove_all(dir);
+  core::save_run_checkpoint(dir, engine.snapshot(), 1);
+  for (auto _ : state) {
+    const opt::MoboSnapshot snapshot = core::load_newest_run_checkpoint(dir);
+    opt::MoboEngine restored = rig.make();
+    restored.restore(snapshot);
+    benchmark::DoNotOptimize(restored);
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(50)->Arg(150)->Iterations(32);
+
 // ---- Serving simulation: fault injection overhead ---------------------------
 // Arg(0) = fault-free, Arg(1) = all four fault classes active. The
 // BENCH_micro.json "SimFaultyVsClean" row tracks the injector's overhead on
@@ -368,6 +442,18 @@ int main(int argc, char** argv) {
     const double price = reporter.time_of("BM_PlanPrice/" + size);
     if (full > 0.0 && price > 0.0) {
       json.add("PlanPriceVsEvaluate/" + size, {{"speedup", full / price}});
+    }
+  }
+  // Durable checkpoint save vs one Algorithm-1 candidate evaluation: the
+  // periodic snapshot must stay a fraction of a single evaluation.
+  {
+    const double evaluate = reporter.time_of("BM_EvaluateFull/8");
+    for (const int n : {50, 150}) {
+      const std::string size = std::to_string(n);
+      const double save = reporter.time_of("BM_CheckpointSave/" + size + "/iterations:64");
+      if (evaluate > 0.0 && save > 0.0) {
+        json.add("CheckpointSaveVsEvaluate/" + size, {{"overhead", save / evaluate}});
+      }
     }
   }
   // Fault-injected vs fault-free serving: the injector's end-to-end cost.

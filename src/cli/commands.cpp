@@ -84,7 +84,8 @@ int cmd_evaluate(const Args& args) {
 
 int cmd_search(const Args& args) {
   args.expect_known({"iterations", "initial", "tu", "tech", "rtt", "device", "seed", "mode",
-                     "strategy", "out", "front-out", "resume", "threads"});
+                     "strategy", "out", "front-out", "resume", "threads", "checkpoint",
+                     "checkpoint-period", "checkpoint-keep", "resume-run"});
   Rig rig = Rig::from_args(args);
   const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
   const core::SearchSpace space;
@@ -117,11 +118,32 @@ int cmd_search(const Args& args) {
 
   if (args.has("resume")) {
     config.warm_start = core::load_genotypes_csv(space, args.get("resume"));
-    std::printf("resuming from %zu checkpointed candidates\n", config.warm_start.size());
+    std::printf("warm-starting from %zu checkpointed candidates\n", config.warm_start.size());
+  }
+  if (args.has("resume-run")) {
+    config.resume_run = args.get("resume-run");
+    std::printf("resuming run state from %s\n", config.resume_run.c_str());
+  }
+  if (args.has("checkpoint")) {
+    config.checkpoint.directory = args.get("checkpoint");
+    config.checkpoint.period =
+        static_cast<std::size_t>(args.get_int("checkpoint-period", 10));
+    config.checkpoint.keep = static_cast<std::size_t>(args.get_int("checkpoint-keep", 3));
+    // SIGINT/SIGTERM flush the in-flight checkpoint chunk instead of
+    // killing the process mid-write.
+    core::install_interrupt_flush_handler();
+  } else if (args.has("checkpoint-period") || args.has("checkpoint-keep")) {
+    throw std::invalid_argument("--checkpoint-period/--checkpoint-keep require --checkpoint");
   }
 
   core::NasDriver driver(space, evaluator, accuracy, config);
   const core::NasResult result = driver.run();
+  if (result.interrupted) {
+    std::printf("interrupted after %zu evaluations; state saved to %s\n",
+                result.history.size(), config.checkpoint.directory.c_str());
+    std::printf("resume with: lens-cli search --resume-run %s --checkpoint %s ...\n",
+                config.checkpoint.directory.c_str(), config.checkpoint.directory.c_str());
+  }
   std::printf("explored %zu candidates; frontier:\n", result.history.size());
   std::printf("%-14s %8s %10s %10s\n", "architecture", "err(%)", "lat(ms)", "ene(mJ)");
   for (const opt::ParetoPoint& p : result.front.points()) {
@@ -139,7 +161,7 @@ int cmd_search(const Args& args) {
     core::save_front_csv(result, space, args.get("front-out"));
     std::printf("frontier written to %s\n", args.get("front-out").c_str());
   }
-  return 0;
+  return result.interrupted ? 130 : 0;
 }
 
 int cmd_thresholds(const Args& args) {
@@ -328,7 +350,16 @@ int cmd_help() {
       "              --iterations N --initial N --tu MBPS --seed N\n"
       "              --mode lens|traditional --strategy mobo|nsga2|random\n"
       "              [--out history.csv] [--front-out front.csv]\n"
-      "              [--resume history.csv]  (warm-start from a checkpoint)\n"
+      "              [--resume history.csv]   cross-config warm-start: re-evaluates\n"
+      "                                       genotypes from an exported CSV\n"
+      "              [--checkpoint DIR]       write rotated run snapshots every\n"
+      "                                       --checkpoint-period evals (keep\n"
+      "                                       --checkpoint-keep newest, default 10/3);\n"
+      "                                       SIGINT/SIGTERM flush before exit\n"
+      "              [--resume-run DIR]       exact-state resume from the newest\n"
+      "                                       valid snapshot in DIR; continuation\n"
+      "                                       is bit-identical to an uninterrupted\n"
+      "                                       run with the same config\n"
       "  thresholds  runtime switching thresholds for a preset model\n"
       "              --arch ... --metric latency|energy\n"
       "  simulate    serving simulation under Poisson load\n"

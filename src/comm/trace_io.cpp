@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/io.hpp"
 
 namespace lens::comm {
 
@@ -21,19 +23,20 @@ double percentile_mbps(const ThroughputTrace& trace, double p) {
 }
 
 void save_trace_csv(const ThroughputTrace& trace, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_trace_csv: cannot open " + path);
-  out << "# interval_s=" << trace.interval_s << "\n";
-  out << "index,tu_mbps\n";
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    out << i << "," << trace.samples_mbps[i] << "\n";
-  }
-  if (!out) throw std::runtime_error("save_trace_csv: write failed for " + path);
+  io::atomic_write_checked(path, [&](std::ostream& out) {
+    out << std::setprecision(17);
+    out << "# interval_s=" << trace.interval_s << "\n";
+    out << "index,tu_mbps\n";
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      out << i << "," << trace.samples_mbps[i] << "\n";
+    }
+  });
 }
 
 ThroughputTrace load_trace_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_trace_csv: cannot open " + path);
+  // The footer check catches a trace truncated to fewer rows, which would
+  // otherwise parse cleanly as a silently shorter trace.
+  std::istringstream in(io::read_checked(path));
   ThroughputTrace trace;
   std::string line;
   // Header: "# interval_s=<v>".

@@ -1,8 +1,10 @@
 #include "core/export.hpp"
 
-#include <fstream>
 #include <iomanip>
 #include <set>
+#include <sstream>
+
+#include "io/io.hpp"
 
 namespace lens::core {
 
@@ -21,7 +23,7 @@ std::string encode_genotype(const Genotype& genotype) {
   return out;
 }
 
-void write_row(std::ofstream& out, std::size_t index, const EvaluatedCandidate& c,
+void write_row(std::ostream& out, std::size_t index, const EvaluatedCandidate& c,
                const SearchSpace& space, bool on_front) {
   const dnn::Architecture arch = space.decode(c.genotype);
   out << index << ',' << c.name << ',' << c.error_percent << ',' << c.latency_ms << ','
@@ -46,30 +48,30 @@ std::set<std::size_t> front_ids(const NasResult& result) {
 
 void save_history_csv(const NasResult& result, const SearchSpace& space,
                       const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_history_csv: cannot open " + path);
-  out << std::setprecision(12) << kHeader;
-  const std::set<std::size_t> ids = front_ids(result);
-  for (std::size_t i = 0; i < result.history.size(); ++i) {
-    write_row(out, i, result.history[i], space, ids.count(i) > 0);
-  }
-  if (!out) throw std::runtime_error("save_history_csv: write failed for " + path);
+  io::atomic_write_checked(path, [&](std::ostream& out) {
+    out << std::setprecision(12) << kHeader;
+    const std::set<std::size_t> ids = front_ids(result);
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+      write_row(out, i, result.history[i], space, ids.count(i) > 0);
+    }
+  });
 }
 
 void save_front_csv(const NasResult& result, const SearchSpace& space,
                     const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_front_csv: cannot open " + path);
-  out << std::setprecision(12) << kHeader;
-  for (const opt::ParetoPoint& p : result.front.points()) {
-    write_row(out, p.id, result.history.at(p.id), space, true);
-  }
-  if (!out) throw std::runtime_error("save_front_csv: write failed for " + path);
+  io::atomic_write_checked(path, [&](std::ostream& out) {
+    out << std::setprecision(12) << kHeader;
+    for (const opt::ParetoPoint& p : result.front.points()) {
+      write_row(out, p.id, result.history.at(p.id), space, true);
+    }
+  });
 }
 
 std::vector<Genotype> load_genotypes_csv(const SearchSpace& space, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_genotypes_csv: cannot open " + path);
+  // Integrity first: a CSV truncated mid-write (or with bytes appended)
+  // fails the footer check here instead of yielding a silently shorter
+  // genotype list.
+  std::istringstream in(io::read_checked(path));
   std::string line;
   if (!std::getline(in, line) || line.find(",genotype") == std::string::npos) {
     throw std::invalid_argument("load_genotypes_csv: missing genotype column in " + path);

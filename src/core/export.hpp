@@ -11,18 +11,24 @@ namespace lens::core {
 /// Write one row per explored candidate:
 ///   index,name,error_percent,latency_ms,energy_mj,on_front,
 ///   latency_split,energy_split,all_edge_latency_ms,all_edge_energy_mj
-/// Throws std::runtime_error on I/O failure.
+/// Written atomically (temp + fsync + rename) with a trailing
+/// `# lens:fnv1a ...` integrity footer — still plain CSV for external
+/// tooling (read with comment='#'). Throws std::runtime_error on I/O
+/// failure; a crash mid-write leaves the previous file intact.
 void save_history_csv(const NasResult& result, const SearchSpace& space,
                       const std::string& path);
 
-/// Write only the Pareto-front members (same columns).
+/// Write only the Pareto-front members (same columns, same durability).
 void save_front_csv(const NasResult& result, const SearchSpace& space,
                     const std::string& path);
 
 /// Read back the genotypes of a CSV written by save_history_csv /
 /// save_front_csv (the trailing `genotype` column, dash-separated indices).
-/// Invalid genotypes are rejected. Use with NasConfig::warm_start to resume
-/// a search. Throws std::runtime_error / std::invalid_argument on bad files.
+/// The integrity footer is verified first, so truncated or corrupted files
+/// are rejected outright rather than yielding a partial genotype list.
+/// Invalid genotypes are rejected. Use with NasConfig::warm_start to
+/// warm-start a (possibly different) search config. Throws
+/// std::runtime_error / std::invalid_argument on bad files.
 std::vector<Genotype> load_genotypes_csv(const SearchSpace& space, const std::string& path);
 
 }  // namespace lens::core

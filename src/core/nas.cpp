@@ -90,6 +90,94 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
   return ys;
 }
 
+void NasDriver::run_mobo(NasResult& result) {
+  auto sampler = [this](std::mt19937_64& rng) {
+    return space_.to_normalized(space_.random(rng));
+  };
+  auto batch_objectives = [this, &result](const std::vector<std::vector<double>>& xs) {
+    return evaluate_batch(xs, result);
+  };
+  auto objectives = [&batch_objectives](const std::vector<double>& x) {
+    return batch_objectives({x}).front();
+  };
+  opt::MoboEngine engine(config_.mobo, kNumObjectives, sampler, objectives);
+  engine.set_batch_objectives(batch_objectives);
+
+  if (!config_.resume_run.empty()) {
+    if (!config_.warm_start.empty()) {
+      throw std::invalid_argument(
+          "NasDriver: resume_run (exact-state resume) and warm_start (cross-config "
+          "seeding) are mutually exclusive");
+    }
+    const opt::MoboSnapshot snapshot = load_newest_run_checkpoint(config_.resume_run);
+    engine.restore(snapshot);
+    // Replay the restored design points through the evaluator: rebuilds the
+    // rich candidate records and the memoized plan cache without touching
+    // the engine. The replayed objectives must reproduce the snapshot
+    // bit-for-bit — a divergence means the evaluator/space configuration
+    // differs from the checkpointed run, which exact resume cannot honor.
+    if (!snapshot.history.empty()) {
+      std::vector<std::vector<double>> xs;
+      xs.reserve(snapshot.history.size());
+      for (const opt::Observation& o : snapshot.history) xs.push_back(o.x);
+      const std::vector<std::vector<double>> ys = batch_objectives(xs);
+      for (std::size_t i = 0; i < ys.size(); ++i) {
+        if (ys[i] != snapshot.history[i].objectives) {
+          throw std::runtime_error(
+              "NasDriver: replayed objectives diverge from the checkpoint — the "
+              "snapshot was taken under a different search configuration (use the "
+              "genotype-CSV warm_start path to transfer observations instead)");
+        }
+      }
+    }
+  } else if (!config_.warm_start.empty()) {
+    std::vector<std::vector<double>> seed_xs;
+    seed_xs.reserve(config_.warm_start.size());
+    for (const Genotype& genotype : config_.warm_start) {
+      if (!space_.is_valid(genotype)) {
+        throw std::invalid_argument("NasDriver: invalid warm-start genotype");
+      }
+      seed_xs.push_back(space_.to_normalized(genotype));
+    }
+    const std::vector<std::vector<double>> seed_ys = batch_objectives(seed_xs);
+    std::vector<opt::Observation> seeds;
+    seeds.reserve(seed_xs.size());
+    for (std::size_t i = 0; i < seed_xs.size(); ++i) {
+      seeds.push_back({seed_xs[i], seed_ys[i]});
+    }
+    engine.seed_observations(seeds);
+  }
+
+  const std::size_t total = config_.mobo.num_initial + config_.mobo.num_iterations;
+  if (config_.checkpoint.directory.empty()) {
+    if (engine.evaluations_done() < total) engine.step(total - engine.evaluations_done());
+    return;
+  }
+  if (config_.checkpoint.period == 0 || config_.checkpoint.keep == 0) {
+    throw std::invalid_argument("NasDriver: checkpoint period and keep must be >= 1");
+  }
+  // Checkpointed stepping: chunked step() calls are bit-identical to one
+  // step(total) call (warm-up draws are serial either way), so snapshot
+  // granularity never changes the trajectory. The first chunk stretches to
+  // the end of warm-up so the warm-up batch still fans out in one piece.
+  while (engine.evaluations_done() < total) {
+    std::size_t chunk = config_.checkpoint.period;
+    if (engine.evaluations_done() < config_.mobo.num_initial) {
+      chunk = std::max(chunk, config_.mobo.num_initial - engine.evaluations_done());
+    }
+    chunk = std::min(chunk, total - engine.evaluations_done());
+    engine.step(chunk);
+    save_run_checkpoint(config_.checkpoint.directory, engine.snapshot(),
+                        config_.checkpoint.keep);
+    if (interrupt_requested() && engine.evaluations_done() < total) {
+      // Graceful flush: the snapshot for the completed chunk is already
+      // durable; stop here and surface the early exit to the caller.
+      result.interrupted = true;
+      return;
+    }
+  }
+}
+
 NasResult NasDriver::run() {
   NasResult result;
   const std::size_t hits_before = cache_hits_;
@@ -104,28 +192,16 @@ NasResult NasDriver::run() {
     return batch_objectives({x}).front();
   };
 
+  if (config_.strategy != SearchStrategy::kMobo &&
+      (!config_.checkpoint.directory.empty() || !config_.resume_run.empty())) {
+    throw std::invalid_argument(
+        "NasDriver: run checkpoints / exact-state resume are only supported for the "
+        "MOBO strategy");
+  }
+
   switch (config_.strategy) {
     case SearchStrategy::kMobo: {
-      opt::MoboEngine engine(config_.mobo, kNumObjectives, sampler, objectives);
-      engine.set_batch_objectives(batch_objectives);
-      if (!config_.warm_start.empty()) {
-        std::vector<std::vector<double>> seed_xs;
-        seed_xs.reserve(config_.warm_start.size());
-        for (const Genotype& genotype : config_.warm_start) {
-          if (!space_.is_valid(genotype)) {
-            throw std::invalid_argument("NasDriver: invalid warm-start genotype");
-          }
-          seed_xs.push_back(space_.to_normalized(genotype));
-        }
-        const std::vector<std::vector<double>> seed_ys = batch_objectives(seed_xs);
-        std::vector<opt::Observation> seeds;
-        seeds.reserve(seed_xs.size());
-        for (std::size_t i = 0; i < seed_xs.size(); ++i) {
-          seeds.push_back({seed_xs[i], seed_ys[i]});
-        }
-        engine.seed_observations(seeds);
-      }
-      engine.run();
+      run_mobo(result);
       break;
     }
     case SearchStrategy::kNsga2: {

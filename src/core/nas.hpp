@@ -16,6 +16,7 @@
 #include "core/accuracy.hpp"
 #include "core/evaluator.hpp"
 #include "core/plan.hpp"
+#include "core/run_checkpoint.hpp"
 #include "core/search_space.hpp"
 #include "opt/mobo.hpp"
 #include "opt/nsga2.hpp"
@@ -49,10 +50,22 @@ struct NasConfig {
   SearchStrategy strategy = SearchStrategy::kMobo;
   double tu_mbps = 3.0;  ///< expected upload throughput (paper: 3 Mbps)
   ObjectiveMode mode = ObjectiveMode::kBestDeployment;
-  /// Checkpoint resume (kMobo only): these genotypes are re-evaluated first
-  /// (deterministic, cheap) and seeded into the GP models; they count
+  /// Cross-config warm start (kMobo only): these genotypes are re-evaluated
+  /// first (deterministic, cheap) and seeded into the GP models; they count
   /// toward the warm-up budget. Load them with core::load_genotypes_csv.
+  /// Use this to transfer observations into a *different* search config
+  /// (another throughput/region); for exact crash recovery use resume_run.
   std::vector<Genotype> warm_start;
+  /// Periodic durable snapshots (kMobo only). With a non-empty directory the
+  /// driver saves a rotated engine snapshot every `checkpoint.period`
+  /// evaluations and after the final one, and polls the graceful-flush
+  /// interrupt flag between chunks.
+  CheckpointConfig checkpoint;
+  /// Exact-state resume (kMobo only): restore the newest valid snapshot in
+  /// this directory and continue; the completed trajectory is bit-identical
+  /// to the uninterrupted run under the same config. Mutually exclusive
+  /// with warm_start.
+  std::string resume_run;
 };
 
 /// One evaluated candidate with full deployment detail.
@@ -88,6 +101,10 @@ struct NasResult {
   /// genotypes the search re-visited) vs evaluated fresh.
   std::size_t cache_hits = 0;
   std::size_t unique_evaluations = 0;
+  /// True when the search stopped early on SIGINT/SIGTERM after flushing a
+  /// final checkpoint (see CheckpointConfig); the partial result is valid
+  /// and resumable via NasConfig::resume_run.
+  bool interrupted = false;
 };
 
 /// Runs Algorithm 2 over a search space with the configured objective mode.
@@ -118,6 +135,10 @@ class NasDriver {
   /// return the objective vectors.
   std::vector<std::vector<double>> evaluate_batch(const std::vector<std::vector<double>>& xs,
                                                   NasResult& result);
+
+  /// kMobo branch of run(): warm-start seeding or exact-state resume, then
+  /// either one uninterrupted run() or the checkpointed stepping loop.
+  void run_mobo(NasResult& result);
 
   const SearchSpace& space_;
   const DeploymentEvaluator& evaluator_;

@@ -1,0 +1,119 @@
+#include "core/run_checkpoint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <stdexcept>
+
+#include "io/io.hpp"
+
+namespace lens::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSnapshotFormat = "mobo-snapshot-v1";
+constexpr const char* kSnapshotPrefix = "snapshot-";
+constexpr const char* kSnapshotSuffix = ".ckpt";
+
+std::atomic<bool> g_interrupted{false};
+
+void handle_signal(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+std::string checkpoint_file_name(std::size_t evaluations) {
+  std::string digits = std::to_string(evaluations);
+  if (digits.size() < 8) digits.insert(0, 8 - digits.size(), '0');
+  return kSnapshotPrefix + digits + kSnapshotSuffix;
+}
+
+void save_run_checkpoint(const std::string& directory, const opt::MoboSnapshot& snapshot,
+                         std::size_t keep) {
+  if (directory.empty()) {
+    throw std::invalid_argument("save_run_checkpoint: empty directory");
+  }
+  if (keep == 0) throw std::invalid_argument("save_run_checkpoint: keep must be >= 1");
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    throw std::runtime_error("save_run_checkpoint: cannot create " + directory + ": " +
+                             ec.message());
+  }
+  const std::string path =
+      (fs::path(directory) / checkpoint_file_name(snapshot.evaluations_done)).string();
+  io::write_framed(path, kSnapshotFormat, snapshot.serialize());
+
+  // Prune only after the new snapshot is durably renamed into place, so a
+  // crash at any point leaves at least the previous rotation intact.
+  std::vector<std::string> snapshots = list_run_checkpoints(directory);
+  while (snapshots.size() > keep) {
+    fs::remove(snapshots.front(), ec);  // oldest first; best effort
+    snapshots.erase(snapshots.begin());
+  }
+}
+
+std::vector<std::string> list_run_checkpoints(const std::string& directory) {
+  std::error_code ec;
+  fs::directory_iterator it(directory, ec);
+  if (ec) {
+    throw std::runtime_error("list_run_checkpoints: cannot read " + directory + ": " +
+                             ec.message());
+  }
+  std::vector<std::string> snapshots;
+  for (const fs::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kSnapshotPrefix, 0) == 0 && name.size() > std::string(kSnapshotSuffix).size() &&
+        name.compare(name.size() - std::string(kSnapshotSuffix).size(),
+                     std::string::npos, kSnapshotSuffix) == 0) {
+      snapshots.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded evaluation counts: lexicographic filename order is
+  // evaluation order.
+  std::sort(snapshots.begin(), snapshots.end());
+  return snapshots;
+}
+
+opt::MoboSnapshot load_newest_run_checkpoint(const std::string& directory,
+                                             std::string* loaded_path) {
+  std::vector<std::string> snapshots = list_run_checkpoints(directory);
+  std::string failures;
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    try {
+      opt::MoboSnapshot snapshot =
+          opt::MoboSnapshot::deserialize(io::read_framed(*it, kSnapshotFormat));
+      if (loaded_path != nullptr) *loaded_path = *it;
+      return snapshot;
+    } catch (const std::exception& error) {
+      // Corrupted/truncated rotation: fall back to the previous one.
+      failures += "\n  " + *it + ": " + error.what();
+    }
+  }
+  throw std::runtime_error("load_newest_run_checkpoint: no loadable snapshot in " +
+                           directory + (failures.empty() ? " (directory empty)" : failures));
+}
+
+void install_interrupt_flush_handler() {
+#if !defined(_WIN32)
+  struct sigaction action{};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;  // don't fail checkpoint writes on EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+#endif
+}
+
+bool interrupt_requested() { return g_interrupted.load(std::memory_order_relaxed); }
+
+void request_interrupt() { g_interrupted.store(true, std::memory_order_relaxed); }
+
+void clear_interrupt() { g_interrupted.store(false, std::memory_order_relaxed); }
+
+}  // namespace lens::core

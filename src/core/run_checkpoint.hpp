@@ -1,0 +1,64 @@
+#pragma once
+// Durable run checkpoints for the NAS drivers: rotated MOBO snapshots in a
+// directory, written through lens::io's framed/atomic layer, plus the
+// SIGINT/SIGTERM graceful-flush flag the driver polls between evaluation
+// chunks.
+//
+// Rotation scheme: each snapshot lands in `snapshot-<evaluations>.ckpt`
+// (zero-padded so lexicographic order equals evaluation order); after a
+// successful write, files beyond the newest `keep` are deleted. Resume
+// walks the directory newest-first and takes the first snapshot that
+// passes the frame checksum and structural validation — a snapshot
+// truncated or corrupted by a crash mid-rotation falls back to the
+// previous one instead of aborting the resume.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "opt/mobo.hpp"
+
+namespace lens::core {
+
+/// Periodic run-checkpoint settings (NasConfig::checkpoint).
+struct CheckpointConfig {
+  std::string directory;   ///< empty: checkpointing disabled
+  std::size_t period = 10; ///< evaluations between snapshots (>= 1)
+  std::size_t keep = 3;    ///< rotation depth (>= 1)
+};
+
+/// `snapshot-<evaluations, zero-padded to 8>.ckpt`.
+std::string checkpoint_file_name(std::size_t evaluations);
+
+/// Write `snapshot` into `directory` (created if needed) and prune the
+/// rotation down to the newest `keep` snapshots. Throws std::runtime_error
+/// on I/O failure; the previous snapshots are never touched before the new
+/// one is durably in place.
+void save_run_checkpoint(const std::string& directory, const opt::MoboSnapshot& snapshot,
+                         std::size_t keep);
+
+/// Snapshot files in `directory`, sorted oldest-first. Throws
+/// std::runtime_error when the directory cannot be read.
+std::vector<std::string> list_run_checkpoints(const std::string& directory);
+
+/// Load the newest snapshot in `directory` that verifies and parses,
+/// falling back through older rotations on corruption. `loaded_path`, when
+/// non-null, receives the file that won. Throws std::runtime_error when the
+/// directory holds no loadable snapshot (every candidate's failure is
+/// listed in the message).
+opt::MoboSnapshot load_newest_run_checkpoint(const std::string& directory,
+                                             std::string* loaded_path = nullptr);
+
+/// Install a SIGINT/SIGTERM handler that only raises the interrupt flag —
+/// the search loop finishes its current evaluation chunk, flushes a final
+/// checkpoint, and returns with NasResult::interrupted set.
+void install_interrupt_flush_handler();
+
+/// True once SIGINT/SIGTERM arrived (or request_interrupt() was called).
+bool interrupt_requested();
+
+/// Programmatic equivalents, used by tests.
+void request_interrupt();
+void clear_interrupt();
+
+}  // namespace lens::core

@@ -1,0 +1,258 @@
+#include "io/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace lens::io {
+
+namespace {
+
+constexpr const char* kFooterTag = "# lens:fnv1a ";
+constexpr const char* kFrameTag = "lens-io v1 ";
+
+std::string to_hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex16(std::string_view hex, std::uint64_t* out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+/// Flush user-space + kernel buffers of `path` to stable storage. Best
+/// effort on filesystems without fsync support; a hard fsync error throws.
+void fsync_path(const std::string& path, bool directory) {
+#if !defined(_WIN32)
+  int flags = O_RDONLY;
+#if defined(O_DIRECTORY)
+  if (directory) flags |= O_DIRECTORY;
+#endif
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (directory) return;  // e.g. relative path with no parent component
+    throw std::runtime_error("atomic_write: cannot reopen " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  // EINVAL: fsync unsupported on this fs (tmpfs variants) — data already
+  // reached the page cache, nothing more we can do.
+  if (rc != 0 && errno != EINVAL && !directory) {
+    throw std::runtime_error("atomic_write: fsync failed for " + path);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+std::string parent_directory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string read_all(const std::string& path, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string(who) + ": cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw std::runtime_error(std::string(who) + ": read failed for " + path);
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= static_cast<std::uint64_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string encode_double(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return to_hex16(bits);
+}
+
+double decode_double(std::string_view hex) {
+  std::uint64_t bits = 0;
+  if (!parse_hex16(hex, &bits)) {
+    throw std::invalid_argument("decode_double: expected 16 hex digits, got '" +
+                                std::string(hex) + "'");
+  }
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("atomic_write: cannot open " + tmp);
+    try {
+      writer(out);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    const bool ok = static_cast<bool>(out);
+    out.close();
+    if (!ok || out.fail()) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("atomic_write: write/close failed for " + path);
+    }
+  }
+  try {
+    fsync_path(tmp, /*directory=*/false);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write: rename to " + path + " failed");
+  }
+  fsync_path(parent_directory(path), /*directory=*/true);
+}
+
+void atomic_write_checked(const std::string& path,
+                          const std::function<void(std::ostream&)>& writer) {
+  // Materialize the payload first: the footer needs its size and checksum,
+  // and the atomic temp file should never hold a footer-less intermediate.
+  std::ostringstream payload_stream;
+  writer(payload_stream);
+  if (!payload_stream) {
+    throw std::runtime_error("atomic_write_checked: payload writer failed for " + path);
+  }
+  std::string payload = std::move(payload_stream).str();
+  // The footer must start on its own line; checksum the payload as stored.
+  if (!payload.empty() && payload.back() != '\n') payload += '\n';
+  atomic_write(path, [&](std::ostream& out) {
+    out << payload << kFooterTag << to_hex16(fnv1a(payload)) << ' ' << payload.size()
+        << '\n';
+  });
+}
+
+std::string read_checked(const std::string& path) {
+  std::string contents = read_all(path, "read_checked");
+  if (contents.empty() || contents.back() != '\n') {
+    throw std::runtime_error("read_checked: " + path +
+                             " is missing its integrity footer (truncated?)");
+  }
+  const std::size_t line_start = contents.find_last_of('\n', contents.size() - 2);
+  const std::size_t footer_at = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string_view footer(contents.data() + footer_at, contents.size() - footer_at);
+  if (footer.rfind(kFooterTag, 0) != 0) {
+    throw std::runtime_error("read_checked: " + path +
+                             " is missing its integrity footer (truncated?)");
+  }
+  std::istringstream fields{std::string(footer.substr(std::strlen(kFooterTag)))};
+  std::string hex;
+  std::size_t size = 0;
+  std::string extra;
+  if (!(fields >> hex >> size) || (fields >> extra)) {
+    throw std::runtime_error("read_checked: malformed integrity footer in " + path);
+  }
+  std::uint64_t expected = 0;
+  if (!parse_hex16(hex, &expected)) {
+    throw std::runtime_error("read_checked: malformed integrity footer in " + path);
+  }
+  if (size != footer_at) {
+    throw std::runtime_error("read_checked: payload size mismatch in " + path +
+                             " (truncated or trailing garbage)");
+  }
+  contents.resize(footer_at);
+  if (fnv1a(contents) != expected) {
+    throw std::runtime_error("read_checked: checksum mismatch in " + path +
+                             " (corrupted file)");
+  }
+  return contents;
+}
+
+void write_framed(const std::string& path, const std::string& format,
+                  const std::string& payload) {
+  if (format.empty() || format.find_first_of(" \t\n") != std::string::npos) {
+    throw std::invalid_argument("write_framed: format name must be non-empty and "
+                                "whitespace-free: '" +
+                                format + "'");
+  }
+  atomic_write(path, [&](std::ostream& out) {
+    out << kFrameTag << format << ' ' << payload.size() << ' '
+        << to_hex16(fnv1a(payload)) << '\n'
+        << payload;
+  });
+}
+
+std::string read_framed(const std::string& path, const std::string& format) {
+  const std::string contents = read_all(path, "read_framed");
+  const std::size_t eol = contents.find('\n');
+  if (contents.rfind(kFrameTag, 0) != 0 || eol == std::string::npos) {
+    throw std::runtime_error("read_framed: " + path + " has no lens-io header");
+  }
+  std::istringstream header(
+      contents.substr(std::strlen(kFrameTag), eol - std::strlen(kFrameTag)));
+  std::string name;
+  std::size_t size = 0;
+  std::string hex;
+  if (!(header >> name >> size >> hex)) {
+    throw std::runtime_error("read_framed: malformed header in " + path);
+  }
+  if (name != format) {
+    throw std::runtime_error("read_framed: " + path + " holds format '" + name +
+                             "', expected '" + format + "'");
+  }
+  std::uint64_t expected = 0;
+  if (!parse_hex16(hex, &expected)) {
+    throw std::runtime_error("read_framed: malformed header in " + path);
+  }
+  const std::size_t payload_at = eol + 1;
+  if (contents.size() < payload_at + size) {
+    throw std::runtime_error("read_framed: " + path + " is truncated");
+  }
+  if (contents.size() > payload_at + size) {
+    throw std::runtime_error("read_framed: trailing garbage after payload in " + path);
+  }
+  const std::string payload = contents.substr(payload_at);
+  if (fnv1a(payload) != expected) {
+    throw std::runtime_error("read_framed: checksum mismatch in " + path +
+                             " (corrupted file)");
+  }
+  return payload;
+}
+
+}  // namespace lens::io

@@ -1,8 +1,10 @@
 #include "nn/checkpoint.hpp"
 
-#include <fstream>
 #include <iomanip>
+#include <sstream>
 #include <stdexcept>
+
+#include "io/io.hpp"
 
 namespace lens::nn {
 
@@ -11,21 +13,21 @@ constexpr const char* kMagic = "lens-weights v1";
 }
 
 void save_weights(Sequential& network, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
   const std::vector<ParamTensor*> params = network.parameters();
-  out << kMagic << "\n" << params.size() << "\n" << std::setprecision(9);
-  for (const ParamTensor* p : params) {
-    out << p->value.size();
-    for (float v : p->value) out << ' ' << v;
-    out << "\n";
-  }
-  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+  io::atomic_write_checked(path, [&](std::ostream& out) {
+    out << kMagic << "\n" << params.size() << "\n" << std::setprecision(9);
+    for (const ParamTensor* p : params) {
+      out << p->value.size();
+      for (float v : p->value) out << ' ' << v;
+      out << "\n";
+    }
+  });
 }
 
 void load_weights(Sequential& network, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  // Verify the integrity footer before parsing: truncated or corrupted
+  // checkpoints are rejected here instead of loading a partial network.
+  std::istringstream in(io::read_checked(path));
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
     throw std::invalid_argument("load_weights: bad header in " + path);
@@ -44,6 +46,11 @@ void load_weights(Sequential& network, const std::string& path) {
     for (float& v : p->value) {
       if (!(in >> v)) throw std::invalid_argument("load_weights: truncated weights");
     }
+  }
+  std::string extra;
+  if (in >> extra) {
+    throw std::invalid_argument("load_weights: trailing garbage after last block in " +
+                                path);
   }
 }
 

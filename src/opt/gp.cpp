@@ -136,6 +136,18 @@ double GaussianProcess::try_fit(double signal_variance, double length_scale,
   return lml;
 }
 
+GaussianProcess GaussianProcess::from_snapshot(GpConfig base, const GpHyperparameters& hp,
+                                               std::vector<std::vector<double>> x,
+                                               std::vector<double> y) {
+  base.tune_hyperparameters = false;
+  base.signal_variance = hp.signal_variance;
+  base.length_scale = hp.length_scale;
+  base.noise_variance = hp.noise_variance;
+  GaussianProcess gp(base);
+  gp.fit(std::move(x), std::move(y));
+  return gp;
+}
+
 void GaussianProcess::observe(std::vector<double> x, double y) {
   if (!is_fitted()) {
     throw std::logic_error("GaussianProcess::observe: model must be fitted first");

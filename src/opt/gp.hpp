@@ -16,6 +16,16 @@ namespace lens::opt {
 /// Kernel family selector for GpConfig.
 enum class KernelFamily { kRbf, kMatern52, kHamming };
 
+/// The tuned hyper-parameter triple of a fitted GP — everything the
+/// checkpoint subsystem needs to persist besides the raw observations,
+/// because a frozen-hyper refit over the same data reproduces the posterior
+/// bit-for-bit (see DESIGN.md "Posterior maintenance").
+struct GpHyperparameters {
+  double signal_variance = 1.0;
+  double length_scale = 0.5;
+  double noise_variance = 1e-3;
+};
+
 /// Configuration for a GaussianProcess.
 struct GpConfig {
   KernelFamily family = KernelFamily::kMatern52;
@@ -81,6 +91,21 @@ class GaussianProcess {
   double signal_variance() const { return kernel_->signal_variance(); }
   double length_scale() const { return kernel_->length_scale(); }
   double noise_variance() const { return noise_variance_; }
+
+  /// Export the current hyper-parameter triple (checkpointing).
+  GpHyperparameters hyperparameters() const {
+    return {signal_variance(), length_scale(), noise_variance()};
+  }
+
+  /// Rebuild a fitted GP from checkpointed state: a frozen-hyper fit of
+  /// `hp` over (x, y). The resulting posterior (factor, alpha, LML) is
+  /// bit-identical to the incremental observe() chain that produced the
+  /// snapshot — the restore path of the determinism contract. Throws
+  /// std::domain_error when the Gram matrix is not positive definite under
+  /// the saved hyper-parameters (corrupted snapshot).
+  static GaussianProcess from_snapshot(GpConfig base, const GpHyperparameters& hp,
+                                       std::vector<std::vector<double>> x,
+                                       std::vector<double> y);
 
  private:
   std::unique_ptr<Kernel> make_kernel(double signal_variance, double length_scale) const;

@@ -1,9 +1,115 @@
 #include "opt/mobo.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
+#include "io/io.hpp"
+
 namespace lens::opt {
+
+namespace {
+constexpr const char* kSnapshotMagic = "mobo-snapshot v1";
+}
+
+std::string MoboSnapshot::serialize() const {
+  std::ostringstream out;
+  out << kSnapshotMagic << '\n';
+  out << "objectives " << num_objectives << '\n';
+  out << "config " << num_initial << ' ' << num_iterations << ' ' << pool_size << ' '
+      << seed << ' ' << refit_period << ' ' << (incremental_posterior ? 1 : 0) << '\n';
+  out << "state " << evaluations_done << ' ' << iterations_since_refit << ' '
+      << (models_ready ? 1 : 0) << '\n';
+  out << "rng " << rng_state << '\n';
+  out << "gps " << gps.size() << '\n';
+  for (const GpHyperparameters& hp : gps) {
+    out << "g " << io::encode_double(hp.signal_variance) << ' '
+        << io::encode_double(hp.length_scale) << ' '
+        << io::encode_double(hp.noise_variance) << '\n';
+  }
+  const std::size_t dim = history.empty() ? 0 : history.front().x.size();
+  out << "dim " << dim << '\n';
+  out << "history " << history.size() << '\n';
+  for (const Observation& o : history) {
+    out << 'o';
+    for (double v : o.x) out << ' ' << io::encode_double(v);
+    for (double v : o.objectives) out << ' ' << io::encode_double(v);
+    out << '\n';
+  }
+  return std::move(out).str();
+}
+
+MoboSnapshot MoboSnapshot::deserialize(const std::string& payload) {
+  std::istringstream in(payload);
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("MoboSnapshot: " + what);
+  };
+  std::string line;
+  if (!std::getline(in, line) || line != kSnapshotMagic) fail("bad magic line");
+
+  MoboSnapshot snapshot;
+  std::string keyword;
+  if (!(in >> keyword >> snapshot.num_objectives) || keyword != "objectives") {
+    fail("missing objectives line");
+  }
+  int incremental = 0;
+  if (!(in >> keyword >> snapshot.num_initial >> snapshot.num_iterations >>
+        snapshot.pool_size >> snapshot.seed >> snapshot.refit_period >> incremental) ||
+      keyword != "config") {
+    fail("missing config line");
+  }
+  snapshot.incremental_posterior = incremental != 0;
+  int models_ready = 0;
+  if (!(in >> keyword >> snapshot.evaluations_done >> snapshot.iterations_since_refit >>
+        models_ready) ||
+      keyword != "state") {
+    fail("missing state line");
+  }
+  snapshot.models_ready = models_ready != 0;
+  if (!(in >> keyword) || keyword != "rng" || !std::getline(in, line) || line.size() < 2) {
+    fail("missing rng line");
+  }
+  snapshot.rng_state = line.substr(1);  // drop the separating space
+  std::size_t gp_count = 0;
+  if (!(in >> keyword >> gp_count) || keyword != "gps") fail("missing gps line");
+  std::string hex_signal, hex_length, hex_noise;
+  for (std::size_t k = 0; k < gp_count; ++k) {
+    if (!(in >> keyword >> hex_signal >> hex_length >> hex_noise) || keyword != "g") {
+      fail("truncated gp hyper-parameters");
+    }
+    snapshot.gps.push_back({io::decode_double(hex_signal), io::decode_double(hex_length),
+                            io::decode_double(hex_noise)});
+  }
+  std::size_t dim = 0;
+  if (!(in >> keyword >> dim) || keyword != "dim") fail("missing dim line");
+  std::size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "history") fail("missing history line");
+  std::string hex;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> keyword) || keyword != "o") fail("truncated history");
+    Observation o;
+    o.x.reserve(dim);
+    o.objectives.reserve(snapshot.num_objectives);
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (!(in >> hex)) fail("truncated history record");
+      o.x.push_back(io::decode_double(hex));
+    }
+    for (std::size_t k = 0; k < snapshot.num_objectives; ++k) {
+      if (!(in >> hex)) fail("truncated history record");
+      o.objectives.push_back(io::decode_double(hex));
+    }
+    snapshot.history.push_back(std::move(o));
+  }
+  if (in >> keyword) fail("trailing garbage after history");
+  if (snapshot.evaluations_done > snapshot.history.size()) {
+    fail("evaluation counter exceeds history size");
+  }
+  if (snapshot.models_ready &&
+      (snapshot.history.empty() || snapshot.gps.size() != snapshot.num_objectives)) {
+    fail("models marked ready without matching data");
+  }
+  return snapshot;
+}
 
 MoboEngine::MoboEngine(MoboConfig config, std::size_t num_objectives, Sampler sampler,
                        Objectives objectives)
@@ -57,16 +163,16 @@ void MoboEngine::refit_models(bool tune_hyperparameters) {
     std::vector<double> ys;
     ys.reserve(history_.size());
     for (const Observation& o : history_) ys.push_back(o.objectives[k]);
-    GpConfig gp_config = config_.gp;
     if (!tune_hyperparameters && models_ready_) {
-      // Reuse previously selected hyper-parameters; refactorize only.
-      gp_config.tune_hyperparameters = false;
-      gp_config.signal_variance = gps_[k].signal_variance();
-      gp_config.length_scale = gps_[k].length_scale();
-      gp_config.noise_variance = gps_[k].noise_variance();
+      // Reuse previously selected hyper-parameters; refactorize only. Same
+      // code path a checkpoint restore takes, so both are bit-identical to
+      // the incremental observe() chain.
+      gps_[k] = GaussianProcess::from_snapshot(config_.gp, gps_[k].hyperparameters(), xs,
+                                               std::move(ys));
+    } else {
+      gps_[k] = GaussianProcess(config_.gp);
+      gps_[k].fit(xs, ys);
     }
-    gps_[k] = GaussianProcess(gp_config);
-    gps_[k].fit(xs, ys);
   }
   models_ready_ = true;
 }
@@ -107,6 +213,96 @@ void MoboEngine::seed_observations(const std::vector<Observation>& observations)
     seen_.insert(o.x);
     history_.push_back(o);
     if (evaluations_done_ < config_.num_initial) ++evaluations_done_;
+  }
+}
+
+MoboSnapshot MoboEngine::snapshot() const {
+  MoboSnapshot snapshot;
+  snapshot.num_objectives = num_objectives_;
+  snapshot.num_initial = config_.num_initial;
+  snapshot.num_iterations = config_.num_iterations;
+  snapshot.pool_size = config_.pool_size;
+  snapshot.seed = config_.seed;
+  snapshot.refit_period = config_.refit_period;
+  snapshot.incremental_posterior = config_.incremental_posterior;
+  snapshot.evaluations_done = evaluations_done_;
+  snapshot.iterations_since_refit = iterations_since_refit_;
+  snapshot.models_ready = models_ready_;
+  std::ostringstream rng_stream;
+  rng_stream << rng_;
+  snapshot.rng_state = std::move(rng_stream).str();
+  if (models_ready_) {
+    snapshot.gps.reserve(num_objectives_);
+    for (const GaussianProcess& gp : gps_) snapshot.gps.push_back(gp.hyperparameters());
+  }
+  snapshot.history = history_;
+  return snapshot;
+}
+
+void MoboEngine::restore(const MoboSnapshot& snapshot) {
+  if (evaluations_done_ > 0 || !history_.empty()) {
+    throw std::logic_error("MoboEngine::restore: search already started");
+  }
+  if (snapshot.num_objectives != num_objectives_) {
+    throw std::invalid_argument("MoboEngine::restore: objective count mismatch");
+  }
+  if (snapshot.num_initial != config_.num_initial ||
+      snapshot.pool_size != config_.pool_size || snapshot.seed != config_.seed ||
+      snapshot.refit_period != config_.refit_period ||
+      snapshot.incremental_posterior != config_.incremental_posterior) {
+    throw std::invalid_argument(
+        "MoboEngine::restore: snapshot was taken under a different search "
+        "configuration (warm-up/pool/seed/refit/posterior-mode must match)");
+  }
+  if (snapshot.evaluations_done > snapshot.history.size()) {
+    throw std::invalid_argument("MoboEngine::restore: counter exceeds history");
+  }
+  if (snapshot.models_ready &&
+      (snapshot.history.empty() || snapshot.gps.size() != num_objectives_)) {
+    throw std::invalid_argument("MoboEngine::restore: inconsistent model state");
+  }
+  const std::size_t dim = snapshot.history.empty() ? 0 : snapshot.history.front().x.size();
+  for (const Observation& o : snapshot.history) {
+    if (o.objectives.size() != num_objectives_ || o.x.size() != dim || o.x.empty()) {
+      throw std::invalid_argument("MoboEngine::restore: malformed observation");
+    }
+  }
+
+  // RNG stream state: the textual round trip is exact per the standard.
+  {
+    std::istringstream rng_stream(snapshot.rng_state);
+    rng_stream >> rng_;
+    if (!rng_stream) {
+      throw std::invalid_argument("MoboEngine::restore: malformed RNG state");
+    }
+  }
+
+  // Replay the observations through the same recording path record_observation
+  // uses, rebuilding the normalizer, Pareto front and duplicate index with the
+  // identical floats the uninterrupted run held.
+  for (const Observation& o : snapshot.history) {
+    normalizer_.observe(o.objectives);
+    front_.insert(history_.size(), o.objectives);
+    seen_.insert(o.x);
+    history_.push_back(o);
+  }
+  evaluations_done_ = snapshot.evaluations_done;
+  iterations_since_refit_ = snapshot.iterations_since_refit;
+  models_ready_ = snapshot.models_ready;
+
+  if (snapshot.models_ready) {
+    // Frozen-hyper refit over the restored history: bit-identical to the
+    // incremental posterior chain the snapshot interrupted.
+    std::vector<std::vector<double>> xs;
+    xs.reserve(history_.size());
+    for (const Observation& o : history_) xs.push_back(o.x);
+    for (std::size_t k = 0; k < num_objectives_; ++k) {
+      std::vector<double> ys;
+      ys.reserve(history_.size());
+      for (const Observation& o : history_) ys.push_back(o.objectives[k]);
+      gps_[k] = GaussianProcess::from_snapshot(config_.gp, snapshot.gps[k], xs,
+                                               std::move(ys));
+    }
   }
 }
 

@@ -26,6 +26,37 @@ struct Observation {
   std::vector<double> objectives;  ///< K objective values (minimization)
 };
 
+/// Full engine state between evaluations — everything needed to continue a
+/// search in a fresh process bit-identically to the uninterrupted run:
+/// observations, the serialized std::mt19937_64 stream, the warm-up /
+/// refit counters, and the tuned GP hyper-parameters (the posteriors
+/// themselves are rebuilt by a frozen-hyper refit, which is bit-identical
+/// to the incremental chain). The config echo lets restore() reject a
+/// snapshot taken under a different search configuration.
+struct MoboSnapshot {
+  std::size_t num_objectives = 0;
+  // -- config echo (validated on restore) --
+  std::size_t num_initial = 0;
+  std::size_t num_iterations = 0;  ///< informational; the budget may be extended
+  std::size_t pool_size = 0;
+  unsigned seed = 0;
+  std::size_t refit_period = 0;
+  bool incremental_posterior = true;
+  // -- mutable engine state --
+  std::size_t evaluations_done = 0;
+  std::size_t iterations_since_refit = 0;
+  bool models_ready = false;
+  std::string rng_state;  ///< operator<< serialization of std::mt19937_64
+  std::vector<GpHyperparameters> gps;  ///< one per objective when models_ready
+  std::vector<Observation> history;
+
+  /// Text payload with every double hex-encoded (bit-exact round trip).
+  std::string serialize() const;
+  /// Parses a serialize() payload; throws std::invalid_argument on any
+  /// structural defect (bad keyword, count mismatch, trailing garbage).
+  static MoboSnapshot deserialize(const std::string& payload);
+};
+
 struct MoboConfig {
   std::size_t num_initial = 20;    ///< C_init: random warm-up evaluations
   std::size_t num_iterations = 300;///< N_iter: BO iterations after warm-up
@@ -78,9 +109,25 @@ class MoboEngine {
   /// on arity mismatches.
   void seed_observations(const std::vector<Observation>& observations);
 
+  /// Capture the engine state between evaluations. Safe to call whenever no
+  /// step()/run() is in flight; the result plus the original config and
+  /// callbacks reproduces the remaining trajectory bit-identically.
+  MoboSnapshot snapshot() const;
+
+  /// Restore a snapshot into a freshly constructed engine: observations,
+  /// RNG stream, counters, duplicate index, Pareto front and normalizer are
+  /// reinstated and the GP posteriors are rebuilt with the saved (frozen)
+  /// hyper-parameters. Must be called before any step()/run()
+  /// (std::logic_error otherwise); throws std::invalid_argument when the
+  /// snapshot disagrees with this engine's configuration (objective count,
+  /// warm-up budget, pool size, seed, refit period, posterior mode).
+  void restore(const MoboSnapshot& snapshot);
+
   const std::vector<Observation>& history() const { return history_; }
   const ParetoFront& front() const { return front_; }
   std::size_t num_objectives() const { return num_objectives_; }
+  /// Evaluations consumed so far (seeded + warm-up + BO iterations).
+  std::size_t evaluations_done() const { return evaluations_done_; }
   void set_progress_hook(ProgressHook hook) { progress_ = std::move(hook); }
 
   /// Install a batch evaluator used for the random warm-up phase (BO

@@ -1,9 +1,10 @@
 #include "runtime/threshold_io.hpp"
 
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "io/io.hpp"
 
 namespace lens::runtime {
 
@@ -22,22 +23,23 @@ std::size_t SwitchingTable::select(double tu_mbps) const {
 }
 
 void save_switching_table(const SwitchingTable& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_switching_table: cannot open " + path);
-  out << kMagic << "\n" << std::setprecision(17);
-  out << "metric " << (table.metric == OptimizeFor::kLatency ? "latency" : "energy") << "\n";
-  out << "options " << table.option_labels.size() << "\n";
-  for (const std::string& label : table.option_labels) out << label << "\n";
-  out << "intervals " << table.intervals.size() << "\n";
-  for (const DominanceInterval& iv : table.intervals) {
-    out << iv.option_index << ' ' << iv.tu_low << ' ' << iv.tu_high << "\n";
-  }
-  if (!out) throw std::runtime_error("save_switching_table: write failed for " + path);
+  io::atomic_write_checked(path, [&](std::ostream& out) {
+    out << kMagic << "\n" << std::setprecision(17);
+    out << "metric " << (table.metric == OptimizeFor::kLatency ? "latency" : "energy")
+        << "\n";
+    out << "options " << table.option_labels.size() << "\n";
+    for (const std::string& label : table.option_labels) out << label << "\n";
+    out << "intervals " << table.intervals.size() << "\n";
+    for (const DominanceInterval& iv : table.intervals) {
+      out << iv.option_index << ' ' << iv.tu_low << ' ' << iv.tu_high << "\n";
+    }
+  });
 }
 
 SwitchingTable load_switching_table(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_switching_table: cannot open " + path);
+  // Checksum/size verification up front: a table truncated mid-write (even
+  // inside the final floating-point literal) is rejected, not half-parsed.
+  std::istringstream in(io::read_checked(path));
   std::string line;
   if (!std::getline(in, line) || line != kMagic) {
     throw std::invalid_argument("load_switching_table: bad header in " + path);

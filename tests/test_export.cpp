@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/export.hpp"
+#include "io/io.hpp"
 #include "nn/schedule.hpp"
 #include "perf/predictor.hpp"
 
@@ -56,14 +57,15 @@ class ExportTest : public ::testing::Test {
 TEST_F(ExportTest, HistoryCsvHasAllRows) {
   const std::string path = temp_path("history.csv");
   save_history_csv(result_, space_, path);
-  EXPECT_EQ(count_lines(path), result_.history.size() + 1);  // + header
+  // + header + trailing `# lens:fnv1a` integrity footer
+  EXPECT_EQ(count_lines(path), result_.history.size() + 2);
   std::remove(path.c_str());
 }
 
 TEST_F(ExportTest, FrontCsvHasFrontRows) {
   const std::string path = temp_path("front.csv");
   save_front_csv(result_, space_, path);
-  EXPECT_EQ(count_lines(path), result_.front.size() + 1);
+  EXPECT_EQ(count_lines(path), result_.front.size() + 2);
   std::remove(path.c_str());
 }
 
@@ -136,15 +138,17 @@ TEST_F(ExportTest, GenotypeRoundTripAndResume) {
 TEST_F(ExportTest, LoadGenotypesValidation) {
   EXPECT_THROW(load_genotypes_csv(space_, "/nonexistent/x.csv"), std::runtime_error);
   const std::string path = temp_path("bad_geno.csv");
+  // Footer-less file (e.g. hand-edited): checksum gate rejects it.
   {
     std::ofstream out(path);
     out << "wrong,header\n";
   }
+  EXPECT_THROW(load_genotypes_csv(space_, path), std::runtime_error);
+  // Valid footer, semantically-bad payloads: parser validation still fires.
+  io::atomic_write_checked(path, [](std::ostream& out) { out << "wrong,header\n"; });
   EXPECT_THROW(load_genotypes_csv(space_, path), std::invalid_argument);
-  {
-    std::ofstream out(path);
-    out << "index,genotype\n0,not-numbers\n";
-  }
+  io::atomic_write_checked(path,
+                           [](std::ostream& out) { out << "index,genotype\n0,not-numbers\n"; });
   EXPECT_THROW(load_genotypes_csv(space_, path), std::invalid_argument);
   std::remove(path.c_str());
 }

@@ -7,6 +7,7 @@
 
 #include "comm/trace_io.hpp"
 #include "dnn/presets.hpp"
+#include "io/io.hpp"
 #include "dnn/summary.hpp"
 
 namespace lens {
@@ -51,12 +52,16 @@ TEST(TraceCsv, RoundTrip) {
 
 TEST(TraceCsv, LoadRejectsGarbage) {
   const std::string path = temp_path("trace_bad.csv");
+  // No integrity footer: rejected by the checksum gate before parsing.
   {
     FILE* f = std::fopen(path.c_str(), "w");
     ASSERT_NE(f, nullptr);
     std::fputs("not a trace\n", f);
     std::fclose(f);
   }
+  EXPECT_THROW(comm::load_trace_csv(path), std::runtime_error);
+  // Valid footer but garbage payload: rejected by the parser.
+  io::atomic_write_checked(path, [](std::ostream& out) { out << "not a trace\n"; });
   EXPECT_THROW(comm::load_trace_csv(path), std::invalid_argument);
   EXPECT_THROW(comm::load_trace_csv(temp_path("does_not_exist.csv")), std::runtime_error);
   std::remove(path.c_str());

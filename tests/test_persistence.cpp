@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/trace.hpp"
+#include "io/io.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/conv.hpp"
 #include "nn/dataset.hpp"
@@ -69,15 +70,20 @@ TEST(SwitchingTable, SaveLoadRoundTrip) {
 TEST(SwitchingTable, LoadRejectsBadFiles) {
   EXPECT_THROW(runtime::load_switching_table("/nonexistent/t.txt"), std::runtime_error);
   const std::string path = temp_path("bad_table.txt");
+  // A file with no integrity footer (e.g. hand-edited) fails the checksum
+  // gate before any parsing happens.
   {
     std::ofstream out(path);
     out << "garbage\n";
   }
+  EXPECT_THROW(runtime::load_switching_table(path), std::runtime_error);
+  // Semantically-bad payloads behind a valid footer still hit the parser's
+  // own validation.
+  io::atomic_write_checked(path, [](std::ostream& out) { out << "garbage\n"; });
   EXPECT_THROW(runtime::load_switching_table(path), std::invalid_argument);
-  {
-    std::ofstream out(path);
+  io::atomic_write_checked(path, [](std::ostream& out) {
     out << "lens-switching-table v1\nmetric energy\noptions 1\nX\nintervals 1\n5 1.0 2.0\n";
-  }
+  });
   // option_index 5 out of range for 1 label.
   EXPECT_THROW(runtime::load_switching_table(path), std::invalid_argument);
   std::remove(path.c_str());
