@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "comm/commcost.hpp"
 #include "core/evaluator.hpp"
 #include "core/nas.hpp"
+#include "io/io.hpp"
 #include "perf/predictor.hpp"
 
 namespace lens::bench {
@@ -26,29 +29,38 @@ class JsonEmitter {
     records_.push_back({std::move(name), std::move(metrics)});
   }
 
-  /// Write the collected records to `path`; returns false (and warns on
-  /// stderr) when the file cannot be opened.
+  /// Write the collected records to `path` via io::atomic_write_checked:
+  /// write-temp -> fsync -> rename plus the `# lens:fnv1a` integrity footer,
+  /// so an interrupted bench run can never leave a truncated BENCH_*.json
+  /// for CI to half-parse (consumers must strip `#`-prefixed lines — see
+  /// tools/check_thread_scaling.py). Returns false (and warns on stderr) on
+  /// any I/O failure; the previous file, if any, is left untouched.
   bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "JsonEmitter: cannot open %s for writing\n", path.c_str());
+    try {
+      io::atomic_write_checked(path, [this](std::ostream& out) { render(out); });
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "JsonEmitter: writing %s failed: %s\n", path.c_str(), e.what());
       return false;
     }
-    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [", escaped(benchmark_).c_str());
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
-                   escaped(records_[i].name).c_str());
-      for (const auto& [key, value] : records_[i].metrics) {
-        std::fprintf(f, ", \"%s\": %.17g", escaped(key).c_str(), value);
-      }
-      std::fputc('}', f);
-    }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
     return true;
   }
 
  private:
+  void render(std::ostream& out) const {
+    out << "{\n  \"benchmark\": \"" << escaped(benchmark_) << "\",\n  \"results\": [";
+    char number[64];
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << escaped(records_[i].name)
+          << '"';
+      for (const auto& [key, value] : records_[i].metrics) {
+        std::snprintf(number, sizeof number, "%.17g", value);
+        out << ", \"" << escaped(key) << "\": " << number;
+      }
+      out << '}';
+    }
+    out << "\n  ]\n}\n";
+  }
+
   static std::string escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());

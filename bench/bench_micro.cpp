@@ -20,6 +20,7 @@
 #include "core/search_space.hpp"
 #include "dnn/presets.hpp"
 #include "opt/gp.hpp"
+#include "opt/kernel.hpp"
 #include "opt/matrix.hpp"
 #include "perf/predictor.hpp"
 #include "sim/system.hpp"
@@ -201,6 +202,55 @@ void BM_CholeskyExtend(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CholeskyExtend)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Arg(320)->Iterations(256);
+
+// ---- SIMD hot kernels: blocked gram row and batch pricing -------------------
+// BM_GramRow times Kernel::cross_into — the O(n d) cross-covariance row the
+// incremental GP append and every posterior draw walk — whose blocked
+// four-rows-per-pass sweep must stay bit-identical to the scalar oracle
+// (tests/test_gp.cpp). BM_BatchPrice times DeploymentPlan::price_batch, the
+// option-outer/throughput-inner pricing sweep behind robust evaluation and
+// throughput portfolios. Both rows land in BENCH_micro.json so the kernel
+// trajectory stays visible across PRs.
+
+void BM_GramRow(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(21);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<double>> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi(23);
+    for (double& v : xi) v = unit(rng);
+    xs.push_back(std::move(xi));
+  }
+  std::vector<double> z(23);
+  for (double& v : z) v = unit(rng);
+  const opt::Matern52Kernel kernel(1.0, 0.5);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    kernel.cross_into(xs, z, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["rows"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GramRow)->Arg(64)->Arg(160)->Arg(320);
+
+void BM_BatchPrice(benchmark::State& state) {
+  const auto sweep = static_cast<std::size_t>(state.range(0));
+  const dnn::Architecture arch = deep_architecture(16);
+  const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+  const core::DeploymentEvaluator evaluator(predictor(), wifi);
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  std::vector<double> tus(sweep);
+  for (std::size_t i = 0; i < sweep; ++i) {
+    tus[i] = 0.5 + 63.5 * static_cast<double>(i) / static_cast<double>(sweep);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.price_batch(tus));
+  }
+  state.counters["options"] = static_cast<double>(plan.num_options());
+}
+BENCHMARK(BM_BatchPrice)->Arg(16)->Arg(64)->Arg(256);
 
 // ---- Thompson acquisition over a candidate pool -----------------------------
 

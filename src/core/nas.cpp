@@ -39,8 +39,9 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
     }
   }
 
-  // compile() is a pure function of the genotype: fan the uncached
-  // compilations out over the pool. Architecture lacks a default
+  // Stage 1 — parallel over uncached genotypes, one COARSE task per
+  // candidate: decode + the full predictor pipeline of compile(). Both are
+  // pure functions of the genotype. Architecture lacks a default
   // constructor, hence the optional slot.
   struct Fresh {
     std::optional<dnn::Architecture> arch;
@@ -52,8 +53,11 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
     f.plan = evaluator_.compile(*f.arch);
     return f;
   });
-  // The accuracy model is not required to be thread-safe (e.g.
-  // CachedAccuracyModel, TrainedAccuracyEvaluator): query it serially.
+
+  // Stage 2 — serial: the accuracy model is not required to be thread-safe
+  // (e.g. CachedAccuracyModel, TrainedAccuracyEvaluator), so it is queried
+  // in first-appearance order and the cache inserts happen here too. After
+  // this loop the cache is read-only for the rest of the call.
   for (std::size_t i = 0; i < missing.size(); ++i) {
     CacheEntry entry;
     entry.name = fresh[i].arch->name();
@@ -63,12 +67,17 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
   }
   cache_hits_ += genotypes.size() - fresh.size();
 
-  std::vector<std::vector<double>> ys;
-  ys.reserve(genotypes.size());
-  for (Genotype& genotype : genotypes) {
-    const CacheEntry& entry = cache_.at(genotype);
-    EvaluatedCandidate candidate;
-    candidate.genotype = std::move(genotype);
+  // Stage 3 — parallel over the WHOLE batch (cached entries included), one
+  // coarse task per candidate: price the compiled plan at the configured
+  // throughput and assemble the full candidate record. Lookups are
+  // concurrent reads of the now-frozen cache; every task writes only its
+  // own slots, so the batch is bit-identical at any thread count.
+  std::vector<std::vector<double>> ys(genotypes.size());
+  std::vector<EvaluatedCandidate> candidates(genotypes.size());
+  par::parallel_for(genotypes.size(), [&](std::size_t i) {
+    const CacheEntry& entry = cache_.at(genotypes[i]);
+    EvaluatedCandidate& candidate = candidates[i];
+    candidate.genotype = std::move(genotypes[i]);
     candidate.name = entry.name;
     candidate.deployment = entry.plan.price(config_.tu_mbps);
     candidate.error_percent = entry.error_percent;
@@ -84,7 +93,12 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
         break;
       }
     }
-    ys.push_back(candidate.objectives());
+    ys[i] = candidate.objectives();
+  });
+
+  // Stage 4 — serial: append to history in input order.
+  result.history.reserve(result.history.size() + candidates.size());
+  for (EvaluatedCandidate& candidate : candidates) {
     result.history.push_back(std::move(candidate));
   }
   return ys;

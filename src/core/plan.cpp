@@ -182,9 +182,69 @@ PricedObjectives DeploymentPlan::objectives_at(double tu_mbps) const {
 
 std::vector<PricedObjectives> DeploymentPlan::price_batch(
     const std::vector<double>& tus_mbps) const {
-  std::vector<PricedObjectives> out;
-  out.reserve(tus_mbps.size());
-  for (double tu : tus_mbps) out.push_back(objectives_at(tu));
+  // Option-outer / throughput-inner sweep with running minima. Per option
+  // the curve terms (edge costs, bits, cloud suffix, radio-power
+  // coefficients) are hoisted once and the inner loop over throughputs is a
+  // pure map — independent iterations the compiler vectorizes. Every
+  // arithmetic expression below replicates option_latency_ms /
+  // option_energy_mj (via CommModel's inline formulas) term-for-term, and
+  // the minima are updated with the same strict-< in ascending option
+  // order, so the result is bit-identical to the per-throughput
+  // objectives_at() loop — which tests keep as the scalar oracle.
+  const std::size_t m = tus_mbps.size();
+  if (m == 0) return {};
+  if (tus_mbps.front() <= 0.0) {
+    throw std::invalid_argument("DeploymentPlan: throughput must be positive");
+  }
+  if (options_.empty()) throw std::logic_error("DeploymentPlan: empty plan");
+  for (double tu : tus_mbps) {
+    if (tu <= 0.0) {
+      throw std::invalid_argument("DeploymentPlan: throughput must be positive");
+    }
+  }
+
+  const double rtt = comm_.round_trip_ms();
+  const double alpha = comm_.power_model().alpha_mw_per_mbps;
+  const double beta = comm_.power_model().beta_mw;
+  std::vector<PricedObjectives> out(m);
+
+  for (std::size_t opt = 0; opt < options_.size(); ++opt) {
+    const DeploymentOption& o = options_[opt];
+    if (o.tx_bytes == 0) {
+      // Throughput-free option: one candidate value for the whole sweep.
+      const double latency = o.edge_latency_ms;
+      const double energy = o.edge_energy_mj;
+      for (std::size_t t = 0; t < m; ++t) {
+        if (opt == 0 || latency < out[t].best_latency_ms) {
+          out[t].best_latency_ms = latency;
+          out[t].best_latency_option = opt;
+        }
+        if (opt == 0 || energy < out[t].best_energy_mj) {
+          out[t].best_energy_mj = energy;
+          out[t].best_energy_option = opt;
+        }
+      }
+      continue;
+    }
+    const double bits = static_cast<double>(o.tx_bytes) * 8.0;
+    const double edge_latency = o.edge_latency_ms;
+    const double cloud_latency = o.cloud_latency_ms;
+    const double edge_energy = o.edge_energy_mj;
+    for (std::size_t t = 0; t < m; ++t) {
+      const double tu = tus_mbps[t];
+      const double tx_ms = bits / (tu * 1e3);
+      const double latency = edge_latency + (tx_ms + rtt) + cloud_latency;
+      const double energy = edge_energy + (alpha * tu + beta) * (tx_ms / 1e3);
+      if (opt == 0 || latency < out[t].best_latency_ms) {
+        out[t].best_latency_ms = latency;
+        out[t].best_latency_option = opt;
+      }
+      if (opt == 0 || energy < out[t].best_energy_mj) {
+        out[t].best_energy_mj = energy;
+        out[t].best_energy_option = opt;
+      }
+    }
+  }
   return out;
 }
 

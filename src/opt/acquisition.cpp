@@ -18,30 +18,24 @@ std::size_t select_candidate(const std::vector<GaussianProcess>& gps,
   const std::size_t pool_size = pool.size();
 
   // One objective-value estimate per (objective, candidate). Per-candidate
-  // predictions are pure and write distinct slots, so the pool is scored in
-  // parallel; the Thompson path consumes `rng` serially up front inside
-  // sample_at, keeping results identical for any thread count.
-  std::vector<std::vector<double>> sampled(num_objectives);
-  for (std::size_t k = 0; k < num_objectives; ++k) {
-    switch (config.kind) {
-      case AcquisitionKind::kThompsonScalarized:
-        sampled[k] = gps[k].sample_at(pool, rng);
-        break;
-      case AcquisitionKind::kMeanScalarized: {
-        sampled[k].resize(pool_size);
-        par::parallel_for(pool_size,
-                          [&](std::size_t i) { sampled[k][i] = gps[k].predict(pool[i]).mean; });
-        break;
-      }
-      case AcquisitionKind::kLowerConfidenceBound: {
-        sampled[k].resize(pool_size);
-        par::parallel_for(pool_size, [&](std::size_t i) {
-          const auto p = gps[k].predict(pool[i]);
-          sampled[k][i] = p.mean - config.lcb_beta * std::sqrt(p.variance);
-        });
-        break;
-      }
-    }
+  // predictions are pure and write distinct slots, so all objectives are
+  // scored in one num_objectives * pool_size-wide parallel section; the
+  // Thompson path consumes `rng` serially up front inside
+  // sample_objectives_at, keeping results identical for any thread count
+  // (and bit-identical to the per-objective sample_at loop it batches).
+  std::vector<std::vector<double>> sampled;
+  if (config.kind == AcquisitionKind::kThompsonScalarized) {
+    sampled = sample_objectives_at(gps, pool, rng);
+  } else {
+    sampled.assign(num_objectives, std::vector<double>(pool_size));
+    par::parallel_for(num_objectives * pool_size, [&](std::size_t idx) {
+      const std::size_t k = idx / pool_size;
+      const std::size_t i = idx % pool_size;
+      const auto p = gps[k].predict(pool[i]);
+      sampled[k][i] = config.kind == AcquisitionKind::kMeanScalarized
+                          ? p.mean
+                          : p.mean - config.lcb_beta * std::sqrt(p.variance);
+    });
   }
 
   const std::vector<double> weights = random_simplex_weights(num_objectives, rng);

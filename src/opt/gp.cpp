@@ -187,41 +187,49 @@ std::vector<double> GaussianProcess::sample_at(
   std::normal_distribution<double> gauss(0.0, 1.0);
   std::vector<double> z(m);
   for (double& v : z) v = gauss(rng);
+  return sample_with_noise(xs, z);
+}
 
-  if (!is_fitted()) {
-    // Prior draw: mean 0, covariance = kernel Gram over xs.
-    Matrix k = kernel_->gram(xs);
-    k.add_diagonal(1e-8);
-    const CholeskyFactor l = CholeskyFactor::factorize(k);
-    std::vector<double> out(m, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      double acc = 0.0;
-      for (std::size_t j = 0; j <= i; ++j) acc += l.at(i, j) * z[j];
-      out[i] = acc;
-    }
-    return out;
+std::vector<double> GaussianProcess::prior_sample(const std::vector<std::vector<double>>& xs,
+                                                  const std::vector<double>& z) const {
+  // Prior draw: mean 0, covariance = kernel Gram over xs.
+  const std::size_t m = xs.size();
+  Matrix k = kernel_->gram(xs);
+  k.add_diagonal(1e-8);
+  const CholeskyFactor l = CholeskyFactor::factorize(k);
+  std::vector<double> out(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) acc += l.at(i, j) * z[j];
+    out[i] = acc;
   }
+  return out;
+}
 
-  // Posterior mean and covariance over the query block. Each query point's
-  // cross-covariance solve and each covariance row touch only their own
-  // slots, so both loops parallelize without changing a single bit (the RNG
-  // draw above already consumed the generator serially).
-  std::vector<std::vector<double>> vs(m);  // V = L^{-1} K_{train,query} columns
-  std::vector<double> mean(m);
-  par::parallel_for(m, [&](std::size_t i) {
-    const std::vector<double> k_star = kernel_->cross(x_, xs[i]);
-    mean[i] = dot(k_star, alpha_);
-    vs[i] = factor_.solve_lower(k_star);
-  });
-  Matrix cov(m, m);
-  par::parallel_for(m, [&](std::size_t i) {
-    for (std::size_t j = i; j < m; ++j) {
-      const double kij = (*kernel_)(xs[i], xs[j]);
-      const double v = kij - dot(vs[i], vs[j]);
-      cov(i, j) = v;
-      cov(j, i) = v;
-    }
-  });
+void GaussianProcess::sample_cross_solve(const std::vector<std::vector<double>>& xs,
+                                         std::size_t i, std::vector<double>& mean,
+                                         std::vector<std::vector<double>>& vs) const {
+  const std::vector<double> k_star = kernel_->cross(x_, xs[i]);
+  mean[i] = dot(k_star, alpha_);
+  vs[i] = factor_.solve_lower(k_star);
+}
+
+void GaussianProcess::sample_cov_row(const std::vector<std::vector<double>>& xs,
+                                     const std::vector<std::vector<double>>& vs,
+                                     std::size_t i, Matrix& cov) const {
+  const std::size_t m = xs.size();
+  for (std::size_t j = i; j < m; ++j) {
+    const double kij = (*kernel_)(xs[i], xs[j]);
+    const double v = kij - dot(vs[i], vs[j]);
+    cov(i, j) = v;
+    cov(j, i) = v;
+  }
+}
+
+std::vector<double> GaussianProcess::sample_finish(const Matrix& cov,
+                                                   const std::vector<double>& mean,
+                                                   const std::vector<double>& z) const {
+  const std::size_t m = mean.size();
   // Jitter escalation: posterior covariances of near-duplicate query points
   // are frequently semi-definite.
   CholeskyFactor l;
@@ -245,6 +253,77 @@ std::vector<double> GaussianProcess::sample_at(
     for (std::size_t j = 0; j <= i; ++j) acc += l.at(i, j) * z[j];
     out[i] = y_mean_ + y_std_ * acc;
   }
+  return out;
+}
+
+std::vector<double> GaussianProcess::sample_with_noise(
+    const std::vector<std::vector<double>>& xs, const std::vector<double>& z) const {
+  if (xs.size() != z.size()) {
+    throw std::invalid_argument("GaussianProcess::sample_with_noise: z size mismatch");
+  }
+  if (!is_fitted()) return prior_sample(xs, z);
+
+  const std::size_t m = xs.size();
+  // Posterior mean and covariance over the query block. Each query point's
+  // cross-covariance solve and each covariance row touch only their own
+  // slots, so both loops parallelize without changing a single bit (the
+  // caller consumed the generator serially before handing us z).
+  std::vector<std::vector<double>> vs(m);  // V = L^{-1} K_{train,query} columns
+  std::vector<double> mean(m);
+  par::parallel_for(m, [&](std::size_t i) { sample_cross_solve(xs, i, mean, vs); });
+  Matrix cov(m, m);
+  par::parallel_for(m, [&](std::size_t i) { sample_cov_row(xs, vs, i, cov); });
+  return sample_finish(cov, mean, z);
+}
+
+std::vector<std::vector<double>> sample_objectives_at(
+    const std::vector<GaussianProcess>& gps, const std::vector<std::vector<double>>& xs,
+    std::mt19937_64& rng) {
+  const std::size_t num = gps.size();
+  const std::size_t m = xs.size();
+
+  // Draw every objective's z vector serially in objective order — the exact
+  // generator consumption order of the per-objective sample_at loop this
+  // function batches, so the two paths stay bit-identical. The distribution
+  // object is per-objective on purpose: sample_at constructs a fresh one,
+  // and std::normal_distribution caches a second polar-method variate, so a
+  // single shared instance would consume the generator differently whenever
+  // m is odd.
+  std::vector<std::vector<double>> z(num, std::vector<double>(m));
+  for (std::size_t k = 0; k < num; ++k) {
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    for (double& v : z[k]) v = gauss(rng);
+  }
+
+  // Stage A + B flattened across objectives: num * m cross-covariance
+  // solves, then num * m covariance rows, each writing only its own slots.
+  // An m-wide section per objective becomes one num*m-wide section, which
+  // is what lets the chunked pool amortize imbalanced rows.
+  std::vector<std::vector<std::vector<double>>> vs(num,
+                                                   std::vector<std::vector<double>>(m));
+  std::vector<std::vector<double>> mean(num, std::vector<double>(m));
+  par::parallel_for(num * m, [&](std::size_t idx) {
+    const std::size_t k = idx / m;
+    if (!gps[k].is_fitted()) return;  // prior draws skip straight to stage C
+    gps[k].sample_cross_solve(xs, idx % m, mean[k], vs[k]);
+  });
+  std::vector<Matrix> cov(num);
+  for (std::size_t k = 0; k < num; ++k) {
+    if (gps[k].is_fitted()) cov[k] = Matrix(m, m);
+  }
+  par::parallel_for(num * m, [&](std::size_t idx) {
+    const std::size_t k = idx / m;
+    if (!gps[k].is_fitted()) return;
+    gps[k].sample_cov_row(xs, vs[k], idx % m, cov[k]);
+  });
+
+  // Stage C: the O(m^3) covariance factorizations — serial inside a single
+  // sample_at — run concurrently, one per objective.
+  std::vector<std::vector<double>> out(num);
+  par::parallel_for(num, [&](std::size_t k) {
+    out[k] = gps[k].is_fitted() ? gps[k].sample_finish(cov[k], mean[k], z[k])
+                                : gps[k].prior_sample(xs, z[k]);
+  });
   return out;
 }
 

@@ -85,6 +85,14 @@ class GaussianProcess {
   std::vector<double> sample_at(const std::vector<std::vector<double>>& xs,
                                 std::mt19937_64& rng) const;
 
+  /// sample_at with the standard-normal vector pre-drawn by the caller
+  /// (`z.size() == xs.size()`). sample_at(xs, rng) is exactly: draw z from
+  /// rng, then sample_with_noise(xs, z) — splitting the draw from the
+  /// deterministic tail lets batched callers consume a shared generator in
+  /// a fixed serial order while the heavy linear algebra runs in parallel.
+  std::vector<double> sample_with_noise(const std::vector<std::vector<double>>& xs,
+                                        const std::vector<double>& z) const;
+
   /// Log marginal likelihood of the current fit (normalized-unit targets).
   double log_marginal_likelihood() const { return log_marginal_likelihood_; }
 
@@ -124,6 +132,30 @@ class GaussianProcess {
   /// exact summation order fit() uses (bit-identity with the full path).
   void standardize_targets();
 
+  // Stage kernels of the posterior draw, shared by sample_with_noise and
+  // the batched sample_objectives_at. Each computes exactly what the
+  // corresponding slice of the monolithic sample_at used to compute, so the
+  // batched path is bit-identical to the per-objective loop it replaces.
+  /// Cross-covariance + mean + whitened solve for query point i.
+  void sample_cross_solve(const std::vector<std::vector<double>>& xs, std::size_t i,
+                          std::vector<double>& mean,
+                          std::vector<std::vector<double>>& vs) const;
+  /// Posterior covariance row i (writes cov(i, j) and cov(j, i), j >= i).
+  void sample_cov_row(const std::vector<std::vector<double>>& xs,
+                      const std::vector<std::vector<double>>& vs, std::size_t i,
+                      Matrix& cov) const;
+  /// Jitter-escalated factorization of `cov` plus the mean + L z combine —
+  /// the serial O(m^3) tail of one posterior draw.
+  std::vector<double> sample_finish(const Matrix& cov, const std::vector<double>& mean,
+                                    const std::vector<double>& z) const;
+  /// Prior draw (unfitted model) from a pre-drawn z.
+  std::vector<double> prior_sample(const std::vector<std::vector<double>>& xs,
+                                   const std::vector<double>& z) const;
+
+  friend std::vector<std::vector<double>> sample_objectives_at(
+      const std::vector<GaussianProcess>& gps, const std::vector<std::vector<double>>& xs,
+      std::mt19937_64& rng);
+
   GpConfig config_;
   std::unique_ptr<Kernel> kernel_;
   double noise_variance_ = 1e-3;
@@ -138,5 +170,18 @@ class GaussianProcess {
   std::vector<double> alpha_;    // (K + noise I)^{-1} y_normalized
   double log_marginal_likelihood_ = 0.0;
 };
+
+/// Batched joint Thompson draws: one posterior sample per objective GP over
+/// the shared query block, bit-identical to the serial loop
+///     for (k) out[k] = gps[k].sample_at(xs, rng);
+/// including the order in which `rng` is consumed (all z vectors are drawn
+/// serially in objective order up front). The win is structural: the
+/// per-query cross-covariance solves and covariance rows of ALL objectives
+/// flatten into single gps.size() * xs.size()-wide parallel sections, and
+/// the per-objective O(m^3) covariance factorizations — serial inside
+/// sample_at — run concurrently across objectives.
+std::vector<std::vector<double>> sample_objectives_at(
+    const std::vector<GaussianProcess>& gps, const std::vector<std::vector<double>>& xs,
+    std::mt19937_64& rng);
 
 }  // namespace lens::opt

@@ -41,8 +41,13 @@ Matrix Kernel::gram(const std::vector<std::vector<double>>& xs) const {
 std::vector<double> Kernel::cross(const std::vector<std::vector<double>>& xs,
                                   const std::vector<double>& z) const {
   std::vector<double> out(xs.size());
-  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i], z);
+  cross_into(xs, z, out.data());
   return out;
+}
+
+void Kernel::cross_into(const std::vector<std::vector<double>>& xs,
+                        const std::vector<double>& z, double* out) const {
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(xs[i], z);
 }
 
 Kernel::GramRow Kernel::gram_row(const std::vector<std::vector<double>>& xs,
@@ -55,6 +60,41 @@ void check_params(double signal_variance, double length_scale) {
   if (signal_variance <= 0.0 || length_scale <= 0.0) {
     throw std::invalid_argument("kernel: hyper-parameters must be positive");
   }
+}
+
+// Four squared distances against a shared query, one feature pass. Each
+// row keeps its own accumulator updated in ascending feature order with the
+// exact `acc += d * d` of squared_distance(), so every lane reproduces the
+// scalar result bit-for-bit; the four independent chains are what the
+// compiler vectorizes.
+inline void squared_distance_x4(const double* r0, const double* r1, const double* r2,
+                                const double* r3, const double* z, std::size_t dim,
+                                double out[4]) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (std::size_t f = 0; f < dim; ++f) {
+    const double zf = z[f];
+    const double d0 = r0[f] - zf;
+    const double d1 = r1[f] - zf;
+    const double d2 = r2[f] - zf;
+    const double d3 = r3[f] - zf;
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  out[0] = a0;
+  out[1] = a1;
+  out[2] = a2;
+  out[3] = a3;
+}
+
+// True when all four rows have the query's dimensionality; mismatches fall
+// back to operator() so the blocked path surfaces the identical
+// std::invalid_argument the scalar path throws.
+inline bool rows_match_x4(const std::vector<std::vector<double>>& xs, std::size_t i,
+                          std::size_t dim) {
+  return xs[i].size() == dim && xs[i + 1].size() == dim && xs[i + 2].size() == dim &&
+         xs[i + 3].size() == dim;
 }
 }  // namespace
 
@@ -74,6 +114,27 @@ std::unique_ptr<Kernel> RbfKernel::with_params(double signal_variance,
   return std::make_unique<RbfKernel>(signal_variance, length_scale);
 }
 
+void RbfKernel::cross_into(const std::vector<std::vector<double>>& xs,
+                           const std::vector<double>& z, double* out) const {
+  const std::size_t n = xs.size();
+  const std::size_t dim = z.size();
+  const double ll = length_scale_ * length_scale_;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (!rows_match_x4(xs, i, dim)) {
+      for (std::size_t k = 0; k < 4; ++k) out[i + k] = (*this)(xs[i + k], z);
+      continue;
+    }
+    double d2[4];
+    squared_distance_x4(xs[i].data(), xs[i + 1].data(), xs[i + 2].data(),
+                        xs[i + 3].data(), z.data(), dim, d2);
+    for (std::size_t k = 0; k < 4; ++k) {
+      out[i + k] = signal_variance_ * std::exp(-0.5 * d2[k] / ll);
+    }
+  }
+  for (; i < n; ++i) out[i] = (*this)(xs[i], z);
+}
+
 HammingKernel::HammingKernel(double signal_variance, double length_scale)
     : signal_variance_(signal_variance), length_scale_(length_scale) {
   check_params(signal_variance, length_scale);
@@ -91,6 +152,39 @@ std::unique_ptr<Kernel> HammingKernel::with_params(double signal_variance,
   return std::make_unique<HammingKernel>(signal_variance, length_scale);
 }
 
+void HammingKernel::cross_into(const std::vector<std::vector<double>>& xs,
+                               const std::vector<double>& z, double* out) const {
+  const std::size_t n = xs.size();
+  const std::size_t dim = z.size();
+  const double denom = length_scale_ * std::max(static_cast<double>(dim), 1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (!rows_match_x4(xs, i, dim)) {
+      for (std::size_t k = 0; k < 4; ++k) out[i + k] = (*this)(xs[i + k], z);
+      continue;
+    }
+    const double* r0 = xs[i].data();
+    const double* r1 = xs[i + 1].data();
+    const double* r2 = xs[i + 2].data();
+    const double* r3 = xs[i + 3].data();
+    std::size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    for (std::size_t f = 0; f < dim; ++f) {
+      const double zf = z[f];
+      c0 += std::abs(r0[f] - zf) > 1e-9 ? 1 : 0;
+      c1 += std::abs(r1[f] - zf) > 1e-9 ? 1 : 0;
+      c2 += std::abs(r2[f] - zf) > 1e-9 ? 1 : 0;
+      c3 += std::abs(r3[f] - zf) > 1e-9 ? 1 : 0;
+    }
+    // Exact hamming counts, so the quotient below matches operator()'s
+    // -h / (l * max(d, 1)) bit-for-bit.
+    out[i] = signal_variance_ * std::exp(-static_cast<double>(c0) / denom);
+    out[i + 1] = signal_variance_ * std::exp(-static_cast<double>(c1) / denom);
+    out[i + 2] = signal_variance_ * std::exp(-static_cast<double>(c2) / denom);
+    out[i + 3] = signal_variance_ * std::exp(-static_cast<double>(c3) / denom);
+  }
+  for (; i < n; ++i) out[i] = (*this)(xs[i], z);
+}
+
 Matern52Kernel::Matern52Kernel(double signal_variance, double length_scale)
     : signal_variance_(signal_variance), length_scale_(length_scale) {
   check_params(signal_variance, length_scale);
@@ -106,6 +200,28 @@ double Matern52Kernel::operator()(const std::vector<double>& x,
 std::unique_ptr<Kernel> Matern52Kernel::with_params(double signal_variance,
                                                     double length_scale) const {
   return std::make_unique<Matern52Kernel>(signal_variance, length_scale);
+}
+
+void Matern52Kernel::cross_into(const std::vector<std::vector<double>>& xs,
+                                const std::vector<double>& z, double* out) const {
+  const std::size_t n = xs.size();
+  const std::size_t dim = z.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (!rows_match_x4(xs, i, dim)) {
+      for (std::size_t k = 0; k < 4; ++k) out[i + k] = (*this)(xs[i + k], z);
+      continue;
+    }
+    double d2[4];
+    squared_distance_x4(xs[i].data(), xs[i + 1].data(), xs[i + 2].data(),
+                        xs[i + 3].data(), z.data(), dim, d2);
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double r = std::sqrt(d2[k]);
+      const double s = std::sqrt(5.0) * r / length_scale_;
+      out[i + k] = signal_variance_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+    }
+  }
+  for (; i < n; ++i) out[i] = (*this)(xs[i], z);
 }
 
 }  // namespace lens::opt

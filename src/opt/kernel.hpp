@@ -40,6 +40,17 @@ class Kernel {
   std::vector<double> cross(const std::vector<std::vector<double>>& xs,
                             const std::vector<double>& z) const;
 
+  /// Write k(X_i, z) into out[0..xs.size()). This is the hot path behind
+  /// cross() / gram_row(): the concrete kernels override it with a blocked
+  /// sweep that walks four rows per feature pass — four independent
+  /// accumulator chains the compiler vectorizes across rows — while each
+  /// row's accumulation order and final kernel expression stay exactly
+  /// those of operator(), so blocked and scalar results are bit-identical
+  /// (the base-class implementation below is the scalar oracle the tests
+  /// compare against).
+  virtual void cross_into(const std::vector<std::vector<double>>& xs,
+                          const std::vector<double>& z, double* out) const;
+
   /// One bordered Gram row: the cross-covariances against the existing
   /// points plus the self-covariance k(z, z). Appending a point to a
   /// factorized Gram matrix needs exactly this O(n·d) row — not the full
@@ -67,6 +78,8 @@ class RbfKernel final : public Kernel {
                                       double length_scale) const override;
   double signal_variance() const override { return signal_variance_; }
   double length_scale() const override { return length_scale_; }
+  void cross_into(const std::vector<std::vector<double>>& xs,
+                  const std::vector<double>& z, double* out) const override;
 
  private:
   double signal_variance_;
@@ -88,6 +101,8 @@ class Matern52Kernel final : public Kernel {
                                       double length_scale) const override;
   double signal_variance() const override { return signal_variance_; }
   double length_scale() const override { return length_scale_; }
+  void cross_into(const std::vector<std::vector<double>>& xs,
+                  const std::vector<double>& z, double* out) const override;
 
  private:
   double signal_variance_;
@@ -110,6 +125,8 @@ class HammingKernel final : public Kernel {
                                       double length_scale) const override;
   double signal_variance() const override { return signal_variance_; }
   double length_scale() const override { return length_scale_; }
+  void cross_into(const std::vector<std::vector<double>>& xs,
+                  const std::vector<double>& z, double* out) const override;
 
  private:
   double signal_variance_;

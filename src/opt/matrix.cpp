@@ -130,6 +130,54 @@ double CholeskyFactor::at(std::size_t i, std::size_t j) const {
 std::vector<double> CholeskyFactor::solve_lower(const std::vector<double>& b) const {
   if (b.size() != n_) throw std::invalid_argument("CholeskyFactor::solve_lower: size mismatch");
   std::vector<double> x(n_);
+  std::size_t i = 0;
+  // 4-row panels. The partial sums of rows i..i+3 over the settled prefix
+  // x[0..i) are four independent accumulator chains — each still subtracts
+  // in ascending j with `acc -= L(i,j) * x[j]` exactly as the reference
+  // loop, so every chain is bit-identical to its scalar counterpart while
+  // the compiler vectorizes across the four rows. The trailing 4x4
+  // triangle then resolves serially, continuing each row's subtraction
+  // sequence in ascending j before the final divide.
+  for (; i + 4 <= n_; i += 4) {
+    const double* r0 = &data_[i * (i + 1) / 2];
+    const double* r1 = &data_[(i + 1) * (i + 2) / 2];
+    const double* r2 = &data_[(i + 2) * (i + 3) / 2];
+    const double* r3 = &data_[(i + 3) * (i + 4) / 2];
+    double a0 = b[i];
+    double a1 = b[i + 1];
+    double a2 = b[i + 2];
+    double a3 = b[i + 3];
+    for (std::size_t j = 0; j < i; ++j) {
+      const double xj = x[j];
+      a0 -= r0[j] * xj;
+      a1 -= r1[j] * xj;
+      a2 -= r2[j] * xj;
+      a3 -= r3[j] * xj;
+    }
+    x[i] = a0 / r0[i];
+    a1 -= r1[i] * x[i];
+    x[i + 1] = a1 / r1[i + 1];
+    a2 -= r2[i] * x[i];
+    a2 -= r2[i + 1] * x[i + 1];
+    x[i + 2] = a2 / r2[i + 2];
+    a3 -= r3[i] * x[i];
+    a3 -= r3[i + 1] * x[i + 1];
+    a3 -= r3[i + 2] * x[i + 2];
+    x[i + 3] = a3 / r3[i + 3];
+  }
+  for (; i < n_; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= el(i, j) * x[j];
+    x[i] = acc / el(i, i);
+  }
+  return x;
+}
+
+std::vector<double> CholeskyFactor::solve_lower_reference(const std::vector<double>& b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("CholeskyFactor::solve_lower_reference: size mismatch");
+  }
+  std::vector<double> x(n_);
   for (std::size_t i = 0; i < n_; ++i) {
     double acc = b[i];
     for (std::size_t j = 0; j < i; ++j) acc -= el(i, j) * x[j];

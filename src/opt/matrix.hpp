@@ -111,8 +111,18 @@ class CholeskyFactor {
   /// Lower-triangular element L(i, j); zero above the diagonal.
   double at(std::size_t i, std::size_t j) const;
 
-  /// Solve L x = b (forward substitution), O(n^2).
+  /// Solve L x = b (forward substitution), O(n^2). Implemented as a blocked
+  /// sweep — 4-row panels whose partial sums over the already-settled prefix
+  /// of x are independent accumulator chains (vectorizable across rows),
+  /// followed by a serial 4x4 triangular finish. Every x[i] receives the
+  /// exact subtract-in-ascending-j-then-divide sequence of the textbook
+  /// row-oriented loop, so the result is bit-identical to
+  /// solve_lower_reference() — the oracle the tests compare against.
   std::vector<double> solve_lower(const std::vector<double>& b) const;
+
+  /// The scalar row-oriented forward substitution solve_lower() must match
+  /// bit-for-bit. Kept as the regression oracle for the blocked path.
+  std::vector<double> solve_lower_reference(const std::vector<double>& b) const;
 
   /// Solve L^T x = b (back substitution), O(n^2).
   std::vector<double> solve_lower_transpose(const std::vector<double>& b) const;

@@ -3,12 +3,26 @@
 //
 // Determinism contract: for a fixed input, parallel_for / parallel_map
 // produce bit-identical results for ANY thread count (including 1), because
-//  - the index space is statically partitioned into contiguous chunks,
+//  - the index space is statically partitioned into contiguous chunks whose
+//    boundaries depend only on (n, chunks) — never on the thread count or
+//    on runtime timing,
 //  - every index writes only its own output slot (no shared accumulators),
 //  - reductions are the caller's job and must run serially in index order.
 // Callables therefore must be pure per index: no mutation of shared state,
-// no RNG draws from a shared generator (derive per-index generators as
-// `seed ^ index` instead — see perf/predictor.cpp).
+// no RNG draws from a shared generator. Per-index generators must be
+// derived with par::substream_seed(seed, i) (see par/substream.hpp); plain
+// `seed ^ index` produces correlated mt19937_64 streams and is banned.
+//
+// Chunking: the index space is split into MORE chunks than workers
+// (kChunksPerThread per worker by default, or an explicit count via
+// parallel_for_chunked). Workers drain the chunk queue FIFO, so one
+// straggler chunk overlaps the remaining chunks instead of serializing the
+// whole section. Which worker runs a chunk never affects the result — each
+// chunk's output is a function of its indices alone — so oversubscription
+// preserves the determinism contract verbatim. Chunk boundaries are
+// computed division-first (k * (n / chunks) + min(k, n % chunks)), which
+// cannot overflow for any n; the earlier `n * k / chunks` form wrapped for
+// n near 2^64 / chunks.
 //
 // Exception contract: if any index throws, the exception from the
 // lowest-numbered failing chunk is rethrown on the caller's thread after
@@ -16,43 +30,84 @@
 //
 // Serial fallback: a 1-thread pool, a trivial index space, or a call from
 // inside a pool worker (nested parallelism) runs the loop inline.
+//
+// Profiling: while a ScalingProbe (par/probe.hpp) is active, every section
+// records its per-chunk CPU times so benches can report modeled speedups on
+// machines with fewer cores than the thread count under test.
 
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "par/probe.hpp"
 #include "par/runtime.hpp"
+#include "par/substream.hpp"
 #include "par/thread_pool.hpp"
 
 namespace lens::par {
 
-/// Apply fn(i) for i in [0, n) using the given pool.
+/// Default oversubscription factor: chunks per pool worker. Large enough
+/// that a straggler chunk overlaps most of the remaining work, small enough
+/// that per-chunk dispatch stays negligible for coarse chunk bodies.
+inline constexpr std::size_t kChunksPerThread = 4;
+
+/// Half-open index range [first, second) of chunk `k` when [0, n) is split
+/// into `chunks` contiguous pieces. Division-first, so no intermediate can
+/// overflow: k * (n / chunks) < n and min(k, n % chunks) < chunks <= n.
+/// The first (n % chunks) chunks are one index longer than the rest.
+inline std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                       std::size_t chunks,
+                                                       std::size_t k) {
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  const std::size_t begin = k * base + std::min(k, extra);
+  const std::size_t end = begin + base + (k < extra ? 1 : 0);
+  return {begin, end};
+}
+
+/// Apply fn(i) for i in [0, n), statically partitioned into exactly
+/// min(chunks, n) contiguous chunks executed on the given pool. The result
+/// is bit-identical for any pool size; the chunk count shapes load
+/// balancing only.
 template <typename Fn>
-void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+void parallel_for_chunked(ThreadPool& pool, std::size_t n, std::size_t chunks, Fn&& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(pool.size(), n);
-  if (chunks <= 1 || ThreadPool::on_worker_thread()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+  chunks = std::min(std::max<std::size_t>(chunks, 1), n);
+  ScalingProbe* const probe = ScalingProbe::active();
+
+  if (chunks <= 1 || pool.size() <= 1 || ThreadPool::on_worker_thread()) {
+    // Nested sections run inside an enclosing chunk whose time the active
+    // probe already captures; recording them again would double-count.
+    if (probe != nullptr && !ThreadPool::on_worker_thread()) {
+      const double t0 = ScalingProbe::thread_cpu_ms();
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      probe->add_section({ScalingProbe::thread_cpu_ms() - t0});
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
     return;
   }
 
   std::vector<std::exception_ptr> errors(chunks);
+  std::vector<double> chunk_ms(probe != nullptr ? chunks : 0);
   std::mutex mutex;
   std::condition_variable all_done;
   std::size_t remaining = chunks;
 
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = n * c / chunks;
-    const std::size_t end = n * (c + 1) / chunks;
+    const auto [begin, end] = chunk_range(n, chunks, c);
     pool.submit([&, c, begin, end] {
+      const double t0 = probe != nullptr ? ScalingProbe::thread_cpu_ms() : 0.0;
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
         errors[c] = std::current_exception();
       }
+      if (probe != nullptr) chunk_ms[c] = ScalingProbe::thread_cpu_ms() - t0;
       {
         // Notify under the lock: `all_done` lives on the caller's stack, and
         // the caller may destroy it the moment it observes remaining == 0.
@@ -68,9 +123,17 @@ void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
     std::unique_lock<std::mutex> lock(mutex);
     all_done.wait(lock, [&] { return remaining == 0; });
   }
+  if (probe != nullptr) probe->add_section(std::move(chunk_ms));
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+}
+
+/// Apply fn(i) for i in [0, n) using the given pool, with the default
+/// kChunksPerThread oversubscription.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  parallel_for_chunked(pool, n, pool.size() * kChunksPerThread, fn);
 }
 
 /// parallel_for on the shared global pool.

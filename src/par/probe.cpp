@@ -1,0 +1,86 @@
+#include "par/probe.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ctime>
+
+namespace lens::par {
+
+namespace {
+std::atomic<ScalingProbe*> g_active{nullptr};
+}  // namespace
+
+ScalingProbe::ScalingProbe() {
+  previous_ = g_active.exchange(this, std::memory_order_acq_rel);
+}
+
+ScalingProbe::~ScalingProbe() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+ScalingProbe* ScalingProbe::active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+double ScalingProbe::thread_cpu_ms() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  // Portable fallback: process CPU clock (coarser, but monotone non-negative).
+  return static_cast<double>(std::clock()) * 1e3 / CLOCKS_PER_SEC;
+}
+
+void ScalingProbe::add_section(std::vector<double> chunk_ms) {
+  if (chunk_ms.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  sections_.push_back(std::move(chunk_ms));
+}
+
+std::size_t ScalingProbe::sections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sections_.size();
+}
+
+std::size_t ScalingProbe::chunks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& section : sections_) total += section.size();
+  return total;
+}
+
+double ScalingProbe::work_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& section : sections_) {
+    for (double ms : section) total += ms;
+  }
+  return total;
+}
+
+double ScalingProbe::makespan_ms(std::size_t threads) const {
+  if (threads == 0) threads = 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  std::vector<double> load;
+  for (const auto& section : sections_) {
+    // Greedy in-order list schedule: chunk c goes to the least-loaded
+    // worker, mirroring the FIFO pool draining a section's task queue.
+    load.assign(threads, 0.0);
+    for (double ms : section) {
+      *std::min_element(load.begin(), load.end()) += ms;
+    }
+    total += *std::max_element(load.begin(), load.end());
+  }
+  return total;
+}
+
+double ScalingProbe::modeled_speedup(std::size_t threads) const {
+  const double span = makespan_ms(threads);
+  if (span <= 0.0) return 1.0;
+  return work_ms() / span;
+}
+
+}  // namespace lens::par

@@ -1,0 +1,75 @@
+#pragma once
+// ScalingProbe: a work/span profiler for the deterministic parallel layer.
+//
+// The scaling benches must report an honest speedup even on machines with
+// fewer cores than the thread count under test (CI runners routinely expose
+// 1-2 hardware threads). Wall-clock alone cannot do that, so while a probe
+// is active, parallel_for records the per-chunk CPU time of every parallel
+// section it executes. From those timings the probe computes:
+//
+//   work_ms()        — total CPU time across all recorded chunks (the
+//                      serial-equivalent cost of the probed sections);
+//   makespan_ms(T)   — the runtime of the same chunk sequence list-scheduled
+//                      greedily (each chunk, in index order, onto the least
+//                      loaded of T workers), with a barrier between sections
+//                      exactly as parallel_for imposes one;
+//   modeled_speedup(T) = work_ms() / makespan_ms(T) — the Cilkview-style
+//                      speedup the recorded chunk structure supports at T
+//                      threads, independent of how many cores the recording
+//                      machine actually had.
+//
+// Chunk CPU times are measured with the per-thread CPU clock, so a probe
+// run on an oversubscribed or single-core machine still measures what each
+// chunk costs, not how long it waited for a core.
+//
+// Scope rules: constructing a ScalingProbe activates it for the current
+// process (probes nest; the newest wins); destruction restores the previous
+// one. Sections executed inline on a pool worker (nested parallelism) are
+// NOT recorded — their cost is already inside the enclosing chunk's time.
+// Recording costs two clock reads per chunk and only happens while a probe
+// is active; the idle-path overhead is one relaxed atomic load.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace lens::par {
+
+class ScalingProbe {
+ public:
+  ScalingProbe();
+  ~ScalingProbe();
+  ScalingProbe(const ScalingProbe&) = delete;
+  ScalingProbe& operator=(const ScalingProbe&) = delete;
+
+  /// The innermost live probe, or nullptr. Lock-free.
+  static ScalingProbe* active() noexcept;
+
+  /// CPU time consumed by the calling thread, in ms (CLOCK_THREAD_CPUTIME_ID).
+  static double thread_cpu_ms() noexcept;
+
+  /// Record one barrier-delimited parallel section as its per-chunk CPU
+  /// times, in chunk-index order. Thread-safe.
+  void add_section(std::vector<double> chunk_ms);
+
+  /// Number of recorded sections / total chunks across them.
+  std::size_t sections() const;
+  std::size_t chunks() const;
+
+  /// Total CPU time across every recorded chunk (serial-equivalent cost).
+  double work_ms() const;
+
+  /// Modeled runtime of the recorded sections at `threads` workers: greedy
+  /// in-order list scheduling within each section, barrier between sections.
+  double makespan_ms(std::size_t threads) const;
+
+  /// work_ms() / makespan_ms(threads); 1.0 when nothing was recorded.
+  double modeled_speedup(std::size_t threads) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> sections_;
+  ScalingProbe* previous_ = nullptr;
+};
+
+}  // namespace lens::par

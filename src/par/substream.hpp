@@ -1,0 +1,36 @@
+#pragma once
+// Deterministic RNG substream derivation for data-parallel sections.
+//
+// Deriving per-index generators as `seed ^ index` is NOT sound for
+// std::mt19937_64: adjacent indices differ in a handful of low seed bits,
+// the Mersenne-Twister seeding routine mixes single-bit seed differences
+// slowly, and the resulting streams start visibly correlated. The same
+// applies to `seed + index` and to xor-ing small ad-hoc salts.
+//
+// substream_seed() instead runs (seed, index) through the splitmix64
+// finalizer — the mixer designed exactly for turning counter-like inputs
+// into independent-looking 64-bit states. Any two (seed, index) pairs that
+// differ in a single bit produce avalanche-mixed, uncorrelated outputs, so
+//
+//     std::mt19937_64 rng(substream_seed(seed, i));
+//
+// is the sanctioned way to give every parallel index (or every named
+// sub-component: pass a salt constant as `index`) its own stream while
+// keeping results bit-identical at any thread count.
+
+#include <cstdint>
+
+namespace lens::par {
+
+/// splitmix64-mix of a (seed, index) pair into a decorrelated 64-bit seed.
+/// Pure and constexpr: the same pair always yields the same substream.
+constexpr std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+  // Advance the seed by `index + 1` golden-ratio increments (the splitmix64
+  // stream position), then apply the splitmix64 output finalizer.
+  std::uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace lens::par

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "par/substream.hpp"
+
 namespace lens::perf {
 
 std::vector<double> layer_features(const dnn::LayerSpec& layer,
@@ -48,7 +50,9 @@ RegressionPredictor RegressionPredictor::train(const DeviceSimulator& simulator,
                                                ProfilerConfig config) {
   RegressionPredictor predictor;
   LayerProfiler profiler(simulator, config);
-  std::mt19937_64 split_rng(config.seed ^ 0x5eedULL);
+  // Named substream of the profiler seed (splitmix64-mixed — see
+  // par/substream.hpp; xor-ing a small salt yields correlated streams).
+  std::mt19937_64 split_rng(par::substream_seed(config.seed, 0x5eedULL));
 
   for (dnn::LayerKind kind :
        {dnn::LayerKind::kConv, dnn::LayerKind::kMaxPool, dnn::LayerKind::kDense}) {
@@ -102,7 +106,7 @@ RooflinePredictor RooflinePredictor::train(const DeviceSimulator& simulator,
                                            ProfilerConfig config) {
   RooflinePredictor predictor;
   LayerProfiler profiler(simulator, config);
-  std::mt19937_64 split_rng(config.seed ^ 0x0f10ULL);
+  std::mt19937_64 split_rng(par::substream_seed(config.seed, 0x0f10ULL));
 
   for (dnn::LayerKind kind :
        {dnn::LayerKind::kConv, dnn::LayerKind::kMaxPool, dnn::LayerKind::kDense}) {

@@ -7,6 +7,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "par/substream.hpp"
+
 namespace lens::sim {
 
 namespace {
@@ -74,12 +76,11 @@ FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
   }
   std::vector<FaultEpisode> episodes;
 
-  // One independent RNG substream per class (seed mixed with a class salt):
+  // One independent RNG substream per class (splitmix64-mixed class salt):
   // enabling or tuning one class never perturbs another's episodes.
   const auto substream = [&](std::uint64_t salt) {
-    return std::mt19937_64((static_cast<std::uint64_t>(config.seed) + 1) *
-                               0x9E3779B97F4A7C15ull ^
-                           salt);
+    return std::mt19937_64(
+        par::substream_seed(static_cast<std::uint64_t>(config.seed), salt));
   };
   const auto renew = [&](FaultClass fault, double rate_hz, double mean_s,
                          double magnitude, std::uint64_t salt) {

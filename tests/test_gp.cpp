@@ -53,6 +53,69 @@ TEST(Kernel, SquaredDistanceMismatchThrows) {
   EXPECT_THROW(squared_distance({1.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
+/// Random row set in [0,1]^dim, grid-snapped so the Hamming kernel sees
+/// genuine coordinate matches (not just fuzz).
+std::vector<std::vector<double>> random_rows(std::size_t n, std::size_t dim,
+                                             unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<std::vector<double>> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi(dim);
+    for (double& v : xi) v = std::round(unit(rng) * 8.0) / 8.0;
+    xs.push_back(std::move(xi));
+  }
+  return xs;
+}
+
+TEST(Kernel, BlockedCrossIntoMatchesScalarOracleBitForBit) {
+  // The concrete kernels override cross_into with a blocked four-row sweep;
+  // the base-class implementation is the scalar oracle. Sizes cover every
+  // tail length mod 4, so both the blocked panels and the scalar tail run.
+  const RbfKernel rbf(1.7, 0.6);
+  const Matern52Kernel matern(1.0, 0.4);
+  const HammingKernel hamming(2.0, 0.3);
+  const std::vector<const Kernel*> kernels = {&rbf, &matern, &hamming};
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u}) {
+    const std::vector<std::vector<double>> xs = random_rows(n, 7, 600 + n);
+    const std::vector<double> z = random_rows(1, 7, 700 + n)[0];
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      const Kernel& k = *kernels[ki];
+      const std::vector<double> blocked = k.cross(xs, z);  // virtual dispatch
+      std::vector<double> reference(n);
+      k.Kernel::cross_into(xs, z, reference.data());  // scalar base-class oracle
+      ASSERT_EQ(blocked.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(same_bits(blocked[i], reference[i]))
+            << "kernel=" << ki << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernel, BlockedCrossIntoPropagatesDimensionMismatch) {
+  // A mismatched row inside a blocked panel must surface the same exception
+  // the scalar operator() raises, from the same (lowest) row.
+  const RbfKernel k(1.0, 0.5);
+  std::vector<std::vector<double>> xs = random_rows(9, 5, 81);
+  xs[5].push_back(0.25);  // wrong dimension mid-panel
+  std::vector<double> out(xs.size());
+  EXPECT_THROW(k.cross_into(xs, random_rows(1, 5, 82)[0], out.data()),
+               std::invalid_argument);
+}
+
+TEST(Kernel, GramRowMatchesPerElementOperatorBitForBit) {
+  const Matern52Kernel k(1.2, 0.5);
+  const std::vector<std::vector<double>> xs = random_rows(13, 6, 90);
+  const std::vector<double> z = random_rows(1, 6, 91)[0];
+  const Kernel::GramRow row = k.gram_row(xs, z);
+  ASSERT_EQ(row.cross.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_TRUE(same_bits(row.cross[i], k(xs[i], z))) << "i=" << i;
+  }
+  EXPECT_TRUE(same_bits(row.self, k(z, z)));
+}
+
 TEST(Gp, UnfittedReturnsPrior) {
   GaussianProcess gp;
   const auto p = gp.predict({0.3});
@@ -238,6 +301,58 @@ TEST_P(GpIncrementalTest, ObserveMatchesFullFitBitForBit) {
       ASSERT_TRUE(same_bits(sample_a[s], sample_b[s])) << "n=" << i + 1 << " s=" << s;
     }
   }
+}
+
+TEST(Gp, BatchedObjectiveDrawsMatchSequentialSampleAtBitForBit) {
+  // sample_objectives_at flattens the per-objective posterior draws into
+  // wide parallel sections; it must consume the shared RNG in exactly the
+  // order of the sequential per-objective loop and reproduce every draw
+  // bit for bit — including an unfitted GP falling back to its prior.
+  GpConfig config;
+  config.tune_hyperparameters = false;
+  std::vector<GaussianProcess> gps;
+  gps.reserve(3);
+  std::mt19937_64 data_rng(31);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (std::size_t k = 0; k < 3; ++k) {
+    gps.emplace_back(config);
+    if (k == 2) continue;  // the third objective stays unfitted (prior path)
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (std::size_t i = 0; i < 12 + 5 * k; ++i) {
+      std::vector<double> xi(4);
+      for (double& v : xi) v = unit(data_rng);
+      y.push_back(std::sin(3.0 * xi[0]) + static_cast<double>(k) * xi[1]);
+      x.push_back(std::move(xi));
+    }
+    gps[k].fit(x, y);
+  }
+  std::vector<std::vector<double>> query;
+  for (std::size_t i = 0; i < 9; ++i) {  // odd size: exercises chunk tails
+    std::vector<double> xi(4);
+    for (double& v : xi) v = unit(data_rng);
+    query.push_back(std::move(xi));
+  }
+
+  std::mt19937_64 rng_sequential(424242);
+  std::vector<std::vector<double>> expected;
+  for (const GaussianProcess& gp : gps) {
+    expected.push_back(gp.sample_at(query, rng_sequential));
+  }
+  std::mt19937_64 rng_batched(424242);
+  const std::vector<std::vector<double>> batched =
+      sample_objectives_at(gps, query, rng_batched);
+
+  ASSERT_EQ(batched.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    ASSERT_EQ(batched[k].size(), expected[k].size()) << "objective " << k;
+    for (std::size_t i = 0; i < expected[k].size(); ++i) {
+      EXPECT_TRUE(same_bits(batched[k][i], expected[k][i]))
+          << "objective " << k << " point " << i;
+    }
+  }
+  // Both paths must leave the generator in the same state.
+  EXPECT_EQ(rng_sequential(), rng_batched());
 }
 
 INSTANTIATE_TEST_SUITE_P(Families, GpIncrementalTest,

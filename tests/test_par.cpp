@@ -12,9 +12,15 @@
 #include <thread>
 #include <vector>
 
+#include <cstdint>
+#include <limits>
+#include <set>
+
 #include "core/nas.hpp"
 #include "par/parallel.hpp"
+#include "par/probe.hpp"
 #include "par/runtime.hpp"
+#include "par/substream.hpp"
 #include "par/thread_pool.hpp"
 #include "perf/predictor.hpp"
 
@@ -123,6 +129,154 @@ TEST(ParallelFor, NestedSectionsRunInline) {
   for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
 }
 
+TEST(ChunkRange, PartitionsContiguouslyWithBalancedSizes) {
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 100u, 1001u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 5u, 7u, 13u, 64u}) {
+      if (chunks > n) continue;
+      const std::size_t base = n / chunks;
+      const std::size_t extra = n % chunks;
+      std::size_t expected_begin = 0;
+      for (std::size_t k = 0; k < chunks; ++k) {
+        const auto [begin, end] = par::chunk_range(n, chunks, k);
+        EXPECT_EQ(begin, expected_begin) << "n=" << n << " chunks=" << chunks << " k=" << k;
+        EXPECT_EQ(end - begin, base + (k < extra ? 1 : 0));
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);  // last chunk ends exactly at n
+    }
+  }
+}
+
+TEST(ChunkRange, NoOverflowNearSizeMax) {
+  // The legacy `n * k / chunks` boundary form wrapped for n near
+  // 2^64 / chunks, silently shrinking (or reordering) chunks. The
+  // division-first form must partition even n == SIZE_MAX exactly.
+  for (const std::size_t n :
+       {std::numeric_limits<std::size_t>::max(),
+        std::numeric_limits<std::size_t>::max() - 5,
+        std::numeric_limits<std::size_t>::max() / 2 + 3}) {
+    for (const std::size_t chunks : {2u, 3u, 7u, 16u}) {
+      const std::size_t base = n / chunks;
+      const std::size_t extra = n % chunks;
+      std::size_t expected_begin = 0;
+      for (std::size_t k = 0; k < chunks; ++k) {
+        const auto [begin, end] = par::chunk_range(n, chunks, k);
+        EXPECT_EQ(begin, expected_begin) << "n=" << n << " chunks=" << chunks << " k=" << k;
+        EXPECT_GT(end, begin);  // a wrapped boundary would invert the range
+        EXPECT_EQ(end - begin, base + (k < extra ? 1 : 0));
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(Substream, SeedsAreDeterministic) {
+  EXPECT_EQ(par::substream_seed(42, 7), par::substream_seed(42, 7));
+  EXPECT_NE(par::substream_seed(42, 7), par::substream_seed(42, 8));
+  EXPECT_NE(par::substream_seed(42, 7), par::substream_seed(43, 7));
+}
+
+TEST(Substream, AvoidsXorDerivationCollisions) {
+  // The banned `seed ^ index` derivation collides whenever seed1 ^ index1
+  // == seed2 ^ index2 — e.g. (1, 2) and (3, 0) — handing two "independent"
+  // substreams the same mt19937_64 stream. The splitmix64 mix must keep
+  // every such pair distinct.
+  EXPECT_NE(par::substream_seed(1, 2), par::substream_seed(3, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (std::uint64_t index = 0; index < 64; ++index) {
+      seen.insert(par::substream_seed(seed, index));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);  // no collisions across the grid
+}
+
+TEST(ParallelFor, OversubscribedChunksCoverEveryIndexOnce) {
+  // chunks > workers: the FIFO queue drains 13 chunks through 2 threads.
+  par::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(101);
+  par::parallel_for_chunked(pool, hits.size(), 13, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, ChunkCountNeverAffectsResults) {
+  // The determinism contract, sharpened: results depend only on the index,
+  // never on how many chunks the range was split into.
+  par::ThreadPool pool(4);
+  const std::size_t n = 257;
+  std::vector<double> reference(n);
+  for (std::size_t i = 0; i < n; ++i) reference[i] = 1.0 / (1.0 + static_cast<double>(i));
+  for (const std::size_t chunks : {1u, 2u, 3u, 7u, 16u, 64u, 257u}) {
+    std::vector<double> out(n);
+    par::parallel_for_chunked(pool, n, chunks,
+                              [&](std::size_t i) { out[i] = 1.0 / (1.0 + static_cast<double>(i)); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], reference[i]) << "chunks=" << chunks << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, UnevenLoadStillBitIdentical) {
+  // A straggler workload: index 0 is ~100x heavier than the rest. With
+  // oversubscribed chunks the heavy chunk overlaps the light ones; the
+  // output must stay bit-identical to the serial loop regardless.
+  const std::size_t n = 64;
+  const auto body = [](std::size_t i) {
+    const std::size_t spins = i == 0 ? 20000 : 200;
+    double acc = static_cast<double>(i);
+    for (std::size_t s = 0; s < spins; ++s) acc += 1.0 / (1.0 + acc);
+    return acc;
+  };
+  std::vector<double> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = body(i);
+  for (const std::size_t threads : {2u, 3u, 7u, 8u}) {
+    par::ThreadPool pool(threads);
+    std::vector<double> out(n);
+    par::parallel_for(pool, n, [&](std::size_t i) { out[i] = body(i); });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], serial[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ScalingProbe, GreedyMakespanOverlapsStragglerChunks) {
+  // Synthetic section: one 8 ms straggler plus seven 1 ms chunks. Greedy
+  // in-order list scheduling on 2 workers runs the straggler on one worker
+  // while the other drains the rest — makespan 8, not the serialized 15.
+  par::ScalingProbe probe;
+  probe.add_section({8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(probe.work_ms(), 15.0);
+  EXPECT_DOUBLE_EQ(probe.makespan_ms(1), 15.0);
+  EXPECT_DOUBLE_EQ(probe.makespan_ms(2), 8.0);
+  EXPECT_DOUBLE_EQ(probe.makespan_ms(8), 8.0);  // bounded below by the straggler
+  EXPECT_DOUBLE_EQ(probe.modeled_speedup(2), 15.0 / 8.0);
+}
+
+TEST(ScalingProbe, BarrierBetweenSectionsLimitsOverlap) {
+  par::ScalingProbe probe;
+  probe.add_section({2.0, 2.0});
+  probe.add_section({2.0, 2.0});
+  EXPECT_EQ(probe.sections(), 2u);
+  EXPECT_EQ(probe.chunks(), 4u);
+  // Sections cannot overlap each other: makespan(2) = 2 + 2, not 8 / 2.
+  EXPECT_DOUBLE_EQ(probe.makespan_ms(2), 4.0);
+  EXPECT_DOUBLE_EQ(probe.modeled_speedup(2), 2.0);
+}
+
+TEST(ScalingProbe, RecordsParallelForSectionsWhileActive) {
+  par::ThreadPool pool(2);
+  {
+    par::ScalingProbe probe;
+    EXPECT_EQ(par::ScalingProbe::active(), &probe);
+    par::parallel_for(pool, 64, [](std::size_t) {});
+    EXPECT_EQ(probe.sections(), 1u);
+    EXPECT_EQ(probe.chunks(), pool.size() * par::kChunksPerThread);
+    EXPECT_GE(probe.work_ms(), 0.0);
+  }
+  EXPECT_EQ(par::ScalingProbe::active(), nullptr);  // scope restores
+}
+
 TEST(Runtime, MaxThreadsOverride) {
   const std::size_t before = par::max_threads();
   EXPECT_GE(before, 1u);
@@ -185,6 +339,18 @@ void expect_identical(const core::NasResult& a, const core::NasResult& b) {
 TEST(Determinism, MoboSearchIdenticalAcrossThreadCounts) {
   expect_identical(run_search(core::SearchStrategy::kMobo, 1),
                    run_search(core::SearchStrategy::kMobo, 4));
+}
+
+TEST(Determinism, MoboSearchIdenticalAcrossThreadSweep) {
+  // Chunk counts scale with the pool (kChunksPerThread per worker), so every
+  // thread count here exercises a different chunks-per-section layout —
+  // including prime counts that never divide the index space evenly. All of
+  // them must reproduce the 1-thread search bit-for-bit.
+  const core::NasResult reference = run_search(core::SearchStrategy::kMobo, 1);
+  for (const std::size_t threads : {2u, 3u, 7u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(reference, run_search(core::SearchStrategy::kMobo, threads));
+  }
 }
 
 TEST(Determinism, Nsga2SearchIdenticalAcrossThreadCounts) {

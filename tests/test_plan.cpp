@@ -255,6 +255,21 @@ TEST_F(PlanTest, Validation) {
   EXPECT_THROW(empty.objectives_at(3.0), std::logic_error);
 }
 
+TEST_F(PlanTest, PriceBatchValidationMatchesScalarPath) {
+  // The batched sweep must reject exactly what a loop of objectives_at
+  // calls would reject, in the same order: throughput first, empty plan
+  // second. An empty sweep is a no-op, even on an empty plan.
+  const DeploymentEvaluator evaluator(oracle_, wifi_);
+  const DeploymentPlan plan = evaluator.compile(dnn::alexnet());
+  EXPECT_TRUE(plan.price_batch({}).empty());
+  EXPECT_THROW(plan.price_batch({0.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(plan.price_batch({3.0, -1.0}), std::invalid_argument);
+  const DeploymentPlan empty;
+  EXPECT_TRUE(empty.price_batch({}).empty());
+  EXPECT_THROW(empty.price_batch({3.0}), std::logic_error);
+  EXPECT_THROW(empty.price_batch({0.0}), std::invalid_argument);  // tu checked first
+}
+
 TEST_F(PlanTest, PlanOutlivesItsEvaluator) {
   // Plans are self-contained (they copy the comm model): pricing after the
   // evaluator is gone must still work — the NAS cache relies on this.

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI regression gate for the parallel layer's thread scaling.
+
+Parses BENCH_parallel.json (written by bench/bench_parallel via
+io::atomic_write_checked, so the file ends with a `# lens:fnv1a <hex> <bytes>`
+integrity footer that must be stripped before json.loads) and fails the build
+when the 8-thread speedup of the fixed MOBO search regresses below the floor.
+
+Hardware awareness: wall-clock speedup only exists when the runner has the
+cores. With >= 8 hardware threads the gate uses the measured wall speedup;
+with fewer it falls back to the probe's modeled speedup (per-chunk CPU times
+list-scheduled onto 8 virtual workers plus the serial remainder — see
+src/par/probe.hpp), which is what the chunk structure supports independent of
+the recording machine. Either way the determinism bit
+(identical_to_reference) must hold for every thread count.
+
+Usage: check_thread_scaling.py [BENCH_parallel.json] [--min-speedup X]
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_MIN_SPEEDUP = 3.0
+GATED_THREADS = 8
+
+
+def load_stripped_json(path):
+    """json.loads after dropping `#`-prefixed lines (integrity footer)."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = "\n".join(
+            line for line in f.read().splitlines() if not line.lstrip().startswith("#")
+        )
+    return json.loads(text)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", nargs="?", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help=f"floor for the {GATED_THREADS}-thread speedup "
+        f"(default {DEFAULT_MIN_SPEEDUP})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        doc = load_stripped_json(args.json_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {args.json_path}: {e}")
+        return 1
+
+    records = {r.get("name"): r for r in doc.get("results", [])}
+    config = records.get("config", {})
+    hardware = int(config.get("hardware_threads", 0))
+    gated = records.get(f"threads={GATED_THREADS}")
+    if gated is None:
+        print(f"FAIL: {args.json_path} has no threads={GATED_THREADS} record")
+        return 1
+
+    failures = []
+    for name, record in records.items():
+        if not name.startswith("threads="):
+            continue
+        if record.get("identical_to_reference") != 1.0:
+            failures.append(f"{name}: NOT bit-identical to the 1-thread reference")
+
+    wall = gated.get("speedup_vs_1_thread", 0.0)
+    modeled = gated.get("modeled_speedup", 0.0)
+    if hardware >= GATED_THREADS:
+        metric, value = "wall", wall
+        print(
+            f"runner has {hardware} hardware threads: gating on measured "
+            f"wall speedup (modeled: {modeled:.2f}x)"
+        )
+    else:
+        metric, value = "modeled", modeled
+        print(
+            f"runner has only {hardware} hardware thread(s): wall speedup "
+            f"({wall:.2f}x) is meaningless here; gating on the probe's "
+            f"modeled speedup instead"
+        )
+    if value < args.min_speedup:
+        failures.append(
+            f"threads={GATED_THREADS}: {metric} speedup {value:.2f}x is below "
+            f"the {args.min_speedup:.2f}x floor"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: threads={GATED_THREADS} {metric} speedup {value:.2f}x >= "
+        f"{args.min_speedup:.2f}x, determinism bit set at every thread count"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
