@@ -18,6 +18,7 @@
 #include "core/plan.hpp"
 #include "core/run_checkpoint.hpp"
 #include "core/search_space.hpp"
+#include "core/topology.hpp"
 #include "dnn/presets.hpp"
 #include "opt/gp.hpp"
 #include "opt/kernel.hpp"
@@ -112,6 +113,51 @@ void BM_PlanPrice(benchmark::State& state) {
   state.counters["options"] = static_cast<double>(plan.num_options());
 }
 BENCHMARK(BM_PlanPrice)->Arg(8)->Arg(32);
+
+// ---- K-tier plans: 3-tier compile and per-hop pricing -----------------------
+// The edge-fog-cloud lattice enumerates O(l^2) cut pairs (vs O(l) two-tier
+// splits) and runs two predictor pipelines, so the 3-tier compile and the
+// per-hop reprice get their own BENCH_micro.json rows to track the K-tier
+// overhead against the classic path above.
+
+const perf::RooflinePredictor& fog_predictor() {
+  static const perf::DeviceSimulator fog_sim(perf::datacenter_gpu());
+  static const perf::RooflinePredictor pred =
+      perf::RooflinePredictor::train(fog_sim, {.samples_per_kind = 300, .seed = 5});
+  return pred;
+}
+
+core::TierTopology bench_three_tier() {
+  core::EdgeFogCloudConfig config;
+  config.radio = comm::CommModel(comm::WirelessTechnology::kWifi, 5.0);
+  config.backhaul = comm::CommModel(comm::WirelessTechnology::kWifi, 20.0);
+  return core::edge_fog_cloud(predictor(), fog_predictor(), nullptr, config);
+}
+
+void BM_PlanCompile3T(benchmark::State& state) {
+  const dnn::Architecture arch = deep_architecture(static_cast<int>(state.range(0)));
+  const core::DeploymentEvaluator evaluator(bench_three_tier());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.compile(arch));
+  }
+  state.counters["layers"] = static_cast<double>(arch.num_layers());
+}
+BENCHMARK(BM_PlanCompile3T)->Arg(8)->Arg(32);
+
+void BM_PlanPrice3T(benchmark::State& state) {
+  const dnn::Architecture arch = deep_architecture(static_cast<int>(state.range(0)));
+  const core::DeploymentEvaluator evaluator(bench_three_tier());
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+  core::DeploymentEvaluation out;  // price_into reuses its storage
+  std::vector<double> tu{0.5, 40.0};
+  for (auto _ : state) {
+    plan.price_into(tu, out);
+    benchmark::DoNotOptimize(out);
+    tu[0] = tu[0] < 64.0 ? tu[0] * 2.0 : 0.5;  // sweep the radio axis
+  }
+  state.counters["options"] = static_cast<double>(plan.num_options());
+}
+BENCHMARK(BM_PlanPrice3T)->Arg(8)->Arg(32);
 
 // ---- Bayesian optimization: GP posterior maintenance ------------------------
 // BM_GpFit is the full refit (O(n^2 d) Gram + O(n^3) factorization) the MOBO

@@ -85,6 +85,32 @@ int Args::get_int(const std::string& key, int fallback) const {
   }
 }
 
+std::vector<double> Args::get_doubles(const std::string& key,
+                                      const std::vector<double>& fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  std::vector<double> values;
+  const std::string& text = it->second;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string piece =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(piece, &consumed);
+      if (consumed != piece.size()) throw std::invalid_argument("trailing junk");
+      values.push_back(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(context() + "--" + key +
+                                  " expects comma-separated numbers, got '" + text + "'");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
 bool Args::get_bool(const std::string& key, bool fallback) const {
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;

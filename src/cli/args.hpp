@@ -35,6 +35,10 @@ class Args {
   double get_double(const std::string& key, double fallback) const;
   int get_int(const std::string& key, int fallback) const;
   bool get_bool(const std::string& key, bool fallback = false) const;
+  /// Comma-separated list of numbers (e.g. --hop-bw 5,40). Returns
+  /// `fallback` when absent; rejects empty elements and trailing junk.
+  std::vector<double> get_doubles(const std::string& key,
+                                  const std::vector<double>& fallback = {}) const;
 
   /// Verify every provided option is in `allowed`; throws
   /// std::invalid_argument naming the first unknown option otherwise.

@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "core/analysis.hpp"
@@ -8,6 +9,7 @@
 #include "core/nas.hpp"
 #include "core/plan.hpp"
 #include "core/robust.hpp"
+#include "core/topology.hpp"
 #include "dnn/presets.hpp"
 #include "dnn/summary.hpp"
 #include "par/runtime.hpp"
@@ -15,6 +17,7 @@
 #include "runtime/deployer.hpp"
 #include "runtime/threshold_io.hpp"
 #include "sim/system.hpp"
+#include "viz/ascii.hpp"
 
 namespace lens::cli {
 
@@ -31,8 +34,9 @@ perf::DeviceProfile parse_device(const std::string& name) {
   if (name == "tx2-gpu") return perf::jetson_tx2_gpu();
   if (name == "tx2-cpu") return perf::jetson_tx2_cpu();
   if (name == "embedded-cpu") return perf::embedded_cpu();
-  throw std::invalid_argument("unknown --device '" + name +
-                              "' (tx2-gpu|tx2-cpu|embedded-cpu)");
+  if (name == "datacenter-gpu") return perf::datacenter_gpu();
+  throw std::invalid_argument("unknown device '" + name +
+                              "' (tx2-gpu|tx2-cpu|embedded-cpu|datacenter-gpu)");
 }
 
 dnn::Architecture parse_arch(const std::string& name) {
@@ -46,48 +50,132 @@ struct Rig {
   perf::RooflinePredictor predictor;
   comm::CommModel comm;
   std::string tech_name;
+  /// 2 (classic edge-cloud) or 3 (edge-fog-cloud preset).
+  std::size_t tiers = 2;
+  /// Fog-node performance model for --tiers 3; heap-held so TierSpec's
+  /// non-owning pointer stays valid across Rig moves.
+  std::shared_ptr<perf::RooflinePredictor> fog_predictor;
+  std::string fog_name;
+  /// Pricing throughputs, one per hop (radio first). {tu} for two-tier.
+  std::vector<double> hop_tu;
 
-  static Rig from_args(const Args& args) {
+  /// Per-command --tu defaults differ (search prices at the paper's 3 Mbps,
+  /// the serving commands at 10), so the caller passes its own.
+  static Rig from_args(const Args& args, double default_tu = 3.0) {
     perf::DeviceSimulator sim(parse_device(args.get("device", "tx2-gpu")));
     perf::RooflinePredictor predictor =
         perf::RooflinePredictor::train(sim, {.samples_per_kind = 400, .seed = 11});
     const comm::WirelessTechnology tech = parse_tech(args.get("tech", "wifi"));
     comm::CommModel comm(tech, args.get_double("rtt", 5.0));
-    return Rig{std::move(sim), std::move(predictor), comm, technology_name(tech)};
+    Rig rig{std::move(sim), std::move(predictor), comm, technology_name(tech)};
+
+    const int tiers = args.get_int("tiers", 2);
+    if (tiers == 1) {
+      throw std::invalid_argument(
+          "--tiers 1 leaves nothing to partition; use --tiers 2 (edge-cloud) "
+          "or --tiers 3 (edge-fog-cloud)");
+    }
+    if (tiers != 2 && tiers != 3) {
+      throw std::invalid_argument("--tiers supports the built-in presets 2 and 3, got " +
+                                  std::to_string(tiers));
+    }
+    rig.tiers = static_cast<std::size_t>(tiers);
+    if (args.has("fog-device") && rig.tiers != 3) {
+      throw std::invalid_argument("--fog-device only applies to --tiers 3");
+    }
+    if (rig.tiers == 3) {
+      rig.fog_name = args.get("fog-device", "datacenter-gpu");
+      perf::DeviceSimulator fog_sim(parse_device(rig.fog_name));
+      rig.fog_predictor = std::make_shared<perf::RooflinePredictor>(
+          perf::RooflinePredictor::train(fog_sim, {.samples_per_kind = 400, .seed = 11}));
+    }
+
+    const double tu = args.get_double("tu", default_tu);
+    if (args.has("hop-bw")) {
+      if (args.has("tu")) {
+        throw std::invalid_argument(
+            "--hop-bw already sets the radio throughput (first entry); drop --tu");
+      }
+      const std::vector<double> hops = args.get_doubles("hop-bw");
+      if (hops.size() != rig.tiers - 1) {
+        throw std::invalid_argument(
+            "--hop-bw expects " + std::to_string(rig.tiers - 1) +
+            " comma-separated Mbps values (one per hop, radio first) for --tiers " +
+            std::to_string(rig.tiers) + ", got " + std::to_string(hops.size()));
+      }
+      for (double mbps : hops) {
+        if (!(mbps > 0.0)) {
+          throw std::invalid_argument("--hop-bw throughputs must be positive Mbps");
+        }
+      }
+      rig.hop_tu = hops;
+    } else {
+      rig.hop_tu = {tu};
+      // Default backhaul: 10x the radio — wired fog-to-cloud links dwarf
+      // the device's wireless hop. Override with --hop-bw.
+      if (rig.tiers == 3) rig.hop_tu.push_back(10.0 * tu);
+    }
+    return rig;
+  }
+
+  /// Evaluator over the configured hierarchy. For --tiers 2 this is the
+  /// legacy two-tier evaluator (bit-identical pricing path).
+  core::DeploymentEvaluator make_evaluator() const {
+    if (tiers == 2) return core::DeploymentEvaluator(predictor, comm);
+    core::EdgeFogCloudConfig config;
+    config.radio = comm;
+    return core::DeploymentEvaluator(
+        core::edge_fog_cloud(predictor, *fog_predictor, nullptr, config));
   }
 };
+
+/// Price through the frozen scalar path at K=2, the per-hop vector at K=3.
+core::DeploymentEvaluation price_plan(const core::DeploymentPlan& plan, const Rig& rig) {
+  return rig.tiers == 2 ? plan.price(rig.hop_tu[0]) : plan.price(rig.hop_tu);
+}
 
 }  // namespace
 
 int cmd_evaluate(const Args& args) {
-  args.expect_known({"arch", "tu", "tech", "rtt", "device", "summary", "threads"});
-  Rig rig = Rig::from_args(args);
+  args.expect_known({"arch", "tu", "tech", "rtt", "device", "summary", "threads", "tiers",
+                     "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 3.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
-  const double tu = args.get_double("tu", 3.0);
   if (args.get_bool("summary")) std::printf("%s\n", dnn::summary(arch).c_str());
 
-  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
-  const core::DeploymentEvaluation result = evaluator.compile(arch).price(tu);
-  std::printf("%s @ %.1f Mbps %s (RTT %.0f ms, %s)\n", arch.name().c_str(), tu,
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
+  const core::DeploymentEvaluation result = price_plan(evaluator.compile(arch), rig);
+  std::printf("%s @ %.1f Mbps %s (RTT %.0f ms, %s", arch.name().c_str(), rig.hop_tu[0],
               rig.tech_name.c_str(), rig.comm.round_trip_ms(),
               rig.simulator.profile().name.c_str());
-  std::printf("%-14s %12s %12s %12s\n", "option", "latency(ms)", "energy(mJ)", "tx bytes");
+  if (rig.tiers == 3) {
+    std::printf("; fog %s, backhaul %.1f Mbps", rig.fog_name.c_str(), rig.hop_tu[1]);
+  }
+  std::printf(")\n");
+  std::printf("%-20s %12s %12s %12s\n", "option", "latency(ms)", "energy(mJ)", "tx bytes");
   for (const core::DeploymentOption& o : result.options) {
-    std::printf("%-14s %12.1f %12.1f %12llu\n", o.label(arch).c_str(), o.latency_ms,
+    std::printf("%-20s %12.1f %12.1f %12llu\n", o.label(arch).c_str(), o.latency_ms,
                 o.energy_mj, static_cast<unsigned long long>(o.tx_bytes));
   }
   std::printf("best latency: %s | best energy: %s\n",
               result.latency_choice().label(arch).c_str(),
               result.energy_choice().label(arch).c_str());
+  if (rig.tiers == 3) {
+    const core::DeploymentOption& choice = result.latency_choice();
+    std::printf("%s\n", viz::tier_diagram(evaluator.topology().tier_names(), choice.cuts,
+                                          arch.num_layers(), choice.hop_tx_bytes)
+                            .c_str());
+  }
   return 0;
 }
 
 int cmd_search(const Args& args) {
   args.expect_known({"iterations", "initial", "tu", "tech", "rtt", "device", "seed", "mode",
                      "strategy", "out", "front-out", "resume", "threads", "checkpoint",
-                     "checkpoint-period", "checkpoint-keep", "resume-run"});
-  Rig rig = Rig::from_args(args);
-  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+                     "checkpoint-period", "checkpoint-keep", "resume-run", "tiers",
+                     "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 3.0);
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
   const core::SearchSpace space;
   const core::SurrogateAccuracyModel accuracy;
 
@@ -96,7 +184,8 @@ int cmd_search(const Args& args) {
   config.mobo.num_initial = static_cast<std::size_t>(args.get_int("initial", 12));
   config.mobo.seed = static_cast<unsigned>(args.get_int("seed", 1));
   config.nsga2.seed = config.mobo.seed;
-  config.tu_mbps = args.get_double("tu", 3.0);
+  config.tu_mbps = rig.hop_tu[0];
+  if (rig.tiers == 3) config.hop_tu_mbps = rig.hop_tu;
   const std::string mode = args.get("mode", "lens");
   if (mode == "lens") {
     config.mode = core::ObjectiveMode::kBestDeployment;
@@ -165,13 +254,14 @@ int cmd_search(const Args& args) {
 }
 
 int cmd_thresholds(const Args& args) {
-  args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "save", "threads"});
-  Rig rig = Rig::from_args(args);
+  args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "save", "threads",
+                     "tiers", "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 10.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
-  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
   // One compile serves both the printed evaluation and the deployer curves.
   const core::DeploymentPlan plan = evaluator.compile(arch);
-  const core::DeploymentEvaluation eval = plan.price(args.get_double("tu", 10.0));
+  const core::DeploymentEvaluation eval = price_plan(plan, rig);
   const std::string metric_name = args.get("metric", "energy");
   runtime::OptimizeFor metric;
   if (metric_name == "energy") {
@@ -181,7 +271,13 @@ int cmd_thresholds(const Args& args) {
   } else {
     throw std::invalid_argument("unknown --metric '" + metric_name + "' (latency|energy)");
   }
-  const runtime::DynamicDeployer deployer(plan, metric, 0.05, 500.0);
+  const runtime::DynamicDeployer deployer =
+      rig.tiers == 2 ? runtime::DynamicDeployer(plan, metric, 0.05, 500.0)
+                     : runtime::DynamicDeployer(plan, metric, rig.hop_tu, 0.05, 500.0);
+  if (rig.tiers == 3) {
+    std::printf("(backhaul pinned at %.1f Mbps; thresholds are over the radio hop)\n",
+                rig.hop_tu[1]);
+  }
   std::printf("%s-optimal deployment vs uplink throughput (%s):\n", metric_name.c_str(),
               arch.name().c_str());
   for (const runtime::DominanceInterval& iv : deployer.intervals()) {
@@ -204,18 +300,19 @@ int cmd_thresholds(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   args.expect_known({"arch", "tech", "rtt", "device", "rate", "duration", "policy", "tu",
-                     "deadline", "threads"});
-  Rig rig = Rig::from_args(args);
+                     "deadline", "threads", "tiers", "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 10.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
-  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
-  const double tu = args.get_double("tu", 10.0);
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
+  const double tu = rig.hop_tu[0];
   const core::DeploymentPlan plan = evaluator.compile(arch);
-  const core::DeploymentEvaluation eval = plan.price(tu);
+  const core::DeploymentEvaluation eval = price_plan(plan, rig);
 
   sim::SimConfig config;
   config.arrival_rate_hz = args.get_double("rate", 10.0);
   config.duration_s = args.get_double("duration", 60.0);
   config.deadline_ms = args.get_double("deadline", 0.0);
+  if (rig.tiers == 3) config.backhaul_tu_mbps = {rig.hop_tu[1]};
   const std::string policy = args.get("policy", "queue-aware");
   if (policy == "queue-aware") {
     config.policy = sim::DispatchPolicy::kQueueAware;
@@ -256,33 +353,36 @@ int cmd_simulate(const Args& args) {
 
 int cmd_faults(const Args& args) {
   args.expect_known({"arch", "tech", "rtt", "device", "tu", "rate", "duration", "seed",
-                     "timeout", "retries", "threads"});
-  Rig rig = Rig::from_args(args);
+                     "timeout", "retries", "threads", "tiers", "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 10.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
-  const double tu = args.get_double("tu", 10.0);
-  const core::DeploymentEvaluator evaluator(rig.predictor, rig.comm);
+  const double tu = rig.hop_tu[0];
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
   const core::DeploymentPlan plan = evaluator.compile(arch);
-  const core::DeploymentEvaluation eval = plan.price(tu);
+  const core::DeploymentEvaluation eval = price_plan(plan, rig);
 
-  // Design-time pricing: what each degraded scenario costs, and whether the
-  // option set can serve it at all.
-  const core::RobustDeploymentEvaluator robust(
-      evaluator, core::ThroughputDistribution::from_samples({tu}));
-  const core::FaultEvaluation priced =
-      robust.evaluate_under_faults(plan, core::default_fault_scenarios(tu));
-  std::printf("fault-scenario pricing for %s @ %.1f Mbps nominal:\n", arch.name().c_str(),
-              tu);
-  std::printf("%-15s %6s %9s %-14s %12s\n", "scenario", "prob", "servable", "best option",
-              "latency(ms)");
-  for (const core::FaultScenarioOutcome& o : priced.outcomes) {
-    std::printf("%-15s %6.2f %9s %-14s %12.1f\n", o.scenario.name.c_str(),
-                o.scenario.probability, o.servable ? "yes" : "NO",
-                o.servable ? eval.options[o.best_option].label(arch).c_str() : "-",
-                o.latency_ms);
+  if (rig.tiers == 2) {
+    // Design-time pricing: what each degraded scenario costs, and whether
+    // the option set can serve it at all. (The scenario catalog prices over
+    // the scalar radio throughput, so it stays a two-tier analysis.)
+    const core::RobustDeploymentEvaluator robust(
+        evaluator, core::ThroughputDistribution::from_samples({tu}));
+    const core::FaultEvaluation priced =
+        robust.evaluate_under_faults(plan, core::default_fault_scenarios(tu));
+    std::printf("fault-scenario pricing for %s @ %.1f Mbps nominal:\n", arch.name().c_str(),
+                tu);
+    std::printf("%-15s %6s %9s %-14s %12s\n", "scenario", "prob", "servable", "best option",
+                "latency(ms)");
+    for (const core::FaultScenarioOutcome& o : priced.outcomes) {
+      std::printf("%-15s %6.2f %9s %-14s %12.1f\n", o.scenario.name.c_str(),
+                  o.scenario.probability, o.servable ? "yes" : "NO",
+                  o.servable ? eval.options[o.best_option].label(arch).c_str() : "-",
+                  o.latency_ms);
+    }
+    std::printf("availability %.1f%% | expected latency %.1f ms | degradation %.2fx\n\n",
+                100.0 * priced.availability, priced.expected_latency_ms,
+                priced.degradation_ratio);
   }
-  std::printf("availability %.1f%% | expected latency %.1f ms | degradation %.2fx\n\n",
-              100.0 * priced.availability, priced.expected_latency_ms,
-              priced.degradation_ratio);
 
   // Serving-time check: inject stochastic faults of all four classes and
   // compare graceful degradation (dynamic dispatch + edge fallback) against
@@ -300,6 +400,16 @@ int cmd_faults(const Args& args) {
   config.faults.cloud_outage_mean_s = 8.0;
   config.faults.rtt_spike_rate_hz = 1.0 / 50.0;
   config.faults.edge_slowdown_rate_hz = 1.0 / 80.0;
+  if (rig.tiers == 3) {
+    // The fog-to-cloud backhaul degrades independently of the radio: its
+    // own deep fades and RTT spikes, drawn from disjoint RNG substreams.
+    config.backhaul_tu_mbps = {rig.hop_tu[1]};
+    sim::HopFaultConfig backhaul;
+    backhaul.outage_rate_hz = 1.0 / 50.0;
+    backhaul.outage_mean_s = 6.0;
+    backhaul.rtt_spike_rate_hz = 1.0 / 70.0;
+    config.faults.extra_hops = {backhaul};
+  }
 
   comm::ThroughputTrace trace;
   trace.samples_mbps = {tu};
@@ -345,7 +455,7 @@ int cmd_help() {
       "commands:\n"
       "  evaluate    deployment options of a preset model\n"
       "              --arch alexnet|vgg16 --tu MBPS --tech wifi|lte|3g --rtt MS\n"
-      "              --device tx2-gpu|tx2-cpu|embedded-cpu [--summary]\n"
+      "              --device tx2-gpu|tx2-cpu|embedded-cpu|datacenter-gpu [--summary]\n"
       "  search      run a LENS / Traditional architecture search\n"
       "              --iterations N --initial N --tu MBPS --seed N\n"
       "              --mode lens|traditional --strategy mobo|nsga2|random\n"
@@ -372,7 +482,13 @@ int cmd_help() {
       "global options:\n"
       "  --threads N   worker threads for parallel evaluation (default:\n"
       "                LENS_THREADS env, else all hardware threads);\n"
-      "                results are bit-identical for any thread count\n");
+      "                results are bit-identical for any thread count\n"
+      "  --tiers N     hierarchy depth: 2 = edge-cloud (default), 3 = the\n"
+      "                edge-fog-cloud preset with two cut points\n"
+      "  --fog-device  fog-node device preset for --tiers 3\n"
+      "                (default datacenter-gpu)\n"
+      "  --hop-bw A,B  per-hop throughputs in Mbps, radio first (one value\n"
+      "                per hop; replaces --tu; default backhaul = 10x radio)\n");
   return 0;
 }
 

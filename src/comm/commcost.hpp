@@ -4,8 +4,10 @@
 //   E_comm = E_Tx = P_Tx * L_Tx
 // Cloud-side compute is free from the edge's perspective (paper §III-A).
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "comm/wireless.hpp"
 
@@ -26,6 +28,56 @@ struct CostCurve {
       throw std::invalid_argument("CostCurve: throughput must be positive");
     }
     return constant + per_inverse_tu / tu_mbps;
+  }
+};
+
+/// A cost that is hyperbolic in each of H per-hop throughputs:
+///   f(t) = constant + sum_h per_inverse_tu[h] / t[h].
+/// The K-tier generalization of CostCurve: a deployment option that crosses
+/// several network hops contributes one 1/t term per hop it transmits over
+/// (unused hops carry a zero coefficient). Collapsing all but one hop at
+/// fixed throughputs recovers a 1-D CostCurve, which is how the existing
+/// threshold/deployer machinery is reused for K >= 3.
+struct MultiHopCurve {
+  double constant = 0.0;
+  std::vector<double> per_inverse_tu;  ///< one coefficient per hop; 0 = unused
+
+  std::size_t num_hops() const { return per_inverse_tu.size(); }
+
+  /// Throws std::invalid_argument on size mismatch or non-positive entries.
+  double value(const std::vector<double>& tu_mbps) const {
+    if (tu_mbps.size() != per_inverse_tu.size()) {
+      throw std::invalid_argument("MultiHopCurve: throughput vector size mismatch");
+    }
+    double total = constant;
+    for (std::size_t h = 0; h < per_inverse_tu.size(); ++h) {
+      if (tu_mbps[h] <= 0.0) {
+        throw std::invalid_argument("MultiHopCurve: throughput must be positive");
+      }
+      total += per_inverse_tu[h] / tu_mbps[h];
+    }
+    return total;
+  }
+
+  /// 1-D curve in hop `free_hop` with every other hop pinned at
+  /// `fixed_tu_mbps[h]`. Entries for unused hops (zero coefficient) and for
+  /// `free_hop` itself are never read, so they may be arbitrary.
+  CostCurve collapse(std::size_t free_hop, const std::vector<double>& fixed_tu_mbps) const {
+    if (free_hop >= per_inverse_tu.size()) {
+      throw std::invalid_argument("MultiHopCurve: free hop out of range");
+    }
+    if (fixed_tu_mbps.size() != per_inverse_tu.size()) {
+      throw std::invalid_argument("MultiHopCurve: throughput vector size mismatch");
+    }
+    CostCurve curve{constant, per_inverse_tu[free_hop]};
+    for (std::size_t h = 0; h < per_inverse_tu.size(); ++h) {
+      if (h == free_hop || per_inverse_tu[h] == 0.0) continue;
+      if (fixed_tu_mbps[h] <= 0.0) {
+        throw std::invalid_argument("MultiHopCurve: throughput must be positive");
+      }
+      curve.constant += per_inverse_tu[h] / fixed_tu_mbps[h];
+    }
+    return curve;
   }
 };
 

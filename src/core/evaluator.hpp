@@ -21,13 +21,16 @@
 #include <vector>
 
 #include "comm/commcost.hpp"
+#include "core/topology.hpp"
 #include "dnn/architecture.hpp"
 #include "dnn/datasize.hpp"
 #include "perf/predictor.hpp"
 
 namespace lens::core {
 
-/// The three deployment families of Fig. 5.
+/// The three deployment families of Fig. 5. Under K-tier topologies the
+/// classification generalizes: everything on tier 0 is kAllEdge, everything
+/// on the last tier is kAllCloud, anything else is kPartitioned.
 enum class DeploymentKind { kAllEdge, kAllCloud, kPartitioned };
 
 std::string deployment_kind_name(DeploymentKind kind);
@@ -36,7 +39,7 @@ std::string deployment_kind_name(DeploymentKind kind);
 /// throughput.
 struct DeploymentOption {
   DeploymentKind kind = DeploymentKind::kAllEdge;
-  /// Index of the last edge-side layer (kPartitioned only).
+  /// Index of the last edge-side layer (kPartitioned only, 2-tier plans).
   std::optional<std::size_t> split_after;
   double latency_ms = 0.0;
   double energy_mj = 0.0;
@@ -44,17 +47,45 @@ struct DeploymentOption {
   /// independent; the runtime module rebuilds cost-vs-t_u curves from them.
   double edge_latency_ms = 0.0;
   double edge_energy_mj = 0.0;
-  /// Bytes shipped to the cloud for this option (0 for All-Edge).
+  /// Bytes shipped over the first hop for this option (0 for All-Edge).
   std::uint64_t tx_bytes = 0;
   /// fp32 weight bytes resident on the edge device for this option.
   std::uint64_t edge_weight_bytes = 0;
-  /// Cloud-side execution latency of the offloaded suffix (0 under the
-  /// paper's infinite-cloud assumption). Throughput-independent.
+  /// Off-device execution latency of the offloaded layers, summed over all
+  /// remote tiers (0 under the paper's infinite-cloud assumption).
+  /// Throughput-independent.
   double cloud_latency_ms = 0.0;
 
-  /// Human-readable label, e.g. "All-Edge", "All-Cloud", "split@pool5".
+  // K-tier generalization. For a K-tier plan the option is a cut vector
+  // c_1 <= ... <= c_{K-1}: tier k runs layers [c_k, c_{k+1}) with c_0 = 0 and
+  // c_K = n. The legacy scalar fields above stay populated for every K
+  // (edge_* = tier 0, tx_bytes = hop 0, cloud_latency_ms = remote total).
+
+  /// Cut boundaries, size K-1 ({c} for the classic two-tier split).
+  std::vector<std::size_t> cuts;
+  /// Per-tier compute latency, size K; [0] == edge_latency_ms.
+  std::vector<double> tier_latency_ms;
+  /// Bytes transmitted over each hop, size K-1; [0] == tx_bytes. A hop past
+  /// the last occupied tier carries nothing (0).
+  std::vector<std::uint64_t> hop_tx_bytes;
+
+  /// Human-readable label, e.g. "All-Edge", "All-Cloud", "split@pool5",
+  /// using default tier names for K >= 3. Prefer option_label() when the
+  /// real topology names are at hand.
   std::string label(const dnn::Architecture& arch) const;
 };
+
+/// Default tier names by hierarchy depth: {edge, cloud}, {edge, fog, cloud},
+/// then {edge, fog1, ..., cloud}.
+std::vector<std::string> default_tier_names(std::size_t num_tiers);
+
+/// The shared cut-vector formatter used by the CLI, CSV export, and
+/// viz::ascii. Two-tier options keep the legacy names ("All-Edge",
+/// "All-Cloud", "split@<layer>") so existing goldens stay valid; deeper
+/// hierarchies render the occupied tiers as "edge|fog@4|cloud@9" where @i is
+/// the first layer index placed on that tier.
+std::string option_label(const DeploymentOption& option, const dnn::Architecture& arch,
+                         const std::vector<std::string>& tier_names);
 
 /// Full result of one Algorithm-1 evaluation.
 struct DeploymentEvaluation {
@@ -96,35 +127,46 @@ struct EvaluatorConfig {
 
 class DeploymentPlan;
 
-/// Algorithm-1 evaluator bound to a performance model, a communication
-/// model, and a wire-size / memory policy.
+/// Algorithm-1 evaluator bound to a tier topology (performance models per
+/// tier, communication model per hop) and a wire-size policy. The historical
+/// two-argument form — one edge model, one comm model — builds the K=2
+/// topology internally and compiles through a frozen legacy path that is
+/// bit-identical to the pre-K-tier code.
 class DeploymentEvaluator {
  public:
   DeploymentEvaluator(const perf::LayerPerformanceModel& model, comm::CommModel comm,
                       dnn::DataSizeModel sizes = {});
   DeploymentEvaluator(const perf::LayerPerformanceModel& model, comm::CommModel comm,
                       EvaluatorConfig config);
+  /// K-tier form. Tier budgets come from the topology;
+  /// `config.edge_memory_budget_bytes` and `config.cloud_model` are ignored
+  /// (tier 0 / last tier of the topology are authoritative).
+  DeploymentEvaluator(TierTopology topology, dnn::DataSizeModel sizes = {});
 
   /// Compile `arch` into a throughput-independent DeploymentPlan: runs the
-  /// per-layer predictors once, precomputes prefix/suffix sums, feasible
-  /// split points, and per-option cost curves. O(l) in the number of
-  /// layers; the returned plan prices any t_u in O(options). Defined in
-  /// core/plan.hpp (include it to use the plan).
+  /// per-layer predictors once, precomputes prefix/suffix sums per tier, the
+  /// feasible (and for K >= 3, dominance-pruned) cut-point lattice, and
+  /// per-option cost curves. The returned plan prices any throughput vector
+  /// in O(options). Defined in core/plan.hpp (include it to use the plan).
   DeploymentPlan compile(const dnn::Architecture& arch) const;
 
   /// Evaluate all deployment options of `arch` at upload throughput
   /// `tu_mbps`. Thin compile(arch).price(tu_mbps) wrapper — bit-identical
   /// to the historical single-stage implementation; prefer holding the plan
-  /// when evaluating the same architecture at several throughputs.
+  /// when evaluating the same architecture at several throughputs. Two-tier
+  /// topologies only; deeper hierarchies price with a throughput vector.
   DeploymentEvaluation evaluate(const dnn::Architecture& arch, double tu_mbps) const;
 
-  const comm::CommModel& comm() const { return comm_; }
+  const comm::CommModel& comm() const { return topology_.hop(0); }
   const dnn::DataSizeModel& sizes() const { return config_.sizes; }
   const EvaluatorConfig& config() const { return config_; }
+  const TierTopology& topology() const { return topology_; }
 
  private:
-  const perf::LayerPerformanceModel& model_;
-  comm::CommModel comm_;
+  DeploymentPlan compile_two_tier(const dnn::Architecture& arch) const;
+  DeploymentPlan compile_multitier(const dnn::Architecture& arch) const;
+
+  TierTopology topology_;
   EvaluatorConfig config_;
 };
 

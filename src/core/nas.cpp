@@ -79,7 +79,9 @@ std::vector<std::vector<double>> NasDriver::evaluate_batch(
     EvaluatedCandidate& candidate = candidates[i];
     candidate.genotype = std::move(genotypes[i]);
     candidate.name = entry.name;
-    candidate.deployment = entry.plan.price(config_.tu_mbps);
+    candidate.deployment = config_.hop_tu_mbps.empty()
+                               ? entry.plan.price(config_.tu_mbps)
+                               : entry.plan.price(config_.hop_tu_mbps);
     candidate.error_percent = entry.error_percent;
     switch (config_.mode) {
       case ObjectiveMode::kBestDeployment:

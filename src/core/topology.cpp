@@ -1,0 +1,53 @@
+#include "core/topology.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lens::core {
+
+TierTopology::TierTopology(std::vector<TierSpec> tiers, std::vector<comm::CommModel> hops)
+    : tiers_(std::move(tiers)), hops_(std::move(hops)) {
+  if (tiers_.size() < 2) {
+    throw std::invalid_argument("TierTopology: need at least 2 tiers (edge + one remote)");
+  }
+  if (hops_.size() + 1 != tiers_.size()) {
+    throw std::invalid_argument("TierTopology: K tiers require exactly K-1 hops");
+  }
+  if (tiers_.front().model == nullptr) {
+    throw std::invalid_argument("TierTopology: tier 0 (the edge device) needs a model");
+  }
+  for (const TierSpec& tier : tiers_) {
+    if (tier.name.empty()) {
+      throw std::invalid_argument("TierTopology: every tier needs a name");
+    }
+  }
+}
+
+TierTopology TierTopology::two_tier(const perf::LayerPerformanceModel& edge_model,
+                                    comm::CommModel radio, std::uint64_t edge_budget_bytes,
+                                    const perf::LayerPerformanceModel* cloud_model) {
+  std::vector<TierSpec> tiers;
+  tiers.push_back({"edge", &edge_model, edge_budget_bytes});
+  tiers.push_back({"cloud", cloud_model, 0});
+  return TierTopology(std::move(tiers), {std::move(radio)});
+}
+
+std::vector<std::string> TierTopology::tier_names() const {
+  std::vector<std::string> names;
+  names.reserve(tiers_.size());
+  for (const TierSpec& tier : tiers_) names.push_back(tier.name);
+  return names;
+}
+
+TierTopology edge_fog_cloud(const perf::LayerPerformanceModel& edge_model,
+                            const perf::LayerPerformanceModel& fog_model,
+                            const perf::LayerPerformanceModel* cloud_model,
+                            const EdgeFogCloudConfig& config) {
+  std::vector<TierSpec> tiers;
+  tiers.push_back({"edge", &edge_model, config.edge_memory_budget_bytes});
+  tiers.push_back({"fog", &fog_model, config.fog_memory_budget_bytes});
+  tiers.push_back({"cloud", cloud_model, 0});
+  return TierTopology(std::move(tiers), {config.radio, config.backhaul});
+}
+
+}  // namespace lens::core

@@ -1,0 +1,82 @@
+#pragma once
+// K-tier deployment topologies: an ordered chain of compute tiers
+// (tier 0 = the battery-powered edge device, tier K-1 = the deepest server)
+// joined by K-1 network hops. The two-tier edge-cloud pair the paper studies
+// is the K=2 special case; a built-in edge-fog-cloud preset provides the
+// first K=3 scenario family.
+//
+// A TierTopology is a *description* — per-tier performance models (non-owning,
+// like EvaluatorConfig::cloud_model) plus per-hop communication models. The
+// DeploymentEvaluator consumes it to enumerate the cut-point lattice: K-1
+// ordered cut boundaries 0 <= c_1 <= ... <= c_{K-1} <= n, with tier k running
+// layers [c_k, c_{k+1}) and hop h shipping the activation at boundary c_{h+1}
+// whenever any layer runs past tier h.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/commcost.hpp"
+#include "perf/predictor.hpp"
+
+namespace lens::core {
+
+/// One compute tier in the hierarchy.
+struct TierSpec {
+  std::string name;
+  /// Performance model for layers placed on this tier. nullptr means the
+  /// tier's compute is free (the paper's infinite-cloud assumption) — only
+  /// meaningful for tiers past the edge device. Non-owning; must outlive
+  /// every evaluator built from the topology.
+  const perf::LayerPerformanceModel* model = nullptr;
+  /// fp32 weight bytes this tier can hold; 0 = unlimited.
+  std::uint64_t memory_budget_bytes = 0;
+};
+
+/// An ordered edge-to-cloud chain: K tiers, K-1 hops. Tier 0 is always the
+/// edge device (it must have a performance model — its compute and energy
+/// are what the NAS objectives bill); hop h connects tier h to tier h+1.
+class TierTopology {
+ public:
+  TierTopology(std::vector<TierSpec> tiers, std::vector<comm::CommModel> hops);
+
+  /// The classic edge-cloud pair as a topology. `cloud_model` may be nullptr
+  /// (free cloud); `edge_budget_bytes` 0 means unlimited.
+  static TierTopology two_tier(const perf::LayerPerformanceModel& edge_model,
+                               comm::CommModel radio, std::uint64_t edge_budget_bytes = 0,
+                               const perf::LayerPerformanceModel* cloud_model = nullptr);
+
+  std::size_t num_tiers() const { return tiers_.size(); }
+  std::size_t num_hops() const { return hops_.size(); }
+  const TierSpec& tier(std::size_t k) const { return tiers_.at(k); }
+  const comm::CommModel& hop(std::size_t h) const { return hops_.at(h); }
+  const std::vector<TierSpec>& tiers() const { return tiers_; }
+  const std::vector<comm::CommModel>& hops() const { return hops_; }
+  std::vector<std::string> tier_names() const;
+
+ private:
+  std::vector<TierSpec> tiers_;
+  std::vector<comm::CommModel> hops_;
+};
+
+/// Knobs of the built-in 3-tier preset below.
+struct EdgeFogCloudConfig {
+  /// Hop 0: the device's radio link to the fog node.
+  comm::CommModel radio{comm::WirelessTechnology::kWifi, 5.0};
+  /// Hop 1: the fog node's backhaul to the cloud. Backhaul transfers are
+  /// not billed to the device battery, so only its latency curve matters.
+  comm::CommModel backhaul{comm::WirelessTechnology::kWifi, 20.0};
+  std::uint64_t edge_memory_budget_bytes = 0;
+  std::uint64_t fog_memory_budget_bytes = 0;
+};
+
+/// Built-in 3-tier scenario family: edge device -> fog node -> cloud.
+/// `fog_model` serves the middle tier; `cloud_model` may be nullptr for the
+/// paper's free-cloud assumption. Models are non-owning.
+TierTopology edge_fog_cloud(const perf::LayerPerformanceModel& edge_model,
+                            const perf::LayerPerformanceModel& fog_model,
+                            const perf::LayerPerformanceModel* cloud_model,
+                            const EdgeFogCloudConfig& config);
+
+}  // namespace lens::core

@@ -26,8 +26,70 @@ DynamicDeployer::DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor m
       metric_(metric),
       tu_min_(tu_min) {
   if (options_.empty()) throw std::invalid_argument("DynamicDeployer: empty plan");
+  if (plan.num_hops() > 1) {
+    throw std::invalid_argument(
+        "DynamicDeployer: K-tier plan needs the per-hop throughput ctor");
+  }
   intervals_ = dominance_intervals(curves_, tu_min, tu_max);
   find_edge_only();
+}
+
+DynamicDeployer::DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor metric,
+                                 const std::vector<double>& hop_tu_mbps, double tu_min,
+                                 double tu_max)
+    : options_(plan.options()), metric_(metric), tu_min_(tu_min) {
+  if (options_.empty()) throw std::invalid_argument("DynamicDeployer: empty plan");
+  // Collapse the multi-hop surfaces onto the radio axis; at K=2 this yields
+  // the very same coefficients as the plan's 1-D curves.
+  curves_ = metric == OptimizeFor::kLatency
+                ? plan.collapsed_latency_curves(0, hop_tu_mbps)
+                : plan.collapsed_energy_curves(0, hop_tu_mbps);
+  intervals_ = dominance_intervals(curves_, tu_min, tu_max);
+  find_edge_only();
+}
+
+namespace {
+
+/// Does the option ship anything over hop `h`? Hand-built legacy options may
+/// lack the per-hop byte vector; they describe a single radio hop.
+bool uses_hop(const core::DeploymentOption& o, std::size_t h) {
+  if (!o.hop_tx_bytes.empty()) return h < o.hop_tx_bytes.size() && o.hop_tx_bytes[h] > 0;
+  return h == 0 && o.tx_bytes > 0;
+}
+
+/// All layers on tiers 0..max_tier — equivalently, no hop >= max_tier used.
+bool confined_to(const core::DeploymentOption& o, std::size_t max_tier) {
+  const std::size_t num_hops = o.hop_tx_bytes.empty() ? 1 : o.hop_tx_bytes.size();
+  for (std::size_t h = max_tier; h < num_hops; ++h) {
+    if (uses_hop(o, h)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::size_t> DynamicDeployer::cheapest_confined(std::size_t max_tier) const {
+  std::optional<std::size_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    if (!confined_to(options_[i], max_tier)) continue;
+    // Confined options may still use hops below max_tier, so rank at the
+    // pessimistic floor the threshold analysis covers.
+    const double cost = curves_[i].value(tu_min_);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t DynamicDeployer::select_hop_unreachable(std::size_t down_hop) const {
+  for (std::size_t max_tier = down_hop + 1; max_tier-- > 0;) {
+    if (const auto pick = cheapest_confined(max_tier)) return *pick;
+  }
+  throw std::logic_error(
+      "select_hop_unreachable: option set has no member below the dead hop");
 }
 
 void DynamicDeployer::find_edge_only() {

@@ -69,6 +69,13 @@ class DynamicDeployer {
   DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor metric,
                   double tu_min = 0.05, double tu_max = 1000.0);
 
+  /// K-tier plan with the hops past the radio pinned at `hop_tu_mbps[h]`
+  /// (full per-hop vector; entry 0 — the radio — stays the selection axis
+  /// and its value is ignored). At K=2 this is exactly the plan ctor above.
+  DynamicDeployer(const core::DeploymentPlan& plan, OptimizeFor metric,
+                  const std::vector<double>& hop_tu_mbps, double tu_min = 0.05,
+                  double tu_max = 1000.0);
+
   /// Index (into options()) of the cheapest option at `tu_mbps`. A
   /// non-positive throughput (link outage) is clamped to the analyzed
   /// tu_min — the most pessimistic state the threshold analysis covers.
@@ -90,6 +97,18 @@ class DynamicDeployer {
   /// transmitting option would only time out). Throws std::logic_error
   /// when the option set has no edge-only member.
   std::size_t select_cloud_unreachable() const;
+
+  /// Cheapest option whose layers all live on tiers 0..max_tier (so it uses
+  /// no hop >= max_tier), ranked at the analyzed pessimistic floor tu_min.
+  /// max_tier 0 is the edge-only query.
+  std::optional<std::size_t> cheapest_confined(std::size_t max_tier) const;
+
+  /// Tier-ladder fallback: hop `down_hop` is unreachable, so walk down the
+  /// hierarchy — first the cheapest option confined to tiers 0..down_hop,
+  /// then 0..down_hop-1, ... down to edge-only. Throws std::logic_error when
+  /// even the edge-only rung is missing. select_cloud_unreachable() is the
+  /// hop-0 rung of this ladder.
+  std::size_t select_hop_unreachable(std::size_t down_hop) const;
 
   /// Thresholds partitioning the throughput axis (design-time output the
   /// runtime switcher consults).

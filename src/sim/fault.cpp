@@ -74,6 +74,14 @@ FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
       config.rtt_spike_mean_s <= 0.0 || config.edge_slowdown_mean_s <= 0.0) {
     throw std::invalid_argument("FaultSchedule::generate: episode means must be positive");
   }
+  for (const HopFaultConfig& hop : config.extra_hops) {
+    if (hop.outage_rate_hz < 0.0 || hop.rtt_spike_rate_hz < 0.0) {
+      throw std::invalid_argument("FaultSchedule::generate: negative episode rate");
+    }
+    if (hop.outage_mean_s <= 0.0 || hop.rtt_spike_mean_s <= 0.0) {
+      throw std::invalid_argument("FaultSchedule::generate: episode means must be positive");
+    }
+  }
   std::vector<FaultEpisode> episodes;
 
   // One independent RNG substream per class (splitmix64-mixed class salt):
@@ -83,7 +91,7 @@ FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
         par::substream_seed(static_cast<std::uint64_t>(config.seed), salt));
   };
   const auto renew = [&](FaultClass fault, double rate_hz, double mean_s,
-                         double magnitude, std::uint64_t salt) {
+                         double magnitude, std::uint64_t salt, std::size_t hop) {
     if (rate_hz <= 0.0) return;
     std::mt19937_64 rng = substream(salt);
     std::exponential_distribution<double> gap(rate_hz);
@@ -92,18 +100,30 @@ FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
     double t = gap(rng);
     while (t < config.horizon_s) {
       const double d = duration(rng);
-      episodes.push_back({fault, t, t + d, magnitude});
+      episodes.push_back({fault, t, t + d, magnitude, hop});
       t += d + gap(rng);
     }
   };
   renew(FaultClass::kLinkOutage, config.link_outage_rate_hz, config.link_outage_mean_s,
-        config.link_outage_depth, 0x10c4);
+        config.link_outage_depth, 0x10c4, 0);
   renew(FaultClass::kCloudOutage, config.cloud_outage_rate_hz, config.cloud_outage_mean_s,
-        0.0, 0x20c4);
+        0.0, 0x20c4, 0);
   renew(FaultClass::kRttSpike, config.rtt_spike_rate_hz, config.rtt_spike_mean_s,
-        config.rtt_spike_extra_ms, 0x30c4);
+        config.rtt_spike_extra_ms, 0x30c4, 0);
   renew(FaultClass::kEdgeSlowdown, config.edge_slowdown_rate_hz,
-        config.edge_slowdown_mean_s, config.edge_slowdown_factor, 0x40c4);
+        config.edge_slowdown_mean_s, config.edge_slowdown_factor, 0x40c4, 0);
+  // Backhaul hops: salts offset per hop (0x10000 * hop keeps them disjoint
+  // from every class salt above), so the hop-0 schedule is byte-identical
+  // whether or not any backhaul class is enabled.
+  for (std::size_t i = 0; i < config.extra_hops.size(); ++i) {
+    const HopFaultConfig& hc = config.extra_hops[i];
+    const std::size_t hop = i + 1;
+    const std::uint64_t offset = 0x10000ull * static_cast<std::uint64_t>(hop);
+    renew(FaultClass::kLinkOutage, hc.outage_rate_hz, hc.outage_mean_s, hc.outage_depth,
+          0x10c4 + offset, hop);
+    renew(FaultClass::kRttSpike, hc.rtt_spike_rate_hz, hc.rtt_spike_mean_s,
+          hc.rtt_spike_extra_ms, 0x30c4 + offset, hop);
+  }
   episodes.insert(episodes.end(), config.scripted.begin(), config.scripted.end());
   return FaultSchedule(std::move(episodes));
 }
@@ -126,11 +146,11 @@ const std::vector<FaultEpisode>& FaultInjector::of(FaultClass fault) const {
   return by_class_[static_cast<std::size_t>(fault)];
 }
 
-double FaultInjector::link_factor(double t_s) const {
+double FaultInjector::link_factor(double t_s, std::size_t hop) const {
   double factor = 1.0;
   for (const FaultEpisode& e : of(FaultClass::kLinkOutage)) {
     if (e.start_s > t_s) break;  // start-sorted: nothing later can cover t
-    if (e.covers(t_s)) factor = std::min(factor, e.magnitude);
+    if (e.hop == hop && e.covers(t_s)) factor = std::min(factor, e.magnitude);
   }
   return factor;
 }
@@ -152,11 +172,11 @@ double FaultInjector::cloud_recovery_time(double t_s) const {
   return t;
 }
 
-double FaultInjector::rtt_extra_ms(double t_s) const {
+double FaultInjector::rtt_extra_ms(double t_s, std::size_t hop) const {
   double extra = 0.0;
   for (const FaultEpisode& e : of(FaultClass::kRttSpike)) {
     if (e.start_s > t_s) break;
-    if (e.covers(t_s)) extra = std::max(extra, e.magnitude);
+    if (e.hop == hop && e.covers(t_s)) extra = std::max(extra, e.magnitude);
   }
   return extra;
 }
@@ -170,9 +190,10 @@ double FaultInjector::edge_slowdown(double t_s) const {
   return factor;
 }
 
-double FaultInjector::next_link_boundary(double t_s) const {
+double FaultInjector::next_link_boundary(double t_s, std::size_t hop) const {
   double next = kInf;
   for (const FaultEpisode& e : of(FaultClass::kLinkOutage)) {
+    if (e.hop != hop) continue;
     if (e.start_s > t_s) {
       next = std::min(next, e.start_s);
       break;  // starts are sorted; later episodes begin even later

@@ -35,9 +35,26 @@ struct FaultEpisode {
   /// round-trip milliseconds; kEdgeSlowdown: edge service-time multiplier
   /// >= 1; kCloudOutage: ignored (the cloud is simply unreachable).
   double magnitude = 0.0;
+  /// Which network hop a kLinkOutage / kRttSpike episode degrades (0 = the
+  /// device radio, 1 = the first backhaul, ...). Ignored by the other
+  /// classes. K-tier topologies fade and spike each hop independently.
+  std::size_t hop = 0;
 
   bool covers(double t_s) const { return t_s >= start_s && t_s < end_s; }
   double duration_s() const { return end_s - start_s; }
+};
+
+/// Renewal knobs for one hop past the device radio (hop h >= 1). Rates of 0
+/// disable the class on that hop, mirroring the hop-0 fields of
+/// FaultScheduleConfig.
+struct HopFaultConfig {
+  double outage_rate_hz = 0.0;
+  double outage_mean_s = 20.0;
+  double outage_depth = 0.05;  ///< throughput multiplier while faded
+
+  double rtt_spike_rate_hz = 0.0;
+  double rtt_spike_mean_s = 10.0;
+  double rtt_spike_extra_ms = 200.0;
 };
 
 /// Seeded episode-generation knobs. Each class is an independent renewal
@@ -66,11 +83,22 @@ struct FaultScheduleConfig {
   double edge_slowdown_mean_s = 15.0;
   double edge_slowdown_factor = 3.0;  ///< edge service-time multiplier
 
+  /// Per-hop knobs for the hops past the radio: extra_hops[i] governs hop
+  /// i + 1. Generated from RNG substreams disjoint from the hop-0 streams,
+  /// so enabling a backhaul fault class never perturbs the hop-0 schedule.
+  std::vector<HopFaultConfig> extra_hops;
+
   std::vector<FaultEpisode> scripted;
 
   bool any_enabled() const {
-    return link_outage_rate_hz > 0.0 || cloud_outage_rate_hz > 0.0 ||
-           rtt_spike_rate_hz > 0.0 || edge_slowdown_rate_hz > 0.0 || !scripted.empty();
+    if (link_outage_rate_hz > 0.0 || cloud_outage_rate_hz > 0.0 ||
+        rtt_spike_rate_hz > 0.0 || edge_slowdown_rate_hz > 0.0 || !scripted.empty()) {
+      return true;
+    }
+    for (const HopFaultConfig& hop : extra_hops) {
+      if (hop.outage_rate_hz > 0.0 || hop.rtt_spike_rate_hz > 0.0) return true;
+    }
+    return false;
   }
 };
 
@@ -102,21 +130,22 @@ class FaultInjector {
   FaultInjector() = default;  ///< empty schedule: always healthy
   explicit FaultInjector(FaultSchedule schedule);
 
-  /// Link throughput multiplier at `t_s` (1.0 when healthy; the deepest
-  /// overlapping fade wins when episodes overlap).
-  double link_factor(double t_s) const;
+  /// Throughput multiplier of hop `hop` at `t_s` (1.0 when healthy; the
+  /// deepest overlapping fade wins when episodes overlap). Hop 0 is the
+  /// device radio — the default keeps legacy two-tier call sites intact.
+  double link_factor(double t_s, std::size_t hop = 0) const;
   bool cloud_unavailable(double t_s) const;
   /// Earliest time >= t_s at which the cloud is reachable (t_s itself when
   /// it already is).
   double cloud_recovery_time(double t_s) const;
-  /// Added round-trip milliseconds at `t_s` (0 when healthy).
-  double rtt_extra_ms(double t_s) const;
+  /// Added round-trip milliseconds on hop `hop` at `t_s` (0 when healthy).
+  double rtt_extra_ms(double t_s, std::size_t hop = 0) const;
   /// Edge service-time multiplier at `t_s` (>= 1.0; 1.0 when healthy).
   double edge_slowdown(double t_s) const;
-  /// Next time > t_s at which the link factor may change (start or end of
-  /// a link-outage episode); +infinity when none — the piecewise-constant
-  /// boundary the link's transfer integration steps on.
-  double next_link_boundary(double t_s) const;
+  /// Next time > t_s at which hop `hop`'s link factor may change (start or
+  /// end of a link-outage episode); +infinity when none — the piecewise-
+  /// constant boundary the link's transfer integration steps on.
+  double next_link_boundary(double t_s, std::size_t hop = 0) const;
   /// Length of [0, horizon_s) covered by at least one episode of any class.
   double degraded_time(double horizon_s) const;
 

@@ -25,6 +25,13 @@ void validate_config(const SimConfig& config, std::size_t num_options) {
   }
 }
 
+/// Does the option's deepest segment run on the last tier? Hand-built legacy
+/// options (no per-hop byte vector) describe a single radio hop.
+bool reaches_cloud(const core::DeploymentOption& o) {
+  if (o.hop_tx_bytes.empty()) return o.tx_bytes > 0;
+  return o.hop_tx_bytes.back() > 0;
+}
+
 }  // namespace
 
 EdgeCloudSystem::EdgeCloudSystem(std::vector<core::DeploymentOption> options,
@@ -49,10 +56,38 @@ EdgeCloudSystem::EdgeCloudSystem(const core::DeploymentPlan& plan,
       comm_(plan.comm()),
       trace_(std::move(trace)),
       config_(config),
-      curves_(config.metric == runtime::OptimizeFor::kLatency ? plan.latency_curves()
-                                                              : plan.energy_curves()) {
+      num_hops_(plan.num_hops()) {
   if (options_.empty()) throw std::invalid_argument("EdgeCloudSystem: empty plan");
   validate_config(config_, options_.size());
+  if (num_hops_ == 1) {
+    curves_ = config_.metric == runtime::OptimizeFor::kLatency ? plan.latency_curves()
+                                                               : plan.energy_curves();
+  } else {
+    if (config_.backhaul_tu_mbps.size() != num_hops_ - 1) {
+      throw std::invalid_argument(
+          "EdgeCloudSystem: a K-tier plan needs backhaul_tu_mbps with one "
+          "entry per hop past the radio");
+    }
+    for (double tu : config_.backhaul_tu_mbps) {
+      if (!(tu > 0.0) || !std::isfinite(tu)) {
+        throw std::invalid_argument(
+            "EdgeCloudSystem: backhaul throughputs must be positive");
+      }
+    }
+    // Dispatch curves: the plan's surfaces collapsed onto the radio axis at
+    // the nominal backhaul rates.
+    std::vector<double> pinned;
+    pinned.reserve(num_hops_);
+    pinned.push_back(1.0);  // free axis; ignored by collapse
+    pinned.insert(pinned.end(), config_.backhaul_tu_mbps.begin(),
+                  config_.backhaul_tu_mbps.end());
+    curves_ = config_.metric == runtime::OptimizeFor::kLatency
+                  ? plan.collapsed_latency_curves(0, pinned)
+                  : plan.collapsed_energy_curves(0, pinned);
+    later_hops_.reserve(num_hops_ - 1);
+    for (std::size_t h = 1; h < num_hops_; ++h) later_hops_.push_back(plan.hop(h));
+    backhaul_tu_ = config_.backhaul_tu_mbps;
+  }
   find_fallback_option();
 }
 
@@ -68,6 +103,12 @@ void EdgeCloudSystem::find_fallback_option() {
       fallback_option_ = i;
     }
   }
+  for (const core::DeploymentOption& o : options_) {
+    if (!reaches_cloud(o)) {
+      has_sub_cloud_option_ = true;
+      break;
+    }
+  }
 }
 
 std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& link,
@@ -75,9 +116,11 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
                                          const FaultInjector& faults) const {
   if (config_.policy == DispatchPolicy::kFixed) return config_.fixed_option;
   // Forced all-edge while the cloud is unreachable: any option that must
-  // transmit would only time out, so dispatch falls back proactively.
+  // transmit would only time out, so dispatch falls back proactively. On a
+  // K-tier plan the dominance loop below walks the ladder instead — options
+  // stopping short of the cloud (fog rungs) stay serviceable.
   const bool cloud_down = faults.cloud_unavailable(now_s);
-  if (cloud_down && fallback_option_.has_value() &&
+  if (num_hops_ == 1 && cloud_down && fallback_option_.has_value() &&
       config_.policy == DispatchPolicy::kDynamic) {
     return *fallback_option_;
   }
@@ -86,8 +129,8 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
   double best_cost = std::numeric_limits<double>::infinity();
   bool found = false;
   for (std::size_t i = 0; i < curves_.size(); ++i) {
-    if (cloud_down && options_[i].tx_bytes > 0 && fallback_option_.has_value()) {
-      continue;  // queue-aware: transmitting options are unserviceable
+    if (cloud_down && has_sub_cloud_option_ && reaches_cloud(options_[i])) {
+      continue;  // cloud-reaching options are unserviceable
     }
     double cost;
     if (config_.policy == DispatchPolicy::kDynamic) {
@@ -104,6 +147,13 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
         const double tx_s = static_cast<double>(o.tx_bytes) * 8.0 / (tu * 1e6);
         t = std::max(t, link.busy_until()) + tx_s + comm_.round_trip_ms() / 1e3 +
             o.cloud_latency_ms / 1e3;
+        // K-tier: the remote compute is in cloud_latency_ms already; add the
+        // backhaul transfer and handshake of every later hop the option uses.
+        for (std::size_t h = 1; h < num_hops_; ++h) {
+          if (h >= o.hop_tx_bytes.size() || o.hop_tx_bytes[h] == 0) break;
+          t += static_cast<double>(o.hop_tx_bytes[h]) * 8.0 / (backhaul_tu_[h - 1] * 1e6) +
+               later_hops_[h - 1].round_trip_ms() / 1e3;
+        }
       }
       cost = t - now_s;
     }
@@ -114,6 +164,30 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
     }
   }
   return best;
+}
+
+double EdgeCloudSystem::remote_chain(const core::DeploymentOption& option, double sent_s,
+                                     const FaultInjector& faults,
+                                     double& cloud_arrival_s) const {
+  // Hop-0 handshake lands the payload on tier 1; then alternate tier compute
+  // and backhaul transfers. Fog/cloud tiers run with unbounded parallelism
+  // (only the edge accelerator and the radio are contended resources), so
+  // the chain is pure latency addition. Backhaul transfers run at the
+  // configured nominal rate, stretched by the hop's deep-fade factor and
+  // delayed by its RTT (plus any active spike) — both sampled at departure.
+  double t = sent_s + (comm_.round_trip_ms() + faults.rtt_extra_ms(sent_s)) / 1e3;
+  cloud_arrival_s = t;  // arrival at tier 1 (deepest, unless later hops ship)
+  t += option.tier_latency_ms[1] / 1e3;
+  for (std::size_t h = 1; h < num_hops_; ++h) {
+    if (option.hop_tx_bytes[h] == 0) break;  // nothing ships past tier h
+    const double depart = t;
+    const double tu = backhaul_tu_[h - 1] * faults.link_factor(depart, h);
+    t += static_cast<double>(option.hop_tx_bytes[h]) * 8.0 / (tu * 1e6) +
+         (later_hops_[h - 1].round_trip_ms() + faults.rtt_extra_ms(depart, h)) / 1e3;
+    cloud_arrival_s = t;  // arrival at tier h + 1
+    t += option.tier_latency_ms[h + 1] / 1e3;
+  }
+  return t;
 }
 
 SimStats EdgeCloudSystem::run() {
@@ -163,16 +237,28 @@ SimStats EdgeCloudSystem::run() {
       // backoff. After max_retries failures the request re-executes on the
       // cheapest edge-only option, or is dropped when there is none.
       double ready = edge_done;
+      const bool needs_cloud = num_hops_ == 1 || reaches_cloud(option);
       for (std::size_t attempt = 0;; ++attempt) {
         const TransferResult transfer = link.schedule(ready, option.tx_bytes);
         record.energy_mj += transfer.energy_mj;
-        if (!faults.cloud_unavailable(transfer.end_s)) {
-          // Round trip covers the request/response handshake (plus any
-          // active RTT spike); the cloud suffix runs with unbounded
-          // parallelism.
-          const double rtt_s =
-              (comm_.round_trip_ms() + faults.rtt_extra_ms(transfer.end_s)) / 1e3;
-          completion = transfer.end_s + rtt_s + option.cloud_latency_ms / 1e3;
+        // K-tier: walk the remote chain to find when the payload reaches
+        // the deepest tier — that is when the cloud-outage check applies.
+        double cloud_arrival = transfer.end_s;
+        double chain_completion = 0.0;
+        if (num_hops_ > 1) {
+          chain_completion = remote_chain(option, transfer.end_s, faults, cloud_arrival);
+        }
+        if (!needs_cloud || !faults.cloud_unavailable(cloud_arrival)) {
+          if (num_hops_ == 1) {
+            // Round trip covers the request/response handshake (plus any
+            // active RTT spike); the cloud suffix runs with unbounded
+            // parallelism.
+            const double rtt_s =
+                (comm_.round_trip_ms() + faults.rtt_extra_ms(transfer.end_s)) / 1e3;
+            completion = transfer.end_s + rtt_s + option.cloud_latency_ms / 1e3;
+          } else {
+            completion = chain_completion;
+          }
           break;
         }
         ++record.timeouts;

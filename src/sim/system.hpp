@@ -58,6 +58,11 @@ struct SimConfig {
   /// Fault injection (defaults: no faults). horizon_s == 0 derives the
   /// episode horizon from the run (2x duration_s, covering the drain).
   FaultScheduleConfig faults;
+  /// K-tier plans only: nominal throughput of each hop past the radio
+  /// (backhaul_tu_mbps[i] feeds hop i + 1). Required to match the plan's
+  /// hop count; backhaul transfers run at these rates, stretched by any
+  /// active per-hop deep-fade episode. Leave empty for two-tier plans.
+  std::vector<double> backhaul_tu_mbps;
   /// Client-side timeout armed when a transmitted payload reaches an
   /// unavailable cloud: the attempt fails this many ms after send
   /// completion. Must be positive when any fault class is enabled.
@@ -132,7 +137,12 @@ class EdgeCloudSystem {
                   comm::ThroughputTrace trace, SimConfig config);
 
   /// Serve a compiled plan: options, comm model, and dispatch cost curves
-  /// are all taken from the plan (no curve re-derivation).
+  /// are all taken from the plan (no curve re-derivation). For K-tier plans
+  /// the dispatch curves are the plan's surfaces collapsed onto the radio
+  /// axis at SimConfig::backhaul_tu_mbps (which must then match the plan's
+  /// hop count), and served requests traverse the whole tier chain: radio
+  /// send, per-fog-tier compute, and each backhaul hop at its nominal rate
+  /// under that hop's own deep fades and RTT spikes.
   EdgeCloudSystem(const core::DeploymentPlan& plan, comm::ThroughputTrace trace,
                   SimConfig config);
 
@@ -150,6 +160,14 @@ class EdgeCloudSystem {
   std::size_t pick_option(double now_s, const TimeVaryingLink& link,
                           const ResourceTimeline& edge, const FaultInjector& faults) const;
   void find_fallback_option();
+  /// K-tier remote chain after the radio send completes at `sent_s`: hop-0
+  /// handshake, then alternating fog-tier compute and backhaul transfers at
+  /// the configured nominal rates (per-hop fades and RTT spikes applied).
+  /// Returns the completion time; `cloud_arrival_s` gets the payload's
+  /// arrival at the deepest tier reached — the instant the cloud-outage
+  /// check applies for cloud-reaching options.
+  double remote_chain(const core::DeploymentOption& option, double sent_s,
+                      const FaultInjector& faults, double& cloud_arrival_s) const;
 
   std::vector<core::DeploymentOption> options_;
   comm::CommModel comm_;
@@ -158,6 +176,12 @@ class EdgeCloudSystem {
   std::vector<runtime::CostCurve> curves_;
   std::vector<RequestRecord> records_;
   std::optional<std::size_t> fallback_option_;
+  /// Does any option stop short of the last tier? (At K=2 this is exactly
+  /// "an edge-only option exists".) Gates proactive cloud-down dispatch.
+  bool has_sub_cloud_option_ = false;
+  std::size_t num_hops_ = 1;
+  std::vector<comm::CommModel> later_hops_;  ///< hops 1.. of a K-tier plan
+  std::vector<double> backhaul_tu_;          ///< nominal rate of hops 1..
   bool ran_ = false;
 };
 

@@ -180,4 +180,54 @@ std::string line_plot(const std::vector<Series>& series, const PlotConfig& confi
   return canvas.render(bounds, config, series);
 }
 
+namespace {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string tier_diagram(const std::vector<std::string>& tier_names,
+                         const std::vector<std::size_t>& cuts, std::size_t num_layers,
+                         const std::vector<std::uint64_t>& hop_bytes) {
+  if (tier_names.size() < 2 || cuts.size() != tier_names.size() - 1 ||
+      hop_bytes.size() != cuts.size()) {
+    throw std::invalid_argument("tier_diagram: need K >= 2 tiers, K-1 cuts and hop bytes");
+  }
+  std::size_t prev = 0;
+  for (std::size_t c : cuts) {
+    if (c < prev || c > num_layers) {
+      throw std::invalid_argument("tier_diagram: cuts must be nondecreasing and <= layers");
+    }
+    prev = c;
+  }
+  std::string out;
+  for (std::size_t k = 0; k < tier_names.size(); ++k) {
+    const std::size_t begin = k == 0 ? 0 : cuts[k - 1];
+    const std::size_t end = k == cuts.size() ? num_layers : cuts[k];
+    out += '[' + tier_names[k] + ": ";
+    if (end > begin) {
+      out += 'L' + std::to_string(begin) + "-L" + std::to_string(end - 1);
+    } else {
+      out += "idle";
+    }
+    out += ']';
+    if (k < cuts.size()) {
+      // A hop carrying payload gets its byte count; an unused hop (the
+      // chain stopped earlier) renders as a bare arrow.
+      out += hop_bytes[k] > 0 ? " ==(" + format_bytes(hop_bytes[k]) + ")==> " : " ----> ";
+    }
+  }
+  return out;
+}
+
 }  // namespace lens::viz

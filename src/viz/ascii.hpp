@@ -4,6 +4,8 @@
 // cost traces) rendered as plain text so the bench binaries can reproduce
 // the paper's *figures*, not just their summary statistics.
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,5 +37,17 @@ std::string scatter_plot(const std::vector<Series>& series, const PlotConfig& co
 /// Render line charts: like scatter_plot but connects consecutive points of
 /// each series with linear interpolation across columns.
 std::string line_plot(const std::vector<Series>& series, const PlotConfig& config = {});
+
+/// One-line diagram of a K-tier layer partition: each tier as a box with its
+/// layer range, joined by hop arrows annotated with the bytes they carry.
+///   [edge: L0-L3] ==(12.5 KB)==> [fog: L4-L9] ==(4.1 KB)==> [cloud: L10-L15]
+/// Tiers with no layers render as "idle" (empty middle tiers still relay);
+/// hops carrying nothing render as a plain arrow. `cuts` are the K-1
+/// nondecreasing cut points over `num_layers` layers (tier k runs
+/// [cuts[k-1], cuts[k])); `hop_bytes[h]` is the payload crossing hop h.
+/// Throws std::invalid_argument on mismatched sizes or out-of-order cuts.
+std::string tier_diagram(const std::vector<std::string>& tier_names,
+                         const std::vector<std::size_t>& cuts, std::size_t num_layers,
+                         const std::vector<std::uint64_t>& hop_bytes);
 
 }  // namespace lens::viz
