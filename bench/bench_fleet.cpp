@@ -1,0 +1,163 @@
+// Scaling study of the fleet serving engine: one fixed fleet scenario
+// (AR(1) traces + fault injection + tracker/hysteresis switching + pricing,
+// all through the batched SoA kernels) run at 1/2/4/8 worker threads, plus
+// absolute throughput rows (device-steps/sec) at 100k and 1M devices.
+//
+// Same reporting contract as bench_parallel: wall-clock speedup is only
+// meaningful when the host has the cores, so every run also records its
+// chunk structure with a par::ScalingProbe and reports the modeled speedup
+// (per-chunk CPU times list-scheduled onto T virtual workers plus the
+// measured serial remainder). tools/check_thread_scaling.py gates
+// BENCH_fleet.json on the same schema it gates BENCH_parallel.json —
+// identical_to_reference here means the FleetStats CSV report is
+// byte-identical to the 1-thread run (the fleet determinism contract).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "bench_common.hpp"
+#include "dnn/presets.hpp"
+#include "fleet/fleet.hpp"
+#include "par/probe.hpp"
+#include "par/runtime.hpp"
+
+namespace {
+
+lens::fleet::FleetConfig fleet_scenario(std::size_t devices, std::size_t steps) {
+  lens::fleet::FleetConfig config;
+  config.devices = devices;
+  config.steps = steps;
+  config.seed = 21;
+  config.trace.mean_mbps = 8.0;
+  config.trace.sigma = 0.5;
+  config.trace.outage_start_probability = 0.02;
+  config.faults.link_outage_rate_hz = 1.0 / 3600.0;
+  config.faults.link_outage_mean_s = 120.0;
+  config.faults.cloud_outage_rate_hz = 1.0 / 7200.0;
+  config.faults.cloud_outage_mean_s = 180.0;
+  return config;
+}
+
+double process_cpu_ms() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) * 1e-6;
+  }
+#endif
+  return static_cast<double>(std::clock()) * 1e3 / CLOCKS_PER_SEC;
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  lens::bench::heading("Fleet serving scaling (batched SoA device hot path)");
+  const std::size_t hardware = lens::par::hardware_threads();
+  const bool fast = lens::bench::fast_mode();
+  std::printf("hardware threads: %zu%s\n\n", hardware,
+              fast ? "  [fast mode: reduced fleet sizes]" : "");
+
+  const lens::bench::Testbed rig = lens::bench::Testbed::gpu_wifi();
+  const lens::core::DeploymentPlan plan = rig.evaluator.compile(lens::dnn::alexnet());
+
+  const std::size_t scaling_devices = fast ? 20000 : 100000;
+  const std::size_t scaling_steps = fast ? 32 : 64;
+  lens::fleet::FleetEngine engine(plan, fleet_scenario(scaling_devices, scaling_steps));
+
+  lens::bench::JsonEmitter json("bench_fleet");
+  json.add("config",
+           {{"hardware_threads", static_cast<double>(hardware)},
+            {"fast_mode", fast ? 1.0 : 0.0},
+            {"devices", static_cast<double>(scaling_devices)},
+            {"steps", static_cast<double>(scaling_steps)}});
+
+  std::string reference;
+  double t1_ms = 0.0;
+  std::printf("%8s %12s %9s %13s %14s %12s\n", "threads", "wall(ms)", "wall-spd",
+              "modeled-spd", "parallel-frac", "identical");
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    lens::par::set_max_threads(threads);
+    lens::par::ScalingProbe probe;
+    const double cpu0 = process_cpu_ms();
+    const auto start = std::chrono::steady_clock::now();
+    const lens::fleet::FleetStats stats = engine.run();
+    const double ms = wall_ms_since(start);
+    const double cpu_ms = process_cpu_ms() - cpu0;
+    const std::string csv = stats.csv();
+    if (threads == 1) {
+      reference = csv;
+      t1_ms = ms;
+    }
+    const bool same = csv == reference;
+
+    const double work_ms = probe.work_ms();
+    const double makespan_ms = probe.makespan_ms(threads);
+    const double serial_ms = std::max(0.0, cpu_ms - work_ms);
+    const double modeled_speedup =
+        (serial_ms + work_ms) / std::max(1e-9, serial_ms + makespan_ms);
+    const double parallel_fraction = cpu_ms > 0.0 ? work_ms / cpu_ms : 0.0;
+
+    std::printf("%8zu %12.1f %8.2fx %12.2fx %13.1f%% %12s\n", threads, ms, t1_ms / ms,
+                modeled_speedup, 100.0 * parallel_fraction, same ? "yes" : "NO");
+    json.add("threads=" + std::to_string(threads),
+             {{"wall_ms", ms},
+              {"speedup_vs_1_thread", t1_ms / ms},
+              {"modeled_speedup", modeled_speedup},
+              {"probe_work_ms", work_ms},
+              {"probe_makespan_ms", makespan_ms},
+              {"serial_cpu_ms", serial_ms},
+              {"parallel_fraction", parallel_fraction},
+              {"probe_sections", static_cast<double>(probe.sections())},
+              {"probe_chunks", static_cast<double>(probe.chunks())},
+              {"device_steps_per_sec", 1e3 * static_cast<double>(scaling_devices) *
+                                           static_cast<double>(scaling_steps) / ms},
+              {"identical_to_reference", same ? 1.0 : 0.0}});
+    if (!same) {
+      std::fprintf(stderr, "fleet determinism violation at %zu threads\n", threads);
+      return 1;
+    }
+  }
+  lens::par::set_max_threads(0);
+
+  // Absolute throughput at fleet scale (ROADMAP north-star sizes). Fast mode
+  // keeps CI runners inside a few seconds by dropping the 1M-device row.
+  std::printf("\n%12s %8s %12s %16s %16s\n", "devices", "steps", "wall(ms)",
+              "device-steps/s", "steps/s");
+  for (const std::size_t devices : {std::size_t{100000}, std::size_t{1000000}}) {
+    if (fast && devices > 100000) continue;
+    const std::size_t steps = fast ? 16 : 64;
+    lens::fleet::FleetEngine big(plan, fleet_scenario(devices, steps));
+    const auto start = std::chrono::steady_clock::now();
+    const lens::fleet::FleetStats stats = big.run();
+    const double ms = wall_ms_since(start);
+    const double device_steps_per_s =
+        1e3 * static_cast<double>(devices) * static_cast<double>(steps) / ms;
+    const double steps_per_s = 1e3 * static_cast<double>(steps) / ms;
+    std::printf("%12zu %8zu %12.1f %16.3g %16.2f\n", devices, steps, ms,
+                device_steps_per_s, steps_per_s);
+    json.add("devices=" + std::to_string(devices),
+             {{"steps", static_cast<double>(steps)},
+              {"wall_ms", ms},
+              {"device_steps_per_sec", device_steps_per_s},
+              {"steps_per_sec", steps_per_s},
+              {"total_switches", static_cast<double>(stats.total_switches)},
+              {"mean_cloud_qps", stats.mean_cloud_qps}});
+  }
+
+  if (!json.write("BENCH_fleet.json")) return 1;
+  std::printf(
+      "\n(identical means the whole FleetStats CSV — percentile histograms,\n"
+      " per-step cloud QPS series, switch counts — is byte-identical to the\n"
+      " 1-thread reference; modeled-spd is the probe's hardware-independent\n"
+      " estimate of what the chunk structure supports at T threads.)\n");
+  return 0;
+}

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/analysis.hpp"
+#include "fleet/fleet.hpp"
+#include "io/io.hpp"
 #include "core/export.hpp"
 #include "core/nas.hpp"
 #include "core/plan.hpp"
@@ -448,6 +450,76 @@ int cmd_faults(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "devices", "steps",
+                     "step-s", "seed", "margin", "qps", "csv", "threads", "tiers",
+                     "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 10.0);
+  const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+
+  fleet::FleetConfig config;
+  const long long devices = static_cast<long long>(args.get_double("devices", 100000));
+  const long long steps = static_cast<long long>(args.get_double("steps", 64));
+  if (devices < 1) throw std::invalid_argument("--devices must be a positive count");
+  if (steps < 1) throw std::invalid_argument("--steps must be a positive count");
+  config.devices = static_cast<std::size_t>(devices);
+  config.steps = static_cast<std::size_t>(steps);
+  config.step_s = args.get_double("step-s", 300.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.hysteresis_margin = args.get_double("margin", 0.05);
+  config.device_qps = args.get_double("qps", 1.0);
+  config.trace.mean_mbps = rig.hop_tu[0];
+  const std::string metric_name = args.get("metric", "latency");
+  if (metric_name == "energy") {
+    config.metric = runtime::OptimizeFor::kEnergy;
+  } else if (metric_name == "latency") {
+    config.metric = runtime::OptimizeFor::kLatency;
+  } else {
+    throw std::invalid_argument("unknown --metric '" + metric_name + "' (latency|energy)");
+  }
+
+  fleet::FleetEngine engine = rig.tiers == 2
+                                  ? fleet::FleetEngine(plan, config)
+                                  : fleet::FleetEngine(plan, rig.hop_tu, config);
+  if (rig.tiers == 3) {
+    std::printf("(backhaul pinned at %.1f Mbps; devices switch over the radio hop)\n",
+                rig.hop_tu[1]);
+  }
+  const fleet::FleetStats stats = engine.run();
+
+  std::printf("fleet of %zu devices x %zu steps (%.0f s/step) serving %s, %s-optimal\n",
+              stats.devices, stats.steps, stats.step_s, arch.name().c_str(),
+              metric_name.c_str());
+  std::printf("latency ms: mean %.2f | p50 %.2f | p99 %.2f | p99.9 %.2f (oracle mean %.2f)\n",
+              stats.mean_latency_ms, stats.p50_latency_ms, stats.p99_latency_ms,
+              stats.p999_latency_ms, stats.oracle_mean_latency_ms);
+  std::printf("energy: %.2f mJ/inference | %.1f mJ per device-hour (oracle %.2f mJ/inf)\n",
+              stats.mean_energy_mj, stats.energy_mj_per_device_hour,
+              stats.oracle_mean_energy_mj);
+  std::printf("cloud load: mean %.0f qps | peak %.0f qps | offered %.2f Mbps uplink\n",
+              stats.mean_cloud_qps, stats.peak_cloud_qps, stats.mean_offered_mbps);
+  std::printf("switching: %llu total | %.3f per device-hour\n",
+              static_cast<unsigned long long>(stats.total_switches),
+              stats.switches_per_device_hour);
+  std::size_t top_bin = 0;
+  for (std::size_t b = 1; b < stats.switch_histogram.size(); ++b) {
+    if (stats.switch_histogram[b] > 0) top_bin = b;
+  }
+  std::printf("switch histogram (devices by re-stagings):");
+  for (std::size_t b = 0; b <= top_bin; ++b) {
+    std::printf(" %zu:%llu", b, static_cast<unsigned long long>(stats.switch_histogram[b]));
+  }
+  std::printf("\n");
+  if (args.has("csv")) {
+    const std::string path = args.get("csv");
+    io::atomic_write_checked(path, [&](std::ostream& os) { os << stats.csv(); });
+    std::printf("fleet stats written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int cmd_help() {
   std::printf(
       "lens-cli -- LENS edge-cloud NAS toolkit\n\n"
@@ -478,6 +550,10 @@ int cmd_help() {
       "  faults      fault-scenario pricing + serving under injected faults\n"
       "              --arch ... --tu MBPS --rate HZ --duration S --seed N\n"
       "              [--timeout MS] [--retries N]\n"
+      "  fleet       time-stepped fleet simulation over batched SoA kernels\n"
+      "              --devices N --steps N --tu MBPS (trace mean) --seed N\n"
+      "              [--step-s S] [--margin F] [--qps HZ] [--metric latency|energy]\n"
+      "              [--csv FILE]   FleetStats is bit-identical at any --threads\n"
       "  help        this text\n\n"
       "global options:\n"
       "  --threads N   worker threads for parallel evaluation (default:\n"
@@ -507,6 +583,7 @@ int run_command(const Args& args) {
     if (command == "thresholds") return cmd_thresholds(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "faults") return cmd_faults(args);
+    if (command == "fleet") return cmd_fleet(args);
     if (command.empty() || command == "help") return cmd_help();
     std::fprintf(stderr, "lens-cli: unknown command '%s' (try 'lens-cli help')\n",
                  command.c_str());

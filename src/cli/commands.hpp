@@ -16,6 +16,7 @@ int cmd_search(const Args& args);      ///< run a LENS / Traditional search
 int cmd_thresholds(const Args& args);  ///< runtime switching thresholds
 int cmd_simulate(const Args& args);    ///< serving simulation under load
 int cmd_faults(const Args& args);      ///< fault pricing + degraded serving
+int cmd_fleet(const Args& args);       ///< fleet-scale SoA serving simulation
 int cmd_help();
 
 }  // namespace lens::cli

@@ -36,32 +36,27 @@ TraceGenerator::TraceGenerator(TraceGeneratorConfig config)
   }
 }
 
+double TraceGenerator::mu() const { return std::log(config_.mean_mbps); }
+
+double TraceGenerator::innovation_scale() const {
+  const double rho = config_.correlation;
+  return config_.sigma * std::sqrt(1.0 - rho * rho);
+}
+
+double TraceGenerator::sample_floor(double mbps) const {
+  return std::max(config_.floor_mbps, mbps);
+}
+
 ThroughputTrace TraceGenerator::generate(std::size_t n, double interval_s) {
   if (n == 0) throw std::invalid_argument("TraceGenerator::generate: n must be positive");
-  std::normal_distribution<double> gauss(0.0, 1.0);
-  const double mu = std::log(config_.mean_mbps);
-  const double rho = config_.correlation;
-  const double innovation_scale = config_.sigma * std::sqrt(1.0 - rho * rho);
-
   ThroughputTrace trace;
   trace.interval_s = interval_s;
   trace.samples_mbps.reserve(n);
-  std::uniform_real_distribution<double> unit(0.0, 1.0);
-  double log_tu = mu + config_.sigma * gauss(rng_);  // stationary start
-  bool in_outage = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (config_.outage_start_probability > 0.0) {
-      if (!in_outage && unit(rng_) < config_.outage_start_probability) {
-        in_outage = true;
-      } else if (in_outage && unit(rng_) < 1.0 / config_.outage_mean_duration) {
-        in_outage = false;
-      }
-    }
-    const double depth = in_outage ? config_.outage_depth_factor : 1.0;
-    trace.samples_mbps.push_back(
-        std::max(config_.floor_mbps, std::exp(log_tu) * depth));
-    log_tu = mu + rho * (log_tu - mu) + innovation_scale * gauss(rng_);
-  }
+  // Thread the member RNG through a stream state and back, so consecutive
+  // generate() calls keep consuming one stream exactly as they always did.
+  TraceState state = start_state(std::move(rng_));
+  for (std::size_t i = 0; i < n; ++i) trace.samples_mbps.push_back(step(state));
+  rng_ = std::move(state.rng);
   return trace;
 }
 

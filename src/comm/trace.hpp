@@ -5,10 +5,22 @@
 // we substitute a synthetic generator producing temporally-correlated
 // log-normal throughput series with a configurable mean — the properties
 // that matter for exercising the threshold-crossing behaviour of Fig. 8.
+//
+// Incremental generation: whole-trace generate() is a convenience wrapper
+// around a single-step state machine — start_state() draws the stationary
+// AR(1) start, step() advances one sample, step_batch() advances a packed
+// array of per-device states (the fleet simulator's hot path). The state is
+// templated on the RNG engine: the default std::mt19937_64 reproduces the
+// historical generate() output bit-for-bit (tests pin this against a frozen
+// reference), while par::SplitMix64 shrinks per-device state to a few dozen
+// bytes so a million-device fleet can carry one stream per device.
 
 #include <cstddef>
 #include <random>
+#include <utility>
 #include <vector>
+
+#include "par/substream.hpp"
 
 namespace lens::comm {
 
@@ -42,15 +54,83 @@ struct TraceGeneratorConfig {
   double outage_depth_factor = 0.05;      ///< throughput multiplier in outage
 };
 
+/// Per-stream state of the incremental trace generator: the RNG engine, the
+/// (stateful) gaussian draw — std::normal_distribution caches its spare
+/// polar-method variate, so it must travel with the stream — and the AR(1)
+/// log-throughput carried between samples. One of these per simulated
+/// device is the fleet's packed per-device trace state.
+template <typename Engine = std::mt19937_64>
+struct BasicTraceState {
+  Engine rng{};
+  std::normal_distribution<double> gauss{0.0, 1.0};
+  std::uniform_real_distribution<double> unit{0.0, 1.0};
+  double log_tu = 0.0;     ///< log of the next sample (pre outage overlay)
+  bool in_outage = false;  ///< two-state Markov outage overlay
+};
+
+/// The exact-legacy state: stepping it reproduces generate() bit-for-bit.
+using TraceState = BasicTraceState<std::mt19937_64>;
+/// Fleet-scale state: 8-byte splitmix64 stream instead of ~2.5 KB of
+/// mt19937_64, seeded per device with par::substream_seed.
+using FleetTraceState = BasicTraceState<par::SplitMix64>;
+
 /// Generates correlated throughput traces.
 class TraceGenerator {
  public:
   explicit TraceGenerator(TraceGeneratorConfig config = {});
 
-  /// Produce a trace of `n` samples at `interval_s` spacing.
+  /// Produce a trace of `n` samples at `interval_s` spacing. Equivalent to
+  /// start_state() + n x step() on the generator's own RNG stream (and
+  /// bit-identical to the pre-refactor whole-trace loop).
   ThroughputTrace generate(std::size_t n, double interval_s = 300.0);
 
+  /// Fresh stream state over `rng`: draws the stationary AR(1) start
+  ///   log t_u = mu + sigma * z.
+  template <typename Engine>
+  BasicTraceState<Engine> start_state(Engine rng) const {
+    BasicTraceState<Engine> state;
+    state.rng = std::move(rng);
+    state.log_tu = mu() + config_.sigma * state.gauss(state.rng);
+    return state;
+  }
+
+  /// Advance one sample: apply the Markov outage overlay, emit the floored
+  /// sample, then run the AR(1) recursion. Same draw order and arithmetic
+  /// as the whole-trace loop, so n calls == generate(n) bit-for-bit.
+  template <typename Engine>
+  double step(BasicTraceState<Engine>& state) const {
+    if (config_.outage_start_probability > 0.0) {
+      if (!state.in_outage &&
+          state.unit(state.rng) < config_.outage_start_probability) {
+        state.in_outage = true;
+      } else if (state.in_outage &&
+                 state.unit(state.rng) < 1.0 / config_.outage_mean_duration) {
+        state.in_outage = false;
+      }
+    }
+    const double depth = state.in_outage ? config_.outage_depth_factor : 1.0;
+    const double sample = sample_floor(std::exp(state.log_tu) * depth);
+    state.log_tu = mu() + config_.correlation * (state.log_tu - mu()) +
+                   innovation_scale() * state.gauss(state.rng);
+    return sample;
+  }
+
+  /// SoA pass over packed per-device states: out_mbps[i] = step(states[i])
+  /// for i in [0, n). The scalar step() above is the frozen oracle; the
+  /// fleet engine drives whole device shards through this form.
+  template <typename Engine>
+  void step_batch(BasicTraceState<Engine>* states, std::size_t n,
+                  double* out_mbps) const {
+    for (std::size_t i = 0; i < n; ++i) out_mbps[i] = step(states[i]);
+  }
+
+  const TraceGeneratorConfig& config() const { return config_; }
+
  private:
+  double mu() const;                ///< log(mean_mbps)
+  double innovation_scale() const;  ///< sigma * sqrt(1 - rho^2)
+  double sample_floor(double mbps) const;
+
   TraceGeneratorConfig config_;
   std::mt19937_64 rng_;
 };

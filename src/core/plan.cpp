@@ -1,5 +1,6 @@
 #include "core/plan.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -547,6 +548,13 @@ std::vector<comm::CostCurve> DeploymentPlan::collapsed_energy_curves(
 
 std::vector<PricedObjectives> DeploymentPlan::price_batch(
     const std::vector<double>& tus_mbps) const {
+  std::vector<PricedObjectives> out(tus_mbps.size());
+  price_batch_into(tus_mbps, out);
+  return out;
+}
+
+void DeploymentPlan::price_batch_into(std::span<const double> tus_mbps,
+                                      std::span<PricedObjectives> out) const {
   require_two_tier("price_batch(tus)");
   // Option-outer / throughput-inner sweep with running minima. Per option
   // the curve terms (edge costs, bits, cloud suffix, radio-power
@@ -558,7 +566,10 @@ std::vector<PricedObjectives> DeploymentPlan::price_batch(
   // order, so the result is bit-identical to the per-throughput
   // objectives_at() loop — which tests keep as the scalar oracle.
   const std::size_t m = tus_mbps.size();
-  if (m == 0) return {};
+  if (m == 0) return;
+  if (out.size() != m) {
+    throw std::invalid_argument("price_batch_into: output span length differs");
+  }
   if (tus_mbps.front() <= 0.0) {
     throw std::invalid_argument("DeploymentPlan: throughput must be positive");
   }
@@ -572,7 +583,7 @@ std::vector<PricedObjectives> DeploymentPlan::price_batch(
   const double rtt = comm_.round_trip_ms();
   const double alpha = comm_.power_model().alpha_mw_per_mbps;
   const double beta = comm_.power_model().beta_mw;
-  std::vector<PricedObjectives> out(m);
+  std::fill(out.begin(), out.end(), PricedObjectives{});
 
   for (std::size_t opt = 0; opt < options_.size(); ++opt) {
     const DeploymentOption& o = options_[opt];
@@ -611,15 +622,22 @@ std::vector<PricedObjectives> DeploymentPlan::price_batch(
       }
     }
   }
-  return out;
 }
 
 std::vector<PricedObjectives> DeploymentPlan::price_batch_per_hop(
     const std::vector<std::vector<double>>& tus_mbps) const {
-  std::vector<PricedObjectives> out;
-  out.reserve(tus_mbps.size());
-  for (const std::vector<double>& tu : tus_mbps) out.push_back(objectives_at(tu));
+  std::vector<PricedObjectives> out(tus_mbps.size());
+  price_batch_per_hop_into(tus_mbps, out);
   return out;
+}
+
+void DeploymentPlan::price_batch_per_hop_into(
+    std::span<const std::vector<double>> tus_mbps,
+    std::span<PricedObjectives> out) const {
+  if (out.size() != tus_mbps.size()) {
+    throw std::invalid_argument("price_batch_per_hop_into: output span length differs");
+  }
+  for (std::size_t i = 0; i < tus_mbps.size(); ++i) out[i] = objectives_at(tus_mbps[i]);
 }
 
 }  // namespace lens::core

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,18 @@ class DeploymentPlan {
   std::vector<PricedObjectives> price_batch(const std::vector<double>& tus_mbps) const;
   std::vector<PricedObjectives> price_batch_per_hop(
       const std::vector<std::vector<double>>& tus_mbps) const;
+
+  /// Allocation-free core of price_batch: writes out[i] = objective minima
+  /// at tus_mbps[i] into caller-owned storage (out.size() must match).
+  /// price_batch delegates here; the fleet inner loop calls this directly
+  /// with per-shard buffers so a million-device step allocates nothing.
+  void price_batch_into(std::span<const double> tus_mbps,
+                        std::span<PricedObjectives> out) const;
+
+  /// Per-hop allocation-free variant (K >= 3 plans): one throughput vector
+  /// per result slot, written into caller-owned `out`.
+  void price_batch_per_hop_into(std::span<const std::vector<double>> tus_mbps,
+                                std::span<PricedObjectives> out) const;
 
  private:
   friend class DeploymentEvaluator;

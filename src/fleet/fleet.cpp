@@ -1,0 +1,457 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "par/parallel.hpp"
+#include "par/runtime.hpp"
+#include "par/substream.hpp"
+#include "runtime/deployer.hpp"
+
+namespace lens::fleet {
+
+namespace {
+
+/// Shard sizing: coarse enough that per-chunk dispatch is negligible, fine
+/// enough that thousands of chunks load-balance any realistic pool. Both
+/// constants are part of the determinism contract — the chunk count (and so
+/// every float-merge order) is a function of the device count alone.
+constexpr std::size_t kDevicesPerChunk = 1024;
+constexpr std::size_t kMaxChunks = 4096;
+
+std::size_t latency_bin(double ms) {
+  if (!(ms > kLatencyFloorMs)) return 0;
+  const double b = std::log10(ms / kLatencyFloorMs) * kLatencyBinsPerDecade;
+  const auto k = static_cast<std::size_t>(b);
+  return k >= kLatencyBins ? kLatencyBins - 1 : k;
+}
+
+double latency_bin_center(std::size_t k) {
+  return kLatencyFloorMs *
+         std::pow(10.0, (static_cast<double>(k) + 0.5) / kLatencyBinsPerDecade);
+}
+
+double percentile_from_hist(const std::vector<std::uint64_t>& hist, std::uint64_t total,
+                            double q) {
+  if (total == 0) return 0.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < hist.size(); ++k) {
+    cum += hist[k];
+    if (cum >= rank) return latency_bin_center(k);
+  }
+  return latency_bin_center(hist.size() - 1);
+}
+
+/// Per-device fault episodes in CSR layout (flat arrays + offsets), so the
+/// hot loop touches contiguous memory. Only the classes the fleet loop
+/// applies are extracted: hop-0 link fades and cloud outages.
+struct FaultCsr {
+  bool enabled = false;
+  std::vector<std::uint64_t> link_off;  // devices + 1
+  std::vector<double> link_start, link_end, link_depth;
+  std::vector<std::uint64_t> cloud_off;  // devices + 1
+  std::vector<double> cloud_start, cloud_end;
+};
+
+/// Episodes of one device shard, kept in device order within the shard.
+struct FaultShard {
+  std::vector<std::uint64_t> link_count, cloud_count;  // per device in shard
+  std::vector<double> link_start, link_end, link_depth;
+  std::vector<double> cloud_start, cloud_end;
+};
+
+FaultCsr build_fault_csr(const FleetConfig& config, par::ThreadPool& pool,
+                         std::size_t chunks) {
+  FaultCsr csr;
+  if (!config.faults.any_enabled()) return csr;
+  csr.enabled = true;
+  sim::FaultScheduleConfig fcfg = config.faults;
+  if (fcfg.horizon_s <= 0.0) {
+    fcfg.horizon_s = static_cast<double>(config.steps) * config.step_s;
+  }
+
+  // Each device's schedule is a pure function of (config, seed, device id),
+  // so shards generate independently; the CSR concatenation below runs
+  // serially in chunk order, keeping the layout thread-count-invariant.
+  std::vector<FaultShard> shards(chunks);
+  par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+    const auto [begin, end] = par::chunk_range(config.devices, chunks, c);
+    FaultShard& shard = shards[c];
+    shard.link_count.reserve(end - begin);
+    shard.cloud_count.reserve(end - begin);
+    for (std::size_t d = begin; d < end; ++d) {
+      const sim::FaultSchedule schedule =
+          sim::FaultSchedule::generate_for_device(fcfg, config.seed, d);
+      std::uint64_t links = 0, clouds = 0;
+      for (const sim::FaultEpisode& e : schedule.episodes()) {
+        if (e.fault == sim::FaultClass::kLinkOutage && e.hop == 0) {
+          shard.link_start.push_back(e.start_s);
+          shard.link_end.push_back(e.end_s);
+          shard.link_depth.push_back(e.magnitude);
+          ++links;
+        } else if (e.fault == sim::FaultClass::kCloudOutage) {
+          shard.cloud_start.push_back(e.start_s);
+          shard.cloud_end.push_back(e.end_s);
+          ++clouds;
+        }
+      }
+      shard.link_count.push_back(links);
+      shard.cloud_count.push_back(clouds);
+    }
+  });
+
+  csr.link_off.reserve(config.devices + 1);
+  csr.cloud_off.reserve(config.devices + 1);
+  csr.link_off.push_back(0);
+  csr.cloud_off.push_back(0);
+  for (const FaultShard& shard : shards) {
+    for (std::size_t i = 0; i < shard.link_count.size(); ++i) {
+      csr.link_off.push_back(csr.link_off.back() + shard.link_count[i]);
+      csr.cloud_off.push_back(csr.cloud_off.back() + shard.cloud_count[i]);
+    }
+    csr.link_start.insert(csr.link_start.end(), shard.link_start.begin(),
+                          shard.link_start.end());
+    csr.link_end.insert(csr.link_end.end(), shard.link_end.begin(),
+                        shard.link_end.end());
+    csr.link_depth.insert(csr.link_depth.end(), shard.link_depth.begin(),
+                          shard.link_depth.end());
+    csr.cloud_start.insert(csr.cloud_start.end(), shard.cloud_start.begin(),
+                           shard.cloud_start.end());
+    csr.cloud_end.insert(csr.cloud_end.end(), shard.cloud_end.begin(),
+                         shard.cloud_end.end());
+  }
+  return csr;
+}
+
+/// Per-chunk float/int accumulators, merged serially in chunk order.
+struct ChunkAccum {
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double offered_bits = 0.0;  // uplink bits per query, summed over devices
+  double oracle_latency_ms = 0.0;
+  double oracle_energy_mj = 0.0;
+  std::uint64_t cloud_devices = 0;
+  std::uint64_t switches = 0;
+};
+
+void append_row(std::string& out, const char* key, long long index, double value) {
+  char buf[96];
+  if (index < 0) {
+    std::snprintf(buf, sizeof buf, "%s,,%.17g\n", key, value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s,%lld,%.17g\n", key, index, value);
+  }
+  out += buf;
+}
+
+void append_row(std::string& out, const char* key, long long index,
+                std::uint64_t value) {
+  char buf[96];
+  if (index < 0) {
+    std::snprintf(buf, sizeof buf, "%s,,%llu\n", key,
+                  static_cast<unsigned long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s,%lld,%llu\n", key, index,
+                  static_cast<unsigned long long>(value));
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string FleetStats::csv() const {
+  std::string out = "key,index,value\n";
+  append_row(out, "devices", -1, static_cast<std::uint64_t>(devices));
+  append_row(out, "steps", -1, static_cast<std::uint64_t>(steps));
+  append_row(out, "step_s", -1, step_s);
+  append_row(out, "mean_latency_ms", -1, mean_latency_ms);
+  append_row(out, "p50_latency_ms", -1, p50_latency_ms);
+  append_row(out, "p99_latency_ms", -1, p99_latency_ms);
+  append_row(out, "p999_latency_ms", -1, p999_latency_ms);
+  append_row(out, "mean_energy_mj", -1, mean_energy_mj);
+  append_row(out, "energy_mj_per_device_hour", -1, energy_mj_per_device_hour);
+  append_row(out, "mean_cloud_qps", -1, mean_cloud_qps);
+  append_row(out, "peak_cloud_qps", -1, peak_cloud_qps);
+  append_row(out, "mean_offered_mbps", -1, mean_offered_mbps);
+  append_row(out, "total_switches", -1, total_switches);
+  append_row(out, "switches_per_device_hour", -1, switches_per_device_hour);
+  append_row(out, "outage_readings", -1, outage_readings);
+  append_row(out, "oracle_mean_latency_ms", -1, oracle_mean_latency_ms);
+  append_row(out, "oracle_mean_energy_mj", -1, oracle_mean_energy_mj);
+  for (std::size_t i = 0; i < cloud_qps.size(); ++i) {
+    append_row(out, "cloud_qps", static_cast<long long>(i), cloud_qps[i]);
+  }
+  for (std::size_t i = 0; i < switch_histogram.size(); ++i) {
+    append_row(out, "switch_hist", static_cast<long long>(i), switch_histogram[i]);
+  }
+  for (std::size_t i = 0; i < latency_histogram.size(); ++i) {
+    append_row(out, "latency_hist", static_cast<long long>(i), latency_histogram[i]);
+  }
+  return out;
+}
+
+std::size_t FleetEngine::num_chunks(std::size_t devices) {
+  const std::size_t chunks = devices / kDevicesPerChunk;
+  return std::clamp<std::size_t>(chunks, 1, kMaxChunks);
+}
+
+void FleetEngine::validate() const {
+  if (plan_.num_options() == 0) throw std::invalid_argument("FleetEngine: empty plan");
+  if (config_.devices == 0) throw std::invalid_argument("FleetEngine: devices must be > 0");
+  if (config_.steps == 0) throw std::invalid_argument("FleetEngine: steps must be > 0");
+  if (config_.step_s <= 0.0) throw std::invalid_argument("FleetEngine: step_s must be > 0");
+  if (config_.device_qps <= 0.0) {
+    throw std::invalid_argument("FleetEngine: device_qps must be > 0");
+  }
+  if (config_.hysteresis_margin < 0.0) {
+    throw std::invalid_argument("FleetEngine: negative hysteresis margin");
+  }
+  if (config_.tu_min <= 0.0 || config_.tu_max <= config_.tu_min) {
+    throw std::invalid_argument("FleetEngine: need 0 < tu_min < tu_max");
+  }
+}
+
+FleetEngine::FleetEngine(const core::DeploymentPlan& plan, FleetConfig config)
+    : plan_(plan), config_(std::move(config)) {
+  if (plan_.num_hops() > 1) {
+    throw std::invalid_argument("FleetEngine: K-tier plan needs the per-hop ctor");
+  }
+  latency_curves_ = plan_.latency_curves();
+  energy_curves_ = plan_.energy_curves();
+  two_tier_ = true;
+  validate();
+  const auto& sel = config_.metric == runtime::OptimizeFor::kLatency ? latency_curves_
+                                                                     : energy_curves_;
+  intervals_ = runtime::dominance_intervals(sel, config_.tu_min, config_.tu_max);
+}
+
+FleetEngine::FleetEngine(const core::DeploymentPlan& plan,
+                         const std::vector<double>& hop_tu_mbps, FleetConfig config)
+    : plan_(plan), config_(std::move(config)), two_tier_(plan.num_hops() <= 1) {
+  latency_curves_ = plan_.collapsed_latency_curves(0, hop_tu_mbps);
+  energy_curves_ = plan_.collapsed_energy_curves(0, hop_tu_mbps);
+  validate();
+  const auto& sel = config_.metric == runtime::OptimizeFor::kLatency ? latency_curves_
+                                                                     : energy_curves_;
+  intervals_ = runtime::dominance_intervals(sel, config_.tu_min, config_.tu_max);
+}
+
+FleetStats FleetEngine::run() { return run(par::global_pool()); }
+
+FleetStats FleetEngine::run(par::ThreadPool& pool) {
+  const std::size_t n = config_.devices;
+  const std::size_t steps = config_.steps;
+  const std::size_t chunks = num_chunks(n);
+  const std::size_t num_options = plan_.num_options();
+  const comm::TraceGenerator gen(config_.trace);  // validates knobs; stateless use
+  const runtime::TrackerParams tracker = config_.tracker;
+  const std::vector<comm::CostCurve>& sel_curves =
+      config_.metric == runtime::OptimizeFor::kLatency ? latency_curves_
+                                                       : energy_curves_;
+  const std::vector<core::DeploymentOption>& options = plan_.options();
+
+  // --- SoA device state -----------------------------------------------
+  std::vector<comm::FleetTraceState> states(n);
+  std::vector<double> estimate(n, 0.0);
+  std::vector<double> tu(n, 0.0);
+  std::vector<double> eff(n, 0.0);
+  std::vector<std::uint32_t> samples(n, 0);
+  std::vector<std::uint32_t> outages(n, 0);
+  std::vector<std::uint32_t> option(n, 0);
+  std::vector<std::uint32_t> prev(n, 0);
+  std::vector<std::uint32_t> switch_count(n, 0);
+  std::vector<core::PricedObjectives> priced(two_tier_ ? n : 0);
+
+  // Every device boots on the option that wins at the configured trace
+  // mean — the deployment a fleet operator would stage before telemetry.
+  const auto init_option = static_cast<std::uint32_t>(
+      runtime::select_option(intervals_, config_.trace.mean_mbps));
+  std::fill(option.begin(), option.end(), init_option);
+
+  // Per-device streams rooted at substream_seed(seed, device): trajectories
+  // are a pure function of (config, device id), independent of sharding.
+  par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+    const auto [begin, end] = par::chunk_range(n, chunks, c);
+    for (std::size_t i = begin; i < end; ++i) {
+      states[i] =
+          gen.start_state(par::SplitMix64(par::substream_seed(config_.seed, i)));
+    }
+  });
+
+  const FaultCsr csr = build_fault_csr(config_, pool, chunks);
+
+  // --- per-chunk accumulators (serial chunk-order merge) ---------------
+  std::vector<ChunkAccum> acc(chunks);
+  std::vector<std::uint64_t> hist(chunks * kLatencyBins, 0);
+
+  FleetStats stats;
+  stats.devices = n;
+  stats.steps = steps;
+  stats.step_s = config_.step_s;
+  stats.cloud_qps.reserve(steps);
+  std::vector<std::uint64_t> lat_hist(kLatencyBins, 0);
+  double total_latency = 0.0, total_energy = 0.0, total_offered_bits = 0.0;
+  double total_oracle_latency = 0.0, total_oracle_energy = 0.0;
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double t = static_cast<double>(s) * config_.step_s;
+    std::fill(acc.begin(), acc.end(), ChunkAccum{});
+    std::fill(hist.begin(), hist.end(), 0);
+
+    par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+      const auto [begin, end] = par::chunk_range(n, chunks, c);
+      const std::size_t len = end - begin;
+
+      // 1. Trace step: one AR(1) advance per device.
+      gen.step_batch(&states[begin], len, &tu[begin]);
+
+      // 2. Fault overlay: link fades scale the reading; a cloud outage
+      //    turns it into an outage reading (tu = 0) — an unreachable cloud
+      //    is indistinguishable from a dead link at the device.
+      if (csr.enabled) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double factor = 1.0;
+          for (std::uint64_t j = csr.link_off[i]; j < csr.link_off[i + 1]; ++j) {
+            if (t >= csr.link_start[j] && t < csr.link_end[j]) {
+              factor = std::min(factor, csr.link_depth[j]);
+            }
+          }
+          tu[i] *= factor;
+          for (std::uint64_t j = csr.cloud_off[i]; j < csr.cloud_off[i + 1]; ++j) {
+            if (t >= csr.cloud_start[j] && t < csr.cloud_end[j]) {
+              tu[i] = 0.0;
+              break;
+            }
+          }
+        }
+      }
+
+      // 3. Tracker update (EWMA fold / outage decay) over the shard.
+      runtime::tracker_update_batch(
+          tracker, std::span<double>(estimate.data() + begin, len),
+          std::span<std::uint32_t>(samples.data() + begin, len),
+          std::span<std::uint32_t>(outages.data() + begin, len),
+          std::span<const double>(tu.data() + begin, len));
+
+      // 4. Hysteresis re-select on the tracked estimate (0 until the first
+      //    successful sample, which select_batch clamps to the analyzed
+      //    floor — the pessimistic-floor fallback of the runtime stack).
+      std::copy(option.begin() + static_cast<std::ptrdiff_t>(begin),
+                option.begin() + static_cast<std::ptrdiff_t>(end),
+                prev.begin() + static_cast<std::ptrdiff_t>(begin));
+      runtime::select_batch(intervals_, sel_curves, config_.tu_min,
+                            config_.hysteresis_margin,
+                            std::span<const double>(estimate.data() + begin, len),
+                            std::span<std::uint32_t>(option.data() + begin, len));
+
+      // 5. Price the realized link state: serving costs at the actual
+      //    throughput (outage clamped to the floor), plus the full-option-
+      //    set oracle via the allocation-free batch pricer.
+      for (std::size_t i = begin; i < end; ++i) {
+        eff[i] = tu[i] > 0.0 ? tu[i] : config_.tu_min;
+      }
+      if (two_tier_) {
+        plan_.price_batch_into(std::span<const double>(eff.data() + begin, len),
+                               std::span<core::PricedObjectives>(priced.data() + begin, len));
+      }
+
+      ChunkAccum& a = acc[c];
+      std::uint64_t* h = hist.data() + c * kLatencyBins;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (option[i] != prev[i]) {
+          ++a.switches;
+          ++switch_count[i];
+        }
+        const std::uint32_t o = option[i];
+        const double lat = latency_curves_[o].value(eff[i]);
+        const double energy = energy_curves_[o].value(eff[i]);
+        a.latency_ms += lat;
+        a.energy_mj += energy;
+        ++h[latency_bin(lat)];
+        const core::DeploymentOption& od = options[o];
+        if (od.tx_bytes > 0) {
+          ++a.cloud_devices;
+          a.offered_bits += static_cast<double>(od.tx_bytes) * 8.0;
+        }
+        if (two_tier_) {
+          a.oracle_latency_ms += priced[i].best_latency_ms;
+          a.oracle_energy_mj += priced[i].best_energy_mj;
+        } else {
+          // Collapsed K-tier curves: min over options, ascending strict-<.
+          double best_lat = latency_curves_[0].value(eff[i]);
+          double best_energy = energy_curves_[0].value(eff[i]);
+          for (std::size_t k = 1; k < num_options; ++k) {
+            const double l = latency_curves_[k].value(eff[i]);
+            const double e = energy_curves_[k].value(eff[i]);
+            if (l < best_lat) best_lat = l;
+            if (e < best_energy) best_energy = e;
+          }
+          a.oracle_latency_ms += best_lat;
+          a.oracle_energy_mj += best_energy;
+        }
+      }
+    });
+
+    // Serial merge in chunk-index order: the only float accumulation whose
+    // order could depend on scheduling, pinned here for any thread count.
+    double step_offered_bits = 0.0;
+    std::uint64_t step_cloud = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      total_latency += acc[c].latency_ms;
+      total_energy += acc[c].energy_mj;
+      total_oracle_latency += acc[c].oracle_latency_ms;
+      total_oracle_energy += acc[c].oracle_energy_mj;
+      step_offered_bits += acc[c].offered_bits;
+      step_cloud += acc[c].cloud_devices;
+      stats.total_switches += acc[c].switches;
+      for (std::size_t k = 0; k < kLatencyBins; ++k) {
+        lat_hist[k] += hist[c * kLatencyBins + k];
+      }
+    }
+    total_offered_bits += step_offered_bits;
+    stats.cloud_qps.push_back(static_cast<double>(step_cloud) * config_.device_qps);
+  }
+
+  // --- report -----------------------------------------------------------
+  const double device_steps = static_cast<double>(n) * static_cast<double>(steps);
+  const double device_hours =
+      device_steps * config_.step_s / 3600.0;  // each step is step_s of wall time
+  stats.mean_latency_ms = total_latency / device_steps;
+  stats.mean_energy_mj = total_energy / device_steps;
+  // Every device-step serves device_qps * step_s inferences at its priced
+  // per-inference energy.
+  stats.energy_mj_per_device_hour =
+      total_energy * config_.device_qps * config_.step_s / device_hours;
+  stats.oracle_mean_latency_ms = total_oracle_latency / device_steps;
+  stats.oracle_mean_energy_mj = total_oracle_energy / device_steps;
+  stats.mean_offered_mbps =
+      total_offered_bits * config_.device_qps / 1e6 / static_cast<double>(steps);
+  double qps_sum = 0.0;
+  for (double q : stats.cloud_qps) {
+    qps_sum += q;
+    stats.peak_cloud_qps = std::max(stats.peak_cloud_qps, q);
+  }
+  stats.mean_cloud_qps = qps_sum / static_cast<double>(steps);
+  stats.switches_per_device_hour =
+      static_cast<double>(stats.total_switches) / device_hours;
+  for (std::uint32_t o : outages) stats.outage_readings += o;
+  stats.latency_histogram = lat_hist;
+  const std::uint64_t total_obs = static_cast<std::uint64_t>(n) * steps;
+  stats.p50_latency_ms = percentile_from_hist(lat_hist, total_obs, 0.50);
+  stats.p99_latency_ms = percentile_from_hist(lat_hist, total_obs, 0.99);
+  stats.p999_latency_ms = percentile_from_hist(lat_hist, total_obs, 0.999);
+  stats.switch_histogram.assign(kSwitchBins, 0);
+  for (std::uint32_t sc : switch_count) {
+    const std::size_t bin = std::min<std::size_t>(sc, kSwitchBins - 1);
+    ++stats.switch_histogram[bin];
+  }
+  return stats;
+}
+
+}  // namespace lens::fleet

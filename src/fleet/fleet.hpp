@@ -1,0 +1,153 @@
+#pragma once
+// Fleet-scale serving simulation (ROADMAP north-star: "millions of users").
+//
+// A FleetEngine time-steps a population of devices that all serve the same
+// compiled DeploymentPlan: per step and per device it advances an AR(1)
+// throughput trace, folds the reading into an EWMA tracker, re-selects the
+// deployment option under hysteresis, and prices the serving cost — all via
+// the batched SoA kernels of comm/runtime/core (step_batch,
+// tracker_update_batch, select_batch, price_batch_into), never through
+// per-device objects. Aggregates land in a FleetStats report: cloud
+// offered-load / QPS per step, switching-rate histogram, p50/p99/p999
+// end-to-end latency, and energy per device-hour.
+//
+// Determinism contract: FleetStats is bit-identical for ANY thread count.
+// Devices are sharded into contiguous chunks whose boundaries depend only
+// on the device count (par::chunk_range over a chunk count derived from
+// n_devices alone); each chunk accumulates into its own slot; and all
+// floating-point merges run serially in chunk-index order after the
+// parallel section. Per-device randomness comes from
+// par::substream_seed(seed, device_id) — never from shared generators — so
+// device i's trajectory is a pure function of (config, i).
+//
+// Memory: per-device state is a few dozen bytes (par::SplitMix64 carries
+// 8 bytes of RNG state instead of mt19937_64's ~2.5 KB), so a million
+// devices fit in ~150 MB of flat SoA arrays.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/commcost.hpp"
+#include "comm/trace.hpp"
+#include "core/plan.hpp"
+#include "par/thread_pool.hpp"
+#include "runtime/threshold.hpp"
+#include "runtime/tracker.hpp"
+#include "sim/fault.hpp"
+
+namespace lens::fleet {
+
+/// Latency histogram shape: log-spaced bins, kBinsPerDecade per decade
+/// starting at kLatencyFloorMs. Percentiles are reported as the geometric
+/// center of the bin holding the rank — deterministic by construction.
+inline constexpr std::size_t kLatencyBins = 64;
+inline constexpr double kLatencyFloorMs = 0.01;
+inline constexpr double kLatencyBinsPerDecade = 8.0;
+
+/// Switching histogram: switches-per-device over the whole run, bins
+/// 0..kSwitchBins-2 plus one overflow bin.
+inline constexpr std::size_t kSwitchBins = 17;
+
+/// One fleet scenario. The trace/tracker knobs are shared by every device;
+/// heterogeneity comes from each device's private RNG substream.
+struct FleetConfig {
+  std::size_t devices = 1000;
+  std::size_t steps = 64;
+  double step_s = 300.0;   ///< wall seconds per step (trace sample spacing)
+  std::uint64_t seed = 1;  ///< fleet seed; device i uses substream_seed(seed, i)
+
+  /// Link-model knobs (TraceGeneratorConfig::seed is ignored — the fleet
+  /// seed above roots every device's substream).
+  comm::TraceGeneratorConfig trace;
+  runtime::TrackerParams tracker;
+  double hysteresis_margin = 0.05;
+  runtime::OptimizeFor metric = runtime::OptimizeFor::kLatency;
+  double tu_min = 0.05;  ///< outage clamp / analyzed floor (Mbps)
+  double tu_max = 1000.0;
+  double device_qps = 1.0;  ///< inference queries per second per device
+
+  /// Per-device fault injection (rates of 0 disable a class). Only
+  /// kLinkOutage on hop 0 (throughput fade) and kCloudOutage (reading
+  /// forced to outage) are applied by the fleet loop. Each device derives
+  /// its schedule via substream_seed(seed, device_id) — independent of
+  /// sharding. horizon_s <= 0 defaults to steps * step_s.
+  sim::FaultScheduleConfig faults;
+};
+
+/// Aggregate report of one fleet run. All fields are bit-identical for any
+/// thread count; csv() serializes every one of them with round-trip (%.17g)
+/// precision so CI can byte-diff runs.
+struct FleetStats {
+  std::size_t devices = 0;
+  std::size_t steps = 0;
+  double step_s = 0.0;
+
+  double mean_latency_ms = 0.0;  ///< over device-steps, dynamic policy
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double p999_latency_ms = 0.0;
+
+  double mean_energy_mj = 0.0;            ///< per inference, dynamic policy
+  double energy_mj_per_device_hour = 0.0; ///< at device_qps inference load
+
+  double mean_cloud_qps = 0.0;  ///< queries/s entering the cloud (fleet-wide)
+  double peak_cloud_qps = 0.0;
+  double mean_offered_mbps = 0.0;  ///< fleet uplink offered load
+
+  std::uint64_t total_switches = 0;  ///< option re-stagings across the run
+  double switches_per_device_hour = 0.0;
+  std::uint64_t outage_readings = 0;  ///< tracker outage updates (faults)
+
+  /// Oracle columns: per-device-step objective minima over the full option
+  /// set at the realized throughput (price_batch_into) — the regret
+  /// reference the dynamic tracker+hysteresis policy is compared against.
+  double oracle_mean_latency_ms = 0.0;
+  double oracle_mean_energy_mj = 0.0;
+
+  std::vector<double> cloud_qps;                 ///< per-step series
+  std::vector<std::uint64_t> switch_histogram;   ///< kSwitchBins entries
+  std::vector<std::uint64_t> latency_histogram;  ///< kLatencyBins entries
+
+  /// Deterministic "key,value" CSV (series rows keyed with their index).
+  std::string csv() const;
+};
+
+/// Time-stepped fleet simulator over one compiled plan. Construction
+/// precomputes the cost curves and dominance intervals; run() owns the SoA
+/// device state and may be called repeatedly (each call restarts from the
+/// seeded initial state and returns the same report).
+class FleetEngine {
+ public:
+  /// Two-tier plan: selection and pricing on the radio-throughput axis.
+  FleetEngine(const core::DeploymentPlan& plan, FleetConfig config);
+
+  /// K-tier plan with hops past the radio pinned at hop_tu_mbps[h] (full
+  /// per-hop vector, entry 0 ignored), mirroring DynamicDeployer's K-tier
+  /// ctor: the radio axis drives selection via collapsed 1-D curves.
+  FleetEngine(const core::DeploymentPlan& plan, const std::vector<double>& hop_tu_mbps,
+              FleetConfig config);
+
+  /// Run on the shared global pool (par::set_max_threads / --threads).
+  FleetStats run();
+  /// Run on an explicit pool. Thread count never changes the report.
+  FleetStats run(par::ThreadPool& pool);
+
+  /// Deterministic shard count for `devices` (depends on nothing else).
+  static std::size_t num_chunks(std::size_t devices);
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  void validate() const;
+
+  core::DeploymentPlan plan_;
+  FleetConfig config_;
+  std::vector<comm::CostCurve> latency_curves_;
+  std::vector<comm::CostCurve> energy_curves_;
+  std::vector<runtime::DominanceInterval> intervals_;
+  bool two_tier_ = true;
+};
+
+}  // namespace lens::fleet

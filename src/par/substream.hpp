@@ -33,4 +33,41 @@ constexpr std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) 
   return z ^ (z >> 31);
 }
 
+/// The full splitmix64 generator as a standard URBG: 8 bytes of state per
+/// stream, versus ~2.5 KB for std::mt19937_64. That 300x is what lets a
+/// fleet of a million simulated devices each carry a private RNG stream in
+/// SoA device state (lens::fleet) — a per-device mt19937_64 would cost
+/// gigabytes. Statistical quality is the splitmix64 finalizer's (avalanche-
+/// mixed, passes BigCrush as a 64-bit stream); period 2^64 per stream,
+/// which dwarfs any fleet horizon. Seed each device's stream with
+/// substream_seed(fleet_seed, device_id) so streams are pairwise
+/// decorrelated and independent of sharding.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr SplitMix64() noexcept = default;
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  friend constexpr bool operator==(const SplitMix64& a, const SplitMix64& b) noexcept {
+    return a.state_ == b.state_;
+  }
+  friend constexpr bool operator!=(const SplitMix64& a, const SplitMix64& b) noexcept {
+    return a.state_ != b.state_;
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
 }  // namespace lens::par

@@ -115,13 +115,27 @@ std::size_t DynamicDeployer::select_cloud_unreachable() const {
 }
 
 std::size_t DynamicDeployer::select(double tu_mbps) const {
-  const double tu = effective_tu(tu_mbps);
-  for (const DominanceInterval& iv : intervals_) {
-    if (tu >= iv.tu_low && tu < iv.tu_high) return iv.option_index;
+  return select_option(intervals_, effective_tu(tu_mbps));
+}
+
+void select_batch(std::span<const DominanceInterval> intervals,
+                  std::span<const CostCurve> curves, double tu_min, double margin,
+                  std::span<const double> tu_mbps,
+                  std::span<std::uint32_t> current_option) {
+  if (tu_mbps.size() != current_option.size()) {
+    throw std::invalid_argument("select_batch: span lengths differ");
   }
-  // Outside the analyzed range: clamp to the nearest end's winner.
-  return tu < intervals_.front().tu_low ? intervals_.front().option_index
-                                        : intervals_.back().option_index;
+  for (std::size_t i = 0; i < tu_mbps.size(); ++i) {
+    const double tu = tu_mbps[i] > 0.0 ? tu_mbps[i] : tu_min;
+    current_option[i] = static_cast<std::uint32_t>(
+        select_option_hysteresis(intervals, curves, tu, current_option[i], margin));
+  }
+}
+
+void DynamicDeployer::select_batch(std::span<const double> tu_mbps,
+                                   std::span<std::uint32_t> current_option,
+                                   double margin) const {
+  runtime::select_batch(intervals_, curves_, tu_min_, margin, tu_mbps, current_option);
 }
 
 namespace {
@@ -158,12 +172,8 @@ std::size_t DynamicDeployer::select_with_hysteresis(double tu_mbps, std::size_t 
     throw std::out_of_range("select_with_hysteresis: bad current option");
   }
   if (margin < 0.0) throw std::invalid_argument("select_with_hysteresis: negative margin");
-  const double tu = effective_tu(tu_mbps);
-  const std::size_t cheapest = select(tu);
-  if (cheapest == current) return current;
-  const double current_cost = curves_[current].value(tu);
-  const double cheapest_cost = curves_[cheapest].value(tu);
-  return cheapest_cost < current_cost * (1.0 - margin) ? cheapest : current;
+  return select_option_hysteresis(intervals_, curves_, effective_tu(tu_mbps), current,
+                                  margin);
 }
 
 PlaybackResult DynamicDeployer::play_dynamic(const comm::ThroughputTrace& trace,

@@ -15,7 +15,9 @@
 // unreachable altogether forces the cheapest edge-only option.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "comm/commcost.hpp"
@@ -56,6 +58,41 @@ struct PlaybackResult {
   double degraded_fraction = 0.0;
 };
 
+/// Stateless select core: index of the cheapest option at throughput `tu`
+/// (already clamped positive), via the precomputed dominance intervals.
+/// Outside the analyzed range the nearest end's winner wins. The object
+/// API (DynamicDeployer::select) is a thin wrapper over this.
+inline std::size_t select_option(std::span<const DominanceInterval> intervals,
+                                 double tu) {
+  for (const DominanceInterval& iv : intervals) {
+    if (tu >= iv.tu_low && tu < iv.tu_high) return iv.option_index;
+  }
+  return tu < intervals.front().tu_low ? intervals.front().option_index
+                                       : intervals.back().option_index;
+}
+
+/// Stateless hysteresis core: keep `current` unless the cheapest option
+/// beats it by more than `margin` (relative). Bit-identical to
+/// DynamicDeployer::select_with_hysteresis on the same curves/intervals.
+inline std::size_t select_option_hysteresis(std::span<const DominanceInterval> intervals,
+                                            std::span<const CostCurve> curves, double tu,
+                                            std::size_t current, double margin) {
+  const std::size_t cheapest = select_option(intervals, tu);
+  if (cheapest == current) return current;
+  const double current_cost = curves[current].value(tu);
+  const double cheapest_cost = curves[cheapest].value(tu);
+  return cheapest_cost < current_cost * (1.0 - margin) ? cheapest : current;
+}
+
+/// SoA batch form of the hysteresis rule: for each device i, clamp a
+/// non-positive tu_mbps[i] (outage) to tu_min, then update
+/// current_option[i] in place per select_option_hysteresis. The scalar core
+/// is the frozen oracle (EXPECT_EQ bit-identity tests).
+void select_batch(std::span<const DominanceInterval> intervals,
+                  std::span<const CostCurve> curves, double tu_min, double margin,
+                  std::span<const double> tu_mbps,
+                  std::span<std::uint32_t> current_option);
+
 /// Runtime option selector for one model.
 class DynamicDeployer {
  public:
@@ -87,6 +124,13 @@ class DynamicDeployer {
   /// must be re-staged on every switch, so flapping has a real cost.
   std::size_t select_with_hysteresis(double tu_mbps, std::size_t current,
                                      double margin = 0.05) const;
+
+  /// Batched hysteresis over SoA device spans (see the free select_batch):
+  /// current_option[i] is updated in place from reading tu_mbps[i], with the
+  /// deployer's own intervals/curves/tu_min.
+  void select_batch(std::span<const double> tu_mbps,
+                    std::span<std::uint32_t> current_option,
+                    double margin = 0.05) const;
 
   /// Cheapest edge-only option (tx_bytes == 0) under the metric, if the
   /// option set has one. Edge-only costs are throughput-independent, so

@@ -1,12 +1,28 @@
 #include "runtime/tracker.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace lens::runtime {
 
+void tracker_update_batch(const TrackerParams& params, std::span<double> estimate_mbps,
+                          std::span<std::uint32_t> samples,
+                          std::span<std::uint32_t> outages,
+                          std::span<const double> tu_mbps) {
+  const std::size_t n = tu_mbps.size();
+  if (estimate_mbps.size() != n || samples.size() != n || outages.size() != n) {
+    throw std::invalid_argument("tracker_update_batch: span lengths differ");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    TrackerState state{estimate_mbps[i], samples[i], outages[i]};
+    tracker_update(params, state, tu_mbps[i]);
+    estimate_mbps[i] = state.estimate_mbps;
+    samples[i] = state.samples;
+    outages[i] = state.outages;
+  }
+}
+
 ThroughputTracker::ThroughputTracker(double alpha, double outage_decay, double floor_mbps)
-    : alpha_(alpha), outage_decay_(outage_decay), floor_mbps_(floor_mbps) {
+    : params_{alpha, outage_decay, floor_mbps} {
   if (alpha <= 0.0 || alpha > 1.0) {
     throw std::invalid_argument("ThroughputTracker: alpha must be in (0,1]");
   }
@@ -23,21 +39,19 @@ void ThroughputTracker::report(double tu_mbps) {
     throw std::invalid_argument(
         "ThroughputTracker: throughput must be positive (use report_outage)");
   }
-  estimate_ = samples_ == 0 ? tu_mbps : alpha_ * tu_mbps + (1.0 - alpha_) * estimate_;
-  ++samples_;
+  tracker_update(params_, state_, tu_mbps);
 }
 
 void ThroughputTracker::report_outage() {
-  ++outages_;
-  // Before any successful measurement there is nothing to decay: the
-  // tracker stays estimate-less rather than inventing a number.
-  if (samples_ == 0) return;
-  estimate_ = std::max(floor_mbps_, estimate_ * outage_decay_);
+  // tracker_update treats any non-positive reading as an outage; before any
+  // successful measurement there is nothing to decay, so the tracker stays
+  // estimate-less rather than inventing a number.
+  tracker_update(params_, state_, 0.0);
 }
 
 double ThroughputTracker::estimate_mbps() const {
-  if (samples_ == 0) throw std::logic_error("ThroughputTracker: no samples yet");
-  return estimate_;
+  if (state_.samples == 0) throw std::logic_error("ThroughputTracker: no samples yet");
+  return state_.estimate_mbps;
 }
 
 }  // namespace lens::runtime

@@ -9,18 +9,74 @@
 // held estimate geometrically toward a floor (hold-last-with-decay), so an
 // outage episode degrades the estimate smoothly instead of killing the
 // runtime loop or silently skipping samples.
+//
+// Batched form: the update rule itself is a pure function of (params,
+// state, reading) — tracker_update() — and tracker_update_batch() applies
+// it across structure-of-arrays spans of per-device state, which is how the
+// fleet simulator advances a million trackers per timestep without a
+// million object calls. ThroughputTracker is a thin wrapper over the same
+// core (frozen-reference tests pin wrapper == core bit-for-bit).
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 
 namespace lens::runtime {
 
-/// EWMA throughput estimator with an outage decay policy.
+/// EWMA/outage-decay knobs shared by every tracker of a fleet.
+/// `alpha` in (0,1]: weight of the newest sample (1 = trust latest fully).
+/// `outage_decay` in (0,1]: per-outage-sample multiplier applied to the
+/// held estimate (1 = hold-last exactly). `floor_mbps` > 0: the estimate
+/// never decays below this.
+struct TrackerParams {
+  double alpha = 0.7;
+  double outage_decay = 0.5;
+  double floor_mbps = 0.05;
+};
+
+/// Per-device tracker state, SoA-friendly (plain scalars, no invariants a
+/// zero-initialized block would violate).
+struct TrackerState {
+  double estimate_mbps = 0.0;
+  std::uint32_t samples = 0;  ///< successful reports folded in
+  std::uint32_t outages = 0;  ///< outage readings recorded
+};
+
+/// The whole tracker update rule: a positive reading is folded into the
+/// EWMA (first report seeds it), a non-positive reading is an outage that
+/// decays the held estimate geometrically toward the floor (and is a no-op
+/// on the estimate before any successful report — the tracker stays
+/// estimate-less rather than inventing a number).
+inline void tracker_update(const TrackerParams& params, TrackerState& state,
+                           double tu_mbps) {
+  if (tu_mbps > 0.0) {
+    state.estimate_mbps = state.samples == 0
+                              ? tu_mbps
+                              : params.alpha * tu_mbps +
+                                    (1.0 - params.alpha) * state.estimate_mbps;
+    ++state.samples;
+  } else {
+    ++state.outages;
+    if (state.samples == 0) return;
+    state.estimate_mbps =
+        std::max(params.floor_mbps, state.estimate_mbps * params.outage_decay);
+  }
+}
+
+/// SoA batch update: estimate/samples/outages are parallel per-device
+/// arrays, tu_mbps the per-device readings (non-positive = outage).
+/// Bit-identical to calling tracker_update() per index — the scalar core is
+/// the frozen oracle.
+void tracker_update_batch(const TrackerParams& params, std::span<double> estimate_mbps,
+                          std::span<std::uint32_t> samples,
+                          std::span<std::uint32_t> outages,
+                          std::span<const double> tu_mbps);
+
+/// EWMA throughput estimator with an outage decay policy (object form; a
+/// validated thin wrapper over tracker_update).
 class ThroughputTracker {
  public:
-  /// `alpha` in (0,1]: weight of the newest sample (1 = trust latest fully).
-  /// `outage_decay` in (0,1]: per-outage-sample multiplier applied to the
-  /// held estimate (1 = hold-last exactly). `floor_mbps` > 0: the estimate
-  /// never decays below this.
   explicit ThroughputTracker(double alpha = 0.7, double outage_decay = 0.5,
                              double floor_mbps = 0.05);
 
@@ -36,18 +92,14 @@ class ThroughputTracker {
   /// Current estimate. Throws std::logic_error before the first report.
   double estimate_mbps() const;
 
-  bool has_estimate() const { return samples_ > 0; }
-  std::size_t samples() const { return samples_; }
+  bool has_estimate() const { return state_.samples > 0; }
+  std::size_t samples() const { return state_.samples; }
   /// Outage readings recorded so far (report_outage calls).
-  std::size_t outages() const { return outages_; }
+  std::size_t outages() const { return state_.outages; }
 
  private:
-  double alpha_;
-  double outage_decay_;
-  double floor_mbps_;
-  double estimate_ = 0.0;
-  std::size_t samples_ = 0;
-  std::size_t outages_ = 0;
+  TrackerParams params_;
+  TrackerState state_;
 };
 
 }  // namespace lens::runtime

@@ -62,7 +62,13 @@ FaultSchedule::FaultSchedule(std::vector<FaultEpisode> episodes)
                    });
 }
 
-FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
+namespace {
+
+/// Shared episode-generation core: `base_seed` roots every class substream.
+/// generate() passes config.seed through unchanged (frozen legacy path);
+/// generate_for_device() passes the fleet-mixed per-device seed.
+FaultSchedule generate_with_base(const FaultScheduleConfig& config,
+                                 std::uint64_t base_seed) {
   if (config.horizon_s <= 0.0 || !std::isfinite(config.horizon_s)) {
     throw std::invalid_argument("FaultSchedule::generate: horizon must be positive");
   }
@@ -87,8 +93,7 @@ FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
   // One independent RNG substream per class (splitmix64-mixed class salt):
   // enabling or tuning one class never perturbs another's episodes.
   const auto substream = [&](std::uint64_t salt) {
-    return std::mt19937_64(
-        par::substream_seed(static_cast<std::uint64_t>(config.seed), salt));
+    return std::mt19937_64(par::substream_seed(base_seed, salt));
   };
   const auto renew = [&](FaultClass fault, double rate_hz, double mean_s,
                          double magnitude, std::uint64_t salt, std::size_t hop) {
@@ -126,6 +131,18 @@ FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
   }
   episodes.insert(episodes.end(), config.scripted.begin(), config.scripted.end());
   return FaultSchedule(std::move(episodes));
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::generate(const FaultScheduleConfig& config) {
+  return generate_with_base(config, static_cast<std::uint64_t>(config.seed));
+}
+
+FaultSchedule FaultSchedule::generate_for_device(const FaultScheduleConfig& config,
+                                                 std::uint64_t fleet_seed,
+                                                 std::uint64_t device_id) {
+  return generate_with_base(config, par::substream_seed(fleet_seed, device_id));
 }
 
 std::size_t FaultSchedule::count(FaultClass fault) const {

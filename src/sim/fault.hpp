@@ -14,6 +14,7 @@
 // for SimStats accounting.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,16 @@ class FaultSchedule {
   /// Same seed => identical schedule, independent of which other classes
   /// are enabled; throws std::invalid_argument on bad knobs.
   static FaultSchedule generate(const FaultScheduleConfig& config);
+
+  /// Per-device schedule of a simulated fleet: the device's episode streams
+  /// are seeded from par::substream_seed(fleet_seed, device_id), so every
+  /// device gets decorrelated episodes and the schedule depends only on
+  /// (config, fleet_seed, device_id) — never on sharding or thread count.
+  /// config.seed is ignored (the fleet seed replaces it); scripted episodes
+  /// are still merged in verbatim on every device.
+  static FaultSchedule generate_for_device(const FaultScheduleConfig& config,
+                                           std::uint64_t fleet_seed,
+                                           std::uint64_t device_id);
 
   const std::vector<FaultEpisode>& episodes() const { return episodes_; }
   std::size_t count(FaultClass fault) const;

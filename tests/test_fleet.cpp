@@ -1,0 +1,461 @@
+// Frozen-reference tests for the batched SoA serving kernels and the fleet
+// engine built on them. Every batch kernel (trace step_batch,
+// tracker_update_batch, select_batch, price_batch_into) is pinned
+// bit-for-bit (EXPECT_EQ, no tolerances) against the scalar object API it
+// refactored — the scalar paths are themselves pinned by the existing
+// per-subsystem frozen-reference suites, so the chain grounds out at the
+// historical numbers. FleetEngine determinism is pinned by byte-comparing
+// whole FleetStats CSV reports across thread counts.
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "comm/commcost.hpp"
+#include "comm/trace.hpp"
+#include "core/evaluator.hpp"
+#include "core/plan.hpp"
+#include "dnn/presets.hpp"
+#include "fleet/fleet.hpp"
+#include "par/substream.hpp"
+#include "par/thread_pool.hpp"
+#include "perf/predictor.hpp"
+#include "runtime/deployer.hpp"
+#include "runtime/tracker.hpp"
+#include "sim/fault.hpp"
+
+namespace lens {
+namespace {
+
+// ---------------------------------------------------------------------------
+// par::SplitMix64
+// ---------------------------------------------------------------------------
+
+TEST(SplitMix64, StreamMatchesSubstreamSeed) {
+  // The URBG *is* the splitmix64 stream substream_seed samples: draw i of
+  // SplitMix64(seed) equals substream_seed(seed, i).
+  par::SplitMix64 rng(0x9a3779b9f1234567ull);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(rng(), par::substream_seed(0x9a3779b9f1234567ull, i));
+  }
+}
+
+TEST(SplitMix64, UrbgContract) {
+  EXPECT_EQ(par::SplitMix64::min(), 0u);
+  EXPECT_EQ(par::SplitMix64::max(), ~std::uint64_t{0});
+  par::SplitMix64 a(7), b(7), c(8);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a != c);
+  (void)a();
+  EXPECT_TRUE(a != b);  // state advanced
+}
+
+// ---------------------------------------------------------------------------
+// comm::TraceGenerator::step / step_batch
+// ---------------------------------------------------------------------------
+
+comm::TraceGeneratorConfig outage_trace_config() {
+  comm::TraceGeneratorConfig config;
+  config.mean_mbps = 8.0;
+  config.sigma = 0.5;
+  config.correlation = 0.7;
+  config.seed = 42;
+  config.outage_start_probability = 0.15;
+  config.outage_mean_duration = 2.5;
+  config.outage_depth_factor = 0.04;
+  return config;
+}
+
+TEST(TraceStep, StepReproducesGenerateBitForBit) {
+  for (const auto& config :
+       {comm::TraceGeneratorConfig{}, outage_trace_config()}) {
+    comm::TraceGenerator whole(config);
+    const comm::ThroughputTrace a = whole.generate(40);
+    const comm::ThroughputTrace b = whole.generate(24);  // stream continues
+
+    comm::TraceGenerator stepped(config);
+    comm::TraceState state = stepped.start_state(std::mt19937_64(config.seed));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(stepped.step(state), a.samples_mbps[i]) << "sample " << i;
+    }
+    // A second generate() re-draws a stationary start from the same stream.
+    comm::TraceState state2 = stepped.start_state(std::move(state.rng));
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(stepped.step(state2), b.samples_mbps[i]) << "sample " << i;
+    }
+  }
+}
+
+TEST(TraceStep, StepBatchMatchesScalarStep) {
+  const comm::TraceGeneratorConfig config = outage_trace_config();
+  const comm::TraceGenerator gen(config);
+  constexpr std::size_t kDevices = 37;
+
+  std::vector<comm::FleetTraceState> batch(kDevices), scalar(kDevices);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    batch[d] = gen.start_state(par::SplitMix64(par::substream_seed(123, d)));
+    scalar[d] = gen.start_state(par::SplitMix64(par::substream_seed(123, d)));
+  }
+  std::vector<double> out(kDevices);
+  for (std::size_t step = 0; step < 16; ++step) {
+    gen.step_batch(batch.data(), kDevices, out.data());
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      EXPECT_EQ(out[d], gen.step(scalar[d])) << "device " << d << " step " << step;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// runtime::tracker_update / tracker_update_batch
+// ---------------------------------------------------------------------------
+
+TEST(TrackerBatch, CoreMatchesObjectWrapper) {
+  const runtime::TrackerParams params{0.6, 0.4, 0.07};
+  runtime::ThroughputTracker object(params.alpha, params.outage_decay,
+                                    params.floor_mbps);
+  runtime::TrackerState core;
+  // Leading outage (no-op on the estimate), EWMA folds, decay chain to floor.
+  const double readings[] = {0.0, 12.0, 8.5, 0.0, 0.0, 3.25, 0.0, 0.0, 0.0, 40.0};
+  for (double tu : readings) {
+    if (tu > 0.0) {
+      object.report(tu);
+    } else {
+      object.report_outage();
+    }
+    runtime::tracker_update(params, core, tu);
+    EXPECT_EQ(core.samples, object.samples());
+    EXPECT_EQ(core.outages, object.outages());
+    if (object.has_estimate()) {
+      EXPECT_EQ(core.estimate_mbps, object.estimate_mbps());
+    }
+  }
+}
+
+TEST(TrackerBatch, BatchMatchesPerSampleReports) {
+  const runtime::TrackerParams params{0.7, 0.5, 0.05};
+  constexpr std::size_t kDevices = 29;
+  constexpr std::size_t kSteps = 50;
+
+  // Per-device reading sequences from decorrelated substreams, ~1/4 outages.
+  std::vector<std::vector<double>> readings(kDevices);
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    std::mt19937_64 rng(par::substream_seed(9, d));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      const double u = unit(rng);
+      readings[d].push_back(u < 0.25 ? 0.0 : u * 30.0);
+    }
+  }
+
+  std::vector<double> estimate(kDevices, 0.0);
+  std::vector<std::uint32_t> samples(kDevices, 0), outages(kDevices, 0);
+  std::vector<double> step_readings(kDevices);
+  std::vector<runtime::ThroughputTracker> oracle(
+      kDevices, runtime::ThroughputTracker(params.alpha, params.outage_decay,
+                                           params.floor_mbps));
+
+  for (std::size_t s = 0; s < kSteps; ++s) {
+    for (std::size_t d = 0; d < kDevices; ++d) step_readings[d] = readings[d][s];
+    runtime::tracker_update_batch(params, estimate, samples, outages, step_readings);
+    for (std::size_t d = 0; d < kDevices; ++d) {
+      if (step_readings[d] > 0.0) {
+        oracle[d].report(step_readings[d]);
+      } else {
+        oracle[d].report_outage();
+      }
+      EXPECT_EQ(samples[d], oracle[d].samples());
+      EXPECT_EQ(outages[d], oracle[d].outages());
+      if (oracle[d].has_estimate()) {
+        EXPECT_EQ(estimate[d], oracle[d].estimate_mbps()) << "device " << d;
+      }
+    }
+  }
+}
+
+TEST(TrackerBatch, RejectsMismatchedSpans) {
+  std::vector<double> estimate(3, 0.0), tu(4, 1.0);
+  std::vector<std::uint32_t> samples(3, 0), outages(3, 0);
+  EXPECT_THROW(
+      runtime::tracker_update_batch({}, estimate, samples, outages, tu),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// runtime::select_batch vs select_with_hysteresis
+// ---------------------------------------------------------------------------
+
+core::DeploymentOption make_option(core::DeploymentKind kind, double edge_latency,
+                                   double edge_energy, std::uint64_t tx_bytes) {
+  core::DeploymentOption o;
+  o.kind = kind;
+  o.edge_latency_ms = edge_latency;
+  o.edge_energy_mj = edge_energy;
+  o.tx_bytes = tx_bytes;
+  return o;
+}
+
+runtime::DynamicDeployer make_deployer() {
+  const comm::CommModel comm(comm::WirelessTechnology::kWifi, 15.0);
+  std::vector<core::DeploymentOption> options;
+  options.push_back(make_option(core::DeploymentKind::kAllEdge, 30.0, 280.0, 0));
+  options.push_back(make_option(core::DeploymentKind::kPartitioned, 12.0, 90.0, 36864));
+  // A tie candidate: same curve as the partitioned option above.
+  options.push_back(make_option(core::DeploymentKind::kPartitioned, 12.0, 90.0, 36864));
+  options.push_back(make_option(core::DeploymentKind::kAllCloud, 2.0, 10.0, 154587));
+  return runtime::DynamicDeployer(std::move(options), comm,
+                                  runtime::OptimizeFor::kLatency, 0.05, 500.0);
+}
+
+TEST(SelectBatch, MatchesSelectWithHysteresisEverywhere) {
+  const runtime::DynamicDeployer deployer = make_deployer();
+
+  // Probe set: interval boundaries exactly, one ulp-ish either side, interior
+  // points, the analyzed ends, and outage readings (clamped to tu_min).
+  std::vector<double> probes = {0.05, 0.5, 2.0, 10.0, 100.0, 499.0, 0.0, -3.0};
+  for (const runtime::DominanceInterval& iv : deployer.intervals()) {
+    probes.push_back(iv.tu_low);
+    probes.push_back(iv.tu_low * (1.0 + 1e-12));
+    probes.push_back(iv.tu_low * (1.0 - 1e-12));
+    probes.push_back(std::nextafter(iv.tu_high, 0.0));
+  }
+
+  for (const double margin : {0.0, 0.05, 0.5}) {
+    for (std::size_t current = 0; current < deployer.options().size(); ++current) {
+      std::vector<std::uint32_t> batch_current(probes.size(),
+                                               static_cast<std::uint32_t>(current));
+      deployer.select_batch(probes, batch_current, margin);
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        EXPECT_EQ(batch_current[i],
+                  deployer.select_with_hysteresis(probes[i], current, margin))
+            << "tu=" << probes[i] << " current=" << current << " margin=" << margin;
+      }
+    }
+  }
+}
+
+TEST(SelectBatch, TiedCurvesNeverFlap) {
+  // Two options sharing one curve: whichever is current must stay current
+  // (a tie can never beat the hysteresis margin, even at margin 0).
+  const comm::CommModel comm(comm::WirelessTechnology::kWifi, 15.0);
+  std::vector<core::DeploymentOption> options;
+  options.push_back(make_option(core::DeploymentKind::kPartitioned, 12.0, 90.0, 36864));
+  options.push_back(make_option(core::DeploymentKind::kPartitioned, 12.0, 90.0, 36864));
+  const runtime::DynamicDeployer deployer(std::move(options), comm,
+                                          runtime::OptimizeFor::kLatency, 0.05, 500.0);
+  for (const double tu : {0.3, 3.0, 30.0}) {
+    std::vector<double> probe{tu};
+    for (std::uint32_t current : {0u, 1u}) {
+      std::vector<std::uint32_t> option{current};
+      deployer.select_batch(probe, option, 0.0);
+      EXPECT_EQ(option[0], current);
+    }
+  }
+}
+
+TEST(SelectBatch, RejectsMismatchedSpans) {
+  const runtime::DynamicDeployer deployer = make_deployer();
+  std::vector<double> tu(3, 1.0);
+  std::vector<std::uint32_t> current(2, 0);
+  EXPECT_THROW(deployer.select_batch(tu, current), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// core::DeploymentPlan::price_batch_into
+// ---------------------------------------------------------------------------
+
+// One compiled plan shared by every pricing/fleet test (plans are
+// self-contained value types, so the statics only pay the predictor once).
+const core::DeploymentPlan& alexnet_plan() {
+  static const core::DeploymentPlan plan = [] {
+    static const perf::DeviceSimulator sim(perf::jetson_tx2_gpu());
+    static const perf::SimulatorOracle oracle(sim);
+    const comm::CommModel comm(comm::WirelessTechnology::kWifi, 5.0);
+    const core::DeploymentEvaluator evaluator(oracle, comm);
+    return evaluator.compile(dnn::alexnet());
+  }();
+  return plan;
+}
+
+TEST(PriceBatchInto, MatchesPriceBatchAndScalarOracle) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  std::vector<double> tus;
+  for (double tu = 0.1; tu < 60.0; tu *= 1.7) tus.push_back(tu);
+
+  const std::vector<core::PricedObjectives> expected = plan.price_batch(tus);
+  std::vector<core::PricedObjectives> got(tus.size());
+  plan.price_batch_into(tus, got);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].best_latency_ms, expected[i].best_latency_ms);
+    EXPECT_EQ(got[i].best_energy_mj, expected[i].best_energy_mj);
+    EXPECT_EQ(got[i].best_latency_option, expected[i].best_latency_option);
+    EXPECT_EQ(got[i].best_energy_option, expected[i].best_energy_option);
+    // Ground truth: the scalar per-throughput pricer.
+    const core::PricedObjectives oracle = plan.objectives_at(tus[i]);
+    EXPECT_EQ(got[i].best_latency_ms, oracle.best_latency_ms);
+    EXPECT_EQ(got[i].best_energy_mj, oracle.best_energy_mj);
+  }
+}
+
+TEST(PriceBatchInto, ReusedBufferIsOverwritten) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  std::vector<core::PricedObjectives> buffer(2,
+                                             core::PricedObjectives{1e9, 1e9, 99, 99});
+  std::vector<double> tus{5.0, 6.0};
+  plan.price_batch_into(tus, buffer);
+  const core::PricedObjectives oracle = plan.objectives_at(5.0);
+  EXPECT_EQ(buffer[0].best_latency_ms, oracle.best_latency_ms);
+  EXPECT_EQ(buffer[0].best_latency_option, oracle.best_latency_option);
+}
+
+TEST(PriceBatchInto, Validation) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  std::vector<double> tus{5.0, -1.0};
+  std::vector<core::PricedObjectives> out(2);
+  EXPECT_THROW(plan.price_batch_into(tus, out), std::invalid_argument);
+  std::vector<core::PricedObjectives> short_out(1);
+  std::vector<double> ok{5.0, 6.0};
+  EXPECT_THROW(plan.price_batch_into(ok, short_out), std::invalid_argument);
+}
+
+TEST(PriceBatchPerHopInto, MatchesObjectivesAt) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  std::vector<std::vector<double>> tus{{3.0}, {8.0}, {21.0}};
+  std::vector<core::PricedObjectives> got(tus.size());
+  plan.price_batch_per_hop_into(tus, got);
+  for (std::size_t i = 0; i < tus.size(); ++i) {
+    const core::PricedObjectives oracle = plan.objectives_at(tus[i]);
+    EXPECT_EQ(got[i].best_latency_ms, oracle.best_latency_ms);
+    EXPECT_EQ(got[i].best_energy_mj, oracle.best_energy_mj);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sim::FaultSchedule::generate_for_device
+// ---------------------------------------------------------------------------
+
+sim::FaultScheduleConfig fleet_fault_config() {
+  sim::FaultScheduleConfig config;
+  config.horizon_s = 4000.0;
+  config.link_outage_rate_hz = 1.0 / 300.0;
+  config.link_outage_mean_s = 60.0;
+  config.cloud_outage_rate_hz = 1.0 / 900.0;
+  config.cloud_outage_mean_s = 120.0;
+  return config;
+}
+
+TEST(FaultSubstreams, PerDeviceSchedulesAreDeterministicAndDecorrelated) {
+  const sim::FaultScheduleConfig config = fleet_fault_config();
+  const sim::FaultSchedule a = sim::FaultSchedule::generate_for_device(config, 77, 3);
+  const sim::FaultSchedule b = sim::FaultSchedule::generate_for_device(config, 77, 3);
+  ASSERT_EQ(a.episodes().size(), b.episodes().size());
+  for (std::size_t i = 0; i < a.episodes().size(); ++i) {
+    EXPECT_EQ(a.episodes()[i].start_s, b.episodes()[i].start_s);
+    EXPECT_EQ(a.episodes()[i].end_s, b.episodes()[i].end_s);
+  }
+  // Neighboring devices (and neighboring fleet seeds) draw different
+  // episodes — substream_seed avalanche-mixes both inputs.
+  const sim::FaultSchedule c = sim::FaultSchedule::generate_for_device(config, 77, 4);
+  const sim::FaultSchedule d = sim::FaultSchedule::generate_for_device(config, 78, 3);
+  const auto first_start = [](const sim::FaultSchedule& s) {
+    return s.empty() ? -1.0 : s.episodes().front().start_s;
+  };
+  EXPECT_NE(first_start(a), first_start(c));
+  EXPECT_NE(first_start(a), first_start(d));
+}
+
+// ---------------------------------------------------------------------------
+// fleet::FleetEngine
+// ---------------------------------------------------------------------------
+
+fleet::FleetConfig small_fleet_config() {
+  fleet::FleetConfig config;
+  config.devices = 4100;  // > 4 chunks: the parallel path actually shards
+  config.steps = 20;
+  config.step_s = 300.0;
+  config.seed = 5;
+  config.trace.mean_mbps = 6.0;
+  config.trace.sigma = 0.6;
+  config.trace.outage_start_probability = 0.05;
+  config.faults = fleet_fault_config();
+  config.faults.horizon_s = 0.0;  // derive from steps * step_s
+  return config;
+}
+
+TEST(FleetEngine, ReportIsBitIdenticalAcrossThreadCounts) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetEngine engine(plan, small_fleet_config());
+  par::ThreadPool one(1), five(5);
+  const fleet::FleetStats serial = engine.run(one);
+  const fleet::FleetStats parallel = engine.run(five);
+  EXPECT_EQ(serial.csv(), parallel.csv());
+  EXPECT_GT(serial.total_switches, 0u);
+  EXPECT_GT(serial.outage_readings, 0u);  // cloud outages fed the tracker
+}
+
+TEST(FleetEngine, ReportInvariants) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetConfig config = small_fleet_config();
+  fleet::FleetEngine engine(plan, config);
+  par::ThreadPool pool(3);
+  const fleet::FleetStats stats = engine.run(pool);
+
+  EXPECT_EQ(stats.devices, config.devices);
+  EXPECT_EQ(stats.steps, config.steps);
+  EXPECT_EQ(stats.cloud_qps.size(), config.steps);
+  // Histograms partition the observations exactly.
+  std::uint64_t hist_total = 0;
+  for (std::uint64_t c : stats.latency_histogram) hist_total += c;
+  EXPECT_EQ(hist_total, static_cast<std::uint64_t>(config.devices) * config.steps);
+  std::uint64_t devices_binned = 0, switches_binned = 0;
+  for (std::size_t b = 0; b < stats.switch_histogram.size(); ++b) {
+    devices_binned += stats.switch_histogram[b];
+    if (b + 1 < stats.switch_histogram.size()) {
+      switches_binned += stats.switch_histogram[b] * b;
+    }
+  }
+  EXPECT_EQ(devices_binned, config.devices);
+  EXPECT_LE(switches_binned, stats.total_switches);
+  // The oracle prices the whole option set: it can only lower-bound the
+  // dynamic policy on the selection metric.
+  EXPECT_LE(stats.oracle_mean_latency_ms, stats.mean_latency_ms);
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p99_latency_ms);
+  EXPECT_LE(stats.p99_latency_ms, stats.p999_latency_ms);
+  EXPECT_LE(stats.peak_cloud_qps + 1e-12,
+            static_cast<double>(config.devices) * config.device_qps + 1e-9);
+}
+
+TEST(FleetEngine, RunIsRepeatable) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetEngine engine(plan, small_fleet_config());
+  par::ThreadPool pool(2);
+  EXPECT_EQ(engine.run(pool).csv(), engine.run(pool).csv());
+}
+
+TEST(FleetEngine, Validation) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetConfig config;
+  config.devices = 0;
+  EXPECT_THROW(fleet::FleetEngine(plan, config), std::invalid_argument);
+  config = fleet::FleetConfig{};
+  config.steps = 0;
+  EXPECT_THROW(fleet::FleetEngine(plan, config), std::invalid_argument);
+  config = fleet::FleetConfig{};
+  config.hysteresis_margin = -0.1;
+  EXPECT_THROW(fleet::FleetEngine(plan, config), std::invalid_argument);
+}
+
+TEST(FleetEngine, ChunkCountDependsOnDevicesAlone) {
+  EXPECT_EQ(fleet::FleetEngine::num_chunks(1), 1u);
+  EXPECT_EQ(fleet::FleetEngine::num_chunks(1023), 1u);
+  EXPECT_EQ(fleet::FleetEngine::num_chunks(10000), 9u);
+  EXPECT_EQ(fleet::FleetEngine::num_chunks(1u << 20), 1024u);
+  EXPECT_EQ(fleet::FleetEngine::num_chunks(100000000), 4096u);
+}
+
+}  // namespace
+}  // namespace lens

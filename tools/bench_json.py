@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Shared loader for bench JSON artifacts (BENCH_*.json).
+
+Every bench artifact in this repo is written through io::atomic_write_checked,
+which appends a `# lens:fnv1a <hex16> <bytes>` integrity footer after the JSON
+payload. Python consumers must strip that footer (and any other `#`-prefixed
+line) before json.loads — this module is the one place that rule lives, so no
+consumer grows its own ad-hoc stripping again.
+"""
+
+import json
+
+FOOTER_PREFIX = "# lens:fnv1a"
+
+
+def strip_footer(text):
+    """Drop `#`-prefixed lines (the integrity footer) from a bench artifact."""
+    return "\n".join(
+        line for line in text.splitlines() if not line.lstrip().startswith("#")
+    )
+
+
+def load_stripped_json(path):
+    """json.loads of a bench artifact, integrity footer stripped."""
+    with open(path, "r", encoding="utf-8") as f:
+        return json.loads(strip_footer(f.read()))

@@ -21,17 +21,10 @@ import argparse
 import json
 import sys
 
+from bench_json import load_stripped_json
+
 DEFAULT_MIN_SPEEDUP = 3.0
 GATED_THREADS = 8
-
-
-def load_stripped_json(path):
-    """json.loads after dropping `#`-prefixed lines (integrity footer)."""
-    with open(path, "r", encoding="utf-8") as f:
-        text = "\n".join(
-            line for line in f.read().splitlines() if not line.lstrip().startswith("#")
-        )
-    return json.loads(text)
 
 
 def main(argv=None):

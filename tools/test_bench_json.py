@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Unit tests for the shared bench-JSON footer helper (bench_json.py).
+
+The fixture replicates what io::atomic_write_checked emits: a JSON payload
+followed by the `# lens:fnv1a <hex16> <bytes>` integrity footer. Every bench
+JSON consumer (check_thread_scaling.py gating BENCH_parallel.json and
+BENCH_fleet.json) loads through this helper, so this is the seam that keeps
+footer handling from regressing."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_json import load_stripped_json, strip_footer
+
+
+FIXTURE = (
+    '{\n'
+    '  "results": [\n'
+    '    {"name": "config", "hardware_threads": 8},\n'
+    '    {"name": "threads=8", "speedup_vs_1_thread": 5.5}\n'
+    '  ]\n'
+    '}\n'
+    '# lens:fnv1a cbf29ce484222325 104\n'
+)
+
+
+class StripFooterTest(unittest.TestCase):
+    def test_strips_checksum_footer(self):
+        stripped = strip_footer(FIXTURE)
+        self.assertNotIn("fnv1a", stripped)
+        doc = json.loads(stripped)
+        self.assertEqual(doc["results"][0]["hardware_threads"], 8)
+
+    def test_strips_indented_comment_lines_only(self):
+        text = '{"a": 1}\n   # indented footer\n# another\n'
+        self.assertEqual(json.loads(strip_footer(text)), {"a": 1})
+
+    def test_preserves_hash_inside_strings(self):
+        # A '#' inside a JSON string is payload, not footer: the stripper
+        # only drops lines that *start* with '#'.
+        text = '{"label": "bench #4"}\n# lens:fnv1a 0 0\n'
+        self.assertEqual(json.loads(strip_footer(text))["label"], "bench #4")
+
+    def test_no_footer_is_identity(self):
+        text = '{"a": [1, 2, 3]}'
+        self.assertEqual(strip_footer(text), text)
+
+
+class LoadStrippedJsonTest(unittest.TestCase):
+    def test_loads_footer_bearing_file(self):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8"
+        ) as f:
+            f.write(FIXTURE)
+            path = f.name
+        try:
+            doc = load_stripped_json(path)
+            records = {r["name"]: r for r in doc["results"]}
+            self.assertEqual(records["threads=8"]["speedup_vs_1_thread"], 5.5)
+        finally:
+            os.unlink(path)
+
+    def test_check_thread_scaling_imports_shared_helper(self):
+        import check_thread_scaling
+
+        self.assertIs(check_thread_scaling.load_stripped_json, load_stripped_json)
+
+
+if __name__ == "__main__":
+    unittest.main()
