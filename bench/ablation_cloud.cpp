@@ -6,10 +6,14 @@
 // assumption is validated for datacenter-class clouds at LAN-like RTTs and
 // shown to break for weak clouds or long RTTs.
 
+#include <cstddef>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "cloud/machine.hpp"
+#include "comm/trace.hpp"
 #include "dnn/presets.hpp"
+#include "sim/system.hpp"
 
 int main() {
   using namespace lens;
@@ -59,11 +63,80 @@ int main() {
     std::printf("%-12.0f %-14s %12.1f\n", rtt, eval.latency_choice().label(alexnet).c_str(),
                 eval.best_latency_ms());
   }
+  // Extension: the assumption above is about cloud *speed*; this section is
+  // about cloud *size*. A finite machine pool serves the same deployment
+  // under Poisson load — as the pool shrinks, queueing wait creeps into the
+  // served latency and admission control starts shedding to the edge
+  // fallback. The "infinite (paper)" row is the frozen legacy path (no
+  // CloudConfig at all), bit-identical to what this ablation always printed.
+  bench::heading("Ablation -- finite cloud pool (AlexNet @ 10 Mbps, 10 req/s, datacenter cloud)");
+  {
+    core::EvaluatorConfig ecfg;
+    ecfg.cloud_model = &datacenter;
+    const comm::CommModel wifi(comm::WirelessTechnology::kWifi, 5.0);
+    const core::DeploymentEvaluator evaluator(edge, wifi, ecfg);
+    const core::DeploymentPlan plan = evaluator.compile(alexnet);
+    const core::DeploymentEvaluation eval = plan.price(10.0);
+    // Pin the fastest transmitting option: the pool must actually serve it.
+    std::size_t pinned = eval.options.size();
+    for (std::size_t i = 0; i < eval.options.size(); ++i) {
+      if (eval.options[i].tx_bytes == 0) continue;
+      if (pinned == eval.options.size() ||
+          eval.options[i].latency_ms < eval.options[pinned].latency_ms) {
+        pinned = i;
+      }
+    }
+
+    struct PoolArm {
+      const char* label;
+      std::size_t machines;       // 0 = the paper's infinite cloud
+      double capacity_ms_per_s;
+      std::size_t breaker_failures;
+    };
+    const PoolArm pools[] = {
+        {"infinite (paper)", 0, 0.0, 0},
+        {"64 x real-time", 64, 1000.0, 0},
+        {"1 x 1/50 speed", 1, 20.0, 0},
+        {"1 x 1/3333 (overrun)", 1, 0.3, 0},
+        {"overrun + breaker", 1, 0.3, 2},
+    };
+
+    comm::ThroughputTrace flat;
+    flat.samples_mbps = {10.0};
+    flat.interval_s = 1000.0;
+
+    std::printf("%-20s %10s %10s %8s %10s %10s\n", "pool", "mean (ms)", "p99 (ms)",
+                "shed", "fallbacks", "dc E (J)");
+    for (const PoolArm& arm : pools) {
+      sim::SimConfig scfg;
+      scfg.duration_s = 30.0;
+      scfg.arrival_rate_hz = 10.0;
+      scfg.policy = sim::DispatchPolicy::kFixed;
+      scfg.fixed_option = pinned;
+      if (arm.machines > 0) {
+        cloud::CloudConfig pool;
+        pool.machines = arm.machines;
+        pool.machine.capacity_ms_per_s = arm.capacity_ms_per_s;
+        scfg.cloud = pool;
+      }
+      scfg.breaker_failures = arm.breaker_failures;
+      sim::EdgeCloudSystem system(eval.options, wifi, flat, scfg);
+      const sim::SimStats stats = system.run();
+      std::printf("%-20s %10.1f %10.1f %8zu %10zu %10.1f\n", arm.label,
+                  stats.mean_latency_ms, stats.p99_latency_ms, stats.shed,
+                  stats.fallback_executions, stats.datacenter_energy_j);
+    }
+  }
+
   bench::rule();
   std::printf("takeaway: AlexNet's 30 Mbps latency crossover (Fig. 2) is razor-thin --\n"
               "~0.6 ms wide -- so even a datacenter cloud's ~1.6 ms suffix or a few ms of\n"
               "extra RTT flips it back to All-Edge. The paper's L_cloud ~ 0 assumption is\n"
               "safe for its *energy* results (cloud energy is never billed to the edge)\n"
-              "but the latency-side crossovers should be read with the path RTT in mind.\n");
+              "but the latency-side crossovers should be read with the path RTT in mind.\n"
+              "The pool table adds the *size* axis: a right-sized pool only shifts the\n"
+              "mean by its service time, but an overrun pool plus naive retries congests\n"
+              "the uplink into second-scale tails -- the circuit breaker's fast-fail to\n"
+              "the edge fallback is what restores a bounded latency ceiling.\n");
   return 0;
 }

@@ -47,6 +47,29 @@ dnn::Architecture parse_arch(const std::string& name) {
   throw std::invalid_argument("unknown --arch '" + name + "' (alexnet|vgg16)");
 }
 
+cloud::PlacementPolicy parse_policy(const std::string& name) {
+  if (name == "greedy") return cloud::PlacementPolicy::kGreedyFirstFit;
+  if (name == "energy") return cloud::PlacementPolicy::kEnergyBestFit;
+  throw std::invalid_argument("unknown --cloud-policy '" + name + "' (greedy|energy)");
+}
+
+/// Parse "--brownout start,duration,depth" into a scripted regional-brownout
+/// episode (depth = capacity fraction lost, in (0, 1]).
+sim::FaultEpisode parse_brownout(const Args& args) {
+  const std::vector<double> fields = args.get_doubles("brownout");
+  if (fields.size() != 3) {
+    throw std::invalid_argument(
+        "--brownout expects start,duration,depth (seconds, seconds, capacity "
+        "fraction lost in (0,1])");
+  }
+  sim::FaultEpisode episode;
+  episode.fault = sim::FaultClass::kRegionalBrownout;
+  episode.start_s = fields[0];
+  episode.end_s = fields[0] + fields[1];
+  episode.magnitude = fields[2];
+  return episode;
+}
+
 struct Rig {
   perf::DeviceSimulator simulator;
   perf::RooflinePredictor predictor;
@@ -355,7 +378,8 @@ int cmd_simulate(const Args& args) {
 
 int cmd_faults(const Args& args) {
   args.expect_known({"arch", "tech", "rtt", "device", "tu", "rate", "duration", "seed",
-                     "timeout", "retries", "threads", "tiers", "fog-device", "hop-bw"});
+                     "timeout", "retries", "threads", "tiers", "fog-device", "hop-bw",
+                     "cloud-machines", "cloud-capacity", "jitter", "breaker"});
   Rig rig = Rig::from_args(args, 10.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const double tu = rig.hop_tu[0];
@@ -402,6 +426,29 @@ int cmd_faults(const Args& args) {
   config.faults.cloud_outage_mean_s = 8.0;
   config.faults.rtt_spike_rate_hz = 1.0 / 50.0;
   config.faults.edge_slowdown_rate_hz = 1.0 / 80.0;
+  // Finite-cloud serving: a bounded machine pool behind the partition point
+  // (admission control sheds what the pool cannot absorb), plus the
+  // retry-storm-safety knobs — jittered backoff and the circuit breaker.
+  config.retry_jitter = args.get_double("jitter", 0.0);
+  if (args.has("cloud-machines")) {
+    cloud::CloudConfig cloud;
+    const int machines = args.get_int("cloud-machines", 8);
+    if (machines < 1) {
+      throw std::invalid_argument("--cloud-machines expects a positive count");
+    }
+    cloud.machines = static_cast<std::size_t>(machines);
+    cloud.machine.capacity_ms_per_s = args.get_double("cloud-capacity", 4000.0);
+    config.cloud = cloud;
+    config.faults.machine_failure_rate_hz = 1.0 / 90.0;
+    config.faults.brownout_rate_hz = 1.0 / 70.0;
+  } else if (args.has("cloud-capacity")) {
+    throw std::invalid_argument("--cloud-capacity requires --cloud-machines");
+  }
+  if (args.has("breaker")) {
+    const int failures = args.get_int("breaker", 3);
+    if (failures < 0) throw std::invalid_argument("--breaker expects a count >= 0");
+    config.breaker_failures = static_cast<std::size_t>(failures);
+  }
   if (rig.tiers == 3) {
     // The fog-to-cloud backhaul degrades independently of the radio: its
     // own deep fades and RTT spikes, drawn from disjoint RNG substreams.
@@ -426,10 +473,11 @@ int cmd_faults(const Args& args) {
     const sim::SimStats stats = system.run();
     std::printf(
         "%-18s avail %5.1f%% | mean %7.1f ms | p95 %7.1f ms | timeouts %3zu | "
-        "retries %3zu | fallbacks %3zu | degraded %4.1f%%\n",
+        "retries %3zu | fallbacks %3zu | shed %3zu | brk-open %5.1f s | "
+        "degraded %4.1f%%\n",
         name, 100.0 * stats.availability, stats.mean_latency_ms, stats.p95_latency_ms,
-        stats.timeouts, stats.retries, stats.fallback_executions,
-        100.0 * stats.degraded_fraction);
+        stats.timeouts, stats.retries, stats.fallback_executions, stats.shed,
+        stats.breaker_open_time_s, 100.0 * stats.degraded_fraction);
   };
   std::printf("serving under injected faults (%.0f s at %.1f req/s, seed %u):\n",
               config.duration_s, config.arrival_rate_hz, config.seed);
@@ -453,7 +501,8 @@ int cmd_faults(const Args& args) {
 int cmd_fleet(const Args& args) {
   args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "devices", "steps",
                      "step-s", "seed", "margin", "qps", "csv", "threads", "tiers",
-                     "fog-device", "hop-bw"});
+                     "fog-device", "hop-bw", "cloud-machines", "cloud-capacity",
+                     "cloud-policy", "admit-util", "sla", "brownout"});
   Rig rig = Rig::from_args(args, 10.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const core::DeploymentEvaluator evaluator = rig.make_evaluator();
@@ -479,6 +528,28 @@ int cmd_fleet(const Args& args) {
   } else {
     throw std::invalid_argument("unknown --metric '" + metric_name + "' (latency|energy)");
   }
+  config.sla_ms = args.get_double("sla", 0.0);
+  if (args.has("cloud-machines")) {
+    cloud::CloudConfig cloud;
+    const int machines = args.get_int("cloud-machines", 64);
+    if (machines < 1) {
+      throw std::invalid_argument("--cloud-machines expects a positive count");
+    }
+    cloud.machines = static_cast<std::size_t>(machines);
+    cloud.machine.capacity_ms_per_s = args.get_double("cloud-capacity", 4000.0);
+    cloud.policy = parse_policy(args.get("cloud-policy", "greedy"));
+    cloud.admit_utilization = args.get_double("admit-util", 0.85);
+    config.cloud = cloud;
+    config.cloud_faults.seed = static_cast<unsigned>(config.seed);
+    if (args.has("brownout")) {
+      config.cloud_faults.scripted.push_back(parse_brownout(args));
+    }
+  } else if (args.has("cloud-capacity") || args.has("cloud-policy") ||
+             args.has("admit-util") || args.has("brownout")) {
+    throw std::invalid_argument(
+        "--cloud-capacity/--cloud-policy/--admit-util/--brownout require "
+        "--cloud-machines (the finite-cloud model)");
+  }
 
   fleet::FleetEngine engine = rig.tiers == 2
                                   ? fleet::FleetEngine(plan, config)
@@ -498,8 +569,31 @@ int cmd_fleet(const Args& args) {
   std::printf("energy: %.2f mJ/inference | %.1f mJ per device-hour (oracle %.2f mJ/inf)\n",
               stats.mean_energy_mj, stats.energy_mj_per_device_hour,
               stats.oracle_mean_energy_mj);
-  std::printf("cloud load: mean %.0f qps | peak %.0f qps | offered %.2f Mbps uplink\n",
-              stats.mean_cloud_qps, stats.peak_cloud_qps, stats.mean_offered_mbps);
+  if (config.cloud) {
+    std::printf(
+        "cloud load: offered %.0f qps | admitted %.0f qps (peak %.0f) | "
+        "offered %.2f Mbps uplink\n",
+        stats.mean_offered_qps, stats.mean_cloud_qps, stats.peak_cloud_qps,
+        stats.mean_offered_mbps);
+    std::printf(
+        "admission: shed %llu (%.2f%%) | queue wait %.2f ms | breaker trips %llu | "
+        "open %.0f device-s\n",
+        static_cast<unsigned long long>(stats.shed), 100.0 * stats.shed_rate,
+        stats.mean_queue_wait_ms, static_cast<unsigned long long>(stats.breaker_trips),
+        stats.breaker_open_time_s);
+    std::printf(
+        "datacenter: %s | %zu machines (%.1f active) | energy %.1f kJ\n",
+        cloud::placement_policy_name(config.cloud->policy), config.cloud->machines,
+        stats.mean_machines_active, stats.datacenter_energy_j / 1e3);
+  } else {
+    std::printf("cloud load: mean %.0f qps | peak %.0f qps | offered %.2f Mbps uplink\n",
+                stats.mean_cloud_qps, stats.peak_cloud_qps, stats.mean_offered_mbps);
+  }
+  if (config.sla_ms > 0.0) {
+    std::printf("SLA %.0f ms: %llu violations (%.2f%%)\n", config.sla_ms,
+                static_cast<unsigned long long>(stats.sla_violations),
+                100.0 * stats.sla_violation_rate);
+  }
   std::printf("switching: %llu total | %.3f per device-hour\n",
               static_cast<unsigned long long>(stats.total_switches),
               stats.switches_per_device_hour);
@@ -516,6 +610,90 @@ int cmd_fleet(const Args& args) {
     const std::string path = args.get("csv");
     io::atomic_write_checked(path, [&](std::ostream& os) { os << stats.csv(); });
     std::printf("fleet stats written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_cloud(const Args& args) {
+  args.expect_known({"arch", "tech", "rtt", "device", "tu", "devices", "steps", "step-s",
+                     "seed", "qps", "machines", "capacity", "admit-util", "sla",
+                     "brownout", "threads", "tiers", "fog-device", "hop-bw"});
+  Rig rig = Rig::from_args(args, 10.0);
+  // vgg16 at the 10 Mbps default makes All-Cloud the latency winner, so the
+  // fleet actually leans on the pool (alexnet mostly stays on the edge).
+  const dnn::Architecture arch = parse_arch(args.get("arch", "vgg16"));
+  const core::DeploymentEvaluator evaluator = rig.make_evaluator();
+  const core::DeploymentPlan plan = evaluator.compile(arch);
+
+  fleet::FleetConfig config;
+  const long long devices = static_cast<long long>(args.get_double("devices", 20000));
+  const long long steps = static_cast<long long>(args.get_double("steps", 48));
+  if (devices < 1) throw std::invalid_argument("--devices must be a positive count");
+  if (steps < 1) throw std::invalid_argument("--steps must be a positive count");
+  config.devices = static_cast<std::size_t>(devices);
+  config.steps = static_cast<std::size_t>(steps);
+  config.step_s = args.get_double("step-s", 60.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.device_qps = args.get_double("qps", 1.0);
+  config.trace.mean_mbps = rig.hop_tu[0];
+  config.sla_ms = args.get_double("sla", 300.0);
+
+  cloud::CloudConfig cloud;
+  const int machines = args.get_int("machines", 16);
+  if (machines < 1) throw std::invalid_argument("--machines expects a positive count");
+  cloud.machines = static_cast<std::size_t>(machines);
+  cloud.machine.capacity_ms_per_s = args.get_double("capacity", 4000.0);
+  cloud.admit_utilization = args.get_double("admit-util", 0.85);
+  config.cloud_faults.seed = static_cast<unsigned>(config.seed);
+
+  // Default scenario: a regional brownout cutting 60% of per-machine
+  // capacity across the middle third of the run.
+  const double horizon_s = static_cast<double>(config.steps) * config.step_s;
+  sim::FaultEpisode brownout;
+  if (args.has("brownout")) {
+    brownout = parse_brownout(args);
+  } else {
+    brownout.fault = sim::FaultClass::kRegionalBrownout;
+    brownout.start_s = horizon_s / 3.0;
+    brownout.end_s = 2.0 * horizon_s / 3.0;
+    brownout.magnitude = 0.6;
+  }
+  config.cloud_faults.scripted.push_back(brownout);
+
+  std::printf(
+      "finite-cloud policy duel: %zu devices x %zu steps (%.0f s/step) serving %s\n",
+      config.devices, config.steps, config.step_s, arch.name().c_str());
+  std::printf(
+      "pool: %zu machines x %.0f layer-ms/s, admit ceiling %.0f%%; brownout "
+      "t=[%.0f,%.0f)s losing %.0f%% capacity; SLA %.0f ms\n",
+      cloud.machines, cloud.machine.capacity_ms_per_s, 100.0 * cloud.admit_utilization,
+      brownout.start_s, brownout.end_s, 100.0 * brownout.magnitude, config.sla_ms);
+  std::printf("%-17s %7s %9s %9s %9s %9s %8s %11s\n", "policy", "shed%", "sla-viol%",
+              "p99(ms)", "p999(ms)", "wait(ms)", "active", "energy(kJ)");
+
+  fleet::FleetStats by_policy[2];
+  const cloud::PlacementPolicy policies[2] = {cloud::PlacementPolicy::kGreedyFirstFit,
+                                             cloud::PlacementPolicy::kEnergyBestFit};
+  for (int p = 0; p < 2; ++p) {
+    cloud.policy = policies[p];
+    config.cloud = cloud;
+    fleet::FleetEngine engine = rig.tiers == 2
+                                    ? fleet::FleetEngine(plan, config)
+                                    : fleet::FleetEngine(plan, rig.hop_tu, config);
+    by_policy[p] = engine.run();
+    const fleet::FleetStats& stats = by_policy[p];
+    std::printf("%-17s %7.2f %9.2f %9.2f %9.2f %9.2f %8.1f %11.1f\n",
+                cloud::placement_policy_name(cloud.policy), 100.0 * stats.shed_rate,
+                100.0 * stats.sla_violation_rate, stats.p99_latency_ms,
+                stats.p999_latency_ms, stats.mean_queue_wait_ms,
+                stats.mean_machines_active, stats.datacenter_energy_j / 1e3);
+  }
+  // The pool is homogeneous, so both policies admit (and shed) identically;
+  // consolidation only changes the power bill.
+  if (by_policy[0].datacenter_energy_j > 0.0) {
+    std::printf("consolidation saves %.1f%% datacenter energy at equal shed rate\n",
+                100.0 * (1.0 - by_policy[1].datacenter_energy_j /
+                                   by_policy[0].datacenter_energy_j));
   }
   return 0;
 }
@@ -550,10 +728,20 @@ int cmd_help() {
       "  faults      fault-scenario pricing + serving under injected faults\n"
       "              --arch ... --tu MBPS --rate HZ --duration S --seed N\n"
       "              [--timeout MS] [--retries N]\n"
+      "              [--cloud-machines N [--cloud-capacity MS_PER_S]]  finite pool\n"
+      "              [--jitter F]   retry-backoff jitter in [0,1]\n"
+      "              [--breaker N]  trip to edge fallback after N straight failures\n"
       "  fleet       time-stepped fleet simulation over batched SoA kernels\n"
       "              --devices N --steps N --tu MBPS (trace mean) --seed N\n"
       "              [--step-s S] [--margin F] [--qps HZ] [--metric latency|energy]\n"
       "              [--csv FILE]   FleetStats is bit-identical at any --threads\n"
+      "              [--cloud-machines N] finite cloud: admission control +\n"
+      "                [--cloud-capacity MS_PER_S] [--cloud-policy greedy|energy]\n"
+      "                [--admit-util F] [--sla MS] [--brownout START,DUR,DEPTH]\n"
+      "  cloud       duel the placement policies on one finite pool under a\n"
+      "              scripted regional brownout (greedy vs energy best-fit)\n"
+      "              --devices N --steps N --machines N [--capacity MS_PER_S]\n"
+      "              [--admit-util F] [--sla MS] [--brownout START,DUR,DEPTH]\n"
       "  help        this text\n\n"
       "global options:\n"
       "  --threads N   worker threads for parallel evaluation (default:\n"
@@ -584,6 +772,7 @@ int run_command(const Args& args) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "faults") return cmd_faults(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "cloud") return cmd_cloud(args);
     if (command.empty() || command == "help") return cmd_help();
     std::fprintf(stderr, "lens-cli: unknown command '%s' (try 'lens-cli help')\n",
                  command.c_str());

@@ -17,6 +17,7 @@ int cmd_thresholds(const Args& args);  ///< runtime switching thresholds
 int cmd_simulate(const Args& args);    ///< serving simulation under load
 int cmd_faults(const Args& args);      ///< fault pricing + degraded serving
 int cmd_fleet(const Args& args);       ///< fleet-scale SoA serving simulation
+int cmd_cloud(const Args& args);       ///< finite-cloud placement-policy duel
 int cmd_help();
 
 }  // namespace lens::cli

@@ -1,0 +1,154 @@
+#include "cloud/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lens::cloud {
+
+namespace {
+
+std::size_t machines_surviving(std::size_t total, double failure_fraction) {
+  const double q = std::clamp(failure_fraction, 0.0, 1.0);
+  const auto failed = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(total)));
+  return total - std::min(failed, total);
+}
+
+}  // namespace
+
+CloudScheduler::CloudScheduler(const CloudConfig& config)
+    : pool_(config), machines_(config.machines) {}
+
+StepOutcome CloudScheduler::place_step(double offered_qps, double job_ms,
+                                       double failure_fraction,
+                                       double brownout_factor) const {
+  if (!(offered_qps >= 0.0) || !std::isfinite(offered_qps)) {
+    throw std::invalid_argument("place_step: offered_qps must be >= 0");
+  }
+  const CloudConfig& cfg = pool_.config();
+  StepOutcome out;
+  out.offered_qps = offered_qps;
+  out.machines_up = machines_surviving(cfg.machines, failure_fraction);
+
+  const double mu = pool_.service_hz(job_ms, brownout_factor);
+  const double per_machine_qps = cfg.admit_utilization * mu;
+  const double capacity_qps =
+      per_machine_qps * static_cast<double>(out.machines_up);
+  out.admitted_qps = std::min(offered_qps, capacity_qps);
+  out.shed_qps = offered_qps - out.admitted_qps;
+  out.admit_fraction =
+      offered_qps > 0.0 ? out.admitted_qps / offered_qps : 1.0;
+
+  // First-fit fluid packing: fill machines to the admission ceiling in
+  // sequence, one partially loaded machine at the boundary.
+  std::size_t full = 0;
+  double partial_qps = 0.0;
+  if (per_machine_qps > 0.0 && out.admitted_qps > 0.0) {
+    full = static_cast<std::size_t>(out.admitted_qps / per_machine_qps);
+    full = std::min(full, out.machines_up);
+    partial_qps =
+        out.admitted_qps - per_machine_qps * static_cast<double>(full);
+    if (partial_qps < 1e-9 * std::max(1.0, out.admitted_qps)) {
+      partial_qps = 0.0;
+    }
+  }
+  out.machines_active = full + (partial_qps > 0.0 ? 1 : 0);
+
+  if (out.admitted_qps > 0.0 && mu > 0.0) {
+    const std::size_t slots = cfg.machine.queue_slots;
+    const QueueMetrics at_cap = mm1k_metrics(per_machine_qps, mu, slots);
+    double wait_weighted = at_cap.mean_wait_ms * per_machine_qps *
+                           static_cast<double>(full);
+    double power = pool_.machine_power_w(per_machine_qps / mu) *
+                   static_cast<double>(full);
+    if (partial_qps > 0.0) {
+      const QueueMetrics part = mm1k_metrics(partial_qps, mu, slots);
+      wait_weighted += part.mean_wait_ms * partial_qps;
+      power += pool_.machine_power_w(partial_qps / mu);
+    }
+    out.mean_wait_ms = wait_weighted / out.admitted_qps;
+    out.power_w = power;
+  }
+  if (cfg.policy == PlacementPolicy::kGreedyFirstFit) {
+    // Greedy keeps every surviving machine powered; best-fit consolidation
+    // powers the idle tail off entirely (0 W), which is the whole gap.
+    out.power_w += cfg.machine.idle_w *
+                   static_cast<double>(out.machines_up - out.machines_active);
+  }
+  return out;
+}
+
+Admission CloudScheduler::admit(double arrival_s, double job_ms,
+                                double failure_fraction,
+                                double brownout_factor) {
+  if (!(arrival_s >= 0.0) || !std::isfinite(arrival_s)) {
+    throw std::invalid_argument(
+        "CloudScheduler::admit: arrival must be finite and non-negative");
+  }
+
+  Admission result;
+  const std::size_t up =
+      machines_surviving(pool_.machines(), failure_fraction);
+  const double mu = pool_.service_hz(job_ms, brownout_factor);
+  if (up == 0 || mu <= 0.0) {
+    ++shed_;
+    return result;
+  }
+  const std::size_t slots = pool_.config().machine.queue_slots;
+  const bool best_fit =
+      pool_.config().policy == PlacementPolicy::kEnergyBestFit;
+
+  std::size_t chosen = up;  // sentinel: nothing fits
+  std::size_t chosen_depth = 0;
+  for (std::size_t i = 0; i < up; ++i) {
+    Machine& m = machines_[i];
+    while (!m.completions.empty() && m.completions.front() <= arrival_s) {
+      m.completions.pop_front();
+    }
+    const std::size_t depth = m.completions.size();
+    if (depth >= slots) continue;
+    if (!best_fit) {
+      chosen = i;
+      break;  // first fit
+    }
+    if (chosen == up || depth > chosen_depth) {
+      chosen = i;
+      chosen_depth = depth;
+    }
+  }
+  if (chosen == up) {
+    ++shed_;
+    return result;
+  }
+
+  Machine& m = machines_[chosen];
+  const double service_s = 1.0 / mu;
+  const double start_s = std::max(arrival_s, m.busy_until_s);
+  result.admitted = true;
+  result.machine = chosen;
+  result.start_s = start_s;
+  result.completion_s = start_s + service_s;
+  result.wait_ms = (start_s - arrival_s) * 1e3;
+  m.completions.push_back(result.completion_s);
+  m.busy_until_s = result.completion_s;
+  m.busy_total_s += service_s;
+  ++served_;
+  return result;
+}
+
+double CloudScheduler::energy_j(double horizon_s) const {
+  const CloudConfig& cfg = pool_.config();
+  const double h = std::max(0.0, horizon_s);
+  double joules = 0.0;
+  for (const Machine& m : machines_) {
+    const double busy = std::min(m.busy_total_s, h);
+    joules += busy * cfg.machine.active_w;
+    if (cfg.policy == PlacementPolicy::kGreedyFirstFit) {
+      joules += (h - busy) * cfg.machine.idle_w;
+    }
+  }
+  return joules;
+}
+
+}  // namespace lens::cloud

@@ -1,0 +1,95 @@
+#pragma once
+// CloudScheduler: admission control + placement over a MachinePool.
+//
+// Two entry points share the same pool math:
+//  - place_step(): a fluid (analytic) step for the fleet engine — offered
+//    QPS in, {admitted, shed, mean wait, active machines, power} out.
+//    Pure function of the configuration, called serially once per fleet
+//    step, so fleet determinism is untouched by thread count.
+//  - admit(): discrete per-request admission for EdgeCloudSystem — jobs
+//    arrive in nondecreasing time order and either join a bounded
+//    per-machine FIFO (placement by policy) or are shed immediately.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "cloud/machine.hpp"
+
+namespace lens::cloud {
+
+/// Outcome of one fluid scheduling step (the fleet path).
+struct StepOutcome {
+  double offered_qps = 0.0;
+  double admitted_qps = 0.0;
+  double shed_qps = 0.0;
+  /// admitted/offered; 1 when nothing was offered.
+  double admit_fraction = 1.0;
+  /// Mean queueing wait experienced by admitted jobs.
+  double mean_wait_ms = 0.0;
+  std::size_t machines_up = 0;      ///< Survived machine failures.
+  std::size_t machines_active = 0;  ///< Hosting load this step.
+  double power_w = 0.0;             ///< Pool electrical draw.
+};
+
+/// Outcome of one discrete admission attempt (the EdgeCloudSystem path).
+struct Admission {
+  bool admitted = false;
+  std::size_t machine = 0;
+  double start_s = 0.0;       ///< Service start (>= arrival).
+  double completion_s = 0.0;  ///< Service completion.
+  double wait_ms = 0.0;       ///< Queueing delay ahead of service.
+};
+
+class CloudScheduler {
+ public:
+  /// Validates the configuration via MachinePool (throws).
+  explicit CloudScheduler(const CloudConfig& config);
+
+  const MachinePool& pool() const { return pool_; }
+
+  /// Fluid step: split `offered_qps` of suffix jobs (each `job_ms` of
+  /// layer work) into admitted and shed, given a fraction of failed
+  /// machines and a brownout capacity factor. First-fit packing fills
+  /// machines to the admission ceiling in sequence; the policies admit
+  /// identically (homogeneous pool) and differ only in how idle machines
+  /// are powered. Queue blocking beyond the admission ceiling is folded
+  /// into the wait estimate, not modeled as extra shed.
+  StepOutcome place_step(double offered_qps, double job_ms,
+                         double failure_fraction = 0.0,
+                         double brownout_factor = 1.0) const;
+
+  /// Discrete admission at `arrival_s` (throws std::invalid_argument on
+  /// negative or non-finite arrivals). Jobs queue per machine in admission
+  /// order: a job submitted with an earlier arrival than previously
+  /// admitted work still queues behind it, matching
+  /// ResourceTimeline::schedule_unordered — retry traffic arrives out of
+  /// global time order. Greedy first-fit scans machines in index order;
+  /// energy best-fit places on the fullest machine that still has a slot
+  /// (tie: lowest index), keeping the pool's tail idle so it can power off.
+  Admission admit(double arrival_s, double job_ms,
+                  double failure_fraction = 0.0,
+                  double brownout_factor = 1.0);
+
+  std::size_t jobs_served() const { return served_; }
+  std::size_t jobs_shed() const { return shed_; }
+
+  /// Datacenter energy over [0, horizon_s] of the discrete run: active
+  /// draw integrated over per-machine busy time, plus idle draw for the
+  /// whole powered pool under greedy (best-fit powers idle machines off,
+  /// so it pays active-busy energy only).
+  double energy_j(double horizon_s) const;
+
+ private:
+  MachinePool pool_;
+  struct Machine {
+    std::deque<double> completions;  ///< Resident-job completion times.
+    double busy_until_s = 0.0;
+    double busy_total_s = 0.0;
+  };
+  std::vector<Machine> machines_;
+  std::size_t served_ = 0;
+  std::size_t shed_ = 0;
+};
+
+}  // namespace lens::cloud

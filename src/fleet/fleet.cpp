@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "cloud/scheduler.hpp"
 #include "par/parallel.hpp"
 #include "par/runtime.hpp"
 #include "par/substream.hpp"
@@ -129,7 +131,15 @@ FaultCsr build_fault_csr(const FleetConfig& config, par::ThreadPool& pool,
   return csr;
 }
 
-/// Per-chunk float/int accumulators, merged serially in chunk order.
+/// Per-chunk accumulators of the offer pass (pass A): what the chunk's
+/// devices want from the cloud this step, before admission control.
+struct OfferAccum {
+  std::uint64_t offered = 0;   // devices offering a suffix this step
+  double job_ms_sum = 0.0;     // their summed suffix cost (layer-ms)
+};
+
+/// Per-chunk float/int accumulators of the accounting pass (pass B),
+/// merged serially in chunk order.
 struct ChunkAccum {
   double latency_ms = 0.0;
   double energy_mj = 0.0;
@@ -138,7 +148,39 @@ struct ChunkAccum {
   double oracle_energy_mj = 0.0;
   std::uint64_t cloud_devices = 0;
   std::uint64_t switches = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t sla_violations = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_open_steps = 0;  // device-steps served open
 };
+
+/// Cheapest edge-only option under the selection curves (constant in tu,
+/// so any throughput prices it) — the shed / breaker fallback target.
+std::optional<std::uint32_t> cheapest_edge_only(
+    const std::vector<core::DeploymentOption>& options,
+    const std::vector<comm::CostCurve>& sel) {
+  std::optional<std::uint32_t> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (options[i].tx_bytes != 0) continue;
+    const double cost = sel[i].value(1.0);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = static_cast<std::uint32_t>(i);
+    }
+  }
+  return best;
+}
+
+/// Admission threshold on the top 32 bits of a device's priority hash:
+/// a device offers successfully iff (key >> 32) < threshold. fraction 1
+/// maps to 2^32, above every 32-bit value — everyone admitted.
+std::uint64_t admit_threshold(double fraction) {
+  if (fraction >= 1.0) return 1ull << 32;
+  if (fraction <= 0.0) return 0;
+  return static_cast<std::uint64_t>(fraction * 4294967296.0);
+}
 
 void append_row(std::string& out, const char* key, long long index, double value) {
   char buf[96];
@@ -184,8 +226,24 @@ std::string FleetStats::csv() const {
   append_row(out, "outage_readings", -1, outage_readings);
   append_row(out, "oracle_mean_latency_ms", -1, oracle_mean_latency_ms);
   append_row(out, "oracle_mean_energy_mj", -1, oracle_mean_energy_mj);
+  append_row(out, "mean_offered_qps", -1, mean_offered_qps);
+  append_row(out, "shed", -1, shed);
+  append_row(out, "shed_rate", -1, shed_rate);
+  append_row(out, "sla_violations", -1, sla_violations);
+  append_row(out, "sla_violation_rate", -1, sla_violation_rate);
+  append_row(out, "breaker_trips", -1, breaker_trips);
+  append_row(out, "breaker_open_time_s", -1, breaker_open_time_s);
+  append_row(out, "datacenter_energy_j", -1, datacenter_energy_j);
+  append_row(out, "mean_queue_wait_ms", -1, mean_queue_wait_ms);
+  append_row(out, "mean_machines_active", -1, mean_machines_active);
   for (std::size_t i = 0; i < cloud_qps.size(); ++i) {
     append_row(out, "cloud_qps", static_cast<long long>(i), cloud_qps[i]);
+  }
+  for (std::size_t i = 0; i < offered_qps.size(); ++i) {
+    append_row(out, "offered_qps", static_cast<long long>(i), offered_qps[i]);
+  }
+  for (std::size_t i = 0; i < shed_qps.size(); ++i) {
+    append_row(out, "shed_qps", static_cast<long long>(i), shed_qps[i]);
   }
   for (std::size_t i = 0; i < switch_histogram.size(); ++i) {
     append_row(out, "switch_hist", static_cast<long long>(i), switch_histogram[i]);
@@ -215,6 +273,13 @@ void FleetEngine::validate() const {
   if (config_.tu_min <= 0.0 || config_.tu_max <= config_.tu_min) {
     throw std::invalid_argument("FleetEngine: need 0 < tu_min < tu_max");
   }
+  if (config_.sla_ms < 0.0) {
+    throw std::invalid_argument("FleetEngine: sla_ms must be >= 0");
+  }
+  if (config_.cloud.has_value()) {
+    cloud::MachinePool validate_pool(*config_.cloud);  // throws on bad knobs
+    (void)validate_pool;
+  }
 }
 
 FleetEngine::FleetEngine(const core::DeploymentPlan& plan, FleetConfig config)
@@ -229,6 +294,7 @@ FleetEngine::FleetEngine(const core::DeploymentPlan& plan, FleetConfig config)
   const auto& sel = config_.metric == runtime::OptimizeFor::kLatency ? latency_curves_
                                                                      : energy_curves_;
   intervals_ = runtime::dominance_intervals(sel, config_.tu_min, config_.tu_max);
+  fallback_option_ = cheapest_edge_only(plan_.options(), sel);
 }
 
 FleetEngine::FleetEngine(const core::DeploymentPlan& plan,
@@ -240,6 +306,7 @@ FleetEngine::FleetEngine(const core::DeploymentPlan& plan,
   const auto& sel = config_.metric == runtime::OptimizeFor::kLatency ? latency_curves_
                                                                      : energy_curves_;
   intervals_ = runtime::dominance_intervals(sel, config_.tu_min, config_.tu_max);
+  fallback_option_ = cheapest_edge_only(plan_.options(), sel);
 }
 
 FleetStats FleetEngine::run() { return run(par::global_pool()); }
@@ -286,8 +353,46 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
 
   const FaultCsr csr = build_fault_csr(config_, pool, chunks);
 
+  // --- finite-cloud state ----------------------------------------------
+  const bool cloud_on = config_.cloud.has_value();
+  std::optional<cloud::CloudScheduler> cloud_sched;
+  if (cloud_on) cloud_sched.emplace(*config_.cloud);
+  const bool breaker_on = cloud_on && config_.breaker_failures > 0 &&
+                          fallback_option_.has_value();
+  // Per-device admission priority hash: a fixed key per (seed, device), so
+  // shedding follows a stable deterministic priority order — the same
+  // devices yield first every step, independent of sharding or threads.
+  std::vector<std::uint64_t> admit_key;
+  std::vector<std::uint32_t> fail_streak;
+  std::vector<std::uint32_t> breaker_until;  // 0 = closed; else probe step
+  if (cloud_on) {
+    admit_key.resize(n);
+    const std::uint64_t root = par::substream_seed(config_.seed, 0xc10d);
+    par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+      const auto [begin, end] = par::chunk_range(n, chunks, c);
+      for (std::size_t i = begin; i < end; ++i) {
+        admit_key[i] = par::substream_seed(root, i);
+      }
+    });
+    if (breaker_on) {
+      fail_streak.assign(n, 0);
+      breaker_until.assign(n, 0);
+    }
+  }
+  // Datacenter-level faults (machine failures, brownouts): one shared
+  // schedule, queried serially per step.
+  sim::FaultInjector dc_faults;
+  if (cloud_on && config_.cloud_faults.any_enabled()) {
+    sim::FaultScheduleConfig dc_cfg = config_.cloud_faults;
+    if (dc_cfg.horizon_s <= 0.0) {
+      dc_cfg.horizon_s = static_cast<double>(steps) * config_.step_s;
+    }
+    dc_faults = sim::FaultInjector(sim::FaultSchedule::generate(dc_cfg));
+  }
+
   // --- per-chunk accumulators (serial chunk-order merge) ---------------
   std::vector<ChunkAccum> acc(chunks);
+  std::vector<OfferAccum> offers(chunks);
   std::vector<std::uint64_t> hist(chunks * kLatencyBins, 0);
 
   FleetStats stats;
@@ -295,15 +400,22 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
   stats.steps = steps;
   stats.step_s = config_.step_s;
   stats.cloud_qps.reserve(steps);
+  stats.offered_qps.reserve(steps);
+  stats.shed_qps.reserve(steps);
   std::vector<std::uint64_t> lat_hist(kLatencyBins, 0);
   double total_latency = 0.0, total_energy = 0.0, total_offered_bits = 0.0;
   double total_oracle_latency = 0.0, total_oracle_energy = 0.0;
+  double dc_energy_j = 0.0, wait_weighted_ms = 0.0, machines_active_sum = 0.0;
+  std::uint64_t total_offered_devsteps = 0, total_admitted = 0;
+  std::uint64_t breaker_open_devsteps = 0;
 
   for (std::size_t s = 0; s < steps; ++s) {
     const double t = static_cast<double>(s) * config_.step_s;
     std::fill(acc.begin(), acc.end(), ChunkAccum{});
+    std::fill(offers.begin(), offers.end(), OfferAccum{});
     std::fill(hist.begin(), hist.end(), 0);
 
+    // ---- pass A: trace, faults, tracking, selection, offer counting ----
     par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
       const auto [begin, end] = par::chunk_range(n, chunks, c);
       const std::size_t len = end - begin;
@@ -350,9 +462,55 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
                             std::span<const double>(estimate.data() + begin, len),
                             std::span<std::uint32_t>(option.data() + begin, len));
 
-      // 5. Price the realized link state: serving costs at the actual
-      //    throughput (outage clamped to the floor), plus the full-option-
-      //    set oracle via the allocation-free batch pricer.
+      // 5. Offer counting: what this shard wants from the cloud, before
+      //    admission. Breaker-open devices sit the step out entirely.
+      if (cloud_on) {
+        OfferAccum& oa = offers[c];
+        for (std::size_t i = begin; i < end; ++i) {
+          const core::DeploymentOption& od = options[option[i]];
+          if (od.tx_bytes == 0) continue;
+          if (breaker_on && breaker_until[i] > 0 &&
+              s < static_cast<std::size_t>(breaker_until[i])) {
+            continue;
+          }
+          ++oa.offered;
+          oa.job_ms_sum += od.cloud_latency_ms;
+        }
+      }
+    });
+
+    // ---- serial scheduler step: admission fraction for the whole fleet --
+    // One place_step call per step, outside the parallel section, so the
+    // admitted/shed split and the queueing feedback are identical at any
+    // thread count.
+    cloud::StepOutcome outcome;
+    std::uint64_t threshold = admit_threshold(1.0);
+    if (cloud_on) {
+      std::uint64_t offered_devices = 0;
+      double job_ms_sum = 0.0;
+      for (std::size_t c = 0; c < chunks; ++c) {  // serial chunk-order merge
+        offered_devices += offers[c].offered;
+        job_ms_sum += offers[c].job_ms_sum;
+      }
+      const double offered_qps_step =
+          static_cast<double>(offered_devices) * config_.device_qps;
+      const double job_ms =
+          offered_devices > 0 ? job_ms_sum / static_cast<double>(offered_devices)
+                              : 0.0;
+      outcome = cloud_sched->place_step(offered_qps_step, job_ms,
+                                        dc_faults.machine_failure_fraction(t),
+                                        dc_faults.brownout_factor(t));
+      threshold = admit_threshold(outcome.admit_fraction);
+    }
+
+    // ---- pass B: admission, breaker ladder, pricing, accounting --------
+    par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+      const auto [begin, end] = par::chunk_range(n, chunks, c);
+      const std::size_t len = end - begin;
+
+      // Price the realized link state: serving costs at the actual
+      // throughput (outage clamped to the floor), plus the full-option-
+      // set oracle via the allocation-free batch pricer.
       for (std::size_t i = begin; i < end; ++i) {
         eff[i] = tu[i] > 0.0 ? tu[i] : config_.tu_min;
       }
@@ -369,16 +527,60 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
           ++switch_count[i];
         }
         const std::uint32_t o = option[i];
-        const double lat = latency_curves_[o].value(eff[i]);
-        const double energy = energy_curves_[o].value(eff[i]);
-        a.latency_ms += lat;
-        a.energy_mj += energy;
-        ++h[latency_bin(lat)];
+        double lat = latency_curves_[o].value(eff[i]);
+        double energy = energy_curves_[o].value(eff[i]);
         const core::DeploymentOption& od = options[o];
         if (od.tx_bytes > 0) {
           ++a.cloud_devices;
           a.offered_bits += static_cast<double>(od.tx_bytes) * 8.0;
         }
+        if (cloud_on && od.tx_bytes > 0) {
+          const bool open = breaker_on && breaker_until[i] > 0 &&
+                            s < static_cast<std::size_t>(breaker_until[i]);
+          if (open) {
+            // Breaker open: fast-fail straight to the edge fallback — no
+            // transmit, no offer, no reject round trip.
+            const std::uint32_t fb = *fallback_option_;
+            lat = latency_curves_[fb].value(eff[i]);
+            energy = energy_curves_[fb].value(eff[i]);
+            ++a.breaker_open_steps;
+          } else if ((admit_key[i] >> 32) < threshold) {
+            lat += outcome.mean_wait_ms;  // queueing feedback into RTT
+            ++a.admitted;
+            if (breaker_on) {
+              fail_streak[i] = 0;
+              breaker_until[i] = 0;  // closed (or a probe that succeeded)
+            }
+          } else {
+            ++a.shed;
+            // Shed: everything but the cloud suffix happened (prefix,
+            // transmit, the reject's round trip is the curve's RTT term),
+            // then the full model re-runs on the edge fallback.
+            if (fallback_option_.has_value()) {
+              const std::uint32_t fb = *fallback_option_;
+              lat += latency_curves_[fb].value(eff[i]) - od.cloud_latency_ms;
+              energy += energy_curves_[fb].value(eff[i]);
+            }
+            if (breaker_on) {
+              const bool probing = breaker_until[i] > 0;  // s >= until here
+              if (probing || ++fail_streak[i] >= config_.breaker_failures) {
+                const auto jitter = static_cast<std::size_t>(
+                    admit_key[i] %
+                    static_cast<std::uint64_t>(config_.breaker_jitter_steps + 1));
+                breaker_until[i] = static_cast<std::uint32_t>(
+                    s + 1 + config_.breaker_open_steps + jitter);
+                if (!probing) {
+                  ++a.breaker_trips;
+                  fail_streak[i] = 0;
+                }
+              }
+            }
+          }
+        }
+        a.latency_ms += lat;
+        a.energy_mj += energy;
+        ++h[latency_bin(lat)];
+        if (config_.sla_ms > 0.0 && lat > config_.sla_ms) ++a.sla_violations;
         if (two_tier_) {
           a.oracle_latency_ms += priced[i].best_latency_ms;
           a.oracle_energy_mj += priced[i].best_energy_mj;
@@ -401,7 +603,7 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
     // Serial merge in chunk-index order: the only float accumulation whose
     // order could depend on scheduling, pinned here for any thread count.
     double step_offered_bits = 0.0;
-    std::uint64_t step_cloud = 0;
+    std::uint64_t step_cloud = 0, step_admitted = 0, step_shed = 0;
     for (std::size_t c = 0; c < chunks; ++c) {
       total_latency += acc[c].latency_ms;
       total_energy += acc[c].energy_mj;
@@ -409,13 +611,38 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
       total_oracle_energy += acc[c].oracle_energy_mj;
       step_offered_bits += acc[c].offered_bits;
       step_cloud += acc[c].cloud_devices;
+      step_admitted += acc[c].admitted;
+      step_shed += acc[c].shed;
       stats.total_switches += acc[c].switches;
+      stats.shed += acc[c].shed;
+      stats.sla_violations += acc[c].sla_violations;
+      stats.breaker_trips += acc[c].breaker_trips;
+      breaker_open_devsteps += acc[c].breaker_open_steps;
       for (std::size_t k = 0; k < kLatencyBins; ++k) {
         lat_hist[k] += hist[c * kLatencyBins + k];
       }
     }
     total_offered_bits += step_offered_bits;
-    stats.cloud_qps.push_back(static_cast<double>(step_cloud) * config_.device_qps);
+    if (cloud_on) {
+      const std::uint64_t step_offered = step_admitted + step_shed;
+      total_offered_devsteps += step_offered;
+      total_admitted += step_admitted;
+      stats.cloud_qps.push_back(static_cast<double>(step_admitted) *
+                                config_.device_qps);
+      stats.offered_qps.push_back(static_cast<double>(step_offered) *
+                                  config_.device_qps);
+      stats.shed_qps.push_back(static_cast<double>(step_shed) * config_.device_qps);
+      dc_energy_j += outcome.power_w * config_.step_s;
+      wait_weighted_ms += outcome.mean_wait_ms * static_cast<double>(step_admitted);
+      machines_active_sum += static_cast<double>(outcome.machines_active);
+    } else {
+      const double qps = static_cast<double>(step_cloud) * config_.device_qps;
+      total_offered_devsteps += step_cloud;
+      total_admitted += step_cloud;
+      stats.cloud_qps.push_back(qps);
+      stats.offered_qps.push_back(qps);
+      stats.shed_qps.push_back(0.0);
+    }
   }
 
   // --- report -----------------------------------------------------------
@@ -438,6 +665,25 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
     stats.peak_cloud_qps = std::max(stats.peak_cloud_qps, q);
   }
   stats.mean_cloud_qps = qps_sum / static_cast<double>(steps);
+  double offered_sum = 0.0;
+  for (double q : stats.offered_qps) offered_sum += q;
+  stats.mean_offered_qps = offered_sum / static_cast<double>(steps);
+  if (total_offered_devsteps > 0) {
+    stats.shed_rate = static_cast<double>(stats.shed) /
+                      static_cast<double>(total_offered_devsteps);
+  }
+  stats.sla_violation_rate =
+      static_cast<double>(stats.sla_violations) / device_steps;
+  stats.breaker_open_time_s =
+      static_cast<double>(breaker_open_devsteps) * config_.step_s;
+  stats.datacenter_energy_j = dc_energy_j;
+  if (total_admitted > 0) {
+    stats.mean_queue_wait_ms =
+        wait_weighted_ms / static_cast<double>(total_admitted);
+  }
+  if (cloud_on) {
+    stats.mean_machines_active = machines_active_sum / static_cast<double>(steps);
+  }
   stats.switches_per_device_hour =
       static_cast<double>(stats.total_switches) / device_hours;
   for (std::uint32_t o : outages) stats.outage_readings += o;

@@ -26,9 +26,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cloud/machine.hpp"
 #include "comm/commcost.hpp"
 #include "comm/trace.hpp"
 #include "core/plan.hpp"
@@ -74,6 +76,29 @@ struct FleetConfig {
   /// its schedule via substream_seed(seed, device_id) — independent of
   /// sharding. horizon_s <= 0 defaults to steps * step_s.
   sim::FaultScheduleConfig faults;
+
+  /// Finite-cloud model (std::nullopt = the paper's infinite cloud). When
+  /// set, every step the cloud-reaching device-steps offer their suffixes
+  /// to a cloud::CloudScheduler: the admission controller sheds the excess
+  /// by a deterministic per-device priority hash (thread-count invariant),
+  /// admitted devices pay the pool's queueing wait on top of their curve
+  /// cost, shed devices fast-fail to the cheapest edge-only option.
+  std::optional<cloud::CloudConfig> cloud;
+  /// Datacenter-level fault schedule shared by the whole pool: only
+  /// kMachineFailure / kRegionalBrownout rates and scripted episodes are
+  /// consulted (per-device classes live in `faults`). Generated from its
+  /// own seed field; horizon_s <= 0 defaults to steps * step_s.
+  sim::FaultScheduleConfig cloud_faults;
+  /// End-to-end latency SLA for violation accounting (0 = off).
+  double sla_ms = 0.0;
+  /// Circuit breaker (finite cloud only; needs an edge-only option): a
+  /// device shed on this many consecutive offers trips open for
+  /// breaker_open_steps plus a deterministic per-device jitter of
+  /// 0..breaker_jitter_steps steps — it serves the edge fallback without
+  /// offering meanwhile, then probes half-open. 0 disables.
+  std::size_t breaker_failures = 3;
+  std::size_t breaker_open_steps = 4;
+  std::size_t breaker_jitter_steps = 3;
 };
 
 /// Aggregate report of one fleet run. All fields are bit-identical for any
@@ -92,9 +117,10 @@ struct FleetStats {
   double mean_energy_mj = 0.0;            ///< per inference, dynamic policy
   double energy_mj_per_device_hour = 0.0; ///< at device_qps inference load
 
-  double mean_cloud_qps = 0.0;  ///< queries/s entering the cloud (fleet-wide)
+  double mean_cloud_qps = 0.0;  ///< queries/s admitted by the cloud
   double peak_cloud_qps = 0.0;
   double mean_offered_mbps = 0.0;  ///< fleet uplink offered load
+  double mean_offered_qps = 0.0;   ///< queries/s offered to the cloud
 
   std::uint64_t total_switches = 0;  ///< option re-stagings across the run
   double switches_per_device_hour = 0.0;
@@ -106,7 +132,23 @@ struct FleetStats {
   double oracle_mean_latency_ms = 0.0;
   double oracle_mean_energy_mj = 0.0;
 
+  // ---- finite-cloud columns (all zero without FleetConfig::cloud) ----
+  std::uint64_t shed = 0;  ///< device-steps rejected by admission control
+  double shed_rate = 0.0;  ///< shed / offered device-steps
+  std::uint64_t sla_violations = 0;  ///< device-steps beyond sla_ms
+  double sla_violation_rate = 0.0;   ///< violations / device-steps
+  std::uint64_t breaker_trips = 0;   ///< closed -> open transitions
+  double breaker_open_time_s = 0.0;  ///< device-steps spent open * step_s
+  double datacenter_energy_j = 0.0;  ///< machine-pool energy over the run
+  double mean_queue_wait_ms = 0.0;   ///< admitted-weighted pool queueing wait
+  double mean_machines_active = 0.0; ///< machines hosting load, mean per step
+
+  /// Per-step series. With a finite cloud, cloud_qps is the ADMITTED rate
+  /// and offered = admitted + shed; without one, offered == cloud_qps and
+  /// shed is identically zero.
   std::vector<double> cloud_qps;                 ///< per-step series
+  std::vector<double> offered_qps;               ///< per-step series
+  std::vector<double> shed_qps;                  ///< per-step series
   std::vector<std::uint64_t> switch_histogram;   ///< kSwitchBins entries
   std::vector<std::uint64_t> latency_histogram;  ///< kLatencyBins entries
 
@@ -148,6 +190,9 @@ class FleetEngine {
   std::vector<comm::CostCurve> energy_curves_;
   std::vector<runtime::DominanceInterval> intervals_;
   bool two_tier_ = true;
+  /// Cheapest edge-only option under the selected metric (the shed /
+  /// breaker fallback target); nullopt when every option transmits.
+  std::optional<std::uint32_t> fallback_option_;
 };
 
 }  // namespace lens::fleet

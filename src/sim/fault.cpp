@@ -36,6 +36,18 @@ void validate_episode(const FaultEpisode& e) {
         throw std::invalid_argument("FaultSchedule: edge slowdown factor must be >= 1");
       }
       break;
+    case FaultClass::kMachineFailure:
+      if (e.magnitude <= 0.0 || e.magnitude > 1.0) {
+        throw std::invalid_argument(
+            "FaultSchedule: machine-failure fraction must be in (0,1]");
+      }
+      break;
+    case FaultClass::kRegionalBrownout:
+      if (e.magnitude <= 0.0 || e.magnitude > 1.0) {
+        throw std::invalid_argument(
+            "FaultSchedule: brownout depth must be in (0,1]");
+      }
+      break;
     case FaultClass::kCloudOutage:
       break;  // magnitude unused
   }
@@ -49,6 +61,8 @@ std::string fault_class_name(FaultClass fault) {
     case FaultClass::kCloudOutage: return "cloud-outage";
     case FaultClass::kRttSpike: return "rtt-spike";
     case FaultClass::kEdgeSlowdown: return "edge-slowdown";
+    case FaultClass::kMachineFailure: return "machine-failure";
+    case FaultClass::kRegionalBrownout: return "regional-brownout";
   }
   return "unknown";
 }
@@ -73,11 +87,13 @@ FaultSchedule generate_with_base(const FaultScheduleConfig& config,
     throw std::invalid_argument("FaultSchedule::generate: horizon must be positive");
   }
   if (config.link_outage_rate_hz < 0.0 || config.cloud_outage_rate_hz < 0.0 ||
-      config.rtt_spike_rate_hz < 0.0 || config.edge_slowdown_rate_hz < 0.0) {
+      config.rtt_spike_rate_hz < 0.0 || config.edge_slowdown_rate_hz < 0.0 ||
+      config.machine_failure_rate_hz < 0.0 || config.brownout_rate_hz < 0.0) {
     throw std::invalid_argument("FaultSchedule::generate: negative episode rate");
   }
   if (config.link_outage_mean_s <= 0.0 || config.cloud_outage_mean_s <= 0.0 ||
-      config.rtt_spike_mean_s <= 0.0 || config.edge_slowdown_mean_s <= 0.0) {
+      config.rtt_spike_mean_s <= 0.0 || config.edge_slowdown_mean_s <= 0.0 ||
+      config.machine_failure_mean_s <= 0.0 || config.brownout_mean_s <= 0.0) {
     throw std::invalid_argument("FaultSchedule::generate: episode means must be positive");
   }
   for (const HopFaultConfig& hop : config.extra_hops) {
@@ -117,6 +133,12 @@ FaultSchedule generate_with_base(const FaultScheduleConfig& config,
         config.rtt_spike_extra_ms, 0x30c4, 0);
   renew(FaultClass::kEdgeSlowdown, config.edge_slowdown_rate_hz,
         config.edge_slowdown_mean_s, config.edge_slowdown_factor, 0x40c4, 0);
+  // Datacenter-side classes: fresh salts, so every stream above is
+  // byte-identical whether or not these are enabled.
+  renew(FaultClass::kMachineFailure, config.machine_failure_rate_hz,
+        config.machine_failure_mean_s, config.machine_failure_fraction, 0x50c4, 0);
+  renew(FaultClass::kRegionalBrownout, config.brownout_rate_hz,
+        config.brownout_mean_s, config.brownout_depth, 0x60c4, 0);
   // Backhaul hops: salts offset per hop (0x10000 * hop keeps them disjoint
   // from every class salt above), so the hop-0 schedule is byte-identical
   // whether or not any backhaul class is enabled.
@@ -203,6 +225,24 @@ double FaultInjector::edge_slowdown(double t_s) const {
   for (const FaultEpisode& e : of(FaultClass::kEdgeSlowdown)) {
     if (e.start_s > t_s) break;
     if (e.covers(t_s)) factor = std::max(factor, e.magnitude);
+  }
+  return factor;
+}
+
+double FaultInjector::machine_failure_fraction(double t_s) const {
+  double fraction = 0.0;
+  for (const FaultEpisode& e : of(FaultClass::kMachineFailure)) {
+    if (e.start_s > t_s) break;
+    if (e.covers(t_s)) fraction = std::max(fraction, e.magnitude);
+  }
+  return fraction;
+}
+
+double FaultInjector::brownout_factor(double t_s) const {
+  double factor = 1.0;
+  for (const FaultEpisode& e : of(FaultClass::kRegionalBrownout)) {
+    if (e.start_s > t_s) break;
+    if (e.covers(t_s)) factor = std::min(factor, 1.0 - e.magnitude);
   }
   return factor;
 }

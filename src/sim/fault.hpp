@@ -20,10 +20,21 @@
 
 namespace lens::sim {
 
-/// The four fault classes the serving stack degrades under.
-enum class FaultClass { kLinkOutage, kCloudOutage, kRttSpike, kEdgeSlowdown };
+/// The fault classes the serving stack degrades under. The first four are
+/// network/edge-side (PR 4); kMachineFailure and kRegionalBrownout are
+/// datacenter-side and only matter once a finite cloud (lens::cloud) is
+/// attached — a fraction of the machine pool dies, or a regional brownout
+/// cuts every machine's capacity.
+enum class FaultClass {
+  kLinkOutage,
+  kCloudOutage,
+  kRttSpike,
+  kEdgeSlowdown,
+  kMachineFailure,
+  kRegionalBrownout,
+};
 
-inline constexpr std::size_t kNumFaultClasses = 4;
+inline constexpr std::size_t kNumFaultClasses = 6;
 
 std::string fault_class_name(FaultClass fault);
 
@@ -34,7 +45,10 @@ struct FaultEpisode {
   double end_s = 0.0;
   /// kLinkOutage: throughput multiplier in (0, 1]; kRttSpike: added
   /// round-trip milliseconds; kEdgeSlowdown: edge service-time multiplier
-  /// >= 1; kCloudOutage: ignored (the cloud is simply unreachable).
+  /// >= 1; kCloudOutage: ignored (the cloud is simply unreachable);
+  /// kMachineFailure: fraction of the machine pool down in (0, 1];
+  /// kRegionalBrownout: fraction of per-machine capacity lost in (0, 1]
+  /// (1 = a full datacenter blackout).
   double magnitude = 0.0;
   /// Which network hop a kLinkOutage / kRttSpike episode degrades (0 = the
   /// device radio, 1 = the first backhaul, ...). Ignored by the other
@@ -84,6 +98,17 @@ struct FaultScheduleConfig {
   double edge_slowdown_mean_s = 15.0;
   double edge_slowdown_factor = 3.0;  ///< edge service-time multiplier
 
+  // Datacenter-side classes (finite cloud only). Fresh RNG substream salts
+  // keep every pre-existing class's episode stream byte-identical whether
+  // or not these are enabled.
+  double machine_failure_rate_hz = 0.0;
+  double machine_failure_mean_s = 60.0;
+  double machine_failure_fraction = 0.25;  ///< pool fraction down in (0, 1]
+
+  double brownout_rate_hz = 0.0;
+  double brownout_mean_s = 45.0;
+  double brownout_depth = 0.5;  ///< capacity fraction lost in (0, 1]
+
   /// Per-hop knobs for the hops past the radio: extra_hops[i] governs hop
   /// i + 1. Generated from RNG substreams disjoint from the hop-0 streams,
   /// so enabling a backhaul fault class never perturbs the hop-0 schedule.
@@ -93,7 +118,9 @@ struct FaultScheduleConfig {
 
   bool any_enabled() const {
     if (link_outage_rate_hz > 0.0 || cloud_outage_rate_hz > 0.0 ||
-        rtt_spike_rate_hz > 0.0 || edge_slowdown_rate_hz > 0.0 || !scripted.empty()) {
+        rtt_spike_rate_hz > 0.0 || edge_slowdown_rate_hz > 0.0 ||
+        machine_failure_rate_hz > 0.0 || brownout_rate_hz > 0.0 ||
+        !scripted.empty()) {
       return true;
     }
     for (const HopFaultConfig& hop : extra_hops) {
@@ -153,6 +180,12 @@ class FaultInjector {
   double rtt_extra_ms(double t_s, std::size_t hop = 0) const;
   /// Edge service-time multiplier at `t_s` (>= 1.0; 1.0 when healthy).
   double edge_slowdown(double t_s) const;
+  /// Fraction of the cloud machine pool down at `t_s` (0 when healthy; the
+  /// deepest overlapping failure wins).
+  double machine_failure_fraction(double t_s) const;
+  /// Per-machine capacity multiplier at `t_s` in [0, 1] (1 when healthy;
+  /// overlapping brownouts compound to the deepest one).
+  double brownout_factor(double t_s) const;
   /// Next time > t_s at which hop `hop`'s link factor may change (start or
   /// end of a link-outage episode); +infinity when none — the piecewise-
   /// constant boundary the link's transfer integration steps on.

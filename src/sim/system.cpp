@@ -6,6 +6,9 @@
 #include <random>
 #include <stdexcept>
 
+#include "cloud/scheduler.hpp"
+#include "par/substream.hpp"
+
 namespace lens::sim {
 
 namespace {
@@ -22,6 +25,13 @@ void validate_config(const SimConfig& config, std::size_t num_options) {
     throw std::invalid_argument(
         "EdgeCloudSystem: fault injection needs a positive timeout and a "
         "non-negative retry backoff");
+  }
+  if (config.retry_jitter < 0.0 || config.retry_jitter > 1.0) {
+    throw std::invalid_argument("EdgeCloudSystem: retry_jitter must be in [0, 1]");
+  }
+  if (config.breaker_failures > 0 && config.breaker_open_ms <= 0.0) {
+    throw std::invalid_argument(
+        "EdgeCloudSystem: the circuit breaker needs a positive open window");
   }
 }
 
@@ -212,6 +222,35 @@ SimStats EdgeCloudSystem::run() {
   const double timeout_s = config_.timeout_ms / 1e3;
   const double backoff_s = config_.retry_backoff_ms / 1e3;
 
+  // Finite-cloud machine pool (std::nullopt keeps the paper's infinite
+  // cloud: suffixes never queue and are never shed).
+  std::optional<cloud::CloudScheduler> cloud_sched;
+  if (config_.cloud.has_value()) cloud_sched.emplace(*config_.cloud);
+
+  // Per-device substream for retry and breaker-probe jitter: rooted at
+  // (seed, device_id) so fleet peers sharing one outage window draw
+  // decorrelated delays. The stream is consumed only on retries with
+  // retry_jitter > 0 and on breaker transitions, so legacy runs are
+  // bit-identical.
+  std::mt19937_64 jitter_rng(
+      par::substream_seed(par::substream_seed(config_.seed, 0x9e77), config_.device_id));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Circuit breaker: consecutive cloud failures trip it open; while open,
+  // cloud-reaching requests fast-fail to the edge fallback (no transmit, no
+  // timeout wait) until the half-open probe time.
+  const bool breaker_enabled =
+      config_.breaker_failures > 0 && fallback_option_.has_value();
+  const double breaker_open_s = config_.breaker_open_ms / 1e3;
+  std::size_t consecutive_failures = 0;
+  bool breaker_open = false;
+  double breaker_opened_at = 0.0;
+  double breaker_probe_at = 0.0;
+  double breaker_open_accum_s = 0.0;
+  const auto probe_delay = [&]() {
+    return breaker_open_s * (1.0 + config_.retry_jitter * unit(jitter_rng));
+  };
+
   SimStats stats;
   records_.reserve(arrivals.size());
   for (double arrival : arrivals) {
@@ -238,7 +277,17 @@ SimStats EdgeCloudSystem::run() {
       // cheapest edge-only option, or is dropped when there is none.
       double ready = edge_done;
       const bool needs_cloud = num_hops_ == 1 || reaches_cloud(option);
+      // Sentinel < 0: attempts ended in success; >= 0: the give-up time at
+      // which the request falls back to the edge (or is dropped).
+      double gave_up_at = -1.0;
       for (std::size_t attempt = 0;; ++attempt) {
+        if (needs_cloud && breaker_open && ready < breaker_probe_at) {
+          // Breaker open: skip the doomed attempt entirely — no transmit,
+          // no timeout wait. This is what keeps a shared outage from
+          // turning into a retry storm.
+          gave_up_at = ready;
+          break;
+        }
         const TransferResult transfer = link.schedule(ready, option.tx_bytes);
         record.energy_mj += transfer.energy_mj;
         // K-tier: walk the remote chain to find when the payload reaches
@@ -248,7 +297,33 @@ SimStats EdgeCloudSystem::run() {
         if (num_hops_ > 1) {
           chain_completion = remote_chain(option, transfer.end_s, faults, cloud_arrival);
         }
-        if (!needs_cloud || !faults.cloud_unavailable(cloud_arrival)) {
+        bool attempt_ok = !needs_cloud || !faults.cloud_unavailable(cloud_arrival);
+        bool was_shed = false;
+        double failed_at = transfer.end_s + timeout_s;
+        if (attempt_ok && needs_cloud && cloud_sched.has_value()) {
+          // Finite cloud: the suffix must win a bounded machine slot, and
+          // queueing + machine-speed service replace the constant latency.
+          const double job_ms = num_hops_ == 1 ? option.cloud_latency_ms
+                                               : option.tier_latency_ms.back();
+          const cloud::Admission adm = cloud_sched->admit(
+              cloud_arrival, job_ms, faults.machine_failure_fraction(cloud_arrival),
+              faults.brownout_factor(cloud_arrival));
+          if (adm.admitted) {
+            completion = num_hops_ == 1
+                             ? adm.completion_s +
+                                   (comm_.round_trip_ms() +
+                                    faults.rtt_extra_ms(transfer.end_s)) /
+                                       1e3
+                             : adm.completion_s;
+          } else {
+            // A shed is an immediate reject: the response returns after one
+            // round trip, with no timeout wait.
+            attempt_ok = false;
+            was_shed = true;
+            ++stats.shed;
+            failed_at = cloud_arrival + comm_.round_trip_ms() / 1e3;
+          }
+        } else if (attempt_ok) {
           if (num_hops_ == 1) {
             // Round trip covers the request/response handshake (plus any
             // active RTT spike); the cloud suffix runs with unbounded
@@ -259,29 +334,59 @@ SimStats EdgeCloudSystem::run() {
           } else {
             completion = chain_completion;
           }
-          break;
         }
-        ++record.timeouts;
-        ++stats.timeouts;
-        const double failed_at = transfer.end_s + timeout_s;
-        if (attempt >= config_.max_retries) {
-          if (fallback_option_.has_value()) {
-            const core::DeploymentOption& fb = options_[*fallback_option_];
-            const double slow = faults.edge_slowdown(failed_at);
-            completion =
-                edge.schedule_unordered(failed_at, fb.edge_latency_ms / 1e3 * slow);
-            record.energy_mj += fb.edge_energy_mj;
-            record.fell_back = true;
-            ++stats.fallback_executions;
-          } else {
-            completion = failed_at;
-            record.dropped = true;
-            ++stats.dropped;
+        if (attempt_ok) {
+          if (needs_cloud) {
+            consecutive_failures = 0;
+            if (breaker_open) {
+              // Successful half-open probe: reclose.
+              breaker_open = false;
+              breaker_open_accum_s += std::max(0.0, cloud_arrival - breaker_opened_at);
+            }
           }
           break;
         }
+        if (!was_shed) {
+          ++record.timeouts;
+          ++stats.timeouts;
+        }
+        if (breaker_enabled && needs_cloud) {
+          if (breaker_open) {
+            // Failed half-open probe: stay open, push the next probe out.
+            breaker_probe_at = failed_at + probe_delay();
+          } else if (++consecutive_failures >= config_.breaker_failures) {
+            breaker_open = true;
+            breaker_opened_at = failed_at;
+            breaker_probe_at = failed_at + probe_delay();
+            ++stats.breaker_trips;
+          }
+        }
+        if (attempt >= config_.max_retries) {
+          gave_up_at = failed_at;
+          break;
+        }
         ++stats.retries;
-        ready = failed_at + backoff_s * std::pow(2.0, static_cast<double>(attempt));
+        double delay_s = backoff_s * std::pow(2.0, static_cast<double>(attempt));
+        if (config_.retry_jitter > 0.0) {
+          delay_s *= 1.0 - config_.retry_jitter / 2.0 +
+                     config_.retry_jitter * unit(jitter_rng);
+        }
+        ready = failed_at + delay_s;
+      }
+      if (gave_up_at >= 0.0) {
+        if (fallback_option_.has_value()) {
+          const core::DeploymentOption& fb = options_[*fallback_option_];
+          const double slow = faults.edge_slowdown(gave_up_at);
+          completion =
+              edge.schedule_unordered(gave_up_at, fb.edge_latency_ms / 1e3 * slow);
+          record.energy_mj += fb.edge_energy_mj;
+          record.fell_back = true;
+          ++stats.fallback_executions;
+        } else {
+          completion = gave_up_at;
+          record.dropped = true;
+          ++stats.dropped;
+        }
       }
     }
     record.completion_s = completion;
@@ -309,6 +414,15 @@ SimStats EdgeCloudSystem::run() {
   stats.cloud_outage_episodes = faults.schedule().count(FaultClass::kCloudOutage);
   stats.rtt_spike_episodes = faults.schedule().count(FaultClass::kRttSpike);
   stats.edge_slowdown_episodes = faults.schedule().count(FaultClass::kEdgeSlowdown);
+  stats.machine_failure_episodes = faults.schedule().count(FaultClass::kMachineFailure);
+  stats.brownout_episodes = faults.schedule().count(FaultClass::kRegionalBrownout);
+  if (breaker_open) {
+    breaker_open_accum_s += std::max(0.0, stats.makespan_s - breaker_opened_at);
+  }
+  stats.breaker_open_time_s = breaker_open_accum_s;
+  if (cloud_sched.has_value()) {
+    stats.datacenter_energy_j = cloud_sched->energy_j(stats.makespan_s);
+  }
   if (stats.completed + stats.dropped > 0) {
     stats.availability = static_cast<double>(stats.completed) /
                          static_cast<double>(stats.completed + stats.dropped);

@@ -23,9 +23,11 @@
 // loop, so the same seed yields bit-identical SimStats at any thread count.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "cloud/machine.hpp"
 #include "comm/commcost.hpp"
 #include "comm/trace.hpp"
 #include "core/evaluator.hpp"
@@ -73,6 +75,29 @@ struct SimConfig {
   /// option set has none (e.g. the memory budget removed All-Edge).
   std::size_t max_retries = 2;
   double retry_backoff_ms = 100.0;
+  /// Deterministic per-device retry jitter: each backoff delay is scaled by
+  /// a factor drawn uniformly from [1 - j/2, 1 + j/2) on a substream rooted
+  /// at par::substream_seed over (seed, device_id), so devices sharing an
+  /// outage desynchronize instead of retrying in lockstep. 0 disables
+  /// (legacy bit-identical schedule); must lie in [0, 1].
+  double retry_jitter = 0.0;
+  /// Identity decorrelating this device's jitter/breaker substreams from
+  /// its fleet peers'.
+  std::uint64_t device_id = 0;
+  /// Circuit breaker: after this many consecutive failed cloud attempts
+  /// (timeouts or sheds) the breaker opens — requests fast-fail to the
+  /// edge-only fallback without transmitting until breaker_open_ms have
+  /// passed, then a single half-open probe decides reclose vs. re-open
+  /// (probe delay jittered per device like the backoff). 0 disables; the
+  /// breaker also stays disabled when the option set has no edge fallback.
+  std::size_t breaker_failures = 0;
+  double breaker_open_ms = 2000.0;
+  /// Finite-cloud model (std::nullopt = the paper's infinite cloud): the
+  /// suffix of every cloud-reaching request must win a bounded machine-pool
+  /// slot or be shed, and queueing + machine-speed service replace the
+  /// constant cloud_latency_ms. A pool at capacity 1000 layer-ms/s with no
+  /// contention reproduces the infinite-cloud timings exactly.
+  std::optional<cloud::CloudConfig> cloud;
 };
 
 /// Per-request outcome.
@@ -125,6 +150,15 @@ struct SimStats {
   std::size_t cloud_outage_episodes = 0;
   std::size_t rtt_spike_episodes = 0;
   std::size_t edge_slowdown_episodes = 0;
+  std::size_t machine_failure_episodes = 0;
+  std::size_t brownout_episodes = 0;
+
+  // ---- finite-cloud / breaker accounting (zero without SimConfig::cloud
+  //      or breaker_failures) ----
+  std::size_t shed = 0;           ///< cloud admissions rejected by the pool
+  std::size_t breaker_trips = 0;  ///< closed -> open transitions
+  double breaker_open_time_s = 0.0;  ///< total time spent open
+  double datacenter_energy_j = 0.0;  ///< machine-pool energy over makespan
 };
 
 /// Simulates one deployed model under load.

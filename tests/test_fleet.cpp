@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cloud/machine.hpp"
 #include "comm/commcost.hpp"
 #include "comm/trace.hpp"
 #include "core/evaluator.hpp"
@@ -447,6 +448,98 @@ TEST(FleetEngine, Validation) {
   config = fleet::FleetConfig{};
   config.hysteresis_margin = -0.1;
   EXPECT_THROW(fleet::FleetEngine(plan, config), std::invalid_argument);
+}
+
+// A fleet pushed through a scripted regional brownout: a healthy pool with
+// headroom loses 60% of its capacity for six steps mid-run. At 40 Mbps the
+// plan's latency choice transmits (split@pool5), so nearly every device
+// offers its suffix to the pool.
+fleet::FleetConfig brownout_fleet_config() {
+  fleet::FleetConfig config;
+  config.devices = 4100;  // > 4 chunks: the parallel path actually shards
+  config.steps = 18;
+  config.step_s = 100.0;
+  config.seed = 5;
+  config.trace.mean_mbps = 40.0;
+  config.trace.sigma = 0.2;
+  cloud::CloudConfig pool;
+  pool.machines = 3;  // 3 x 1700 qps admitted > 4100 offered when healthy
+  config.cloud = pool;
+  config.cloud_faults.seed = 5;
+  config.cloud_faults.scripted.push_back(
+      {sim::FaultClass::kRegionalBrownout, 600.0, 1200.0, 0.6});
+  config.sla_ms = 300.0;
+  return config;
+}
+
+TEST(FleetEngine, BrownoutSmokeShedsTripsBreakersAndStaysDeterministic) {
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetEngine engine(plan, brownout_fleet_config());
+  par::ThreadPool one(1), eight(8);
+  const fleet::FleetStats serial = engine.run(one);
+  const fleet::FleetStats parallel = engine.run(eight);
+  // The acceptance bar: the full CSV report — every finite-cloud column
+  // included — is byte-identical at any thread count.
+  EXPECT_EQ(serial.csv(), parallel.csv());
+
+  // The brownout bites: admission sheds, repeat-shed devices trip open.
+  EXPECT_GT(serial.shed, 0u);
+  EXPECT_GT(serial.shed_rate, 0.0);
+  EXPECT_GT(serial.breaker_trips, 0u);
+  EXPECT_GT(serial.breaker_open_time_s, 0.0);
+  EXPECT_GT(serial.datacenter_energy_j, 0.0);
+
+  // Shedding is confined to the brownout window (steps 6..11): before it
+  // the pool has headroom, and after it the breakers re-close.
+  ASSERT_EQ(serial.shed_qps.size(), 18u);
+  for (std::size_t s = 0; s < 6; ++s) EXPECT_EQ(serial.shed_qps[s], 0.0);
+  EXPECT_GT(serial.shed_qps[7], 0.0);
+  EXPECT_EQ(serial.shed_qps.back(), 0.0);
+  // offered = admitted + shed, always.
+  for (std::size_t s = 0; s < serial.offered_qps.size(); ++s) {
+    EXPECT_NEAR(serial.offered_qps[s], serial.cloud_qps[s] + serial.shed_qps[s],
+                1e-9);
+  }
+}
+
+TEST(FleetEngine, BrownoutTailIsBoundedByTheEdgeOnlyCeiling) {
+  // Shed devices fast-fail onto the cheapest edge-only option, so even the
+  // p999 of a partial brownout cannot exceed (modulo the pool's bounded
+  // queue wait) the latency of a run where the cloud is gone entirely and
+  // EVERY transmitting device serves the edge fallback.
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetConfig partial = brownout_fleet_config();
+  fleet::FleetConfig blackout = brownout_fleet_config();
+  blackout.cloud_faults.scripted.clear();
+  blackout.cloud_faults.scripted.push_back(
+      {sim::FaultClass::kRegionalBrownout, 0.0, 1e9, 1.0});
+  par::ThreadPool pool(4);
+  const fleet::FleetStats some = fleet::FleetEngine(plan, partial).run(pool);
+  const fleet::FleetStats ceiling = fleet::FleetEngine(plan, blackout).run(pool);
+  EXPECT_GT(ceiling.shed, some.shed);
+  EXPECT_LE(some.p999_latency_ms, ceiling.p999_latency_ms * 1.05);
+  // SLA accounting is wired through: the 300 ms bar is generous for
+  // alexnet, so violations stay rare but the columns exist and are sane.
+  EXPECT_LE(some.sla_violation_rate, 1.0);
+  EXPECT_EQ(some.sla_violations == 0, some.sla_violation_rate == 0.0);
+}
+
+TEST(FleetEngine, InfiniteCloudKeepsLegacySeriesInvariants) {
+  // Without FleetConfig::cloud the admission path is bypassed entirely:
+  // offered == admitted, nothing is shed, no breaker ever trips.
+  const core::DeploymentPlan& plan = alexnet_plan();
+  fleet::FleetEngine engine(plan, small_fleet_config());
+  par::ThreadPool pool(3);
+  const fleet::FleetStats stats = engine.run(pool);
+  ASSERT_EQ(stats.offered_qps.size(), stats.cloud_qps.size());
+  for (std::size_t s = 0; s < stats.offered_qps.size(); ++s) {
+    EXPECT_EQ(stats.offered_qps[s], stats.cloud_qps[s]);
+    EXPECT_EQ(stats.shed_qps[s], 0.0);
+  }
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.breaker_trips, 0u);
+  EXPECT_EQ(stats.breaker_open_time_s, 0.0);
+  EXPECT_EQ(stats.datacenter_energy_j, 0.0);
 }
 
 TEST(FleetEngine, ChunkCountDependsOnDevicesAlone) {

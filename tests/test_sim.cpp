@@ -600,6 +600,43 @@ TEST_F(SystemTest, RetriesRecoverAfterShortOutage) {
   EXPECT_DOUBLE_EQ(stats.availability, 1.0);
 }
 
+TEST_F(SystemTest, RetryJitterDesynchronizesDevicesSharingAnOutage) {
+  // Two devices ride out the same scripted blackout. With jitter enabled
+  // their backoff draws come from per-device substreams, so their retry
+  // timelines diverge — the thundering herd breaks up. With jitter off the
+  // device identity is inert and the runs stay bitwise identical.
+  const auto run_device = [&](std::uint64_t device_id, double jitter) {
+    SimConfig config;
+    config.duration_s = 5.0;
+    config.arrival_rate_hz = 10.0;
+    config.policy = DispatchPolicy::kFixed;
+    config.fixed_option = 0;
+    config.timeout_ms = 200.0;
+    config.retry_backoff_ms = 100.0;
+    config.max_retries = 8;
+    config.retry_jitter = jitter;
+    config.device_id = device_id;
+    config.faults.scripted.push_back({FaultClass::kCloudOutage, 0.0, 1.5, 0.0});
+    std::vector<core::DeploymentOption> only_cloud = {evaluation_.all_cloud()};
+    EdgeCloudSystem system(only_cloud, wifi_, flat_trace(10.0), config);
+    return system.run();
+  };
+
+  const SimStats a = run_device(1, 0.5);
+  const SimStats b = run_device(2, 0.5);
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(b.retries, 0u);
+  // Different substreams -> different post-outage landing times.
+  EXPECT_NE(a.mean_latency_ms, b.mean_latency_ms);
+
+  const SimStats c = run_device(1, 0.0);
+  const SimStats d = run_device(2, 0.0);
+  EXPECT_EQ(c.completed, d.completed);
+  EXPECT_EQ(c.retries, d.retries);
+  EXPECT_EQ(c.mean_latency_ms, d.mean_latency_ms);  // bitwise
+  EXPECT_EQ(c.total_energy_mj, d.total_energy_mj);  // bitwise
+}
+
 TEST_F(SystemTest, FaultyStatsAreBitIdenticalAcrossThreadCounts) {
   const auto run_with_threads = [&](std::size_t threads) {
     par::set_max_threads(threads);

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""CI regression gate for the finite-cloud placement-policy duel.
+
+Parses BENCH_cloud.json (written by bench/bench_cloud via
+io::atomic_write_checked — integrity footer stripped by bench_json) and
+enforces the duel's contract:
+
+  1. Both placement policies are present.
+  2. The pool is homogeneous, so admission is policy-independent: the shed
+     rate (and the SLA-violation rate) must match EXACTLY between greedy
+     first-fit and energy-aware best-fit.
+  3. At that equal shed rate, consolidation must not cost energy: best-fit
+     datacenter energy <= greedy datacenter energy.
+
+Usage: check_cloud_bench.py [BENCH_cloud.json]
+"""
+
+import argparse
+import json
+
+from bench_json import load_stripped_json
+
+GREEDY = "policy=greedy-first-fit"
+BEST_FIT = "policy=energy-best-fit"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("json_path", nargs="?", default="BENCH_cloud.json")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = load_stripped_json(args.json_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {args.json_path}: {e}")
+        return 1
+
+    records = {r.get("name"): r for r in doc.get("results", [])}
+    failures = []
+
+    greedy = records.get(GREEDY)
+    best_fit = records.get(BEST_FIT)
+    if greedy is None:
+        failures.append(f"missing record {GREEDY}")
+    if best_fit is None:
+        failures.append(f"missing record {BEST_FIT}")
+
+    if greedy is not None and best_fit is not None:
+        for column in ("shed_rate", "sla_violation_rate"):
+            g, b = greedy.get(column), best_fit.get(column)
+            if g is None or b is None:
+                failures.append(f"missing column {column}")
+            elif g != b:
+                failures.append(
+                    f"{column} differs between policies ({g!r} vs {b!r}): "
+                    "a homogeneous pool must admit identically"
+                )
+        g_energy = greedy.get("datacenter_energy_j")
+        b_energy = best_fit.get("datacenter_energy_j")
+        if g_energy is None or b_energy is None:
+            failures.append("missing column datacenter_energy_j")
+        elif not g_energy > 0.0:
+            failures.append(
+                f"greedy datacenter_energy_j is {g_energy!r}; the pool "
+                "should burn measurable power under fleet load"
+            )
+        elif b_energy > g_energy:
+            failures.append(
+                f"energy-best-fit burned MORE energy than greedy "
+                f"({b_energy:.1f} J > {g_energy:.1f} J) at equal shed rate"
+            )
+        else:
+            saved = 100.0 * (1.0 - b_energy / g_energy)
+            print(
+                f"OK: shed rate {greedy['shed_rate']:.4f} equal across "
+                f"policies; consolidation saves {saved:.1f}% datacenter energy"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"OK: {args.json_path} passes the placement-duel gate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
