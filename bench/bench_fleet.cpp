@@ -19,10 +19,13 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "cloud/machine.hpp"
+#include "core/topology.hpp"
 #include "dnn/presets.hpp"
 #include "fleet/fleet.hpp"
 #include "par/probe.hpp"
 #include "par/runtime.hpp"
+#include "sim/fault.hpp"
 
 namespace {
 
@@ -151,6 +154,69 @@ int main() {
               {"steps_per_sec", steps_per_s},
               {"total_switches", static_cast<double>(stats.total_switches)},
               {"mean_cloud_qps", stats.mean_cloud_qps}});
+  }
+
+  // K-tier regional path: a 3-tier vgg16 fleet with four failure domains, a
+  // dead fog site, a scripted backhaul brownout (per-step curve re-collapse
+  // in the browned region), and finite fog + cloud pools. Gated by the same
+  // determinism bit: the 8-thread CSV must byte-match the 1-thread run.
+  std::printf("\nK-tier regional path (4 domains, brownout + fog failure):\n");
+  std::printf("%8s %12s %9s %12s\n", "threads", "wall(ms)", "wall-spd", "identical");
+  {
+    const lens::perf::DeviceSimulator fog_sim(lens::perf::datacenter_gpu());
+    const lens::perf::SimulatorOracle fog_oracle(fog_sim);
+    const lens::perf::SimulatorOracle edge_oracle(rig.simulator);
+    lens::core::EdgeFogCloudConfig topo;
+    topo.radio = lens::comm::CommModel(lens::comm::WirelessTechnology::kWifi, 4.0);
+    topo.backhaul = lens::comm::CommModel(lens::comm::WirelessTechnology::kWifi, 40.0);
+    const lens::core::DeploymentPlan ktier_plan =
+        lens::core::DeploymentEvaluator(
+            lens::core::edge_fog_cloud(edge_oracle, fog_oracle, nullptr, topo))
+            .compile(lens::dnn::vgg16());
+
+    lens::fleet::FleetConfig config = fleet_scenario(scaling_devices, scaling_steps);
+    config.trace.mean_mbps = 4.0;
+    config.num_regions = 4;
+    config.fog = lens::cloud::fog_site_defaults(8);
+    lens::cloud::CloudConfig dc;
+    dc.machines = 32;
+    config.cloud = dc;
+    config.region_episodes.push_back(
+        {1, {lens::sim::FaultClass::kFogSiteFailure, 0.0, 1e9, 1.0}});
+    config.region_episodes.push_back(
+        {2, {lens::sim::FaultClass::kBackhaulBrownout, 0.0, 1e9, 0.8, 1}});
+    lens::fleet::FleetEngine regional(ktier_plan, {4.0, 40.0}, config);
+
+    std::string ktier_reference;
+    double ktier_t1_ms = 0.0;
+    for (const std::size_t threads : {1u, 8u}) {
+      lens::par::set_max_threads(threads);
+      const auto start = std::chrono::steady_clock::now();
+      const lens::fleet::FleetStats stats = regional.run();
+      const double ms = wall_ms_since(start);
+      const std::string csv = stats.csv();
+      if (threads == 1) {
+        ktier_reference = csv;
+        ktier_t1_ms = ms;
+      }
+      const bool same = csv == ktier_reference;
+      std::printf("%8zu %12.1f %8.2fx %12s\n", threads, ms, ktier_t1_ms / ms,
+                  same ? "yes" : "NO");
+      json.add("threads=" + std::to_string(threads) + "-ktier-regions",
+               {{"wall_ms", ms},
+                {"speedup_vs_1_thread", ktier_t1_ms / ms},
+                {"device_steps_per_sec", 1e3 * static_cast<double>(scaling_devices) *
+                                             static_cast<double>(scaling_steps) / ms},
+                {"fog_shed", static_cast<double>(stats.fog_shed)},
+                {"degraded_steps", static_cast<double>(stats.degraded_steps)},
+                {"identical_to_reference", same ? 1.0 : 0.0}});
+      if (!same) {
+        std::fprintf(stderr, "K-tier regional determinism violation at %zu threads\n",
+                     threads);
+        return 1;
+      }
+    }
+    lens::par::set_max_threads(0);
   }
 
   if (!json.write("BENCH_fleet.json")) return 1;

@@ -70,6 +70,30 @@ sim::FaultEpisode parse_brownout(const Args& args) {
   return episode;
 }
 
+/// Parse "--region-brownout region,start,duration,depth" into a scripted
+/// backhaul brownout on hop 1 of that one region (depth = fraction of the
+/// hop's throughput lost, in (0, 1) — a full loss is an outage).
+fleet::RegionEpisode parse_region_brownout(const Args& args, std::size_t num_regions) {
+  const std::vector<double> fields = args.get_doubles("region-brownout");
+  if (fields.size() != 4) {
+    throw std::invalid_argument(
+        "--region-brownout expects region,start,duration,depth (region index, "
+        "seconds, seconds, backhaul throughput fraction lost in (0,1))");
+  }
+  if (!(fields[0] >= 0.0) || fields[0] >= static_cast<double>(num_regions)) {
+    throw std::invalid_argument(
+        "--region-brownout region index must be in [0, --regions)");
+  }
+  fleet::RegionEpisode re;
+  re.region = static_cast<std::uint32_t>(fields[0]);
+  re.episode.fault = sim::FaultClass::kBackhaulBrownout;
+  re.episode.hop = 1;
+  re.episode.start_s = fields[1];
+  re.episode.end_s = fields[1] + fields[2];
+  re.episode.magnitude = fields[3];
+  return re;
+}
+
 struct Rig {
   perf::DeviceSimulator simulator;
   perf::RooflinePredictor predictor;
@@ -502,7 +526,8 @@ int cmd_fleet(const Args& args) {
   args.expect_known({"arch", "tech", "rtt", "device", "metric", "tu", "devices", "steps",
                      "step-s", "seed", "margin", "qps", "csv", "threads", "tiers",
                      "fog-device", "hop-bw", "cloud-machines", "cloud-capacity",
-                     "cloud-policy", "admit-util", "sla", "brownout"});
+                     "cloud-policy", "admit-util", "sla", "brownout", "regions",
+                     "fog-machines", "region-brownout"});
   Rig rig = Rig::from_args(args, 10.0);
   const dnn::Architecture arch = parse_arch(args.get("arch", "alexnet"));
   const core::DeploymentEvaluator evaluator = rig.make_evaluator();
@@ -550,13 +575,37 @@ int cmd_fleet(const Args& args) {
         "--cloud-capacity/--cloud-policy/--admit-util/--brownout require "
         "--cloud-machines (the finite-cloud model)");
   }
+  if (rig.tiers == 3) {
+    const int regions = args.get_int("regions", 1);
+    if (regions < 1) throw std::invalid_argument("--regions expects a positive count");
+    config.num_regions = static_cast<std::size_t>(regions);
+    if (args.has("fog-machines")) {
+      const int fog_machines = args.get_int("fog-machines", 4);
+      if (fog_machines < 1) {
+        throw std::invalid_argument("--fog-machines expects a positive count");
+      }
+      config.fog = cloud::fog_site_defaults(static_cast<std::size_t>(fog_machines));
+    }
+    if (args.has("region-brownout")) {
+      config.region_episodes.push_back(
+          parse_region_brownout(args, config.num_regions));
+    }
+  } else if (args.has("regions") || args.has("fog-machines") ||
+             args.has("region-brownout")) {
+    throw std::invalid_argument(
+        "--regions/--fog-machines/--region-brownout require --tiers 3 "
+        "(regional failure domains live on the K-tier hierarchy)");
+  }
 
   fleet::FleetEngine engine = rig.tiers == 2
                                   ? fleet::FleetEngine(plan, config)
                                   : fleet::FleetEngine(plan, rig.hop_tu, config);
   if (rig.tiers == 3) {
-    std::printf("(backhaul pinned at %.1f Mbps; devices switch over the radio hop)\n",
-                rig.hop_tu[1]);
+    std::printf(
+        "(nominal backhaul %.1f Mbps; %zu region(s)%s; devices switch over the "
+        "radio hop)\n",
+        rig.hop_tu[1], config.num_regions,
+        config.fog ? ", finite fog sites" : "");
   }
   const fleet::FleetStats stats = engine.run();
 
@@ -593,6 +642,27 @@ int cmd_fleet(const Args& args) {
     std::printf("SLA %.0f ms: %llu violations (%.2f%%)\n", config.sla_ms,
                 static_cast<unsigned long long>(stats.sla_violations),
                 100.0 * stats.sla_violation_rate);
+  }
+  if (!stats.regions.empty()) {
+    std::printf(
+        "regions: %zu | degraded %llu device-steps | fog shed %llu | fog energy "
+        "%.1f kJ\n",
+        stats.regions.size(), static_cast<unsigned long long>(stats.degraded_steps),
+        static_cast<unsigned long long>(stats.fog_shed), stats.fog_energy_j / 1e3);
+    const std::size_t shown = std::min<std::size_t>(stats.regions.size(), 8);
+    for (std::size_t r = 0; r < shown; ++r) {
+      const fleet::FleetStats::RegionStats& rs = stats.regions[r];
+      std::printf(
+          "  region %zu: fog %.0f/%.0f qps (shed %.0f) | cloud %.0f/%.0f qps "
+          "(shed %.0f) | degraded %.0f dev-s | breaker open %.0f s | backhaul "
+          "out %.0f s\n",
+          r, rs.fog_admitted_qps, rs.fog_offered_qps, rs.fog_shed_qps,
+          rs.cloud_admitted_qps, rs.cloud_offered_qps, rs.cloud_shed_qps,
+          rs.degraded_device_s, rs.breaker_open_s, rs.backhaul_out_s);
+    }
+    if (stats.regions.size() > shown) {
+      std::printf("  ... (%zu more regions in --csv)\n", stats.regions.size() - shown);
+    }
   }
   std::printf("switching: %llu total | %.3f per device-hour\n",
               static_cast<unsigned long long>(stats.total_switches),

@@ -16,6 +16,18 @@ const char* placement_policy_name(PlacementPolicy policy) {
   return "unknown";
 }
 
+CloudConfig fog_site_defaults(std::size_t machines) {
+  CloudConfig config;
+  config.machines = machines;
+  config.machine.capacity_ms_per_s = 1500.0;  // embedded parts, not Xeons
+  config.machine.active_w = 65.0;
+  config.machine.idle_w = 18.0;
+  config.machine.queue_slots = 4;     // shallow: shed early, stay low-latency
+  config.admit_utilization = 0.7;     // back off the M/M/1 knee harder
+  config.policy = PlacementPolicy::kGreedyFirstFit;
+  return config;
+}
+
 QueueMetrics mm1k_metrics(double arrival_hz, double service_hz,
                           std::size_t queue_slots) {
   if (!(arrival_hz >= 0.0) || !std::isfinite(arrival_hz)) {

@@ -54,6 +54,14 @@ struct CloudConfig {
   double assumed_job_ms = 2.0;
 };
 
+/// A regional fog site: the same bounded-pool model as the datacenter but
+/// sized like a street-cabinet micro-datacenter — few machines, slower
+/// parts, shallower queues, and a lower admission ceiling so the site sheds
+/// early rather than letting queueing delay eat the latency the fog tier
+/// exists to save. `machines` is the per-region pool size (the fleet gives
+/// every region its own pool from one preset).
+CloudConfig fog_site_defaults(std::size_t machines);
+
 /// Steady-state metrics of one bounded FIFO machine queue: M/M/1/K with
 /// K = queue_slots resident jobs (waiting + in service).
 struct QueueMetrics {

@@ -546,6 +546,24 @@ std::vector<comm::CostCurve> DeploymentPlan::collapsed_energy_curves(
   return curves;
 }
 
+void DeploymentPlan::collapse_latency_curves_into(
+    std::size_t free_hop, const std::vector<double>& fixed_tu_mbps,
+    std::vector<comm::CostCurve>& out) const {
+  out.resize(latency_surfaces_.size());
+  for (std::size_t i = 0; i < latency_surfaces_.size(); ++i) {
+    out[i] = latency_surfaces_[i].collapse(free_hop, fixed_tu_mbps);
+  }
+}
+
+void DeploymentPlan::collapse_energy_curves_into(
+    std::size_t free_hop, const std::vector<double>& fixed_tu_mbps,
+    std::vector<comm::CostCurve>& out) const {
+  out.resize(energy_surfaces_.size());
+  for (std::size_t i = 0; i < energy_surfaces_.size(); ++i) {
+    out[i] = energy_surfaces_[i].collapse(free_hop, fixed_tu_mbps);
+  }
+}
+
 std::vector<PricedObjectives> DeploymentPlan::price_batch(
     const std::vector<double>& tus_mbps) const {
   std::vector<PricedObjectives> out(tus_mbps.size());

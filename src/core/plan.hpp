@@ -91,6 +91,20 @@ class DeploymentPlan {
   std::vector<comm::CostCurve> collapsed_energy_curves(
       std::size_t free_hop, const std::vector<double>& fixed_tu_mbps) const;
 
+  /// Allocation-free collapse into caller-owned storage (resized to
+  /// options().size()), same arithmetic as the allocating forms above. The
+  /// fleet re-collapses per (step, region) when a regional backhaul fault
+  /// stretches a hop, so this runs thousands of times per run. Note the
+  /// energy surfaces only ever carry a hop-0 coefficient (backhaul
+  /// transfers are not billed to the battery), so collapse_energy_curves_
+  /// into yields the same curves for every backhaul vector.
+  void collapse_latency_curves_into(std::size_t free_hop,
+                                    const std::vector<double>& fixed_tu_mbps,
+                                    std::vector<comm::CostCurve>& out) const;
+  void collapse_energy_curves_into(std::size_t free_hop,
+                                   const std::vector<double>& fixed_tu_mbps,
+                                   std::vector<comm::CostCurve>& out) const;
+
   /// End-to-end cost of option `index` at throughput `tu_mbps`, using the
   /// exact arithmetic of the legacy evaluate() path (bit-identical).
   /// Two-tier plans only.

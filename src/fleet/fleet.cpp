@@ -138,6 +138,39 @@ struct OfferAccum {
   double job_ms_sum = 0.0;     // their summed suffix cost (layer-ms)
 };
 
+/// Device flags of the regional K-tier step (dev_flags SoA array).
+constexpr std::uint8_t kFlagFogOffered = 1;   // offered its fog suffix
+constexpr std::uint8_t kFlagFogAdmitted = 2;  // fog pool admitted it
+constexpr std::uint8_t kFlagFogShed = 4;      // fog shed it AND it degraded
+constexpr std::uint8_t kFlagFogOpen = 8;      // fog breaker held it open
+
+/// Per-(chunk, region) accumulators of the regional path (racc[c * R + r]),
+/// merged serially in (region, chunk) order.
+struct RegionAccum {
+  std::uint64_t fog_offered = 0;
+  double fog_job_ms = 0.0;
+  std::uint64_t fog_admitted = 0;
+  std::uint64_t fog_shed = 0;
+  std::uint64_t cloud_admitted = 0;
+  std::uint64_t cloud_shed = 0;
+  std::uint64_t degraded = 0;      // served off the hysteresis selection
+  std::uint64_t breaker_open = 0;  // fog + cloud breaker device-steps open
+};
+
+/// Run-long per-region totals (serial accumulation only).
+struct RegionTotals {
+  std::uint64_t fog_offered = 0;
+  std::uint64_t fog_admitted = 0;
+  std::uint64_t fog_shed = 0;
+  std::uint64_t cloud_admitted = 0;
+  std::uint64_t cloud_shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t breaker_open = 0;
+  std::uint64_t backhaul_out_steps = 0;
+  double fog_energy_j = 0.0;
+  double fog_wait_weighted_ms = 0.0;
+};
+
 /// Per-chunk float/int accumulators of the accounting pass (pass B),
 /// merged serially in chunk order.
 struct ChunkAccum {
@@ -236,6 +269,23 @@ std::string FleetStats::csv() const {
   append_row(out, "datacenter_energy_j", -1, datacenter_energy_j);
   append_row(out, "mean_queue_wait_ms", -1, mean_queue_wait_ms);
   append_row(out, "mean_machines_active", -1, mean_machines_active);
+  append_row(out, "fog_shed", -1, fog_shed);
+  append_row(out, "degraded_steps", -1, degraded_steps);
+  append_row(out, "fog_energy_j", -1, fog_energy_j);
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto idx = static_cast<long long>(r);
+    append_row(out, "region_fog_offered_qps", idx, regions[r].fog_offered_qps);
+    append_row(out, "region_fog_admitted_qps", idx, regions[r].fog_admitted_qps);
+    append_row(out, "region_fog_shed_qps", idx, regions[r].fog_shed_qps);
+    append_row(out, "region_cloud_offered_qps", idx, regions[r].cloud_offered_qps);
+    append_row(out, "region_cloud_admitted_qps", idx, regions[r].cloud_admitted_qps);
+    append_row(out, "region_cloud_shed_qps", idx, regions[r].cloud_shed_qps);
+    append_row(out, "region_degraded_device_s", idx, regions[r].degraded_device_s);
+    append_row(out, "region_breaker_open_s", idx, regions[r].breaker_open_s);
+    append_row(out, "region_backhaul_out_s", idx, regions[r].backhaul_out_s);
+    append_row(out, "region_fog_energy_j", idx, regions[r].fog_energy_j);
+    append_row(out, "region_fog_queue_wait_ms", idx, regions[r].fog_queue_wait_ms);
+  }
   for (std::size_t i = 0; i < cloud_qps.size(); ++i) {
     append_row(out, "cloud_qps", static_cast<long long>(i), cloud_qps[i]);
   }
@@ -280,6 +330,42 @@ void FleetEngine::validate() const {
     cloud::MachinePool validate_pool(*config_.cloud);  // throws on bad knobs
     (void)validate_pool;
   }
+  if (config_.num_regions == 0) {
+    throw std::invalid_argument("FleetEngine: num_regions must be >= 1");
+  }
+  if (config_.num_regions > kMaxRegions) {
+    throw std::invalid_argument("FleetEngine: num_regions exceeds kMaxRegions");
+  }
+  const bool regional_knobs =
+      config_.num_regions > 1 || !config_.region_map.empty() ||
+      !config_.region_episodes.empty() || config_.fog.has_value() ||
+      config_.region_faults.any_enabled();
+  if (two_tier_ && regional_knobs) {
+    throw std::invalid_argument(
+        "FleetEngine: regional failure domains need a K-tier plan "
+        "(use the per-hop ctor with a 3+-tier plan)");
+  }
+  if (!config_.region_map.empty()) {
+    if (config_.region_map.size() != config_.devices) {
+      throw std::invalid_argument(
+          "FleetEngine: region_map must have one entry per device");
+    }
+    for (std::uint32_t r : config_.region_map) {
+      if (r >= config_.num_regions) {
+        throw std::invalid_argument("FleetEngine: region_map entry out of range");
+      }
+    }
+  }
+  for (const RegionEpisode& re : config_.region_episodes) {
+    if (re.region >= config_.num_regions) {
+      throw std::invalid_argument(
+          "FleetEngine: region_episodes entry targets a region out of range");
+    }
+  }
+  if (config_.fog.has_value()) {
+    cloud::MachinePool validate_fog(*config_.fog);  // throws on bad knobs
+    (void)validate_fog;
+  }
 }
 
 FleetEngine::FleetEngine(const core::DeploymentPlan& plan, FleetConfig config)
@@ -300,6 +386,20 @@ FleetEngine::FleetEngine(const core::DeploymentPlan& plan, FleetConfig config)
 FleetEngine::FleetEngine(const core::DeploymentPlan& plan,
                          const std::vector<double>& hop_tu_mbps, FleetConfig config)
     : plan_(plan), config_(std::move(config)), two_tier_(plan.num_hops() <= 1) {
+  if (hop_tu_mbps.size() != plan_.num_hops()) {
+    throw std::invalid_argument(
+        "FleetEngine: hop_tu_mbps needs one entry per hop (radio first): plan has " +
+        std::to_string(plan_.num_hops()) + " hop(s), got " +
+        std::to_string(hop_tu_mbps.size()));
+  }
+  for (std::size_t h = 1; h < hop_tu_mbps.size(); ++h) {
+    if (!(hop_tu_mbps[h] > 0.0) || !std::isfinite(hop_tu_mbps[h])) {
+      throw std::invalid_argument(
+          "FleetEngine: hop_tu_mbps entries past hop 0 (the backhauls) must be "
+          "positive and finite");
+    }
+  }
+  hop_tu_ = hop_tu_mbps;
   latency_curves_ = plan_.collapsed_latency_curves(0, hop_tu_mbps);
   energy_curves_ = plan_.collapsed_energy_curves(0, hop_tu_mbps);
   validate();
@@ -307,6 +407,61 @@ FleetEngine::FleetEngine(const core::DeploymentPlan& plan,
                                                                      : energy_curves_;
   intervals_ = runtime::dominance_intervals(sel, config_.tu_min, config_.tu_max);
   fallback_option_ = cheapest_edge_only(plan_.options(), sel);
+  if (!two_tier_) build_ladder_tables();
+}
+
+void FleetEngine::build_ladder_tables() {
+  const std::vector<core::DeploymentOption>& options = plan_.options();
+  const std::size_t num_hops = plan_.num_hops();
+  const std::size_t num_layers = plan_.layer_latency_ms().size();
+  const std::size_t m = options.size();
+  fog_ms_.assign(m, 0.0);
+  cloud_ms_.assign(m, 0.0);
+  radio_coeff_ms_.assign(m, 0.0);
+  crosses_.assign(m * num_hops, 0);
+  occupies_cloud_.assign(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const core::DeploymentOption& o = options[i];
+    // Option crosses hop h iff a tier past h is occupied: cuts[h] < n.
+    for (std::size_t h = 0; h < num_hops; ++h) {
+      crosses_[i * num_hops + h] = o.cuts[h] < num_layers ? 1 : 0;
+    }
+    occupies_cloud_[i] = crosses_[i * num_hops + (num_hops - 1)];
+    cloud_ms_[i] = o.tier_latency_ms.back();
+    for (std::size_t k = 1; k + 1 < o.tier_latency_ms.size(); ++k) {
+      fog_ms_[i] += o.tier_latency_ms[k];
+    }
+    radio_coeff_ms_[i] = plan_.latency_surfaces()[i].per_inverse_tu[0];
+  }
+  radio_rtt_ms_ = plan_.hop(0).round_trip_ms();
+
+  // Ladder targets under the selection metric at the staged trace mean —
+  // the same reference throughput the boot option uses.
+  const std::vector<comm::CostCurve>& sel =
+      config_.metric == runtime::OptimizeFor::kLatency ? latency_curves_
+                                                       : energy_curves_;
+  const double ref_tu = config_.trace.mean_mbps > 0.0 ? config_.trace.mean_mbps : 1.0;
+  ladder_within_.assign(num_hops, -1);
+  for (std::size_t h = 0; h < num_hops; ++h) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (crosses_[i * num_hops + h]) continue;
+      const double cost = sel[i].value(ref_tu);
+      if (cost < best_cost) {
+        best_cost = cost;
+        ladder_within_[h] = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  double best_direct = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!occupies_cloud_[i] || fog_ms_[i] != 0.0) continue;
+    const double cost = sel[i].value(ref_tu);
+    if (cost < best_direct) {
+      best_direct = cost;
+      cloud_direct_ = static_cast<std::int32_t>(i);
+    }
+  }
 }
 
 FleetStats FleetEngine::run() { return run(par::global_pool()); }
@@ -390,10 +545,92 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
     dc_faults = sim::FaultInjector(sim::FaultSchedule::generate(dc_cfg));
   }
 
+  // --- regional failure domains (K-tier path only) ----------------------
+  // Every K-tier run flows through the regional machinery with R >= 1; a
+  // healthy region prices on the EXACT nominal collapsed curves (pointer,
+  // not copy), so a no-fault run is bit-identical to the retired
+  // pinned-backhaul shortcut by construction.
+  const std::size_t num_hops = plan_.num_hops();
+  const bool regional = !two_tier_;
+  const std::size_t R = regional ? config_.num_regions : 0;
+  const bool fog_on = regional && config_.fog.has_value();
+  std::optional<cloud::CloudScheduler> fog_sched;
+  if (fog_on) fog_sched.emplace(*config_.fog);
+  // The fog breaker needs a rung to fast-fail onto (cloud-direct or the
+  // edge fallback), mirroring the cloud breaker's fallback requirement.
+  const bool fog_breaker_on = fog_on && config_.breaker_failures > 0 &&
+                              (fallback_option_.has_value() || cloud_direct_ >= 0);
+  std::vector<std::uint32_t> region_of;
+  std::vector<sim::FaultInjector> region_inj(R);
+  std::vector<std::uint32_t> eff_opt, offered_opt;
+  std::vector<std::uint8_t> dev_flags;
+  std::vector<std::uint64_t> fog_key;
+  std::vector<std::uint32_t> fog_streak, fog_until;
+  if (regional) {
+    region_of.resize(n);
+    eff_opt.assign(n, 0);
+    offered_opt.assign(n, 0);
+    dev_flags.assign(n, 0);
+    par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+      const auto [begin, end] = par::chunk_range(n, chunks, c);
+      for (std::size_t i = begin; i < end; ++i) {
+        region_of[i] = config_.region_map.empty()
+                           ? static_cast<std::uint32_t>(i % R)
+                           : config_.region_map[i];
+      }
+    });
+    if (config_.region_faults.any_enabled() || !config_.region_episodes.empty()) {
+      sim::FaultScheduleConfig rcfg = config_.region_faults;
+      if (rcfg.horizon_s <= 0.0) {
+        rcfg.horizon_s = static_cast<double>(steps) * config_.step_s;
+      }
+      for (std::size_t r = 0; r < R; ++r) {
+        sim::FaultScheduleConfig cfg_r = rcfg;
+        for (const RegionEpisode& re : config_.region_episodes) {
+          if (re.region == static_cast<std::uint32_t>(r)) {
+            cfg_r.scripted.push_back(re.episode);
+          }
+        }
+        region_inj[r] = sim::FaultInjector(
+            sim::FaultSchedule::generate_for_region(cfg_r, config_.seed, r));
+      }
+    }
+    if (fog_on) {
+      // Fog admission priority: a hash stream disjoint from the cloud's
+      // admit keys, so fog and cloud never shed the same unlucky devices.
+      fog_key.resize(n);
+      const std::uint64_t fog_root = par::substream_seed(config_.seed, 0xf09);
+      par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+        const auto [begin, end] = par::chunk_range(n, chunks, c);
+        for (std::size_t i = begin; i < end; ++i) {
+          fog_key[i] = par::substream_seed(fog_root, i);
+        }
+      });
+      if (fog_breaker_on) {
+        fog_streak.assign(n, 0);
+        fog_until.assign(n, 0);
+      }
+    }
+  }
+  // Per-step regional backhaul state and repriced latency curves. Energy
+  // surfaces never carry a backhaul coefficient (transfers past the radio
+  // are not billed to the battery), so energy always prices on the base
+  // curves; latency re-collapses only in regions with an active brownout.
+  std::vector<std::uint8_t> hop_out(R * std::max<std::size_t>(num_hops, 1), 0);
+  std::vector<std::uint8_t> region_any_out(R, 0);
+  std::vector<std::vector<comm::CostCurve>> region_lat_scratch(R);
+  std::vector<const std::vector<comm::CostCurve>*> region_lat(R, &latency_curves_);
+  std::vector<double> pin = hop_tu_;  // reused per-region collapse pin vector
+  std::vector<double> region_fog_fail(R, 0.0);
+  std::vector<cloud::StepOutcome> fog_out(R);
+  std::vector<std::uint64_t> fog_threshold(R, admit_threshold(1.0));
+  std::vector<RegionTotals> rtot(R);
+
   // --- per-chunk accumulators (serial chunk-order merge) ---------------
   std::vector<ChunkAccum> acc(chunks);
   std::vector<OfferAccum> offers(chunks);
   std::vector<std::uint64_t> hist(chunks * kLatencyBins, 0);
+  std::vector<RegionAccum> racc(chunks * R);
 
   FleetStats stats;
   stats.devices = n;
@@ -414,6 +651,32 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
     std::fill(acc.begin(), acc.end(), ChunkAccum{});
     std::fill(offers.begin(), offers.end(), OfferAccum{});
     std::fill(hist.begin(), hist.end(), 0);
+
+    // ---- serial regional state: backhaul health + repriced curves -------
+    if (regional) {
+      for (std::size_t r = 0; r < R; ++r) {
+        const sim::FaultInjector& inj = region_inj[r];
+        bool any_out = false;
+        bool any_slow = false;
+        for (std::size_t h = 1; h < num_hops; ++h) {
+          const bool out = inj.backhaul_unavailable(t, h);
+          hop_out[r * num_hops + h] = out ? 1 : 0;
+          any_out |= out;
+          const double factor = inj.backhaul_factor(t, h);
+          pin[h] = hop_tu_[h] * factor;
+          if (factor != 1.0) any_slow = true;
+        }
+        region_any_out[r] = any_out ? 1 : 0;
+        if (any_out) ++rtot[r].backhaul_out_steps;
+        if (any_slow) {
+          plan_.collapse_latency_curves_into(0, pin, region_lat_scratch[r]);
+          region_lat[r] = &region_lat_scratch[r];
+        } else {
+          region_lat[r] = &latency_curves_;  // nominal: the exact ctor curves
+        }
+        region_fog_fail[r] = inj.fog_failure_fraction(t);
+      }
+    }
 
     // ---- pass A: trace, faults, tracking, selection, offer counting ----
     par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
@@ -462,9 +725,70 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
                             std::span<const double>(estimate.data() + begin, len),
                             std::span<std::uint32_t>(option.data() + begin, len));
 
-      // 5. Offer counting: what this shard wants from the cloud, before
-      //    admission. Breaker-open devices sit the step out entirely.
-      if (cloud_on) {
+      // 5. Offer counting: what this shard wants from the next tier up,
+      //    before admission. Breaker-open devices sit the step out.
+      if (regional) {
+        // K-tier ladder, stage 1: backhaul-outage clamp (walk down to the
+        // deepest tier the region can still reach), fog breaker fast-fail,
+        // and fog offer counting per (chunk, region).
+        RegionAccum* ra = racc.data() + c * R;
+        for (std::size_t r = 0; r < R; ++r) ra[r] = RegionAccum{};
+        for (std::size_t i = begin; i < end; ++i) {
+          std::uint32_t o = option[i];
+          std::uint8_t fl = 0;
+          const std::uint32_t r = region_of[i];
+          if (region_any_out[r]) {
+            for (std::size_t hh = 1; hh < num_hops; ++hh) {
+              if (!hop_out[r * num_hops + hh] || !crosses_[o * num_hops + hh]) {
+                continue;
+              }
+              // The shallowest dead hop decides: confine to tiers 0..hh
+              // (when the plan has such an option at all).
+              if (ladder_within_[hh] >= 0) {
+                o = static_cast<std::uint32_t>(ladder_within_[hh]);
+              }
+              break;
+            }
+          }
+          offered_opt[i] = o;
+          if (fog_on && fog_ms_[o] > 0.0) {
+            const bool open = fog_breaker_on && fog_until[i] > 0 &&
+                              s < static_cast<std::size_t>(fog_until[i]);
+            if (open) {
+              // Fog breaker open: skip the probe entirely and serve the
+              // next rung — cloud-direct when the plan has one and every
+              // backhaul hop is alive, else the edge fallback.
+              if (cloud_direct_ >= 0 && !region_any_out[r]) {
+                o = static_cast<std::uint32_t>(cloud_direct_);
+              } else if (fallback_option_.has_value()) {
+                o = *fallback_option_;
+              }
+              fl |= kFlagFogOpen;
+            } else {
+              fl |= kFlagFogOffered;
+              ++ra[r].fog_offered;
+              ra[r].fog_job_ms += fog_ms_[o];
+            }
+          }
+          eff_opt[i] = o;
+          dev_flags[i] = fl;
+        }
+        // Without a fog stage the central-cloud offers are final here;
+        // with one they wait for pass A2 (fog sheds retry cloud-direct).
+        if (cloud_on && !fog_on) {
+          OfferAccum& oa = offers[c];
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t o = eff_opt[i];
+            if (!occupies_cloud_[o]) continue;
+            if (breaker_on && breaker_until[i] > 0 &&
+                s < static_cast<std::size_t>(breaker_until[i])) {
+              continue;
+            }
+            ++oa.offered;
+            oa.job_ms_sum += cloud_ms_[o];
+          }
+        }
+      } else if (cloud_on) {
         OfferAccum& oa = offers[c];
         for (std::size_t i = begin; i < end; ++i) {
           const core::DeploymentOption& od = options[option[i]];
@@ -478,6 +802,92 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
         }
       }
     });
+
+    // ---- serial fog stage: one place_step per region, then pass A2 ------
+    // Admission fractions must come out of ONE serial call per region so
+    // the admitted/shed split never depends on sharding; the parallel A2
+    // pass then resolves each device against its region's threshold and
+    // finalizes the central-cloud offers (fog sheds retry down-ladder, the
+    // breaker bounding how many keep retrying).
+    if (fog_on) {
+      for (std::size_t r = 0; r < R; ++r) {
+        std::uint64_t fog_offered_devices = 0;
+        double fog_job_ms_sum = 0.0;
+        for (std::size_t c = 0; c < chunks; ++c) {  // serial chunk order
+          fog_offered_devices += racc[c * R + r].fog_offered;
+          fog_job_ms_sum += racc[c * R + r].fog_job_ms;
+        }
+        const double fog_offered_qps =
+            static_cast<double>(fog_offered_devices) * config_.device_qps;
+        const double fog_job_ms =
+            fog_offered_devices > 0
+                ? fog_job_ms_sum / static_cast<double>(fog_offered_devices)
+                : 0.0;
+        fog_out[r] = fog_sched->place_step(fog_offered_qps, fog_job_ms,
+                                           region_fog_fail[r], 1.0);
+        fog_threshold[r] = admit_threshold(fog_out[r].admit_fraction);
+        rtot[r].fog_energy_j += fog_out[r].power_w * config_.step_s;
+      }
+      par::parallel_for_chunked(pool, chunks, chunks, [&](std::size_t c) {
+        const auto [begin, end] = par::chunk_range(n, chunks, c);
+        RegionAccum* ra = racc.data() + c * R;
+        for (std::size_t i = begin; i < end; ++i) {
+          std::uint8_t fl = dev_flags[i];
+          if (!(fl & kFlagFogOffered)) continue;
+          const std::uint32_t r = region_of[i];
+          if ((fog_key[i] >> 32) < fog_threshold[r]) {
+            fl |= kFlagFogAdmitted;
+            ++ra[r].fog_admitted;
+            if (fog_breaker_on) {
+              fog_streak[i] = 0;
+              fog_until[i] = 0;  // closed (or a probe that succeeded)
+            }
+          } else {
+            ++ra[r].fog_shed;
+            // Shed by the fog site: retry down the ladder. The aborted
+            // radio leg is billed in pass B off offered_opt.
+            std::uint32_t down = eff_opt[i];
+            if (cloud_direct_ >= 0 && !region_any_out[r]) {
+              down = static_cast<std::uint32_t>(cloud_direct_);
+            } else if (fallback_option_.has_value()) {
+              down = *fallback_option_;
+            }
+            if (down != eff_opt[i]) {
+              eff_opt[i] = down;
+              fl |= kFlagFogShed;
+            }
+            if (fog_breaker_on) {
+              const bool probing = fog_until[i] > 0;  // s >= until here
+              if (probing || ++fog_streak[i] >= config_.breaker_failures) {
+                const auto jitter = static_cast<std::size_t>(
+                    fog_key[i] %
+                    static_cast<std::uint64_t>(config_.breaker_jitter_steps + 1));
+                fog_until[i] = static_cast<std::uint32_t>(
+                    s + 1 + config_.breaker_open_steps + jitter);
+                if (!probing) {
+                  ++acc[c].breaker_trips;
+                  fog_streak[i] = 0;
+                }
+              }
+            }
+          }
+          dev_flags[i] = fl;
+        }
+        if (cloud_on) {
+          OfferAccum& oa = offers[c];
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t o = eff_opt[i];
+            if (!occupies_cloud_[o]) continue;
+            if (breaker_on && breaker_until[i] > 0 &&
+                s < static_cast<std::size_t>(breaker_until[i])) {
+              continue;
+            }
+            ++oa.offered;
+            oa.job_ms_sum += cloud_ms_[o];
+          }
+        }
+      });
+    }
 
     // ---- serial scheduler step: admission fraction for the whole fleet --
     // One place_step call per step, outside the parallel section, so the
@@ -521,75 +931,161 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
 
       ChunkAccum& a = acc[c];
       std::uint64_t* h = hist.data() + c * kLatencyBins;
-      for (std::size_t i = begin; i < end; ++i) {
-        if (option[i] != prev[i]) {
-          ++a.switches;
-          ++switch_count[i];
-        }
-        const std::uint32_t o = option[i];
-        double lat = latency_curves_[o].value(eff[i]);
-        double energy = energy_curves_[o].value(eff[i]);
-        const core::DeploymentOption& od = options[o];
-        if (od.tx_bytes > 0) {
-          ++a.cloud_devices;
-          a.offered_bits += static_cast<double>(od.tx_bytes) * 8.0;
-        }
-        if (cloud_on && od.tx_bytes > 0) {
-          const bool open = breaker_on && breaker_until[i] > 0 &&
-                            s < static_cast<std::size_t>(breaker_until[i]);
-          if (open) {
-            // Breaker open: fast-fail straight to the edge fallback — no
-            // transmit, no offer, no reject round trip.
-            const std::uint32_t fb = *fallback_option_;
-            lat = latency_curves_[fb].value(eff[i]);
-            energy = energy_curves_[fb].value(eff[i]);
-            ++a.breaker_open_steps;
-          } else if ((admit_key[i] >> 32) < threshold) {
-            lat += outcome.mean_wait_ms;  // queueing feedback into RTT
-            ++a.admitted;
-            if (breaker_on) {
-              fail_streak[i] = 0;
-              breaker_until[i] = 0;  // closed (or a probe that succeeded)
-            }
-          } else {
-            ++a.shed;
-            // Shed: everything but the cloud suffix happened (prefix,
-            // transmit, the reject's round trip is the curve's RTT term),
-            // then the full model re-runs on the edge fallback.
-            if (fallback_option_.has_value()) {
+      if (two_tier_) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (option[i] != prev[i]) {
+            ++a.switches;
+            ++switch_count[i];
+          }
+          const std::uint32_t o = option[i];
+          double lat = latency_curves_[o].value(eff[i]);
+          double energy = energy_curves_[o].value(eff[i]);
+          const core::DeploymentOption& od = options[o];
+          if (od.tx_bytes > 0) {
+            ++a.cloud_devices;
+            a.offered_bits += static_cast<double>(od.tx_bytes) * 8.0;
+          }
+          if (cloud_on && od.tx_bytes > 0) {
+            const bool open = breaker_on && breaker_until[i] > 0 &&
+                              s < static_cast<std::size_t>(breaker_until[i]);
+            if (open) {
+              // Breaker open: fast-fail straight to the edge fallback — no
+              // transmit, no offer, no reject round trip.
               const std::uint32_t fb = *fallback_option_;
-              lat += latency_curves_[fb].value(eff[i]) - od.cloud_latency_ms;
-              energy += energy_curves_[fb].value(eff[i]);
-            }
-            if (breaker_on) {
-              const bool probing = breaker_until[i] > 0;  // s >= until here
-              if (probing || ++fail_streak[i] >= config_.breaker_failures) {
-                const auto jitter = static_cast<std::size_t>(
-                    admit_key[i] %
-                    static_cast<std::uint64_t>(config_.breaker_jitter_steps + 1));
-                breaker_until[i] = static_cast<std::uint32_t>(
-                    s + 1 + config_.breaker_open_steps + jitter);
-                if (!probing) {
-                  ++a.breaker_trips;
-                  fail_streak[i] = 0;
+              lat = latency_curves_[fb].value(eff[i]);
+              energy = energy_curves_[fb].value(eff[i]);
+              ++a.breaker_open_steps;
+            } else if ((admit_key[i] >> 32) < threshold) {
+              lat += outcome.mean_wait_ms;  // queueing feedback into RTT
+              ++a.admitted;
+              if (breaker_on) {
+                fail_streak[i] = 0;
+                breaker_until[i] = 0;  // closed (or a probe that succeeded)
+              }
+            } else {
+              ++a.shed;
+              // Shed: everything but the cloud suffix happened (prefix,
+              // transmit, the reject's round trip is the curve's RTT term),
+              // then the full model re-runs on the edge fallback.
+              if (fallback_option_.has_value()) {
+                const std::uint32_t fb = *fallback_option_;
+                lat += latency_curves_[fb].value(eff[i]) - od.cloud_latency_ms;
+                energy += energy_curves_[fb].value(eff[i]);
+              }
+              if (breaker_on) {
+                const bool probing = breaker_until[i] > 0;  // s >= until here
+                if (probing || ++fail_streak[i] >= config_.breaker_failures) {
+                  const auto jitter = static_cast<std::size_t>(
+                      admit_key[i] %
+                      static_cast<std::uint64_t>(config_.breaker_jitter_steps + 1));
+                  breaker_until[i] = static_cast<std::uint32_t>(
+                      s + 1 + config_.breaker_open_steps + jitter);
+                  if (!probing) {
+                    ++a.breaker_trips;
+                    fail_streak[i] = 0;
+                  }
                 }
               }
             }
           }
-        }
-        a.latency_ms += lat;
-        a.energy_mj += energy;
-        ++h[latency_bin(lat)];
-        if (config_.sla_ms > 0.0 && lat > config_.sla_ms) ++a.sla_violations;
-        if (two_tier_) {
+          a.latency_ms += lat;
+          a.energy_mj += energy;
+          ++h[latency_bin(lat)];
+          if (config_.sla_ms > 0.0 && lat > config_.sla_ms) ++a.sla_violations;
           a.oracle_latency_ms += priced[i].best_latency_ms;
           a.oracle_energy_mj += priced[i].best_energy_mj;
-        } else {
-          // Collapsed K-tier curves: min over options, ascending strict-<.
-          double best_lat = latency_curves_[0].value(eff[i]);
+        }
+      } else {
+        // K-tier regional accounting: price eff_opt (the tier-ladder
+        // resolution of the hysteresis selection) on the REGION's realized
+        // curves, then run the central-cloud admission/breaker stage.
+        RegionAccum* ra = racc.data() + c * R;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (option[i] != prev[i]) {
+            ++a.switches;
+            ++switch_count[i];
+          }
+          const std::uint8_t fl = dev_flags[i];
+          std::uint32_t o = eff_opt[i];
+          const std::uint32_t r = region_of[i];
+          const std::vector<comm::CostCurve>& latc = *region_lat[r];
+          double lat = latc[o].value(eff[i]);
+          double energy = energy_curves_[o].value(eff[i]);
+          if (fl & kFlagFogAdmitted) lat += fog_out[r].mean_wait_ms;
+          if (options[o].tx_bytes > 0) {
+            ++a.cloud_devices;
+            a.offered_bits += static_cast<double>(options[o].tx_bytes) * 8.0;
+          }
+          if (cloud_on && occupies_cloud_[o]) {
+            const bool open = breaker_on && breaker_until[i] > 0 &&
+                              s < static_cast<std::size_t>(breaker_until[i]);
+            if (open) {
+              const std::uint32_t fb = *fallback_option_;
+              lat = latc[fb].value(eff[i]);
+              energy = energy_curves_[fb].value(eff[i]);
+              o = fb;
+              ++a.breaker_open_steps;
+              ++ra[r].breaker_open;
+            } else if ((admit_key[i] >> 32) < threshold) {
+              lat += outcome.mean_wait_ms;
+              ++a.admitted;
+              ++ra[r].cloud_admitted;
+              if (breaker_on) {
+                fail_streak[i] = 0;
+                breaker_until[i] = 0;
+              }
+            } else {
+              ++a.shed;
+              ++ra[r].cloud_shed;
+              // Shed at the cloud door: everything up to the last tier ran
+              // (the curve's backhaul and RTT terms), minus the unserved
+              // cloud suffix, plus the edge re-execution.
+              if (fallback_option_.has_value()) {
+                const std::uint32_t fb = *fallback_option_;
+                lat += latc[fb].value(eff[i]) - cloud_ms_[o];
+                energy += energy_curves_[fb].value(eff[i]);
+                o = fb;
+              }
+              if (breaker_on) {
+                const bool probing = breaker_until[i] > 0;  // s >= until
+                if (probing || ++fail_streak[i] >= config_.breaker_failures) {
+                  const auto jitter = static_cast<std::size_t>(
+                      admit_key[i] %
+                      static_cast<std::uint64_t>(config_.breaker_jitter_steps + 1));
+                  breaker_until[i] = static_cast<std::uint32_t>(
+                      s + 1 + config_.breaker_open_steps + jitter);
+                  if (!probing) {
+                    ++a.breaker_trips;
+                    fail_streak[i] = 0;
+                  }
+                }
+              }
+            }
+          }
+          if (fl & kFlagFogShed) {
+            // The aborted fog attempt's radio leg: edge prefix, hop-0
+            // transfer at the realized radio rate, and the reject's
+            // handshake round trip.
+            const std::uint32_t po = offered_opt[i];
+            lat += options[po].edge_latency_ms + radio_coeff_ms_[po] / eff[i] +
+                   radio_rtt_ms_;
+            energy += energy_curves_[po].value(eff[i]);
+          }
+          if (fl & kFlagFogOpen) {
+            ++a.breaker_open_steps;
+            ++ra[r].breaker_open;
+          }
+          if (o != option[i]) ++ra[r].degraded;
+          a.latency_ms += lat;
+          a.energy_mj += energy;
+          ++h[latency_bin(lat)];
+          if (config_.sla_ms > 0.0 && lat > config_.sla_ms) ++a.sla_violations;
+          // Oracle: min over options on the region's realized curves,
+          // ascending strict-<.
+          double best_lat = latc[0].value(eff[i]);
           double best_energy = energy_curves_[0].value(eff[i]);
           for (std::size_t k = 1; k < num_options; ++k) {
-            const double l = latency_curves_[k].value(eff[i]);
+            const double l = latc[k].value(eff[i]);
             const double e = energy_curves_[k].value(eff[i]);
             if (l < best_lat) best_lat = l;
             if (e < best_energy) best_energy = e;
@@ -620,6 +1116,26 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
       breaker_open_devsteps += acc[c].breaker_open_steps;
       for (std::size_t k = 0; k < kLatencyBins; ++k) {
         lat_hist[k] += hist[c * kLatencyBins + k];
+      }
+    }
+    // Per-region merge, serially in (region, chunk) order. The fog wait
+    // weighting needs this step's per-region admits, so it lives here.
+    for (std::size_t r = 0; r < R; ++r) {
+      std::uint64_t step_fog_admitted = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const RegionAccum& x = racc[c * R + r];
+        rtot[r].fog_offered += x.fog_offered;
+        step_fog_admitted += x.fog_admitted;
+        rtot[r].fog_shed += x.fog_shed;
+        rtot[r].cloud_admitted += x.cloud_admitted;
+        rtot[r].cloud_shed += x.cloud_shed;
+        rtot[r].degraded += x.degraded;
+        rtot[r].breaker_open += x.breaker_open;
+      }
+      rtot[r].fog_admitted += step_fog_admitted;
+      if (fog_on) {
+        rtot[r].fog_wait_weighted_ms +=
+            fog_out[r].mean_wait_ms * static_cast<double>(step_fog_admitted);
       }
     }
     total_offered_bits += step_offered_bits;
@@ -696,6 +1212,38 @@ FleetStats FleetEngine::run(par::ThreadPool& pool) {
   for (std::uint32_t sc : switch_count) {
     const std::size_t bin = std::min<std::size_t>(sc, kSwitchBins - 1);
     ++stats.switch_histogram[bin];
+  }
+  if (regional) {
+    const double steps_d = static_cast<double>(steps);
+    stats.regions.resize(R);
+    for (std::size_t r = 0; r < R; ++r) {
+      FleetStats::RegionStats& rs = stats.regions[r];
+      const RegionTotals& rt = rtot[r];
+      rs.fog_offered_qps =
+          static_cast<double>(rt.fog_offered) * config_.device_qps / steps_d;
+      rs.fog_admitted_qps =
+          static_cast<double>(rt.fog_admitted) * config_.device_qps / steps_d;
+      rs.fog_shed_qps =
+          static_cast<double>(rt.fog_shed) * config_.device_qps / steps_d;
+      rs.cloud_offered_qps = static_cast<double>(rt.cloud_admitted + rt.cloud_shed) *
+                             config_.device_qps / steps_d;
+      rs.cloud_admitted_qps =
+          static_cast<double>(rt.cloud_admitted) * config_.device_qps / steps_d;
+      rs.cloud_shed_qps =
+          static_cast<double>(rt.cloud_shed) * config_.device_qps / steps_d;
+      rs.degraded_device_s = static_cast<double>(rt.degraded) * config_.step_s;
+      rs.breaker_open_s = static_cast<double>(rt.breaker_open) * config_.step_s;
+      rs.backhaul_out_s =
+          static_cast<double>(rt.backhaul_out_steps) * config_.step_s;
+      rs.fog_energy_j = rt.fog_energy_j;
+      if (rt.fog_admitted > 0) {
+        rs.fog_queue_wait_ms =
+            rt.fog_wait_weighted_ms / static_cast<double>(rt.fog_admitted);
+      }
+      stats.fog_shed += rt.fog_shed;
+      stats.degraded_steps += rt.degraded;
+      stats.fog_energy_j += rt.fog_energy_j;
+    }
   }
   return stats;
 }

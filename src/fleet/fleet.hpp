@@ -52,6 +52,18 @@ inline constexpr double kLatencyBinsPerDecade = 8.0;
 /// 0..kSwitchBins-2 plus one overflow bin.
 inline constexpr std::size_t kSwitchBins = 17;
 
+/// Ceiling on regional failure domains: per-(chunk, region) accumulators
+/// are dense, so the region count is bounded to keep them cache-resident.
+inline constexpr std::size_t kMaxRegions = 1024;
+
+/// A scripted fault episode targeted at ONE region (the CLI's
+/// --region-brownout): merged verbatim into that region's schedule only,
+/// unlike FaultScheduleConfig::scripted which lands on every region.
+struct RegionEpisode {
+  std::uint32_t region = 0;
+  sim::FaultEpisode episode;
+};
+
 /// One fleet scenario. The trace/tracker knobs are shared by every device;
 /// heterogeneity comes from each device's private RNG substream.
 struct FleetConfig {
@@ -99,6 +111,28 @@ struct FleetConfig {
   std::size_t breaker_failures = 3;
   std::size_t breaker_open_steps = 4;
   std::size_t breaker_jitter_steps = 3;
+
+  // ---- regional failure domains (K-tier plans only) --------------------
+  /// Devices partition into deterministic regions: region_map[i] when a map
+  /// is supplied (size must equal `devices`, entries < num_regions), else
+  /// device_id % num_regions. Every device of a region shares ONE backhaul
+  /// fault series and ONE fog pool — that correlation is the point.
+  std::size_t num_regions = 1;
+  std::vector<std::uint32_t> region_map;
+  /// Region-level fault schedule: only the regional classes
+  /// (kBackhaulBrownout / kBackhaulOutage / kFogSiteFailure) plus scripted
+  /// episodes are consulted, generated per region via
+  /// FaultSchedule::generate_for_region (seed field ignored; the fleet
+  /// seed roots the streams). horizon_s <= 0 defaults to steps * step_s.
+  sim::FaultScheduleConfig region_faults;
+  /// Scripted episodes hitting one region only (see RegionEpisode).
+  std::vector<RegionEpisode> region_episodes;
+  /// Finite fog-site pool (K >= 3 plans): EVERY region gets its own pool
+  /// with this config; fog-tier compute must win an admission slot or shed
+  /// down the tier ladder (cloud-direct if the plan allows, else the
+  /// edge-only fallback), with the circuit-breaker knobs above applied to
+  /// the fog hop as well. std::nullopt = the paper's infinite fog.
+  std::optional<cloud::CloudConfig> fog;
 };
 
 /// Aggregate report of one fleet run. All fields are bit-identical for any
@@ -143,6 +177,29 @@ struct FleetStats {
   double mean_queue_wait_ms = 0.0;   ///< admitted-weighted pool queueing wait
   double mean_machines_active = 0.0; ///< machines hosting load, mean per step
 
+  // ---- regional / fog columns (zero or empty on the two-tier path) ----
+  std::uint64_t fog_shed = 0;        ///< device-steps shed by regional fog pools
+  std::uint64_t degraded_steps = 0;  ///< device-steps served off the selected option
+  double fog_energy_j = 0.0;         ///< all regional fog pools over the run
+
+  /// Per-region breakdown, indexed by region id (empty at K=2). QPS fields
+  /// are means over steps; *_s fields are device-seconds except
+  /// backhaul_out_s (region wall-seconds with >= 1 backhaul hop out).
+  struct RegionStats {
+    double fog_offered_qps = 0.0;
+    double fog_admitted_qps = 0.0;
+    double fog_shed_qps = 0.0;
+    double cloud_offered_qps = 0.0;
+    double cloud_admitted_qps = 0.0;
+    double cloud_shed_qps = 0.0;
+    double degraded_device_s = 0.0;  ///< served off the selected option
+    double breaker_open_s = 0.0;     ///< fog + cloud breakers held open
+    double backhaul_out_s = 0.0;
+    double fog_energy_j = 0.0;
+    double fog_queue_wait_ms = 0.0;  ///< admitted-weighted mean
+  };
+  std::vector<RegionStats> regions;
+
   /// Per-step series. With a finite cloud, cloud_qps is the ADMITTED rate
   /// and offered = admitted + shed; without one, offered == cloud_qps and
   /// shed is identically zero.
@@ -165,9 +222,15 @@ class FleetEngine {
   /// Two-tier plan: selection and pricing on the radio-throughput axis.
   FleetEngine(const core::DeploymentPlan& plan, FleetConfig config);
 
-  /// K-tier plan with hops past the radio pinned at hop_tu_mbps[h] (full
-  /// per-hop vector, entry 0 ignored), mirroring DynamicDeployer's K-tier
-  /// ctor: the radio axis drives selection via collapsed 1-D curves.
+  /// K-tier plan with NOMINAL backhaul rates hop_tu_mbps[h] for hops past
+  /// the radio (full per-hop vector; entry 0 is the radio-axis placeholder
+  /// that selection collapses onto — its value is never read, but the
+  /// vector's arity must match the plan's hop count and every entry past
+  /// hop 0 must be positive; both are validated, not silently ignored).
+  /// Selection runs on 1-D curves collapsed at these nominal rates;
+  /// realized pricing re-collapses per (step, region) whenever a regional
+  /// backhaul fault stretches a hop, and falls back to these exact curves
+  /// in healthy regions.
   FleetEngine(const core::DeploymentPlan& plan, const std::vector<double>& hop_tu_mbps,
               FleetConfig config);
 
@@ -183,6 +246,10 @@ class FleetEngine {
 
  private:
   void validate() const;
+  /// K-tier precomputation: per-option tier/hop tables and the degradation
+  /// ladder targets (best option confined to tiers 0..h, best cloud-direct
+  /// option) under the selection metric at the staged trace mean.
+  void build_ladder_tables();
 
   core::DeploymentPlan plan_;
   FleetConfig config_;
@@ -193,6 +260,21 @@ class FleetEngine {
   /// Cheapest edge-only option under the selected metric (the shed /
   /// breaker fallback target); nullopt when every option transmits.
   std::optional<std::uint32_t> fallback_option_;
+
+  // ---- K-tier regional tables (empty on the two-tier path) -------------
+  std::vector<double> hop_tu_;         ///< nominal per-hop rates (per-hop ctor)
+  std::vector<double> fog_ms_;         ///< per option: fog-tier compute (ms)
+  std::vector<double> cloud_ms_;       ///< per option: last-tier compute (ms)
+  std::vector<double> radio_coeff_ms_; ///< latency surface per_inverse_tu[0]
+  double radio_rtt_ms_ = 0.0;          ///< hop-0 handshake constant
+  std::vector<std::uint8_t> crosses_;  ///< [opt * num_hops + h]: ships over hop h
+  std::vector<std::uint8_t> occupies_cloud_;  ///< per option: last tier occupied
+  /// Degradation-ladder target per hop h: the best option confined to
+  /// tiers 0..h (cuts[h] == n), -1 when the plan has none.
+  std::vector<std::int32_t> ladder_within_;
+  /// Best cloud-occupying option with zero fog compute — where fog sheds
+  /// retry when the backhaul is alive; -1 when the plan has none.
+  std::int32_t cloud_direct_ = -1;
 };
 
 }  // namespace lens::fleet

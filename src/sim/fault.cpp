@@ -48,6 +48,29 @@ void validate_episode(const FaultEpisode& e) {
             "FaultSchedule: brownout depth must be in (0,1]");
       }
       break;
+    case FaultClass::kBackhaulBrownout:
+      if (e.magnitude <= 0.0 || e.magnitude >= 1.0) {
+        throw std::invalid_argument(
+            "FaultSchedule: backhaul-brownout depth must be in (0,1) — use a "
+            "backhaul outage for a full loss");
+      }
+      if (e.hop == 0) {
+        throw std::invalid_argument(
+            "FaultSchedule: backhaul episodes need hop >= 1 (hop 0 is the radio)");
+      }
+      break;
+    case FaultClass::kBackhaulOutage:
+      if (e.hop == 0) {
+        throw std::invalid_argument(
+            "FaultSchedule: backhaul episodes need hop >= 1 (hop 0 is the radio)");
+      }
+      break;  // magnitude unused
+    case FaultClass::kFogSiteFailure:
+      if (e.magnitude <= 0.0 || e.magnitude > 1.0) {
+        throw std::invalid_argument(
+            "FaultSchedule: fog-site failure fraction must be in (0,1]");
+      }
+      break;
     case FaultClass::kCloudOutage:
       break;  // magnitude unused
   }
@@ -63,6 +86,9 @@ std::string fault_class_name(FaultClass fault) {
     case FaultClass::kEdgeSlowdown: return "edge-slowdown";
     case FaultClass::kMachineFailure: return "machine-failure";
     case FaultClass::kRegionalBrownout: return "regional-brownout";
+    case FaultClass::kBackhaulBrownout: return "backhaul-brownout";
+    case FaultClass::kBackhaulOutage: return "backhaul-outage";
+    case FaultClass::kFogSiteFailure: return "fog-site-failure";
   }
   return "unknown";
 }
@@ -88,13 +114,23 @@ FaultSchedule generate_with_base(const FaultScheduleConfig& config,
   }
   if (config.link_outage_rate_hz < 0.0 || config.cloud_outage_rate_hz < 0.0 ||
       config.rtt_spike_rate_hz < 0.0 || config.edge_slowdown_rate_hz < 0.0 ||
-      config.machine_failure_rate_hz < 0.0 || config.brownout_rate_hz < 0.0) {
+      config.machine_failure_rate_hz < 0.0 || config.brownout_rate_hz < 0.0 ||
+      config.backhaul_brownout_rate_hz < 0.0 ||
+      config.backhaul_outage_rate_hz < 0.0 || config.fog_failure_rate_hz < 0.0) {
     throw std::invalid_argument("FaultSchedule::generate: negative episode rate");
   }
   if (config.link_outage_mean_s <= 0.0 || config.cloud_outage_mean_s <= 0.0 ||
       config.rtt_spike_mean_s <= 0.0 || config.edge_slowdown_mean_s <= 0.0 ||
-      config.machine_failure_mean_s <= 0.0 || config.brownout_mean_s <= 0.0) {
+      config.machine_failure_mean_s <= 0.0 || config.brownout_mean_s <= 0.0 ||
+      config.backhaul_brownout_mean_s <= 0.0 ||
+      config.backhaul_outage_mean_s <= 0.0 || config.fog_failure_mean_s <= 0.0) {
     throw std::invalid_argument("FaultSchedule::generate: episode means must be positive");
+  }
+  if ((config.backhaul_brownout_rate_hz > 0.0 ||
+       config.backhaul_outage_rate_hz > 0.0) &&
+      config.backhaul_hop == 0) {
+    throw std::invalid_argument(
+        "FaultSchedule::generate: backhaul classes need backhaul_hop >= 1");
   }
   for (const HopFaultConfig& hop : config.extra_hops) {
     if (hop.outage_rate_hz < 0.0 || hop.rtt_spike_rate_hz < 0.0) {
@@ -139,6 +175,17 @@ FaultSchedule generate_with_base(const FaultScheduleConfig& config,
         config.machine_failure_mean_s, config.machine_failure_fraction, 0x50c4, 0);
   renew(FaultClass::kRegionalBrownout, config.brownout_rate_hz,
         config.brownout_mean_s, config.brownout_depth, 0x60c4, 0);
+  // Regional classes: fresh salts once more (0x70c4/0x80c4/0x90c4 are
+  // disjoint from every class salt above AND from every 0x10000*hop-offset
+  // backhaul stream below, which starts at 0x1_00c4), so all six legacy
+  // streams stay byte-identical whether or not a region enables these.
+  renew(FaultClass::kBackhaulBrownout, config.backhaul_brownout_rate_hz,
+        config.backhaul_brownout_mean_s, config.backhaul_brownout_depth, 0x70c4,
+        config.backhaul_hop);
+  renew(FaultClass::kBackhaulOutage, config.backhaul_outage_rate_hz,
+        config.backhaul_outage_mean_s, 0.0, 0x80c4, config.backhaul_hop);
+  renew(FaultClass::kFogSiteFailure, config.fog_failure_rate_hz,
+        config.fog_failure_mean_s, config.fog_failure_fraction, 0x90c4, 0);
   // Backhaul hops: salts offset per hop (0x10000 * hop keeps them disjoint
   // from every class salt above), so the hop-0 schedule is byte-identical
   // whether or not any backhaul class is enabled.
@@ -165,6 +212,15 @@ FaultSchedule FaultSchedule::generate_for_device(const FaultScheduleConfig& conf
                                                  std::uint64_t fleet_seed,
                                                  std::uint64_t device_id) {
   return generate_with_base(config, par::substream_seed(fleet_seed, device_id));
+}
+
+FaultSchedule FaultSchedule::generate_for_region(const FaultScheduleConfig& config,
+                                                 std::uint64_t fleet_seed,
+                                                 std::uint64_t region_id) {
+  return generate_with_base(
+      config,
+      par::substream_seed(par::substream_seed(fleet_seed, kRegionStreamSalt),
+                          region_id));
 }
 
 std::size_t FaultSchedule::count(FaultClass fault) const {
@@ -245,6 +301,32 @@ double FaultInjector::brownout_factor(double t_s) const {
     if (e.covers(t_s)) factor = std::min(factor, 1.0 - e.magnitude);
   }
   return factor;
+}
+
+double FaultInjector::backhaul_factor(double t_s, std::size_t hop) const {
+  double factor = 1.0;
+  for (const FaultEpisode& e : of(FaultClass::kBackhaulBrownout)) {
+    if (e.start_s > t_s) break;
+    if (e.hop == hop && e.covers(t_s)) factor = std::min(factor, 1.0 - e.magnitude);
+  }
+  return factor;
+}
+
+bool FaultInjector::backhaul_unavailable(double t_s, std::size_t hop) const {
+  for (const FaultEpisode& e : of(FaultClass::kBackhaulOutage)) {
+    if (e.start_s > t_s) break;
+    if (e.hop == hop && e.covers(t_s)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::fog_failure_fraction(double t_s) const {
+  double fraction = 0.0;
+  for (const FaultEpisode& e : of(FaultClass::kFogSiteFailure)) {
+    if (e.start_s > t_s) break;
+    if (e.covers(t_s)) fraction = std::max(fraction, e.magnitude);
+  }
+  return fraction;
 }
 
 double FaultInjector::next_link_boundary(double t_s, std::size_t hop) const {

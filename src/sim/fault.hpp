@@ -24,7 +24,9 @@ namespace lens::sim {
 /// network/edge-side (PR 4); kMachineFailure and kRegionalBrownout are
 /// datacenter-side and only matter once a finite cloud (lens::cloud) is
 /// attached — a fraction of the machine pool dies, or a regional brownout
-/// cuts every machine's capacity.
+/// cuts every machine's capacity. The last three are *regional* (shared by
+/// every device of one failure domain, not per-device): a backhaul hop's
+/// throughput sags or vanishes, or a region's fog site loses machines.
 enum class FaultClass {
   kLinkOutage,
   kCloudOutage,
@@ -32,9 +34,16 @@ enum class FaultClass {
   kEdgeSlowdown,
   kMachineFailure,
   kRegionalBrownout,
+  kBackhaulBrownout,
+  kBackhaulOutage,
+  kFogSiteFailure,
 };
 
-inline constexpr std::size_t kNumFaultClasses = 6;
+inline constexpr std::size_t kNumFaultClasses = 9;
+
+/// Salt mixed into the fleet seed before the region id when deriving a
+/// region's fault substream root (see FaultSchedule::generate_for_region).
+inline constexpr std::uint64_t kRegionStreamSalt = 0x9e06;
 
 std::string fault_class_name(FaultClass fault);
 
@@ -48,11 +57,15 @@ struct FaultEpisode {
   /// >= 1; kCloudOutage: ignored (the cloud is simply unreachable);
   /// kMachineFailure: fraction of the machine pool down in (0, 1];
   /// kRegionalBrownout: fraction of per-machine capacity lost in (0, 1]
-  /// (1 = a full datacenter blackout).
+  /// (1 = a full datacenter blackout); kBackhaulBrownout: fraction of the
+  /// hop's throughput lost in (0, 1) — a full loss is a kBackhaulOutage,
+  /// whose magnitude is ignored; kFogSiteFailure: fraction of the region's
+  /// fog machines down in (0, 1].
   double magnitude = 0.0;
-  /// Which network hop a kLinkOutage / kRttSpike episode degrades (0 = the
-  /// device radio, 1 = the first backhaul, ...). Ignored by the other
-  /// classes. K-tier topologies fade and spike each hop independently.
+  /// Which network hop a kLinkOutage / kRttSpike / kBackhaulBrownout /
+  /// kBackhaulOutage episode degrades (0 = the device radio, 1 = the first
+  /// backhaul, ...; the backhaul classes require hop >= 1). Ignored by the
+  /// other classes. K-tier topologies fade and spike each hop independently.
   std::size_t hop = 0;
 
   bool covers(double t_s) const { return t_s >= start_s && t_s < end_s; }
@@ -109,6 +122,23 @@ struct FaultScheduleConfig {
   double brownout_mean_s = 45.0;
   double brownout_depth = 0.5;  ///< capacity fraction lost in (0, 1]
 
+  // Regional classes (shared per failure domain; consumed by the fleet's
+  // generate_for_region streams). Fresh salts again: enabling any of these
+  // leaves every stream above byte-identical. Backhaul episodes land on hop
+  // `backhaul_hop` (>= 1); fog-site failures are hop-free.
+  double backhaul_brownout_rate_hz = 0.0;
+  double backhaul_brownout_mean_s = 90.0;
+  double backhaul_brownout_depth = 0.6;  ///< hop throughput fraction lost, (0, 1)
+
+  double backhaul_outage_rate_hz = 0.0;
+  double backhaul_outage_mean_s = 30.0;
+
+  double fog_failure_rate_hz = 0.0;
+  double fog_failure_mean_s = 120.0;
+  double fog_failure_fraction = 0.5;  ///< fog machines down in (0, 1]
+
+  std::size_t backhaul_hop = 1;  ///< hop the regional backhaul classes degrade
+
   /// Per-hop knobs for the hops past the radio: extra_hops[i] governs hop
   /// i + 1. Generated from RNG substreams disjoint from the hop-0 streams,
   /// so enabling a backhaul fault class never perturbs the hop-0 schedule.
@@ -120,7 +150,8 @@ struct FaultScheduleConfig {
     if (link_outage_rate_hz > 0.0 || cloud_outage_rate_hz > 0.0 ||
         rtt_spike_rate_hz > 0.0 || edge_slowdown_rate_hz > 0.0 ||
         machine_failure_rate_hz > 0.0 || brownout_rate_hz > 0.0 ||
-        !scripted.empty()) {
+        backhaul_brownout_rate_hz > 0.0 || backhaul_outage_rate_hz > 0.0 ||
+        fog_failure_rate_hz > 0.0 || !scripted.empty()) {
       return true;
     }
     for (const HopFaultConfig& hop : extra_hops) {
@@ -152,6 +183,17 @@ class FaultSchedule {
   static FaultSchedule generate_for_device(const FaultScheduleConfig& config,
                                            std::uint64_t fleet_seed,
                                            std::uint64_t device_id);
+
+  /// Region-shared schedule of one failure domain: seeded from
+  /// substream_seed(substream_seed(fleet_seed, kRegionStreamSalt),
+  /// region_id), a root disjoint from every per-device substream (device
+  /// streams mix the raw fleet seed with the device id; region streams mix a
+  /// salted derivative), so regional classes can never collide with a
+  /// device's streams. Every device of the region queries the SAME schedule
+  /// — that is what makes a backhaul brownout a correlated event.
+  static FaultSchedule generate_for_region(const FaultScheduleConfig& config,
+                                           std::uint64_t fleet_seed,
+                                           std::uint64_t region_id);
 
   const std::vector<FaultEpisode>& episodes() const { return episodes_; }
   std::size_t count(FaultClass fault) const;
@@ -186,6 +228,13 @@ class FaultInjector {
   /// Per-machine capacity multiplier at `t_s` in [0, 1] (1 when healthy;
   /// overlapping brownouts compound to the deepest one).
   double brownout_factor(double t_s) const;
+  /// Backhaul throughput multiplier of hop `hop` at `t_s`: 1 when healthy,
+  /// 1 - magnitude of the deepest overlapping kBackhaulBrownout otherwise.
+  double backhaul_factor(double t_s, std::size_t hop) const;
+  /// True while a kBackhaulOutage covers hop `hop` — the hop is unreachable.
+  bool backhaul_unavailable(double t_s, std::size_t hop) const;
+  /// Fraction of the region's fog machines down at `t_s` (deepest wins).
+  double fog_failure_fraction(double t_s) const;
   /// Next time > t_s at which hop `hop`'s link factor may change (start or
   /// end of a link-outage episode); +infinity when none — the piecewise-
   /// constant boundary the link's transfer integration steps on.

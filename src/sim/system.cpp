@@ -142,6 +142,9 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
     if (cloud_down && has_sub_cloud_option_ && reaches_cloud(options_[i])) {
       continue;  // cloud-reaching options are unserviceable
     }
+    if (fallback_option_.has_value() && crosses_dead_backhaul(options_[i], now_s, faults)) {
+      continue;  // a backhaul outage cuts every tier past the dead hop
+    }
     double cost;
     if (config_.policy == DispatchPolicy::kDynamic) {
       cost = curves_[i].value(tu);
@@ -176,6 +179,16 @@ std::size_t EdgeCloudSystem::pick_option(double now_s, const TimeVaryingLink& li
   return best;
 }
 
+bool EdgeCloudSystem::crosses_dead_backhaul(const core::DeploymentOption& option,
+                                            double now_s,
+                                            const FaultInjector& faults) const {
+  for (std::size_t h = 1; h < num_hops_; ++h) {
+    if (h >= option.hop_tx_bytes.size() || option.hop_tx_bytes[h] == 0) break;
+    if (faults.backhaul_unavailable(now_s, h)) return true;
+  }
+  return false;
+}
+
 double EdgeCloudSystem::remote_chain(const core::DeploymentOption& option, double sent_s,
                                      const FaultInjector& faults,
                                      double& cloud_arrival_s) const {
@@ -191,7 +204,9 @@ double EdgeCloudSystem::remote_chain(const core::DeploymentOption& option, doubl
   for (std::size_t h = 1; h < num_hops_; ++h) {
     if (option.hop_tx_bytes[h] == 0) break;  // nothing ships past tier h
     const double depart = t;
-    const double tu = backhaul_tu_[h - 1] * faults.link_factor(depart, h);
+    // Per-device deep fades and region-wide brownouts both stretch the hop.
+    const double tu = backhaul_tu_[h - 1] * faults.link_factor(depart, h) *
+                      faults.backhaul_factor(depart, h);
     t += static_cast<double>(option.hop_tx_bytes[h]) * 8.0 / (tu * 1e6) +
          (later_hops_[h - 1].round_trip_ms() + faults.rtt_extra_ms(depart, h)) / 1e3;
     cloud_arrival_s = t;  // arrival at tier h + 1

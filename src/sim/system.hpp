@@ -202,6 +202,11 @@ class EdgeCloudSystem {
   /// check applies for cloud-reaching options.
   double remote_chain(const core::DeploymentOption& option, double sent_s,
                       const FaultInjector& faults, double& cloud_arrival_s) const;
+  /// Does `option` transmit over a backhaul hop that a kBackhaulOutage
+  /// covers at `now_s`? Such options are unserviceable: dispatch walks the
+  /// tier ladder down to whatever stops before the dead hop.
+  bool crosses_dead_backhaul(const core::DeploymentOption& option, double now_s,
+                             const FaultInjector& faults) const;
 
   std::vector<core::DeploymentOption> options_;
   comm::CommModel comm_;

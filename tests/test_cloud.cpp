@@ -519,6 +519,103 @@ TEST(DatacenterFaults, InjectorQueriesAndValidation) {
 }
 
 // ---------------------------------------------------------------------------
+// sim::FaultSchedule -- regional fault classes (shared failure domains)
+// ---------------------------------------------------------------------------
+
+TEST(RegionalFaults, NewClassesLeaveLegacyStreamsByteIdentical) {
+  // Same new-salt regression the datacenter classes passed: enabling the
+  // regional classes (backhaul brownout/outage, fog-site failure) must leave
+  // every one of the six pre-existing streams byte-identical.
+  sim::FaultScheduleConfig legacy;
+  legacy.seed = 23;
+  legacy.horizon_s = 3000.0;
+  legacy.link_outage_rate_hz = 1.0 / 120.0;
+  legacy.cloud_outage_rate_hz = 1.0 / 200.0;
+  legacy.rtt_spike_rate_hz = 1.0 / 150.0;
+  legacy.edge_slowdown_rate_hz = 1.0 / 180.0;
+  legacy.machine_failure_rate_hz = 1.0 / 90.0;
+  legacy.brownout_rate_hz = 1.0 / 110.0;
+  legacy.extra_hops.push_back({1.0 / 240.0, 30.0, 0.1, 1.0 / 260.0, 15.0, 80.0});
+
+  sim::FaultScheduleConfig extended = legacy;
+  extended.backhaul_brownout_rate_hz = 1.0 / 100.0;
+  extended.backhaul_outage_rate_hz = 1.0 / 130.0;
+  extended.fog_failure_rate_hz = 1.0 / 160.0;
+
+  const sim::FaultSchedule before = sim::FaultSchedule::generate(legacy);
+  const sim::FaultSchedule after = sim::FaultSchedule::generate(extended);
+  EXPECT_GT(after.count(sim::FaultClass::kBackhaulBrownout), 0u);
+  EXPECT_GT(after.count(sim::FaultClass::kBackhaulOutage), 0u);
+  EXPECT_GT(after.count(sim::FaultClass::kFogSiteFailure), 0u);
+  const auto is_regional = [](const sim::FaultEpisode& e) {
+    return e.fault == sim::FaultClass::kBackhaulBrownout ||
+           e.fault == sim::FaultClass::kBackhaulOutage ||
+           e.fault == sim::FaultClass::kFogSiteFailure;
+  };
+  std::vector<sim::FaultEpisode> legacy_before, legacy_after;
+  for (const sim::FaultEpisode& e : before.episodes()) {
+    if (!is_regional(e)) legacy_before.push_back(e);
+  }
+  for (const sim::FaultEpisode& e : after.episodes()) {
+    if (!is_regional(e)) legacy_after.push_back(e);
+  }
+  ASSERT_EQ(legacy_before.size(), legacy_after.size());
+  for (std::size_t i = 0; i < legacy_before.size(); ++i) {
+    EXPECT_EQ(legacy_before[i].fault, legacy_after[i].fault);
+    EXPECT_EQ(legacy_before[i].start_s, legacy_after[i].start_s);
+    EXPECT_EQ(legacy_before[i].end_s, legacy_after[i].end_s);
+    EXPECT_EQ(legacy_before[i].magnitude, legacy_after[i].magnitude);
+    EXPECT_EQ(legacy_before[i].hop, legacy_after[i].hop);
+  }
+  // Generated backhaul episodes land on the configured backhaul hop.
+  for (const sim::FaultEpisode& e : after.episodes()) {
+    if (e.fault == sim::FaultClass::kBackhaulBrownout ||
+        e.fault == sim::FaultClass::kBackhaulOutage) {
+      EXPECT_EQ(e.hop, extended.backhaul_hop);
+    }
+  }
+}
+
+TEST(RegionalFaults, InjectorQueriesAndValidation) {
+  std::vector<sim::FaultEpisode> episodes;
+  episodes.push_back({sim::FaultClass::kBackhaulBrownout, 10.0, 20.0, 0.6, 1});
+  episodes.push_back({sim::FaultClass::kBackhaulBrownout, 15.0, 18.0, 0.9, 1});
+  episodes.push_back({sim::FaultClass::kBackhaulOutage, 30.0, 40.0, 0.0, 2});
+  episodes.push_back({sim::FaultClass::kFogSiteFailure, 50.0, 60.0, 0.5});
+  episodes.push_back({sim::FaultClass::kFogSiteFailure, 55.0, 58.0, 1.0});
+  const sim::FaultInjector injector{sim::FaultSchedule(episodes)};
+  EXPECT_EQ(injector.backhaul_factor(5.0, 1), 1.0);
+  EXPECT_NEAR(injector.backhaul_factor(12.0, 1), 0.4, 1e-12);
+  EXPECT_NEAR(injector.backhaul_factor(16.0, 1), 0.1, 1e-12);  // deepest wins
+  EXPECT_EQ(injector.backhaul_factor(12.0, 2), 1.0);           // hop-scoped
+  EXPECT_FALSE(injector.backhaul_unavailable(12.0, 1));
+  EXPECT_TRUE(injector.backhaul_unavailable(35.0, 2));
+  EXPECT_FALSE(injector.backhaul_unavailable(35.0, 1));
+  EXPECT_EQ(injector.fog_failure_fraction(45.0), 0.0);
+  EXPECT_EQ(injector.fog_failure_fraction(52.0), 0.5);
+  EXPECT_EQ(injector.fog_failure_fraction(56.0), 1.0);  // deepest wins
+
+  // Backhaul classes live on hops past the radio; magnitudes are bounded.
+  EXPECT_THROW(
+      sim::FaultSchedule({{sim::FaultClass::kBackhaulBrownout, 0.0, 1.0, 0.5, 0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sim::FaultSchedule({{sim::FaultClass::kBackhaulOutage, 0.0, 1.0, 0.0, 0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sim::FaultSchedule({{sim::FaultClass::kBackhaulBrownout, 0.0, 1.0, 1.0, 1}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sim::FaultSchedule({{sim::FaultClass::kFogSiteFailure, 0.0, 1.0, 1.5}}),
+      std::invalid_argument);
+  sim::FaultScheduleConfig bad;
+  bad.horizon_s = 100.0;
+  bad.backhaul_outage_rate_hz = 0.01;
+  bad.backhaul_hop = 0;
+  EXPECT_THROW(sim::FaultSchedule::generate(bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
 // sim::EdgeCloudSystem + finite cloud
 // ---------------------------------------------------------------------------
 

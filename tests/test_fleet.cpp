@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "comm/trace.hpp"
 #include "core/evaluator.hpp"
 #include "core/plan.hpp"
+#include "core/topology.hpp"
 #include "dnn/presets.hpp"
 #include "fleet/fleet.hpp"
 #include "par/substream.hpp"
@@ -548,6 +550,341 @@ TEST(FleetEngine, ChunkCountDependsOnDevicesAlone) {
   EXPECT_EQ(fleet::FleetEngine::num_chunks(10000), 9u);
   EXPECT_EQ(fleet::FleetEngine::num_chunks(1u << 20), 1024u);
   EXPECT_EQ(fleet::FleetEngine::num_chunks(100000000), 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// sim::FaultSchedule::generate_for_region -- shared failure domains
+// ---------------------------------------------------------------------------
+
+sim::FaultScheduleConfig region_fault_config() {
+  sim::FaultScheduleConfig config;
+  config.horizon_s = 4000.0;
+  config.backhaul_brownout_rate_hz = 1.0 / 400.0;
+  config.backhaul_outage_rate_hz = 1.0 / 700.0;
+  config.fog_failure_rate_hz = 1.0 / 900.0;
+  return config;
+}
+
+TEST(FaultSubstreams, RegionSchedulesAreSharedDeterministicAndDisjoint) {
+  const sim::FaultScheduleConfig config = region_fault_config();
+  // Two devices of one region see the SAME backhaul series — the schedule is
+  // a function of (config, fleet seed, region id), nothing per-device.
+  const sim::FaultSchedule a = sim::FaultSchedule::generate_for_region(config, 77, 2);
+  const sim::FaultSchedule b = sim::FaultSchedule::generate_for_region(config, 77, 2);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.episodes().size(), b.episodes().size());
+  for (std::size_t i = 0; i < a.episodes().size(); ++i) {
+    EXPECT_EQ(a.episodes()[i].fault, b.episodes()[i].fault);
+    EXPECT_EQ(a.episodes()[i].start_s, b.episodes()[i].start_s);
+    EXPECT_EQ(a.episodes()[i].end_s, b.episodes()[i].end_s);
+    EXPECT_EQ(a.episodes()[i].magnitude, b.episodes()[i].magnitude);
+    EXPECT_EQ(a.episodes()[i].hop, b.episodes()[i].hop);
+  }
+  const auto first_start = [](const sim::FaultSchedule& s) {
+    return s.empty() ? -1.0 : s.episodes().front().start_s;
+  };
+  // Neighboring regions and neighboring fleet seeds draw different episodes.
+  const sim::FaultSchedule c = sim::FaultSchedule::generate_for_region(config, 77, 3);
+  const sim::FaultSchedule d = sim::FaultSchedule::generate_for_region(config, 78, 2);
+  EXPECT_NE(first_start(a), first_start(c));
+  EXPECT_NE(first_start(a), first_start(d));
+  // Region roots are salted away from the per-device substreams: region r's
+  // schedule never collides with device r's, even for the same class knobs.
+  sim::FaultScheduleConfig as_device = config;
+  as_device.backhaul_brownout_rate_hz = 0.0;
+  as_device.backhaul_outage_rate_hz = 0.0;
+  as_device.fog_failure_rate_hz = 0.0;
+  as_device.link_outage_rate_hz = 1.0 / 400.0;
+  const sim::FaultSchedule dev =
+      sim::FaultSchedule::generate_for_device(as_device, 77, 2);
+  EXPECT_NE(first_start(a), first_start(dev));
+  // Meanwhile the two devices' RADIO traces stay private (the existing
+  // per-device decorrelation) — shared backhaul, decorrelated radios.
+  const sim::FaultSchedule dev2 =
+      sim::FaultSchedule::generate_for_device(as_device, 77, 3);
+  EXPECT_NE(first_start(dev), first_start(dev2));
+}
+
+// ---------------------------------------------------------------------------
+// fleet::FleetEngine -- K-tier regional failure domains
+// ---------------------------------------------------------------------------
+
+// 3-tier alexnet plan shared by the K-tier fleet tests: wifi radio to a
+// datacenter-gpu fog tier, 40 Mbps backhaul to a free cloud.
+const core::DeploymentPlan& ktier_alexnet_plan() {
+  static const core::DeploymentPlan plan = [] {
+    static const perf::DeviceSimulator edge_sim(perf::jetson_tx2_gpu());
+    static const perf::SimulatorOracle edge(edge_sim);
+    static const perf::DeviceSimulator fog_sim(perf::datacenter_gpu());
+    static const perf::SimulatorOracle fog(fog_sim);
+    core::EdgeFogCloudConfig config;
+    config.radio = comm::CommModel(comm::WirelessTechnology::kWifi, 5.0);
+    config.backhaul = comm::CommModel(comm::WirelessTechnology::kWifi, 40.0);
+    return core::DeploymentEvaluator(core::edge_fog_cloud(edge, fog, nullptr, config))
+        .compile(dnn::alexnet());
+  }();
+  return plan;
+}
+
+// Heavy 3-tier plan: vgg16 transmits at fleet trace rates, so the fog and
+// cloud admission paths both carry real load.
+const core::DeploymentPlan& ktier_vgg_plan() {
+  static const core::DeploymentPlan plan = [] {
+    static const perf::DeviceSimulator edge_sim(perf::jetson_tx2_gpu());
+    static const perf::SimulatorOracle edge(edge_sim);
+    static const perf::DeviceSimulator fog_sim(perf::datacenter_gpu());
+    static const perf::SimulatorOracle fog(fog_sim);
+    core::EdgeFogCloudConfig config;
+    config.radio = comm::CommModel(comm::WirelessTechnology::kWifi, 4.0);
+    config.backhaul = comm::CommModel(comm::WirelessTechnology::kWifi, 40.0);
+    return core::DeploymentEvaluator(core::edge_fog_cloud(edge, fog, nullptr, config))
+        .compile(dnn::vgg16());
+  }();
+  return plan;
+}
+
+TEST(FleetEngine, KTierCtorValidatesHopRates) {
+  const core::DeploymentPlan& plan = ktier_alexnet_plan();
+  fleet::FleetConfig config = small_fleet_config();
+  // Arity must match the plan's hop count (radio first).
+  EXPECT_THROW(fleet::FleetEngine(plan, {5.0}, config), std::invalid_argument);
+  EXPECT_THROW(fleet::FleetEngine(plan, {5.0, 40.0, 40.0}, config),
+               std::invalid_argument);
+  // Backhaul entries must be positive and finite.
+  EXPECT_THROW(fleet::FleetEngine(plan, {5.0, 0.0}, config), std::invalid_argument);
+  EXPECT_THROW(fleet::FleetEngine(plan, {5.0, -3.0}, config), std::invalid_argument);
+  EXPECT_THROW(fleet::FleetEngine(
+                   plan, {5.0, std::numeric_limits<double>::infinity()}, config),
+               std::invalid_argument);
+  // Entry 0 is the radio-axis placeholder selection collapses onto: its
+  // value is never read, but the slot must exist.
+  EXPECT_NO_THROW(fleet::FleetEngine(plan, {0.0, 40.0}, config));
+  // A K-tier plan through the two-tier ctor is rejected outright.
+  EXPECT_THROW(fleet::FleetEngine(plan, config), std::invalid_argument);
+}
+
+TEST(FleetEngine, RegionalKnobsRequireKTierPlan) {
+  const core::DeploymentPlan& two_tier = alexnet_plan();
+  fleet::FleetConfig config = small_fleet_config();
+  config.num_regions = 2;
+  EXPECT_THROW(fleet::FleetEngine(two_tier, config), std::invalid_argument);
+  config = small_fleet_config();
+  config.fog = cloud::fog_site_defaults(2);
+  EXPECT_THROW(fleet::FleetEngine(two_tier, config), std::invalid_argument);
+  config = small_fleet_config();
+  config.region_faults.backhaul_outage_rate_hz = 0.001;
+  EXPECT_THROW(fleet::FleetEngine(two_tier, config), std::invalid_argument);
+
+  const core::DeploymentPlan& ktier = ktier_alexnet_plan();
+  config = small_fleet_config();
+  config.num_regions = 0;
+  EXPECT_THROW(fleet::FleetEngine(ktier, {5.0, 40.0}, config),
+               std::invalid_argument);
+  config = small_fleet_config();
+  config.num_regions = fleet::kMaxRegions + 1;
+  EXPECT_THROW(fleet::FleetEngine(ktier, {5.0, 40.0}, config),
+               std::invalid_argument);
+  config = small_fleet_config();
+  config.num_regions = 4;
+  config.region_map.assign(config.devices - 1, 0);  // wrong arity
+  EXPECT_THROW(fleet::FleetEngine(ktier, {5.0, 40.0}, config),
+               std::invalid_argument);
+  config = small_fleet_config();
+  config.num_regions = 4;
+  config.region_map.assign(config.devices, 0);
+  config.region_map.back() = 4;  // out of range
+  EXPECT_THROW(fleet::FleetEngine(ktier, {5.0, 40.0}, config),
+               std::invalid_argument);
+  config = small_fleet_config();
+  config.num_regions = 4;
+  config.region_episodes.push_back(
+      {7, {sim::FaultClass::kBackhaulOutage, 0.0, 100.0, 0.0, 1}});
+  EXPECT_THROW(fleet::FleetEngine(ktier, {5.0, 40.0}, config),
+               std::invalid_argument);
+}
+
+// Frozen-reference oracle for the retired pinned-backhaul K-tier shortcut:
+// per device, advance the scalar trace / tracker / hysteresis-select cores
+// and price on the plan's ctor-collapsed curves at the nominal backhaul
+// rates. When regions share a constant backhaul and no regional faults
+// fire, the regional engine must reproduce these numbers bit for bit.
+TEST(FleetEngine, KTierHealthyPathMatchesPinnedBackhaulOracle) {
+  const core::DeploymentPlan& plan = ktier_alexnet_plan();
+  const std::vector<double> hop_tu = {5.0, 40.0};
+  fleet::FleetConfig config;
+  config.devices = 600;  // one chunk: device-order accumulation everywhere
+  config.steps = 12;
+  config.step_s = 300.0;
+  config.seed = 9;
+  config.trace.mean_mbps = 6.0;
+  config.trace.sigma = 0.6;
+  config.trace.outage_start_probability = 0.05;
+
+  const std::vector<comm::CostCurve> lat = plan.collapsed_latency_curves(0, hop_tu);
+  const std::vector<comm::CostCurve> energy = plan.collapsed_energy_curves(0, hop_tu);
+  const std::vector<runtime::DominanceInterval> intervals =
+      runtime::dominance_intervals(lat, config.tu_min, config.tu_max);
+  const comm::TraceGenerator gen(config.trace);
+  const auto init = static_cast<std::uint32_t>(
+      runtime::select_option(intervals, config.trace.mean_mbps));
+
+  double total_lat = 0.0, total_energy = 0.0;
+  std::uint64_t switches = 0, outage_readings = 0;
+  std::vector<comm::FleetTraceState> state(config.devices);
+  std::vector<runtime::TrackerState> tracker(config.devices);
+  std::vector<std::uint32_t> option(config.devices, init);
+  for (std::size_t i = 0; i < config.devices; ++i) {
+    state[i] = gen.start_state(par::SplitMix64(par::substream_seed(config.seed, i)));
+  }
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    double step_lat = 0.0, step_energy = 0.0;  // chunk-local, like the engine
+    for (std::size_t i = 0; i < config.devices; ++i) {
+      const double tu = gen.step(state[i]);
+      runtime::tracker_update(config.tracker, tracker[i], tu);
+      const double est =
+          tracker[i].estimate_mbps > 0.0 ? tracker[i].estimate_mbps : config.tu_min;
+      const auto o = static_cast<std::uint32_t>(runtime::select_option_hysteresis(
+          intervals, lat, est, option[i], config.hysteresis_margin));
+      if (o != option[i]) ++switches;
+      option[i] = o;
+      const double eff = tu > 0.0 ? tu : config.tu_min;
+      step_lat += lat[o].value(eff);
+      step_energy += energy[o].value(eff);
+    }
+    total_lat += step_lat;
+    total_energy += step_energy;
+  }
+  for (const runtime::TrackerState& t : tracker) outage_readings += t.outages;
+  const double device_steps =
+      static_cast<double>(config.devices) * static_cast<double>(config.steps);
+
+  par::ThreadPool pool(3);
+  const fleet::FleetStats regions_off =
+      fleet::FleetEngine(plan, hop_tu, config).run(pool);
+  EXPECT_EQ(regions_off.mean_latency_ms, total_lat / device_steps);
+  EXPECT_EQ(regions_off.mean_energy_mj, total_energy / device_steps);
+  EXPECT_EQ(regions_off.total_switches, switches);
+  EXPECT_EQ(regions_off.outage_readings, outage_readings);
+  ASSERT_EQ(regions_off.regions.size(), 1u);
+
+  // Eight healthy regions: identical global numbers (the region partition
+  // only adds columns), and every per-region fault column stays zero.
+  fleet::FleetConfig split = config;
+  split.num_regions = 8;
+  const fleet::FleetStats regions_on =
+      fleet::FleetEngine(plan, hop_tu, split).run(pool);
+  EXPECT_EQ(regions_on.mean_latency_ms, regions_off.mean_latency_ms);
+  EXPECT_EQ(regions_on.mean_energy_mj, regions_off.mean_energy_mj);
+  EXPECT_EQ(regions_on.total_switches, regions_off.total_switches);
+  EXPECT_EQ(regions_on.latency_histogram, regions_off.latency_histogram);
+  EXPECT_EQ(regions_on.oracle_mean_latency_ms, regions_off.oracle_mean_latency_ms);
+  ASSERT_EQ(regions_on.regions.size(), 8u);
+  for (const fleet::FleetStats::RegionStats& rs : regions_on.regions) {
+    EXPECT_EQ(rs.degraded_device_s, 0.0);
+    EXPECT_EQ(rs.backhaul_out_s, 0.0);
+    EXPECT_EQ(rs.fog_shed_qps, 0.0);
+    EXPECT_EQ(rs.breaker_open_s, 0.0);
+  }
+  EXPECT_EQ(regions_on.degraded_steps, 0u);
+  EXPECT_EQ(regions_on.fog_shed, 0u);
+}
+
+// A 3-tier fleet through a regional disaster drill walking every ladder
+// rung: region 0 stays healthy, region 1 loses its fog site (sheds retry
+// cloud-direct over the live backhaul), region 2 loses fog AND backhaul
+// (sheds fall through to the edge-only rung), region 3 rides out a six-step
+// backhaul outage window. Breakers bound the retry traffic throughout.
+fleet::FleetConfig regional_drill_config() {
+  fleet::FleetConfig config;
+  config.devices = 4100;  // > 4 chunks: the parallel path actually shards
+  config.steps = 18;
+  config.step_s = 100.0;
+  config.seed = 5;
+  config.trace.mean_mbps = 4.0;
+  config.trace.sigma = 0.2;
+  config.num_regions = 4;
+  config.fog = cloud::fog_site_defaults(8);
+  cloud::CloudConfig dc;
+  dc.machines = 8;
+  config.cloud = dc;
+  config.sla_ms = 500.0;
+  config.region_episodes.push_back(
+      {1, {sim::FaultClass::kFogSiteFailure, 0.0, 1e9, 1.0}});
+  config.region_episodes.push_back(
+      {2, {sim::FaultClass::kFogSiteFailure, 0.0, 1e9, 1.0}});
+  config.region_episodes.push_back(
+      {2, {sim::FaultClass::kBackhaulOutage, 0.0, 1e9, 0.0, 1}});
+  config.region_episodes.push_back(
+      {3, {sim::FaultClass::kBackhaulOutage, 600.0, 1200.0, 0.0, 1}});
+  return config;
+}
+
+TEST(FleetEngine, RegionalDrillWalksTheTierLadderDeterministically) {
+  const core::DeploymentPlan& plan = ktier_vgg_plan();
+  fleet::FleetEngine engine(plan, {4.0, 40.0}, regional_drill_config());
+  par::ThreadPool one(1), eight(8);
+  const fleet::FleetStats serial = engine.run(one);
+  const fleet::FleetStats parallel = engine.run(eight);
+  // The acceptance bar: byte-identical CSV — per-region columns included —
+  // with regional outages, dead fog sites, and breakers all in flight.
+  EXPECT_EQ(serial.csv(), parallel.csv());
+
+  ASSERT_EQ(serial.regions.size(), 4u);
+  const auto& r0 = serial.regions[0];
+  const auto& r1 = serial.regions[1];
+  const auto& r2 = serial.regions[2];
+  const auto& r3 = serial.regions[3];
+
+  // Healthy region: fog load admitted, no regional faults, no degradation.
+  EXPECT_GT(r0.fog_offered_qps, 0.0);
+  EXPECT_GT(r0.fog_admitted_qps, 0.0);
+  EXPECT_EQ(r0.backhaul_out_s, 0.0);
+  EXPECT_GT(r0.fog_energy_j, 0.0);
+  EXPECT_EQ(r0.degraded_device_s, 0.0);
+
+  // Region 1 (ladder rung 2): the fog site is down all run — nothing
+  // admitted, early offers shed, and sheds retry CLOUD-DIRECT over the
+  // live backhaul, so region 1 offers more to the central cloud than a
+  // healthy region does.
+  EXPECT_EQ(r1.fog_admitted_qps, 0.0);
+  EXPECT_GT(r1.fog_shed_qps, 0.0);
+  EXPECT_GT(r1.cloud_offered_qps, r0.cloud_offered_qps);
+  EXPECT_GT(r1.degraded_device_s, 0.0);
+  // The fog breaker bounds the retry traffic: devices spend most steps held
+  // open instead of re-probing the dead site every step.
+  EXPECT_GT(r1.breaker_open_s, 0.0);
+  EXPECT_LT(r1.fog_offered_qps, r0.fog_offered_qps);
+
+  // Region 2 (ladder rung 3): fog dead AND backhaul dead — cloud-direct is
+  // unreachable, so sheds fall through to the edge-only fallback and the
+  // region never offers the central cloud anything.
+  EXPECT_EQ(r2.fog_admitted_qps, 0.0);
+  EXPECT_EQ(r2.cloud_offered_qps, 0.0);
+  EXPECT_LT(r2.cloud_offered_qps, r1.cloud_offered_qps);  // ladder ordering
+  EXPECT_GT(r2.degraded_device_s, 0.0);
+  EXPECT_EQ(r2.backhaul_out_s,
+            static_cast<double>(serial.steps) * serial.step_s);
+
+  // Region 3: the outage window covers exactly steps 6..11 — 600 wall-s of
+  // backhaul-out time, with the fog tier healthy throughout.
+  EXPECT_EQ(r3.backhaul_out_s, 600.0);
+  EXPECT_GT(r3.fog_admitted_qps, 0.0);
+
+  // Global roll-ups agree with the per-region columns.
+  EXPECT_GT(serial.fog_shed, 0u);
+  EXPECT_GT(serial.degraded_steps, 0u);
+  EXPECT_GT(serial.breaker_trips, 0u);
+  double region_fog_energy = 0.0, region_shed_qps = 0.0;
+  for (const auto& rs : serial.regions) {
+    region_fog_energy += rs.fog_energy_j;
+    region_shed_qps += rs.fog_shed_qps;
+  }
+  EXPECT_EQ(serial.fog_energy_j, region_fog_energy);
+  // fog_shed_qps = shed-count * device_qps / steps, summed over regions.
+  const fleet::FleetConfig& cfg = engine.config();
+  EXPECT_NEAR(static_cast<double>(serial.fog_shed) * cfg.device_qps /
+                  static_cast<double>(cfg.steps),
+              region_shed_qps, 1e-9);
 }
 
 }  // namespace
